@@ -1,0 +1,85 @@
+"""Ablation A12 -- process binding and outlier rejection in measurement.
+
+Section 4.1 of the paper: "automatic rearranging of the processes provided
+by operating system may result in performance degradation, therefore, we
+bind processes to cores to ensure a stable performance".  The simulator
+models an unbound process as broad timing jitter plus occasional migration
+spikes.  This ablation measures what that costs the *models* and what the
+robust-statistics machinery (MAD outlier rejection, Precision's
+``outlier_threshold``) recovers:
+
+* bound measurement -- the baseline;
+* unbound, naive statistics -- spikes inflate the means;
+* unbound + outlier rejection -- most of the damage is filtered.
+
+Shapes asserted: unbound-naive models misestimate speeds noticeably more
+than bound ones; outlier rejection recovers a large part of the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import fmt, print_table
+from repro.apps.matmul.kernel import gemm_unit_flops
+from repro.core.benchmark import PlatformBenchmark, build_full_models
+from repro.core.models import PiecewiseModel
+from repro.core.precision import Precision
+from repro.platform.presets import fig4_trio
+
+UNIT_FLOPS = gemm_unit_flops(32)
+MODEL_SIZES = [64, 256, 1024, 4096]
+EVAL_SIZES = [100, 500, 2000, 3000]
+
+
+def _model_error(platform, models) -> float:
+    """Mean relative speed error of the models vs device ground truth."""
+    errs = []
+    for rank, model in enumerate(models):
+        device = platform.devices[rank]
+        for d in EVAL_SIZES:
+            true_speed = device.ideal_speed(UNIT_FLOPS * d, d)
+            predicted = model.speed_flops(d, lambda x: UNIT_FLOPS * x)
+            errs.append(abs(predicted - true_speed) / true_speed)
+    return float(np.mean(errs))
+
+
+def run_experiment(seed: int = 0):
+    platform = fig4_trio(noisy=True)
+    reps = Precision(reps_min=10, reps_max=10)
+    robust = Precision(reps_min=10, reps_max=10, outlier_threshold=3.5)
+
+    results = {}
+    for label, bound, precision in (
+        ("bound", True, reps),
+        ("unbound (naive)", False, reps),
+        ("unbound + MAD filter", False, robust),
+    ):
+        bench = PlatformBenchmark(
+            platform, unit_flops=UNIT_FLOPS, precision=precision,
+            seed=seed, bound=bound,
+        )
+        models, _ = build_full_models(bench, PiecewiseModel, MODEL_SIZES)
+        results[label] = _model_error(platform, models)
+    return results
+
+
+def test_ablation_binding_and_outliers(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_table(
+        "A12: measurement methodology vs model accuracy "
+        "(mean relative speed error)",
+        ["methodology", "model error"],
+        [[label, fmt(err)] for label, err in results.items()],
+    )
+
+    bound = results["bound"]
+    naive = results["unbound (naive)"]
+    filtered = results["unbound + MAD filter"]
+    # Shape 1: skipping binding costs model accuracy.
+    assert naive > 2.0 * bound
+    # Shape 2: robust statistics recover a large part of the damage.
+    assert filtered < 0.6 * naive
+    # Shape 3: but binding remains the right answer.
+    assert bound <= filtered * 1.05

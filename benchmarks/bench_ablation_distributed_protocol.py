@@ -1,0 +1,95 @@
+"""Ablation A13 -- cost of the distributed partitioning protocol (ref. [11]).
+
+The distributed formulation of dynamic partitioning has every process
+exchange only its newest measurement point per round (an allgather of a few
+dozen bytes) and recompute the partition locally.  The claim implicit in
+the paper's "low execution cost ... suitable for employment in
+self-adaptable applications" is that the protocol's own communication is
+negligible next to the benchmarking it orchestrates.
+
+We run the protocol on clusters of increasing size and print the cost
+split.  Shapes asserted: the distributed run converges to the same
+distribution as the centralised one; protocol time stays below a few
+percent of the total at every size; and per-round protocol cost grows only
+logarithmically-ish with the process count (ring allgather of tiny
+payloads is latency-bound).
+"""
+
+from __future__ import annotations
+
+from harness import fmt, print_table
+from repro.apps.matmul.kernel import gemm_unit_flops
+from repro.core.benchmark import PlatformBenchmark
+from repro.core.models import PiecewiseModel
+from repro.core.partition.distributed import distributed_partition
+from repro.core.partition.dynamic import DynamicPartitioner
+from repro.core.partition.geometric import partition_geometric
+from repro.platform.presets import parametric_cluster
+
+UNIT_FLOPS = gemm_unit_flops(32)
+TOTAL = 40_000
+CLUSTERS = [(1, 2), (2, 6), (4, 12)]  # (hybrid nodes, cpu nodes)
+
+
+def run_experiment(seed: int = 0):
+    results = []
+    for hybrids, cpus in CLUSTERS:
+        platform = parametric_cluster(
+            hybrid_nodes=hybrids, cpu_nodes=cpus, noisy=True, seed=seed
+        )
+        bench = PlatformBenchmark(platform, unit_flops=UNIT_FLOPS, seed=seed)
+        dist_result = distributed_partition(
+            bench, partition_geometric, PiecewiseModel, TOTAL, eps=0.03
+        )
+        central_bench = PlatformBenchmark(
+            platform, unit_flops=UNIT_FLOPS, seed=seed
+        )
+        central = DynamicPartitioner(
+            partition_geometric,
+            [PiecewiseModel() for _ in range(platform.size)],
+            TOTAL,
+            central_bench.measure_group,
+            eps=0.03,
+        ).run()
+        results.append((platform.size, dist_result, central))
+    return results
+
+
+def test_ablation_distributed_protocol(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for size, dist_result, _central in results:
+        share = dist_result.protocol_time / max(dist_result.total_time, 1e-30)
+        rows.append(
+            [
+                size,
+                dist_result.iterations,
+                fmt(dist_result.benchmark_cost, 3),
+                fmt(dist_result.protocol_time, 6),
+                f"{share * 100:.3f}%",
+            ]
+        )
+    print_table(
+        f"A13: distributed partitioning protocol cost ({TOTAL} units)",
+        ["processes", "rounds", "benchmark (kernel-s)", "protocol (s)",
+         "protocol share"],
+        rows,
+    )
+
+    for size, dist_result, central in results:
+        # Shape 1: distributed and centralised agree (same measurements,
+        # same deterministic algorithm).
+        assert dist_result.converged
+        for a, b in zip(dist_result.final.sizes, central.final.sizes):
+            assert abs(a - b) <= 0.05 * TOTAL
+        # Shape 2: the protocol is a rounding error next to the benchmarks.
+        assert dist_result.protocol_time < 0.02 * dist_result.total_time
+    # Shape 3: protocol cost per round grows slowly with the cluster size
+    # (tiny latency-bound allgather), staying within ~(p-1) ring steps.
+    small = results[0]
+    large = results[-1]
+    per_round_small = small[1].protocol_time / small[1].iterations
+    per_round_large = large[1].protocol_time / large[1].iterations
+    ring_growth = (large[0] - 1) / (small[0] - 1)
+    assert per_round_large <= ring_growth * per_round_small * 1.5

@@ -1,0 +1,93 @@
+"""Ablation A3 -- interpolation accuracy vs number of measured points.
+
+Fig. 2 contrasts the two FPM interpolation schemes at one sampling density;
+this ablation sweeps the density.  For each point budget we build both
+models on the Netlib-like wiggly speed function and record the mean
+relative speed-prediction error against ground truth.
+
+Shapes asserted: errors shrink as points are added (for both schemes); the
+Akima spline dominates piecewise at every density; with enough points both
+land in the low single digits of percent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import fmt, print_table
+from repro.apps.matmul.kernel import gemm_unit_flops
+from repro.core.benchmark import Benchmark
+from repro.core.kernel import SimulatedKernel
+from repro.core.models import AkimaModel, PchipModel, PiecewiseModel
+from repro.core.precision import Precision
+from repro.platform.presets import fig2_device
+
+UNIT_FLOPS = gemm_unit_flops(32)
+POINT_BUDGETS = [5, 9, 17, 33]
+SIZE_RANGE = (50, 4950)
+EVAL_SIZES = list(range(100, 4900, 40))
+
+
+def _mean_error(device, model) -> float:
+    errs = []
+    for d in EVAL_SIZES:
+        true_speed = device.ideal_speed(UNIT_FLOPS * d, d)
+        predicted = model.speed_flops(d, lambda x: UNIT_FLOPS * x)
+        errs.append(abs(predicted - true_speed) / true_speed)
+    return float(np.mean(errs))
+
+
+def run_experiment(seed: int = 0):
+    device = fig2_device(noisy=True)
+    kernel = SimulatedKernel(device, UNIT_FLOPS, rng=np.random.default_rng(seed))
+    bench = Benchmark(kernel, Precision(reps_min=5, reps_max=25, relative_error=0.01))
+    results = []
+    for budget in POINT_BUDGETS:
+        sizes = np.linspace(SIZE_RANGE[0], SIZE_RANGE[1], budget)
+        piecewise, akima, pchip = PiecewiseModel(), AkimaModel(), PchipModel()
+        for d in sizes:
+            point = bench.run(int(round(d)))
+            piecewise.update(point)
+            akima.update(point)
+            pchip.update(point)
+        results.append(
+            (
+                budget,
+                _mean_error(device, piecewise),
+                _mean_error(device, akima),
+                _mean_error(device, pchip),
+            )
+        )
+    return results
+
+
+def test_ablation_interpolation_accuracy(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_table(
+        "A3: mean relative speed error vs number of measured points",
+        ["points", "piecewise", "akima", "pchip"],
+        [[b, fmt(pw), fmt(ak), fmt(pc)] for b, pw, ak, pc in results],
+    )
+
+    budgets = [b for b, _pw, _ak, _pc in results]
+    pw_errs = [pw for _b, pw, _ak, _pc in results]
+    ak_errs = [ak for _b, _pw, ak, _pc in results]
+    pc_errs = [pc for _b, _pw, _ak, pc in results]
+
+    # Shape 1: more points -> lower error (ends of the sweep compared, to
+    # tolerate local noise wobble).
+    assert pw_errs[-1] < pw_errs[0]
+    assert ak_errs[-1] < ak_errs[0]
+    # Shape 2: Akima dominates piecewise at every density (Fig. 2's story).
+    for pw, ak in zip(pw_errs, ak_errs):
+        assert ak <= pw * 1.05
+    # Shape 3: dense sampling reaches low-single-digit percent error.
+    assert ak_errs[-1] < 0.03
+    assert pw_errs[-1] < 0.06
+    assert budgets == POINT_BUDGETS
+    # Shape 4: PCHIP sits between piecewise and Akima -- monotone time
+    # functions cost a little accuracy on wiggly data, far less than
+    # coarsening does.
+    assert pc_errs[-1] < 0.06
+    assert pc_errs[-1] < pw_errs[0]

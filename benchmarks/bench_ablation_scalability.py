@@ -1,0 +1,80 @@
+"""Ablation A10 -- cost of the partitioning algorithms vs process count.
+
+The paper positions the dynamic algorithms as cheap enough to run *inside*
+an application's iteration loop.  That only holds if the partitioning
+algorithms themselves scale: the geometrical algorithm is
+O(p log(1/eps) log D) bisections, the numerical algorithm solves a dense
+p x p Newton system per iteration, the basic algorithm is O(p).  This
+bench times all three on synthetic functional models at increasing process
+counts -- pytest-benchmark's own timing is the measurement here.
+
+Shapes asserted: results remain exact partitions at every scale, and the
+per-call wall time stays in interactive territory (well under a second at
+p = 128), which is the property dynamic load balancing relies on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.partition.basic import partition_constant
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.numerical import partition_numerical
+from repro.core.point import MeasurementPoint
+
+TOTAL = 1_000_000
+SIZES = [100, 1000, 10_000, 100_000, 1_000_000]
+
+
+def _make_models(model_cls, p: int):
+    """Heterogeneous synthetic models: speeds spread over ~8x."""
+    models = []
+    for i in range(p):
+        speed = 1000.0 * (1.0 + 7.0 * (i / max(p - 1, 1)))
+        model = model_cls()
+        model.update_many(
+            [MeasurementPoint(d=d, t=d / speed) for d in SIZES]
+        )
+        models.append(model)
+    return models
+
+
+@pytest.mark.parametrize("p", [4, 32, 128])
+def test_scalability_geometric(benchmark, p):
+    models = _make_models(PiecewiseModel, p)
+    dist = benchmark(lambda: partition_geometric(TOTAL, models))
+    assert dist.total == TOTAL
+    assert all(part.d >= 0 for part in dist.parts)
+
+
+@pytest.mark.parametrize("p", [4, 32, 128])
+def test_scalability_numerical(benchmark, p):
+    models = _make_models(AkimaModel, p)
+    dist = benchmark(lambda: partition_numerical(TOTAL, models))
+    assert dist.total == TOTAL
+
+
+@pytest.mark.parametrize("p", [4, 32, 128])
+def test_scalability_basic(benchmark, p):
+    models = _make_models(ConstantModel, p)
+    dist = benchmark(lambda: partition_constant(TOTAL, models))
+    assert dist.total == TOTAL
+
+
+def test_scalability_interactive_at_p128(benchmark):
+    """The load-balancer use case: one repartitioning call must be cheap."""
+    models = _make_models(PiecewiseModel, 128)
+
+    def run():
+        start = time.perf_counter()
+        dist = partition_geometric(TOTAL, models)
+        elapsed = time.perf_counter() - start
+        return dist, elapsed
+
+    dist, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert dist.total == TOTAL
+    # Interactive territory: far below one application iteration.
+    assert elapsed < 1.0

@@ -1,0 +1,125 @@
+"""Ablation A11 -- the stencil application: balancing + communication scaling.
+
+Two questions about the CFD-style stencil substrate:
+
+1. does the framework's load balancer drive the halo-exchange application
+   to the same speed-proportional distribution as the allgather-based
+   Jacobi (it should -- the balancer only sees compute times)?
+2. do the communication patterns scale as theory says -- Jacobi's
+   allgather moves O(rows) bytes per iteration while the stencil's halo
+   exchange moves O(1) -- so the stencil's communication share stays flat
+   as the problem grows?
+
+Shapes asserted: balanced rows ~16:11:9 for the stencil; stencil per-
+iteration communication time is essentially independent of the row count
+while Jacobi's grows with it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from harness import fmt, print_table
+from repro.apps.jacobi.distributed import run_balanced_jacobi
+from repro.apps.stencil.distributed import run_balanced_stencil
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.platform.presets import fig4_trio
+
+WIDTH = 64
+ROW_COUNTS = [240, 960, 3840]
+
+
+def _balancer(size, rows, threshold=math.inf, initial=None):
+    models = [PiecewiseModel() for _ in range(size)]
+    return LoadBalancer(
+        partition_geometric, models, rows, threshold=threshold, initial=initial
+    )
+
+
+def _comm_per_iteration(records):
+    """Mean (makespan - max compute) over the steady iterations."""
+    steady = [r for r in records[2:] if not r.rebalanced]
+    if not steady:
+        steady = records[2:]
+    return sum(r.makespan - max(r.compute_times) for r in steady) / len(steady)
+
+
+def run_experiment(seed: int = 0):
+    platform = fig4_trio(noisy=True)
+
+    # Part 1: the stencil balances like Jacobi does.
+    balancer = _balancer(platform.size, 360, threshold=0.05)
+    balanced = run_balanced_stencil(
+        platform, balancer, nx=WIDTH, eps=-1.0, max_iterations=12,
+        noise_seed=seed,
+    )
+
+    # Part 2: communication scaling, balancing disabled (fixed optimal
+    # rows, no redistribution noise in the comm numbers).
+    comm_rows = {}
+    for rows in ROW_COUNTS:
+        optimal = Distribution.from_sizes(
+            [round(rows * w) for w in (16 / 36, 11 / 36, 9 / 36)]
+        )
+        pad = rows - optimal.total
+        optimal = Distribution.from_sizes(
+            [optimal.sizes[0] + pad] + optimal.sizes[1:]
+        )
+        stencil = run_balanced_stencil(
+            platform,
+            _balancer(platform.size, rows, initial=optimal),
+            nx=WIDTH, eps=-1.0, max_iterations=8, noise_seed=seed,
+        )
+        jacobi = run_balanced_jacobi(
+            platform,
+            _balancer(platform.size, rows, initial=optimal),
+            eps=-1.0, max_iterations=8, noise_seed=seed,
+        )
+        comm_rows[rows] = (
+            _comm_per_iteration(stencil.records),
+            _comm_per_iteration(jacobi.records),
+        )
+    return balanced, comm_rows
+
+
+def test_ablation_stencil(benchmark):
+    balanced, comm_rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_table(
+        "A11a: stencil dynamic balancing (360 rows, fig4 trio)",
+        ["iter", "rows", "rebalanced"],
+        [
+            [r.iteration, str(r.sizes), "yes" if r.rebalanced else ""]
+            for r in balanced.records[:6]
+        ],
+    )
+    print(f"final rows: {balanced.final_sizes}")
+    print_table(
+        "A11b: per-iteration communication time vs problem size",
+        ["rows", "stencil (halo)", "jacobi (allgather)"],
+        [
+            [rows, fmt(comm_rows[rows][0], 6), fmt(comm_rows[rows][1], 6)]
+            for rows in ROW_COUNTS
+        ],
+    )
+
+    # Shape 1: the stencil balances to the 16:11:9 speed ratio.
+    expected = [160, 110, 90]
+    for got, want in zip(balanced.final_sizes, expected):
+        assert abs(got - want) <= 15
+    # Shape 2: halo communication is O(1) in the row count...
+    stencil_small = comm_rows[ROW_COUNTS[0]][0]
+    stencil_large = comm_rows[ROW_COUNTS[-1]][0]
+    assert stencil_large <= 2.0 * stencil_small
+    # ...while the allgather grows with it (bandwidth term; the latency
+    # floor keeps the small sizes close together).
+    jacobi_small = comm_rows[ROW_COUNTS[0]][1]
+    jacobi_mid = comm_rows[ROW_COUNTS[1]][1]
+    jacobi_large = comm_rows[ROW_COUNTS[-1]][1]
+    assert jacobi_small < jacobi_mid < jacobi_large
+    assert jacobi_large > 2.5 * jacobi_small
+    # Shape 3: at the large size, halo beats allgather outright.
+    assert stencil_large < jacobi_large

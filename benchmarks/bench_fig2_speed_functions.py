@@ -1,0 +1,122 @@
+"""Experiment F2 -- Fig. 2: speed functions of the Netlib BLAS GEMM kernel.
+
+The paper shows the measured (wiggly, ~5 GFLOPS) speed function of the
+matrix-multiplication kernel approximated by (a) the coarsened
+piecewise-linear FPM and (b) the Akima-spline FPM, with the spline hugging
+the curve much more closely.
+
+We rebuild both models from statistically controlled measurements of the
+simulated Netlib-like device, then compare against the device's ground-truth
+speed function on a dense grid.  The shape to reproduce: the Akima model is
+the (much) better approximation, and the coarsened piecewise model is a
+conservative banding of the curve that satisfies the FPM shape restrictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import fmt, print_table
+from repro.plot import ascii_plot
+from repro.apps.matmul.kernel import gemm_unit_flops
+from repro.core.benchmark import Benchmark
+from repro.core.kernel import SimulatedKernel
+from repro.core.models import AkimaModel, PiecewiseModel
+from repro.core.precision import Precision
+from repro.interp.coarsening import satisfies_fpm_shape
+from repro.platform.presets import fig2_device
+
+#: Blocking factor of the paper's GEMM kernel.
+BLOCK = 32
+UNIT_FLOPS = gemm_unit_flops(BLOCK)
+#: Problem sizes benchmarked to build the models (units; Fig. 2 spans 0-5000).
+MEASURED_SIZES = [25 + 225 * k for k in range(23)]  # 25 .. 4975
+#: Dense evaluation grid for the approximation error.
+EVAL_SIZES = list(range(50, 5000, 25))
+
+
+def build_models(seed: int = 0):
+    """Benchmark the Netlib-like device and fit both FPMs."""
+    device = fig2_device(noisy=True)
+    kernel = SimulatedKernel(device, UNIT_FLOPS, rng=np.random.default_rng(seed))
+    bench = Benchmark(kernel, Precision(reps_min=5, reps_max=30, relative_error=0.01))
+    piecewise = PiecewiseModel()
+    akima = AkimaModel()
+    for d in MEASURED_SIZES:
+        point = bench.run(d)
+        piecewise.update(point)
+        akima.update(point)
+    return device, piecewise, akima
+
+
+def relative_errors(device, model):
+    """Relative speed-prediction errors of ``model`` over the dense grid."""
+    errs = []
+    for d in EVAL_SIZES:
+        true_speed = device.ideal_speed(UNIT_FLOPS * d, d)
+        predicted = model.speed_flops(d, lambda x: UNIT_FLOPS * x)
+        errs.append(abs(predicted - true_speed) / true_speed)
+    return errs
+
+
+def run_experiment(seed: int = 0):
+    device, piecewise, akima = build_models(seed)
+    pw_err = relative_errors(device, piecewise)
+    ak_err = relative_errors(device, akima)
+    return device, piecewise, akima, pw_err, ak_err
+
+
+def test_fig2_speed_function_models(benchmark):
+    device, piecewise, akima, pw_err, ak_err = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    rows = []
+    for d in range(250, 5000, 250):
+        true_speed = device.ideal_speed(UNIT_FLOPS * d, d) / 1e9
+        pw = piecewise.speed_flops(d, lambda x: UNIT_FLOPS * x) / 1e9
+        ak = akima.speed_flops(d, lambda x: UNIT_FLOPS * x) / 1e9
+        rows.append([d, fmt(true_speed, 3), fmt(pw, 3), fmt(ak, 3)])
+    print_table(
+        "Fig. 2: Netlib BLAS speed function (GFLOPS)",
+        ["size", "true", "piecewise", "akima"],
+        rows,
+    )
+    print_table(
+        "Fig. 2: approximation error (relative speed error)",
+        ["model", "mean", "max"],
+        [
+            ["piecewise", fmt(float(np.mean(pw_err))), fmt(float(np.max(pw_err)))],
+            ["akima", fmt(float(np.mean(ak_err))), fmt(float(np.max(ak_err)))],
+        ],
+    )
+
+    # Draw the figure itself: the wiggly true curve with both FPMs.
+    def curve(fn):
+        return [(d, fn(d) / 1e9) for d in range(100, 5000, 60)]
+
+    print()
+    print(ascii_plot(
+        {
+            "true": curve(lambda d: device.ideal_speed(UNIT_FLOPS * d, d)),
+            "akima": curve(lambda d: akima.speed_flops(d, lambda x: UNIT_FLOPS * x)),
+            "piecewise": curve(
+                lambda d: piecewise.speed_flops(d, lambda x: UNIT_FLOPS * x)
+            ),
+        },
+        title="Fig. 2: Netlib BLAS speed function and its FPM approximations",
+        x_label="size (units)",
+        y_label="GFLOPS",
+    ))
+
+    # Shape 1 (paper): the Akima spline is the better approximation.
+    assert np.mean(ak_err) < np.mean(pw_err)
+    # Shape 2: Akima tracks the wiggly curve closely.
+    assert np.mean(ak_err) < 0.05
+    # Shape 3: the coarsened piecewise speed satisfies the Lastovetsky-
+    # Reddy restriction (every ray from the origin crosses once).
+    assert satisfies_fpm_shape(piecewise.coarsened_speed_points, strict=False)
+    # Shape 4: coarsening may only clip speeds downward, so the piecewise
+    # model never exceeds the measured speeds by more than the noise.
+    for point in piecewise.points:
+        assert piecewise.speed(point.d) <= point.speed * 1.02

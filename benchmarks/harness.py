@@ -1,0 +1,77 @@
+"""Shared helpers for the experiment benches.
+
+Every bench reproduces one figure (or ablation) from DESIGN.md's experiment
+index.  The pattern is uniform:
+
+* a ``run_*`` function computes the experiment's data (deterministic,
+  seeded);
+* the ``test_*`` function times it through pytest-benchmark and prints the
+  same rows/series the paper's figure shows, then asserts the qualitative
+  *shape* the paper reports (who wins, what converges, what collapses).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.partition.dist import Distribution
+from repro.platform.cluster import Platform
+
+
+def achieved_times(
+    platform: Platform,
+    dist: Distribution,
+    unit_flops: float,
+) -> List[float]:
+    """Ground-truth per-rank times of a distribution on a platform.
+
+    Uses the devices' noise-free time at the *assigned* sizes -- what the
+    application would actually experience, as opposed to what the models
+    predicted.  Node contention is applied for all simultaneously active
+    ranks, exactly as in a real run of the data-parallel application.
+    This is the judge for every partitioning comparison.
+    """
+    active = [rank for rank, part in enumerate(dist.parts) if part.d > 0]
+    times = []
+    for rank, part in enumerate(dist.parts):
+        if part.d == 0:
+            times.append(0.0)
+            continue
+        device = platform.device(rank)
+        contention = platform.group_contention(rank, active)
+        times.append(device.ideal_time(unit_flops * part.d, part.d) / contention)
+    return times
+
+
+def achieved_makespan(
+    platform: Platform, dist: Distribution, unit_flops: float
+) -> float:
+    """Slowest rank's ground-truth time under a distribution."""
+    return max(achieved_times(platform, dist, unit_flops))
+
+
+def imbalance(times: Sequence[float]) -> float:
+    """Relative imbalance ``(max - min) / max`` over the active ranks."""
+    active = [t for t in times if t > 0.0]
+    if not active or max(active) == 0.0:
+        return 0.0
+    return (max(active) - min(active)) / max(active)
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print an aligned experiment table."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def fmt(x: float, digits: int = 4) -> str:
+    """Format a float for experiment tables."""
+    return f"{x:.{digits}f}"

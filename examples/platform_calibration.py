@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Calibrate a simulated twin of a machine from measurements.
+
+Workflow for users who want to run the partitioning experiments against a
+model of *their own* hardware:
+
+1. benchmark a kernel over a size sweep (here: a simulated device stands
+   in for the machine; on real hardware use a ``CallableKernel``);
+2. convert the measurement points into (size, FLOP/s) samples;
+3. fit a parametric profile (cache-hierarchy or GPU-ramp family);
+4. build a simulated twin device from the fit and check it predicts the
+   original measurements.
+
+Run:  python examples/platform_calibration.py
+"""
+
+import numpy as np
+
+from repro import Benchmark, Precision, SimulatedKernel
+from repro.platform.calibration import fit_cache_profile, speed_samples_from_points
+from repro.platform.device import Device
+from repro.platform.noise import GaussianNoise, NoNoise
+from repro.platform.profiles import CacheHierarchyProfile
+
+
+def main() -> None:
+    # The "real machine": a CPU core with a paging cliff at 1500 units,
+    # measured through 2% timing noise.
+    machine = Device(
+        "the-machine",
+        CacheHierarchyProfile(
+            levels=[(1500.0, 5.0e9)], paged_flops=0.7e9, transition_width=0.1
+        ),
+        noise=GaussianNoise(0.02),
+    )
+    kernel = SimulatedKernel(machine, unit_flops=1.0e6,
+                             rng=np.random.default_rng(0))
+    bench = Benchmark(kernel, Precision(reps_min=5, reps_max=20,
+                                        relative_error=0.01))
+
+    print("measuring the machine ...")
+    points = [bench.run(int(d)) for d in np.geomspace(20, 60000, 18)]
+    samples = speed_samples_from_points(points, kernel.complexity)
+
+    fit = fit_cache_profile(samples, transition_width=0.1)
+    profile = fit.profile
+    print(f"fitted profile: fast {profile.levels[0][1] / 1e9:.2f} GFLOPS up to "
+          f"~{profile.levels[0][0]:.0f} units, then {profile.paged_flops / 1e9:.2f} "
+          f"GFLOPS (RMS rel. error {fit.residual * 100:.1f}%)")
+
+    twin = Device("digital-twin", profile, noise=NoNoise())
+    print(f"\n{'size':>7}  {'measured GFLOPS':>16}  {'twin GFLOPS':>12}")
+    for d, rate in samples[::3]:
+        twin_rate = twin.profile.flops_at(d)
+        print(f"{int(d):>7}  {rate / 1e9:>16.3f}  {twin_rate / 1e9:>12.3f}")
+    print("\nthe twin can now stand in for the machine in any experiment "
+          "in this repository.")
+
+
+if __name__ == "__main__":
+    main()

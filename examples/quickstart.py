@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: partition work across a heterogeneous platform in ~30 lines.
+
+The complete FuPerMod workflow on a simulated GPU-accelerated cluster:
+
+1. benchmark the application's computation kernel on every device
+   (synchronised, statistically controlled);
+2. build functional performance models (FPMs) from the measurements;
+3. run a model-based partitioning algorithm;
+4. inspect the balanced distribution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PiecewiseModel, PlatformBenchmark, build_full_models, partition_geometric
+from repro.platform.presets import heterogeneous_cluster
+
+
+def main() -> None:
+    # A dedicated heterogeneous platform: one GPU-accelerated multicore
+    # node plus two uniprocessor nodes (7 processes in total).
+    platform = heterogeneous_cluster()
+    print(f"platform: {platform.size} processes on {len(platform.nodes)} nodes")
+
+    # The computation kernel: a 32x32 GEMM block update (2*b^3 flops/unit).
+    unit_flops = 2.0 * 32**3
+
+    # Step 1+2: benchmark a sweep of problem sizes and build piecewise FPMs.
+    bench = PlatformBenchmark(platform, unit_flops=unit_flops, seed=0)
+    models, cost = build_full_models(
+        bench, PiecewiseModel, sizes=[64, 256, 1024, 4096, 16384]
+    )
+    print(f"built {len(models)} models for {cost:.1f} kernel-seconds of benchmarking")
+
+    # Step 3: geometric (FPM-based) data partitioning of 100k units.
+    total = 100_000
+    dist = partition_geometric(total, models)
+
+    # Step 4: the balanced distribution.
+    print(f"\npartitioning {total} computation units:")
+    for rank, part in enumerate(dist.parts):
+        device = platform.devices[rank]
+        print(f"  rank {rank} ({device.name:>14}): {part.d:>6} units, "
+              f"predicted {part.t:.3f}s")
+    print(f"\npredicted imbalance: {dist.predicted_imbalance * 100.0:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Measure a *real* numpy GEMM kernel and build its speed function.
+
+Everything else in the examples runs on simulated devices; this one runs
+the paper's actual measurement pipeline on genuine hardware -- your CPU --
+using the b x b block-update kernel from Section 4.1 (numpy matmul, same
+memory-access pattern as the application) timed with ``perf_counter`` under
+statistically controlled repetition.
+
+The printed speed function is this machine's own functional performance
+model of the GEMM kernel -- complete with whatever cache effects your CPU
+exhibits.
+
+Run:  python examples/real_kernel_measurement.py
+"""
+
+from repro import AkimaModel, Benchmark, Precision
+from repro.apps.matmul.kernel import GemmBlockKernel
+
+BLOCK = 32
+SIZES = [4, 16, 64, 256, 1024]
+
+
+def main() -> None:
+    kernel = GemmBlockKernel(b=BLOCK)
+    bench = Benchmark(
+        kernel,
+        Precision(reps_min=3, reps_max=15, relative_error=0.05, time_limit=2.0),
+    )
+    model = AkimaModel()
+
+    print(f"measuring the real numpy GEMM block kernel (b={BLOCK}) ...")
+    print(f"{'units':>6}  {'time(s)':>10}  {'reps':>4}  {'ci':>10}  {'GFLOPS':>8}")
+    for d in SIZES:
+        point = bench.run(d)
+        model.update(point)
+        gflops = point.speed_flops(kernel.complexity(d)) / 1e9
+        print(f"{point.d:>6}  {point.t:>10.6f}  {point.reps:>4}  "
+              f"{point.ci:>10.2e}  {gflops:>8.2f}")
+
+    print("\nAkima FPM speed predictions between the measured sizes:")
+    for d in [8, 32, 128, 512, 2048]:
+        gflops = model.speed_flops(d, kernel.complexity) / 1e9
+        print(f"  {d:>5} units -> predicted {model.time(d):.6f}s  ({gflops:.2f} GFLOPS)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The static workflow, end to end, through files.
+
+Section 4.3 of the paper: when an application runs on the same platform
+many times, the expensive model construction is done *once* and the models
+are reused from disk on every run.  This example walks that workflow
+exactly as the FuPerMod tools do:
+
+1. ``builder`` phase -- benchmark the platform, save per-process point
+   files;
+2. (a new shell, a new day, a new run...) -- load the point files back,
+   rebuild the models, partition for today's problem size;
+3. save the resulting distribution file for the application to read.
+
+Everything uses the text formats in ``repro.io`` -- inspect the files
+afterwards; they are human-readable.
+
+Run:  python examples/static_workflow_files.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import PiecewiseModel, PlatformBenchmark, build_full_models, partition_geometric
+from repro.io import load_distribution, load_model, save_distribution, save_points
+from repro.platform.presets import heterogeneous_cluster
+from repro.report import distribution_report
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="fupermod-"))
+    platform = heterogeneous_cluster()
+    unit_flops = 2.0 * 32**3
+
+    # --- phase 1: the builder (run once per platform) ----------------------
+    bench = PlatformBenchmark(platform, unit_flops=unit_flops, seed=0)
+    models, cost = build_full_models(
+        bench, PiecewiseModel, sizes=[64, 256, 1024, 4096, 16384]
+    )
+    for rank, model in enumerate(models):
+        save_points(
+            workdir / f"rank{rank:03d}.points",
+            list(model.points),
+            metadata={"device": platform.devices[rank].name, "model": "piecewise"},
+        )
+    print(f"builder: saved {len(models)} point files to {workdir} "
+          f"(cost {cost:.1f} kernel-seconds)")
+
+    # --- phase 2: a later application run -----------------------------------
+    reloaded = [
+        load_model(path, PiecewiseModel)
+        for path in sorted(workdir.glob("rank*.points"))
+    ]
+    total = 120_000  # today's problem size
+    dist = partition_geometric(total, reloaded)
+    print(f"\nrun: partitioned {total} units from the saved models")
+    print(distribution_report(platform, dist, title="today's distribution"))
+
+    # --- phase 3: hand the distribution to the application ------------------
+    dist_file = workdir / "today.dist"
+    save_distribution(dist_file, dist)
+    again = load_distribution(dist_file)
+    assert again.sizes == dist.sizes
+    print(f"\ndistribution written to {dist_file} (round-trips exactly)")
+    print("files on disk:")
+    for path in sorted(workdir.iterdir()):
+        print(f"  {path.name}")
+
+
+if __name__ == "__main__":
+    main()

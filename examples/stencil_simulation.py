@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""A CFD-style heat stencil, load-balanced across heterogeneous devices.
+
+The paper's introduction motivates data partitioning with iterative mesh
+computations (CFD).  This example runs explicit 2D heat diffusion with the
+rows distributed in slabs over the fig4 trio: halo exchanges with slab
+neighbours each iteration, an allreduce for the convergence test, and the
+framework's dynamic load balancer keeping slab heights proportional to the
+devices' measured speeds.
+
+Run:  python examples/stencil_simulation.py
+"""
+
+import numpy as np
+
+from repro import LoadBalancer, PiecewiseModel, partition_geometric
+from repro.apps.stencil import run_balanced_stencil
+from repro.platform.presets import fig4_trio
+
+ROWS = 360   # grid height, distributed
+WIDTH = 128  # grid width
+
+
+def main() -> None:
+    platform = fig4_trio()
+    models = [PiecewiseModel() for _ in range(platform.size)]
+    balancer = LoadBalancer(partition_geometric, models, total=ROWS, threshold=0.05)
+
+    result = run_balanced_stencil(
+        platform, balancer, nx=WIDTH, eps=1e-3, max_iterations=400
+    )
+
+    print(f"heat stencil on a {ROWS}x{WIDTH} grid over {platform.size} devices")
+    print(f"{'iter':>4}  {'makespan(s)':>12}  {'change':>10}  {'rows':>18}")
+    shown = result.records[:6] + result.records[-2:]
+    for rec in shown:
+        print(f"{rec.iteration:>4}  {rec.makespan:>12.6f}  {rec.change:>10.4f}  "
+              f"{str(rec.sizes):>18}")
+    print(f"iterations: {len(result.records)}, "
+          f"final rows: {result.final_sizes} (speeds 16:11:9)")
+    print(f"total virtual time: {result.total_time:.4f}s")
+
+    # The physics is real: heat has flowed from the hot boundary into the
+    # plate, hottest near the top.
+    grid = result.grid
+    band_means = [float(np.mean(grid[i])) for i in (1, ROWS // 2, ROWS - 2)]
+    print(f"mean temperature near top/middle/bottom: "
+          f"{band_means[0]:.2f} / {band_means[1]:.2f} / {band_means[2]:.2f}")
+
+
+if __name__ == "__main__":
+    main()

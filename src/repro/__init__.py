@@ -1,0 +1,84 @@
+"""FuPerMod reproduction: model-based data partitioning for heterogeneous HPC.
+
+A Python reproduction of *FuPerMod: A Framework for Optimal Data
+Partitioning for Parallel Scientific Applications on Dedicated Heterogeneous
+HPC Platforms* (Clarke, Zhong, Rychkov, Lastovetsky -- PaCT 2013).
+
+Quickstart::
+
+    from repro import (
+        PlatformBenchmark, PiecewiseModel, build_full_models,
+        partition_geometric,
+    )
+    from repro.platform.presets import heterogeneous_cluster
+
+    platform = heterogeneous_cluster()
+    bench = PlatformBenchmark(platform, unit_flops=2.0 * 32**3)
+    models, cost = build_full_models(
+        bench, PiecewiseModel, sizes=[64, 256, 1024, 4096]
+    )
+    dist = partition_geometric(100_000, models)
+    print(dist.sizes)          # units per process, balanced by the FPMs
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper's
+figures reproduced by the benchmark harness.
+"""
+
+from repro.core import (
+    AdaptiveBuildResult,
+    AkimaModel,
+    Benchmark,
+    CallableKernel,
+    ComputationKernel,
+    ConstantModel,
+    Distribution,
+    DynamicPartitioner,
+    KernelContext,
+    LoadBalancer,
+    MeasurementPoint,
+    Part,
+    PerformanceModel,
+    PiecewiseModel,
+    PlatformBenchmark,
+    Precision,
+    SimulatedKernel,
+    build_adaptive_model,
+    build_full_models,
+    leave_one_out_error,
+    partition_constant,
+    partition_geometric,
+    partition_numerical,
+    select_model,
+)
+from repro.errors import FuPerModError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveBuildResult",
+    "AkimaModel",
+    "Benchmark",
+    "CallableKernel",
+    "ComputationKernel",
+    "ConstantModel",
+    "Distribution",
+    "DynamicPartitioner",
+    "FuPerModError",
+    "KernelContext",
+    "LoadBalancer",
+    "MeasurementPoint",
+    "Part",
+    "PerformanceModel",
+    "PiecewiseModel",
+    "PlatformBenchmark",
+    "Precision",
+    "SimulatedKernel",
+    "__version__",
+    "build_adaptive_model",
+    "build_full_models",
+    "leave_one_out_error",
+    "partition_constant",
+    "partition_geometric",
+    "partition_numerical",
+    "select_model",
+]

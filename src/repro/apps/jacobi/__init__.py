@@ -1,0 +1,25 @@
+"""The Jacobi method with dynamic load balancing (Section 4.4, Fig. 4).
+
+The application distributes the matrix and vectors by rows and iteratively
+solves the linear system; at each iteration the load balancer feeds the
+observed per-rank times into partial functional performance models and
+redistributes the rows when the imbalance warrants it.
+
+* :mod:`repro.apps.jacobi.solver` -- the real (numpy) Jacobi iteration and
+  system generator: the simulated runs solve genuine linear systems, only
+  the *timing* is virtual;
+* :mod:`repro.apps.jacobi.distributed` -- the distributed application on a
+  simulated platform, wired to :class:`repro.core.LoadBalancer`.
+"""
+
+from repro.apps.jacobi.distributed import JacobiIterationRecord, JacobiRunResult, run_balanced_jacobi
+from repro.apps.jacobi.solver import generate_system, jacobi_iteration, jacobi_solve
+
+__all__ = [
+    "JacobiIterationRecord",
+    "JacobiRunResult",
+    "generate_system",
+    "jacobi_iteration",
+    "jacobi_solve",
+    "run_balanced_jacobi",
+]

@@ -1,0 +1,52 @@
+"""Heterogeneous parallel matrix multiplication.
+
+The application of Section 4.1: square matrices A, B, C are partitioned
+over a 2D arrangement of heterogeneous processors so that each rectangle's
+area is proportional to the speed of its processor (speeds come from the
+functional performance models).  The column-based arrangement of Beaumont
+et al. keeps submatrices as square as possible, minimising the total
+communication volume.
+
+Pieces:
+
+* :func:`partition_columns` / :class:`ColumnPartition` -- the column-based
+  2D matrix partitioning algorithm;
+* :class:`GemmBlockKernel` -- the real (numpy) b x b block-update kernel of
+  the paper, with the same memory-access pattern as the application;
+* :func:`simulate_matmul` -- the full application on a simulated platform:
+  per-iteration pivot communication plus the block updates, in virtual
+  time.
+"""
+
+from repro.apps.matmul.adaptive import AdaptiveMatmulReport, run_adaptive_matmul
+from repro.apps.matmul.kernel import GemmBlockKernel, gemm_unit_flops
+from repro.apps.matmul.out_of_core import OutOfCoreGemmKernel
+from repro.apps.matmul.partition2d import (
+    ColumnPartition,
+    Rectangle,
+    partition_columns,
+    partition_rows,
+    sum_half_perimeters,
+)
+from repro.apps.matmul.simulation import MatmulResult, simulate_matmul
+from repro.apps.matmul.verification import (
+    compute_distributed_matmul,
+    verify_partition_math,
+)
+
+__all__ = [
+    "AdaptiveMatmulReport",
+    "ColumnPartition",
+    "GemmBlockKernel",
+    "compute_distributed_matmul",
+    "MatmulResult",
+    "OutOfCoreGemmKernel",
+    "Rectangle",
+    "gemm_unit_flops",
+    "partition_columns",
+    "partition_rows",
+    "run_adaptive_matmul",
+    "simulate_matmul",
+    "sum_half_perimeters",
+    "verify_partition_math",
+]

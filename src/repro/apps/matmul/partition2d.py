@@ -1,0 +1,248 @@
+"""Column-based 2D matrix partitioning (Beaumont et al., ref. [2]).
+
+Given per-processor areas (in b x b blocks, as produced by a model-based
+partitioner), arrange the processors into columns of a unit square so that
+
+* each processor owns a rectangle of the requested area, and
+* the sum of half-perimeters -- which is proportional to the total
+  communication volume of the parallel matrix multiplication -- is small.
+
+Beaumont et al. showed the optimal *column-based* arrangement assigns
+processors to columns in non-increasing order of area, contiguously.  With
+the areas sorted, the optimal grouping into contiguous columns is found by
+dynamic programming: a column containing ``k`` processors of total area
+``w`` contributes ``k * w + 1`` to the sum of half-perimeters (each of its
+rectangles has width ``w``, and their heights add up to 1).
+
+The continuous arrangement is then snapped to an integer grid of
+``nb x nb`` blocks, preserving the total exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.partition.dist import round_preserving_sum
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A processor's rectangle on the nb x nb block grid.
+
+    Attributes:
+        rank: processor rank owning the rectangle.
+        row: first block row.
+        col: first block column.
+        height: number of block rows (``m_i`` of the paper).
+        width: number of block columns (``n_i`` of the paper).
+    """
+
+    rank: int
+    row: int
+    col: int
+    height: int
+    width: int
+
+    @property
+    def area(self) -> int:
+        """Number of b x b blocks (= computation units) in the rectangle."""
+        return self.height * self.width
+
+    @property
+    def half_perimeter(self) -> int:
+        """``height + width`` in blocks; drives communication volume."""
+        return self.height + self.width
+
+
+@dataclass(frozen=True)
+class ColumnPartition:
+    """A column-based partition of the nb x nb block grid.
+
+    Attributes:
+        nb: grid side, in blocks.
+        column_widths: width of each processor column, in blocks.
+        rectangles: one rectangle per processor, in rank order.
+    """
+
+    nb: int
+    column_widths: List[int]
+    rectangles: List[Rectangle]
+
+    @property
+    def size(self) -> int:
+        """Number of processors."""
+        return len(self.rectangles)
+
+    def areas(self) -> List[int]:
+        """Block areas per rank (= achievable computation-unit shares)."""
+        return [r.area for r in self.rectangles]
+
+    def validate(self) -> None:
+        """Check the rectangles tile the grid exactly (raises otherwise)."""
+        covered = 0
+        for rect in self.rectangles:
+            if rect.height < 0 or rect.width < 0:
+                raise PartitionError(f"negative rectangle: {rect}")
+            if rect.row < 0 or rect.col < 0:
+                raise PartitionError(f"rectangle out of grid: {rect}")
+            if rect.row + rect.height > self.nb or rect.col + rect.width > self.nb:
+                raise PartitionError(f"rectangle exceeds grid: {rect}")
+            covered += rect.area
+        if covered != self.nb * self.nb:
+            raise PartitionError(
+                f"rectangles cover {covered} blocks, grid has {self.nb * self.nb}"
+            )
+        if sum(self.column_widths) != self.nb:
+            raise PartitionError(
+                f"column widths {self.column_widths} do not sum to {self.nb}"
+            )
+
+
+def sum_half_perimeters(partition: ColumnPartition) -> int:
+    """Total half-perimeter of all rectangles, in blocks.
+
+    Proportional to the total volume of pivot-row/column communication in
+    the column-based matrix multiplication.
+    """
+    return sum(r.half_perimeter for r in partition.rectangles)
+
+
+def _optimal_column_counts(areas_sorted: Sequence[float]) -> List[int]:
+    """DP over contiguous groups: minimise sum of (k_j * w_j).
+
+    ``areas_sorted`` are normalised areas in non-increasing order.  Returns
+    the sizes of the optimal contiguous groups (columns), left to right.
+    """
+    p = len(areas_sorted)
+    prefix = [0.0]
+    for a in areas_sorted:
+        prefix.append(prefix[-1] + a)
+    # best[i]: minimal cost of grouping the first i processors; the +1 per
+    # column is included so the DP also optimises the number of columns.
+    best = [0.0] + [float("inf")] * p
+    choice = [0] * (p + 1)
+    for i in range(1, p + 1):
+        for j in range(i):
+            k = i - j
+            w = prefix[i] - prefix[j]
+            cost = best[j] + k * w + 1.0
+            if cost < best[i]:
+                best[i] = cost
+                choice[i] = j
+    counts: List[int] = []
+    i = p
+    while i > 0:
+        j = choice[i]
+        counts.append(i - j)
+        i = j
+    counts.reverse()
+    return counts
+
+
+def partition_rows(areas: Sequence[float], nb: int) -> ColumnPartition:
+    """The 1D baseline: full-width horizontal slabs with heights ∝ areas.
+
+    What a heterogeneity-aware but arrangement-naive code does.  Its sum of
+    half-perimeters is ``nb * p + nb`` -- always at least as large as the
+    column-based optimum -- so it serves as the comparison baseline in the
+    Fig. 1 experiment and the communication-volume tests.
+    """
+    if nb < 1:
+        raise PartitionError(f"nb must be >= 1, got {nb}")
+    if not areas:
+        raise PartitionError("need at least one area")
+    if any(a < 0 for a in areas):
+        raise PartitionError(f"areas must be non-negative: {areas}")
+    total = float(sum(areas))
+    if total <= 0.0:
+        raise PartitionError("at least one area must be positive")
+    heights = round_preserving_sum([a / total * nb for a in areas], nb)
+    rectangles = []
+    row = 0
+    for rank, h in enumerate(heights):
+        width = nb if h > 0 else 0
+        rectangles.append(
+            Rectangle(rank=rank, row=row if h > 0 else 0,
+                      col=0, height=h, width=width)
+        )
+        row += h
+    partition = ColumnPartition(nb=nb, column_widths=[nb], rectangles=rectangles)
+    partition.validate()
+    return partition
+
+
+def partition_columns(areas: Sequence[float], nb: int) -> ColumnPartition:
+    """Arrange processors into a column-based partition of an nb x nb grid.
+
+    Args:
+        areas: relative areas per rank (any positive scale; zero allowed
+            for processors that should receive no work).
+        nb: grid side in b x b blocks.
+
+    Returns:
+        A validated :class:`ColumnPartition` whose rectangle areas
+        approximate the requested proportions and tile the grid exactly.
+    """
+    if nb < 1:
+        raise PartitionError(f"nb must be >= 1, got {nb}")
+    if not areas:
+        raise PartitionError("need at least one area")
+    if any(a < 0 for a in areas):
+        raise PartitionError(f"areas must be non-negative: {areas}")
+    total = float(sum(areas))
+    if total <= 0.0:
+        raise PartitionError("at least one area must be positive")
+
+    order = sorted(range(len(areas)), key=lambda i: areas[i], reverse=True)
+    sorted_norm = [areas[i] / total for i in order]
+
+    # Processors with zero area are kept out of the DP and attached as
+    # zero-size rectangles afterwards.
+    positive = [a for a in sorted_norm if a > 0.0]
+    counts = _optimal_column_counts(positive)
+
+    # Continuous column widths, then integer widths on the block grid.
+    widths_cont: List[float] = []
+    idx = 0
+    for k in counts:
+        widths_cont.append(sum(positive[idx: idx + k]) * nb)
+        idx += k
+    widths = round_preserving_sum(widths_cont, nb)
+    # Every non-empty column needs at least one block column.
+    for j in range(len(widths)):
+        while widths[j] == 0:
+            donor = max(range(len(widths)), key=lambda q: widths[q])
+            if widths[donor] <= 1:
+                raise PartitionError(
+                    f"grid of {nb} columns cannot host {len(widths)} processor columns"
+                )
+            widths[donor] -= 1
+            widths[j] += 1
+
+    rectangles: List[Rectangle] = [None] * len(areas)  # type: ignore[list-item]
+    col_start = 0
+    idx = 0
+    for j, k in enumerate(counts):
+        group = positive[idx: idx + k]
+        group_ranks = order[idx: idx + k]
+        idx += k
+        group_total = sum(group)
+        heights_cont = [a / group_total * nb for a in group]
+        heights = round_preserving_sum(heights_cont, nb)
+        row_start = 0
+        for rank, h in zip(group_ranks, heights):
+            rectangles[rank] = Rectangle(
+                rank=rank, row=row_start, col=col_start, height=h, width=widths[j]
+            )
+            row_start += h
+        col_start += widths[j]
+    # Zero-area processors: empty rectangles pinned to the grid origin.
+    for rank_pos in range(idx, len(order)):
+        rank = order[rank_pos]
+        rectangles[rank] = Rectangle(rank=rank, row=0, col=0, height=0, width=0)
+
+    partition = ColumnPartition(nb=nb, column_widths=widths, rectangles=rectangles)
+    partition.validate()
+    return partition

@@ -1,0 +1,36 @@
+"""A CFD-style 2D stencil application (explicit heat diffusion).
+
+The paper's introduction motivates data partitioning with "computer
+simulations, such as computational fluid dynamics" -- iterative stencil
+codes over meshes.  This application is the simplest honest member of that
+family: explicit finite-difference heat diffusion on a 2D grid, rows
+distributed in contiguous slabs, *halo exchange* with the two neighbouring
+ranks each iteration (a fundamentally different communication pattern from
+Jacobi's allgather) and an allreduce for the global convergence test.
+
+As with the other applications: the mathematics is real numpy, the timing
+is virtual, and the dynamic load balancer from the core framework keeps
+the slabs proportional to the devices' measured speeds.
+"""
+
+from repro.apps.stencil.distributed import (
+    StencilIterationRecord,
+    StencilRunResult,
+    run_balanced_stencil,
+)
+from repro.apps.stencil.solver import (
+    heat_step,
+    heat_step_rows,
+    init_grid,
+    row_flops,
+)
+
+__all__ = [
+    "StencilIterationRecord",
+    "StencilRunResult",
+    "heat_step",
+    "heat_step_rows",
+    "init_grid",
+    "row_flops",
+    "run_balanced_stencil",
+]

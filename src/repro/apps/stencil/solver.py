@@ -1,0 +1,80 @@
+"""Explicit 2D heat diffusion with numpy.
+
+The update is the classic 5-point stencil
+
+    u'[i,j] = u[i,j] + alpha * (u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1]
+                                - 4 u[i,j])
+
+with Dirichlet boundaries (the boundary rows/columns are held fixed).
+``alpha <= 0.25`` keeps the explicit scheme stable.  Row-sliced variants
+let the distributed simulation compute each rank's slab independently,
+given the neighbour halo rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FuPerModError
+
+#: Default diffusion coefficient (stable for the 5-point stencil).
+DEFAULT_ALPHA = 0.2
+
+
+def init_grid(ny: int, nx: int, hot_value: float = 100.0) -> np.ndarray:
+    """A cold grid with a hot top boundary (classic heat-plate setup)."""
+    if ny < 3 or nx < 3:
+        raise FuPerModError(f"grid must be at least 3x3, got {ny}x{nx}")
+    grid = np.zeros((ny, nx))
+    grid[0, :] = hot_value
+    return grid
+
+
+def heat_step_rows(
+    grid: np.ndarray,
+    row_start: int,
+    row_count: int,
+    alpha: float = DEFAULT_ALPHA,
+) -> np.ndarray:
+    """One stencil update restricted to rows ``[row_start, row_start+row_count)``.
+
+    Rows 0 and ny-1 (the Dirichlet boundary) are returned unchanged.  The
+    caller must ensure ``grid`` contains up-to-date values for the rows
+    directly above and below the slab (the halo).
+    """
+    ny, _nx = grid.shape
+    if row_count == 0:
+        return np.empty((0, grid.shape[1]), dtype=grid.dtype)
+    if row_start < 0 or row_start + row_count > ny:
+        raise FuPerModError(
+            f"slab [{row_start}, {row_start + row_count}) outside grid of {ny} rows"
+        )
+    if not 0.0 < alpha <= 0.25:
+        raise FuPerModError(f"alpha must be in (0, 0.25] for stability, got {alpha}")
+    out = grid[row_start: row_start + row_count].copy()
+    # Interior rows of the slab (Dirichlet rows 0 and ny-1 stay fixed).
+    i0 = max(row_start, 1)
+    i1 = min(row_start + row_count, ny - 1)
+    if i1 > i0:
+        centre = grid[i0:i1, 1:-1]
+        update = centre + alpha * (
+            grid[i0 - 1: i1 - 1, 1:-1]
+            + grid[i0 + 1: i1 + 1, 1:-1]
+            + grid[i0:i1, :-2]
+            + grid[i0:i1, 2:]
+            - 4.0 * centre
+        )
+        out[i0 - row_start: i1 - row_start, 1:-1] = update
+    return out
+
+
+def heat_step(grid: np.ndarray, alpha: float = DEFAULT_ALPHA) -> np.ndarray:
+    """One full stencil sweep (all rows)."""
+    out = grid.copy()
+    out[0:grid.shape[0]] = heat_step_rows(grid, 0, grid.shape[0], alpha)
+    return out
+
+
+def row_flops(nx: int) -> float:
+    """Arithmetic operations to update one grid row (~6 per cell)."""
+    return 6.0 * nx

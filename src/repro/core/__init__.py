@@ -1,0 +1,72 @@
+"""FuPerMod core: measurement, performance models, data partitioning.
+
+This package is the Python mirror of the paper's C API:
+
+=======================  ==========================================
+paper (C)                this library (Python)
+=======================  ==========================================
+``fupermod_kernel``      :class:`repro.core.kernel.ComputationKernel`
+``fupermod_benchmark``   :class:`repro.core.benchmark.Benchmark`
+``fupermod_point``       :class:`repro.core.point.MeasurementPoint`
+``fupermod_model``       :class:`repro.core.models.PerformanceModel`
+``fupermod_partition``   callables in :mod:`repro.core.partition`
+``fupermod_dist``        :class:`repro.core.partition.Distribution`
+``fupermod_dynamic``     :class:`repro.core.partition.DynamicPartitioner`
+                         / :class:`repro.core.partition.LoadBalancer`
+=======================  ==========================================
+"""
+
+from repro.core.benchmark import Benchmark, PlatformBenchmark, build_full_models
+from repro.core.builder import AdaptiveBuildResult, build_adaptive_model
+from repro.core.kernel import (
+    CallableKernel,
+    ComputationKernel,
+    KernelContext,
+    SimulatedKernel,
+)
+from repro.core.models import (
+    AkimaModel,
+    ConstantModel,
+    PerformanceModel,
+    PiecewiseModel,
+)
+from repro.core.partition import (
+    Distribution,
+    DynamicPartitioner,
+    LoadBalancer,
+    Part,
+    partition_constant,
+    partition_geometric,
+    partition_numerical,
+)
+from repro.core.point import MeasurementPoint
+from repro.core.selection import SelectionResult, leave_one_out_error, select_model
+from repro.core.precision import Precision
+
+__all__ = [
+    "AdaptiveBuildResult",
+    "AkimaModel",
+    "Benchmark",
+    "CallableKernel",
+    "ComputationKernel",
+    "ConstantModel",
+    "Distribution",
+    "DynamicPartitioner",
+    "KernelContext",
+    "LoadBalancer",
+    "MeasurementPoint",
+    "Part",
+    "PerformanceModel",
+    "PiecewiseModel",
+    "PlatformBenchmark",
+    "Precision",
+    "SelectionResult",
+    "SimulatedKernel",
+    "build_adaptive_model",
+    "build_full_models",
+    "partition_constant",
+    "partition_geometric",
+    "partition_numerical",
+    "leave_one_out_error",
+    "select_model",
+]

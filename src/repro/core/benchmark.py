@@ -1,0 +1,303 @@
+"""Benchmark runners -- the paper's ``fupermod_benchmark``.
+
+:class:`Benchmark` measures one kernel with statistically controlled
+repetition (Student-t confidence interval, repetition and time budgets).
+
+:class:`PlatformBenchmark` measures kernels across a whole simulated
+platform the way the paper prescribes for multicore nodes: processes that
+share a node are *synchronised* and measured simultaneously, so the shared
+resources are contended by the maximum number of processes and the measured
+speeds reflect what the application will actually see.
+
+:func:`build_full_models` sweeps a range of problem sizes to construct full
+functional performance models in advance (the static-partitioning workflow),
+returning both the models and the total benchmarking cost in kernel-seconds
+-- the quantity the dynamic algorithms are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro._stats import RunningStats, mad_filter
+from repro.core.kernel import ComputationKernel, SimulatedKernel
+from repro.core.models.base import PerformanceModel
+from repro.core.point import MeasurementPoint
+from repro.core.precision import Precision
+from repro.errors import BenchmarkError
+from repro.platform.cluster import Platform
+
+
+def _point_from_stats(d: int, stats: RunningStats, precision: Precision) -> MeasurementPoint:
+    """Turn accumulated samples into a measurement point.
+
+    Applies the precision's robust outlier filter (if configured) before
+    computing the mean and confidence interval; ``reps`` always reports the
+    repetitions actually executed.
+    """
+    reps = stats.count
+    if precision.outlier_threshold is not None:
+        kept = mad_filter(stats.samples, precision.outlier_threshold)
+        if len(kept) != len(stats.samples):
+            filtered = RunningStats()
+            for x in kept:
+                filtered.add(x)
+            stats = filtered
+    ci = stats.confidence_halfwidth(precision.confidence_level)
+    if ci == float("inf"):
+        ci = 0.0
+    return MeasurementPoint(d=d, t=stats.mean, reps=reps, ci=ci)
+
+
+class Benchmark:
+    """Statistically controlled measurement of one computation kernel.
+
+    Args:
+        kernel: the kernel to measure.
+        precision: repetition policy (defaults to :class:`Precision`).
+    """
+
+    def __init__(
+        self,
+        kernel: ComputationKernel,
+        precision: Optional[Precision] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.precision = precision if precision is not None else Precision()
+
+    def run(self, d: int) -> MeasurementPoint:
+        """Measure the kernel at problem size ``d``.
+
+        Executes at least ``reps_min`` repetitions, then continues until the
+        relative confidence-interval target is met or a budget (repetitions
+        or accumulated kernel time) runs out.
+        """
+        if d <= 0:
+            raise BenchmarkError(f"problem size must be positive, got {d}")
+        p = self.precision
+        context = self.kernel.initialize(d)
+        try:
+            stats = RunningStats()
+            spent = 0.0
+            while stats.count < p.reps_max:
+                elapsed = self.kernel.execute(context)
+                if elapsed < 0.0:
+                    raise BenchmarkError(
+                        f"kernel {self.kernel.name!r} reported negative time {elapsed}"
+                    )
+                stats.add(elapsed)
+                spent += elapsed
+                if stats.count < p.reps_min:
+                    continue
+                if spent >= p.time_limit:
+                    break
+                if stats.relative_error(p.confidence_level) <= p.relative_error:
+                    break
+        finally:
+            self.kernel.finalize(context)
+        return _point_from_stats(d, stats, p)
+
+
+class PlatformBenchmark:
+    """Synchronised measurement of per-rank kernels on a simulated platform.
+
+    One rank per device, in platform order.  When several ranks are measured
+    together, each rank on a node with ``g`` simultaneously active processes
+    sees its speed scaled by the node's contention factor for group size
+    ``g`` -- the effect the paper's synchronised measurement deliberately
+    provokes and captures.
+
+    Processes are *bound to cores* by default, as the paper prescribes:
+    "automatic rearranging of the processes provided by operating system
+    may result in performance degradation, therefore, we bind processes to
+    cores to ensure a stable performance".  With ``bound=False`` the
+    simulator injects the jitter an unbound process sees -- broad
+    multiplicative noise plus occasional migration spikes -- so the effect
+    of skipping binding is measurable (ablation A12).
+
+    Args:
+        platform: the simulated platform.
+        unit_flops: arithmetic operations per computation unit (constant or
+            callable ``d -> flops``), defining the kernel each rank runs.
+        precision: repetition policy shared by all ranks.
+        seed: seed for the per-rank noise generators.
+        bound: whether processes are pinned to their cores.
+    """
+
+    #: Relative jitter of an unbound (OS-migratable) process.
+    UNBOUND_SIGMA = 0.12
+    #: Probability that an unbound execution hits a migration spike.
+    MIGRATION_PROBABILITY = 0.05
+    #: Migration spike slowdown range (multiplicative).
+    MIGRATION_SLOWDOWN = (1.5, 3.5)
+
+    def __init__(
+        self,
+        platform: Platform,
+        unit_flops: "float | Callable[[int], float]",
+        precision: Optional[Precision] = None,
+        seed: int = 0,
+        bound: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.precision = precision if precision is not None else Precision()
+        self.unit_flops = unit_flops
+        self.bound = bound
+        self._kernels: List[SimulatedKernel] = []
+        self._bind_rngs: List[np.random.Generator] = []
+        for rank, device in enumerate(platform.devices):
+            rng = np.random.default_rng(seed + 1000003 * rank)
+            self._kernels.append(SimulatedKernel(device, unit_flops, rng=rng))
+            self._bind_rngs.append(np.random.default_rng(seed + 7368787 * (rank + 1)))
+
+    def _binding_factor(self, rank: int) -> float:
+        """Extra multiplicative time factor when the process is unbound."""
+        if self.bound:
+            return 1.0
+        rng = self._bind_rngs[rank]
+        draw = float(rng.normal(0.0, self.UNBOUND_SIGMA))
+        factor = max(1.0 + min(max(draw, -3 * self.UNBOUND_SIGMA),
+                               3 * self.UNBOUND_SIGMA), 0.05)
+        if rng.random() < self.MIGRATION_PROBABILITY:
+            lo, hi = self.MIGRATION_SLOWDOWN
+            factor *= lo + (hi - lo) * float(rng.random())
+        return factor
+
+    @property
+    def size(self) -> int:
+        """Number of ranks (= devices on the platform)."""
+        return self.platform.size
+
+    def kernel(self, rank: int) -> SimulatedKernel:
+        """The kernel executed by ``rank``."""
+        return self._kernels[rank]
+
+    def complexity(self, d: int) -> float:
+        """Complexity of ``d`` computation units (same for every rank)."""
+        return self._kernels[0].complexity(d)
+
+    def measure(self, rank: int, d: int) -> MeasurementPoint:
+        """Measure one rank alone (no contention from other ranks)."""
+        kernel = self._kernels[rank]
+        kernel.contention_factor = self.platform.group_contention(rank, [rank])
+        if self.bound:
+            return Benchmark(kernel, self.precision).run(d)
+        # Unbound: wrap the kernel so every execution picks up the jitter.
+        point = Benchmark(_UnboundKernel(kernel, self, rank), self.precision).run(d)
+        return point
+
+    def measure_group(
+        self,
+        sizes: Sequence[Optional[int]],
+    ) -> List[Optional[MeasurementPoint]]:
+        """Measure all ranks simultaneously, synchronised.
+
+        ``sizes[rank]`` is the problem size for that rank, or None / 0 to
+        leave the rank idle.  Active ranks repeat their kernels *together*
+        (the synchronisation of the paper): every active rank performs the
+        same number of repetitions, chosen so that each of them individually
+        meets the precision target (within the global caps).
+
+        Returns one point per rank (None for idle ranks).
+        """
+        if len(sizes) != self.size:
+            raise BenchmarkError(
+                f"got {len(sizes)} sizes for a platform of {self.size} ranks"
+            )
+        active = [r for r, d in enumerate(sizes) if d is not None and d > 0]
+        if not active:
+            return [None] * self.size
+        p = self.precision
+        contexts = {}
+        stats = {}
+        spent = {r: 0.0 for r in active}
+        for r in active:
+            kernel = self._kernels[r]
+            kernel.contention_factor = self.platform.group_contention(r, active)
+            contexts[r] = kernel.initialize(int(sizes[r]))  # type: ignore[arg-type]
+            stats[r] = RunningStats()
+        try:
+            reps = 0
+            while reps < p.reps_max:
+                for r in active:
+                    elapsed = self._kernels[r].execute(contexts[r])
+                    elapsed *= self._binding_factor(r)
+                    stats[r].add(elapsed)
+                    spent[r] += elapsed
+                reps += 1
+                if reps < p.reps_min:
+                    continue
+                done = True
+                for r in active:
+                    if spent[r] >= p.time_limit:
+                        continue
+                    if stats[r].relative_error(p.confidence_level) > p.relative_error:
+                        done = False
+                        break
+                if done:
+                    break
+        finally:
+            for r in active:
+                self._kernels[r].finalize(contexts[r])
+        points: List[Optional[MeasurementPoint]] = [None] * self.size
+        for r in active:
+            points[r] = _point_from_stats(int(sizes[r]), stats[r], p)  # type: ignore[arg-type]
+        return points
+
+
+class _UnboundKernel(ComputationKernel):
+    """Wraps a kernel with the unbound-process jitter of its benchmark."""
+
+    def __init__(self, inner: SimulatedKernel, bench: "PlatformBenchmark",
+                 rank: int) -> None:
+        self._inner = inner
+        self._bench = bench
+        self._rank = rank
+        self.name = f"unbound-{inner.name}"
+
+    def complexity(self, d: int) -> float:
+        return self._inner.complexity(d)
+
+    def initialize(self, d: int):
+        return self._inner.initialize(d)
+
+    def execute(self, context) -> float:
+        return self._inner.execute(context) * self._bench._binding_factor(self._rank)
+
+    def finalize(self, context) -> None:
+        self._inner.finalize(context)
+
+
+def build_full_models(
+    bench: PlatformBenchmark,
+    model_factory: Callable[[], PerformanceModel],
+    sizes: Sequence[int],
+    synchronised: bool = True,
+) -> "tuple[List[PerformanceModel], float]":
+    """Build full performance models by sweeping problem sizes.
+
+    This is the static-partitioning workflow: benchmark every rank at every
+    size in ``sizes`` (synchronised per the paper's methodology unless
+    ``synchronised`` is False), feed the points into fresh models from
+    ``model_factory``, and report the total benchmarking cost in
+    kernel-seconds.
+
+    Returns:
+        ``(models, total_cost_seconds)`` with one model per rank.
+    """
+    if not sizes:
+        raise BenchmarkError("sizes must be non-empty")
+    models = [model_factory() for _ in range(bench.size)]
+    total_cost = 0.0
+    for d in sizes:
+        if synchronised:
+            points = bench.measure_group([d] * bench.size)
+        else:
+            points = [bench.measure(r, d) for r in range(bench.size)]
+        for model, point in zip(models, points):
+            if point is not None:
+                model.update(point)
+                total_cost += point.benchmark_cost
+    return models, total_cost

@@ -1,0 +1,144 @@
+"""Adaptive model construction to a given accuracy.
+
+The paper's framework is "designed to construct computation performance
+models for any data-parallel application *to a given accuracy and
+cost-effectiveness*".  A uniform size sweep wastes measurements where the
+speed function is flat and under-samples it where it bends (cache cliffs,
+GPU ramps).  The adaptive builder spends the measurement budget where the
+model is actually wrong:
+
+1. measure a small geometric skeleton of sizes;
+2. repeatedly take the pending interval, measure its midpoint, and compare
+   the model's *prediction* at that midpoint against the measurement
+   (before the point is added) -- that disagreement is the empirical
+   interpolation error;
+3. if the disagreement exceeds the accuracy target, keep bisecting the two
+   halves; otherwise retire the interval;
+4. stop when all intervals are within the target or the point budget runs
+   out.
+
+The result records the cost actually spent and the worst observed
+disagreement, so callers can trade accuracy against cost explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.models.base import PerformanceModel
+from repro.core.point import MeasurementPoint
+from repro.errors import BenchmarkError
+
+#: A measurement oracle: problem size in, measurement point out.
+MeasureFunction = Callable[[int], MeasurementPoint]
+
+
+@dataclass(frozen=True)
+class AdaptiveBuildResult:
+    """Outcome of :func:`build_adaptive_model`.
+
+    Attributes:
+        model: the constructed performance model.
+        points_used: number of measurements taken.
+        total_cost: kernel-seconds spent measuring.
+        max_observed_error: largest relative prediction error observed at a
+            probe *before* that probe was added to the model (the empirical
+            interpolation error the refinement was driven by).
+        converged: True when every interval met the accuracy target before
+            the point budget ran out.
+    """
+
+    model: PerformanceModel
+    points_used: int
+    total_cost: float
+    max_observed_error: float
+    converged: bool
+
+
+def build_adaptive_model(
+    measure: MeasureFunction,
+    model_factory: Callable[[], PerformanceModel],
+    size_range: "tuple[int, int]",
+    accuracy: float = 0.05,
+    max_points: int = 32,
+    initial_points: int = 4,
+) -> AdaptiveBuildResult:
+    """Build a performance model adaptively to a target accuracy.
+
+    Args:
+        measure: measurement oracle (e.g. ``lambda d: Benchmark(...).run(d)``
+            or a closure over :meth:`PlatformBenchmark.measure`).
+        model_factory: produces the empty model to fill (piecewise/Akima).
+        size_range: inclusive ``(min_size, max_size)`` of problem sizes the
+            model must cover.
+        accuracy: target relative time-prediction error per interval.
+        max_points: hard budget on measurements.
+        initial_points: size of the geometric skeleton measured up front.
+
+    Returns:
+        An :class:`AdaptiveBuildResult`.
+    """
+    lo, hi = size_range
+    if lo < 1 or hi <= lo:
+        raise BenchmarkError(f"invalid size range {size_range}")
+    if accuracy <= 0.0:
+        raise BenchmarkError(f"accuracy must be positive, got {accuracy}")
+    if initial_points < 2:
+        raise BenchmarkError(f"initial_points must be >= 2, got {initial_points}")
+    if max_points < initial_points:
+        raise BenchmarkError(
+            f"max_points ({max_points}) must cover initial_points ({initial_points})"
+        )
+
+    # Evenly spaced skeleton, deduplicated after integer rounding.
+    step = (hi - lo) / (initial_points - 1)
+    skeleton = sorted({int(round(lo + step * k)) for k in range(initial_points)})
+    skeleton[0], skeleton[-1] = lo, hi
+
+    model = model_factory()
+    total_cost = 0.0
+    for d in skeleton:
+        point = measure(d)
+        model.update(point)
+        total_cost += point.benchmark_cost
+
+    # Max-heap of intervals, prioritised by the prediction error observed
+    # when their parent interval was probed -- refinement chases the places
+    # where the model was actually wrong.  Skeleton gaps carry infinite
+    # priority so each is probed at least once.  Ties (same priority) break
+    # towards wider intervals.
+    pending: List["tuple[float, int, int, int]"] = []
+    for a, b in zip(skeleton, skeleton[1:]):
+        if b - a > 1:
+            heapq.heappush(pending, (-math.inf, -(b - a), a, b))
+
+    max_error = 0.0
+    points_used = len(skeleton)
+    while pending and points_used < max_points:
+        _prio, _width, a, b = heapq.heappop(pending)
+        mid = (a + b) // 2
+        if mid <= a or mid >= b:
+            continue
+        predicted = model.time(mid)
+        point = measure(mid)
+        points_used += 1
+        total_cost += point.benchmark_cost
+        error = abs(predicted - point.t) / point.t if point.t > 0 else math.inf
+        max_error = max(max_error, error)
+        model.update(point)
+        if error > accuracy:
+            if mid - a > 1:
+                heapq.heappush(pending, (-error, -(mid - a), a, mid))
+            if b - mid > 1:
+                heapq.heappush(pending, (-error, -(b - mid), mid, b))
+
+    return AdaptiveBuildResult(
+        model=model,
+        points_used=points_used,
+        total_cost=total_cost,
+        max_observed_error=max_error,
+        converged=not pending,
+    )

@@ -1,0 +1,153 @@
+"""Computation kernels -- the paper's ``fupermod_kernel``.
+
+A kernel is the serial code performing one *computation unit*'s worth (times
+``d``) of the application's core work.  The application programmer supplies:
+
+* ``complexity(d)`` -- arithmetic operations needed to process ``d`` units
+  (used to convert times to FLOP/s);
+* ``initialize(d)`` / ``finalize(ctx)`` -- allocate and release the execution
+  context, reproducing the memory requirements of the real application;
+* ``execute(ctx)`` -- one run of the kernel, returning the elapsed seconds.
+
+Two general-purpose kernels are provided: :class:`SimulatedKernel`, which
+runs on a simulated :class:`~repro.platform.Device` and consumes virtual
+time, and :class:`CallableKernel`, which wraps an arbitrary Python callable
+and measures it with ``time.perf_counter`` -- real measurements, used by the
+examples that benchmark genuine ``numpy`` kernels.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.platform.device import Device
+
+
+@dataclass
+class KernelContext:
+    """Execution context created by ``initialize`` and consumed by ``execute``.
+
+    Attributes:
+        d: problem size in computation units.
+        payload: kernel-specific state (allocated arrays, plans, ...).
+    """
+
+    d: int
+    payload: Any = field(default=None, repr=False)
+
+
+class ComputationKernel(abc.ABC):
+    """Serial code for the application's core computation."""
+
+    #: Human-readable kernel name (used in reports and persisted files).
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def complexity(self, d: int) -> float:
+        """Arithmetic operations required to process ``d`` computation units."""
+
+    def initialize(self, d: int) -> KernelContext:
+        """Create the execution context for ``d`` units (allocate memory)."""
+        if d < 0:
+            raise BenchmarkError(f"problem size must be non-negative, got {d}")
+        return KernelContext(d=d)
+
+    @abc.abstractmethod
+    def execute(self, context: KernelContext) -> float:
+        """Run the kernel once; return the elapsed time in seconds."""
+
+    def finalize(self, context: KernelContext) -> None:
+        """Release the execution context (default: drop the payload)."""
+        context.payload = None
+
+
+class SimulatedKernel(ComputationKernel):
+    """A kernel executing on a simulated device in virtual time.
+
+    Args:
+        device: the simulated device that "runs" the kernel.
+        unit_flops: arithmetic operations per computation unit, or a
+            callable ``d -> flops`` for non-linear complexities.
+        rng: random generator driving the device's timing noise.
+        name: kernel name.
+
+    The benchmark machinery may set :attr:`contention_factor` before a
+    measurement to account for other processes active on the same node.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        unit_flops: "float | Callable[[int], float]",
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.device = device
+        self._unit_flops = unit_flops
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = name if name is not None else f"sim-{device.name}"
+        self.contention_factor: float = 1.0
+
+    def complexity(self, d: int) -> float:
+        if callable(self._unit_flops):
+            return float(self._unit_flops(d))
+        return float(self._unit_flops) * d
+
+    def execute(self, context: KernelContext) -> float:
+        return self.device.execution_time(
+            self.complexity(context.d),
+            context.d,
+            self.rng,
+            contention_factor=self.contention_factor,
+        )
+
+
+class CallableKernel(ComputationKernel):
+    """A kernel wrapping real Python code, timed with ``perf_counter``.
+
+    Args:
+        complexity_fn: ``d -> flops``.
+        run_fn: ``payload -> None``; one kernel execution over the payload.
+        setup_fn: optional ``d -> payload`` allocating working data.
+        teardown_fn: optional ``payload -> None``.
+        name: kernel name.
+    """
+
+    def __init__(
+        self,
+        complexity_fn: Callable[[int], float],
+        run_fn: Callable[[Any], None],
+        setup_fn: Optional[Callable[[int], Any]] = None,
+        teardown_fn: Optional[Callable[[Any], None]] = None,
+        name: str = "callable-kernel",
+    ) -> None:
+        self._complexity_fn = complexity_fn
+        self._run_fn = run_fn
+        self._setup_fn = setup_fn
+        self._teardown_fn = teardown_fn
+        self.name = name
+
+    def complexity(self, d: int) -> float:
+        return float(self._complexity_fn(d))
+
+    def initialize(self, d: int) -> KernelContext:
+        ctx = super().initialize(d)
+        if self._setup_fn is not None:
+            ctx.payload = self._setup_fn(d)
+        return ctx
+
+    def execute(self, context: KernelContext) -> float:
+        start = time.perf_counter()
+        self._run_fn(context.payload)
+        return time.perf_counter() - start
+
+    def finalize(self, context: KernelContext) -> None:
+        if self._teardown_fn is not None and context.payload is not None:
+            self._teardown_fn(context.payload)
+        super().finalize(context)

@@ -1,0 +1,41 @@
+"""Computation performance models -- the paper's ``fupermod_model``.
+
+Three models, as shipped by FuPerMod:
+
+* :class:`ConstantModel` -- the constant performance model (CPM): speed does
+  not depend on problem size; one experimental point suffices;
+* :class:`PiecewiseModel` -- functional performance model (FPM) based on
+  piecewise-linear interpolation of the speed, with the measured data
+  *coarsened* to satisfy the Lastovetsky--Reddy shape restrictions required
+  by the geometrical partitioning algorithm;
+* :class:`AkimaModel` -- FPM based on Akima-spline interpolation of the time
+  function: no shape restrictions, continuous first derivative, as required
+  by the numerical partitioning algorithm.
+
+Plus one analytical model from the surveyed related work, for quantitative
+comparison:
+
+* :class:`LinearModel` -- the Qilin-style linear time model (ref. [12]);
+* :class:`SegmentedLinearModel` -- the piecewise analytical model of
+  ref. [14], with breakpoints fitted by segmented least squares;
+* :class:`PchipModel` -- FPM with Fritsch--Carlson monotone cubic
+  interpolation: monotone time functions without coarsening.
+"""
+
+from repro.core.models.akima import AkimaModel
+from repro.core.models.base import PerformanceModel
+from repro.core.models.constant import ConstantModel
+from repro.core.models.linear import LinearModel
+from repro.core.models.pchip import PchipModel
+from repro.core.models.segmented import SegmentedLinearModel
+from repro.core.models.piecewise import PiecewiseModel
+
+__all__ = [
+    "AkimaModel",
+    "ConstantModel",
+    "LinearModel",
+    "PchipModel",
+    "PerformanceModel",
+    "PiecewiseModel",
+    "SegmentedLinearModel",
+]

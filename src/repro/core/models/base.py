@@ -1,0 +1,108 @@
+"""Base class for computation performance models.
+
+A model accumulates :class:`~repro.core.point.MeasurementPoint` objects (via
+:meth:`update`, the paper's ``fupermod_model.update``) and approximates the
+*time function* ``t(x)`` of its process (the paper's ``fupermod_model.t``).
+The *speed* in computation units per second is derived as ``x / t(x)``, and
+in FLOP/s as ``complexity(x) / t(x)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Sequence
+
+from repro.core.point import MeasurementPoint
+from repro.errors import ModelError
+
+
+class PerformanceModel(abc.ABC):
+    """Approximation of a process's execution time as a function of size."""
+
+    def __init__(self) -> None:
+        self._points: List[MeasurementPoint] = []
+
+    @property
+    def points(self) -> Sequence[MeasurementPoint]:
+        """Experimental points the model was built from, in insertion order."""
+        return tuple(self._points)
+
+    @property
+    def count(self) -> int:
+        """Number of experimental points."""
+        return len(self._points)
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether the model has enough points to make predictions."""
+        return self.count >= self.min_points
+
+    #: Minimum number of points before :meth:`time` may be called.
+    min_points: int = 1
+
+    def update(self, point: MeasurementPoint) -> None:
+        """Add an experimental point and refresh the approximation."""
+        if point.d <= 0:
+            raise ModelError(f"model points need positive size, got {point.d}")
+        if point.t <= 0.0:
+            raise ModelError(f"model points need positive time, got {point.t}")
+        self._points.append(point)
+        self._rebuild()
+
+    def update_many(self, points: Sequence[MeasurementPoint]) -> None:
+        """Add several points (rebuilding once at the end)."""
+        for point in points:
+            if point.d <= 0:
+                raise ModelError(f"model points need positive size, got {point.d}")
+            if point.t <= 0.0:
+                raise ModelError(f"model points need positive time, got {point.t}")
+            self._points.append(point)
+        self._rebuild()
+
+    @abc.abstractmethod
+    def _rebuild(self) -> None:
+        """Recompute the internal approximation from :attr:`points`."""
+
+    @abc.abstractmethod
+    def time(self, x: float) -> float:
+        """Predicted execution time (seconds) at problem size ``x`` units."""
+
+    def speed(self, x: float) -> float:
+        """Predicted speed in computation units per second at size ``x``."""
+        if x <= 0.0:
+            # The speed at zero is defined by continuity; use a tiny size.
+            x = 1e-9
+        t = self.time(x)
+        if t <= 0.0:
+            raise ModelError(f"model predicted non-positive time {t} at size {x}")
+        return x / t
+
+    def speed_flops(self, x: float, complexity: Callable[[float], float]) -> float:
+        """Predicted speed in FLOP/s, given the kernel complexity function."""
+        t = self.time(x)
+        if t <= 0.0:
+            raise ModelError(f"model predicted non-positive time {t} at size {x}")
+        return complexity(x) / t
+
+    @property
+    def benchmark_cost(self) -> float:
+        """Total kernel-seconds spent obtaining this model's points."""
+        return sum(p.benchmark_cost for p in self._points)
+
+    @property
+    def size_range(self) -> "tuple[float, float]":
+        """Smallest and largest measured problem sizes."""
+        if not self._points:
+            raise ModelError("model has no points yet")
+        ds = [p.d for p in self._points]
+        return (min(ds), max(ds))
+
+    def _require_ready(self) -> None:
+        if not self.is_ready:
+            raise ModelError(
+                f"{type(self).__name__} needs at least {self.min_points} point(s), "
+                f"has {self.count}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.count} points)"

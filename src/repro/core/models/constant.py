@@ -1,0 +1,46 @@
+"""The constant performance model (CPM).
+
+Speed is assumed independent of problem size.  A single experimental point
+defines the model; further points refine the constant adaptively (as in the
+history-based CPM of ref. [17] of the paper) by pooling all observed work
+and time: ``s = sum(d_i) / sum(t_i)``, which weights each point by the time
+actually spent measuring it.
+"""
+
+from __future__ import annotations
+
+from repro.core.models.base import PerformanceModel
+from repro.errors import ModelError
+
+
+class ConstantModel(PerformanceModel):
+    """CPM: ``t(x) = x / s`` with a constant speed ``s`` in units/second."""
+
+    min_points = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._speed: float = 0.0
+
+    def _rebuild(self) -> None:
+        total_work = sum(p.d for p in self._points)
+        total_time = sum(p.t for p in self._points)
+        if total_time <= 0.0:
+            raise ModelError("cannot build a CPM from zero total time")
+        self._speed = total_work / total_time
+
+    @property
+    def constant_speed(self) -> float:
+        """The constant speed in computation units per second."""
+        self._require_ready()
+        return self._speed
+
+    def time(self, x: float) -> float:
+        self._require_ready()
+        if x < 0.0:
+            raise ModelError(f"size must be non-negative, got {x}")
+        return x / self._speed
+
+    def speed(self, x: float) -> float:
+        self._require_ready()
+        return self._speed

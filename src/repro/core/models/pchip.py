@@ -1,0 +1,86 @@
+"""The PCHIP functional performance model.
+
+Interpolates the time function with the monotonicity-preserving cubic of
+Fritsch--Carlson (see :mod:`repro.interp.pchip`).  With the origin anchored
+at ``(0, 0)`` and measured times that grow with problem size -- the normal
+case on real hardware -- the interpolated time function is non-decreasing
+*everywhere*, so it is directly usable by the geometrical partitioning
+algorithm without the accuracy loss of coarsening, and by the numerical
+algorithm through its continuous derivative.
+
+When the measured data itself is non-monotone (timing noise at nearby
+sizes), the model first projects the times onto the closest non-decreasing
+sequence by weighted isotonic regression (:mod:`repro.interp.isotonic`,
+weights = repetition counts), so the interpolated time function is
+non-decreasing regardless of the noise.
+"""
+
+from __future__ import annotations
+
+from repro.core.models.base import PerformanceModel
+from repro.errors import ModelError
+from repro.interp.isotonic import isotonic_increasing
+from repro.interp.pchip import PchipSpline
+
+
+class PchipModel(PerformanceModel):
+    """FPM with monotone (PCHIP) interpolation of the time function."""
+
+    min_points = 1
+
+    def __init__(self, include_origin: bool = True) -> None:
+        super().__init__()
+        self.include_origin = include_origin
+        self._spline: PchipSpline | None = None
+        self._x_max: float = 0.0
+        self._t_max: float = 0.0
+        self._right_slope: float = 0.0
+
+    def _rebuild(self) -> None:
+        # Merge duplicate sizes by (rep-weighted) average, sort by size.
+        by_size: dict = {}
+        for p in self._points:
+            t_sum, w_sum = by_size.get(float(p.d), (0.0, 0.0))
+            by_size[float(p.d)] = (t_sum + p.t * p.reps, w_sum + p.reps)
+        xs = sorted(by_size)
+        ts = [by_size[x][0] / by_size[x][1] for x in xs]
+        ws = [by_size[x][1] for x in xs]
+        # Project onto a non-decreasing time sequence (noise removal).
+        ts = isotonic_increasing(ts, ws)
+        pts = list(zip(xs, ts))
+        if self.include_origin:
+            pts.append((0.0, 0.0))
+            # The anchor must not exceed the first fitted time.
+            pts = [(x, max(t, 0.0)) for x, t in pts]
+        if len({x for x, _t in pts}) < 2:
+            raise ModelError(
+                "PchipModel needs at least two distinct sizes "
+                "(including the origin anchor)"
+            )
+        self._spline = PchipSpline(pts, min_y=1e-15)
+        self._x_max = max(x for x, _t in pts)
+        self._t_max = self._spline(self._x_max)
+        slope_at_end = self._spline.derivative(self._x_max)
+        avg_slope = self._t_max / self._x_max if self._x_max > 0 else 0.0
+        self._right_slope = max(slope_at_end, avg_slope, 1e-15)
+
+    def time(self, x: float) -> float:
+        self._require_ready()
+        assert self._spline is not None
+        if x < 0.0:
+            raise ModelError(f"size must be non-negative, got {x}")
+        if x == 0.0:
+            return 0.0
+        if x > self._x_max:
+            return self._t_max + self._right_slope * (x - self._x_max)
+        return max(self._spline(x), 1e-15)
+
+    def time_derivative(self, x: float) -> float:
+        """Derivative ``dt/dx`` -- continuous, used by the Newton solver."""
+        self._require_ready()
+        assert self._spline is not None
+        if x < 0.0:
+            raise ModelError(f"size must be non-negative, got {x}")
+        if x > self._x_max:
+            return self._right_slope
+        return self._spline.derivative(x)

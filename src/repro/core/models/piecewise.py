@@ -1,0 +1,69 @@
+"""The piecewise-linear functional performance model.
+
+This FPM interpolates the *speed* function (units/second) piecewise-linearly
+through the measured points, after :func:`~repro.interp.coarsen_to_fpm_shape`
+has clipped the data to the canonical shape of Lastovetsky--Reddy (every ray
+from the origin crosses the curve once).  Outside the measured range the
+speed is extended as a constant (flat), which preserves the shape property:
+
+* left of the first point: ``s(x) = s(x_min)`` -- the time function tends to
+  zero at zero size, as it must;
+* right of the last point: ``s(x) = s(x_max)`` -- a conservative prediction
+  for sizes never benchmarked.
+
+The derived time function ``t(x) = x / s(x)`` is then strictly increasing,
+which is exactly what the geometrical partitioning algorithm requires to
+converge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.models.base import PerformanceModel
+from repro.errors import ModelError
+from repro.interp.coarsening import coarsen_to_fpm_shape
+from repro.interp.piecewise_linear import PiecewiseLinear
+
+
+class PiecewiseModel(PerformanceModel):
+    """FPM with coarsened piecewise-linear speed interpolation."""
+
+    min_points = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._speed_interp: PiecewiseLinear | None = None
+        self._x_min: float = 0.0
+        self._x_max: float = 0.0
+
+    def _rebuild(self) -> None:
+        speed_points: List[Tuple[float, float]] = [
+            (float(p.d), p.d / p.t) for p in self._points
+        ]
+        coarsened = coarsen_to_fpm_shape(speed_points)
+        self._speed_interp = PiecewiseLinear(coarsened, min_y=1e-12)
+        self._x_min = coarsened[0][0]
+        self._x_max = coarsened[-1][0]
+
+    @property
+    def coarsened_speed_points(self) -> "tuple[Tuple[float, float], ...]":
+        """The (size, speed) knots after coarsening (for plots like Fig. 2a)."""
+        self._require_ready()
+        assert self._speed_interp is not None
+        return tuple(zip(self._speed_interp.xs, self._speed_interp.ys))
+
+    def speed(self, x: float) -> float:
+        self._require_ready()
+        assert self._speed_interp is not None
+        # Flat extension outside the measured range keeps the FPM shape.
+        x_eval = min(max(x, self._x_min), self._x_max)
+        return max(self._speed_interp(x_eval), 1e-12)
+
+    def time(self, x: float) -> float:
+        self._require_ready()
+        if x < 0.0:
+            raise ModelError(f"size must be non-negative, got {x}")
+        if x == 0.0:
+            return 0.0
+        return x / self.speed(x)

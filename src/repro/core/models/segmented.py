@@ -1,0 +1,180 @@
+"""The piecewise analytical performance model (Ogata et al., ref. [14]).
+
+Section 3 of the paper: when linear models fail (resource contention,
+memory-hierarchy transitions), ref. [14] replaces them with an *analytical
+piecewise* model -- several linear regimes with breakpoints.  The paper
+notes "this model can achieve high accuracy but there is no generic way to
+build it for an arbitrary application"; this implementation supplies the
+generic construction: optimal segmented least squares (Bellman's dynamic
+programming), with the number of segments chosen automatically.
+
+Construction:
+
+1. points are sorted and duplicate sizes merged (rep-weighted);
+2. for every candidate segment count ``k`` up to ``max_segments``, dynamic
+   programming finds the partition of the points into ``k`` contiguous
+   runs minimising the total squared regression error (each run gets its
+   own least-squares line);
+3. every segment must contain at least two points (a one-point "regime"
+   is statistically meaningless), and the smallest ``k`` whose error is
+   within 5% (relative) of the best achievable is selected -- extra
+   regimes must pay for themselves;
+4. prediction uses the segment whose data range contains ``x``
+   (boundaries halfway between neighbouring runs), clamped positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.models.base import PerformanceModel
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One linear regime ``t(x) = a + b x`` valid on ``[x_lo, x_hi)``."""
+
+    x_lo: float
+    x_hi: float
+    a: float
+    b: float
+
+    def time(self, x: float) -> float:
+        """Predicted time of the regime's line at size ``x``."""
+        return self.a + self.b * x
+
+
+def _fit_line(xs: np.ndarray, ts: np.ndarray) -> Tuple[float, float, float]:
+    """Least-squares line through the points; returns (a, b, sse)."""
+    n = xs.size
+    if n == 1:
+        return float(ts[0]), 0.0, 0.0
+    x_mean = float(np.mean(xs))
+    t_mean = float(np.mean(ts))
+    sxx = float(np.sum((xs - x_mean) ** 2))
+    if sxx == 0.0:
+        return t_mean, 0.0, float(np.sum((ts - t_mean) ** 2))
+    b = float(np.sum((xs - x_mean) * (ts - t_mean))) / sxx
+    a = t_mean - b * x_mean
+    residual = ts - (a + b * xs)
+    return a, b, float(np.sum(residual * residual))
+
+
+class SegmentedLinearModel(PerformanceModel):
+    """Piecewise-linear analytical time model with fitted breakpoints."""
+
+    min_points = 1
+
+    def __init__(self, max_segments: int = 4, tolerance: float = 0.05) -> None:
+        if max_segments < 1:
+            raise ModelError(f"max_segments must be >= 1, got {max_segments}")
+        if tolerance < 0.0:
+            raise ModelError(f"tolerance must be non-negative, got {tolerance}")
+        super().__init__()
+        self.max_segments = max_segments
+        self.tolerance = tolerance
+        self._segments: List[Segment] = []
+
+    def _rebuild(self) -> None:
+        by_size: dict = {}
+        for p in self._points:
+            t_sum, w_sum = by_size.get(float(p.d), (0.0, 0.0))
+            by_size[float(p.d)] = (t_sum + p.t * p.reps, w_sum + p.reps)
+        xs = np.asarray(sorted(by_size))
+        ts = np.asarray([by_size[x][0] / by_size[x][1] for x in xs])
+        n = xs.size
+        if n == 1:
+            # Pure bandwidth line through the origin, like LinearModel.
+            self._segments = [Segment(0.0, float("inf"), 0.0, ts[0] / xs[0])]
+            return
+
+        # sse[i][j]: fit error of one line over points i..j (inclusive).
+        sse = np.zeros((n, n))
+        coeff: List[List[Tuple[float, float]]] = [[(0.0, 0.0)] * n for _ in range(n)]
+        for i in range(n):
+            for j in range(i, n):
+                a, b, err = _fit_line(xs[i: j + 1], ts[i: j + 1])
+                sse[i][j] = err
+                coeff[i][j] = (a, b)
+
+        # Each regime needs at least two supporting points.
+        kmax = max(min(self.max_segments, n // 2), 1)
+        min_run = 2 if n >= 2 else 1
+        # dp[k][j]: best error covering points 0..j with k segments.
+        inf = float("inf")
+        dp = [[inf] * n for _ in range(kmax + 1)]
+        back = [[-1] * n for _ in range(kmax + 1)]
+        for j in range(n):
+            if j + 1 >= min_run:
+                dp[1][j] = sse[0][j]
+                back[1][j] = 0
+        for k in range(2, kmax + 1):
+            for j in range(n):
+                for i in range(1, j - min_run + 2):
+                    if j - i + 1 < min_run:
+                        continue
+                    if dp[k - 1][i - 1] == inf:
+                        continue
+                    candidate = dp[k - 1][i - 1] + sse[i][j]
+                    if candidate < dp[k][j]:
+                        dp[k][j] = candidate
+                        back[k][j] = i
+
+        feasible = [k for k in range(1, kmax + 1) if dp[k][n - 1] < inf]
+        best_possible = min(dp[k][n - 1] for k in feasible)
+        # Absolute floor guards the exact-fit case (best SSE ~ 0 up to
+        # float dust).
+        floor = 1e-12 * (float(np.sum(ts * ts)) or 1.0)
+        chosen = feasible[-1]
+        for k in feasible:
+            if dp[k][n - 1] <= best_possible * (1.0 + self.tolerance) + floor:
+                chosen = k
+                break
+
+        # Recover the runs.
+        runs: List[Tuple[int, int]] = []
+        j = n - 1
+        k = chosen
+        while k >= 1:
+            i = back[k][j]
+            runs.append((i, j))
+            j = i - 1
+            k -= 1
+        runs.reverse()
+
+        segments: List[Segment] = []
+        for idx, (i, j) in enumerate(runs):
+            a, b = coeff[i][j]
+            lo = 0.0 if idx == 0 else 0.5 * (xs[i - 1] + xs[i])
+            hi = float("inf") if idx == len(runs) - 1 else 0.5 * (xs[j] + xs[j + 1])
+            segments.append(Segment(lo, hi, a, b))
+        self._segments = segments
+
+    @property
+    def segments(self) -> List[Segment]:
+        """The fitted linear regimes, in increasing-x order."""
+        self._require_ready()
+        return list(self._segments)
+
+    def _segment_at(self, x: float) -> Segment:
+        for seg in self._segments:
+            if seg.x_lo <= x < seg.x_hi:
+                return seg
+        return self._segments[-1]
+
+    def time(self, x: float) -> float:
+        self._require_ready()
+        if x < 0.0:
+            raise ModelError(f"size must be non-negative, got {x}")
+        if x == 0.0:
+            return 0.0
+        return max(self._segment_at(x).time(x), 1e-15)
+
+    def time_derivative(self, x: float) -> float:
+        """Slope of the active regime (piecewise constant)."""
+        self._require_ready()
+        return self._segment_at(max(x, 0.0)).b

@@ -1,0 +1,74 @@
+"""Model-based data partitioning -- the heart of FuPerMod.
+
+Static algorithms (full models as input):
+
+* :func:`partition_constant` -- divide in proportion to constant speeds
+  (fastest, least accurate);
+* :func:`partition_geometric` -- iterative bisection of the speed functions
+  by lines through the origin (piecewise FPMs, shape-restricted);
+* :func:`partition_numerical` -- multidimensional root-finding on the
+  equal-time system (Akima FPMs, smooth speed functions of any shape).
+
+Dynamic algorithms (build *partial* models at runtime):
+
+* :class:`DynamicPartitioner` -- the paper's ``fupermod_partition_iterate``:
+  benchmark at the current distribution, refine the partial estimates,
+  re-partition, repeat to a given accuracy;
+* :class:`LoadBalancer` -- the paper's ``fupermod_balance_iterate``: use the
+  observed times of real application iterations and repartition whenever
+  the imbalance exceeds a threshold.
+"""
+
+from repro.core.partition.basic import partition_constant
+from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.core.partition.distributed import (
+    DistributedPartitionResult,
+    distributed_partition,
+)
+from repro.core.partition.dynamic import (
+    BalanceStep,
+    DynamicPartitioner,
+    DynamicResult,
+    LoadBalancer,
+)
+from repro.core.partition.geometric import BisectionStep, partition_geometric
+from repro.core.partition.hierarchical import (
+    HierarchicalResult,
+    aggregate_node_model,
+    group_models_by_node,
+    partition_hierarchical,
+)
+from repro.core.partition.limits import limits_from_platform, partition_with_limits
+from repro.core.partition.numerical import partition_numerical
+from repro.core.partition.redistribution import (
+    Transfer,
+    apply_plan_cost,
+    moved_units,
+    redistribution_plan,
+)
+
+__all__ = [
+    "BalanceStep",
+    "BisectionStep",
+    "DistributedPartitionResult",
+    "Distribution",
+    "DynamicPartitioner",
+    "DynamicResult",
+    "HierarchicalResult",
+    "LoadBalancer",
+    "Part",
+    "Transfer",
+    "aggregate_node_model",
+    "apply_plan_cost",
+    "distributed_partition",
+    "group_models_by_node",
+    "limits_from_platform",
+    "moved_units",
+    "partition_constant",
+    "partition_geometric",
+    "partition_hierarchical",
+    "partition_numerical",
+    "partition_with_limits",
+    "redistribution_plan",
+    "round_preserving_sum",
+]

@@ -1,0 +1,54 @@
+"""The basic partitioning algorithm over constant performance models.
+
+Divides the total problem size in proportion to the (constant) speeds of
+the processes.  Fastest and least accurate of the three algorithms; correct
+exactly when speeds really do not depend on problem size.
+
+Any performance model can be supplied -- its speed is simply sampled at the
+even share ``D / p``, which is how a constant approximation is extracted
+from a functional model when a caller insists on the basic algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.errors import PartitionError
+
+
+def partition_constant(
+    total: int,
+    models: Sequence[PerformanceModel],
+) -> Distribution:
+    """Partition ``total`` units in proportion to constant speeds.
+
+    Args:
+        total: the problem size ``D`` in computation units.
+        models: one performance model per process (each must be ready).
+
+    Returns:
+        A :class:`Distribution` whose parts sum exactly to ``total``, with
+        predicted times from the models.
+    """
+    if total < 0:
+        raise PartitionError(f"total must be non-negative, got {total}")
+    if not models:
+        raise PartitionError("need at least one model")
+    size = len(models)
+    if total == 0:
+        return Distribution(Part(0, 0.0) for _ in range(size))
+    probe = max(total / size, 1.0)
+    speeds = []
+    for model in models:
+        s = model.speed(probe)
+        if s <= 0.0:
+            raise PartitionError(f"model {model!r} predicts non-positive speed {s}")
+        speeds.append(s)
+    total_speed = sum(speeds)
+    shares = [total * s / total_speed for s in speeds]
+    sizes = round_preserving_sum(shares, total)
+    return Distribution(
+        Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)
+    )

@@ -1,0 +1,251 @@
+"""Dynamic data partitioning and load balancing (refs. [11] and [6]).
+
+Building a *full* functional model for the whole range of problem sizes can
+cost more than it saves when an application runs only a few times.  The
+dynamic algorithms instead estimate the models *partially*, only around the
+problem sizes that actually matter, while the application (or a cheap
+benchmark) is running:
+
+* :class:`DynamicPartitioner` (``fupermod_partition_iterate``): starting
+  from the even distribution, benchmark the kernel at the current per-rank
+  sizes, add the points to the partial models, re-run the partitioning
+  algorithm, and repeat until the distribution stabilises to a given
+  accuracy ``eps``;
+* :class:`LoadBalancer` (``fupermod_balance_iterate``): no extra
+  benchmarking at all -- the timings of real application iterations feed
+  the partial models, and the data is redistributed whenever the observed
+  imbalance exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution, Part
+from repro.core.point import MeasurementPoint
+from repro.errors import PartitionError
+
+#: A partitioning algorithm: ``(total, models) -> Distribution``.
+PartitionFunction = Callable[[int, Sequence[PerformanceModel]], Distribution]
+
+#: A group measurement: ``sizes -> points`` (None for idle ranks), as
+#: provided by :meth:`repro.core.benchmark.PlatformBenchmark.measure_group`.
+MeasureFunction = Callable[[Sequence[Optional[int]]], Sequence[Optional[MeasurementPoint]]]
+
+
+@dataclass(frozen=True)
+class DynamicResult:
+    """Trace of a dynamic partitioning run.
+
+    Attributes:
+        distributions: the distribution after each iteration (the last one
+            is the final answer).
+        converged: whether the accuracy criterion was met within the
+            iteration cap.
+        iterations: number of benchmark+repartition iterations performed.
+        total_cost: kernel-seconds spent on all benchmark measurements.
+        points_per_rank: how many experimental points each partial model
+            accumulated (compare with a full model sweep to see the saving).
+    """
+
+    distributions: List[Distribution]
+    converged: bool
+    iterations: int
+    total_cost: float
+    points_per_rank: List[int]
+
+    @property
+    def final(self) -> Distribution:
+        """The final distribution."""
+        return self.distributions[-1]
+
+
+class DynamicPartitioner:
+    """Iterative partitioning with partial model estimation (ref. [11]).
+
+    Args:
+        partition: the partitioning algorithm to run on the partial models
+            (typically :func:`~repro.core.partition.partition_geometric`
+            with piecewise FPMs, per the paper's Fig. 3).
+        models: fresh (empty) performance models, one per rank.
+        total: problem size ``D`` in computation units.
+        measure: group measurement callable; sizes in, points out.
+        eps: accuracy -- stop when the largest per-rank size change,
+            relative to the even share, falls below this.
+        max_iterations: safety cap on iterations.
+    """
+
+    def __init__(
+        self,
+        partition: PartitionFunction,
+        models: Sequence[PerformanceModel],
+        total: int,
+        measure: MeasureFunction,
+        eps: float = 0.05,
+        max_iterations: int = 25,
+    ) -> None:
+        if total < 0:
+            raise PartitionError(f"total must be non-negative, got {total}")
+        if not models:
+            raise PartitionError("need at least one model")
+        if eps <= 0.0:
+            raise PartitionError(f"eps must be positive, got {eps}")
+        if max_iterations < 1:
+            raise PartitionError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.partition = partition
+        self.models = list(models)
+        self.total = total
+        self.measure = measure
+        self.eps = eps
+        self.max_iterations = max_iterations
+        self.dist = Distribution.even(total, len(self.models))
+        self.total_cost = 0.0
+
+    def iterate(self) -> Distribution:
+        """One step: benchmark at the current sizes, refine, re-partition.
+
+        Ranks whose current share is zero are still probed at one unit when
+        their model has no points yet, so every model stays usable by the
+        partitioning algorithm.
+        """
+        sizes: List[Optional[int]] = []
+        for rank, part in enumerate(self.dist.parts):
+            if part.d > 0:
+                sizes.append(part.d)
+            elif not self.models[rank].is_ready:
+                sizes.append(1)
+            else:
+                sizes.append(None)
+        points = self.measure(sizes)
+        for model, point in zip(self.models, points):
+            if point is not None:
+                model.update(point)
+                self.total_cost += point.benchmark_cost
+        self.dist = self.partition(self.total, self.models)
+        return self.dist
+
+    def run(self) -> DynamicResult:
+        """Iterate until the distribution stabilises (or the cap is hit)."""
+        trace: List[Distribution] = []
+        converged = False
+        previous = self.dist
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            current = self.iterate()
+            trace.append(current)
+            if current.max_relative_change(previous) <= self.eps:
+                converged = True
+                break
+            previous = current
+        return DynamicResult(
+            distributions=trace,
+            converged=converged,
+            iterations=iterations,
+            total_cost=self.total_cost,
+            points_per_rank=[m.count for m in self.models],
+        )
+
+
+@dataclass(frozen=True)
+class BalanceStep:
+    """One load-balancing step: what was observed and what was decided.
+
+    Attributes:
+        iteration: application iteration number (1-based).
+        sizes: per-rank sizes the iteration ran with.
+        times: per-rank observed times of the iteration.
+        imbalance: relative imbalance ``(t_max - t_min) / t_max`` observed.
+        rebalanced: whether a new distribution was computed.
+        new_sizes: per-rank sizes for the next iteration.
+    """
+
+    iteration: int
+    sizes: List[int]
+    times: List[float]
+    imbalance: float
+    rebalanced: bool
+    new_sizes: List[int]
+
+
+class LoadBalancer:
+    """Dynamic load balancing from real iteration timings (ref. [6]).
+
+    The application times each of its iterations and calls
+    :meth:`iterate`; the balancer feeds the observations into partial
+    models and repartitions when the imbalance is worth acting on.
+
+    Args:
+        partition: the partitioning algorithm for the partial models.
+        models: fresh performance models, one per rank.
+        total: problem size ``D`` in computation units.
+        threshold: rebalance when observed imbalance exceeds this.
+        initial: starting distribution (defaults to even).
+    """
+
+    def __init__(
+        self,
+        partition: PartitionFunction,
+        models: Sequence[PerformanceModel],
+        total: int,
+        threshold: float = 0.05,
+        initial: Optional[Distribution] = None,
+    ) -> None:
+        if not models:
+            raise PartitionError("need at least one model")
+        if threshold < 0.0:
+            raise PartitionError(f"threshold must be non-negative, got {threshold}")
+        self.partition = partition
+        self.models = list(models)
+        self.total = total
+        self.threshold = threshold
+        self.dist = initial if initial is not None else Distribution.even(total, len(models))
+        if self.dist.size != len(self.models):
+            raise PartitionError(
+                f"initial distribution has {self.dist.size} parts for "
+                f"{len(self.models)} models"
+            )
+        self.history: List[BalanceStep] = []
+        self._iteration = 0
+
+    def iterate(self, observed_times: Sequence[float]) -> Distribution:
+        """Process one application iteration's timings.
+
+        Args:
+            observed_times: per-rank wall times of the iteration just
+                finished, measured under the current distribution.  Ranks
+                with zero-sized parts may report 0.
+
+        Returns:
+            The distribution the *next* iteration should use (unchanged if
+            the observed imbalance is within the threshold).
+        """
+        if len(observed_times) != self.dist.size:
+            raise PartitionError(
+                f"{len(observed_times)} times for {self.dist.size} parts"
+            )
+        self._iteration += 1
+        sizes = self.dist.sizes
+        for rank, (d, t) in enumerate(zip(sizes, observed_times)):
+            if d > 0 and t > 0.0:
+                self.models[rank].update(MeasurementPoint(d=d, t=t, reps=1, ci=0.0))
+        active_times = [t for d, t in zip(sizes, observed_times) if d > 0]
+        tmax = max(active_times) if active_times else 0.0
+        tmin = min(active_times) if active_times else 0.0
+        imbalance = (tmax - tmin) / tmax if tmax > 0.0 else 0.0
+        rebalanced = False
+        if imbalance > self.threshold and all(m.is_ready for m in self.models):
+            self.dist = self.partition(self.total, self.models)
+            rebalanced = True
+        self.history.append(
+            BalanceStep(
+                iteration=self._iteration,
+                sizes=sizes,
+                times=list(observed_times),
+                imbalance=imbalance,
+                rebalanced=rebalanced,
+                new_sizes=self.dist.sizes,
+            )
+        )
+        return self.dist

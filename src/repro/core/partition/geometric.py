@@ -1,0 +1,132 @@
+"""The geometrical partitioning algorithm (Lastovetsky--Reddy, ref. [10]).
+
+Optimal partitioning balances execution times: ``t_1(x_1) = ... = t_p(x_p)``
+with ``x_1 + ... + x_p = D``.  Geometrically, the optimum is found by
+bisecting the space of *lines through the origin* of the (size, speed)
+plane: the line of slope ``k`` intersects processor ``i``'s speed curve at
+the unique size ``x_i`` where ``s_i(x_i) = k x_i`` -- which is exactly where
+the execution time ``t_i(x_i) = x_i / s_i(x_i)`` equals ``1/k``.  The
+algorithm therefore bisects on the common time level ``T = 1/k``:
+
+1. bracket ``T`` between 0 (all allocations zero) and the time the *fastest
+   possible* single process would need for all of ``D``;
+2. at each step, invert every (strictly increasing) time function at ``T``
+   to get the allocations ``x_i(T)``;
+3. narrow the bracket until ``sum x_i(T) = D``.
+
+Convergence is guaranteed by the FPM shape restrictions, which the
+piecewise model enforces by coarsening: each time function is strictly
+increasing, so each ``x_i(T)`` is monotone in ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.errors import PartitionError
+from repro.solver.bisect import bisect_monotone_inverse, bisect_root
+
+
+@dataclass(frozen=True)
+class BisectionStep:
+    """One bisection step of the geometrical algorithm.
+
+    In the paper's picture (Fig. 3) each step is a *line through the
+    origin* of the (size, speed) plane; its slope is ``1 / level`` because
+    the ray of slope ``k`` crosses a speed curve where the execution time
+    is ``1/k``.
+
+    Attributes:
+        level: the probed common execution time ``T`` (seconds).
+        slope: the corresponding line slope in speed space (``1 / T``).
+        allocations: continuous per-process sizes at this level.
+        excess: ``sum(allocations) - total`` -- the bisection residual.
+    """
+
+    level: float
+    slope: float
+    allocations: List[float]
+    excess: float
+
+
+def _allocation_at(model: PerformanceModel, level: float, total: int) -> float:
+    """Size at which the model's time function reaches ``level``.
+
+    Clamped to ``[0, total]``: no process can be assigned more than the
+    whole problem.
+    """
+    if level <= 0.0:
+        return 0.0
+    if model.time(total) <= level:
+        return float(total)
+    # Sub-unit precision is enough: allocations are rounded to integers.
+    x = bisect_monotone_inverse(
+        model.time, level, 0.0, float(total), tol=1e-9, expand=False
+    )
+    return min(max(x, 0.0), float(total))
+
+
+def partition_geometric(
+    total: int,
+    models: Sequence[PerformanceModel],
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    trace: Optional[List[BisectionStep]] = None,
+) -> Distribution:
+    """Partition ``total`` units by bisection on the equal-time level.
+
+    Args:
+        total: the problem size ``D`` in computation units.
+        models: one performance model per process; their time functions
+            should be (close to) strictly increasing.  The piecewise FPM
+            guarantees this by coarsening.
+        tol: relative tolerance on the bisection bracket.
+        max_iter: maximum bisection steps.
+        trace: optional list; when given, every probed level is appended as
+            a :class:`BisectionStep` (the "lines" of the paper's Fig. 3).
+
+    Returns:
+        A :class:`Distribution` summing exactly to ``total``.
+    """
+    if total < 0:
+        raise PartitionError(f"total must be non-negative, got {total}")
+    if not models:
+        raise PartitionError("need at least one model")
+    size = len(models)
+    if total == 0:
+        return Distribution(Part(0, 0.0) for _ in range(size))
+    if size == 1:
+        return Distribution([Part(total, models[0].time(total))])
+
+    # Upper bracket: the time level at which allocations certainly cover D
+    # is at most the smallest single-process time for the whole problem
+    # (at that level one process alone would absorb everything).
+    t_hi = min(model.time(total) for model in models)
+    if t_hi <= 0.0:
+        raise PartitionError("models predict non-positive time for the total size")
+
+    def excess(level: float) -> float:
+        allocations = [_allocation_at(m, level, total) for m in models]
+        residual = sum(allocations) - float(total)
+        if trace is not None and level > 0.0:
+            trace.append(
+                BisectionStep(
+                    level=level,
+                    slope=1.0 / level,
+                    allocations=allocations,
+                    excess=residual,
+                )
+            )
+        return residual
+
+    # excess(0) = -D < 0; excess(t_hi) >= 0 because at t_hi the fastest
+    # process alone reaches D.
+    level = bisect_root(excess, 0.0, t_hi, tol=tol, max_iter=max_iter)
+    shares: List[float] = [_allocation_at(m, level, total) for m in models]
+    sizes = round_preserving_sum(shares, total)
+    return Distribution(
+        Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)
+    )

@@ -1,0 +1,148 @@
+"""Hierarchical (two-level) data partitioning.
+
+The paper's target is "a hierarchical heterogeneous distributed-memory
+system": devices live inside nodes, nodes form the platform.  Partitioning
+can respect that hierarchy: first split the total across *nodes* using
+node-level aggregate models, then split each node's share across its
+devices.  Two-level partitioning is how the FuPerMod line of work scales to
+clusters of hybrid nodes (refs. [18, 19]): node-level models are much
+cheaper to communicate and reuse than every device model, and intra-node
+splits can be recomputed locally.
+
+The node-level aggregate model is built from the device models themselves:
+the aggregate time for ``x`` units is the *makespan of the optimal
+intra-node split* of ``x``, evaluated at a handful of sample sizes and
+interpolated like any other FPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.models.piecewise import PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.partition.dynamic import PartitionFunction
+from repro.core.partition.geometric import partition_geometric
+from repro.core.point import MeasurementPoint
+from repro.errors import PartitionError
+
+
+def aggregate_node_model(
+    device_models: Sequence[PerformanceModel],
+    sample_sizes: Sequence[int],
+    algorithm: PartitionFunction = partition_geometric,
+    model_factory: Callable[[], PerformanceModel] = PiecewiseModel,
+) -> PerformanceModel:
+    """Build a node-level model from the node's device models.
+
+    For each sample size the node's optimal internal split is computed and
+    its makespan becomes one experimental point of the aggregate model --
+    "how fast is this node as a whole at x units, used optimally".
+
+    Args:
+        device_models: models of the node's devices (all ready).
+        sample_sizes: problem sizes at which to evaluate the aggregate.
+        algorithm: intra-node partitioning algorithm.
+        model_factory: type of the aggregate model.
+
+    Returns:
+        A ready aggregate performance model for the node.
+    """
+    if not device_models:
+        raise PartitionError("node must have at least one device model")
+    if not sample_sizes:
+        raise PartitionError("need at least one sample size")
+    aggregate = model_factory()
+    for x in sample_sizes:
+        if x <= 0:
+            raise PartitionError(f"sample sizes must be positive, got {x}")
+        dist = algorithm(x, device_models)
+        makespan = max(part.t for part in dist.parts)
+        if makespan <= 0.0:
+            raise PartitionError(
+                f"intra-node split of {x} units yields non-positive makespan"
+            )
+        aggregate.update(MeasurementPoint(d=x, t=makespan, reps=1, ci=0.0))
+    return aggregate
+
+
+@dataclass(frozen=True)
+class HierarchicalResult:
+    """Outcome of :func:`partition_hierarchical`.
+
+    Attributes:
+        flat: the device-level distribution, in platform rank order.
+        node_distribution: the node-level split the devices refine.
+        node_models: the aggregate models used at the top level.
+    """
+
+    flat: Distribution
+    node_distribution: Distribution
+    node_models: List[PerformanceModel]
+
+
+def partition_hierarchical(
+    total: int,
+    node_groups: Sequence[Sequence[PerformanceModel]],
+    sample_sizes: Sequence[int],
+    algorithm: PartitionFunction = partition_geometric,
+    model_factory: Callable[[], PerformanceModel] = PiecewiseModel,
+) -> HierarchicalResult:
+    """Two-level partitioning: across nodes, then across devices.
+
+    Args:
+        total: problem size in computation units.
+        node_groups: device models grouped by node, in platform rank order
+            (group i holds the models of node i's devices, contiguous
+            ranks).
+        sample_sizes: sizes at which node aggregates are sampled; should
+            bracket the per-node shares expected at ``total``.
+        algorithm: partitioning algorithm used at both levels.
+        model_factory: model type for the node aggregates.
+
+    Returns:
+        A :class:`HierarchicalResult`; ``flat`` sums exactly to ``total``.
+    """
+    if total < 0:
+        raise PartitionError(f"total must be non-negative, got {total}")
+    if not node_groups:
+        raise PartitionError("need at least one node group")
+
+    node_models = [
+        aggregate_node_model(group, sample_sizes, algorithm, model_factory)
+        for group in node_groups
+    ]
+    node_dist = algorithm(total, node_models)
+
+    flat_parts = []
+    for group, node_part in zip(node_groups, node_dist.parts):
+        if node_part.d == 0:
+            sub = Distribution.even(0, len(group))
+        else:
+            sub = algorithm(node_part.d, group)
+        flat_parts.extend(sub.parts)
+    flat = Distribution(flat_parts)
+    if flat.total != total:
+        raise PartitionError(
+            f"internal error: hierarchical distribution sums to {flat.total}, "
+            f"expected {total}"
+        )
+    return HierarchicalResult(
+        flat=flat, node_distribution=node_dist, node_models=node_models
+    )
+
+
+def group_models_by_node(platform, models: Sequence[PerformanceModel]):
+    """Split a flat rank-ordered model list into per-node groups."""
+    if len(models) != platform.size:
+        raise PartitionError(
+            f"{len(models)} models for a platform of {platform.size} ranks"
+        )
+    groups: List[List[PerformanceModel]] = []
+    rank = 0
+    for node in platform.nodes:
+        groups.append(list(models[rank: rank + len(node.devices)]))
+        rank += len(node.devices)
+    return groups

@@ -1,0 +1,136 @@
+"""The numerical partitioning algorithm (Rychkov et al., ref. [15]).
+
+Solves the optimal-partitioning system directly with a multidimensional
+solver:
+
+    F_i(x) = t_i(x_i) - t_p(x_p) = 0      for i = 1 .. p-1
+    F_p(x) = x_1 + ... + x_p - D  = 0
+
+Works with smooth time functions of any shape; the Akima-spline FPM is the
+intended input because it supplies the continuous derivative used in the
+analytic Jacobian.  The solve chain is:
+
+1. damped Newton (:func:`repro.solver.newton_system`) from the geometrical
+   solution as the initial iterate, with the analytic Jacobian when models
+   expose ``time_derivative``;
+2. scipy's hybrid Powell method as a fallback;
+3. the geometrical solution itself if both fail (the models may be too
+   irregular for a root to exist).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize as _sciopt
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import PartitionError
+from repro.solver.newton import newton_system
+
+
+def _residual_factory(
+    total: int, models: Sequence[PerformanceModel]
+) -> Callable[[np.ndarray], np.ndarray]:
+    p = len(models)
+
+    def residual(x: np.ndarray) -> np.ndarray:
+        out = np.empty(p)
+        t_last = models[p - 1].time(max(x[p - 1], 0.0))
+        for i in range(p - 1):
+            out[i] = models[i].time(max(x[i], 0.0)) - t_last
+        out[p - 1] = float(np.sum(x)) - float(total)
+        return out
+
+    return residual
+
+
+def _jacobian_factory(
+    models: Sequence[PerformanceModel],
+) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    if not all(hasattr(m, "time_derivative") for m in models):
+        return None
+    p = len(models)
+
+    def jacobian(x: np.ndarray) -> np.ndarray:
+        jac = np.zeros((p, p))
+        d_last = models[p - 1].time_derivative(max(x[p - 1], 0.0))  # type: ignore[attr-defined]
+        for i in range(p - 1):
+            jac[i, i] = models[i].time_derivative(max(x[i], 0.0))  # type: ignore[attr-defined]
+            jac[i, p - 1] = -d_last
+        jac[p - 1, :] = 1.0
+        return jac
+
+    return jacobian
+
+
+def partition_numerical(
+    total: int,
+    models: Sequence[PerformanceModel],
+    tol: float = 1e-9,
+    max_iter: int = 100,
+) -> Distribution:
+    """Partition ``total`` units by solving the equal-time system.
+
+    Args:
+        total: the problem size ``D`` in computation units.
+        models: one performance model per process.  Models exposing a
+            ``time_derivative`` method (the Akima FPM) get an analytic
+            Jacobian; others fall back to finite differences.
+        tol: residual tolerance (seconds / units, mixed system).
+        max_iter: Newton iteration cap.
+
+    Returns:
+        A :class:`Distribution` summing exactly to ``total``.
+    """
+    if total < 0:
+        raise PartitionError(f"total must be non-negative, got {total}")
+    if not models:
+        raise PartitionError("need at least one model")
+    size = len(models)
+    if total == 0:
+        return Distribution(Part(0, 0.0) for _ in range(size))
+    if size == 1:
+        return Distribution([Part(total, models[0].time(total))])
+
+    seed = partition_geometric(total, models)
+    x0 = np.asarray([float(p.d) for p in seed.parts])
+    # Strictly interior start helps when a part was rounded to zero.
+    x0 = np.maximum(x0, 1e-3)
+
+    residual = _residual_factory(total, models)
+    jacobian = _jacobian_factory(models)
+    # Residual scale: a tolerance in absolute seconds would be meaningless
+    # across problem scales, so normalise by the seed's makespan.
+    scale = max(seed.predicted_makespan, 1e-12)
+    abs_tol = tol * max(scale, 1.0)
+
+    result = newton_system(
+        residual,
+        x0,
+        jacobian=jacobian,
+        tol=abs_tol,
+        max_iter=max_iter,
+        lower=[0.0] * size,
+        upper=[float(total)] * size,
+    )
+    shares: Optional[List[float]] = None
+    if result.converged:
+        shares = [float(v) for v in result.x]
+    else:
+        sol = _sciopt.root(residual, x0, method="hybr")
+        if sol.success and np.all(np.asarray(sol.x) >= -1e-9):
+            x = np.clip(np.asarray(sol.x, dtype=float), 0.0, float(total))
+            if abs(float(np.sum(x)) - total) <= max(1e-6 * total, 1e-6):
+                shares = [float(v) for v in x]
+    if shares is None:
+        # Both solvers failed: the geometrical solution is still a valid,
+        # near-balanced distribution.
+        return seed
+    sizes = round_preserving_sum(shares, total)
+    return Distribution(
+        Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)
+    )

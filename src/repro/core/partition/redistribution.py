@@ -1,0 +1,102 @@
+"""Redistribution plans between contiguous distributions.
+
+Row-distributed applications (Jacobi, stencils) keep their data in
+contiguous rank-ordered slabs.  When the load balancer changes the slab
+sizes, the rows in the overlap of an old owner's range and a new owner's
+range must travel between exactly those two ranks.  This module computes
+that *plan* -- the list of (source, destination, units) transfers -- which
+the application simulations price on the network and a real implementation
+would turn into MPI messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point move of ``units`` contiguous items.
+
+    Attributes:
+        source: rank that currently owns the items.
+        dest: rank that will own them under the new distribution.
+        units: number of computation units (e.g. matrix rows) moved.
+    """
+
+    source: int
+    dest: int
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.dest < 0:
+            raise PartitionError(f"ranks must be non-negative: {self}")
+        if self.source == self.dest:
+            raise PartitionError(f"self-transfer is not a transfer: {self}")
+        if self.units <= 0:
+            raise PartitionError(f"transfers must move at least one unit: {self}")
+
+
+def _offsets(sizes: Sequence[int]) -> List[int]:
+    out = [0]
+    for d in sizes:
+        if d < 0:
+            raise PartitionError(f"sizes must be non-negative: {list(sizes)}")
+        out.append(out[-1] + d)
+    return out
+
+
+def redistribution_plan(
+    old_sizes: Sequence[int],
+    new_sizes: Sequence[int],
+) -> List[Transfer]:
+    """Transfers turning one contiguous layout into another.
+
+    Both layouts must distribute the same total over the same number of
+    ranks.  The plan is minimal for contiguous layouts: a unit moves if
+    and only if its owner changes, and each (source, dest) pair appears at
+    most once.
+    """
+    if len(old_sizes) != len(new_sizes):
+        raise PartitionError(
+            f"layouts have different rank counts: {len(old_sizes)} vs {len(new_sizes)}"
+        )
+    old_off = _offsets(old_sizes)
+    new_off = _offsets(new_sizes)
+    if old_off[-1] != new_off[-1]:
+        raise PartitionError(
+            f"layouts distribute different totals: {old_off[-1]} vs {new_off[-1]}"
+        )
+    plan: List[Transfer] = []
+    p = len(old_sizes)
+    for src in range(p):
+        for dst in range(p):
+            if src == dst:
+                continue
+            lo = max(old_off[src], new_off[dst])
+            hi = min(old_off[src + 1], new_off[dst + 1])
+            if hi > lo:
+                plan.append(Transfer(source=src, dest=dst, units=hi - lo))
+    return plan
+
+
+def moved_units(plan: Sequence[Transfer]) -> int:
+    """Total units travelling under a plan."""
+    return sum(t.units for t in plan)
+
+
+def apply_plan_cost(
+    comm,
+    plan: Sequence[Transfer],
+    bytes_per_unit: float,
+) -> None:
+    """Charge a plan's transfers on a simulated communicator.
+
+    ``comm`` is a :class:`repro.mpi.comm.SimCommunicator`; each transfer
+    becomes one blocking point-to-point message.
+    """
+    for transfer in plan:
+        comm.send(transfer.source, transfer.dest, transfer.units * bytes_per_unit)

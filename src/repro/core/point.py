@@ -1,0 +1,63 @@
+"""Measurement points -- the paper's ``fupermod_point``.
+
+A point is the outcome of benchmarking a computation kernel at one problem
+size: the size itself (in computation units), the mean execution time, how
+many repetitions the statistically controlled measurement actually took, and
+the confidence interval it achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """Result of measuring a kernel at problem size ``d``.
+
+    Attributes:
+        d: problem size in computation units.
+        t: mean execution time in seconds.
+        reps: repetitions the measurement took.
+        ci: half-width of the confidence interval of ``t`` (seconds).
+    """
+
+    d: int
+    t: float
+    reps: int = 1
+    ci: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.d < 0:
+            raise BenchmarkError(f"problem size must be non-negative, got {self.d}")
+        if self.t < 0.0:
+            raise BenchmarkError(f"time must be non-negative, got {self.t}")
+        if self.reps < 1:
+            raise BenchmarkError(f"reps must be >= 1, got {self.reps}")
+        if self.ci < 0.0:
+            raise BenchmarkError(f"confidence interval must be non-negative, got {self.ci}")
+
+    @property
+    def speed(self) -> float:
+        """Speed in computation units per second (``d / t``)."""
+        if self.t == 0.0:
+            return float("inf")
+        return self.d / self.t
+
+    @property
+    def benchmark_cost(self) -> float:
+        """Total kernel-seconds this measurement consumed (``t * reps``).
+
+        Used by the cost accounting of model construction (ablation A2 in
+        DESIGN.md): building a full model costs the sum of this quantity
+        over all its points.
+        """
+        return self.t * self.reps
+
+    def speed_flops(self, complexity_flops: float) -> float:
+        """Speed in FLOP/s given the complexity of ``d`` units."""
+        if self.t == 0.0:
+            return float("inf")
+        return complexity_flops / self.t

@@ -1,0 +1,78 @@
+"""Statistical precision of benchmark measurements (``fupermod_precision``).
+
+The benchmark repeats a kernel until the Student-t confidence interval of
+the mean time is tight enough, within repetition and time budgets.  The
+defaults mirror typical FuPerMod usage: at least 3 repetitions, at most 25,
+95% confidence, 2.5% target relative error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Repetition policy for one benchmark measurement.
+
+    Attributes:
+        reps_min: minimum repetitions (always performed).
+        reps_max: hard cap on repetitions.
+        confidence_level: Student-t confidence level for the interval.
+        relative_error: stop once ``ci / mean`` falls below this.
+        time_limit: stop once the accumulated measured kernel time exceeds
+            this many seconds (``inf`` = no limit).  For simulated kernels
+            this is virtual time, which makes it a *cost budget* -- exactly
+            the knob dynamic partitioning uses to keep measurements cheap.
+        outlier_threshold: when set, samples are filtered by robust
+            (median/MAD) z-score with this cutoff before the reported mean
+            and confidence interval are computed -- timing spikes from
+            unrelated system activity do not pollute the model.  3.5 is
+            the customary value; None disables filtering.
+    """
+
+    reps_min: int = 3
+    reps_max: int = 25
+    confidence_level: float = 0.95
+    relative_error: float = 0.025
+    time_limit: float = math.inf
+    outlier_threshold: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.reps_min < 1:
+            raise BenchmarkError(f"reps_min must be >= 1, got {self.reps_min}")
+        if self.reps_max < self.reps_min:
+            raise BenchmarkError(
+                f"reps_max ({self.reps_max}) must be >= reps_min ({self.reps_min})"
+            )
+        if not 0.0 < self.confidence_level < 1.0:
+            raise BenchmarkError(
+                f"confidence_level must be in (0, 1), got {self.confidence_level}"
+            )
+        if self.relative_error <= 0.0:
+            raise BenchmarkError(
+                f"relative_error must be positive, got {self.relative_error}"
+            )
+        if self.time_limit <= 0.0:
+            raise BenchmarkError(f"time_limit must be positive, got {self.time_limit}")
+        if self.outlier_threshold is not None and self.outlier_threshold <= 0.0:
+            raise BenchmarkError(
+                f"outlier_threshold must be positive, got {self.outlier_threshold}"
+            )
+
+    @staticmethod
+    def single_shot() -> "Precision":
+        """One repetition, no statistics -- the cheapest possible point.
+
+        Used by dynamic load balancing, which times real application
+        iterations and cannot repeat them.
+        """
+        return Precision(reps_min=1, reps_max=1, relative_error=math.inf)
+
+    @staticmethod
+    def thorough() -> "Precision":
+        """Tight intervals for building full models in advance."""
+        return Precision(reps_min=5, reps_max=100, relative_error=0.01)

@@ -1,0 +1,90 @@
+"""Registries for models and partitioning algorithms.
+
+The paper stresses that the framework is *extensible*: new computation
+performance models and data partitioning algorithms can be plugged in.
+These registries are the plug points -- the CLI and the experiment harness
+look algorithms up by name, so a user package can register its own and use
+it everywhere the built-ins work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.models import (
+    AkimaModel,
+    ConstantModel,
+    LinearModel,
+    PchipModel,
+    PerformanceModel,
+    SegmentedLinearModel,
+    PiecewiseModel,
+)
+from repro.core.partition.basic import partition_constant
+from repro.core.partition.dynamic import PartitionFunction
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.numerical import partition_numerical
+from repro.errors import FuPerModError
+
+ModelFactory = Callable[[], PerformanceModel]
+
+_MODEL_REGISTRY: Dict[str, ModelFactory] = {}
+_PARTITIONER_REGISTRY: Dict[str, PartitionFunction] = {}
+
+
+def register_model(name: str, factory: ModelFactory, overwrite: bool = False) -> None:
+    """Register a performance-model factory under ``name``."""
+    if name in _MODEL_REGISTRY and not overwrite:
+        raise FuPerModError(f"model {name!r} is already registered")
+    _MODEL_REGISTRY[name] = factory
+
+
+def register_partitioner(
+    name: str, fn: PartitionFunction, overwrite: bool = False
+) -> None:
+    """Register a partitioning algorithm under ``name``."""
+    if name in _PARTITIONER_REGISTRY and not overwrite:
+        raise FuPerModError(f"partitioner {name!r} is already registered")
+    _PARTITIONER_REGISTRY[name] = fn
+
+
+def model_factory(name: str) -> ModelFactory:
+    """Look up a model factory by name."""
+    try:
+        return _MODEL_REGISTRY[name]
+    except KeyError:
+        raise FuPerModError(
+            f"unknown model {name!r}; available: {sorted(_MODEL_REGISTRY)}"
+        ) from None
+
+
+def partitioner(name: str) -> PartitionFunction:
+    """Look up a partitioning algorithm by name."""
+    try:
+        return _PARTITIONER_REGISTRY[name]
+    except KeyError:
+        raise FuPerModError(
+            f"unknown partitioner {name!r}; available: {sorted(_PARTITIONER_REGISTRY)}"
+        ) from None
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(_MODEL_REGISTRY)
+
+
+def available_partitioners() -> List[str]:
+    """Names of all registered partitioning algorithms."""
+    return sorted(_PARTITIONER_REGISTRY)
+
+
+# Built-ins, matching the paper's naming.
+register_model("constant", ConstantModel)
+register_model("piecewise", PiecewiseModel)
+register_model("akima", AkimaModel)
+register_model("linear", LinearModel)
+register_model("pchip", PchipModel)
+register_model("segmented", SegmentedLinearModel)
+register_partitioner("basic", partition_constant)
+register_partitioner("geometric", partition_geometric)
+register_partitioner("numerical", partition_numerical)

@@ -1,0 +1,109 @@
+"""Automatic model-family selection by cross-validation.
+
+The paper offers a menu of computation performance models and says the
+choice "is determined by the user's applications".  This module makes the
+choice empirical: leave-one-out cross-validation over the measured points
+estimates each candidate family's *prediction* error (not its fit error --
+an interpolating model has zero fit error by construction), and
+:func:`select_model` picks the family that generalises best.
+
+Folds where a family cannot be built (too few points, degenerate fits such
+as a non-increasing linear regression) count as failures; a family that
+fails on any fold is disqualified rather than silently scored on the easy
+folds only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.point import MeasurementPoint
+from repro.errors import FuPerModError, ModelError
+
+ModelFactory = Callable[[], PerformanceModel]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of :func:`select_model`.
+
+    Attributes:
+        best: name of the winning model family.
+        errors: mean relative leave-one-out error per candidate; families
+            that failed any fold map to ``inf``.
+    """
+
+    best: str
+    errors: Dict[str, float]
+
+
+def leave_one_out_error(
+    model_factory: ModelFactory,
+    points: Sequence[MeasurementPoint],
+) -> float:
+    """Mean relative LOO prediction error of a model family.
+
+    For each point, a fresh model is fitted on all *other* points and asked
+    to predict the held-out time; the relative errors are averaged.
+
+    Raises:
+        ModelError: when the family cannot be built on some fold (callers
+            that want a score rather than an exception use
+            :func:`select_model`).
+    """
+    if len(points) < 3:
+        raise ModelError(
+            f"leave-one-out needs at least 3 points, got {len(points)}"
+        )
+    errors: List[float] = []
+    for i, held_out in enumerate(points):
+        model = model_factory()
+        model.update_many([p for j, p in enumerate(points) if j != i])
+        predicted = model.time(held_out.d)
+        if held_out.t <= 0:
+            raise ModelError(f"held-out point at d={held_out.d} has no time")
+        errors.append(abs(predicted - held_out.t) / held_out.t)
+    return sum(errors) / len(errors)
+
+
+def _default_candidates() -> Dict[str, ModelFactory]:
+    from repro.core.registry import available_models, model_factory
+
+    return {name: model_factory(name) for name in available_models()}
+
+
+def select_model(
+    points: Sequence[MeasurementPoint],
+    candidates: Optional[Dict[str, ModelFactory]] = None,
+) -> SelectionResult:
+    """Pick the model family with the lowest LOO prediction error.
+
+    Args:
+        points: the measured points of one process.
+        candidates: name -> factory mapping; defaults to every registered
+            model family.
+
+    Returns:
+        A :class:`SelectionResult`; ties break towards the name earlier in
+        sorted order (deterministic).
+
+    Raises:
+        FuPerModError: when no candidate can be evaluated at all.
+    """
+    menu = candidates if candidates is not None else _default_candidates()
+    if not menu:
+        raise FuPerModError("select_model needs at least one candidate")
+    errors: Dict[str, float] = {}
+    for name in sorted(menu):
+        try:
+            errors[name] = leave_one_out_error(menu[name], points)
+        except (ModelError, FuPerModError):
+            errors[name] = float("inf")
+    best = min(sorted(errors), key=lambda n: errors[n])
+    if errors[best] == float("inf"):
+        raise FuPerModError(
+            f"no candidate model family could be evaluated on {len(points)} points"
+        )
+    return SelectionResult(best=best, errors=errors)

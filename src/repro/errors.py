@@ -1,0 +1,53 @@
+"""Exception hierarchy for the FuPerMod reproduction.
+
+All errors raised by the library derive from :class:`FuPerModError`, so
+callers can catch one type at the framework boundary.  Subclasses mark which
+subsystem failed:
+
+* :class:`InterpolationError` -- interpolation substrate (``repro.interp``);
+* :class:`SolverError` -- numerical solvers (``repro.solver``);
+* :class:`PlatformError` -- simulated platform (``repro.platform``);
+* :class:`CommunicationError` -- simulated message passing (``repro.mpi``);
+* :class:`BenchmarkError` -- performance measurement (``repro.core.benchmark``);
+* :class:`ModelError` -- performance models (``repro.core.models``);
+* :class:`PartitionError` -- data partitioning (``repro.core.partition``);
+* :class:`PersistenceError` -- model/point file I/O (``repro.io``).
+"""
+
+from __future__ import annotations
+
+
+class FuPerModError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InterpolationError(FuPerModError):
+    """Invalid data or queries handed to an interpolator."""
+
+
+class SolverError(FuPerModError):
+    """A numerical solver failed to converge or received bad input."""
+
+
+class PlatformError(FuPerModError):
+    """Invalid simulated-platform configuration or usage."""
+
+
+class CommunicationError(FuPerModError):
+    """Invalid use of the simulated message-passing layer."""
+
+
+class BenchmarkError(FuPerModError):
+    """Performance measurement failed or was misconfigured."""
+
+
+class ModelError(FuPerModError):
+    """A performance model cannot be built or evaluated."""
+
+
+class PartitionError(FuPerModError):
+    """A data partitioning algorithm failed or received bad input."""
+
+
+class PersistenceError(FuPerModError):
+    """Reading or writing model/measurement files failed."""

@@ -1,0 +1,47 @@
+"""Subdomain weights from computation performance models.
+
+Graph partitioners balance vertex load against *relative weights* of the
+target subdomains.  The right weights for a heterogeneous platform are not
+the devices' peak speeds but the model-based shares at the problem size at
+hand -- a device about to hit its memory cliff must receive a smaller
+weight than its small-size speed suggests.  This function therefore runs a
+model-based partitioning algorithm at the actual total size and normalises
+its integer shares.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dynamic import PartitionFunction
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import PartitionError
+
+
+def partition_weights(
+    total: int,
+    models: Sequence[PerformanceModel],
+    algorithm: Optional[PartitionFunction] = None,
+) -> List[float]:
+    """Normalised subdomain weights for a problem of ``total`` units.
+
+    Args:
+        total: the problem size the mesh application will run at (vertex
+            count, in computation units).
+        models: one performance model per process.
+        algorithm: the model-based partitioning algorithm to derive shares
+            from (geometric by default).
+
+    Returns:
+        Weights summing to 1.0, one per process, in rank order.
+    """
+    if total <= 0:
+        raise PartitionError(f"total must be positive, got {total}")
+    algo = algorithm if algorithm is not None else partition_geometric
+    dist = algo(total, models)
+    if dist.total != total:
+        raise PartitionError(
+            f"partitioning algorithm returned total {dist.total}, expected {total}"
+        )
+    return [part.d / total for part in dist.parts]

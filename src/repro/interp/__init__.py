@@ -1,0 +1,27 @@
+"""Interpolation substrate.
+
+FuPerMod approximates empirically measured *time functions* ``t(x)`` (and the
+derived *speed functions* ``s(x) = complexity(x) / t(x)``) with
+
+* piecewise-linear interpolation (:class:`PiecewiseLinear`), optionally
+  *coarsened* so that the speed function satisfies the Lastovetsky--Reddy
+  shape restrictions required by the geometrical partitioning algorithm
+  (:func:`coarsen_to_fpm_shape`), and
+* Akima splines (:class:`AkimaSpline`), which are C1-continuous and avoid the
+  overshoot of cubic splines near abrupt changes -- the paper uses them for
+  the numerical partitioning algorithm because they provide a continuous
+  derivative.
+"""
+
+from repro.interp.akima import AkimaSpline
+from repro.interp.coarsening import coarsen_to_fpm_shape, satisfies_fpm_shape
+from repro.interp.pchip import PchipSpline
+from repro.interp.piecewise_linear import PiecewiseLinear
+
+__all__ = [
+    "AkimaSpline",
+    "PchipSpline",
+    "PiecewiseLinear",
+    "coarsen_to_fpm_shape",
+    "satisfies_fpm_shape",
+]

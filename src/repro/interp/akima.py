@@ -1,0 +1,161 @@
+"""Akima spline interpolation, implemented from scratch.
+
+Reference: H. Akima, *A New Method of Interpolation and Smooth Curve Fitting
+Based on Local Procedures*, JACM 17(4), 1970.
+
+The paper's Akima-spline FPM uses this interpolation for the time function
+because it is C1-continuous (the numerical partitioning algorithm needs a
+continuous derivative for its Jacobian) and, unlike natural cubic splines,
+does not oscillate wildly around abrupt changes such as memory-hierarchy
+cliffs in measured speed functions.
+
+The construction is local: the spline slope at a knot depends only on the
+four neighbouring secant slopes,
+
+    t_i = (|m_{i+1} - m_i| m_{i-1} + |m_{i-1} - m_{i-2}| m_i)
+          / (|m_{i+1} - m_i| + |m_{i-1} - m_{i-2}|)
+
+with the average of the two central secants when the denominator vanishes,
+and two quadratically extrapolated secants appended at each boundary.  Each
+interval then carries a cubic Hermite polynomial.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import InterpolationError
+
+
+class AkimaSpline:
+    """Akima cubic spline through a set of (x, y) points.
+
+    Requires at least two distinct abscissae.  With exactly two the spline
+    degenerates to the straight line through them (Akima's slopes reduce to
+    the single secant).  Duplicate ``x`` values are merged by averaging.
+
+    Evaluation outside the data range continues the boundary cubic
+    polynomials (linear in practice, since the Hermite cubic is evaluated
+    with the boundary slopes); results are clamped below at ``min_y`` so
+    predicted times can never be non-positive.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Tuple[float, float]],
+        min_y: float = 1e-12,
+    ) -> None:
+        merged: dict = {}
+        counts: dict = {}
+        for x, y in points:
+            x = float(x)
+            y = float(y)
+            if x in merged:
+                counts[x] += 1
+                merged[x] += (y - merged[x]) / counts[x]
+            else:
+                merged[x] = y
+                counts[x] = 1
+        if len(merged) < 2:
+            raise InterpolationError(
+                f"AkimaSpline requires at least 2 distinct points, got {len(merged)}"
+            )
+        xs = sorted(merged)
+        self._xs: List[float] = xs
+        self._ys: List[float] = [merged[x] for x in xs]
+        self._min_y = float(min_y)
+        self._slopes = self._compute_slopes(self._xs, self._ys)
+
+    @staticmethod
+    def _compute_slopes(xs: Sequence[float], ys: Sequence[float]) -> List[float]:
+        """Akima slopes at every knot, with quadratic boundary extension."""
+        n = len(xs)
+        # Secant slopes m[0..n-2]; extend by two on each side:
+        # m[-1] = 2 m[0] - m[1], m[-2] = 2 m[-1] - m[0]  (and mirrored right).
+        m = [(ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]) for i in range(n - 1)]
+        if n == 2:
+            return [m[0], m[0]]
+        ext = [0.0, 0.0] + m + [0.0, 0.0]
+        ext[1] = 2.0 * m[0] - m[1]
+        ext[0] = 2.0 * ext[1] - m[0]
+        ext[-2] = 2.0 * m[-1] - m[-2]
+        ext[-1] = 2.0 * ext[-2] - m[-1]
+        slopes: List[float] = []
+        for i in range(n):
+            # ext index of secant m_{i} is i + 2.
+            m_im2 = ext[i]
+            m_im1 = ext[i + 1]
+            m_i = ext[i + 2]
+            m_ip1 = ext[i + 3]
+            w1 = abs(m_ip1 - m_i)
+            w2 = abs(m_im1 - m_im2)
+            if w1 + w2 == 0.0:
+                slopes.append(0.5 * (m_im1 + m_i))
+            else:
+                slopes.append((w1 * m_im1 + w2 * m_i) / (w1 + w2))
+        return slopes
+
+    @property
+    def xs(self) -> Sequence[float]:
+        """The sorted, de-duplicated abscissae."""
+        return tuple(self._xs)
+
+    @property
+    def ys(self) -> Sequence[float]:
+        """Ordinates corresponding to :attr:`xs`."""
+        return tuple(self._ys)
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def _interval(self, x: float) -> int:
+        xs = self._xs
+        if x <= xs[0]:
+            return 0
+        if x >= xs[-1]:
+            return len(xs) - 2
+        return bisect.bisect_right(xs, x) - 1
+
+    def _hermite_coeffs(self, i: int) -> Tuple[float, float, float, float, float]:
+        """Cubic coefficients (x0, a, b, c, d) on interval i.
+
+        The polynomial is ``a + b u + c u^2 + d u^3`` with ``u = x - x0``.
+        """
+        x0, x1 = self._xs[i], self._xs[i + 1]
+        y0, y1 = self._ys[i], self._ys[i + 1]
+        s0, s1 = self._slopes[i], self._slopes[i + 1]
+        h = x1 - x0
+        if h * h == 0.0:
+            # h is so small that h^2 underflows; the cubic terms are
+            # meaningless there, so treat the interval as linear.
+            secant = (y1 - y0) / h if h > 0.0 else 0.0
+            return x0, y0, secant, 0.0, 0.0
+        a = y0
+        b = s0
+        c = (3.0 * (y1 - y0) / h - 2.0 * s0 - s1) / h
+        d = (s0 + s1 - 2.0 * (y1 - y0) / h) / (h * h)
+        return x0, a, b, c, d
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the spline at ``x``."""
+        i = self._interval(x)
+        x0, a, b, c, d = self._hermite_coeffs(i)
+        u = x - x0
+        return max(a + u * (b + u * (c + u * d)), self._min_y)
+
+    def derivative(self, x: float) -> float:
+        """First derivative of the spline at ``x`` (continuous everywhere)."""
+        i = self._interval(x)
+        x0, _a, b, c, d = self._hermite_coeffs(i)
+        u = x - x0
+        return b + u * (2.0 * c + 3.0 * d * u)
+
+    def with_point(self, x: float, y: float) -> "AkimaSpline":
+        """Return a new spline with one extra point added."""
+        pts = list(zip(self._xs, self._ys))
+        pts.append((x, y))
+        return AkimaSpline(pts, min_y=self._min_y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AkimaSpline({len(self._xs)} points, x in [{self._xs[0]}, {self._xs[-1]}])"

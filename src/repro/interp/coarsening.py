@@ -1,0 +1,98 @@
+"""Coarsening of measured speed points to the FPM canonical shape.
+
+The geometrical data partitioning algorithm of Lastovetsky--Reddy (ref. [10]
+of the paper) requires the speed functions to satisfy a shape restriction:
+*every straight line through the origin of the (problem size, speed) plane
+must intersect the speed curve at most once*.  For a continuous piecewise
+linear speed curve this holds if and only if the polar angle of the curve,
+``s(x) / x``, is strictly decreasing along increasing ``x`` -- equivalently,
+the execution-time function ``t(x) = x / s(x)`` is strictly increasing.
+
+Real measured speed functions violate this (speed can grow super-linearly at
+small problem sizes, and wiggle).  The paper's piecewise FPM therefore
+*coarsens* the real performance data: it replaces the measured speeds by a
+nearby curve that satisfies the restriction (Fig. 2(a) of the paper).  We
+implement coarsening as a single forward pass that clips each speed from
+above so the angle sequence stays strictly decreasing; clipping downward only
+ever *underestimates* speed, which keeps the resulting partitioning
+conservative rather than over-optimistic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import InterpolationError
+
+#: Relative margin enforcing *strict* angle decrease between knots.
+_STRICT_MARGIN = 1e-9
+
+
+def satisfies_fpm_shape(
+    points: Sequence[Tuple[float, float]],
+    strict: bool = True,
+) -> bool:
+    """Check whether speed points satisfy the Lastovetsky--Reddy restriction.
+
+    ``points`` are ``(x, s)`` pairs with positive ``x`` and ``s``; they are
+    sorted internally.  Returns True when the angle sequence ``s/x`` is
+    decreasing (strictly, unless ``strict`` is False).
+    """
+    pts = sorted((float(x), float(s)) for x, s in points)
+    angles = []
+    for x, s in pts:
+        if x <= 0.0 or s <= 0.0:
+            raise InterpolationError(f"speed points must be positive, got ({x}, {s})")
+        angles.append(s / x)
+    for a, b in zip(angles, angles[1:]):
+        if strict:
+            if b >= a:
+                return False
+        else:
+            if b > a:
+                return False
+    return True
+
+
+def coarsen_to_fpm_shape(
+    points: Iterable[Tuple[float, float]],
+) -> List[Tuple[float, float]]:
+    """Coarsen speed points so they satisfy the FPM shape restriction.
+
+    ``points`` are ``(x, s)`` pairs: problem size in computation units and
+    speed in units per second.  Duplicate abscissae are merged by averaging.
+    The result is sorted by ``x``, and its angle sequence ``s/x`` is strictly
+    decreasing, so the derived time function ``t(x) = x / s(x)`` is strictly
+    increasing and the geometrical partitioning algorithm converges.
+
+    The pass clips each point's speed to just below the previous (coarsened)
+    point's ray from the origin.  Points that already respect the restriction
+    are returned untouched.
+    """
+    merged: dict = {}
+    counts: dict = {}
+    for x, s in points:
+        x = float(x)
+        s = float(s)
+        if x <= 0.0 or s <= 0.0:
+            raise InterpolationError(f"speed points must be positive, got ({x}, {s})")
+        if x in merged:
+            counts[x] += 1
+            merged[x] += (s - merged[x]) / counts[x]
+        else:
+            merged[x] = s
+            counts[x] = 1
+    if not merged:
+        raise InterpolationError("coarsen_to_fpm_shape requires at least one point")
+
+    out: List[Tuple[float, float]] = []
+    for x in sorted(merged):
+        s = merged[x]
+        if out:
+            x_prev, s_prev = out[-1]
+            # Largest admissible speed at x keeping the angle strictly below
+            # the previous knot's angle.
+            ceiling = (s_prev / x_prev) * x * (1.0 - _STRICT_MARGIN)
+            s = min(s, ceiling)
+        out.append((x, s))
+    return out

@@ -1,0 +1,63 @@
+"""Isotonic regression (pool adjacent violators).
+
+Execution time grows with problem size on real hardware, but *measured*
+times wobble: noise at nearby sizes can make the raw sequence locally
+decreasing.  The PCHIP model restores monotonicity before interpolating by
+projecting the measurements onto the closest non-decreasing sequence in
+the (weighted) least-squares sense -- the classic pool-adjacent-violators
+algorithm (PAVA).
+
+Weights are the repetition counts of the measurements, so a time averaged
+over many repetitions moves less than a single noisy observation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import InterpolationError
+
+
+def isotonic_increasing(
+    ys: Sequence[float],
+    weights: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Project ``ys`` onto the closest non-decreasing sequence.
+
+    Args:
+        ys: values in the order of increasing abscissa.
+        weights: optional positive weights (defaults to 1.0 each).
+
+    Returns:
+        The fitted non-decreasing values, one per input, minimising
+        ``sum(w_i * (fit_i - y_i)^2)`` subject to ``fit`` non-decreasing.
+    """
+    n = len(ys)
+    if n == 0:
+        return []
+    if weights is None:
+        w = [1.0] * n
+    else:
+        if len(weights) != n:
+            raise InterpolationError(
+                f"{len(weights)} weights for {n} values"
+            )
+        w = [float(x) for x in weights]
+        if any(x <= 0.0 for x in w):
+            raise InterpolationError(f"weights must be positive: {weights}")
+
+    # Each block: [mean, weight, count]; merge while order is violated.
+    blocks: List[List[float]] = []
+    for y, wi in zip(ys, w):
+        blocks.append([float(y), wi, 1])
+        while len(blocks) >= 2 and blocks[-2][0] > blocks[-1][0]:
+            mean2, w2, c2 = blocks.pop()
+            mean1, w1, c1 = blocks.pop()
+            total_w = w1 + w2
+            blocks.append(
+                [(mean1 * w1 + mean2 * w2) / total_w, total_w, c1 + c2]
+            )
+    out: List[float] = []
+    for mean, _w, count in blocks:
+        out.extend([mean] * count)
+    return out

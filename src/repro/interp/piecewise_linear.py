@@ -1,0 +1,109 @@
+"""Piecewise-linear interpolation of scalar functions.
+
+This is the interpolation used by the piecewise FPM of the paper: the time
+function of a device is approximated by straight segments between measured
+points, with linear extrapolation beyond the last point (the paper's models
+must predict times for problem sizes larger than any benchmarked size when a
+partitioning algorithm probes them).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import InterpolationError
+
+
+class PiecewiseLinear:
+    """Piecewise-linear interpolant through a set of (x, y) points.
+
+    Points are sorted by ``x`` on construction; duplicate ``x`` values are
+    merged by averaging their ``y`` values (repeated benchmarks of the same
+    problem size refine rather than contradict the model).
+
+    Behaviour outside the data range:
+
+    * left of the first point: linear continuation of the first segment,
+      clamped below at ``min_y`` (times must stay positive);
+    * right of the last point: linear continuation of the last segment,
+      clamped likewise.
+
+    With a single point the function is constant.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Tuple[float, float]],
+        min_y: float = 1e-12,
+    ) -> None:
+        merged: dict = {}
+        counts: dict = {}
+        for x, y in points:
+            x = float(x)
+            y = float(y)
+            if x in merged:
+                counts[x] += 1
+                merged[x] += (y - merged[x]) / counts[x]
+            else:
+                merged[x] = y
+                counts[x] = 1
+        if not merged:
+            raise InterpolationError("PiecewiseLinear requires at least one point")
+        xs = sorted(merged)
+        self._xs: List[float] = xs
+        self._ys: List[float] = [merged[x] for x in xs]
+        self._min_y = float(min_y)
+
+    @property
+    def xs(self) -> Sequence[float]:
+        """The sorted, de-duplicated abscissae."""
+        return tuple(self._xs)
+
+    @property
+    def ys(self) -> Sequence[float]:
+        """Ordinates corresponding to :attr:`xs`."""
+        return tuple(self._ys)
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the interpolant at ``x``."""
+        xs, ys = self._xs, self._ys
+        n = len(xs)
+        if n == 1:
+            return max(ys[0], self._min_y)
+        if x <= xs[0]:
+            i = 0
+        elif x >= xs[-1]:
+            i = n - 2
+        else:
+            i = bisect.bisect_right(xs, x) - 1
+        x0, x1 = xs[i], xs[i + 1]
+        y0, y1 = ys[i], ys[i + 1]
+        slope = (y1 - y0) / (x1 - x0)
+        return max(y0 + slope * (x - x0), self._min_y)
+
+    def derivative(self, x: float) -> float:
+        """Slope of the active segment at ``x`` (right-continuous at knots)."""
+        xs, ys = self._xs, self._ys
+        n = len(xs)
+        if n == 1:
+            return 0.0
+        if x <= xs[0]:
+            i = 0
+        elif x >= xs[-1]:
+            i = n - 2
+        else:
+            i = bisect.bisect_right(xs, x) - 1
+        return (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i])
+
+    def with_point(self, x: float, y: float) -> "PiecewiseLinear":
+        """Return a new interpolant with one extra point added."""
+        pts = list(zip(self._xs, self._ys))
+        pts.append((x, y))
+        return PiecewiseLinear(pts, min_y=self._min_y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PiecewiseLinear({len(self._xs)} points, x in [{self._xs[0]}, {self._xs[-1]}])"

@@ -1,0 +1,27 @@
+"""Persistence of measurement points, models and distributions.
+
+FuPerMod separates model *construction* (possibly expensive, done once per
+platform) from model *use* (every application run).  That separation needs
+files: the ``builder`` tool writes per-process point files, applications
+read them back and partition.  This package provides the same workflow with
+a simple, versioned, line-oriented text format.
+"""
+
+from repro.io.files import (
+    load_distribution,
+    load_model,
+    load_points,
+    save_distribution,
+    save_points,
+)
+from repro.io.profiles import load_profile, save_profile
+
+__all__ = [
+    "load_distribution",
+    "load_model",
+    "load_points",
+    "load_profile",
+    "save_distribution",
+    "save_points",
+    "save_profile",
+]

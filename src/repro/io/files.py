@@ -1,0 +1,153 @@
+"""Line-oriented text files for points, models and distributions.
+
+Format of a point file (one measurement per line, ``#`` comments allowed)::
+
+    # fupermod-points v1 kernel=gemm-block device=hybrid0-cpu0
+    # d  t  reps  ci
+    64   0.0123  5  0.0004
+    128  0.0240  5  0.0007
+
+Format of a distribution file::
+
+    # fupermod-dist v1 total=1000
+    # rank  d  t
+    0  400  0.52
+    1  350  0.51
+    2  250  0.53
+
+The header magic is checked on load; unparseable lines raise
+:class:`~repro.errors.PersistenceError` with the offending line number.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution, Part
+from repro.core.point import MeasurementPoint
+from repro.errors import FuPerModError, PersistenceError
+
+_POINTS_MAGIC = "# fupermod-points v1"
+_DIST_MAGIC = "# fupermod-dist v1"
+
+PathLike = Union[str, Path]
+
+
+def save_points(
+    path: PathLike,
+    points: List[MeasurementPoint],
+    metadata: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write measurement points to a text file.
+
+    ``metadata`` key=value pairs are recorded in the header line; keys and
+    values must not contain whitespace.
+    """
+    meta = ""
+    if metadata:
+        for k, v in metadata.items():
+            if any(c.isspace() for c in str(k) + str(v)):
+                raise PersistenceError(f"metadata must not contain whitespace: {k}={v}")
+        meta = " " + " ".join(f"{k}={v}" for k, v in sorted(metadata.items()))
+    lines = [f"{_POINTS_MAGIC}{meta}", "# d t reps ci"]
+    for p in points:
+        lines.append(f"{p.d} {p.t!r} {p.reps} {p.ci!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_points(path: PathLike) -> "tuple[List[MeasurementPoint], Dict[str, str]]":
+    """Read measurement points and header metadata back from a file."""
+    text = _read(path)
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(_POINTS_MAGIC):
+        raise PersistenceError(f"{path}: not a fupermod points file (bad header)")
+    metadata = _parse_metadata(lines[0][len(_POINTS_MAGIC):])
+    points: List[MeasurementPoint] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        fields = body.split()
+        if len(fields) != 4:
+            raise PersistenceError(
+                f"{path}:{lineno}: expected 'd t reps ci', got {line!r}"
+            )
+        try:
+            points.append(
+                MeasurementPoint(
+                    d=int(fields[0]),
+                    t=float(fields[1]),
+                    reps=int(fields[2]),
+                    ci=float(fields[3]),
+                )
+            )
+        except (ValueError, FuPerModError) as exc:
+            raise PersistenceError(f"{path}:{lineno}: {exc}") from exc
+    return points, metadata
+
+
+def load_model(
+    path: PathLike,
+    model_factory: Callable[[], PerformanceModel],
+) -> PerformanceModel:
+    """Build a fresh model from a persisted point file."""
+    points, _meta = load_points(path)
+    model = model_factory()
+    model.update_many(points)
+    return model
+
+
+def save_distribution(path: PathLike, dist: Distribution) -> None:
+    """Write a distribution to a text file."""
+    lines = [f"{_DIST_MAGIC} total={dist.total}", "# rank d t"]
+    for rank, part in enumerate(dist.parts):
+        lines.append(f"{rank} {part.d} {part.t!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_distribution(path: PathLike) -> Distribution:
+    """Read a distribution back from a file."""
+    text = _read(path)
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(_DIST_MAGIC):
+        raise PersistenceError(f"{path}: not a fupermod distribution file (bad header)")
+    entries: List["tuple[int, Part]"] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        fields = body.split()
+        if len(fields) != 3:
+            raise PersistenceError(
+                f"{path}:{lineno}: expected 'rank d t', got {line!r}"
+            )
+        try:
+            entries.append((int(fields[0]), Part(int(fields[1]), float(fields[2]))))
+        except (ValueError, FuPerModError) as exc:
+            raise PersistenceError(f"{path}:{lineno}: {exc}") from exc
+    if not entries:
+        raise PersistenceError(f"{path}: distribution file has no parts")
+    entries.sort(key=lambda e: e[0])
+    ranks = [r for r, _p in entries]
+    if ranks != list(range(len(ranks))):
+        raise PersistenceError(f"{path}: ranks must be 0..{len(ranks) - 1}, got {ranks}")
+    return Distribution(p for _r, p in entries)
+
+
+def _read(path: PathLike) -> str:
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+
+
+def _parse_metadata(rest: str) -> Dict[str, str]:
+    metadata: Dict[str, str] = {}
+    for token in rest.split():
+        if "=" not in token:
+            raise PersistenceError(f"bad metadata token {token!r}")
+        k, v = token.split("=", 1)
+        metadata[k] = v
+    return metadata

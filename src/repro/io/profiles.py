@@ -1,0 +1,143 @@
+"""JSON persistence for speed profiles.
+
+Calibrated digital twins (:mod:`repro.platform.calibration`) are only
+useful if they survive the session: this module serialises every built-in
+profile family to a small, versioned JSON document and back, so a machine
+measured once can be simulated forever.
+
+The format is self-describing::
+
+    {"format": "fupermod-profile", "version": 1,
+     "type": "cache-hierarchy",
+     "params": {"levels": [[1500.0, 5e9]], "paged_flops": 7e8,
+                "transition_width": 0.1}}
+
+Unknown types or malformed documents raise
+:class:`~repro.errors.PersistenceError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import PersistenceError
+from repro.platform.profiles import (
+    CacheHierarchyProfile,
+    ConstantProfile,
+    GpuProfile,
+    SpeedProfile,
+    TableProfile,
+    WigglyProfile,
+)
+
+PathLike = Union[str, Path]
+
+_FORMAT = "fupermod-profile"
+_VERSION = 1
+
+
+def _encode(profile: SpeedProfile) -> Dict:
+    if isinstance(profile, ConstantProfile):
+        return {"type": "constant", "params": {"flops": profile.flops}}
+    if isinstance(profile, TableProfile):
+        return {
+            "type": "table",
+            "params": {"points": [[x, y] for x, y in profile.points]},
+        }
+    if isinstance(profile, CacheHierarchyProfile):
+        return {
+            "type": "cache-hierarchy",
+            "params": {
+                "levels": [[c, r] for c, r in profile.levels],
+                "paged_flops": profile.paged_flops,
+                "transition_width": profile.transition_width,
+            },
+        }
+    if isinstance(profile, GpuProfile):
+        return {
+            "type": "gpu",
+            "params": {
+                "peak_flops": profile.peak_flops,
+                "ramp_units": profile.ramp_units,
+                "memory_limit_units": profile.memory_limit_units,
+                "out_of_core_factor": profile.out_of_core_factor,
+                "host_flops": profile.host_flops,
+            },
+        }
+    if isinstance(profile, WigglyProfile):
+        return {
+            "type": "wiggly",
+            "params": {
+                "peak_flops": profile.peak_flops,
+                "rise_units": profile.rise_units,
+                "decay_per_unit": profile.decay_per_unit,
+                "humps": [[c, a, w] for c, a, w in profile.humps],
+                "floor_flops": profile.floor_flops,
+            },
+        }
+    raise PersistenceError(
+        f"cannot serialise profile of type {type(profile).__name__}"
+    )
+
+
+_DECODERS = {
+    "constant": lambda p: ConstantProfile(p["flops"]),
+    "table": lambda p: TableProfile([(x, y) for x, y in p["points"]]),
+    "cache-hierarchy": lambda p: CacheHierarchyProfile(
+        levels=[(c, r) for c, r in p["levels"]],
+        paged_flops=p["paged_flops"],
+        transition_width=p["transition_width"],
+    ),
+    "gpu": lambda p: GpuProfile(
+        peak_flops=p["peak_flops"],
+        ramp_units=p["ramp_units"],
+        memory_limit_units=p.get("memory_limit_units"),
+        out_of_core_factor=p.get("out_of_core_factor"),
+        host_flops=p.get("host_flops", 0.0),
+    ),
+    "wiggly": lambda p: WigglyProfile(
+        peak_flops=p["peak_flops"],
+        rise_units=p["rise_units"],
+        decay_per_unit=p.get("decay_per_unit", 0.0),
+        humps=[(c, a, w) for c, a, w in p.get("humps", [])],
+        floor_flops=p.get("floor_flops", 1.0),
+    ),
+}
+
+
+def save_profile(path: PathLike, profile: SpeedProfile) -> None:
+    """Serialise a profile to a JSON file."""
+    doc = {"format": _FORMAT, "version": _VERSION}
+    doc.update(_encode(profile))
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def load_profile(path: PathLike) -> SpeedProfile:
+    """Load a profile back from a JSON file."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise PersistenceError(f"{path}: not a fupermod profile file")
+    if doc.get("version") != _VERSION:
+        raise PersistenceError(
+            f"{path}: unsupported version {doc.get('version')}"
+        )
+    kind = doc.get("type")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise PersistenceError(
+            f"{path}: unknown profile type {kind!r}; "
+            f"known: {sorted(_DECODERS)}"
+        )
+    try:
+        return decoder(doc.get("params", {}))
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"{path}: malformed {kind} parameters: {exc}") from exc

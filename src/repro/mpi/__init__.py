@@ -1,0 +1,33 @@
+"""In-process message-passing simulator.
+
+FuPerMod is an MPI library; its benchmark runner synchronises processes that
+share resources, and its example applications (matrix multiplication, the
+Jacobi method) broadcast pivot rows/columns and allgather solution vectors.
+Offline we replace MPI with a simulator that models *time*, not wires:
+
+* every rank owns a :class:`~repro.platform.VirtualClock`;
+* point-to-point and collective operations advance those clocks according
+  to a Hockney cost model (``alpha + nbytes / beta``) with tree/ring
+  schedules (:class:`SimCommunicator`);
+* intra-node traffic can use a faster link than inter-node traffic
+  (:class:`Network`).
+
+Applications are written in coordinator style: a single Python loop plays
+all ranks, calling :meth:`SimCommunicator.compute` for local work and the
+collective methods for communication.  The resulting per-rank virtual times
+are what the experiments report.
+"""
+
+from repro.mpi.comm import SimCommunicator
+from repro.mpi.fit import LinkFit, fit_hockney, fit_link, measure_pingpong
+from repro.mpi.network import LinkModel, Network
+
+__all__ = [
+    "LinkFit",
+    "LinkModel",
+    "Network",
+    "SimCommunicator",
+    "fit_hockney",
+    "fit_link",
+    "measure_pingpong",
+]

@@ -1,0 +1,295 @@
+"""The simulated communicator: per-rank clocks plus collective schedules.
+
+All operations are *time* operations; application data lives in ordinary
+Python objects and never needs to be serialised.  The schedules are the
+textbook ones MPI implementations use at these scales:
+
+* broadcast -- binomial tree, ``ceil(log2 p)`` rounds;
+* allgather(v) -- ring, ``p - 1`` steps, each step priced at the largest
+  chunk travelling in that step;
+* scatter(v)/gather(v) -- linear from/to the root;
+* point-to-point -- direct Hockney cost.
+
+Blocking semantics are preserved: a receiver cannot finish before the data
+has been produced, and collectives act as synchronisation points for the
+participating ranks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import CommunicationError
+from repro.mpi.network import Network
+from repro.platform.clock import VirtualClock
+
+
+class SimCommunicator:
+    """A group of ranks with virtual clocks and an interconnect.
+
+    Args:
+        size: number of ranks.
+        network: pairwise cost model (defaults to a uniform
+            gigabit-Ethernet-like :class:`Network`).
+    """
+
+    def __init__(self, size: int, network: Optional[Network] = None) -> None:
+        if size < 1:
+            raise CommunicationError(f"communicator size must be >= 1, got {size}")
+        self._size = size
+        self.network = network if network is not None else Network()
+        self._clocks: List[VirtualClock] = [VirtualClock() for _ in range(size)]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self._size
+
+    def time(self, rank: int) -> float:
+        """Current virtual time of ``rank``."""
+        self._check_rank(rank)
+        return self._clocks[rank].now
+
+    def times(self) -> List[float]:
+        """Virtual times of all ranks."""
+        return [c.now for c in self._clocks]
+
+    def max_time(self) -> float:
+        """Latest virtual time across ranks (the makespan so far)."""
+        return max(c.now for c in self._clocks)
+
+    def reset(self) -> None:
+        """Reset all clocks to zero (for a fresh experiment)."""
+        for c in self._clocks:
+            c.reset()
+
+    def compute(self, rank: int, seconds: float) -> float:
+        """Rank performs local computation for ``seconds``."""
+        self._check_rank(rank)
+        if seconds < 0.0:
+            raise CommunicationError(f"compute time must be non-negative, got {seconds}")
+        return self._clocks[rank].advance(seconds)
+
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
+        """Synchronise ``ranks`` (all by default): clocks jump to the max."""
+        group = self._group(ranks)
+        t = max(self._clocks[r].now for r in group)
+        for r in group:
+            self._clocks[r].advance_to(t)
+        return t
+
+    def send(self, src: int, dst: int, nbytes: float) -> float:
+        """Blocking point-to-point message from ``src`` to ``dst``.
+
+        The sender is occupied for the wire time; the receiver finishes at
+        ``max(receiver clock, sender clock) + wire time``.  Returns the
+        receiver's completion time.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            return self._clocks[src].now
+        wire = self.network.time(src, dst, nbytes)
+        start = max(self._clocks[src].now, self._clocks[dst].now)
+        done = start + wire
+        self._clocks[src].advance_to(done)
+        self._clocks[dst].advance_to(done)
+        return done
+
+    def exchange(
+        self,
+        a: int,
+        b: int,
+        nbytes_ab: float,
+        nbytes_ba: Optional[float] = None,
+    ) -> float:
+        """Simultaneous bidirectional exchange (MPI_Sendrecv on both sides).
+
+        Links are full duplex: the exchange costs the *larger* of the two
+        one-way times, both ranks finish together.  This is the halo-swap
+        primitive of stencil applications.
+        """
+        self._check_rank(a)
+        self._check_rank(b)
+        if a == b:
+            return self._clocks[a].now
+        if nbytes_ba is None:
+            nbytes_ba = nbytes_ab
+        wire = max(
+            self.network.time(a, b, nbytes_ab),
+            self.network.time(b, a, nbytes_ba),
+        )
+        done = max(self._clocks[a].now, self._clocks[b].now) + wire
+        self._clocks[a].advance_to(done)
+        self._clocks[b].advance_to(done)
+        return done
+
+    def allreduce(
+        self,
+        nbytes: float,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Recursive-doubling allreduce of ``nbytes`` per rank.
+
+        ``ceil(log2 p)`` rounds; each round is one bidirectional exchange
+        priced at the slowest participating link.  All participants finish
+        together (an allreduce is a synchronisation).
+        """
+        group = self._group(ranks)
+        if len(group) == 1:
+            return self._clocks[group[0]].now
+        start = max(self._clocks[r].now for r in group)
+        rounds = int(math.ceil(math.log2(len(group))))
+        worst = 0.0
+        for i in group:
+            for j in group:
+                if i != j:
+                    worst = max(worst, self.network.time(i, j, nbytes))
+        finish = start + rounds * worst
+        for r in group:
+            self._clocks[r].advance_to(finish)
+        return finish
+
+    def bcast(
+        self,
+        root: int,
+        nbytes: float,
+        ranks: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Binomial-tree broadcast of ``nbytes`` from ``root`` to ``ranks``.
+
+        Rank ``k`` (in position order after the root) receives after
+        ``floor(log2 k) + 1`` rounds; each round costs one message on the
+        link between the communicating pair.  Participants synchronise at
+        the start (a broadcast cannot begin before the root and the
+        receivers have posted it).  Returns the completion time of the
+        slowest participant.
+        """
+        group = self._group(ranks)
+        if root not in group:
+            raise CommunicationError(f"bcast root {root} not in group {group}")
+        if len(group) == 1:
+            return self._clocks[root].now
+        start = max(self._clocks[r].now for r in group)
+        ordered = [root] + [r for r in group if r != root]
+        finish = start
+        for pos, r in enumerate(ordered):
+            if pos == 0:
+                continue
+            rounds = int(math.floor(math.log2(pos))) + 1
+            # Parent in the binomial tree: clear the highest set bit.
+            parent = ordered[pos - (1 << (rounds - 1))]
+            t = start + rounds * self.network.time(parent, r, nbytes)
+            self._clocks[r].advance_to(t)
+            finish = max(finish, t)
+        rounds_total = int(math.ceil(math.log2(len(group))))
+        root_done = start + rounds_total * self.network.time(root, ordered[1], nbytes)
+        self._clocks[root].advance_to(root_done)
+        return max(finish, root_done)
+
+    def allgatherv(
+        self,
+        nbytes_per_rank: Sequence[float],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Ring allgather of variable-size contributions.
+
+        ``p - 1`` steps; step cost is the slowest chunk moving in that step
+        over the slowest participating link.  All participants finish
+        together (the ring is a synchronisation).  Returns the completion
+        time.
+        """
+        group = self._group(ranks)
+        if len(nbytes_per_rank) != len(group):
+            raise CommunicationError(
+                f"allgatherv: {len(nbytes_per_rank)} sizes for {len(group)} ranks"
+            )
+        if len(group) == 1:
+            return self._clocks[group[0]].now
+        start = max(self._clocks[r].now for r in group)
+        p = len(group)
+        total = start
+        for step in range(p - 1):
+            # In step s, rank at position i forwards the chunk originating
+            # at position (i - s) mod p to position (i + 1) mod p.
+            step_cost = 0.0
+            for i in range(p):
+                origin = (i - step) % p
+                src = group[i]
+                dst = group[(i + 1) % p]
+                step_cost = max(
+                    step_cost, self.network.time(src, dst, nbytes_per_rank[origin])
+                )
+            total += step_cost
+        for r in group:
+            self._clocks[r].advance_to(total)
+        return total
+
+    def scatterv(
+        self,
+        root: int,
+        nbytes_per_rank: Sequence[float],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Linear scatter of variable-size chunks from the root."""
+        group = self._group(ranks)
+        if root not in group:
+            raise CommunicationError(f"scatterv root {root} not in group {group}")
+        if len(nbytes_per_rank) != len(group):
+            raise CommunicationError(
+                f"scatterv: {len(nbytes_per_rank)} sizes for {len(group)} ranks"
+            )
+        start = max(self._clocks[root].now, self._clocks[root].now)
+        t = start
+        finish = start
+        for i, r in enumerate(group):
+            if r == root:
+                continue
+            t += self.network.time(root, r, nbytes_per_rank[i])
+            done = max(t, self._clocks[r].now)
+            self._clocks[r].advance_to(done)
+            finish = max(finish, done)
+        self._clocks[root].advance_to(t)
+        return max(finish, t)
+
+    def gatherv(
+        self,
+        root: int,
+        nbytes_per_rank: Sequence[float],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Linear gather of variable-size chunks to the root."""
+        group = self._group(ranks)
+        if root not in group:
+            raise CommunicationError(f"gatherv root {root} not in group {group}")
+        if len(nbytes_per_rank) != len(group):
+            raise CommunicationError(
+                f"gatherv: {len(nbytes_per_rank)} sizes for {len(group)} ranks"
+            )
+        t = self._clocks[root].now
+        for i, r in enumerate(group):
+            if r == root:
+                continue
+            arrive = max(self._clocks[r].now, t) + self.network.time(r, root, nbytes_per_rank[i])
+            t = max(t, arrive)
+            self._clocks[r].advance_to(arrive)
+        self._clocks[root].advance_to(t)
+        return t
+
+    def _group(self, ranks: Optional[Sequence[int]]) -> List[int]:
+        if ranks is None:
+            return list(range(self._size))
+        group = list(dict.fromkeys(ranks))
+        if not group:
+            raise CommunicationError("empty rank group")
+        for r in group:
+            self._check_rank(r)
+        return group
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise CommunicationError(f"rank {rank} out of range 0..{self._size - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimCommunicator(size={self._size})"

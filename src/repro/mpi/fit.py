@@ -1,0 +1,119 @@
+"""Measuring links and fitting Hockney parameters.
+
+The application simulations price communication with the Hockney model
+``t = alpha + n / beta``.  On a real platform those parameters come from
+measurement -- ping-pong benchmarks over a range of message sizes, followed
+by a least-squares fit.  This module provides both halves against the
+simulated network, with multiplicative timing noise, so the whole
+"benchmark the platform, then predict with the model" workflow is
+exercised for communication exactly as it is for computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.mpi.network import LinkModel, Network
+
+
+@dataclass(frozen=True)
+class LinkFit:
+    """Result of :func:`fit_hockney`.
+
+    Attributes:
+        link: the fitted :class:`LinkModel`.
+        residual: root-mean-square relative error of the fit over the
+            samples it was computed from.
+    """
+
+    link: LinkModel
+    residual: float
+
+
+def measure_pingpong(
+    network: Network,
+    src: int,
+    dst: int,
+    sizes: Sequence[int],
+    reps: int = 5,
+    noise_sigma: float = 0.02,
+    seed: int = 0,
+) -> List[Tuple[int, float]]:
+    """Ping-pong measurements of one link over several message sizes.
+
+    Returns ``(nbytes, mean_one_way_time)`` samples.  The round trip is
+    timed (as real ping-pong benchmarks do) and halved; multiplicative
+    Gaussian noise models timer jitter.
+    """
+    if not sizes:
+        raise CommunicationError("need at least one message size")
+    if any(n <= 0 for n in sizes):
+        raise CommunicationError(f"message sizes must be positive: {sizes}")
+    if reps < 1:
+        raise CommunicationError(f"reps must be >= 1, got {reps}")
+    rng = np.random.default_rng(seed)
+    samples: List[Tuple[int, float]] = []
+    for n in sizes:
+        one_way = network.time(src, dst, n)
+        total = 0.0
+        for _ in range(reps):
+            jitter = 1.0 + float(rng.normal(0.0, noise_sigma)) if noise_sigma else 1.0
+            round_trip = 2.0 * one_way * max(jitter, 0.05)
+            total += round_trip / 2.0
+        samples.append((n, total / reps))
+    return samples
+
+
+def fit_hockney(samples: Sequence[Tuple[int, float]]) -> LinkFit:
+    """Least-squares fit of ``t = alpha + n / beta`` to measured samples.
+
+    Args:
+        samples: ``(nbytes, seconds)`` pairs covering at least two distinct
+            message sizes.
+
+    Returns:
+        A :class:`LinkFit` whose link has non-negative latency and positive
+        bandwidth.
+
+    Raises:
+        CommunicationError: with degenerate input (fewer than two distinct
+            sizes, or a non-increasing fit that implies infinite/negative
+            bandwidth).
+    """
+    if len({n for n, _t in samples}) < 2:
+        raise CommunicationError(
+            "fit_hockney needs at least two distinct message sizes"
+        )
+    n = np.asarray([float(s[0]) for s in samples])
+    t = np.asarray([float(s[1]) for s in samples])
+    design = np.column_stack([np.ones_like(n), n])
+    (alpha, inv_beta), *_ = np.linalg.lstsq(design, t, rcond=None)
+    if inv_beta <= 0.0:
+        raise CommunicationError(
+            f"fit implies non-positive inverse bandwidth {inv_beta}; "
+            "samples do not look like a Hockney link"
+        )
+    alpha = max(float(alpha), 0.0)
+    link = LinkModel(latency=alpha, bandwidth=1.0 / float(inv_beta))
+    predicted = alpha + n * inv_beta
+    rel = (predicted - t) / np.maximum(t, 1e-30)
+    residual = float(np.sqrt(np.mean(rel * rel)))
+    return LinkFit(link=link, residual=residual)
+
+
+def fit_link(
+    network: Network,
+    src: int,
+    dst: int,
+    sizes: Sequence[int],
+    reps: int = 5,
+    noise_sigma: float = 0.02,
+    seed: int = 0,
+) -> LinkFit:
+    """Measure a link and fit its Hockney parameters in one call."""
+    samples = measure_pingpong(network, src, dst, sizes, reps, noise_sigma, seed)
+    return fit_hockney(samples)

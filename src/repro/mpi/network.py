@@ -1,0 +1,88 @@
+"""Hockney-model links and platform-aware networks.
+
+The Hockney model prices a message of ``n`` bytes at ``alpha + n / beta``
+(latency plus inverse bandwidth).  It is the standard first-order model for
+MPI point-to-point costs and is what the collective schedules in
+:mod:`repro.mpi.comm` build on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CommunicationError
+from repro.platform.cluster import Platform
+
+
+class LinkModel:
+    """A Hockney (alpha-beta) communication link.
+
+    Args:
+        latency: per-message latency ``alpha`` in seconds.
+        bandwidth: sustained bandwidth ``beta`` in bytes per second.
+    """
+
+    def __init__(self, latency: float, bandwidth: float) -> None:
+        if latency < 0.0:
+            raise CommunicationError(f"latency must be non-negative, got {latency}")
+        if bandwidth <= 0.0:
+            raise CommunicationError(f"bandwidth must be positive, got {bandwidth}")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+
+    def time(self, nbytes: float) -> float:
+        """Transfer time of a message of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise CommunicationError(f"message size must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkModel(latency={self.latency:.3g}, bandwidth={self.bandwidth:.3g})"
+
+
+#: Gigabit-Ethernet-like default interconnect.
+DEFAULT_INTER_NODE = LinkModel(latency=5.0e-5, bandwidth=1.25e8)
+#: Shared-memory-like intra-node transfer.
+DEFAULT_INTRA_NODE = LinkModel(latency=2.0e-6, bandwidth=4.0e9)
+
+
+class Network:
+    """Pairwise link selection, optionally platform-aware.
+
+    With a platform attached, messages between ranks on the same node use
+    the (faster) intra-node link; everything else uses the inter-node link.
+    Without a platform, all pairs use the inter-node link.
+    """
+
+    def __init__(
+        self,
+        inter_node: Optional[LinkModel] = None,
+        intra_node: Optional[LinkModel] = None,
+        platform: Optional[Platform] = None,
+    ) -> None:
+        self.inter_node = inter_node if inter_node is not None else DEFAULT_INTER_NODE
+        self.intra_node = intra_node if intra_node is not None else DEFAULT_INTRA_NODE
+        self.platform = platform
+
+    def link(self, src: int, dst: int) -> LinkModel:
+        """The link used between ranks ``src`` and ``dst``."""
+        if src == dst:
+            # Self-messages are free of wire costs; model as intra-node.
+            return self.intra_node
+        if self.platform is not None:
+            node_src = self.platform.node_of(self.platform.device(src))
+            node_dst = self.platform.node_of(self.platform.device(dst))
+            if node_src.name == node_dst.name:
+                return self.intra_node
+        return self.inter_node
+
+    def time(self, src: int, dst: int, nbytes: float) -> float:
+        """Transfer time between two ranks."""
+        if src == dst:
+            return 0.0
+        return self.link(src, dst).time(nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(inter={self.inter_node!r}, intra={self.intra_node!r})"

@@ -1,0 +1,59 @@
+"""Simulated dedicated heterogeneous HPC platform.
+
+The paper evaluates FuPerMod on real Grid'5000 nodes (multicore CPUs, NVIDIA
+GPUs, several BLAS implementations).  Offline we substitute a simulator that
+produces the same *observable* as real hardware does for the framework --
+noisy execution times of a computation kernel as a function of problem size
+-- with the characteristic shapes of real speed functions:
+
+* cache/memory-hierarchy cliffs and paging drops for CPU cores
+  (:class:`CacheHierarchyProfile`);
+* transfer-overhead ramp, high peak and a device-memory cap for a GPU bundled
+  with its dedicated host core (:class:`GpuProfile`);
+* non-smooth local humps like the Netlib BLAS GEMM curve of Fig. 2
+  (:class:`WigglyProfile`);
+* contention between processes sharing a multicore node
+  (:meth:`Node.contention_factor`).
+
+A :class:`Device` turns a profile plus a noise model into execution times; a
+:class:`Node` groups devices that share resources; a :class:`Platform` is the
+set of nodes the framework partitions across.  :mod:`repro.platform.presets`
+builds the concrete platforms used in the experiments.
+"""
+
+from repro.platform.calibration import ProfileFit, fit_cache_profile, fit_gpu_profile
+from repro.platform.clock import VirtualClock
+from repro.platform.device import Device, DeviceKind, MemoryExceeded
+from repro.platform.noise import GaussianNoise, NoiseModel, NoNoise
+from repro.platform.cluster import Node, Platform
+from repro.platform.profiles import (
+    CacheHierarchyProfile,
+    ConstantProfile,
+    GpuProfile,
+    ScaledProfile,
+    SpeedProfile,
+    TableProfile,
+    WigglyProfile,
+)
+
+__all__ = [
+    "CacheHierarchyProfile",
+    "ConstantProfile",
+    "Device",
+    "DeviceKind",
+    "GaussianNoise",
+    "GpuProfile",
+    "MemoryExceeded",
+    "NoNoise",
+    "NoiseModel",
+    "Node",
+    "ProfileFit",
+    "Platform",
+    "ScaledProfile",
+    "SpeedProfile",
+    "TableProfile",
+    "VirtualClock",
+    "WigglyProfile",
+    "fit_cache_profile",
+    "fit_gpu_profile",
+]

@@ -1,0 +1,53 @@
+"""Virtual time.
+
+Simulated kernels and the message-passing simulator advance virtual clocks
+instead of consuming wall time, so experiments that would take hours on real
+hardware run in milliseconds while preserving relative timings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock.
+
+    Time is a float in seconds, starting at zero.  Clocks are cheap value
+    objects; the message-passing simulator keeps one per rank and
+    synchronises them at barriers and collectives.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise PlatformError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds (non-negative); returns the new time."""
+        if dt < 0.0:
+            raise PlatformError(f"cannot advance clock by negative {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` if it is in the future."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self, t: float = 0.0) -> None:
+        """Reset the clock (used between independent experiments)."""
+        if t < 0.0:
+            raise PlatformError(f"cannot reset clock to negative time {t}")
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,145 @@
+"""Nodes and platforms: grouping devices that share resources.
+
+On a multicore node, parallel processes interfere through shared memory, so
+the speed of an individual core cannot be measured in isolation -- the paper
+(and ref. [18]) measures all cores of a group *simultaneously*, synchronised,
+so resources are shared between the maximum number of processes.  The
+simulator models this with a per-node contention curve: when ``g`` processes
+of a node run together, each one's speed is scaled by
+:meth:`Node.contention_factor`.
+
+A :class:`Platform` is an ordered collection of nodes; its flattened device
+list defines the process ranks the partitioning framework works with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import PlatformError
+from repro.platform.device import Device
+
+
+class Node:
+    """A set of devices sharing resources (memory bus, PCIe, ...).
+
+    Args:
+        name: unique node name.
+        devices: devices hosted by this node.
+        contention: per-group-size speed factors.  ``contention[g]`` is the
+            factor applied to every device's speed when ``g`` processes of
+            the node compute simultaneously; index 1 must be 1.0.  Sizes
+            beyond the list reuse the last entry.  Omitted -> no contention.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        devices: Sequence[Device],
+        contention: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not name:
+            raise PlatformError("node name must be non-empty")
+        if not devices:
+            raise PlatformError(f"node {name!r} must host at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"node {name!r} has duplicate device names: {names}")
+        if contention is not None:
+            factors = list(contention)
+            if not factors or abs(factors[0] - 1.0) > 1e-12:
+                raise PlatformError("contention[0] (group of 1) must be 1.0")
+            if any(not 0.0 < f <= 1.0 for f in factors):
+                raise PlatformError(f"contention factors must be in (0, 1]: {factors}")
+            self._contention: Optional[List[float]] = factors
+        else:
+            self._contention = None
+        self.name = name
+        self.devices: List[Device] = list(devices)
+
+    def contention_factor(self, group_size: int) -> float:
+        """Speed factor when ``group_size`` processes run simultaneously."""
+        if group_size < 1:
+            raise PlatformError(f"group_size must be >= 1, got {group_size}")
+        if self._contention is None:
+            return 1.0
+        idx = min(group_size - 1, len(self._contention) - 1)
+        return self._contention[idx]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, {len(self.devices)} devices)"
+
+
+class Platform:
+    """An ordered collection of nodes forming the target platform.
+
+    Process ranks are assigned in flattened device order: node 0's devices
+    first, then node 1's, and so on.  This ordering is what the benchmark
+    runner, the partitioners and the application simulations all share.
+    """
+
+    def __init__(self, nodes: Iterable[Node]) -> None:
+        self.nodes: List[Node] = list(nodes)
+        if not self.nodes:
+            raise PlatformError("platform must contain at least one node")
+        node_names = [n.name for n in self.nodes]
+        if len(set(node_names)) != len(node_names):
+            raise PlatformError(f"duplicate node names: {node_names}")
+        self._devices: List[Device] = []
+        self._node_of: Dict[str, Node] = {}
+        for node in self.nodes:
+            for dev in node.devices:
+                if dev.name in self._node_of:
+                    raise PlatformError(f"duplicate device name across nodes: {dev.name!r}")
+                self._devices.append(dev)
+                self._node_of[dev.name] = node
+
+    @property
+    def devices(self) -> Sequence[Device]:
+        """All devices in rank order."""
+        return tuple(self._devices)
+
+    @property
+    def size(self) -> int:
+        """Number of processes (devices) on the platform."""
+        return len(self._devices)
+
+    def device(self, rank: int) -> Device:
+        """Device of a given process rank."""
+        if not 0 <= rank < len(self._devices):
+            raise PlatformError(f"rank {rank} out of range 0..{len(self._devices) - 1}")
+        return self._devices[rank]
+
+    def node_of(self, device: Device) -> Node:
+        """The node hosting ``device``."""
+        try:
+            return self._node_of[device.name]
+        except KeyError:
+            raise PlatformError(f"device {device.name!r} is not on this platform") from None
+
+    def rank_of(self, device: Device) -> int:
+        """Process rank of ``device``."""
+        for i, d in enumerate(self._devices):
+            if d.name == device.name:
+                return i
+        raise PlatformError(f"device {device.name!r} is not on this platform")
+
+    def group_contention(self, rank: int, active_ranks: Sequence[int]) -> float:
+        """Contention factor for ``rank`` when ``active_ranks`` run together.
+
+        Only processes on the *same node* as ``rank`` count towards its
+        group size; remote processes do not share its resources.
+        """
+        dev = self.device(rank)
+        node = self.node_of(dev)
+        node_dev_names = {d.name for d in node.devices}
+        group = sum(1 for r in active_ranks if self.device(r).name in node_dev_names)
+        if rank not in active_ranks:
+            group += 1
+        return node.contention_factor(max(group, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Platform({len(self.nodes)} nodes, {self.size} devices)"

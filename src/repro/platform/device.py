@@ -1,0 +1,116 @@
+"""Simulated computing devices.
+
+A :class:`Device` is the simulator's stand-in for "a process running on some
+piece of hardware": a CPU core, a group of cores treated as one process, or a
+GPU bundled with its dedicated host core (the paper measures those together).
+Its observable behaviour is a single method -- :meth:`execution_time` -- that
+returns how long a kernel of a given complexity takes at a given problem
+size, with multiplicative measurement noise.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.platform.noise import GaussianNoise, NoiseModel
+from repro.platform.profiles import SpeedProfile
+
+
+class MemoryExceeded(PlatformError):
+    """The problem does not fit the device memory and no out-of-core path exists."""
+
+
+class DeviceKind(enum.Enum):
+    """What the device models; informational, used in reports and traces."""
+
+    CPU_CORE = "cpu-core"
+    CPU_MULTICORE = "cpu-multicore"
+    GPU = "gpu"
+    OTHER = "other"
+
+
+class Device:
+    """A simulated computing device.
+
+    Args:
+        name: unique human-readable identifier.
+        profile: sustained speed as a function of problem size.
+        kind: informational device category.
+        noise: multiplicative timing noise (defaults to ~2%, a bound
+            process on a dedicated node).
+        memory_limit_units: optional hard cap on the problem size this
+            device can hold; :meth:`execution_time` raises
+            :class:`MemoryExceeded` beyond it.  GPU out-of-core behaviour
+            is modelled in the profile instead (slower, but feasible).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: SpeedProfile,
+        kind: DeviceKind = DeviceKind.CPU_CORE,
+        noise: Optional[NoiseModel] = None,
+        memory_limit_units: Optional[float] = None,
+    ) -> None:
+        if not name:
+            raise PlatformError("device name must be non-empty")
+        if memory_limit_units is not None and memory_limit_units <= 0:
+            raise PlatformError("memory_limit_units must be positive")
+        self.name = name
+        self.profile = profile
+        self.kind = kind
+        self.noise: NoiseModel = noise if noise is not None else GaussianNoise(0.02)
+        self.memory_limit_units = memory_limit_units
+
+    def ideal_time(self, complexity_flops: float, d: float) -> float:
+        """Noise-free execution time of ``complexity_flops`` at size ``d``.
+
+        This is the ground truth the performance models try to approximate;
+        tests and experiment reports compare against it.
+        """
+        if complexity_flops < 0:
+            raise PlatformError(f"complexity must be non-negative, got {complexity_flops}")
+        if d < 0:
+            raise PlatformError(f"problem size must be non-negative, got {d}")
+        if d == 0 or complexity_flops == 0:
+            return 0.0
+        self._check_memory(d)
+        return complexity_flops / self.profile.flops_at(d)
+
+    def execution_time(
+        self,
+        complexity_flops: float,
+        d: float,
+        rng: np.random.Generator,
+        contention_factor: float = 1.0,
+    ) -> float:
+        """One noisy execution: seconds to perform the kernel at size ``d``.
+
+        ``contention_factor`` scales the effective speed down when other
+        processes share the device's node (see :class:`repro.platform.Node`).
+        """
+        if not 0.0 < contention_factor <= 1.0:
+            raise PlatformError(f"contention_factor must be in (0, 1], got {contention_factor}")
+        base = self.ideal_time(complexity_flops, d)
+        return base / contention_factor * self.noise.factor(rng)
+
+    def ideal_speed(self, complexity_flops: float, d: float) -> float:
+        """Noise-free speed in FLOP/s at size ``d`` (ground truth)."""
+        t = self.ideal_time(complexity_flops, d)
+        if t == 0.0:
+            return float("inf")
+        return complexity_flops / t
+
+    def _check_memory(self, d: float) -> None:
+        if self.memory_limit_units is not None and d > self.memory_limit_units:
+            raise MemoryExceeded(
+                f"device {self.name!r}: problem size {d} exceeds memory limit "
+                f"{self.memory_limit_units}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.name!r}, {self.kind.value}, {self.profile!r})"

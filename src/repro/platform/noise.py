@@ -1,0 +1,73 @@
+"""Measurement noise models.
+
+Real benchmark timings fluctuate (OS jitter, DVFS, cache state).  The paper's
+measurement methodology -- process binding, synchronisation, statistically
+controlled repetition -- exists precisely to tame this noise.  The simulator
+reproduces it with multiplicative noise on execution times so the statistical
+machinery in :mod:`repro.core.benchmark` has something real to do.
+
+Process binding is modelled through the noise level: an unbound process (the
+OS may migrate it between cores) sees substantially larger jitter than a
+bound one, which is exactly the effect binding has on real measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import PlatformError
+
+
+class NoiseModel(abc.ABC):
+    """Multiplicative noise on execution times."""
+
+    @abc.abstractmethod
+    def factor(self, rng: np.random.Generator) -> float:
+        """Draw one multiplicative factor (always strictly positive)."""
+
+
+class NoNoise(NoiseModel):
+    """Deterministic timing: factor is always 1 (useful in unit tests)."""
+
+    def factor(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "NoNoise()"
+
+
+class GaussianNoise(NoiseModel):
+    """Gaussian multiplicative noise, truncated to keep factors positive.
+
+    ``sigma`` is the relative standard deviation (e.g. 0.02 for ~2% jitter,
+    typical of a bound process on a dedicated node; an unbound process is
+    better modelled with 0.1 or more).  Draws are clipped to ±3 sigma and
+    floored so the factor never drops below 5% of nominal.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if sigma < 0.0:
+            raise PlatformError(f"noise sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def factor(self, rng: np.random.Generator) -> float:
+        if self.sigma == 0.0:
+            return 1.0
+        draw = rng.normal(0.0, self.sigma)
+        draw = min(max(draw, -3.0 * self.sigma), 3.0 * self.sigma)
+        return max(1.0 + draw, 0.05)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GaussianNoise(sigma={self.sigma})"
+
+
+def bound_process_noise() -> GaussianNoise:
+    """Typical jitter of a process pinned to a core on a dedicated node."""
+    return GaussianNoise(0.02)
+
+
+def unbound_process_noise() -> GaussianNoise:
+    """Typical jitter when the OS is free to migrate the process."""
+    return GaussianNoise(0.12)

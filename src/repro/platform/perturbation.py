@@ -1,0 +1,84 @@
+"""Time-varying performance perturbations.
+
+The paper targets *dedicated* platforms whose performance is stable in
+time -- that is what makes models built once reusable.  Dynamic load
+balancing (ref. [6]) is the insurance policy for when that assumption
+frays: another job lands on a node, a thermal limit kicks in, a disk scrub
+steals memory bandwidth.  The simulator models such episodes as
+multiplicative speed factors that switch on at a virtual time, so
+experiments can quantify how static and dynamic strategies react (ablation
+A9 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class SpeedStep:
+    """A persistent speed change for one rank from a point in time.
+
+    Attributes:
+        rank: the affected process.
+        start_time: virtual time (seconds) at which the change takes hold.
+        factor: speed multiplier from then on, in ``(0, 1]`` -- the
+            simulator models slowdowns (an external disturbance cannot make
+            dedicated hardware faster).
+        end_time: optional virtual time at which the episode ends and the
+            rank returns to nominal speed (None = permanent).
+    """
+
+    rank: int
+    start_time: float
+    factor: float
+    end_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise PlatformError(f"rank must be non-negative, got {self.rank}")
+        if self.start_time < 0.0:
+            raise PlatformError(f"start_time must be non-negative, got {self.start_time}")
+        if not 0.0 < self.factor <= 1.0:
+            raise PlatformError(f"factor must be in (0, 1], got {self.factor}")
+        if self.end_time is not None and self.end_time <= self.start_time:
+            raise PlatformError(
+                f"end_time {self.end_time} must exceed start_time {self.start_time}"
+            )
+
+    def active_at(self, time: float) -> bool:
+        """Whether the episode affects executions starting at ``time``."""
+        if time < self.start_time:
+            return False
+        return self.end_time is None or time < self.end_time
+
+
+class PerturbationSchedule:
+    """A set of speed episodes, queried by (rank, virtual time).
+
+    Factors of overlapping episodes on the same rank multiply.
+    """
+
+    def __init__(self, steps: Sequence[SpeedStep] = ()) -> None:
+        self.steps: List[SpeedStep] = list(steps)
+
+    def add(self, step: SpeedStep) -> None:
+        """Add one episode."""
+        self.steps.append(step)
+
+    def factor(self, rank: int, time: float) -> float:
+        """Combined speed factor for ``rank`` at virtual ``time``."""
+        out = 1.0
+        for step in self.steps:
+            if step.rank == rank and step.active_at(time):
+                out *= step.factor
+        return out
+
+    def __bool__(self) -> bool:
+        return bool(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerturbationSchedule({len(self.steps)} steps)"

@@ -1,0 +1,261 @@
+"""Synthetic speed profiles with the shapes of real measured speed functions.
+
+A profile maps a problem size ``d`` (in application *computation units*) to a
+sustained floating-point rate in FLOP/s.  Simulated devices divide the kernel
+complexity by this rate to produce execution times.
+
+The shapes follow the paper and its companion studies (refs. [18, 19]):
+
+* :class:`CacheHierarchyProfile` -- a CPU core: fast while the working set
+  fits a cache level, stepping down through the hierarchy, with a hard
+  paging cliff past the memory share;
+* :class:`GpuProfile` -- a GPU bundled with its dedicated host core: poor at
+  small sizes (PCIe transfer and launch overhead dominate), a high plateau,
+  and either a hard device-memory cap or an out-of-core slowdown;
+* :class:`WigglyProfile` -- a non-smooth curve with local humps, like the
+  Netlib BLAS GEMM speed function in Fig. 2 of the paper;
+* :class:`TableProfile` -- piecewise-linear through explicit (size, rate)
+  points, for profiles digitised from plots or measured elsewhere.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import PlatformError
+from repro.interp.piecewise_linear import PiecewiseLinear
+
+#: Rates below this are clamped; a zero rate would mean infinite time.
+_MIN_RATE = 1.0
+
+
+class SpeedProfile(abc.ABC):
+    """Sustained speed (FLOP/s) as a function of problem size (units)."""
+
+    @abc.abstractmethod
+    def flops_at(self, d: float) -> float:
+        """Sustained rate at problem size ``d`` (always > 0)."""
+
+    def __call__(self, d: float) -> float:
+        return self.flops_at(d)
+
+
+class ConstantProfile(SpeedProfile):
+    """A device whose speed does not depend on problem size.
+
+    This is the (usually wrong) assumption behind constant performance
+    models; having it as an explicit profile lets tests and ablations create
+    platforms where CPM is exact.
+    """
+
+    def __init__(self, flops: float) -> None:
+        if flops <= 0.0:
+            raise PlatformError(f"rate must be positive, got {flops}")
+        self.flops = float(flops)
+
+    def flops_at(self, d: float) -> float:
+        return self.flops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConstantProfile({self.flops:.3g})"
+
+
+class ScaledProfile(SpeedProfile):
+    """A profile multiplied by a constant factor.
+
+    Used for families of similar devices (e.g. the cores of one socket) and
+    for modelling contention (a share < 1 of the standalone profile).
+    """
+
+    def __init__(self, base: SpeedProfile, factor: float) -> None:
+        if factor <= 0.0:
+            raise PlatformError(f"scale factor must be positive, got {factor}")
+        self.base = base
+        self.factor = float(factor)
+
+    def flops_at(self, d: float) -> float:
+        return max(self.base.flops_at(d) * self.factor, _MIN_RATE)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ScaledProfile({self.base!r}, {self.factor:.3g})"
+
+
+class TableProfile(SpeedProfile):
+    """Piecewise-linear profile through explicit ``(size, rate)`` points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        for d, r in points:
+            if r <= 0.0:
+                raise PlatformError(f"rates must be positive, got {r} at {d}")
+        self._interp = PiecewiseLinear(points, min_y=_MIN_RATE)
+
+    @property
+    def points(self) -> "Tuple[Tuple[float, float], ...]":
+        """The (size, rate) knots, sorted and de-duplicated."""
+        return tuple(zip(self._interp.xs, self._interp.ys))
+
+    def flops_at(self, d: float) -> float:
+        return max(self._interp(d), _MIN_RATE)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TableProfile({len(self._interp)} points)"
+
+
+def _logistic(x: float) -> float:
+    """Numerically safe logistic function."""
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+class CacheHierarchyProfile(SpeedProfile):
+    """CPU-core profile stepping down through a memory hierarchy.
+
+    ``levels`` is a list of ``(capacity_units, flops)`` pairs ordered by
+    capacity: while the working set fits within a level's capacity the core
+    sustains that level's rate; transitions are smoothed logistically over a
+    relative width so the profile is continuous (measured curves are).  Past
+    the last capacity the core falls to ``paged_flops`` -- the paging cliff
+    that makes constant models so misleading on real platforms.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[Tuple[float, float]],
+        paged_flops: float,
+        transition_width: float = 0.08,
+    ) -> None:
+        if not levels:
+            raise PlatformError("CacheHierarchyProfile needs at least one level")
+        caps = [c for c, _r in levels]
+        if any(c <= 0 for c in caps) or caps != sorted(caps):
+            raise PlatformError(f"capacities must be positive and increasing: {caps}")
+        if any(r <= 0 for _c, r in levels) or paged_flops <= 0:
+            raise PlatformError("rates must be positive")
+        if transition_width <= 0:
+            raise PlatformError("transition_width must be positive")
+        self.levels: List[Tuple[float, float]] = [(float(c), float(r)) for c, r in levels]
+        self.paged_flops = float(paged_flops)
+        self.transition_width = float(transition_width)
+
+    def flops_at(self, d: float) -> float:
+        d = max(float(d), 1.0)
+        rate = self.levels[0][1]
+        # Blend towards the next stage as d crosses each capacity.
+        stages = [r for _c, r in self.levels[1:]] + [self.paged_flops]
+        for (cap, _r), next_rate in zip(self.levels, stages):
+            # logistic in log-space: transition centred at cap, relative width.
+            z = (math.log(d) - math.log(cap)) / self.transition_width
+            w = _logistic(z)
+            rate = rate * (1.0 - w) + next_rate * w
+        return max(rate, _MIN_RATE)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CacheHierarchyProfile({self.levels}, paged={self.paged_flops:.3g})"
+
+
+class GpuProfile(SpeedProfile):
+    """Combined speed of a GPU and its dedicated host CPU core.
+
+    The paper measures GPU kernels *together with* the host-side transfer
+    and launch overhead, from the host core.  That combination yields the
+    characteristic shape modelled here:
+
+    * at small ``d`` the fixed overhead dominates, so the effective rate
+      ramps up roughly as ``d / (d + ramp_units)``;
+    * at large ``d`` the rate saturates at ``peak_flops``;
+    * past ``memory_limit_units`` either the device cannot run the kernel at
+      all (``out_of_core_factor`` of ``None`` -- callers enforce the cap) or
+      an out-of-core implementation runs at a fraction of peak.
+    """
+
+    def __init__(
+        self,
+        peak_flops: float,
+        ramp_units: float,
+        memory_limit_units: float | None = None,
+        out_of_core_factor: float | None = None,
+        host_flops: float = 0.0,
+    ) -> None:
+        if peak_flops <= 0 or ramp_units <= 0:
+            raise PlatformError("peak_flops and ramp_units must be positive")
+        if memory_limit_units is not None and memory_limit_units <= 0:
+            raise PlatformError("memory_limit_units must be positive")
+        if out_of_core_factor is not None and not 0.0 < out_of_core_factor <= 1.0:
+            raise PlatformError("out_of_core_factor must be in (0, 1]")
+        self.peak_flops = float(peak_flops)
+        self.ramp_units = float(ramp_units)
+        self.memory_limit_units = memory_limit_units
+        self.out_of_core_factor = out_of_core_factor
+        self.host_flops = float(host_flops)
+
+    def flops_at(self, d: float) -> float:
+        d = max(float(d), 1.0)
+        rate = self.peak_flops * d / (d + self.ramp_units) + self.host_flops
+        if (
+            self.memory_limit_units is not None
+            and d > self.memory_limit_units
+            and self.out_of_core_factor is not None
+        ):
+            rate *= self.out_of_core_factor
+        return max(rate, _MIN_RATE)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"GpuProfile(peak={self.peak_flops:.3g}, ramp={self.ramp_units:.3g}, "
+            f"mem={self.memory_limit_units}, ooc={self.out_of_core_factor})"
+        )
+
+
+class WigglyProfile(SpeedProfile):
+    """A non-smooth profile with local humps, like Netlib BLAS in Fig. 2.
+
+    The base shape rises quickly to a peak and then decays slowly (memory
+    traffic grows with the working set); Gaussian humps and dips are
+    superimposed to reproduce the local irregularities that defeat simple
+    interpolation and motivate both Akima splines and coarsening.
+
+    ``humps`` is a list of ``(centre_units, relative_amplitude, width_units)``
+    tuples; negative amplitudes are dips.
+    """
+
+    def __init__(
+        self,
+        peak_flops: float,
+        rise_units: float,
+        decay_per_unit: float = 0.0,
+        humps: Sequence[Tuple[float, float, float]] = (),
+        floor_flops: float = _MIN_RATE,
+    ) -> None:
+        if peak_flops <= 0 or rise_units <= 0:
+            raise PlatformError("peak_flops and rise_units must be positive")
+        if decay_per_unit < 0:
+            raise PlatformError("decay_per_unit must be non-negative")
+        for c, _a, w in humps:
+            if c <= 0 or w <= 0:
+                raise PlatformError(f"hump centre/width must be positive: ({c}, {w})")
+        self.peak_flops = float(peak_flops)
+        self.rise_units = float(rise_units)
+        self.decay_per_unit = float(decay_per_unit)
+        self.humps = [(float(c), float(a), float(w)) for c, a, w in humps]
+        self.floor_flops = float(floor_flops)
+
+    def flops_at(self, d: float) -> float:
+        d = max(float(d), 1.0)
+        base = self.peak_flops * d / (d + self.rise_units)
+        base /= 1.0 + self.decay_per_unit * d
+        bump = 0.0
+        for centre, amp, width in self.humps:
+            bump += amp * math.exp(-((d - centre) ** 2) / (2.0 * width * width))
+        rate = base * (1.0 + bump)
+        return max(rate, self.floor_flops, _MIN_RATE)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"WigglyProfile(peak={self.peak_flops:.3g}, rise={self.rise_units:.3g}, "
+            f"{len(self.humps)} humps)"
+        )

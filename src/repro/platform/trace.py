@@ -1,0 +1,153 @@
+"""Execution traces for the application simulations.
+
+A :class:`TraceRecorder` collects timestamped events -- compute spans,
+communication spans, rebalance markers -- from simulation runs, one lane
+per rank.  The text renderer draws a Gantt-style chart in plain ASCII,
+which the examples print so a user can *see* where the time goes, and the
+statistics helpers aggregate busy/idle fractions for tests and reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import PlatformError
+
+
+class EventKind(enum.Enum):
+    """What a trace span represents."""
+
+    COMPUTE = "compute"
+    COMM = "comm"
+    IDLE = "idle"
+    MARKER = "marker"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A span (or point marker) on one rank's timeline.
+
+    Attributes:
+        rank: the process whose lane the event belongs to.
+        kind: event category.
+        start: virtual start time in seconds.
+        end: virtual end time (equals ``start`` for markers).
+        label: free-form annotation (e.g. "iter 3", "rebalance").
+    """
+
+    rank: int
+    kind: EventKind
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise PlatformError(f"rank must be non-negative, got {self.rank}")
+        if self.start < 0.0 or self.end < self.start:
+            raise PlatformError(
+                f"invalid span [{self.start}, {self.end}] for event {self.label!r}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class TraceRecorder:
+    """Collects events from a simulation run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def compute(self, rank: int, start: float, end: float, label: str = "") -> None:
+        """Record a computation span."""
+        self.events.append(TraceEvent(rank, EventKind.COMPUTE, start, end, label))
+
+    def comm(self, rank: int, start: float, end: float, label: str = "") -> None:
+        """Record a communication span."""
+        self.events.append(TraceEvent(rank, EventKind.COMM, start, end, label))
+
+    def marker(self, rank: int, at: float, label: str) -> None:
+        """Record a point marker (e.g. a rebalance decision)."""
+        self.events.append(TraceEvent(rank, EventKind.MARKER, at, at, label))
+
+    @property
+    def span(self) -> "tuple[float, float]":
+        """Earliest start and latest end over all events."""
+        if not self.events:
+            raise PlatformError("trace is empty")
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    @property
+    def ranks(self) -> List[int]:
+        """Ranks appearing in the trace, ascending."""
+        return sorted({e.rank for e in self.events})
+
+    def busy_fraction(self, rank: int, kind: Optional[EventKind] = None) -> float:
+        """Fraction of the trace span this rank spends in ``kind`` events.
+
+        Overlapping spans of the same rank are merged before measuring, so
+        double-booked time is not counted twice.  With ``kind=None`` all
+        non-marker spans count as busy.
+        """
+        lo, hi = self.span
+        horizon = hi - lo
+        if horizon <= 0.0:
+            return 0.0
+        spans = sorted(
+            (e.start, e.end)
+            for e in self.events
+            if e.rank == rank
+            and e.kind is not EventKind.MARKER
+            and (kind is None or e.kind is kind)
+            and e.end > e.start
+        )
+        merged: List[List[float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        busy = sum(end - start for start, end in merged)
+        return busy / horizon
+
+    def render(self, width: int = 72, labels: Optional[Dict[int, str]] = None) -> str:
+        """Render the trace as an ASCII Gantt chart.
+
+        ``#`` marks computation, ``~`` communication, ``.`` idle time and
+        ``|`` point markers.  One line per rank.
+        """
+        if width < 10:
+            raise PlatformError(f"width must be at least 10, got {width}")
+        lo, hi = self.span
+        horizon = max(hi - lo, 1e-30)
+
+        def column(t: float) -> int:
+            return min(int((t - lo) / horizon * width), width - 1)
+
+        lines = [f"time: {lo:.4g}s .. {hi:.4g}s  ('#'=compute '~'=comm '|'=marker)"]
+        name_width = max(
+            (len((labels or {}).get(r, f"rank {r}")) for r in self.ranks), default=6
+        )
+        for rank in self.ranks:
+            lane = ["."] * width
+            for event in self.events:
+                if event.rank != rank:
+                    continue
+                if event.kind is EventKind.MARKER:
+                    lane[column(event.start)] = "|"
+                    continue
+                char = "#" if event.kind is EventKind.COMPUTE else "~"
+                for c in range(column(event.start), column(event.end) + 1):
+                    if lane[c] != "|":
+                        lane[c] = char
+            name = (labels or {}).get(rank, f"rank {rank}").rjust(name_width)
+            lines.append(f"{name} {''.join(lane)}")
+        return "\n".join(lines)

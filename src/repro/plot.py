@@ -1,0 +1,95 @@
+"""Terminal plots for the experiment harness.
+
+The benches reproduce *figures*; this module lets them draw those figures
+in the terminal -- an ASCII scatter/line canvas with multiple labelled
+series -- so ``pytest benchmarks/ --benchmark-only -s`` shows the shapes,
+not just the tables.  No plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import FuPerModError
+
+#: Marker characters assigned to series in insertion order.
+_MARKERS = "*+ox#@%&"
+
+Point = Tuple[float, float]
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Point]],
+    width: int = 70,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render labelled (x, y) series on an ASCII canvas.
+
+    Args:
+        series: mapping from series name to its points; drawn in insertion
+            order with markers ``* + o x ...``.
+        width/height: canvas size in characters (excluding axes).
+        title: optional heading line.
+        x_label/y_label: optional axis annotations.
+
+    Returns:
+        The plot as a multi-line string.
+    """
+    if not series:
+        raise FuPerModError("ascii_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise FuPerModError(f"canvas too small: {width}x{height}")
+    if len(series) > len(_MARKERS):
+        raise FuPerModError(f"at most {len(_MARKERS)} series supported")
+
+    points_all: List[Point] = [p for pts in series.values() for p in pts]
+    if not points_all:
+        raise FuPerModError("ascii_plot needs at least one point")
+    x_min = min(p[0] for p in points_all)
+    x_max = max(p[0] for p in points_all)
+    y_min = min(p[1] for p in points_all)
+    y_max = max(p[1] for p in points_all)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = (height - 1) - int((y - y_min) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(legend)
+    y_top = f"{y_max:.4g}"
+    y_bottom = f"{y_min:.4g}"
+    label_width = max(len(y_top), len(y_bottom), len(y_label))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = y_top.rjust(label_width)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = f"{x_min:.4g}"
+    x_right = f"{x_max:.4g}"
+    gap = width - len(x_left) - len(x_right)
+    axis = x_left + " " * max(gap, 1) + x_right
+    if x_label:
+        centre = max((width - len(x_label)) // 2 - len(x_left), 1)
+        axis = x_left + " " * centre + x_label
+        axis += " " * max(width - len(axis) + label_width - len(x_right), 1) + x_right
+    lines.append(" " * label_width + "  " + axis)
+    return "\n".join(lines)

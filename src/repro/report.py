@@ -1,0 +1,116 @@
+"""Human-readable reports on platforms, models and distributions.
+
+Operators of the original FuPerMod inspected their machines through the
+data files the tools wrote.  This module renders the same information as
+markdown tables: what the platform looks like, what the models think each
+process can do, and how a distribution spreads the work.  The CLI's
+``report`` command and the examples print these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution
+from repro.errors import FuPerModError
+from repro.platform.cluster import Platform
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def platform_report(platform: Platform) -> str:
+    """Markdown summary of a platform's nodes and devices."""
+    rows: List[List[str]] = []
+    for node in platform.nodes:
+        for device in node.devices:
+            rank = platform.rank_of(device)
+            limit = (
+                str(int(device.memory_limit_units))
+                if device.memory_limit_units is not None
+                else "-"
+            )
+            contention = f"{node.contention_factor(len(node)):.2f}"
+            rows.append(
+                [str(rank), node.name, device.name, device.kind.value, limit,
+                 contention]
+            )
+    header = ["rank", "node", "device", "kind", "mem limit (units)",
+              "contention (full node)"]
+    return (
+        f"### Platform: {len(platform.nodes)} nodes, {platform.size} processes\n\n"
+        + _table(header, rows)
+    )
+
+
+def models_report(
+    platform: Platform,
+    models: Sequence[PerformanceModel],
+    sizes: Sequence[int],
+    complexity: Optional[Callable[[float], float]] = None,
+) -> str:
+    """Markdown table of modelled speeds at the given problem sizes.
+
+    Speeds are in computation units per second, or GFLOPS when a kernel
+    ``complexity`` function is supplied.
+    """
+    if len(models) != platform.size:
+        raise FuPerModError(
+            f"{len(models)} models for a platform of {platform.size} ranks"
+        )
+    if not sizes:
+        raise FuPerModError("need at least one size to report")
+    unit = "GFLOPS" if complexity is not None else "units/s"
+    header = ["rank", "device", "points"] + [f"{d} u" for d in sizes]
+    rows: List[List[str]] = []
+    for rank, model in enumerate(models):
+        cells = [str(rank), platform.devices[rank].name, str(model.count)]
+        for d in sizes:
+            if complexity is not None:
+                value = model.speed_flops(d, complexity) / 1e9
+            else:
+                value = model.speed(d)
+            cells.append(f"{value:.3g}")
+        rows.append(cells)
+    return f"### Modelled speeds ({unit})\n\n" + _table(header, rows)
+
+
+def distribution_report(
+    platform: Platform,
+    dist: Distribution,
+    title: str = "Distribution",
+) -> str:
+    """Markdown table of a workload distribution."""
+    if dist.size != platform.size:
+        raise FuPerModError(
+            f"distribution of {dist.size} parts for a platform of "
+            f"{platform.size} ranks"
+        )
+    header = ["rank", "device", "units", "share", "predicted time (s)"]
+    total = max(dist.total, 1)
+    rows: List[List[str]] = []
+    for rank, part in enumerate(dist.parts):
+        rows.append(
+            [
+                str(rank),
+                platform.devices[rank].name,
+                str(part.d),
+                f"{part.d / total * 100.0:.1f}%",
+                f"{part.t:.6f}",
+            ]
+        )
+    footer = (
+        f"\n\ntotal: {dist.total} units, predicted makespan "
+        f"{dist.predicted_makespan:.6f}s, predicted imbalance "
+        f"{dist.predicted_imbalance * 100.0:.2f}%"
+    )
+    return f"### {title}\n\n" + _table(header, rows) + footer

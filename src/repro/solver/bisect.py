@@ -1,0 +1,96 @@
+"""Scalar bisection utilities for monotone functions.
+
+These power the geometrical data partitioning algorithm: bisection on the
+common execution-time level ``T`` (equivalently, on the slope of the line
+through the origin in speed space -- the ray of slope ``k`` crosses a speed
+curve exactly where the execution time equals ``1/k``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import SolverError
+
+
+def bisect_root(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``f`` in ``[lo, hi]`` by bisection.
+
+    ``f(lo)`` and ``f(hi)`` must have opposite signs (either may be zero, in
+    which case that endpoint is returned).  The tolerance is on the bracket
+    width relative to the magnitude of the bracket endpoints.
+    """
+    if lo > hi:
+        lo, hi = hi, lo
+    flo = f(lo)
+    fhi = f(hi)
+    if flo == 0.0:
+        return lo
+    if fhi == 0.0:
+        return hi
+    if math.copysign(1.0, flo) == math.copysign(1.0, fhi):
+        raise SolverError(
+            f"bisect_root: f({lo})={flo} and f({hi})={fhi} do not bracket a root"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        fmid = f(mid)
+        if fmid == 0.0:
+            return mid
+        if math.copysign(1.0, fmid) == math.copysign(1.0, flo):
+            lo, flo = mid, fmid
+        else:
+            hi, fhi = mid, fmid
+        if hi - lo <= tol * max(1.0, abs(lo), abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def bisect_monotone_inverse(
+    f: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+    expand: bool = True,
+) -> float:
+    """Solve ``f(x) = target`` for a non-decreasing function ``f``.
+
+    If ``expand`` is True and the initial bracket does not contain the
+    target, the upper (or lower) bound is geometrically expanded up to 64
+    times before giving up.  Returns the ``x`` achieving the target within
+    tolerance; if the target lies below ``f(lo)`` after expansion, ``lo`` is
+    returned (the smallest admissible argument), mirroring how partitioners
+    clamp allocations at zero.
+    """
+    if lo > hi:
+        raise SolverError(f"bisect_monotone_inverse: empty bracket [{lo}, {hi}]")
+    flo = f(lo)
+    fhi = f(hi)
+    if expand:
+        attempts = 0
+        span = max(hi - lo, 1.0)
+        while fhi < target and attempts < 64:
+            span *= 2.0
+            hi = hi + span
+            fhi = f(hi)
+            attempts += 1
+        attempts = 0
+        while flo > target and lo > 0.0 and attempts < 64:
+            lo = max(0.0, lo - span)
+            span *= 2.0
+            flo = f(lo)
+            attempts += 1
+    if flo >= target:
+        return lo
+    if fhi <= target:
+        return hi
+    return bisect_root(lambda x: f(x) - target, lo, hi, tol=tol, max_iter=max_iter)

@@ -1,0 +1,103 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import pytest
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.point import MeasurementPoint
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device, DeviceKind
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import CacheHierarchyProfile, ConstantProfile, GpuProfile
+
+
+def points_from_time_fn(
+    time_fn: Callable[[int], float],
+    sizes: Sequence[int],
+) -> List[MeasurementPoint]:
+    """Exact measurement points sampled from a time function."""
+    return [MeasurementPoint(d=d, t=time_fn(d), reps=1, ci=0.0) for d in sizes]
+
+
+def model_from_time_fn(model_cls, time_fn, sizes):
+    """Build a model of the given class from exact samples of ``time_fn``."""
+    model = model_cls()
+    model.update_many(points_from_time_fn(time_fn, sizes))
+    return model
+
+
+@pytest.fixture
+def constant_model():
+    """CPM with speed exactly 100 units/second."""
+    return model_from_time_fn(ConstantModel, lambda d: d / 100.0, [50])
+
+
+@pytest.fixture
+def linear_piecewise_model():
+    """Piecewise FPM over a constant-speed (linear-time) device."""
+    return model_from_time_fn(
+        PiecewiseModel, lambda d: d / 100.0, [10, 100, 1000]
+    )
+
+
+@pytest.fixture
+def linear_akima_model():
+    """Akima FPM over a constant-speed (linear-time) device."""
+    return model_from_time_fn(
+        AkimaModel, lambda d: d / 100.0, [10, 100, 500, 1000]
+    )
+
+
+def noiseless_device(name: str, flops: float) -> Device:
+    """A deterministic constant-speed device."""
+    return Device(name, ConstantProfile(flops), noise=NoNoise())
+
+
+@pytest.fixture
+def two_speed_platform() -> Platform:
+    """Two noiseless uniprocessors with speeds 3:1."""
+    return Platform(
+        [
+            Node("fast", [noiseless_device("fast-cpu", 3.0e9)]),
+            Node("slow", [noiseless_device("slow-cpu", 1.0e9)]),
+        ]
+    )
+
+
+@pytest.fixture
+def cliff_platform() -> Platform:
+    """Two noiseless devices, one with a hard memory cliff at 1000 units.
+
+    CPM built from small sizes will badly mispredict the cliff device,
+    which is the scenario where FPM-based partitioning must win.
+    """
+    cliff = Device(
+        "cliff-cpu",
+        CacheHierarchyProfile(
+            levels=[(1000.0, 4.0e9)], paged_flops=0.2e9, transition_width=0.02
+        ),
+        noise=NoNoise(),
+    )
+    steady = noiseless_device("steady-cpu", 2.0e9)
+    return Platform([Node("n0", [cliff]), Node("n1", [steady])])
+
+
+@pytest.fixture
+def hybrid_like_platform() -> Platform:
+    """CPU core + GPU pair, noiseless, with contention on the shared node."""
+    cpu = Device(
+        "h-cpu",
+        CacheHierarchyProfile(levels=[(500.0, 4.0e9)], paged_flops=1.0e9),
+        kind=DeviceKind.CPU_CORE,
+        noise=NoNoise(),
+    )
+    gpu = Device(
+        "h-gpu",
+        GpuProfile(peak_flops=5.0e10, ramp_units=2000.0),
+        kind=DeviceKind.GPU,
+        noise=NoNoise(),
+    )
+    return Platform([Node("h0", [cpu, gpu], contention=[1.0, 0.9])])

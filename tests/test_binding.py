@@ -1,0 +1,88 @@
+"""Tests for process-binding behaviour in platform benchmarking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import PlatformBenchmark
+from repro.core.precision import Precision
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+def _platform():
+    return Platform(
+        [Node("n", [Device("d", ConstantProfile(1.0e9), noise=NoNoise())])]
+    )
+
+
+class TestBinding:
+    def test_bound_is_default_and_deterministic(self):
+        bench = PlatformBenchmark(_platform(), unit_flops=1.0e6, seed=1)
+        assert bench.bound
+        point = bench.measure(0, 1000)
+        # Noiseless device, bound process: exact time (1e9 flops at 1 GF/s).
+        assert point.t == pytest.approx(1.0)
+        assert point.ci == pytest.approx(0.0, abs=1e-15)
+
+    def test_unbound_injects_jitter_solo(self):
+        bench = PlatformBenchmark(
+            _platform(), unit_flops=1.0e6,
+            precision=Precision(reps_min=10, reps_max=10), seed=1, bound=False,
+        )
+        point = bench.measure(0, 1000)
+        # Jitter makes the confidence interval visibly non-zero.
+        assert point.ci > 0.0
+        assert point.t == pytest.approx(1.0, rel=0.5)
+
+    def test_unbound_injects_jitter_group(self):
+        bench = PlatformBenchmark(
+            _platform(), unit_flops=1.0e6,
+            precision=Precision(reps_min=10, reps_max=10), seed=1, bound=False,
+        )
+        (point,) = bench.measure_group([1000])
+        assert point is not None
+        assert point.ci > 0.0
+
+    def test_unbound_mean_biased_upwards(self):
+        # Migration spikes only slow things down, so the unbound mean over
+        # many reps exceeds the bound mean.
+        bound = PlatformBenchmark(
+            _platform(), unit_flops=1.0e6,
+            precision=Precision(reps_min=25, reps_max=25), seed=3,
+        ).measure(0, 1000)
+        unbound = PlatformBenchmark(
+            _platform(), unit_flops=1.0e6,
+            precision=Precision(reps_min=25, reps_max=25), seed=3, bound=False,
+        ).measure(0, 1000)
+        assert unbound.t > bound.t
+
+    def test_outlier_filter_tames_unbound_mean(self):
+        naive = PlatformBenchmark(
+            _platform(), unit_flops=1.0e6,
+            precision=Precision(reps_min=25, reps_max=25), seed=5, bound=False,
+        ).measure(0, 1000)
+        robust = PlatformBenchmark(
+            _platform(), unit_flops=1.0e6,
+            precision=Precision(reps_min=25, reps_max=25, outlier_threshold=3.5),
+            seed=5, bound=False,
+        ).measure(0, 1000)
+        nominal = 1.0
+        assert abs(robust.t - nominal) <= abs(naive.t - nominal)
+
+    def test_unbound_reproducible_with_seed(self):
+        a = PlatformBenchmark(_platform(), 1.0e6, seed=9, bound=False).measure(0, 100)
+        b = PlatformBenchmark(_platform(), 1.0e6, seed=9, bound=False).measure(0, 100)
+        assert a.t == b.t
+
+    def test_binding_factor_statistics(self):
+        bench = PlatformBenchmark(_platform(), 1.0e6, seed=2, bound=False)
+        factors = [bench._binding_factor(0) for _ in range(3000)]
+        assert all(f > 0 for f in factors)
+        # Spikes occur at roughly the configured probability.
+        spikes = sum(1 for f in factors if f > 1.4)
+        assert 0.02 < spikes / len(factors) < 0.12
+        assert float(np.median(factors)) == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,151 @@
+"""Tests for profile calibration and distributed-matmul verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.matmul.partition2d import ColumnPartition, Rectangle, partition_columns
+from repro.apps.matmul.verification import (
+    compute_distributed_matmul,
+    verify_partition_math,
+)
+from repro.errors import PartitionError, PlatformError
+from repro.platform.calibration import (
+    fit_cache_profile,
+    fit_gpu_profile,
+    speed_samples_from_points,
+)
+from repro.platform.profiles import CacheHierarchyProfile, GpuProfile
+
+
+class TestFitGpuProfile:
+    def test_recovers_known_parameters(self):
+        truth = GpuProfile(peak_flops=8.0e10, ramp_units=2500.0)
+        sizes = [50, 200, 800, 3000, 12000, 50000]
+        samples = [(d, truth.flops_at(d)) for d in sizes]
+        fit = fit_gpu_profile(samples)
+        assert fit.profile.peak_flops == pytest.approx(8.0e10, rel=0.02)
+        assert fit.profile.ramp_units == pytest.approx(2500.0, rel=0.05)
+        assert fit.residual < 1e-6
+
+    def test_recovers_under_noise(self):
+        truth = GpuProfile(peak_flops=5.0e10, ramp_units=1000.0)
+        rng = np.random.default_rng(0)
+        sizes = np.geomspace(20, 60000, 20)
+        samples = [
+            (float(d), truth.flops_at(d) * (1.0 + 0.03 * rng.standard_normal()))
+            for d in sizes
+        ]
+        fit = fit_gpu_profile(samples)
+        assert fit.profile.peak_flops == pytest.approx(5.0e10, rel=0.1)
+        assert fit.residual < 0.1
+
+    def test_needs_three_samples(self):
+        with pytest.raises(PlatformError):
+            fit_gpu_profile([(10, 1.0), (20, 2.0)])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(PlatformError):
+            fit_gpu_profile([(10, 1.0), (20, -2.0), (30, 3.0)])
+
+
+class TestFitCacheProfile:
+    def test_recovers_cliff(self):
+        truth = CacheHierarchyProfile(
+            levels=[(2000.0, 6.0e9)], paged_flops=1.0e9, transition_width=0.1
+        )
+        sizes = np.geomspace(50, 100000, 25)
+        samples = [(float(d), truth.flops_at(d)) for d in sizes]
+        fit = fit_cache_profile(samples, transition_width=0.1)
+        profile = fit.profile
+        assert profile.levels[0][1] == pytest.approx(6.0e9, rel=0.05)
+        assert profile.paged_flops == pytest.approx(1.0e9, rel=0.1)
+        assert profile.levels[0][0] == pytest.approx(2000.0, rel=0.2)
+        assert fit.residual < 0.02
+
+    def test_needs_four_samples(self):
+        with pytest.raises(PlatformError):
+            fit_cache_profile([(1, 1.0), (2, 1.0), (3, 1.0)])
+
+    def test_round_trip_through_measurement(self):
+        # Device -> benchmark -> points -> samples -> fitted profile.
+        from repro.core.benchmark import Benchmark
+        from repro.core.kernel import SimulatedKernel
+        from repro.core.precision import Precision
+        from repro.platform.device import Device
+        from repro.platform.noise import NoNoise
+
+        truth = CacheHierarchyProfile(
+            levels=[(1000.0, 4.0e9)], paged_flops=0.5e9, transition_width=0.1
+        )
+        device = Device("d", truth, noise=NoNoise())
+        kernel = SimulatedKernel(device, unit_flops=1.0e6)
+        bench = Benchmark(kernel, Precision(reps_min=2, reps_max=2))
+        points = [bench.run(int(d)) for d in np.geomspace(20, 50000, 16)]
+        samples = speed_samples_from_points(points, kernel.complexity)
+        fit = fit_cache_profile(samples, transition_width=0.1)
+        for d in [100, 5000, 40000]:
+            assert fit.profile.flops_at(d) == pytest.approx(
+                truth.flops_at(d), rel=0.1
+            )
+
+
+class TestDistributedMatmul:
+    def test_matches_numpy_for_even_layout(self):
+        partition = partition_columns([1.0] * 4, nb=6)
+        deviation = verify_partition_math(partition, block=4)
+        assert deviation < 1e-10
+
+    def test_matches_numpy_for_skewed_layout(self):
+        partition = partition_columns([5.0, 1.0, 2.0], nb=8)
+        deviation = verify_partition_math(partition, block=3)
+        assert deviation < 1e-9
+
+    def test_zero_area_rank_ok(self):
+        partition = partition_columns([1.0, 0.0, 1.0], nb=4)
+        verify_partition_math(partition, block=2)
+
+    def test_shape_mismatch_rejected(self):
+        partition = partition_columns([1.0], nb=4)
+        a = np.zeros((5, 5))
+        with pytest.raises(PartitionError):
+            compute_distributed_matmul(a, a, partition, block=2)
+
+    def test_gap_detected(self):
+        # A hand-built partition that misses a region must be caught.
+        bad = ColumnPartition(
+            nb=2,
+            column_widths=[2],
+            rectangles=[Rectangle(rank=0, row=0, col=0, height=1, width=2)],
+        )
+        a = np.ones((4, 4))
+        with pytest.raises(PartitionError, match="cover"):
+            compute_distributed_matmul(a, a, bad, block=2)
+
+    def test_overlap_detected(self):
+        bad = ColumnPartition(
+            nb=2,
+            column_widths=[2],
+            rectangles=[
+                Rectangle(rank=0, row=0, col=0, height=2, width=2),
+                Rectangle(rank=1, row=1, col=0, height=1, width=2),
+            ],
+        )
+        a = np.ones((4, 4))
+        with pytest.raises(PartitionError, match="overlap"):
+            compute_distributed_matmul(a, a, bad, block=2)
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=8.0), min_size=1, max_size=6),
+        st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_generated_partition_computes_correctly(self, areas, nb):
+        if len(areas) > nb:
+            return
+        partition = partition_columns(areas, nb)
+        deviation = verify_partition_math(partition, block=2)
+        assert deviation < 1e-9

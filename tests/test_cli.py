@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.files import load_distribution, load_points
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+
+class TestListCommand:
+    def test_prints_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "geometric" in out
+        assert "akima" in out
+        assert "fig4" in out
+
+
+class TestBuildAndPartition:
+    def test_build_writes_point_files(self, tmp_path, capsys):
+        out = tmp_path / "models"
+        code = main(
+            [
+                "build",
+                "--platform", "fig4",
+                "--sizes", "32,128,512",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        files = sorted(out.glob("rank*.points"))
+        assert len(files) == 3
+        points, meta = load_points(files[0])
+        assert len(points) == 3
+        assert "device" in meta
+        assert "kernel-seconds" in capsys.readouterr().out
+
+    def test_partition_from_points(self, tmp_path, capsys):
+        out = tmp_path / "models"
+        main(["build", "--platform", "fig4", "--sizes", "32,128,512",
+              "--out", str(out)])
+        dist_file = tmp_path / "dist.txt"
+        code = main(
+            [
+                "partition",
+                "--points", str(out),
+                "--total", "360",
+                "--algorithm", "geometric",
+                "--out", str(dist_file),
+            ]
+        )
+        assert code == 0
+        dist = load_distribution(dist_file)
+        assert dist.total == 360
+        # fig4 speeds are 16:11:9.
+        assert dist.sizes[0] > dist.sizes[1] > dist.sizes[2]
+
+    def test_partition_no_points_errors(self, tmp_path, capsys):
+        code = main(["partition", "--points", str(tmp_path), "--total", "10"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_platform_errors(self, tmp_path, capsys):
+        code = main(["build", "--platform", "nope", "--out", str(tmp_path)])
+        assert code == 1
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_bad_sizes_errors(self, tmp_path, capsys):
+        code = main(
+            ["build", "--platform", "fig4", "--sizes", "a,b",
+             "--out", str(tmp_path)]
+        )
+        assert code == 1
+
+
+class TestDemos:
+    def test_demo_jacobi_runs(self, capsys):
+        code = main(["demo-jacobi", "--rows", "120", "--iterations", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final distribution" in out
+        assert "solution error" in out
+
+    def test_demo_matmul_runs(self, capsys):
+        code = main(["demo-matmul", "--nb", "16", "--platform", "fig4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "even partitioning" in out

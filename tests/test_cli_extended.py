@@ -1,0 +1,155 @@
+"""Tests for the extended CLI commands (limits, mesh, adaptive build)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io.files import load_distribution, load_points
+
+
+@pytest.fixture()
+def built_points(tmp_path):
+    out = tmp_path / "models"
+    assert main(
+        ["build", "--platform", "fig4", "--sizes", "32,128,512", "--out", str(out)]
+    ) == 0
+    return out
+
+
+class TestPartitionLimits:
+    def test_limits_respected(self, built_points, tmp_path, capsys):
+        dist_file = tmp_path / "dist.txt"
+        code = main(
+            [
+                "partition",
+                "--points", str(built_points),
+                "--total", "360",
+                "--limits", "50,none,none",
+                "--out", str(dist_file),
+            ]
+        )
+        assert code == 0
+        dist = load_distribution(dist_file)
+        assert dist.total == 360
+        assert dist.sizes[0] <= 50
+
+    def test_bad_limit_count(self, built_points, capsys):
+        code = main(
+            [
+                "partition",
+                "--points", str(built_points),
+                "--total", "100",
+                "--limits", "50,none",
+            ]
+        )
+        assert code == 1
+        assert "limits" in capsys.readouterr().err
+
+    def test_bad_limit_token(self, built_points, capsys):
+        code = main(
+            [
+                "partition",
+                "--points", str(built_points),
+                "--total", "100",
+                "--limits", "a,b,c",
+            ]
+        )
+        assert code == 1
+
+
+class TestDemoMesh:
+    def test_runs(self, capsys):
+        code = main(
+            ["demo-mesh", "--platform", "fig4", "--width", "16", "--height", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edge cut" in out
+        assert "weights" in out
+
+    def test_vertices_sum(self, capsys):
+        main(["demo-mesh", "--platform", "fig4", "--width", "12", "--height", "10"])
+        out = capsys.readouterr().out
+        counts_line = next(line for line in out.splitlines() if "vertices" in line)
+        counts = eval(counts_line.split(":", 1)[1].strip())  # noqa: S307 - test only
+        assert sum(counts) == 120
+
+
+class TestAdaptiveBuild:
+    def test_runs_and_writes_points(self, tmp_path, capsys):
+        out = tmp_path / "adaptive.points"
+        code = main(
+            [
+                "adaptive-build",
+                "--platform", "fig4",
+                "--rank", "1",
+                "--range", "16:4096",
+                "--accuracy", "0.05",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        points, meta = load_points(out)
+        assert len(points) >= 2
+        assert meta.get("builder") == "adaptive"
+
+    def test_bad_rank(self, capsys):
+        code = main(["adaptive-build", "--platform", "fig4", "--rank", "9"])
+        assert code == 1
+        assert "rank" in capsys.readouterr().err
+
+    def test_bad_range(self, capsys):
+        code = main(["adaptive-build", "--platform", "fig4", "--range", "oops"])
+        assert code == 1
+
+
+class TestCalibrate:
+    def test_fits_and_writes_profile(self, tmp_path, capsys):
+        out = tmp_path / "twin.json"
+        code = main(
+            [
+                "calibrate",
+                "--platform", "fig4",
+                "--rank", "0",
+                "--family", "cache",
+                "--range", "32:16384",
+                "--points", "10",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.io.profiles import load_profile
+
+        profile = load_profile(out)
+        assert profile.flops_at(100) > 0
+        assert "RMS rel. error" in capsys.readouterr().out
+
+    def test_gpu_family(self, capsys):
+        code = main(
+            ["calibrate", "--platform", "heterogeneous", "--rank", "4",
+             "--family", "gpu", "--range", "64:40000", "--points", "8"]
+        )
+        assert code == 0
+        assert "gpu profile" in capsys.readouterr().out
+
+    def test_bad_rank(self, capsys):
+        assert main(["calibrate", "--platform", "fig4", "--rank", "7"]) == 1
+
+    def test_bad_range(self, capsys):
+        assert main(["calibrate", "--platform", "fig4", "--range", "x"]) == 1
+
+
+class TestSelectModel:
+    def test_ranks_families(self, built_points, capsys):
+        code = main(
+            ["select-model", "--points", str(built_points / "rank000.points")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<-- best" in out
+        assert "akima" in out and "constant" in out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(["select-model", "--points", str(tmp_path / "nope")])
+        assert code == 1

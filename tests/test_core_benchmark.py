@@ -1,0 +1,169 @@
+"""Tests for the benchmark runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import Benchmark, PlatformBenchmark, build_full_models
+from repro.core.kernel import SimulatedKernel
+from repro.core.models import PiecewiseModel
+from repro.core.precision import Precision
+from repro.errors import BenchmarkError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import GaussianNoise, NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+def _noiseless_kernel(flops=1.0e9, unit=1.0e9):
+    dev = Device("d", ConstantProfile(flops), noise=NoNoise())
+    return SimulatedKernel(dev, unit_flops=unit)
+
+
+def _noisy_kernel(sigma=0.05, seed=0):
+    dev = Device("d", ConstantProfile(1.0e9), noise=GaussianNoise(sigma))
+    return SimulatedKernel(dev, unit_flops=1.0e6, rng=np.random.default_rng(seed))
+
+
+class TestBenchmark:
+    def test_noiseless_stops_at_reps_min(self):
+        b = Benchmark(_noiseless_kernel(), Precision(reps_min=3, reps_max=50))
+        point = b.run(10)
+        assert point.reps == 3
+        assert point.d == 10
+        assert point.t == pytest.approx(10.0)
+        assert point.ci == pytest.approx(0.0, abs=1e-12)
+
+    def test_noisy_repeats_until_precise(self):
+        precision = Precision(reps_min=3, reps_max=100, relative_error=0.01)
+        b = Benchmark(_noisy_kernel(sigma=0.1), precision)
+        point = b.run(1000)
+        assert 3 <= point.reps <= 100
+        # Either precision met or cap hit.
+        if point.reps < 100:
+            assert point.ci / point.t <= 0.01 + 1e-9
+
+    def test_reps_max_respected(self):
+        precision = Precision(reps_min=2, reps_max=5, relative_error=1e-9)
+        b = Benchmark(_noisy_kernel(sigma=0.2), precision)
+        assert b.run(1000).reps == 5
+
+    def test_time_limit_respected(self):
+        # Each execution takes ~1 virtual second; noise keeps the precision
+        # target unreachable, so the 2.5s budget stops the loop.
+        kernel = _noisy_kernel(sigma=0.2, seed=1)
+        precision = Precision(reps_min=2, reps_max=100, relative_error=1e-12,
+                              time_limit=2.5)
+        point = Benchmark(kernel, precision).run(1000)
+        assert point.reps <= 4  # 2 minimum + at most ~2 to cross the budget
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Benchmark(_noiseless_kernel()).run(0)
+
+    def test_mean_accurate_under_noise(self):
+        b = Benchmark(_noisy_kernel(sigma=0.05, seed=42),
+                      Precision(reps_min=30, reps_max=30))
+        point = b.run(1000)
+        # d=1000 units * 1e6 flops / 1e9 flops/s = 1.0 s nominal.
+        assert point.t == pytest.approx(1.0, rel=0.05)
+
+
+def _two_rank_platform(contention=None) -> Platform:
+    d0 = Device("a", ConstantProfile(2.0e9), noise=NoNoise())
+    d1 = Device("b", ConstantProfile(1.0e9), noise=NoNoise())
+    return Platform([Node("n", [d0, d1], contention=contention)])
+
+
+class TestPlatformBenchmark:
+    def test_measure_single_rank(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        point = pb.measure(0, 4)
+        assert point.t == pytest.approx(2.0)
+
+    def test_measure_group_sizes(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        points = pb.measure_group([4, 2])
+        assert points[0].t == pytest.approx(2.0)
+        assert points[1].t == pytest.approx(2.0)
+
+    def test_measure_group_contention_applied(self):
+        pb = PlatformBenchmark(
+            _two_rank_platform(contention=[1.0, 0.5]), unit_flops=1.0e9
+        )
+        # Together: both slowed 2x.
+        both = pb.measure_group([4, 2])
+        assert both[0].t == pytest.approx(4.0)
+        # Alone: full speed.
+        alone = pb.measure(0, 4)
+        assert alone.t == pytest.approx(2.0)
+
+    def test_idle_ranks_skipped(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        points = pb.measure_group([None, 3])
+        assert points[0] is None
+        assert points[1] is not None
+
+    def test_zero_size_idle(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        points = pb.measure_group([0, 3])
+        assert points[0] is None
+
+    def test_all_idle(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        assert pb.measure_group([None, None]) == [None, None]
+
+    def test_size_list_mismatch(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        with pytest.raises(BenchmarkError):
+            pb.measure_group([1])
+
+    def test_complexity(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=3.0)
+        assert pb.complexity(4) == 12.0
+
+    def test_seed_reproducibility(self):
+        platform = Platform(
+            [Node("n", [Device("a", ConstantProfile(1.0e9))])]
+        )
+        p1 = PlatformBenchmark(platform, 1.0e6, seed=5).measure(0, 100)
+        p2 = PlatformBenchmark(platform, 1.0e6, seed=5).measure(0, 100)
+        assert p1.t == p2.t
+
+
+class TestBuildFullModels:
+    def test_builds_one_model_per_rank(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        models, cost = build_full_models(pb, PiecewiseModel, sizes=[1, 2, 4])
+        assert len(models) == 2
+        assert all(m.count == 3 for m in models)
+        assert cost > 0.0
+
+    def test_cost_is_sum_of_point_costs(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        models, cost = build_full_models(pb, PiecewiseModel, sizes=[2])
+        expected = sum(p.benchmark_cost for m in models for p in m.points)
+        assert cost == pytest.approx(expected)
+
+    def test_models_predict_device_speeds(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        models, _ = build_full_models(pb, PiecewiseModel, sizes=[2, 8, 32])
+        # Device a is 2x device b.
+        assert models[0].speed(8) == pytest.approx(2.0 * models[1].speed(8), rel=1e-6)
+
+    def test_empty_sizes_rejected(self):
+        pb = PlatformBenchmark(_two_rank_platform(), unit_flops=1.0e9)
+        with pytest.raises(BenchmarkError):
+            build_full_models(pb, PiecewiseModel, sizes=[])
+
+    def test_unsynchronised_mode(self):
+        pb = PlatformBenchmark(
+            _two_rank_platform(contention=[1.0, 0.5]), unit_flops=1.0e9
+        )
+        sync_models, _ = build_full_models(pb, PiecewiseModel, sizes=[4])
+        solo_models, _ = build_full_models(
+            pb, PiecewiseModel, sizes=[4], synchronised=False
+        )
+        # Synchronised measurement sees contention; solo does not.
+        assert sync_models[0].time(4) == pytest.approx(2.0 * solo_models[0].time(4))

@@ -1,0 +1,128 @@
+"""Tests for the adaptive model builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_adaptive_model
+from repro.core.models import AkimaModel, PiecewiseModel
+from repro.core.point import MeasurementPoint
+from repro.errors import BenchmarkError
+
+
+def _oracle(time_fn, log=None):
+    """A deterministic measurement oracle from a time function."""
+
+    def measure(d: int) -> MeasurementPoint:
+        if log is not None:
+            log.append(d)
+        return MeasurementPoint(d=d, t=time_fn(d), reps=1, ci=0.0)
+
+    return measure
+
+
+def _cliff_time(d: float) -> float:
+    """Linear time with a 5x slope change at 1000 units."""
+    if d <= 1000:
+        return d / 1000.0
+    return 1.0 + (d - 1000) / 200.0
+
+
+class TestBuildAdaptiveModel:
+    def test_linear_time_stops_at_skeleton_plus_probes(self):
+        log = []
+        result = build_adaptive_model(
+            _oracle(lambda d: d / 100.0, log),
+            AkimaModel,
+            (10, 10_000),
+            accuracy=0.05,
+            max_points=30,
+            initial_points=4,
+        )
+        # A linear time function is modelled exactly; each skeleton gap is
+        # probed once and never split again.
+        assert result.converged
+        assert result.points_used <= 4 + 3
+        assert result.max_observed_error <= 0.05
+
+    def test_cliff_is_refined(self):
+        log = []
+        result = build_adaptive_model(
+            _oracle(_cliff_time, log),
+            AkimaModel,
+            (10, 10_000),
+            accuracy=0.02,
+            max_points=24,
+            initial_points=4,
+        )
+        # Probes must concentrate around the cliff at 1000.
+        near_cliff = [d for d in log if 500 <= d <= 2500]
+        assert len(near_cliff) >= 3
+        # The refined model predicts both regimes well.
+        assert result.model.time(500) == pytest.approx(0.5, rel=0.05)
+        assert result.model.time(5000) == pytest.approx(21.0, rel=0.1)
+
+    def test_budget_respected(self):
+        result = build_adaptive_model(
+            _oracle(_cliff_time),
+            AkimaModel,
+            (10, 10_000),
+            accuracy=1e-9,  # unreachable: must stop on budget
+            max_points=12,
+        )
+        assert result.points_used <= 12
+        assert not result.converged
+
+    def test_cost_accumulated(self):
+        result = build_adaptive_model(
+            _oracle(lambda d: d / 10.0),
+            AkimaModel,
+            (10, 1000),
+            max_points=8,
+        )
+        expected = sum(p.benchmark_cost for p in result.model.points)
+        assert result.total_cost == pytest.approx(expected)
+
+    def test_works_with_piecewise_model(self):
+        result = build_adaptive_model(
+            _oracle(_cliff_time),
+            PiecewiseModel,
+            (10, 10_000),
+            accuracy=0.05,
+            max_points=20,
+        )
+        assert result.model.count == result.points_used
+
+    def test_tiny_range_terminates(self):
+        result = build_adaptive_model(
+            _oracle(lambda d: d),
+            AkimaModel,
+            (1, 4),
+            accuracy=1e-9,
+            max_points=32,
+        )
+        # All integer sizes exhausted; must converge rather than loop.
+        assert result.points_used <= 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_range=(0, 10)),
+            dict(size_range=(10, 10)),
+            dict(accuracy=0.0),
+            dict(initial_points=1),
+            dict(initial_points=8, max_points=4),
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            measure=_oracle(lambda d: d),
+            model_factory=AkimaModel,
+            size_range=(1, 100),
+            accuracy=0.05,
+            max_points=16,
+            initial_points=4,
+        )
+        base.update(kwargs)
+        with pytest.raises(BenchmarkError):
+            build_adaptive_model(**base)

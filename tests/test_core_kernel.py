@@ -1,0 +1,95 @@
+"""Tests for computation kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import CallableKernel, KernelContext, SimulatedKernel
+from repro.errors import BenchmarkError
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+def _device(flops: float = 1.0e9) -> Device:
+    return Device("d", ConstantProfile(flops), noise=NoNoise())
+
+
+class TestSimulatedKernel:
+    def test_linear_complexity(self):
+        k = SimulatedKernel(_device(), unit_flops=100.0)
+        assert k.complexity(5) == 500.0
+
+    def test_callable_complexity(self):
+        k = SimulatedKernel(_device(), unit_flops=lambda d: d * d)
+        assert k.complexity(4) == 16.0
+
+    def test_execute_time_matches_device(self):
+        k = SimulatedKernel(_device(2.0e9), unit_flops=1.0e9)
+        ctx = k.initialize(4)
+        assert k.execute(ctx) == pytest.approx(2.0)
+
+    def test_contention_factor_applied(self):
+        k = SimulatedKernel(_device(1.0e9), unit_flops=1.0e9)
+        ctx = k.initialize(1)
+        base = k.execute(ctx)
+        k.contention_factor = 0.5
+        assert k.execute(ctx) == pytest.approx(2.0 * base)
+
+    def test_default_name_from_device(self):
+        assert "d" in SimulatedKernel(_device(), unit_flops=1.0).name
+
+    def test_negative_size_rejected(self):
+        k = SimulatedKernel(_device(), unit_flops=1.0)
+        with pytest.raises(BenchmarkError):
+            k.initialize(-1)
+
+    def test_rng_reproducible(self):
+        dev = Device("d", ConstantProfile(1.0e9))  # default 2% noise
+        k1 = SimulatedKernel(dev, 1.0e9, rng=np.random.default_rng(3))
+        k2 = SimulatedKernel(dev, 1.0e9, rng=np.random.default_rng(3))
+        c1, c2 = k1.initialize(10), k2.initialize(10)
+        assert k1.execute(c1) == k2.execute(c2)
+
+
+class TestCallableKernel:
+    def test_runs_and_times(self):
+        calls = []
+        k = CallableKernel(
+            complexity_fn=lambda d: 2.0 * d,
+            run_fn=lambda payload: calls.append(payload),
+            setup_fn=lambda d: {"d": d},
+            name="probe",
+        )
+        ctx = k.initialize(7)
+        elapsed = k.execute(ctx)
+        assert elapsed >= 0.0
+        assert calls == [{"d": 7}]
+        assert k.complexity(7) == 14.0
+
+    def test_teardown_called(self):
+        torn = []
+        k = CallableKernel(
+            complexity_fn=lambda d: d,
+            run_fn=lambda p: None,
+            setup_fn=lambda d: "payload",
+            teardown_fn=lambda p: torn.append(p),
+        )
+        ctx = k.initialize(1)
+        k.finalize(ctx)
+        assert torn == ["payload"]
+        assert ctx.payload is None
+
+    def test_without_setup(self):
+        k = CallableKernel(complexity_fn=lambda d: d, run_fn=lambda p: None)
+        ctx = k.initialize(3)
+        assert ctx.payload is None
+        assert k.execute(ctx) >= 0.0
+
+
+class TestKernelContext:
+    def test_fields(self):
+        ctx = KernelContext(d=5, payload=[1, 2])
+        assert ctx.d == 5
+        assert ctx.payload == [1, 2]

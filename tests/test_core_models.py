@@ -1,0 +1,219 @@
+"""Tests for the three computation performance models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.point import MeasurementPoint
+from repro.errors import ModelError
+from repro.interp.coarsening import satisfies_fpm_shape
+
+from tests.conftest import model_from_time_fn, points_from_time_fn
+
+
+class TestBase:
+    def test_not_ready_raises(self):
+        m = ConstantModel()
+        assert not m.is_ready
+        with pytest.raises(ModelError):
+            m.time(10)
+
+    def test_rejects_bad_points(self):
+        m = ConstantModel()
+        with pytest.raises(ModelError):
+            m.update(MeasurementPoint(d=0, t=1.0))
+        with pytest.raises(ModelError):
+            m.update(MeasurementPoint(d=5, t=0.0))
+
+    def test_points_recorded_in_order(self):
+        m = ConstantModel()
+        m.update(MeasurementPoint(d=5, t=1.0))
+        m.update(MeasurementPoint(d=3, t=1.0))
+        assert [p.d for p in m.points] == [5, 3]
+
+    def test_update_many(self):
+        m = PiecewiseModel()
+        m.update_many(points_from_time_fn(lambda d: d / 10.0, [1, 2, 3]))
+        assert m.count == 3
+
+    def test_benchmark_cost(self):
+        m = ConstantModel()
+        m.update(MeasurementPoint(d=5, t=2.0, reps=3))
+        assert m.benchmark_cost == pytest.approx(6.0)
+
+    def test_size_range(self):
+        m = PiecewiseModel()
+        m.update_many(points_from_time_fn(lambda d: d, [5, 50, 20]))
+        assert m.size_range == (5, 50)
+
+    def test_size_range_empty_raises(self):
+        with pytest.raises(ModelError):
+            ConstantModel().size_range
+
+    def test_speed_flops(self):
+        m = model_from_time_fn(ConstantModel, lambda d: d / 100.0, [100])
+        assert m.speed_flops(100, lambda x: 8.0 * x) == pytest.approx(800.0)
+
+
+class TestConstantModel:
+    def test_single_point(self):
+        m = model_from_time_fn(ConstantModel, lambda d: d / 50.0, [100])
+        assert m.constant_speed == pytest.approx(50.0)
+        assert m.time(200) == pytest.approx(4.0)
+        assert m.speed(123) == pytest.approx(50.0)
+
+    def test_pooled_speed_over_points(self):
+        m = ConstantModel()
+        m.update(MeasurementPoint(d=100, t=1.0))  # 100 u/s
+        m.update(MeasurementPoint(d=100, t=3.0))  # 33 u/s
+        # Pooled: 200 units in 4 s.
+        assert m.constant_speed == pytest.approx(50.0)
+
+    def test_time_negative_size_rejected(self):
+        m = model_from_time_fn(ConstantModel, lambda d: d, [10])
+        with pytest.raises(ModelError):
+            m.time(-5)
+
+    def test_time_zero(self):
+        m = model_from_time_fn(ConstantModel, lambda d: d, [10])
+        assert m.time(0) == 0.0
+
+
+class TestPiecewiseModel:
+    def test_interpolates_speed_between_points(self):
+        # Speed 100 at d=10, speed 50 at d=30 -> linear in between.
+        m = PiecewiseModel()
+        m.update(MeasurementPoint(d=10, t=0.1))
+        m.update(MeasurementPoint(d=30, t=0.6))
+        assert m.speed(10) == pytest.approx(100.0)
+        assert m.speed(30) == pytest.approx(50.0)
+        assert m.speed(20) == pytest.approx(75.0)
+
+    def test_flat_extension_left_and_right(self):
+        m = PiecewiseModel()
+        m.update(MeasurementPoint(d=10, t=0.1))
+        m.update(MeasurementPoint(d=30, t=0.6))
+        assert m.speed(1) == pytest.approx(100.0)
+        assert m.speed(1000) == pytest.approx(50.0)
+
+    def test_time_at_zero(self):
+        m = model_from_time_fn(PiecewiseModel, lambda d: d / 10.0, [10, 20])
+        assert m.time(0) == 0.0
+
+    def test_coarsening_applied(self):
+        # Superlinear speed growth violates the shape; model must clip it.
+        m = PiecewiseModel()
+        m.update(MeasurementPoint(d=10, t=1.0))   # speed 10
+        m.update(MeasurementPoint(d=12, t=0.6))   # speed 20: angle up!
+        pts = m.coarsened_speed_points
+        assert satisfies_fpm_shape(pts, strict=False)
+
+    def test_time_strictly_increasing(self):
+        # Even with wiggly data, the coarsened model's time function must
+        # increase -- that is its contract with the geometric algorithm.
+        m = PiecewiseModel()
+        times = {10: 0.2, 20: 0.3, 30: 0.35, 40: 0.8, 50: 0.9, 60: 1.4}
+        for d, t in times.items():
+            m.update(MeasurementPoint(d=d, t=t))
+        xs = [float(x) for x in range(1, 100, 3)]
+        ts = [m.time(x) for x in xs]
+        for a, b in zip(ts, ts[1:]):
+            assert b > a
+
+    def test_single_point_constant_speed(self):
+        m = model_from_time_fn(PiecewiseModel, lambda d: d / 40.0, [100])
+        assert m.speed(50) == pytest.approx(40.0)
+        assert m.speed(500) == pytest.approx(40.0)
+
+
+class TestAkimaModel:
+    def test_linear_time_reproduced(self):
+        m = model_from_time_fn(AkimaModel, lambda d: d / 100.0, [10, 50, 100, 200])
+        for x in [10.0, 30.0, 120.0, 200.0]:
+            assert m.time(x) == pytest.approx(x / 100.0, rel=1e-9)
+
+    def test_origin_anchor(self):
+        m = model_from_time_fn(AkimaModel, lambda d: d / 100.0, [100])
+        assert m.time(0) == 0.0
+        assert m.time(50) == pytest.approx(0.5)
+
+    def test_no_origin_anchor_needs_two_points(self):
+        m = AkimaModel(include_origin=False)
+        with pytest.raises(ModelError):
+            m.update(MeasurementPoint(d=10, t=1.0))
+
+    def test_extrapolation_increasing(self):
+        m = model_from_time_fn(AkimaModel, lambda d: d / 10.0, [10, 20, 40])
+        assert m.time(80) > m.time(40)
+        assert m.time(400) > m.time(80)
+
+    def test_derivative_continuous_at_knots(self):
+        m = model_from_time_fn(
+            AkimaModel, lambda d: 0.01 * d + 1e-5 * d * d, [10, 20, 40, 80]
+        )
+        for knot in [20.0, 40.0]:
+            left = m.time_derivative(knot - 1e-7)
+            right = m.time_derivative(knot + 1e-7)
+            assert left == pytest.approx(right, rel=1e-3)
+
+    def test_derivative_matches_fd(self):
+        m = model_from_time_fn(
+            AkimaModel, lambda d: 0.01 * d + 1e-5 * d * d, [10, 20, 40, 80]
+        )
+        for x in [15.0, 33.0, 66.0]:
+            h = 1e-5
+            fd = (m.time(x + h) - m.time(x - h)) / (2 * h)
+            assert m.time_derivative(x) == pytest.approx(fd, rel=1e-3)
+
+    def test_speed_positive(self):
+        m = model_from_time_fn(AkimaModel, lambda d: 0.1 * math.sqrt(d), [4, 16, 64])
+        for x in [1.0, 10.0, 100.0]:
+            assert m.speed(x) > 0.0
+
+
+class TestModelProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10_000),
+                st.floats(min_value=1e-6, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda p: p[0],
+        )
+    )
+    @settings(max_examples=60)
+    def test_piecewise_time_monotone_property(self, raw):
+        m = PiecewiseModel()
+        m.update_many([MeasurementPoint(d=d, t=t) for d, t in raw])
+        xs = sorted({d for d, _t in raw} | {1, 5000, 20000})
+        ts = [m.time(float(x)) for x in xs]
+        for a, b in zip(ts, ts[1:]):
+            assert b > a
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10_000),
+                st.floats(min_value=1e-6, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=15,
+            unique_by=lambda p: p[0],
+        )
+    )
+    @settings(max_examples=60)
+    def test_all_models_positive_predictions(self, raw):
+        points = [MeasurementPoint(d=d, t=t) for d, t in raw]
+        for cls in (ConstantModel, PiecewiseModel, AkimaModel):
+            m = cls()
+            m.update_many(points)
+            for x in [1.0, 100.0, 15000.0]:
+                assert m.time(x) > 0.0
+                assert m.speed(x) > 0.0

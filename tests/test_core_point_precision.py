@@ -1,0 +1,84 @@
+"""Tests for MeasurementPoint and Precision."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.point import MeasurementPoint
+from repro.core.precision import Precision
+from repro.errors import BenchmarkError
+
+
+class TestMeasurementPoint:
+    def test_fields(self):
+        p = MeasurementPoint(d=100, t=0.5, reps=5, ci=0.01)
+        assert p.d == 100
+        assert p.t == 0.5
+        assert p.reps == 5
+        assert p.ci == 0.01
+
+    def test_speed(self):
+        p = MeasurementPoint(d=100, t=0.5)
+        assert p.speed == pytest.approx(200.0)
+
+    def test_speed_zero_time_is_inf(self):
+        assert MeasurementPoint(d=10, t=0.0).speed == math.inf
+
+    def test_speed_flops(self):
+        p = MeasurementPoint(d=10, t=2.0)
+        assert p.speed_flops(4.0e9) == pytest.approx(2.0e9)
+
+    def test_benchmark_cost(self):
+        p = MeasurementPoint(d=10, t=0.25, reps=4)
+        assert p.benchmark_cost == pytest.approx(1.0)
+
+    def test_frozen(self):
+        p = MeasurementPoint(d=1, t=1.0)
+        with pytest.raises(AttributeError):
+            p.d = 2  # type: ignore[misc]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(d=-1, t=1.0),
+            dict(d=1, t=-1.0),
+            dict(d=1, t=1.0, reps=0),
+            dict(d=1, t=1.0, ci=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(BenchmarkError):
+            MeasurementPoint(**kwargs)
+
+
+class TestPrecision:
+    def test_defaults(self):
+        p = Precision()
+        assert p.reps_min >= 1
+        assert p.reps_max >= p.reps_min
+        assert 0.0 < p.confidence_level < 1.0
+
+    def test_single_shot(self):
+        p = Precision.single_shot()
+        assert p.reps_min == 1
+        assert p.reps_max == 1
+
+    def test_thorough_tighter_than_default(self):
+        assert Precision.thorough().relative_error < Precision().relative_error
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(reps_min=0),
+            dict(reps_min=10, reps_max=5),
+            dict(confidence_level=0.0),
+            dict(confidence_level=1.0),
+            dict(relative_error=0.0),
+            dict(time_limit=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(BenchmarkError):
+            Precision(**kwargs)

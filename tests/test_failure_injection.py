@@ -1,0 +1,151 @@
+"""Failure-injection tests: how the framework behaves when things break.
+
+A production framework is defined as much by its failure behaviour as by
+its happy paths: memory limits blowing up mid-benchmark, kernels reporting
+garbage, models fed impossible data, partitioners given contradictory
+inputs.  Every failure must surface as a typed ``FuPerModError`` subclass
+with a diagnosable message -- never a bare ``ValueError`` from numpy or a
+silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import Benchmark, PlatformBenchmark
+from repro.core.kernel import CallableKernel, SimulatedKernel
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.partition.dynamic import DynamicPartitioner
+from repro.core.partition.geometric import partition_geometric
+from repro.core.point import MeasurementPoint
+from repro.errors import (
+    BenchmarkError,
+    FuPerModError,
+    ModelError,
+    PartitionError,
+)
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device, MemoryExceeded
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+class TestMemoryLimitFailures:
+    def _device(self, limit=100):
+        return Device(
+            "limited", ConstantProfile(1.0e9), noise=NoNoise(),
+            memory_limit_units=limit,
+        )
+
+    def test_benchmark_surfaces_memory_exceeded(self):
+        kernel = SimulatedKernel(self._device(100), unit_flops=1.0)
+        bench = Benchmark(kernel)
+        with pytest.raises(MemoryExceeded):
+            bench.run(101)
+
+    def test_memory_exceeded_is_typed(self):
+        assert issubclass(MemoryExceeded, FuPerModError)
+
+    def test_group_measure_fails_fast(self):
+        platform = Platform([Node("n", [self._device(100)])])
+        bench = PlatformBenchmark(platform, unit_flops=1.0)
+        with pytest.raises(MemoryExceeded):
+            bench.measure_group([1000])
+
+    def test_within_limit_fine(self):
+        kernel = SimulatedKernel(self._device(100), unit_flops=1.0)
+        point = Benchmark(kernel).run(100)
+        assert point.d == 100
+
+
+class TestKernelMisbehaviour:
+    def test_negative_time_rejected(self):
+        kernel = CallableKernel(complexity_fn=lambda d: d, run_fn=lambda p: None)
+        kernel.execute = lambda ctx: -1.0  # type: ignore[method-assign]
+        with pytest.raises(BenchmarkError, match="negative"):
+            Benchmark(kernel).run(10)
+
+    def test_kernel_exception_propagates_with_cleanup(self):
+        torn = []
+
+        def explode(_payload):
+            raise RuntimeError("kernel blew up")
+
+        kernel = CallableKernel(
+            complexity_fn=lambda d: d,
+            run_fn=explode,
+            setup_fn=lambda d: "payload",
+            teardown_fn=lambda p: torn.append(p),
+        )
+        with pytest.raises(RuntimeError, match="blew up"):
+            Benchmark(kernel).run(5)
+        # finalize ran despite the failure (the try/finally contract).
+        assert torn == ["payload"]
+
+
+class TestModelMisuse:
+    def test_all_models_reject_zero_size_points(self):
+        for cls in (ConstantModel, PiecewiseModel, AkimaModel):
+            with pytest.raises(ModelError):
+                cls().update(MeasurementPoint(d=0, t=1.0))
+
+    def test_prediction_before_ready(self):
+        for cls in (ConstantModel, PiecewiseModel, AkimaModel):
+            with pytest.raises(ModelError):
+                cls().time(10)
+
+    def test_negative_size_prediction(self):
+        m = ConstantModel()
+        m.update(MeasurementPoint(d=10, t=1.0))
+        with pytest.raises(ModelError):
+            m.time(-1)
+
+
+class TestPartitionerMisuse:
+    def test_unready_models_rejected(self):
+        with pytest.raises(ModelError):
+            partition_geometric(100, [PiecewiseModel(), PiecewiseModel()])
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_geometric(100, [])
+
+    def test_dynamic_partitioner_propagates_measure_failure(self):
+        platform = Platform(
+            [Node("n", [Device("d", ConstantProfile(1.0e9), noise=NoNoise(),
+                               memory_limit_units=10)])]
+        )
+        bench = PlatformBenchmark(platform, unit_flops=1.0)
+        dyn = DynamicPartitioner(
+            partition_geometric, [PiecewiseModel()], 1000, bench.measure_group
+        )
+        with pytest.raises(MemoryExceeded):
+            dyn.iterate()  # even share of 1000 exceeds the 10-unit limit
+
+
+class TestErrorHierarchy:
+    def test_all_errors_catchable_at_base(self):
+        from repro import errors
+
+        for name in (
+            "InterpolationError", "SolverError", "PlatformError",
+            "CommunicationError", "BenchmarkError", "ModelError",
+            "PartitionError", "PersistenceError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.FuPerModError)
+            assert issubclass(cls, Exception)
+
+    def test_numpy_errors_do_not_leak_from_jacobi(self):
+        # A pathological (but valid) platform/system combination must not
+        # raise bare numpy errors.
+        from repro.apps.jacobi.distributed import run_balanced_jacobi
+        from repro.core.partition.dynamic import LoadBalancer
+
+        platform = Platform(
+            [Node("n", [Device("d", ConstantProfile(1.0e9), noise=NoNoise())])]
+        )
+        balancer = LoadBalancer(partition_geometric, [PiecewiseModel()], 5)
+        result = run_balanced_jacobi(platform, balancer, max_iterations=3)
+        assert isinstance(result.solution, np.ndarray)

@@ -1,0 +1,138 @@
+"""Tests for the geometric bisection trace and outlier-robust measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._stats import mad_filter
+from repro.core.benchmark import Benchmark
+from repro.core.kernel import CallableKernel
+from repro.core.models import PiecewiseModel
+from repro.core.partition.geometric import BisectionStep, partition_geometric
+from repro.core.precision import Precision
+from repro.errors import BenchmarkError
+
+from tests.conftest import model_from_time_fn
+
+
+class TestGeometricTrace:
+    def _models(self):
+        return [
+            model_from_time_fn(
+                PiecewiseModel, lambda d, s=s: d / s, [10, 1000, 100000]
+            )
+            for s in (3.0, 1.0)
+        ]
+
+    def test_trace_recorded(self):
+        trace = []
+        partition_geometric(4000, self._models(), trace=trace)
+        assert trace
+        assert all(isinstance(step, BisectionStep) for step in trace)
+
+    def test_trace_levels_bracket_solution(self):
+        trace = []
+        dist = partition_geometric(4000, self._models(), trace=trace)
+        # The final equal time is 1000 units/speed-unit = 1000s on both.
+        final_time = dist.parts[0].t
+        assert min(s.level for s in trace) <= final_time
+        assert max(s.level for s in trace) >= final_time * 0.99
+
+    def test_slope_is_inverse_level(self):
+        trace = []
+        partition_geometric(600, self._models(), trace=trace)
+        for step in trace:
+            assert step.slope == pytest.approx(1.0 / step.level)
+
+    def test_excess_signs_converge(self):
+        trace = []
+        partition_geometric(600, self._models(), trace=trace)
+        # The residual of the last probe is essentially zero.
+        assert abs(trace[-1].excess) <= 1.0
+
+    def test_allocations_lengths(self):
+        trace = []
+        partition_geometric(600, self._models(), trace=trace)
+        assert all(len(s.allocations) == 2 for s in trace)
+
+    def test_no_trace_by_default(self):
+        # Just exercising the default path (no crash, no side effects).
+        dist = partition_geometric(600, self._models())
+        assert dist.total == 600
+
+
+class TestMadFilter:
+    def test_keeps_clean_samples(self):
+        samples = [1.0, 1.01, 0.99, 1.02, 0.98]
+        assert mad_filter(samples) == samples
+
+    def test_drops_spike(self):
+        samples = [1.0, 1.01, 0.99, 1.02, 5.0]
+        kept = mad_filter(samples)
+        assert 5.0 not in kept
+        assert len(kept) == 4
+
+    def test_identical_samples_kept(self):
+        samples = [2.0] * 5
+        assert mad_filter(samples) == samples
+
+    def test_fewer_than_three_kept(self):
+        assert mad_filter([1.0, 100.0]) == [1.0, 100.0]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            mad_filter([1.0, 2.0, 3.0], threshold=0.0)
+
+    def test_never_returns_empty(self):
+        # Extremely scattered data must still yield something.
+        kept = mad_filter([1.0, 100.0, 10000.0, 1e6, 1e8])
+        assert kept
+
+
+class TestBenchmarkOutlierRejection:
+    def _spiky_kernel(self, spike_every=4, spike_factor=50.0):
+        """A kernel returning 1ms, with a huge spike every N runs."""
+        counter = {"n": 0}
+
+        def run(_payload):
+            counter["n"] += 1
+
+        kernel = CallableKernel(complexity_fn=lambda d: d, run_fn=run)
+
+        # Override timing deterministically instead of using perf_counter.
+        def execute(context):
+            counter["n"] += 1
+            if counter["n"] % spike_every == 0:
+                return 0.001 * spike_factor
+            return 0.001 * (1.0 + 0.001 * (counter["n"] % 3))
+
+        kernel.execute = execute  # type: ignore[method-assign]
+        return kernel
+
+    def test_spikes_inflate_mean_without_filter(self):
+        bench = Benchmark(
+            self._spiky_kernel(),
+            Precision(reps_min=12, reps_max=12),
+        )
+        point = bench.run(10)
+        assert point.t > 0.004  # spikes dominate the mean
+
+    def test_filter_recovers_true_mean(self):
+        bench = Benchmark(
+            self._spiky_kernel(),
+            Precision(reps_min=12, reps_max=12, outlier_threshold=3.5),
+        )
+        point = bench.run(10)
+        assert point.t == pytest.approx(0.001, rel=0.01)
+        # reps still reports what was actually executed.
+        assert point.reps == 12
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Precision(outlier_threshold=-1.0)
+
+    def test_filter_noop_on_clean_data(self):
+        rng = np.random.default_rng(0)
+        samples = list(1.0 + 0.01 * rng.standard_normal(20))
+        assert len(mad_filter(samples)) >= 18

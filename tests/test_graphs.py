@@ -1,0 +1,163 @@
+"""Tests for the graph-partitioning bridge."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import ConstantModel
+from repro.errors import PartitionError
+from repro.graphs import (
+    edge_cut,
+    grid_graph,
+    partition_graph_weighted,
+    partition_weights,
+    weight_balance,
+)
+
+from tests.conftest import model_from_time_fn
+
+
+def _models(speeds):
+    return [
+        model_from_time_fn(ConstantModel, lambda d, s=s: d / s, [100]) for s in speeds
+    ]
+
+
+class TestPartitionWeights:
+    def test_proportional_for_constant_models(self):
+        weights = partition_weights(1000, _models([300.0, 100.0]))
+        assert weights == pytest.approx([0.75, 0.25])
+
+    def test_sums_to_one(self):
+        weights = partition_weights(997, _models([3.0, 5.0, 7.0]))
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_invalid_total(self):
+        with pytest.raises(PartitionError):
+            partition_weights(0, _models([1.0]))
+
+    def test_custom_algorithm(self):
+        from repro.core.partition.basic import partition_constant
+
+        weights = partition_weights(100, _models([1.0, 1.0]), partition_constant)
+        assert weights == pytest.approx([0.5, 0.5])
+
+
+class TestGridGraph:
+    def test_shape(self):
+        g = grid_graph(4, 3)
+        assert g.number_of_nodes() == 12
+        # Interior degree 4, corners 2.
+        degrees = [d for _n, d in g.degree()]
+        assert max(degrees) <= 4 and min(degrees) == 2
+
+    def test_row_major_labels(self):
+        g = grid_graph(3, 2)
+        assert set(g.nodes) == set(range(6))
+        assert g.has_edge(0, 1) and g.has_edge(0, 3)
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            grid_graph(0, 5)
+
+
+class TestPartitionGraphWeighted:
+    def test_all_vertices_assigned(self):
+        g = grid_graph(8, 8)
+        assignment = partition_graph_weighted(g, [1.0, 1.0, 2.0])
+        assert set(assignment.keys()) == set(g.nodes)
+        assert set(assignment.values()) <= {0, 1, 2}
+
+    def test_weights_respected(self):
+        g = grid_graph(16, 16)
+        weights = [1.0, 3.0]
+        assignment = partition_graph_weighted(g, weights)
+        assert weight_balance(assignment, weights) < 0.15
+
+    def test_equal_weights_balanced(self):
+        g = grid_graph(12, 12)
+        assignment = partition_graph_weighted(g, [1.0] * 4)
+        counts = [0] * 4
+        for p in assignment.values():
+            counts[p] += 1
+        assert max(counts) - min(counts) <= 0.2 * (144 / 4)
+
+    def test_zero_weight_part_empty(self):
+        g = grid_graph(6, 6)
+        assignment = partition_graph_weighted(g, [1.0, 0.0, 1.0])
+        assert 1 not in set(assignment.values())
+
+    def test_single_part(self):
+        g = grid_graph(4, 4)
+        assignment = partition_graph_weighted(g, [5.0])
+        assert set(assignment.values()) == {0}
+        assert edge_cut(g, assignment) == 0
+
+    def test_edge_cut_reasonable_for_grid(self):
+        # A 16x16 grid split in two should cut roughly one column of edges
+        # (16), certainly far fewer than the 480 total.
+        g = grid_graph(16, 16)
+        assignment = partition_graph_weighted(g, [1.0, 1.0])
+        assert edge_cut(g, assignment) < 64
+
+    def test_disconnected_graph_handled(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2), (10, 11), (11, 12)])
+        assignment = partition_graph_weighted(g, [1.0, 1.0])
+        assert set(assignment.keys()) == set(g.nodes)
+
+    def test_more_parts_than_vertices_rejected(self):
+        g = nx.path_graph(2)
+        with pytest.raises(PartitionError):
+            partition_graph_weighted(g, [1.0, 1.0, 1.0])
+
+    def test_validation(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(PartitionError):
+            partition_graph_weighted(g, [])
+        with pytest.raises(PartitionError):
+            partition_graph_weighted(g, [-1.0, 2.0])
+        with pytest.raises(PartitionError):
+            partition_graph_weighted(g, [0.0, 0.0])
+        with pytest.raises(PartitionError):
+            partition_graph_weighted(nx.Graph(), [1.0])
+
+    def test_deterministic(self):
+        g = grid_graph(10, 10)
+        a1 = partition_graph_weighted(g, [1.0, 2.0])
+        a2 = partition_graph_weighted(g, [1.0, 2.0])
+        assert a1 == a2
+
+    @given(
+        st.integers(min_value=4, max_value=14),
+        st.integers(min_value=4, max_value=14),
+        st.lists(st.floats(min_value=0.5, max_value=5.0), min_size=1, max_size=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_properties(self, w, h, weights):
+        g = grid_graph(w, h)
+        assignment = partition_graph_weighted(g, weights)
+        # Complete assignment into declared parts.
+        assert set(assignment.keys()) == set(g.nodes)
+        assert all(0 <= p < len(weights) for p in assignment.values())
+        # Cut is bounded by the total edge count.
+        assert 0 <= edge_cut(g, assignment) <= g.number_of_edges()
+
+
+class TestMetrics:
+    def test_edge_cut_counts_cross_edges(self):
+        g = nx.path_graph(4)  # 0-1-2-3
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        assert edge_cut(g, assignment) == 1
+
+    def test_weight_balance_perfect(self):
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        assert weight_balance(assignment, [1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_weight_balance_deviation(self):
+        assignment = {0: 0, 1: 0, 2: 0, 3: 1}
+        # Targets are 2/2; achieved 3/1 -> 50% deviation.
+        assert weight_balance(assignment, [1.0, 1.0]) == pytest.approx(0.5)

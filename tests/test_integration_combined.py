@@ -1,0 +1,142 @@
+"""Integration tests combining features across subsystems.
+
+Each test wires together pieces that have only been tested separately,
+following paths a real user would take: capacity limits inside a
+hierarchical split, adaptive models feeding partitioners, calibrated twins
+feeding the whole pipeline, end-to-end persistence, and the CLI's stencil
+demo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.benchmark import Benchmark, PlatformBenchmark, build_full_models
+from repro.core.builder import build_adaptive_model
+from repro.core.kernel import SimulatedKernel
+from repro.core.models import AkimaModel, PiecewiseModel
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.hierarchical import (
+    group_models_by_node,
+    partition_hierarchical,
+)
+from repro.core.partition.limits import partition_with_limits
+from repro.core.precision import Precision
+from repro.io.files import load_model, save_points
+from repro.platform.calibration import fit_cache_profile, speed_samples_from_points
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import CacheHierarchyProfile, ConstantProfile
+
+
+def _flat_platform(speeds):
+    return Platform(
+        [
+            Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+            for i, s in enumerate(speeds)
+        ]
+    )
+
+
+class TestLimitsInsideHierarchy:
+    def test_capped_device_inside_node(self):
+        # Node 0 has two devices, one capped; hierarchical top-level split
+        # feeds a limit-aware bottom level.
+        platform = _flat_platform([4.0e9, 4.0e9, 2.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        models, _ = build_full_models(bench, PiecewiseModel, [64, 1024, 8192])
+        groups = [models[:2], models[2:]]
+        hier = partition_hierarchical(10_000, groups, [100, 1000, 10000])
+        node0_share = hier.node_distribution.parts[0].d
+        capped = partition_with_limits(
+            partition_geometric, node0_share, groups[0], [1000, None]
+        )
+        assert capped.total == node0_share
+        assert capped.sizes[0] <= 1000
+        # The cap's overflow lands on the sibling device, not elsewhere.
+        assert capped.sizes[1] == node0_share - capped.sizes[0]
+
+
+class TestAdaptiveModelsFeedPartitioners:
+    def test_adaptive_built_models_balance(self):
+        cliff = Device(
+            "cliff",
+            CacheHierarchyProfile(
+                levels=[(1000.0, 6.0e9)], paged_flops=0.6e9, transition_width=0.05
+            ),
+            noise=NoNoise(),
+        )
+        steady = Device("steady", ConstantProfile(2.0e9), noise=NoNoise())
+        models = []
+        for device in (cliff, steady):
+            kernel = SimulatedKernel(device, unit_flops=1.0e6)
+            bench = Benchmark(kernel, Precision(reps_min=2, reps_max=2))
+            result = build_adaptive_model(
+                bench.run, AkimaModel, (16, 60_000), accuracy=0.03, max_points=20
+            )
+            models.append(result.model)
+        dist = partition_geometric(40_000, models)
+        # Judge against ground truth.
+        times = [
+            device.ideal_time(1.0e6 * d, d)
+            for device, d in zip((cliff, steady), dist.sizes)
+        ]
+        assert (max(times) - min(times)) / max(times) < 0.25
+
+
+class TestCalibratedTwinPipeline:
+    def test_twin_platform_partitions_like_original(self):
+        truth = CacheHierarchyProfile(
+            levels=[(1500.0, 5.0e9)], paged_flops=0.7e9, transition_width=0.1
+        )
+        original = Device("orig", truth, noise=NoNoise())
+        kernel = SimulatedKernel(original, unit_flops=1.0e6)
+        bench = Benchmark(kernel, Precision(reps_min=2, reps_max=2))
+        points = [bench.run(int(d)) for d in np.geomspace(20, 50000, 14)]
+        fit = fit_cache_profile(
+            speed_samples_from_points(points, kernel.complexity)
+        )
+        twin = Device("twin", fit.profile, noise=NoNoise())
+
+        steady = Device("steady", ConstantProfile(2.0e9), noise=NoNoise())
+        dists = []
+        for first in (original, twin):
+            platform = Platform([Node("a", [first]), Node("b", [steady])])
+            pb = PlatformBenchmark(platform, unit_flops=1.0e6)
+            models, _ = build_full_models(
+                pb, PiecewiseModel,
+                sorted({int(round(32 * 2 ** (k / 2))) for k in range(22)}),
+            )
+            dists.append(partition_geometric(30_000, models))
+        for a, b in zip(dists[0].sizes, dists[1].sizes):
+            assert abs(a - b) <= 0.05 * 30_000
+
+
+class TestPersistenceAcrossModelTypes:
+    @pytest.mark.parametrize("name", ["constant", "piecewise", "akima", "pchip",
+                                      "linear"])
+    def test_every_registered_model_round_trips(self, name, tmp_path):
+        from repro.core.registry import model_factory
+
+        platform = _flat_platform([3.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        factory = model_factory(name)
+        models, _ = build_full_models(bench, factory, [64, 256, 1024])
+        path = tmp_path / "m.points"
+        save_points(path, list(models[0].points))
+        reloaded = load_model(path, factory)
+        for x in [50.0, 500.0, 2000.0]:
+            assert reloaded.time(x) == pytest.approx(models[0].time(x), rel=1e-9)
+
+
+class TestCliStencilDemo:
+    def test_runs(self, capsys):
+        code = main(["demo-stencil", "--rows", "90", "--width", "16",
+                     "--iterations", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final rows" in out
+        assert "heat stencil" in out

@@ -1,0 +1,136 @@
+"""Tests for FPM shape checking and coarsening."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpolationError
+from repro.interp.coarsening import coarsen_to_fpm_shape, satisfies_fpm_shape
+
+
+class TestSatisfiesShape:
+    def test_constant_speed_ok(self):
+        pts = [(1.0, 5.0), (2.0, 5.0), (10.0, 5.0)]
+        assert satisfies_fpm_shape(pts)
+
+    def test_decreasing_speed_ok(self):
+        pts = [(1.0, 5.0), (2.0, 4.0), (10.0, 1.0)]
+        assert satisfies_fpm_shape(pts)
+
+    def test_superlinear_growth_violates(self):
+        # Speed doubling while size grows 50% -> angle increases.
+        pts = [(1.0, 1.0), (1.5, 2.0)]
+        assert not satisfies_fpm_shape(pts)
+
+    def test_sublinear_growth_ok(self):
+        # Speed may increase as long as it grows slower than x.
+        pts = [(1.0, 2.0), (2.0, 3.0), (4.0, 4.0)]
+        assert satisfies_fpm_shape(pts)
+
+    def test_equal_angles_fail_strict_pass_lenient(self):
+        pts = [(1.0, 2.0), (2.0, 4.0)]
+        assert not satisfies_fpm_shape(pts, strict=True)
+        assert satisfies_fpm_shape(pts, strict=False)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InterpolationError):
+            satisfies_fpm_shape([(0.0, 1.0)])
+        with pytest.raises(InterpolationError):
+            satisfies_fpm_shape([(1.0, -1.0)])
+
+
+class TestCoarsening:
+    def test_empty_rejected(self):
+        with pytest.raises(InterpolationError):
+            coarsen_to_fpm_shape([])
+
+    def test_already_valid_untouched(self):
+        pts = [(1.0, 5.0), (2.0, 4.5), (4.0, 4.0)]
+        out = coarsen_to_fpm_shape(pts)
+        assert out == pts
+
+    def test_violating_point_clipped_down(self):
+        pts = [(1.0, 1.0), (1.5, 2.0)]
+        out = coarsen_to_fpm_shape(pts)
+        assert out[0] == (1.0, 1.0)
+        assert out[1][1] < 1.5  # clipped below the ray through (1, 1)
+
+    def test_output_sorted(self):
+        pts = [(5.0, 1.0), (1.0, 3.0), (3.0, 2.0)]
+        out = coarsen_to_fpm_shape(pts)
+        assert [x for x, _s in out] == [1.0, 3.0, 5.0]
+
+    def test_duplicates_merged(self):
+        out = coarsen_to_fpm_shape([(1.0, 2.0), (1.0, 4.0)])
+        assert len(out) == 1
+        assert out[0][1] == pytest.approx(3.0)
+
+    def test_never_increases_speed(self):
+        pts = [(1.0, 1.0), (2.0, 5.0), (3.0, 2.0), (4.0, 9.0)]
+        out = coarsen_to_fpm_shape(pts)
+        original = dict(pts)
+        for x, s in out:
+            assert s <= original[x] + 1e-12
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InterpolationError):
+            coarsen_to_fpm_shape([(1.0, 0.0)])
+
+
+@st.composite
+def _speed_points(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    xs = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1e4),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    ss = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e4), min_size=n, max_size=n
+        )
+    )
+    return list(zip(xs, ss))
+
+
+class TestCoarseningProperties:
+    @given(_speed_points())
+    @settings(max_examples=100)
+    def test_output_satisfies_shape(self, pts):
+        out = coarsen_to_fpm_shape(pts)
+        assert satisfies_fpm_shape(out, strict=False)
+        # Angles must be strictly decreasing up to float wobble.
+        angles = [s / x for x, s in out]
+        for a, b in zip(angles, angles[1:]):
+            assert b < a * (1.0 + 1e-12)
+
+    @given(_speed_points())
+    @settings(max_examples=100)
+    def test_speeds_only_clipped_down(self, pts):
+        out = coarsen_to_fpm_shape(pts)
+        # Merge duplicates as the function does, then compare.
+        merged: dict = {}
+        counts: dict = {}
+        for x, s in pts:
+            if x in merged:
+                counts[x] += 1
+                merged[x] += (s - merged[x]) / counts[x]
+            else:
+                merged[x] = s
+                counts[x] = 1
+        for x, s in out:
+            assert s <= merged[x] + 1e-9
+            assert s > 0.0
+
+    @given(_speed_points())
+    @settings(max_examples=60)
+    def test_derived_time_strictly_increasing(self, pts):
+        out = coarsen_to_fpm_shape(pts)
+        times = [x / s for x, s in out]
+        for t0, t1 in zip(times, times[1:]):
+            assert t1 > t0

@@ -1,0 +1,68 @@
+"""Tests for isotonic regression (pool adjacent violators)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpolationError
+from repro.interp.isotonic import isotonic_increasing
+
+
+class TestIsotonicIncreasing:
+    def test_empty(self):
+        assert isotonic_increasing([]) == []
+
+    def test_already_monotone_unchanged(self):
+        ys = [1.0, 2.0, 2.0, 5.0]
+        assert isotonic_increasing(ys) == ys
+
+    def test_single_violation_pooled(self):
+        assert isotonic_increasing([1.0, 3.0, 2.0]) == [1.0, 2.5, 2.5]
+
+    def test_full_reversal_pools_to_mean(self):
+        out = isotonic_increasing([3.0, 2.0, 1.0])
+        assert out == [2.0, 2.0, 2.0]
+
+    def test_weights_shift_pooled_mean(self):
+        # Heavy first value dominates the pooled block.
+        out = isotonic_increasing([3.0, 1.0], weights=[3.0, 1.0])
+        assert out == [2.5, 2.5]
+
+    def test_weight_validation(self):
+        with pytest.raises(InterpolationError):
+            isotonic_increasing([1.0, 2.0], weights=[1.0])
+        with pytest.raises(InterpolationError):
+            isotonic_increasing([1.0, 2.0], weights=[1.0, 0.0])
+
+    def test_classic_example(self):
+        ys = [1, 2, 6, 2, 3, 7, 8]
+        out = isotonic_increasing([float(y) for y in ys])
+        # Block (6,2,3) pools to 11/3.
+        assert out[2] == pytest.approx(11.0 / 3.0)
+        assert out[2] == out[3] == out[4]
+        for a, b in zip(out, out[1:]):
+            assert b >= a
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=60))
+    @settings(max_examples=100)
+    def test_output_non_decreasing_property(self, ys):
+        out = isotonic_increasing(ys)
+        assert len(out) == len(ys)
+        for a, b in zip(out, out[1:]):
+            assert b >= a - 1e-9 * max(1.0, abs(a))
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_weighted_mean_preserved_property(self, ys):
+        # PAVA preserves the (weighted) mean of the data.
+        out = isotonic_increasing(ys)
+        assert sum(out) == pytest.approx(sum(ys), rel=1e-9, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30))
+    @settings(max_examples=60)
+    def test_idempotent_property(self, ys):
+        once = isotonic_increasing(ys)
+        twice = isotonic_increasing(once)
+        assert twice == pytest.approx(once)

@@ -1,0 +1,139 @@
+"""Tests for the from-scratch PCHIP (Fritsch--Carlson) interpolation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpolationError
+from repro.interp.pchip import PchipSpline
+
+
+class TestConstruction:
+    def test_needs_two_distinct_points(self):
+        with pytest.raises(InterpolationError):
+            PchipSpline([(1.0, 2.0)])
+        with pytest.raises(InterpolationError):
+            PchipSpline([(1.0, 2.0), (1.0, 3.0)])
+
+    def test_two_points_is_line(self):
+        f = PchipSpline([(0.0, 0.0), (4.0, 8.0)])
+        assert f(2.0) == pytest.approx(4.0)
+        assert f.derivative(1.0) == pytest.approx(2.0)
+
+    def test_duplicates_merged(self):
+        f = PchipSpline([(0.0, 0.0), (1.0, 2.0), (1.0, 4.0)])
+        assert f(1.0) == pytest.approx(3.0)
+
+
+class TestInterpolation:
+    def test_passes_through_knots(self):
+        pts = [(0.0, 1.0), (1.0, 3.0), (2.5, 2.0), (4.0, 5.0)]
+        f = PchipSpline(pts, min_y=-100.0)
+        for x, y in pts:
+            assert f(x) == pytest.approx(y, abs=1e-12)
+
+    def test_linear_reproduction(self):
+        f = PchipSpline([(x, 3.0 * x + 1.0) for x in [0.0, 1.0, 2.0, 5.0]],
+                        min_y=-1e9)
+        for x in [0.5, 1.5, 4.0]:
+            assert f(x) == pytest.approx(3.0 * x + 1.0, rel=1e-9)
+
+    def test_monotone_data_gives_monotone_interpolant(self):
+        # The defining property: increasing knots -> increasing spline.
+        pts = [(0.0, 0.0), (1.0, 0.1), (2.0, 0.2), (3.0, 5.0), (4.0, 5.1)]
+        f = PchipSpline(pts, min_y=-1e9)
+        xs = np.linspace(0.0, 4.0, 400)
+        vals = [f(float(x)) for x in xs]
+        for a, b in zip(vals, vals[1:]):
+            assert b >= a - 1e-12
+
+    def test_no_overshoot_on_step_data(self):
+        # Where Akima and cubic splines may dip below/above, PCHIP stays
+        # within the data range on each interval.
+        pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 1.0), (3.0, 1.0)]
+        f = PchipSpline(pts, min_y=-1e9)
+        for x in np.linspace(0.0, 3.0, 200):
+            assert -1e-12 <= f(float(x)) <= 1.0 + 1e-12
+
+    def test_local_extremum_preserved(self):
+        # A peak in the data stays a peak: slope is zero at the turn.
+        pts = [(0.0, 0.0), (1.0, 2.0), (2.0, 0.0)]
+        f = PchipSpline(pts, min_y=-1e9)
+        assert f.derivative(1.0) == pytest.approx(0.0, abs=1e-12)
+        for x in np.linspace(0.0, 2.0, 100):
+            assert f(float(x)) <= 2.0 + 1e-12
+
+    def test_c1_continuity(self):
+        pts = [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0), (3.0, 4.5), (4.0, 7.0)]
+        f = PchipSpline(pts, min_y=-1e9)
+        for knot in [1.0, 2.0, 3.0]:
+            left = f.derivative(knot - 1e-9)
+            right = f.derivative(knot + 1e-9)
+            assert left == pytest.approx(right, rel=1e-5, abs=1e-7)
+
+    def test_derivative_matches_fd(self):
+        pts = [(float(x), math.log1p(x)) for x in range(8)]
+        f = PchipSpline(pts, min_y=-1e9)
+        for x in [0.6, 2.4, 5.5]:
+            h = 1e-6
+            fd = (f(x + h) - f(x - h)) / (2 * h)
+            assert f.derivative(x) == pytest.approx(fd, rel=1e-4)
+
+    def test_matches_scipy_pchip(self):
+        scipy_interp = pytest.importorskip("scipy.interpolate")
+        xs = [0.0, 1.0, 2.0, 3.5, 5.0, 8.0]
+        ys = [0.0, 0.4, 0.5, 3.0, 3.1, 9.0]
+        ours = PchipSpline(list(zip(xs, ys)), min_y=-1e9)
+        theirs = scipy_interp.PchipInterpolator(xs, ys)
+        for x in np.linspace(0.0, 8.0, 50):
+            assert ours(float(x)) == pytest.approx(float(theirs(x)), rel=1e-9, abs=1e-9)
+
+
+@st.composite
+def _monotone_points(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    xs = sorted(
+        float(x)
+        for x in draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10_000),
+                min_size=n, max_size=n, unique=True,
+            )
+        )
+    )
+    increments = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=n, max_size=n
+        )
+    )
+    ys = []
+    acc = 0.0
+    for inc in increments:
+        acc += inc
+        ys.append(acc)
+    return list(zip(xs, ys))
+
+
+class TestProperties:
+    @given(_monotone_points())
+    @settings(max_examples=80)
+    def test_monotone_preservation_property(self, pts):
+        f = PchipSpline(pts, min_y=-1e9)
+        lo = pts[0][0]
+        hi = pts[-1][0]
+        xs = np.linspace(lo, hi, 97)
+        vals = [f(float(x)) for x in xs]
+        for a, b in zip(vals, vals[1:]):
+            assert b >= a - 1e-7 * max(1.0, abs(a))
+
+    @given(_monotone_points())
+    @settings(max_examples=50)
+    def test_interpolation_property(self, pts):
+        f = PchipSpline(pts, min_y=-1e9)
+        for x, y in pts:
+            assert f(x) == pytest.approx(y, rel=1e-7, abs=1e-7)

@@ -1,0 +1,128 @@
+"""Tests for piecewise-linear interpolation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InterpolationError
+from repro.interp.piecewise_linear import PiecewiseLinear
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(InterpolationError):
+            PiecewiseLinear([])
+
+    def test_single_point_constant(self):
+        f = PiecewiseLinear([(2.0, 5.0)])
+        assert f(0.0) == 5.0
+        assert f(2.0) == 5.0
+        assert f(100.0) == 5.0
+
+    def test_points_sorted_on_construction(self):
+        f = PiecewiseLinear([(3.0, 30.0), (1.0, 10.0), (2.0, 20.0)])
+        assert f.xs == (1.0, 2.0, 3.0)
+        assert f.ys == (10.0, 20.0, 30.0)
+
+    def test_duplicate_x_merged_by_average(self):
+        f = PiecewiseLinear([(1.0, 10.0), (1.0, 20.0), (2.0, 5.0)])
+        assert len(f) == 2
+        assert f(1.0) == pytest.approx(15.0)
+
+    def test_len(self):
+        f = PiecewiseLinear([(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        assert len(f) == 3
+
+
+class TestEvaluation:
+    def test_passes_through_knots(self):
+        pts = [(1.0, 2.0), (3.0, -1.0), (7.0, 4.0)]
+        f = PiecewiseLinear(pts, min_y=-100.0)
+        for x, y in pts:
+            assert f(x) == pytest.approx(y)
+
+    def test_midpoint_linear(self):
+        f = PiecewiseLinear([(0.0, 0.0), (10.0, 100.0)])
+        assert f(5.0) == pytest.approx(50.0)
+
+    def test_left_extrapolation_continues_first_segment(self):
+        f = PiecewiseLinear([(1.0, 10.0), (2.0, 20.0)])
+        assert f(0.5) == pytest.approx(5.0)
+
+    def test_right_extrapolation_continues_last_segment(self):
+        f = PiecewiseLinear([(1.0, 10.0), (2.0, 20.0)])
+        assert f(3.0) == pytest.approx(30.0)
+
+    def test_min_y_clamp(self):
+        f = PiecewiseLinear([(1.0, 10.0), (2.0, 1.0)], min_y=0.5)
+        # Extrapolation would go negative; clamp holds.
+        assert f(5.0) == 0.5
+
+    def test_derivative_on_segments(self):
+        f = PiecewiseLinear([(0.0, 0.0), (1.0, 2.0), (3.0, 0.0)])
+        assert f.derivative(0.5) == pytest.approx(2.0)
+        assert f.derivative(2.0) == pytest.approx(-1.0)
+
+    def test_derivative_single_point_zero(self):
+        f = PiecewiseLinear([(1.0, 5.0)])
+        assert f.derivative(10.0) == 0.0
+
+    def test_with_point_returns_new_interpolant(self):
+        f = PiecewiseLinear([(0.0, 0.0), (2.0, 2.0)])
+        g = f.with_point(1.0, 5.0)
+        assert f(1.0) == pytest.approx(1.0)
+        assert g(1.0) == pytest.approx(5.0)
+        assert len(f) == 2
+        assert len(g) == 3
+
+
+@st.composite
+def _distinct_points(draw):
+    # Integer abscissae: problem sizes are computation-unit counts.
+    xs = [
+        float(x)
+        for x in draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10_000),
+                min_size=2,
+                max_size=20,
+                unique=True,
+            )
+        )
+    ]
+    ys = draw(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4),
+            min_size=len(xs),
+            max_size=len(xs),
+        )
+    )
+    return list(zip(xs, ys))
+
+
+class TestProperties:
+    @given(_distinct_points())
+    def test_interpolates_all_knots(self, pts):
+        f = PiecewiseLinear(pts, min_y=-1e9)
+        for x, y in pts:
+            assert f(x) == pytest.approx(y, rel=1e-9, abs=1e-9)
+
+    @given(_distinct_points(), st.floats(min_value=0.1, max_value=1e4))
+    def test_within_hull_bounded_by_neighbours(self, pts, x):
+        f = PiecewiseLinear(pts, min_y=-1e9)
+        xs = sorted(p[0] for p in pts)
+        if not xs[0] <= x <= xs[-1]:
+            return
+        lo = min(y for _x, y in pts)
+        hi = max(y for _x, y in pts)
+        assert lo - 1e-6 <= f(x) <= hi + 1e-6
+
+    @given(st.floats(min_value=0.01, max_value=100.0),
+           st.floats(min_value=-5.0, max_value=5.0))
+    def test_reproduces_linear_function(self, slope, intercept):
+        pts = [(x, slope * x + intercept) for x in [1.0, 2.0, 5.0, 9.0]]
+        f = PiecewiseLinear(pts, min_y=-1e9)
+        for x in [1.5, 3.0, 7.0]:
+            assert f(x) == pytest.approx(slope * x + intercept, rel=1e-9, abs=1e-9)

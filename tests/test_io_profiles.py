@@ -1,0 +1,124 @@
+"""Tests for JSON profile persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.io.profiles import load_profile, save_profile
+from repro.platform.profiles import (
+    CacheHierarchyProfile,
+    ConstantProfile,
+    GpuProfile,
+    ScaledProfile,
+    TableProfile,
+    WigglyProfile,
+)
+
+_PROBE_SIZES = [1, 50, 500, 5000, 50000]
+
+
+def _assert_equivalent(a, b):
+    for d in _PROBE_SIZES:
+        assert b.flops_at(d) == pytest.approx(a.flops_at(d), rel=1e-12)
+
+
+class TestRoundTrips:
+    def test_constant(self, tmp_path):
+        p = ConstantProfile(3.5e9)
+        save_profile(tmp_path / "p.json", p)
+        _assert_equivalent(p, load_profile(tmp_path / "p.json"))
+
+    def test_table(self, tmp_path):
+        p = TableProfile([(10, 1e9), (100, 2e9), (1000, 1.5e9)])
+        save_profile(tmp_path / "p.json", p)
+        _assert_equivalent(p, load_profile(tmp_path / "p.json"))
+
+    def test_cache_hierarchy(self, tmp_path):
+        p = CacheHierarchyProfile(
+            levels=[(500, 4e9), (4000, 3e9)], paged_flops=5e8,
+            transition_width=0.12,
+        )
+        save_profile(tmp_path / "p.json", p)
+        _assert_equivalent(p, load_profile(tmp_path / "p.json"))
+
+    def test_gpu_with_out_of_core(self, tmp_path):
+        p = GpuProfile(
+            peak_flops=9e10, ramp_units=3000, memory_limit_units=50000,
+            out_of_core_factor=0.55, host_flops=1e9,
+        )
+        save_profile(tmp_path / "p.json", p)
+        q = load_profile(tmp_path / "p.json")
+        _assert_equivalent(p, q)
+        assert q.memory_limit_units == 50000
+
+    def test_gpu_minimal(self, tmp_path):
+        p = GpuProfile(peak_flops=1e10, ramp_units=100)
+        save_profile(tmp_path / "p.json", p)
+        q = load_profile(tmp_path / "p.json")
+        assert q.memory_limit_units is None
+        _assert_equivalent(p, q)
+
+    def test_wiggly(self, tmp_path):
+        from repro.platform.presets import netlib_blas_profile
+
+        p = netlib_blas_profile()
+        save_profile(tmp_path / "p.json", p)
+        _assert_equivalent(p, load_profile(tmp_path / "p.json"))
+
+    def test_calibrated_fit_round_trips(self, tmp_path):
+        from repro.platform.calibration import fit_gpu_profile
+
+        truth = GpuProfile(peak_flops=5e10, ramp_units=800)
+        samples = [(d, truth.flops_at(d)) for d in [50, 400, 2000, 20000]]
+        fit = fit_gpu_profile(samples)
+        save_profile(tmp_path / "twin.json", fit.profile)
+        _assert_equivalent(fit.profile, load_profile(tmp_path / "twin.json"))
+
+
+class TestErrors:
+    def test_unsupported_profile_type(self, tmp_path):
+        p = ScaledProfile(ConstantProfile(1e9), 0.5)
+        with pytest.raises(PersistenceError, match="ScaledProfile"):
+            save_profile(tmp_path / "p.json", p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_profile(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="JSON"):
+            load_profile(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(PersistenceError, match="not a fupermod"):
+            load_profile(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text(json.dumps({"format": "fupermod-profile", "version": 99}))
+        with pytest.raises(PersistenceError, match="version"):
+            load_profile(path)
+
+    def test_unknown_type(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text(json.dumps(
+            {"format": "fupermod-profile", "version": 1, "type": "quantum"}
+        ))
+        with pytest.raises(PersistenceError, match="quantum"):
+            load_profile(path)
+
+    def test_malformed_params(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text(json.dumps(
+            {"format": "fupermod-profile", "version": 1, "type": "gpu",
+             "params": {}}
+        ))
+        with pytest.raises(PersistenceError, match="malformed"):
+            load_profile(path)

@@ -1,0 +1,186 @@
+"""Tests for the Jacobi solver and the balanced distributed run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi.distributed import run_balanced_jacobi
+from repro.apps.jacobi.solver import (
+    generate_system,
+    jacobi_iteration,
+    jacobi_rows,
+    jacobi_solve,
+    row_flops,
+)
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import FuPerModError, PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+class TestGenerateSystem:
+    def test_shapes(self):
+        a, b, x = generate_system(10, seed=1)
+        assert a.shape == (10, 10)
+        assert b.shape == (10,)
+        assert x.shape == (10,)
+
+    def test_diagonally_dominant(self):
+        a, _b, _x = generate_system(20, seed=2)
+        diag = np.abs(np.diagonal(a))
+        off = np.sum(np.abs(a), axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_manufactured_solution(self):
+        a, b, x = generate_system(15, seed=3)
+        assert np.allclose(a @ x, b)
+
+    def test_reproducible(self):
+        a1, _, _ = generate_system(5, seed=7)
+        a2, _, _ = generate_system(5, seed=7)
+        assert np.array_equal(a1, a2)
+
+    def test_validation(self):
+        with pytest.raises(FuPerModError):
+            generate_system(0)
+        with pytest.raises(FuPerModError):
+            generate_system(5, dominance=0.5)
+
+
+class TestJacobiMath:
+    def test_solve_converges_to_exact(self):
+        a, b, x_star = generate_system(30, seed=0)
+        x, iterations, err = jacobi_solve(a, b, eps=1e-12)
+        assert err <= 1e-12
+        assert np.allclose(x, x_star, atol=1e-9)
+        assert iterations < 200
+
+    def test_full_iteration_equals_row_slices(self):
+        a, b, x_star = generate_system(12, seed=4)
+        x = np.zeros(12)
+        full = jacobi_iteration(a, b, x)
+        pieces = np.concatenate(
+            [jacobi_rows(a, b, x, 0, 5), jacobi_rows(a, b, x, 5, 7)]
+        )
+        assert np.allclose(full, pieces)
+
+    def test_zero_rows_empty(self):
+        a, b, _ = generate_system(5, seed=5)
+        out = jacobi_rows(a, b, np.zeros(5), 2, 0)
+        assert out.size == 0
+
+    def test_row_flops(self):
+        assert row_flops(100) == 200.0
+
+    def test_solve_respects_max_iterations(self):
+        a, b, _ = generate_system(10, seed=6)
+        _x, iterations, _err = jacobi_solve(a, b, eps=0.0, max_iterations=3)
+        assert iterations == 3
+
+
+def _trio_platform(speeds=(1.6e9, 1.1e9, 0.9e9)):
+    nodes = [
+        Node(f"n{i}", [Device(f"p{i}", ConstantProfile(s), noise=NoNoise())])
+        for i, s in enumerate(speeds)
+    ]
+    return Platform(nodes)
+
+
+def _balancer(platform, rows, threshold=0.05):
+    models = [PiecewiseModel() for _ in range(platform.size)]
+    return LoadBalancer(partition_geometric, models, rows, threshold=threshold)
+
+
+class TestRunBalancedJacobi:
+    def test_solves_the_system(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 60), eps=1e-10, max_iterations=100
+        )
+        assert result.solution_error < 1e-8
+
+    def test_balances_load(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 360), eps=1e-10, max_iterations=100
+        )
+        # Speeds 16:11:9 -> rows 160:110:90.
+        assert result.final_sizes == [160, 110, 90]
+
+    def test_makespan_improves_after_balancing(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 360), eps=1e-10, max_iterations=100
+        )
+        first = result.records[0].makespan
+        later = [r.makespan for r in result.records[3:6]]
+        assert later and max(later) < first
+
+    def test_compute_times_balanced_at_the_end(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 360), eps=1e-10, max_iterations=100
+        )
+        last = result.records[-1].compute_times
+        assert (max(last) - min(last)) / max(last) < 0.1
+
+    def test_record_fields_consistent(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 90), eps=1e-10, max_iterations=50
+        )
+        for rec in result.records:
+            assert sum(rec.sizes) == 90
+            assert len(rec.compute_times) == 3
+            assert rec.makespan >= max(rec.compute_times) - 1e-12
+            assert rec.error >= 0.0
+
+    def test_first_iteration_even(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 90), eps=1e-10, max_iterations=50
+        )
+        assert result.records[0].sizes == [30, 30, 30]
+
+    def test_iteration_makespans_property(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 90), eps=1e-10, max_iterations=20
+        )
+        assert result.iteration_makespans == [r.makespan for r in result.records]
+
+    def test_system_larger_than_rows(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform,
+            _balancer(platform, 30),
+            n=45,
+            eps=1e-10,
+            max_iterations=100,
+        )
+        assert result.solution.shape == (45,)
+        assert result.solution_error < 1e-8
+
+    def test_system_smaller_than_rows_rejected(self):
+        platform = _trio_platform()
+        with pytest.raises(PartitionError):
+            run_balanced_jacobi(platform, _balancer(platform, 100), n=50)
+
+    def test_balancer_platform_mismatch_rejected(self):
+        platform = _trio_platform()
+        small = _trio_platform(speeds=(1.0e9,))
+        with pytest.raises(PartitionError):
+            run_balanced_jacobi(small, _balancer(platform, 30))
+
+    def test_total_time_positive_and_accumulates(self):
+        platform = _trio_platform()
+        result = run_balanced_jacobi(
+            platform, _balancer(platform, 90), eps=1e-12, max_iterations=30
+        )
+        assert result.total_time > 0.0
+        assert result.total_time >= sum(r.makespan for r in result.records) - 1e-9

@@ -1,0 +1,68 @@
+"""Tests for the self-adaptive matrix multiplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.matmul.adaptive import run_adaptive_matmul
+from repro.core.precision import Precision
+from repro.errors import PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+from repro.platform.presets import heterogeneous_cluster
+
+
+def _platform(speeds):
+    return Platform(
+        [
+            Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+            for i, s in enumerate(speeds)
+        ]
+    )
+
+
+class TestRunAdaptiveMatmul:
+    def test_report_structure(self):
+        report = run_adaptive_matmul(_platform([4.0e9, 1.0e9]), nb=16, b=16)
+        assert report.layout.nb == 16
+        assert report.run.total_time > 0.0
+        assert report.startup_cost > 0.0
+        assert report.partitioning.converged
+
+    def test_beats_even_on_heterogeneous_platform(self):
+        report = run_adaptive_matmul(_platform([4.0e9, 1.0e9]), nb=24, b=16)
+        assert report.speedup_over_even > 1.2
+        assert report.run.compute_imbalance < report.baseline_run.compute_imbalance
+
+    def test_shares_track_speeds(self):
+        report = run_adaptive_matmul(_platform([3.0e9, 1.0e9]), nb=32, b=16)
+        areas = report.layout.areas()
+        assert areas[0] / max(areas[1], 1) == pytest.approx(3.0, rel=0.25)
+
+    def test_startup_cheap_relative_to_run(self):
+        # On the big preset platform, startup benchmarking must cost less
+        # than a handful of application runs.
+        platform = heterogeneous_cluster(noisy=False)
+        report = run_adaptive_matmul(platform, nb=48, b=32)
+        assert report.startup_cost < 10 * report.run.total_time
+
+    def test_custom_precision_respected(self):
+        report = run_adaptive_matmul(
+            _platform([2.0e9, 1.0e9]),
+            nb=16,
+            b=16,
+            precision=Precision(reps_min=2, reps_max=2),
+        )
+        for model in report.partitioning.points_per_rank:
+            assert model >= 1
+
+    def test_invalid_nb(self):
+        with pytest.raises(PartitionError):
+            run_adaptive_matmul(_platform([1.0e9]), nb=0)
+
+    def test_homogeneous_platform_near_even(self):
+        report = run_adaptive_matmul(_platform([1.0e9, 1.0e9]), nb=16, b=16)
+        areas = report.layout.areas()
+        assert abs(areas[0] - areas[1]) <= 0.15 * sum(areas)

@@ -1,0 +1,146 @@
+"""Tests for the GEMM block kernel and the matmul simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul.kernel import GemmBlockKernel, block_grid_shape, gemm_unit_flops
+from repro.apps.matmul.partition2d import partition_columns
+from repro.apps.matmul.simulation import (
+    MatmulResult,
+    even_column_partition,
+    simulate_matmul,
+)
+from repro.core.benchmark import Benchmark
+from repro.core.precision import Precision
+from repro.errors import BenchmarkError, PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+class TestBlockGridShape:
+    def test_square(self):
+        assert block_grid_shape(16) == (4, 4)
+
+    def test_near_square(self):
+        m, n = block_grid_shape(12)
+        assert m == 3 and n == 4
+
+    def test_one_unit(self):
+        assert block_grid_shape(1) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(BenchmarkError):
+            block_grid_shape(0)
+
+    def test_mn_at_most_d(self):
+        for d in [2, 3, 5, 7, 10, 99, 1000]:
+            m, n = block_grid_shape(d)
+            assert m * n <= d
+            assert m * n >= d - m  # floor loss bounded by one row
+
+
+class TestGemmUnitFlops:
+    def test_formula(self):
+        assert gemm_unit_flops(16) == 2.0 * 16**3
+
+    def test_invalid(self):
+        with pytest.raises(BenchmarkError):
+            gemm_unit_flops(0)
+
+
+class TestGemmBlockKernel:
+    def test_complexity_formula(self):
+        k = GemmBlockKernel(b=8)
+        m, n = block_grid_shape(12)
+        assert k.complexity(12) == 2.0 * (m * 8) * (n * 8) * 8
+
+    def test_real_execution_produces_time(self):
+        k = GemmBlockKernel(b=8)
+        ctx = k.initialize(4)
+        elapsed = k.execute(ctx)
+        assert elapsed > 0.0
+        k.finalize(ctx)
+        assert ctx.payload is None
+
+    def test_updates_accumulate(self):
+        k = GemmBlockKernel(b=4)
+        ctx = k.initialize(4)
+        ws = ctx.payload
+        before = ws.c_sub.copy()
+        k.execute(ctx)
+        assert not np.allclose(ws.c_sub, before)
+
+    def test_benchmark_integration(self):
+        # A real measurement through the statistical machinery.
+        k = GemmBlockKernel(b=8)
+        point = Benchmark(k, Precision(reps_min=2, reps_max=3)).run(4)
+        assert point.d == 4
+        assert point.t > 0.0
+        assert 2 <= point.reps <= 3
+
+    def test_invalid_blocking_factor(self):
+        with pytest.raises(BenchmarkError):
+            GemmBlockKernel(b=0)
+
+
+def _platform(speeds):
+    nodes = [
+        Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+        for i, s in enumerate(speeds)
+    ]
+    return Platform(nodes)
+
+
+class TestSimulateMatmul:
+    def test_result_structure(self):
+        platform = _platform([2.0e9, 1.0e9])
+        part = even_column_partition(2, nb=8)
+        result = simulate_matmul(platform, part, b=16)
+        assert isinstance(result, MatmulResult)
+        assert len(result.iteration_times) == 8
+        assert result.total_time == pytest.approx(sum(result.iteration_times))
+        assert len(result.compute_time) == 2
+
+    def test_balanced_beats_even_on_heterogeneous(self):
+        platform = _platform([4.0e9, 1.0e9])
+        nb = 16
+        even = simulate_matmul(platform, even_column_partition(2, nb), b=16)
+        prop = simulate_matmul(
+            platform, partition_columns([4.0, 1.0], nb), b=16
+        )
+        assert prop.total_time < even.total_time
+        assert prop.compute_imbalance < even.compute_imbalance
+
+    def test_even_is_fine_on_homogeneous(self):
+        platform = _platform([1.0e9, 1.0e9])
+        result = simulate_matmul(platform, even_column_partition(2, 8), b=16)
+        assert result.compute_imbalance < 0.05
+
+    def test_zero_area_rank_idle(self):
+        platform = _platform([1.0e9, 1.0e9])
+        part = partition_columns([1.0, 0.0], nb=8)
+        result = simulate_matmul(platform, part, b=16)
+        assert result.compute_time[1] == 0.0
+        assert result.areas[1] == 0
+
+    def test_size_mismatch_rejected(self):
+        platform = _platform([1.0e9])
+        part = even_column_partition(2, 8)
+        with pytest.raises(PartitionError):
+            simulate_matmul(platform, part, b=16)
+
+    def test_deterministic_with_seed(self):
+        platform = _platform([2.0e9, 1.0e9])
+        part = even_column_partition(2, 8)
+        r1 = simulate_matmul(platform, part, b=16, seed=3)
+        r2 = simulate_matmul(platform, part, b=16, seed=3)
+        assert r1.total_time == r2.total_time
+
+    def test_comm_time_positive_for_multi_rank(self):
+        platform = _platform([1.0e9, 1.0e9])
+        result = simulate_matmul(platform, even_column_partition(2, 8), b=16)
+        assert sum(result.comm_time) > 0.0

@@ -1,0 +1,76 @@
+"""Tests for the out-of-core GEMM kernel."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul.kernel import GemmBlockKernel
+from repro.apps.matmul.out_of_core import OutOfCoreGemmKernel
+from repro.core.benchmark import Benchmark
+from repro.core.precision import Precision
+from repro.errors import BenchmarkError
+
+
+class TestOutOfCoreGemmKernel:
+    def test_complexity_matches_in_core(self):
+        ooc = OutOfCoreGemmKernel(b=8)
+        ic = GemmBlockKernel(b=8)
+        for d in [1, 4, 12, 30]:
+            assert ooc.complexity(d) == ic.complexity(d)
+
+    def test_update_matches_in_core_math(self, tmp_path):
+        kernel = OutOfCoreGemmKernel(b=4, panel_blocks=2, workdir=str(tmp_path))
+        ctx = kernel.initialize(9)  # 3x3 blocks
+        ws = ctx.payload
+        a = np.asarray(ws.a_sub).copy()
+        b_mat = np.asarray(ws.b_sub).copy()
+        kernel.execute(ctx)
+        expected = a[:, :4] @ b_mat[:4, :]
+        assert np.allclose(np.asarray(ws.c_sub), expected)
+        kernel.finalize(ctx)
+
+    def test_accumulates_across_executions(self, tmp_path):
+        kernel = OutOfCoreGemmKernel(b=4, panel_blocks=1, workdir=str(tmp_path))
+        ctx = kernel.initialize(4)
+        ws = ctx.payload
+        one = np.asarray(ws.a_sub[:, :4]) @ np.asarray(ws.b_sub[:4, :])
+        kernel.execute(ctx)
+        kernel.execute(ctx)
+        assert np.allclose(np.asarray(ws.c_sub), 2.0 * one)
+        kernel.finalize(ctx)
+
+    def test_backing_files_on_disk_and_cleaned(self, tmp_path):
+        kernel = OutOfCoreGemmKernel(b=4, workdir=str(tmp_path))
+        ctx = kernel.initialize(4)
+        backing = list(Path(tmp_path).rglob("*.bin"))
+        assert len(backing) == 3  # a, b, c
+        kernel.finalize(ctx)
+        assert not list(Path(tmp_path).rglob("*.bin"))
+        assert ctx.payload is None
+
+    def test_benchmark_integration(self, tmp_path):
+        kernel = OutOfCoreGemmKernel(b=8, panel_blocks=2, workdir=str(tmp_path))
+        point = Benchmark(kernel, Precision(reps_min=2, reps_max=3)).run(9)
+        assert point.t > 0.0
+        assert point.d == 9
+
+    def test_panel_smaller_than_matrix(self, tmp_path):
+        # Panel streaming must cover a matrix whose rows are not an exact
+        # multiple of the panel size.
+        kernel = OutOfCoreGemmKernel(b=4, panel_blocks=2, workdir=str(tmp_path))
+        ctx = kernel.initialize(12)  # 3x4 blocks -> 12 rows, panel = 8 rows
+        ws = ctx.payload
+        a = np.asarray(ws.a_sub).copy()
+        b_mat = np.asarray(ws.b_sub).copy()
+        kernel.execute(ctx)
+        assert np.allclose(np.asarray(ws.c_sub), a[:, :4] @ b_mat[:4, :])
+        kernel.finalize(ctx)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            OutOfCoreGemmKernel(b=0)
+        with pytest.raises(BenchmarkError):
+            OutOfCoreGemmKernel(b=4, panel_blocks=0)

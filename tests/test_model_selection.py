@@ -1,0 +1,117 @@
+"""Tests for cross-validated model-family selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import AkimaModel, ConstantModel, LinearModel, SegmentedLinearModel
+from repro.core.point import MeasurementPoint
+from repro.core.selection import leave_one_out_error, select_model
+from repro.errors import FuPerModError, ModelError
+
+from tests.conftest import points_from_time_fn
+
+
+def _cliff(d: float) -> float:
+    return d / 1000.0 if d <= 1000 else 1.0 + (d - 1000) / 100.0
+
+
+class TestLeaveOneOutError:
+    def test_zero_for_matching_family(self):
+        points = points_from_time_fn(lambda d: 0.01 * d, [10, 50, 100, 400, 900])
+        assert leave_one_out_error(ConstantModel, points) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_mismatched_family(self):
+        points = points_from_time_fn(_cliff, [200, 500, 800, 1200, 1800, 2600])
+        assert leave_one_out_error(LinearModel, points) > 0.3
+
+    def test_penalises_interpolators_on_noise(self):
+        # Pure noise around a constant-speed device: an interpolating
+        # spline chases the noise, the pooled constant does not.
+        rng = np.random.default_rng(0)
+        points = [
+            MeasurementPoint(d=d, t=0.001 * d * (1.0 + 0.1 * rng.standard_normal()))
+            for d in [100, 200, 300, 400, 500, 600, 700, 800]
+        ]
+        constant_err = leave_one_out_error(ConstantModel, points)
+        akima_err = leave_one_out_error(AkimaModel, points)
+        assert constant_err < akima_err
+
+    def test_needs_three_points(self):
+        points = points_from_time_fn(lambda d: d, [1, 2])
+        with pytest.raises(ModelError):
+            leave_one_out_error(ConstantModel, points)
+
+
+class TestSelectModel:
+    def test_picks_cheap_family_for_constant_speed(self):
+        points = points_from_time_fn(lambda d: 0.01 * d, [10, 50, 100, 400, 900])
+        result = select_model(points)
+        # Constant, linear and segmented all achieve ~0 here; the tie must
+        # break deterministically and be one of the exact families.
+        assert result.errors[result.best] == pytest.approx(0.0, abs=1e-9)
+        assert result.best in {"constant", "linear", "segmented"}
+
+    def test_picks_flexible_family_for_cliff(self):
+        points = points_from_time_fn(
+            _cliff, [100, 300, 500, 800, 1000, 1200, 1500, 2000, 3000]
+        )
+        result = select_model(points)
+        assert result.errors["linear"] > 10 * result.errors[result.best]
+        assert result.best in {"segmented", "akima", "pchip", "piecewise"}
+
+    def test_custom_candidates(self):
+        points = points_from_time_fn(lambda d: 0.5 + 0.01 * d, [10, 100, 500, 900])
+        result = select_model(
+            points,
+            candidates={"constant": ConstantModel, "linear": LinearModel},
+        )
+        assert result.best == "linear"
+        assert set(result.errors) == {"constant", "linear"}
+
+    def test_failing_family_scored_inf(self):
+        # Decreasing times make the linear fit degenerate on some folds.
+        points = [
+            MeasurementPoint(d=10, t=5.0),
+            MeasurementPoint(d=100, t=4.0),
+            MeasurementPoint(d=1000, t=3.0),
+            MeasurementPoint(d=2000, t=2.0),
+        ]
+        result = select_model(
+            points,
+            candidates={"constant": ConstantModel, "linear": LinearModel},
+        )
+        assert result.errors["linear"] == float("inf")
+        assert result.best == "constant"
+
+    def test_empty_candidates_rejected(self):
+        points = points_from_time_fn(lambda d: d, [1, 2, 3])
+        with pytest.raises(FuPerModError):
+            select_model(points, candidates={})
+
+    def test_all_failing_rejected(self):
+        points = points_from_time_fn(lambda d: d, [1, 2])  # too few for LOO
+        with pytest.raises(FuPerModError):
+            select_model(points, candidates={"constant": ConstantModel})
+
+    def test_default_menu_is_registry(self):
+        points = points_from_time_fn(lambda d: 0.01 * d, [10, 100, 1000, 5000])
+        result = select_model(points)
+        from repro.core.registry import available_models
+
+        assert set(result.errors) == set(available_models())
+
+    def test_segmented_wins_on_its_home_turf(self):
+        # Clean two-regime data with enough points per regime.
+        points = points_from_time_fn(
+            _cliff, [100, 300, 500, 700, 900, 1000, 1300, 1700, 2200, 3000]
+        )
+        result = select_model(
+            points,
+            candidates={
+                "linear": LinearModel,
+                "segmented": SegmentedLinearModel,
+            },
+        )
+        assert result.best == "segmented"

@@ -1,0 +1,82 @@
+"""Tests for the Qilin-style linear analytical model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import LinearModel
+from repro.core.partition.numerical import partition_numerical
+from repro.core.point import MeasurementPoint
+from repro.errors import ModelError
+
+from tests.conftest import model_from_time_fn, points_from_time_fn
+
+
+class TestLinearModel:
+    def test_single_point_pure_bandwidth(self):
+        m = LinearModel()
+        m.update(MeasurementPoint(d=100, t=2.0))
+        assert m.coefficients == (0.0, pytest.approx(0.02))
+        assert m.time(50) == pytest.approx(1.0)
+
+    def test_exact_fit_of_affine_times(self):
+        m = model_from_time_fn(LinearModel, lambda d: 0.5 + 0.01 * d, [10, 100, 1000])
+        a, b = m.coefficients
+        assert a == pytest.approx(0.5, rel=1e-9)
+        assert b == pytest.approx(0.01, rel=1e-9)
+        assert m.time(500) == pytest.approx(5.5)
+
+    def test_least_squares_on_noisy_points(self):
+        pts = [
+            MeasurementPoint(d=d, t=0.2 + 0.05 * d + noise)
+            for d, noise in [(10, 0.01), (20, -0.01), (30, 0.02), (40, -0.02)]
+        ]
+        m = LinearModel()
+        m.update_many(pts)
+        a, b = m.coefficients
+        assert a == pytest.approx(0.2, abs=0.1)
+        assert b == pytest.approx(0.05, rel=0.1)
+
+    def test_negative_intercept_clamped(self):
+        m = model_from_time_fn(LinearModel, lambda d: max(0.01 * d - 0.5, 1e-6),
+                               [100, 200, 400])
+        a, _b = m.coefficients
+        assert a >= 0.0
+
+    def test_non_positive_slope_rejected(self):
+        m = LinearModel()
+        m.update(MeasurementPoint(d=10, t=5.0))
+        with pytest.raises(ModelError):
+            m.update(MeasurementPoint(d=1000, t=1.0))
+
+    def test_time_at_zero(self):
+        m = model_from_time_fn(LinearModel, lambda d: 1.0 + 0.1 * d, [10, 20])
+        assert m.time(0) == 0.0
+
+    def test_derivative_constant(self):
+        m = model_from_time_fn(LinearModel, lambda d: 1.0 + 0.1 * d, [10, 20])
+        assert m.time_derivative(5) == pytest.approx(0.1)
+        assert m.time_derivative(5000) == pytest.approx(0.1)
+
+    def test_usable_by_numerical_partitioner(self):
+        models = [
+            model_from_time_fn(LinearModel, lambda d, s=s: 0.1 + d / s, [100, 1000, 5000])
+            for s in (40.0, 10.0)
+        ]
+        dist = partition_numerical(5000, models)
+        assert dist.total == 5000
+        t0 = models[0].time(dist.sizes[0])
+        t1 = models[1].time(dist.sizes[1])
+        assert abs(t0 - t1) <= 0.01 * max(t0, t1)
+
+    def test_fails_on_cliff_data(self):
+        """The paper's point: linear models misfit memory cliffs badly."""
+        cliff = lambda d: d / 1000.0 if d <= 1000 else 1.0 + (d - 1000) / 100.0  # noqa: E731
+        m = model_from_time_fn(LinearModel, cliff, [100, 500, 1000, 1500, 2000])
+        # Linear fit badly overestimates the fast region's time.
+        assert m.time(500) > 2.0 * cliff(500)
+
+    def test_registered(self):
+        from repro.core.registry import available_models
+
+        assert "linear" in available_models()

@@ -1,0 +1,146 @@
+"""Tests for the PCHIP model and time-varying perturbations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.models import PchipModel
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.numerical import partition_numerical
+from repro.core.point import MeasurementPoint
+from repro.errors import ModelError, PlatformError
+from repro.platform.perturbation import PerturbationSchedule, SpeedStep
+
+from tests.conftest import model_from_time_fn
+
+
+class TestPchipModel:
+    def test_linear_time_reproduced(self):
+        m = model_from_time_fn(PchipModel, lambda d: d / 50.0, [10, 100, 1000])
+        for x in [5.0, 55.0, 500.0]:
+            assert m.time(x) == pytest.approx(x / 50.0, rel=1e-9)
+
+    def test_origin_anchor(self):
+        m = model_from_time_fn(PchipModel, lambda d: d / 10.0, [100])
+        assert m.time(0) == 0.0
+        assert m.time(50) == pytest.approx(5.0)
+
+    def test_time_monotone_even_with_noisy_data(self):
+        # Non-monotone measured times: PCHIP flattens, never decreases.
+        m = PchipModel()
+        for d, t in [(10, 0.10), (20, 0.30), (30, 0.28), (40, 0.50)]:
+            m.update(MeasurementPoint(d=d, t=t))
+        xs = np.linspace(1.0, 60.0, 120)
+        times = [m.time(float(x)) for x in xs]
+        for a, b in zip(times, times[1:]):
+            assert b >= a - 1e-12
+
+    def test_usable_by_geometric_partitioner(self):
+        models = [
+            model_from_time_fn(PchipModel, lambda d, s=s: d / s, [10, 100, 1000, 5000])
+            for s in (30.0, 10.0)
+        ]
+        dist = partition_geometric(8000, models)
+        assert dist.sizes == [6000, 2000]
+
+    def test_usable_by_numerical_partitioner(self):
+        models = [
+            model_from_time_fn(PchipModel, lambda d, s=s: d / s, [10, 100, 1000, 5000])
+            for s in (30.0, 10.0)
+        ]
+        dist = partition_numerical(8000, models)
+        assert dist.total == 8000
+        assert abs(dist.sizes[0] - 6000) <= 20
+
+    def test_extrapolation_increasing(self):
+        m = model_from_time_fn(PchipModel, lambda d: d / 10.0, [10, 40])
+        assert m.time(100) > m.time(40)
+
+    def test_needs_distinct_sizes_without_origin(self):
+        m = PchipModel(include_origin=False)
+        with pytest.raises(ModelError):
+            m.update(MeasurementPoint(d=5, t=1.0))
+
+    def test_registered(self):
+        from repro.core.registry import available_models
+
+        assert "pchip" in available_models()
+
+
+class TestSpeedStep:
+    def test_active_window(self):
+        step = SpeedStep(rank=0, start_time=1.0, factor=0.5, end_time=2.0)
+        assert not step.active_at(0.5)
+        assert step.active_at(1.0)
+        assert step.active_at(1.5)
+        assert not step.active_at(2.0)
+
+    def test_permanent(self):
+        step = SpeedStep(rank=0, start_time=1.0, factor=0.5)
+        assert step.active_at(100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rank=-1, start_time=0.0, factor=0.5),
+            dict(rank=0, start_time=-1.0, factor=0.5),
+            dict(rank=0, start_time=0.0, factor=0.0),
+            dict(rank=0, start_time=0.0, factor=1.5),
+            dict(rank=0, start_time=2.0, factor=0.5, end_time=1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PlatformError):
+            SpeedStep(**kwargs)
+
+
+class TestPerturbationSchedule:
+    def test_empty_is_identity(self):
+        schedule = PerturbationSchedule()
+        assert schedule.factor(0, 10.0) == 1.0
+        assert not schedule
+
+    def test_single_step(self):
+        schedule = PerturbationSchedule([SpeedStep(1, 5.0, 0.5)])
+        assert schedule.factor(1, 4.0) == 1.0
+        assert schedule.factor(1, 6.0) == 0.5
+        assert schedule.factor(0, 6.0) == 1.0
+
+    def test_overlapping_steps_multiply(self):
+        schedule = PerturbationSchedule(
+            [SpeedStep(0, 0.0, 0.5), SpeedStep(0, 1.0, 0.4)]
+        )
+        assert schedule.factor(0, 2.0) == pytest.approx(0.2)
+
+    def test_add(self):
+        schedule = PerturbationSchedule()
+        schedule.add(SpeedStep(0, 0.0, 0.9))
+        assert schedule
+        assert schedule.factor(0, 1.0) == 0.9
+
+
+class TestJacobiUnderPerturbation:
+    def test_balancer_reacts_to_slowdown(self):
+        from repro.apps.jacobi.distributed import run_balanced_jacobi
+        from repro.core.models import PiecewiseModel
+        from repro.platform.presets import fig4_trio
+
+        platform = fig4_trio(noisy=False)
+        models = [PiecewiseModel() for _ in range(platform.size)]
+        balancer = LoadBalancer(partition_geometric, models, 360, threshold=0.05)
+        # Rank 0 (fastest) halves in speed almost immediately.
+        schedule = PerturbationSchedule([SpeedStep(0, 1e-6, 0.5)])
+        result = run_balanced_jacobi(
+            platform,
+            balancer,
+            eps=1e-13,
+            max_iterations=15,
+            perturbations=schedule,
+        )
+        # Effective speeds become 8:11:9 -> the balancer must demote rank 0
+        # below rank 1.
+        final = result.final_sizes
+        assert final[1] > final[0]
+        assert sum(final) == 360

@@ -1,0 +1,137 @@
+"""Tests for the segmented (piecewise analytical) model of ref. [14]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import LinearModel, SegmentedLinearModel
+from repro.core.partition.numerical import partition_numerical
+from repro.core.point import MeasurementPoint
+from repro.errors import ModelError
+
+from tests.conftest import model_from_time_fn
+
+
+def _cliff(d: float) -> float:
+    return d / 1000.0 if d <= 1000 else 1.0 + (d - 1000) / 100.0
+
+
+_CLIFF_SIZES = [100, 300, 500, 800, 1000, 1200, 1500, 2000, 3000]
+
+
+class TestSegmentedLinearModel:
+    def test_single_point_bandwidth_line(self):
+        m = SegmentedLinearModel()
+        m.update(MeasurementPoint(d=100, t=2.0))
+        assert m.time(50) == pytest.approx(1.0)
+        assert len(m.segments) == 1
+
+    def test_affine_data_one_segment(self):
+        m = model_from_time_fn(
+            SegmentedLinearModel, lambda d: 0.5 + 0.01 * d, [10, 100, 500, 1000]
+        )
+        assert len(m.segments) == 1
+        assert m.time(700) == pytest.approx(7.5, rel=1e-9)
+
+    def test_cliff_recovered_with_two_segments(self):
+        m = model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES)
+        assert len(m.segments) == 2
+        for d in [400.0, 900.0, 1600.0, 2500.0]:
+            assert m.time(d) == pytest.approx(_cliff(d), rel=1e-6)
+
+    def test_beats_plain_linear_on_cliff(self):
+        seg = model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES)
+        lin = model_from_time_fn(LinearModel, _cliff, _CLIFF_SIZES)
+        err_seg = sum(abs(seg.time(d) - _cliff(d)) for d in [400, 900, 1600])
+        err_lin = sum(abs(lin.time(d) - _cliff(d)) for d in [400, 900, 1600])
+        assert err_seg < 0.05 * err_lin
+
+    def test_segment_count_capped(self):
+        rng = np.random.default_rng(0)
+        m = SegmentedLinearModel(max_segments=2)
+        for d in range(1, 30):
+            m.update(MeasurementPoint(d=d * 10, t=float(rng.uniform(0.5, 2.0))))
+        assert len(m.segments) <= 2
+
+    def test_parsimonious_segment_choice(self):
+        # Clean linear data must not be split, however generous the cap.
+        m = SegmentedLinearModel(max_segments=4)
+        m.update_many(
+            [MeasurementPoint(d=d, t=0.002 * d) for d in [10, 50, 100, 400, 900]]
+        )
+        assert len(m.segments) == 1
+
+    def test_boundaries_cover_positive_axis(self):
+        m = model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES)
+        segs = m.segments
+        assert segs[0].x_lo == 0.0
+        assert segs[-1].x_hi == float("inf")
+        for a, b in zip(segs, segs[1:]):
+            assert a.x_hi == b.x_lo
+
+    def test_derivative_piecewise_constant(self):
+        m = model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES)
+        assert m.time_derivative(400) == pytest.approx(0.001, rel=1e-6)
+        assert m.time_derivative(2500) == pytest.approx(0.01, rel=1e-6)
+
+    def test_usable_by_numerical_partitioner(self):
+        models = [
+            model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES),
+            model_from_time_fn(
+                SegmentedLinearModel, lambda d: d / 500.0, [100, 1000, 3000]
+            ),
+        ]
+        dist = partition_numerical(3000, models)
+        assert dist.total == 3000
+        t0 = models[0].time(dist.sizes[0])
+        t1 = models[1].time(dist.sizes[1])
+        assert abs(t0 - t1) <= 0.05 * max(t0, t1)
+
+    def test_time_positive_and_zero_at_origin(self):
+        m = model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES)
+        assert m.time(0) == 0.0
+        assert m.time(1) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            SegmentedLinearModel(max_segments=0)
+        with pytest.raises(ModelError):
+            SegmentedLinearModel(tolerance=-1.0)
+        m = model_from_time_fn(SegmentedLinearModel, _cliff, _CLIFF_SIZES)
+        with pytest.raises(ModelError):
+            m.time(-5)
+
+    def test_registered(self):
+        from repro.core.registry import available_models
+
+        assert "segmented" in available_models()
+
+    @given(
+        st.floats(min_value=1e-4, max_value=1e-2),
+        st.floats(min_value=1.5, max_value=20.0),
+        st.integers(min_value=300, max_value=3000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_two_regime_recovery_property(self, slope, jump, breakpoint):
+        def tf(d):
+            if d <= breakpoint:
+                return slope * d
+            return slope * breakpoint + slope * jump * (d - breakpoint)
+
+        sizes = sorted(
+            {int(breakpoint * f) for f in (0.2, 0.45, 0.7, 0.95, 1.0)}
+            | {int(breakpoint * f) for f in (1.3, 1.8, 2.5, 3.5)}
+        )
+        sizes = [s for s in sizes if s >= 1]
+        # Exact (noise-free) data: zero tolerance picks the true regime
+        # count rather than trading accuracy for parsimony.
+        m = SegmentedLinearModel(tolerance=0.0)
+        m.update_many([MeasurementPoint(d=d, t=tf(d)) for d in sizes])
+        # Predictions inside both regimes are accurate.
+        probe_lo = breakpoint * 0.5
+        probe_hi = breakpoint * 2.0
+        assert m.time(probe_lo) == pytest.approx(tf(probe_lo), rel=0.1)
+        assert m.time(probe_hi) == pytest.approx(tf(probe_hi), rel=0.1)

@@ -1,0 +1,114 @@
+"""Tests for exchange and allreduce (the stencil's collectives)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.comm import SimCommunicator
+from repro.mpi.network import LinkModel, Network
+
+
+def _comm(size, latency=1e-3, bandwidth=1e6):
+    link = LinkModel(latency, bandwidth)
+    return SimCommunicator(size, network=Network(inter_node=link, intra_node=link))
+
+
+class TestExchange:
+    def test_symmetric_cost(self):
+        c = _comm(2)
+        done = c.exchange(0, 1, 1e6)
+        assert done == pytest.approx(1.001)
+        assert c.time(0) == c.time(1) == pytest.approx(1.001)
+
+    def test_full_duplex_larger_direction_dominates(self):
+        c = _comm(2)
+        done = c.exchange(0, 1, 1e6, nbytes_ba=10.0)
+        assert done == pytest.approx(1.001)
+
+    def test_waits_for_slower_party(self):
+        c = _comm(2)
+        c.compute(1, 5.0)
+        done = c.exchange(0, 1, 0.0)
+        assert done == pytest.approx(5.0)
+        assert c.time(0) == pytest.approx(5.0)
+
+    def test_self_exchange_free(self):
+        c = _comm(2)
+        assert c.exchange(1, 1, 1e9) == 0.0
+
+    def test_other_ranks_untouched(self):
+        c = _comm(3)
+        c.exchange(0, 1, 1e6)
+        assert c.time(2) == 0.0
+
+
+class TestAllreduce:
+    def test_single_rank_noop(self):
+        c = _comm(1)
+        assert c.allreduce(8) == 0.0
+
+    def test_two_ranks_one_round(self):
+        c = _comm(2)
+        t = c.allreduce(8.0)
+        assert t == pytest.approx(1e-3 + 8e-6)
+
+    def test_log_rounds(self):
+        c = _comm(8)
+        per_round = 1e-3 + 8e-6
+        assert c.allreduce(8.0) == pytest.approx(3 * per_round)
+
+    def test_non_power_of_two(self):
+        c = _comm(5)
+        per_round = 1e-3 + 8e-6
+        assert c.allreduce(8.0) == pytest.approx(3 * per_round)
+
+    def test_synchronises(self):
+        c = _comm(4)
+        c.compute(2, 7.0)
+        c.allreduce(8.0)
+        assert len(set(c.times())) == 1
+        assert c.max_time() > 7.0
+
+
+class TestClockInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["compute", "send", "bcast", "allgatherv",
+                                 "exchange", "allreduce", "barrier"]),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.floats(min_value=0.0, max_value=1e6),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_clocks_never_go_backwards(self, ops):
+        """Property: any operation sequence keeps all clocks monotone."""
+        c = _comm(4)
+        previous = c.times()
+        for op, a, b, amount in ops:
+            if op == "compute":
+                c.compute(a, amount * 1e-6)
+            elif op == "send":
+                c.send(a, b, amount)
+            elif op == "bcast":
+                c.bcast(a, amount)
+            elif op == "allgatherv":
+                c.allgatherv([amount] * 4)
+            elif op == "exchange":
+                c.exchange(a, b, amount)
+            elif op == "allreduce":
+                c.allreduce(amount)
+            elif op == "barrier":
+                c.barrier()
+            current = c.times()
+            for before, after in zip(previous, current):
+                assert after >= before - 1e-15
+            previous = current
+        assert all(math.isfinite(t) for t in c.times())

@@ -1,0 +1,209 @@
+"""Tests for the simulated communicator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.mpi.comm import SimCommunicator
+from repro.mpi.network import LinkModel, Network
+
+
+def _comm(size: int, latency: float = 1e-3, bandwidth: float = 1e6) -> SimCommunicator:
+    link = LinkModel(latency, bandwidth)
+    return SimCommunicator(size, network=Network(inter_node=link, intra_node=link))
+
+
+class TestBasics:
+    def test_size(self):
+        assert SimCommunicator(4).size == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(CommunicationError):
+            SimCommunicator(0)
+
+    def test_clocks_start_at_zero(self):
+        c = SimCommunicator(3)
+        assert c.times() == [0.0, 0.0, 0.0]
+        assert c.max_time() == 0.0
+
+    def test_compute_advances_one_rank(self):
+        c = SimCommunicator(2)
+        c.compute(0, 1.5)
+        assert c.time(0) == 1.5
+        assert c.time(1) == 0.0
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(CommunicationError):
+            SimCommunicator(1).compute(0, -1.0)
+
+    def test_bad_rank_rejected(self):
+        c = SimCommunicator(2)
+        with pytest.raises(CommunicationError):
+            c.compute(2, 1.0)
+        with pytest.raises(CommunicationError):
+            c.time(-1)
+
+    def test_reset(self):
+        c = SimCommunicator(2)
+        c.compute(0, 5.0)
+        c.reset()
+        assert c.times() == [0.0, 0.0]
+
+
+class TestBarrier:
+    def test_barrier_syncs_to_max(self):
+        c = SimCommunicator(3)
+        c.compute(0, 1.0)
+        c.compute(1, 3.0)
+        t = c.barrier()
+        assert t == 3.0
+        assert c.times() == [3.0, 3.0, 3.0]
+
+    def test_partial_barrier(self):
+        c = SimCommunicator(3)
+        c.compute(0, 1.0)
+        c.compute(2, 5.0)
+        c.barrier(ranks=[0, 1])
+        assert c.time(0) == 1.0
+        assert c.time(1) == 1.0
+        assert c.time(2) == 5.0
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(CommunicationError):
+            SimCommunicator(2).barrier(ranks=[])
+
+
+class TestSend:
+    def test_send_cost(self):
+        c = _comm(2)
+        done = c.send(0, 1, 1e6)  # 1e-3 + 1.0
+        assert done == pytest.approx(1.001)
+        assert c.time(1) == pytest.approx(1.001)
+
+    def test_send_waits_for_sender(self):
+        c = _comm(2)
+        c.compute(0, 5.0)
+        done = c.send(0, 1, 0)
+        assert done == pytest.approx(5.0)
+
+    def test_send_waits_for_receiver(self):
+        c = _comm(2)
+        c.compute(1, 7.0)
+        done = c.send(0, 1, 1e6)
+        assert done == pytest.approx(8.001)
+
+    def test_self_send_free(self):
+        c = _comm(2)
+        assert c.send(0, 0, 1e9) == 0.0
+
+
+class TestBcast:
+    def test_single_rank_noop(self):
+        c = _comm(1)
+        assert c.bcast(0, 1e6) == 0.0
+
+    def test_two_ranks_one_message(self):
+        c = _comm(2)
+        t = c.bcast(0, 1e6)
+        assert t == pytest.approx(1.001)
+
+    def test_log_rounds_scaling(self):
+        # p ranks -> ceil(log2 p) rounds for the deepest leaf.
+        msg = 1e6
+        per_msg = 1e-3 + 1.0
+        c = _comm(8)
+        t = c.bcast(0, msg)
+        assert t == pytest.approx(3 * per_msg)
+
+    def test_bcast_synchronises_start(self):
+        c = _comm(2)
+        c.compute(1, 10.0)
+        t = c.bcast(0, 1e6)
+        assert t == pytest.approx(11.001)
+
+    def test_root_must_be_in_group(self):
+        c = _comm(4)
+        with pytest.raises(CommunicationError):
+            c.bcast(0, 10, ranks=[1, 2])
+
+    def test_all_ranks_advance(self):
+        c = _comm(5)
+        c.bcast(0, 1e3)
+        assert all(t > 0 for t in c.times())
+
+    def test_nonzero_root(self):
+        c = _comm(4)
+        t = c.bcast(2, 1e6)
+        assert t > 0
+        assert c.time(2) > 0
+
+
+class TestAllgatherv:
+    def test_single_rank_noop(self):
+        c = _comm(1)
+        assert c.allgatherv([100.0]) == 0.0
+
+    def test_ring_steps(self):
+        # Equal chunks of 1e6 bytes, 4 ranks -> 3 steps of (1e-3 + 1).
+        c = _comm(4)
+        t = c.allgatherv([1e6] * 4)
+        assert t == pytest.approx(3 * 1.001)
+
+    def test_largest_chunk_dominates_each_step(self):
+        c = _comm(3)
+        t = c.allgatherv([1e6, 0.0, 0.0])
+        # The big chunk travels in both steps.
+        assert t == pytest.approx(2 * 1.001)
+
+    def test_everyone_finishes_together(self):
+        c = _comm(4)
+        c.compute(2, 5.0)
+        c.allgatherv([10.0] * 4)
+        assert len(set(c.times())) == 1
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(CommunicationError):
+            _comm(3).allgatherv([1.0, 2.0])
+
+
+class TestScatterGather:
+    def test_scatterv_linear_cost(self):
+        c = _comm(3)
+        t = c.scatterv(0, [0.0, 1e6, 1e6])
+        # Root sends two messages sequentially.
+        assert t == pytest.approx(2 * 1.001)
+
+    def test_scatterv_root_unmoved_chunk(self):
+        c = _comm(2)
+        c.scatterv(0, [1e9, 8.0])
+        # Root's own (huge) chunk costs nothing; rank 1 pays only for its
+        # own small message.
+        assert c.time(1) == pytest.approx(1e-3 + 8e-6)
+
+    def test_gatherv_linear_cost(self):
+        c = _comm(3)
+        t = c.gatherv(0, [0.0, 1e6, 1e6])
+        assert t >= 1.001
+
+    def test_gatherv_root_in_group(self):
+        with pytest.raises(CommunicationError):
+            _comm(3).gatherv(0, [1.0, 1.0], ranks=[1, 2])
+
+    def test_scatterv_size_mismatch(self):
+        with pytest.raises(CommunicationError):
+            _comm(2).scatterv(0, [1.0])
+
+
+class TestScenario:
+    def test_compute_then_allgather_iteration(self):
+        # A mini data-parallel iteration: unequal compute, then allgather.
+        c = _comm(3, latency=0.0, bandwidth=math.inf)
+        for r, w in enumerate([1.0, 2.0, 3.0]):
+            c.compute(r, w)
+        t = c.allgatherv([0.0, 0.0, 0.0])
+        # With free communication, the iteration ends at the slowest rank.
+        assert t == pytest.approx(3.0)
+        assert c.times() == [3.0, 3.0, 3.0]

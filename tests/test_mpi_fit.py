@@ -1,0 +1,92 @@
+"""Tests for link measurement and Hockney fitting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError
+from repro.mpi.fit import fit_hockney, fit_link, measure_pingpong
+from repro.mpi.network import LinkModel, Network
+
+
+def _network(latency=5e-5, bandwidth=1.25e8) -> Network:
+    link = LinkModel(latency, bandwidth)
+    return Network(inter_node=link, intra_node=link)
+
+
+class TestMeasurePingpong:
+    def test_noiseless_matches_link(self):
+        net = _network()
+        samples = measure_pingpong(net, 0, 1, [1000, 2000], reps=3, noise_sigma=0.0)
+        assert samples[0] == (1000, pytest.approx(net.time(0, 1, 1000)))
+        assert samples[1] == (2000, pytest.approx(net.time(0, 1, 2000)))
+
+    def test_noisy_close_to_truth(self):
+        net = _network()
+        samples = measure_pingpong(
+            net, 0, 1, [10000], reps=50, noise_sigma=0.05, seed=1
+        )
+        assert samples[0][1] == pytest.approx(net.time(0, 1, 10000), rel=0.05)
+
+    def test_validation(self):
+        net = _network()
+        with pytest.raises(CommunicationError):
+            measure_pingpong(net, 0, 1, [])
+        with pytest.raises(CommunicationError):
+            measure_pingpong(net, 0, 1, [0])
+        with pytest.raises(CommunicationError):
+            measure_pingpong(net, 0, 1, [10], reps=0)
+
+    def test_deterministic_with_seed(self):
+        net = _network()
+        a = measure_pingpong(net, 0, 1, [100, 200], seed=3)
+        b = measure_pingpong(net, 0, 1, [100, 200], seed=3)
+        assert a == b
+
+
+class TestFitHockney:
+    def test_exact_recovery_from_clean_samples(self):
+        link = LinkModel(1e-4, 1e8)
+        samples = [(n, link.time(n)) for n in [100, 1000, 10000, 100000]]
+        fit = fit_hockney(samples)
+        assert fit.link.latency == pytest.approx(1e-4, rel=1e-6)
+        assert fit.link.bandwidth == pytest.approx(1e8, rel=1e-6)
+        assert fit.residual < 1e-9
+
+    def test_recovery_under_noise(self):
+        fit = fit_link(
+            _network(), 0, 1,
+            sizes=[64, 512, 4096, 32768, 262144, 2097152],
+            reps=10, noise_sigma=0.02, seed=7,
+        )
+        assert fit.link.bandwidth == pytest.approx(1.25e8, rel=0.1)
+        assert fit.link.latency == pytest.approx(5e-5, rel=0.5)
+        assert fit.residual < 0.1
+
+    def test_needs_two_distinct_sizes(self):
+        with pytest.raises(CommunicationError):
+            fit_hockney([(100, 1.0), (100, 1.1)])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(CommunicationError):
+            fit_hockney([(100, 1.0), (1000, 0.5), (10000, 0.1)])
+
+    def test_negative_intercept_clamped(self):
+        # Pure bandwidth samples fit alpha ~ 0; never negative.
+        samples = [(n, n / 1e8) for n in [100, 1000, 10000]]
+        fit = fit_hockney(samples)
+        assert fit.link.latency >= 0.0
+
+    @given(
+        st.floats(min_value=1e-7, max_value=1e-3),
+        st.floats(min_value=1e6, max_value=1e10),
+    )
+    @settings(max_examples=40)
+    def test_round_trip_property(self, alpha, beta):
+        link = LinkModel(alpha, beta)
+        sizes = [64, 1024, 65536, 1048576]
+        fit = fit_hockney([(n, link.time(n)) for n in sizes])
+        for n in [200, 5000, 500000]:
+            assert fit.link.time(n) == pytest.approx(link.time(n), rel=1e-4)

@@ -1,0 +1,77 @@
+"""Tests for the Hockney link model and platform-aware network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.mpi.network import DEFAULT_INTER_NODE, DEFAULT_INTRA_NODE, LinkModel, Network
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+class TestLinkModel:
+    def test_hockney_formula(self):
+        link = LinkModel(latency=1e-3, bandwidth=1e6)
+        assert link.time(1e6) == pytest.approx(1e-3 + 1.0)
+
+    def test_zero_bytes_free(self):
+        link = LinkModel(latency=1e-3, bandwidth=1e6)
+        assert link.time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(CommunicationError):
+            LinkModel(1e-3, 1e6).time(-1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(CommunicationError):
+            LinkModel(-1.0, 1e6)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(CommunicationError):
+            LinkModel(0.0, 0.0)
+
+    def test_latency_dominates_small_messages(self):
+        link = LinkModel(latency=1e-4, bandwidth=1e9)
+        assert link.time(8) == pytest.approx(1e-4, rel=1e-3)
+
+    def test_defaults_sane(self):
+        assert DEFAULT_INTRA_NODE.time(1e6) < DEFAULT_INTER_NODE.time(1e6)
+
+
+def _platform_two_nodes() -> Platform:
+    def dev(name):
+        return Device(name, ConstantProfile(1e9), noise=NoNoise())
+
+    return Platform(
+        [Node("n0", [dev("a"), dev("b")]), Node("n1", [dev("c")])]
+    )
+
+
+class TestNetwork:
+    def test_uniform_without_platform(self):
+        net = Network()
+        assert net.time(0, 1, 1000) == net.time(0, 5, 1000)
+
+    def test_self_message_free(self):
+        net = Network()
+        assert net.time(3, 3, 1e9) == 0.0
+
+    def test_platform_aware_intra_vs_inter(self):
+        net = Network(platform=_platform_two_nodes())
+        intra = net.time(0, 1, 1e6)  # a -> b, same node
+        inter = net.time(0, 2, 1e6)  # a -> c, across nodes
+        assert intra < inter
+
+    def test_link_selection(self):
+        net = Network(platform=_platform_two_nodes())
+        assert net.link(0, 1) is net.intra_node
+        assert net.link(0, 2) is net.inter_node
+
+    def test_custom_links(self):
+        fast = LinkModel(0.0, 1e12)
+        slow = LinkModel(1.0, 1.0)
+        net = Network(inter_node=slow, intra_node=fast)
+        assert net.time(0, 1, 10) == pytest.approx(1.0 + 10.0)

@@ -1,0 +1,104 @@
+"""Tests for the distributed dynamic partitioning protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import PlatformBenchmark
+from repro.core.models import PiecewiseModel
+from repro.core.partition.distributed import distributed_partition
+from repro.core.partition.dynamic import DynamicPartitioner
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+def _platform(speeds):
+    return Platform(
+        [
+            Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+            for i, s in enumerate(speeds)
+        ]
+    )
+
+
+class TestDistributedPartition:
+    def test_converges_to_speed_proportions(self):
+        platform = _platform([3.0e9, 1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        result = distributed_partition(
+            bench, partition_geometric, PiecewiseModel, 4000, eps=0.02
+        )
+        assert result.converged
+        assert result.final.sizes == [3000, 1000]
+        assert result.final.total == 4000
+
+    def test_agrees_with_centralised_dynamic(self):
+        platform = _platform([4.0e9, 2.0e9, 1.0e9])
+        total = 14_000
+        d_bench = PlatformBenchmark(platform, unit_flops=1.0e6, seed=0)
+        distributed = distributed_partition(
+            d_bench, partition_geometric, PiecewiseModel, total, eps=0.02
+        )
+        c_bench = PlatformBenchmark(platform, unit_flops=1.0e6, seed=0)
+        central = DynamicPartitioner(
+            partition_geometric,
+            [PiecewiseModel() for _ in range(platform.size)],
+            total,
+            c_bench.measure_group,
+            eps=0.02,
+        ).run()
+        # Same measurements, same deterministic algorithm -> same answer.
+        assert distributed.final.sizes == central.final.sizes
+
+    def test_protocol_time_accounted_and_small(self):
+        platform = _platform([2.0e9, 1.0e9, 1.0e9, 1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        result = distributed_partition(
+            bench, partition_geometric, PiecewiseModel, 8000, eps=0.02
+        )
+        assert result.protocol_time > 0.0
+        # Exchanging a few dozen bytes per round is negligible next to the
+        # benchmark time itself.
+        assert result.protocol_time < 0.05 * result.total_time
+
+    def test_benchmark_cost_positive(self):
+        platform = _platform([1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        result = distributed_partition(
+            bench, partition_geometric, PiecewiseModel, 500
+        )
+        assert result.benchmark_cost > 0.0
+        assert result.final.sizes == [500]
+
+    def test_iteration_cap_respected(self):
+        platform = _platform([2.0e9, 1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        # eps < 0 can never be met, so the loop must stop at the cap.
+        result = distributed_partition(
+            bench, partition_geometric, PiecewiseModel, 3000,
+            eps=-1.0, max_iterations=3,
+        )
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_negative_total_rejected(self):
+        platform = _platform([1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        with pytest.raises(PartitionError):
+            distributed_partition(
+                bench, partition_geometric, PiecewiseModel, -1
+            )
+
+    def test_total_time_includes_benchmarks(self):
+        platform = _platform([1.0e9, 1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        result = distributed_partition(
+            bench, partition_geometric, PiecewiseModel, 2000
+        )
+        # Virtual clocks advanced by at least the per-rank kernel time.
+        assert result.total_time > 0.0
+        assert result.total_time >= result.protocol_time

@@ -1,0 +1,190 @@
+"""Tests for dynamic data partitioning and load balancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import PlatformBenchmark
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.partition.dynamic import DynamicPartitioner, LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.core.point import MeasurementPoint
+from repro.errors import PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import CacheHierarchyProfile, ConstantProfile
+
+
+def _platform(speeds):
+    nodes = [
+        Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+        for i, s in enumerate(speeds)
+    ]
+    return Platform(nodes)
+
+
+def _dyn(platform, total, eps=0.02, max_iterations=20):
+    bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+    models = [PiecewiseModel() for _ in range(platform.size)]
+    return DynamicPartitioner(
+        partition_geometric,
+        models,
+        total,
+        bench.measure_group,
+        eps=eps,
+        max_iterations=max_iterations,
+    )
+
+
+class TestDynamicPartitioner:
+    def test_starts_even(self):
+        dyn = _dyn(_platform([1.0e9, 1.0e9]), 100)
+        assert dyn.dist.sizes == [50, 50]
+
+    def test_converges_on_constant_speeds(self):
+        dyn = _dyn(_platform([3.0e9, 1.0e9]), 4000)
+        result = dyn.run()
+        assert result.converged
+        assert result.final.sizes == [3000, 1000]
+
+    def test_converges_quickly_for_constant_speeds(self):
+        dyn = _dyn(_platform([2.0e9, 1.0e9, 1.0e9]), 8000)
+        result = dyn.run()
+        assert result.converged
+        assert result.iterations <= 4
+
+    def test_partial_models_much_smaller_than_full(self):
+        dyn = _dyn(_platform([4.0e9, 2.0e9, 1.0e9]), 30000)
+        result = dyn.run()
+        # Dynamic estimation needs only a handful of points per rank.
+        assert all(n <= result.iterations + 1 for n in result.points_per_rank)
+
+    def test_cost_accounted(self):
+        dyn = _dyn(_platform([1.0e9, 1.0e9]), 1000)
+        result = dyn.run()
+        assert result.total_cost > 0.0
+        assert result.total_cost == pytest.approx(dyn.total_cost)
+
+    def test_cliff_device_eventually_detected(self):
+        # A device that collapses beyond 1000 units: the dynamic algorithm
+        # probes at the even share (2000), sees the collapsed speed, and
+        # shifts work away.
+        cliff = Device(
+            "cliff",
+            CacheHierarchyProfile(
+                levels=[(1000.0, 8.0e9)], paged_flops=0.4e9, transition_width=0.02
+            ),
+            noise=NoNoise(),
+        )
+        steady = Device("steady", ConstantProfile(2.0e9), noise=NoNoise())
+        platform = Platform([Node("n0", [cliff]), Node("n1", [steady])])
+        dyn = _dyn(platform, 4000, eps=0.01, max_iterations=30)
+        result = dyn.run()
+        # The steady device must carry most of the load despite the cliff
+        # device's higher nominal peak.
+        assert result.final.sizes[1] > result.final.sizes[0]
+
+    def test_trace_records_every_iteration(self):
+        dyn = _dyn(_platform([2.0e9, 1.0e9]), 600)
+        result = dyn.run()
+        assert len(result.distributions) == result.iterations
+        assert result.distributions[-1] == result.final
+
+    def test_validation(self):
+        platform = _platform([1.0e9])
+        bench = PlatformBenchmark(platform, unit_flops=1.0)
+        with pytest.raises(PartitionError):
+            DynamicPartitioner(partition_geometric, [], 10, bench.measure_group)
+        with pytest.raises(PartitionError):
+            DynamicPartitioner(
+                partition_geometric, [PiecewiseModel()], -1, bench.measure_group
+            )
+        with pytest.raises(PartitionError):
+            DynamicPartitioner(
+                partition_geometric, [PiecewiseModel()], 10, bench.measure_group,
+                eps=0.0,
+            )
+        with pytest.raises(PartitionError):
+            DynamicPartitioner(
+                partition_geometric, [PiecewiseModel()], 10, bench.measure_group,
+                max_iterations=0,
+            )
+
+
+class TestLoadBalancer:
+    def _balancer(self, total=120, size=3, threshold=0.05):
+        models = [PiecewiseModel() for _ in range(size)]
+        return LoadBalancer(partition_geometric, models, total, threshold=threshold)
+
+    def test_starts_even(self):
+        lb = self._balancer(total=90, size=3)
+        assert lb.dist.sizes == [30, 30, 30]
+
+    def test_rebalances_on_imbalance(self):
+        lb = self._balancer(total=120, size=2)
+        # Rank 0 is twice as fast: even split times are [0.5, 1.0].
+        dist = lb.iterate([0.5, 1.0])
+        assert dist.sizes[0] > dist.sizes[1]
+        assert lb.history[-1].rebalanced
+
+    def test_keeps_distribution_when_balanced(self):
+        lb = self._balancer(total=100, size=2, threshold=0.1)
+        before = lb.dist.sizes
+        dist = lb.iterate([1.0, 1.05])
+        assert dist.sizes == before
+        assert not lb.history[-1].rebalanced
+
+    def test_converges_to_speed_ratio(self):
+        # Speeds 2:1, perfectly deterministic observations.
+        speeds = [200.0, 100.0]
+        lb = self._balancer(total=300, size=2, threshold=0.02)
+        for _ in range(6):
+            times = [d / s for d, s in zip(lb.dist.sizes, speeds)]
+            lb.iterate(times)
+        assert lb.dist.sizes == [200, 100]
+        final_times = [d / s for d, s in zip(lb.dist.sizes, speeds)]
+        assert max(final_times) - min(final_times) <= 0.02 * max(final_times)
+
+    def test_imbalance_recorded(self):
+        lb = self._balancer(total=100, size=2)
+        lb.iterate([1.0, 2.0])
+        assert lb.history[0].imbalance == pytest.approx(0.5)
+
+    def test_observed_times_feed_models(self):
+        lb = self._balancer(total=100, size=2)
+        lb.iterate([1.0, 2.0])
+        assert all(m.count == 1 for m in lb.models)
+        assert lb.models[0].points[0] == MeasurementPoint(d=50, t=1.0, reps=1, ci=0.0)
+
+    def test_zero_size_ranks_skipped(self):
+        models = [PiecewiseModel() for _ in range(2)]
+        initial = Distribution.from_sizes([100, 0])
+        lb = LoadBalancer(partition_geometric, models, 100, initial=initial)
+        lb.iterate([1.0, 0.0])
+        assert models[1].count == 0
+
+    def test_times_length_checked(self):
+        lb = self._balancer(size=2)
+        with pytest.raises(PartitionError):
+            lb.iterate([1.0])
+
+    def test_initial_distribution_size_checked(self):
+        with pytest.raises(PartitionError):
+            LoadBalancer(
+                partition_geometric,
+                [PiecewiseModel()],
+                10,
+                initial=Distribution.from_sizes([5, 5]),
+            )
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(PartitionError):
+            LoadBalancer(partition_geometric, [PiecewiseModel()], 10, threshold=-1.0)
+
+    def test_history_grows(self):
+        lb = self._balancer(size=2)
+        lb.iterate([1.0, 1.0])
+        lb.iterate([1.0, 1.0])
+        assert [s.iteration for s in lb.history] == [1, 2]

@@ -1,0 +1,124 @@
+"""Tests for hierarchical (two-level) partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import PiecewiseModel
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.hierarchical import (
+    aggregate_node_model,
+    group_models_by_node,
+    partition_hierarchical,
+)
+from repro.errors import PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+from tests.conftest import model_from_time_fn
+
+SAMPLES = [100, 1000, 10000, 50000]
+
+
+def _models(speeds):
+    return [
+        model_from_time_fn(
+            PiecewiseModel, lambda d, s=s: d / s, [10, 1000, 100000]
+        )
+        for s in speeds
+    ]
+
+
+class TestAggregateNodeModel:
+    def test_single_device_node_is_identity(self):
+        (model,) = _models([10.0])
+        agg = aggregate_node_model([model], SAMPLES)
+        for x in [100.0, 5000.0]:
+            assert agg.time(x) == pytest.approx(model.time(x), rel=1e-6)
+
+    def test_two_devices_add_speeds(self):
+        # Constant speeds 30 + 10 -> aggregate speed 40 units/s.
+        models = _models([30.0, 10.0])
+        agg = aggregate_node_model(models, SAMPLES)
+        assert agg.speed(1000) == pytest.approx(40.0, rel=0.01)
+
+    def test_requires_devices_and_samples(self):
+        with pytest.raises(PartitionError):
+            aggregate_node_model([], SAMPLES)
+        with pytest.raises(PartitionError):
+            aggregate_node_model(_models([1.0]), [])
+        with pytest.raises(PartitionError):
+            aggregate_node_model(_models([1.0]), [0])
+
+
+class TestPartitionHierarchical:
+    def test_flat_total_exact(self):
+        groups = [_models([3.0, 1.0]), _models([2.0])]
+        result = partition_hierarchical(9000, groups, SAMPLES)
+        assert result.flat.total == 9000
+        assert result.node_distribution.total == 9000
+
+    def test_matches_flat_partitioning_for_linear_models(self):
+        # With constant speeds, hierarchical == flat partitioning: every
+        # process ends up with work proportional to its speed.
+        speeds = [6.0, 2.0, 3.0, 1.0]
+        groups = [_models(speeds[:2]), _models(speeds[2:])]
+        flat_models = _models(speeds)
+        total = 12000
+        hier = partition_hierarchical(total, groups, SAMPLES)
+        flat = partition_geometric(total, flat_models)
+        for a, b in zip(hier.flat.sizes, flat.sizes):
+            assert abs(a - b) <= max(3, 0.01 * total)
+
+    def test_node_share_proportional_to_aggregate_speed(self):
+        groups = [_models([3.0, 1.0]), _models([2.0, 2.0])]  # 4 vs 4 units/s
+        result = partition_hierarchical(8000, groups, SAMPLES)
+        assert result.node_distribution.sizes[0] == pytest.approx(4000, abs=10)
+
+    def test_devices_balanced_within_node(self):
+        groups = [_models([3.0, 1.0])]
+        result = partition_hierarchical(4000, groups, SAMPLES)
+        assert result.flat.sizes == [3000, 1000]
+
+    def test_zero_total(self):
+        groups = [_models([1.0]), _models([2.0])]
+        result = partition_hierarchical(0, groups, SAMPLES)
+        assert result.flat.sizes == [0, 0]
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_hierarchical(100, [], SAMPLES)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_hierarchical(-1, [_models([1.0])], SAMPLES)
+
+    def test_node_models_exposed(self):
+        groups = [_models([1.0]), _models([5.0])]
+        result = partition_hierarchical(600, groups, SAMPLES)
+        assert len(result.node_models) == 2
+        assert result.node_models[1].speed(100) == pytest.approx(5.0, rel=0.02)
+
+
+class TestGroupModelsByNode:
+    def _platform(self):
+        def dev(name):
+            return Device(name, ConstantProfile(1.0e9), noise=NoNoise())
+
+        return Platform(
+            [Node("n0", [dev("a"), dev("b")]), Node("n1", [dev("c")])]
+        )
+
+    def test_grouping(self):
+        platform = self._platform()
+        models = _models([1.0, 2.0, 3.0])
+        groups = group_models_by_node(platform, models)
+        assert len(groups) == 2
+        assert groups[0] == [models[0], models[1]]
+        assert groups[1] == [models[2]]
+
+    def test_length_checked(self):
+        with pytest.raises(PartitionError):
+            group_models_by_node(self._platform(), _models([1.0]))

@@ -1,0 +1,125 @@
+"""Tests for memory-constrained partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import ConstantModel, PiecewiseModel
+from repro.core.partition.basic import partition_constant
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.limits import limits_from_platform, partition_with_limits
+from repro.errors import PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+from tests.conftest import model_from_time_fn
+
+
+def _models(speeds, cls=PiecewiseModel):
+    return [
+        model_from_time_fn(cls, lambda d, s=s: d / s, [10, 1000, 100000])
+        for s in speeds
+    ]
+
+
+class TestPartitionWithLimits:
+    def test_unconstrained_when_caps_loose(self):
+        models = _models([3.0, 1.0])
+        free = partition_geometric(4000, models)
+        capped = partition_with_limits(
+            partition_geometric, 4000, models, [100000, 100000]
+        )
+        assert capped.sizes == free.sizes
+
+    def test_cap_binds_and_overflow_moves(self):
+        # Unconstrained would be [3000, 1000]; cap the fast one at 2000.
+        models = _models([3.0, 1.0])
+        dist = partition_with_limits(partition_geometric, 4000, models, [2000, None])
+        assert dist.sizes == [2000, 2000]
+        assert dist.total == 4000
+
+    def test_none_means_unlimited(self):
+        models = _models([1.0, 1.0])
+        dist = partition_with_limits(partition_geometric, 10000, models, [None, None])
+        assert dist.total == 10000
+
+    def test_multiple_caps_cascade(self):
+        # Three equal devices, two tightly capped: the third absorbs all.
+        models = _models([1.0, 1.0, 1.0])
+        dist = partition_with_limits(
+            partition_geometric, 9000, models, [1000, 1000, None]
+        )
+        assert dist.sizes == [1000, 1000, 7000]
+
+    def test_capacity_exactly_total(self):
+        models = _models([2.0, 1.0])
+        dist = partition_with_limits(partition_geometric, 300, models, [100, 200])
+        assert dist.sizes == [100, 200]
+
+    def test_insufficient_capacity_rejected(self):
+        models = _models([1.0, 1.0])
+        with pytest.raises(PartitionError):
+            partition_with_limits(partition_geometric, 1000, models, [100, 100])
+
+    def test_negative_limit_rejected(self):
+        models = _models([1.0])
+        with pytest.raises(PartitionError):
+            partition_with_limits(partition_geometric, 10, models, [-5])
+
+    def test_length_mismatch_rejected(self):
+        models = _models([1.0, 1.0])
+        with pytest.raises(PartitionError):
+            partition_with_limits(partition_geometric, 10, models, [5])
+
+    def test_works_with_basic_algorithm(self):
+        models = _models([3.0, 1.0], cls=ConstantModel)
+        dist = partition_with_limits(partition_constant, 4000, models, [1000, None])
+        assert dist.sizes == [1000, 3000]
+
+    def test_zero_cap_excludes_process(self):
+        models = _models([5.0, 1.0])
+        dist = partition_with_limits(partition_geometric, 600, models, [0, None])
+        assert dist.sizes == [0, 600]
+
+    def test_remaining_processes_balanced(self):
+        # After the cap binds, the unconstrained rest must still balance.
+        models = _models([4.0, 2.0, 1.0])
+        dist = partition_with_limits(
+            partition_geometric, 7000, models, [1000, None, None]
+        )
+        assert dist.sizes[0] == 1000
+        # Remaining 6000 split 2:1 between speeds 2 and 1.
+        assert dist.sizes[1] == pytest.approx(4000, abs=2)
+        assert dist.sizes[2] == pytest.approx(2000, abs=2)
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=20_000),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_property(self, speeds, total, capped_count):
+        models = _models(speeds)
+        limits = [None] * len(speeds)
+        # Cap the first few processes at half their fair share.
+        for i in range(min(capped_count, len(speeds) - 1)):
+            limits[i] = max(total // (2 * len(speeds)), 0)
+        dist = partition_with_limits(partition_geometric, total, models, limits)
+        assert dist.total == total
+        for d, lim in zip(dist.sizes, limits):
+            assert d >= 0
+            if lim is not None:
+                assert d <= lim
+
+
+class TestLimitsFromPlatform:
+    def test_reads_device_limits(self):
+        dev_a = Device("a", ConstantProfile(1.0), noise=NoNoise(),
+                       memory_limit_units=500)
+        dev_b = Device("b", ConstantProfile(1.0), noise=NoNoise())
+        platform = Platform([Node("n", [dev_a, dev_b])])
+        assert limits_from_platform(platform) == [500, None]

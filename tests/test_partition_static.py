@@ -1,0 +1,204 @@
+"""Tests for the three static partitioning algorithms.
+
+The invariants, for every algorithm:
+
+* parts sum exactly to the total;
+* parts are non-negative integers;
+* the load is balanced: predicted per-process times are (near-)equal.
+
+Plus algorithm-specific behaviour: proportionality for the basic algorithm,
+agreement between geometric and numerical on smooth models, and correct
+handling of memory cliffs (the scenario where CPM must lose).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.partition.basic import partition_constant
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.numerical import partition_numerical
+from repro.errors import PartitionError
+
+from tests.conftest import model_from_time_fn
+
+
+def _linear_models(model_cls, speeds, sizes=(10, 100, 1000, 5000)):
+    """Models over constant-speed devices with the given unit rates."""
+    return [
+        model_from_time_fn(model_cls, lambda d, s=s: d / s, list(sizes))
+        for s in speeds
+    ]
+
+
+class TestBasic:
+    def test_proportional_to_speeds(self):
+        models = _linear_models(ConstantModel, [300.0, 100.0])
+        dist = partition_constant(4000, models)
+        assert dist.sizes == [3000, 1000]
+
+    def test_sum_exact(self):
+        models = _linear_models(ConstantModel, [3.0, 7.0, 11.0])
+        dist = partition_constant(1000, models)
+        assert dist.total == 1000
+
+    def test_equal_speeds_even_split(self):
+        models = _linear_models(ConstantModel, [5.0, 5.0, 5.0, 5.0])
+        dist = partition_constant(100, models)
+        assert dist.sizes == [25, 25, 25, 25]
+
+    def test_zero_total(self):
+        models = _linear_models(ConstantModel, [1.0, 2.0])
+        assert partition_constant(0, models).sizes == [0, 0]
+
+    def test_single_process(self):
+        models = _linear_models(ConstantModel, [2.0])
+        assert partition_constant(42, models).sizes == [42]
+
+    def test_predicted_times_filled(self):
+        models = _linear_models(ConstantModel, [100.0, 50.0])
+        dist = partition_constant(300, models)
+        assert dist.parts[0].t == pytest.approx(2.0)
+        assert dist.parts[1].t == pytest.approx(2.0)
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_constant(10, [])
+
+    def test_negative_total_rejected(self):
+        models = _linear_models(ConstantModel, [1.0])
+        with pytest.raises(PartitionError):
+            partition_constant(-1, models)
+
+
+class TestGeometric:
+    def test_constant_speeds_proportional(self):
+        models = _linear_models(PiecewiseModel, [300.0, 100.0])
+        dist = partition_geometric(4000, models)
+        assert dist.sizes == [3000, 1000]
+
+    def test_balances_times(self):
+        models = _linear_models(PiecewiseModel, [7.0, 3.0, 2.0])
+        dist = partition_geometric(12000, models)
+        times = [m.time(p.d) for m, p in zip(models, dist.parts)]
+        assert max(times) - min(times) <= max(times) * 0.01
+
+    def test_sum_exact(self):
+        models = _linear_models(PiecewiseModel, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert partition_geometric(9999, models).total == 9999
+
+    def test_cliff_device_capped(self):
+        # Device A is fast until 1000 units, then 10x slower; device B is
+        # steady.  At a large total, A must not be given much beyond the
+        # cliff.
+        cliff = PiecewiseModel()
+        for d, t in [(100, 100 / 1000.0), (1000, 1.0), (1100, 2.0), (2000, 11.0)]:
+            from repro.core.point import MeasurementPoint
+
+            cliff.update(MeasurementPoint(d=d, t=t))
+        steady = model_from_time_fn(
+            PiecewiseModel, lambda d: d / 500.0, [100, 1000, 4000]
+        )
+        dist = partition_geometric(4000, [cliff, steady])
+        times = [m.time(p.d) for m, p in zip([cliff, steady], dist.parts)]
+        assert max(times) - min(times) <= max(times) * 0.02
+        # The steady device absorbs most of the work.
+        assert dist.sizes[1] > dist.sizes[0]
+
+    def test_zero_total(self):
+        models = _linear_models(PiecewiseModel, [1.0, 2.0])
+        assert partition_geometric(0, models).sizes == [0, 0]
+
+    def test_single_process(self):
+        models = _linear_models(PiecewiseModel, [2.0])
+        dist = partition_geometric(77, models)
+        assert dist.sizes == [77]
+        assert dist.parts[0].t == pytest.approx(77 / 2.0)
+
+    def test_very_heterogeneous(self):
+        models = _linear_models(PiecewiseModel, [1000.0, 1.0])
+        dist = partition_geometric(10010, models)
+        assert dist.sizes[0] == pytest.approx(10000, abs=2)
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=500.0), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_property(self, speeds, total):
+        models = _linear_models(PiecewiseModel, speeds, sizes=(10, 1000))
+        dist = partition_geometric(total, models)
+        assert dist.total == total
+        assert all(p.d >= 0 for p in dist.parts)
+        if total >= 100 * len(speeds):
+            times = [m.time(p.d) for m, p in zip(models, dist.parts)]
+            # Integer rounding can shift any part by one unit, which costs
+            # up to 1/min(speed) seconds on the slowest device.
+            granularity = 1.0 / min(speeds)
+            assert max(times) - min(times) <= max(times) * 0.02 + granularity
+
+
+class TestNumerical:
+    def test_constant_speeds_proportional(self):
+        models = _linear_models(AkimaModel, [300.0, 100.0])
+        dist = partition_numerical(4000, models)
+        assert dist.sizes == [3000, 1000]
+
+    def test_balances_times_nonlinear(self):
+        # Quadratic-ish time functions: t = d/s + c d^2.
+        def tf(s):
+            return lambda d: d / s + 1e-7 * d * d
+
+        models = [
+            model_from_time_fn(AkimaModel, tf(s), [10, 100, 500, 1000, 3000, 6000])
+            for s in [10.0, 5.0, 2.0]
+        ]
+        dist = partition_numerical(6000, models)
+        times = [m.time(p.d) for m, p in zip(models, dist.parts)]
+        assert max(times) - min(times) <= max(times) * 0.01
+
+    def test_agrees_with_geometric_on_smooth_models(self):
+        speeds = [9.0, 5.0, 2.5, 1.0]
+        akima = _linear_models(AkimaModel, speeds)
+        pw = _linear_models(PiecewiseModel, speeds)
+        total = 35000
+        dn = partition_numerical(total, akima)
+        dg = partition_geometric(total, pw)
+        for a, g in zip(dn.sizes, dg.sizes):
+            assert abs(a - g) <= max(2, 0.01 * total)
+
+    def test_sum_exact(self):
+        models = _linear_models(AkimaModel, [2.0, 3.0, 4.0])
+        assert partition_numerical(1234, models).total == 1234
+
+    def test_zero_total(self):
+        models = _linear_models(AkimaModel, [1.0, 2.0])
+        assert partition_numerical(0, models).sizes == [0, 0]
+
+    def test_single_process(self):
+        models = _linear_models(AkimaModel, [2.0])
+        assert partition_numerical(55, models).sizes == [55]
+
+    def test_works_with_piecewise_models_via_fd(self):
+        # Models without time_derivative fall back to finite differences.
+        models = _linear_models(PiecewiseModel, [4.0, 1.0])
+        dist = partition_numerical(5000, models)
+        assert dist.total == 5000
+        assert dist.sizes[0] == pytest.approx(4000, abs=10)
+
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=2, max_size=6),
+        st.integers(min_value=1000, max_value=50_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_property(self, speeds, total):
+        models = _linear_models(AkimaModel, speeds, sizes=(10, 100, 1000, 5000))
+        dist = partition_numerical(total, models)
+        assert dist.total == total
+        assert all(p.d >= 0 for p in dist.parts)
+        times = [m.time(p.d) for m, p in zip(models, dist.parts)]
+        granularity = 1.0 / min(speeds)
+        assert max(times) - min(times) <= max(times) * 0.02 + granularity

@@ -1,0 +1,141 @@
+"""Property-based tests over the full partitioning pipeline.
+
+Hypothesis drives randomly shaped platforms through the complete measured
+workflow (benchmark -> models -> partition) and checks the invariants that
+must hold regardless of the platform: exact totals, non-negative parts,
+and balance within the granularity bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benchmark import PlatformBenchmark, build_full_models
+from repro.core.models import AkimaModel, PchipModel, PiecewiseModel
+from repro.core.partition.dynamic import DynamicPartitioner
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.numerical import partition_numerical
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.presets import parametric_cluster
+from repro.platform.profiles import ConstantProfile
+
+
+@st.composite
+def _speeds(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return draw(
+        st.lists(
+            st.floats(min_value=2.0e8, max_value=2.0e10),
+            min_size=n, max_size=n,
+        )
+    )
+
+
+def _platform(speeds):
+    return Platform(
+        [
+            Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+            for i, s in enumerate(speeds)
+        ]
+    )
+
+
+class TestMeasuredPipelineProperties:
+    @given(_speeds(), st.integers(min_value=0, max_value=200_000))
+    @settings(max_examples=25, deadline=None)
+    def test_geometric_full_pipeline(self, speeds, total):
+        platform = _platform(speeds)
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        models, _ = build_full_models(bench, PiecewiseModel, [64, 1024, 16384])
+        dist = partition_geometric(total, models)
+        assert dist.total == total
+        assert all(p.d >= 0 for p in dist.parts)
+        if total > 1000 * len(speeds):
+            # Ground-truth balance within granularity (+noise-free devices).
+            times = [
+                platform.device(r).ideal_time(1.0e6 * d, d) if d else 0.0
+                for r, d in enumerate(dist.sizes)
+            ]
+            active = [t for t in times if t > 0]
+            granularity = 1.0e6 / min(speeds)
+            assert max(active) - min(active) <= 0.03 * max(active) + granularity
+
+    @given(_speeds(), st.integers(min_value=1000, max_value=100_000))
+    @settings(max_examples=15, deadline=None)
+    def test_numerical_matches_geometric(self, speeds, total):
+        platform = _platform(speeds)
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        ak, _ = build_full_models(bench, AkimaModel, [64, 1024, 16384])
+        pw, _ = build_full_models(bench, PiecewiseModel, [64, 1024, 16384])
+        dn = partition_numerical(total, ak)
+        dg = partition_geometric(total, pw)
+        assert dn.total == total
+        for a, b in zip(dn.sizes, dg.sizes):
+            assert abs(a - b) <= max(0.05 * total, 2)
+
+    @given(_speeds())
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_partitioner_invariants(self, speeds):
+        total = 10_000
+        platform = _platform(speeds)
+        bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+        models = [PchipModel() for _ in range(platform.size)]
+        dyn = DynamicPartitioner(
+            partition_geometric, models, total, bench.measure_group, eps=0.05
+        )
+        result = dyn.run()
+        assert result.final.total == total
+        assert result.converged
+        assert all(m.is_ready for m in models)
+        # Every intermediate distribution also summed exactly.
+        for dist in result.distributions:
+            assert dist.total == total
+
+
+class TestParametricCluster:
+    def test_sizes(self):
+        platform = parametric_cluster(hybrid_nodes=2, cpu_nodes=3,
+                                      cores_per_hybrid=2, noisy=False)
+        # 2 hybrids x (2 cores + 1 gpu) + 3 cpus = 9 devices.
+        assert platform.size == 9
+        assert len(platform.nodes) == 5
+
+    def test_reproducible(self):
+        a = parametric_cluster(seed=4, noisy=False)
+        b = parametric_cluster(seed=4, noisy=False)
+        assert [d.profile.flops_at(100) for d in a.devices] == [
+            d.profile.flops_at(100) for d in b.devices
+        ]
+
+    def test_spread_respected(self):
+        platform = parametric_cluster(
+            hybrid_nodes=0, cpu_nodes=20, base_flops=1.0e9, spread=3.0,
+            noisy=False, seed=1,
+        )
+        rates = [d.profile.flops_at(100) for d in platform.devices]
+        assert min(rates) >= 1.0e9 / 3.0 * 0.9
+        assert max(rates) <= 1.0e9 * 3.0 * 1.1
+
+    def test_validation(self):
+        from repro.errors import PlatformError
+
+        with pytest.raises(PlatformError):
+            parametric_cluster(hybrid_nodes=0, cpu_nodes=0)
+        with pytest.raises(PlatformError):
+            parametric_cluster(spread=0.5)
+
+    @given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_any_shape_is_valid_platform(self, hybrids, cpus):
+        if hybrids + cpus == 0:
+            return
+        platform = parametric_cluster(
+            hybrid_nodes=hybrids, cpu_nodes=cpus, noisy=False
+        )
+        names = [d.name for d in platform.devices]
+        assert len(set(names)) == len(names)
+        assert platform.size >= hybrids + cpus

@@ -1,0 +1,111 @@
+"""Tests for virtual clocks and noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PlatformError
+from repro.platform.clock import VirtualClock
+from repro.platform.noise import GaussianNoise, NoNoise, bound_process_noise, unbound_process_noise
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(PlatformError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        c = VirtualClock()
+        assert c.advance(2.5) == 2.5
+        assert c.advance(0.5) == 3.0
+        assert c.now == 3.0
+
+    def test_advance_zero_ok(self):
+        c = VirtualClock(1.0)
+        c.advance(0.0)
+        assert c.now == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(PlatformError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        c = VirtualClock(1.0)
+        c.advance_to(5.0)
+        assert c.now == 5.0
+
+    def test_advance_to_past_is_noop(self):
+        c = VirtualClock(5.0)
+        c.advance_to(2.0)
+        assert c.now == 5.0
+
+    def test_reset(self):
+        c = VirtualClock(9.0)
+        c.reset()
+        assert c.now == 0.0
+        c.reset(3.0)
+        assert c.now == 3.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(PlatformError):
+            VirtualClock().reset(-1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=30))
+    def test_monotone_under_any_advances(self, deltas):
+        c = VirtualClock()
+        prev = 0.0
+        for dt in deltas:
+            c.advance(dt)
+            assert c.now >= prev
+            prev = c.now
+
+
+class TestNoiseModels:
+    def test_no_noise_is_one(self):
+        rng = np.random.default_rng(0)
+        assert NoNoise().factor(rng) == 1.0
+
+    def test_zero_sigma_is_one(self):
+        rng = np.random.default_rng(0)
+        assert GaussianNoise(0.0).factor(rng) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(PlatformError):
+            GaussianNoise(-0.1)
+
+    def test_factors_positive(self):
+        rng = np.random.default_rng(1)
+        noise = GaussianNoise(0.5)
+        for _ in range(500):
+            assert noise.factor(rng) > 0.0
+
+    def test_factors_clipped_at_three_sigma(self):
+        rng = np.random.default_rng(2)
+        noise = GaussianNoise(0.1)
+        samples = [noise.factor(rng) for _ in range(2000)]
+        assert min(samples) >= 1.0 - 0.3 - 1e-12
+        assert max(samples) <= 1.0 + 0.3 + 1e-12
+
+    def test_mean_near_one(self):
+        rng = np.random.default_rng(3)
+        noise = GaussianNoise(0.05)
+        samples = [noise.factor(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_deterministic_given_seed(self):
+        noise = GaussianNoise(0.1)
+        a = [noise.factor(np.random.default_rng(7)) for _ in range(1)]
+        b = [noise.factor(np.random.default_rng(7)) for _ in range(1)]
+        assert a == b
+
+    def test_unbound_noisier_than_bound(self):
+        assert unbound_process_noise().sigma > bound_process_noise().sigma

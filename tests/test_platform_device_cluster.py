@@ -1,0 +1,185 @@
+"""Tests for devices, nodes and platforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device, DeviceKind, MemoryExceeded
+from repro.platform.noise import GaussianNoise, NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+def _dev(name: str, flops: float = 1.0e9, **kw) -> Device:
+    kw.setdefault("noise", NoNoise())
+    return Device(name, ConstantProfile(flops), **kw)
+
+
+class TestDevice:
+    def test_ideal_time(self):
+        d = _dev("a", 2.0e9)
+        assert d.ideal_time(4.0e9, 100) == pytest.approx(2.0)
+
+    def test_zero_work_zero_time(self):
+        d = _dev("a")
+        assert d.ideal_time(0.0, 0) == 0.0
+        assert d.ideal_time(0.0, 10) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        d = _dev("a")
+        with pytest.raises(PlatformError):
+            d.ideal_time(-1.0, 10)
+        with pytest.raises(PlatformError):
+            d.ideal_time(1.0, -10)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PlatformError):
+            Device("", ConstantProfile(1.0))
+
+    def test_execution_time_noiseless_matches_ideal(self):
+        d = _dev("a", 1.0e9)
+        rng = np.random.default_rng(0)
+        assert d.execution_time(2.0e9, 50, rng) == pytest.approx(2.0)
+
+    def test_execution_time_noise_within_bounds(self):
+        d = Device("a", ConstantProfile(1.0e9), noise=GaussianNoise(0.1))
+        rng = np.random.default_rng(0)
+        times = [d.execution_time(1.0e9, 50, rng) for _ in range(200)]
+        assert all(0.7 - 1e-9 <= t <= 1.3 + 1e-9 for t in times)
+
+    def test_contention_slows_down(self):
+        d = _dev("a", 1.0e9)
+        rng = np.random.default_rng(0)
+        alone = d.execution_time(1.0e9, 10, rng)
+        shared = d.execution_time(1.0e9, 10, rng, contention_factor=0.5)
+        assert shared == pytest.approx(2.0 * alone)
+
+    def test_bad_contention_rejected(self):
+        d = _dev("a")
+        rng = np.random.default_rng(0)
+        with pytest.raises(PlatformError):
+            d.execution_time(1.0, 1, rng, contention_factor=0.0)
+        with pytest.raises(PlatformError):
+            d.execution_time(1.0, 1, rng, contention_factor=1.5)
+
+    def test_memory_limit_enforced(self):
+        d = _dev("a", memory_limit_units=100)
+        with pytest.raises(MemoryExceeded):
+            d.ideal_time(1.0, 101)
+        assert d.ideal_time(1.0, 100) > 0.0
+
+    def test_bad_memory_limit_rejected(self):
+        with pytest.raises(PlatformError):
+            _dev("a", memory_limit_units=0)
+
+    def test_ideal_speed(self):
+        d = _dev("a", 3.0e9)
+        assert d.ideal_speed(3.0e9, 7) == pytest.approx(3.0e9)
+
+    def test_kind_default(self):
+        assert _dev("a").kind is DeviceKind.CPU_CORE
+
+
+class TestNode:
+    def test_requires_devices(self):
+        with pytest.raises(PlatformError):
+            Node("n", [])
+
+    def test_requires_name(self):
+        with pytest.raises(PlatformError):
+            Node("", [_dev("a")])
+
+    def test_duplicate_device_names_rejected(self):
+        with pytest.raises(PlatformError):
+            Node("n", [_dev("a"), _dev("a")])
+
+    def test_no_contention_by_default(self):
+        n = Node("n", [_dev("a"), _dev("b")])
+        assert n.contention_factor(1) == 1.0
+        assert n.contention_factor(2) == 1.0
+
+    def test_contention_factors(self):
+        n = Node("n", [_dev("a"), _dev("b"), _dev("c")], contention=[1.0, 0.9, 0.8])
+        assert n.contention_factor(1) == 1.0
+        assert n.contention_factor(2) == 0.9
+        assert n.contention_factor(3) == 0.8
+        # Beyond the list: last entry reused.
+        assert n.contention_factor(10) == 0.8
+
+    def test_contention_must_start_at_one(self):
+        with pytest.raises(PlatformError):
+            Node("n", [_dev("a")], contention=[0.9])
+
+    def test_contention_range_checked(self):
+        with pytest.raises(PlatformError):
+            Node("n", [_dev("a")], contention=[1.0, 1.2])
+
+    def test_group_size_positive(self):
+        n = Node("n", [_dev("a")])
+        with pytest.raises(PlatformError):
+            n.contention_factor(0)
+
+    def test_len(self):
+        assert len(Node("n", [_dev("a"), _dev("b")])) == 2
+
+
+class TestPlatform:
+    def make(self) -> Platform:
+        return Platform(
+            [
+                Node("n0", [_dev("a"), _dev("b")], contention=[1.0, 0.8]),
+                Node("n1", [_dev("c")]),
+            ]
+        )
+
+    def test_size_and_rank_order(self):
+        p = self.make()
+        assert p.size == 3
+        assert [d.name for d in p.devices] == ["a", "b", "c"]
+        assert p.device(0).name == "a"
+        assert p.device(2).name == "c"
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(PlatformError):
+            self.make().device(3)
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([])
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([Node("n", [_dev("a")]), Node("n", [_dev("b")])])
+
+    def test_duplicate_device_across_nodes_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([Node("n0", [_dev("a")]), Node("n1", [_dev("a")])])
+
+    def test_node_of(self):
+        p = self.make()
+        assert p.node_of(p.device(0)).name == "n0"
+        assert p.node_of(p.device(2)).name == "n1"
+
+    def test_node_of_foreign_device_rejected(self):
+        with pytest.raises(PlatformError):
+            self.make().node_of(_dev("zzz"))
+
+    def test_rank_of(self):
+        p = self.make()
+        assert p.rank_of(p.device(1)) == 1
+
+    def test_group_contention_same_node(self):
+        p = self.make()
+        # Both ranks of n0 active -> group of 2 -> 0.8.
+        assert p.group_contention(0, [0, 1]) == 0.8
+        # Only rank 0 active on n0 -> 1.0.
+        assert p.group_contention(0, [0, 2]) == 1.0
+        # n1 has no contention list.
+        assert p.group_contention(2, [0, 1, 2]) == 1.0
+
+    def test_group_contention_rank_not_listed_counts_itself(self):
+        p = self.make()
+        # Rank 0 not in active list: it still counts itself.
+        assert p.group_contention(0, [1]) == 0.8

@@ -1,0 +1,94 @@
+"""Tests for platform presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.device import DeviceKind
+from repro.platform.presets import (
+    constant_speed_platform,
+    fig2_device,
+    fig4_trio,
+    heterogeneous_cluster,
+    hybrid_node,
+    netlib_blas_profile,
+    uniprocessor_node,
+)
+
+
+class TestNetlibProfile:
+    def test_shape_peaks_around_5_gflops(self):
+        p = netlib_blas_profile()
+        rates = [p.flops_at(d) for d in range(50, 5000, 50)]
+        assert 4.0e9 < max(rates) < 6.0e9
+
+    def test_wiggles_in_fig2_range(self):
+        p = netlib_blas_profile()
+        rates = [p.flops_at(d) for d in range(200, 5000, 25)]
+        rises = sum(1 for a, b in zip(rates, rates[1:]) if b > a)
+        falls = sum(1 for a, b in zip(rates, rates[1:]) if b < a)
+        assert rises > 5 and falls > 5
+
+    def test_fig2_device_kind(self):
+        assert fig2_device().kind is DeviceKind.CPU_CORE
+
+
+class TestHybridNode:
+    def test_device_count(self):
+        node = hybrid_node(cores=4)
+        assert len(node) == 5  # 4 CPU cores + 1 GPU
+
+    def test_gpu_present(self):
+        node = hybrid_node()
+        kinds = [d.kind for d in node.devices]
+        assert DeviceKind.GPU in kinds
+
+    def test_cores_heterogeneous(self):
+        node = hybrid_node(cores=3, noisy=False)
+        speeds = [d.profile.flops_at(100) for d in node.devices[:3]]
+        assert len(set(speeds)) == 3
+
+    def test_contention_declared(self):
+        node = hybrid_node()
+        assert node.contention_factor(2) < 1.0
+
+    def test_gpu_faster_than_cpu_at_large_sizes(self):
+        node = hybrid_node(noisy=False)
+        cpu = node.devices[0]
+        gpu = node.devices[-1]
+        assert gpu.profile.flops_at(40000) > 5 * cpu.profile.flops_at(40000)
+
+    def test_cpu_faster_than_gpu_at_tiny_sizes(self):
+        node = hybrid_node(noisy=False)
+        cpu = node.devices[0]
+        gpu = node.devices[-1]
+        assert cpu.profile.flops_at(10) > gpu.profile.flops_at(10)
+
+
+class TestClusterPresets:
+    def test_heterogeneous_cluster_size(self):
+        p = heterogeneous_cluster()
+        assert p.size == 7  # 4 cores + gpu + 2 uniprocessors
+        assert len(p.nodes) == 3
+
+    def test_unique_device_names(self):
+        p = heterogeneous_cluster()
+        names = [d.name for d in p.devices]
+        assert len(set(names)) == len(names)
+
+    def test_fig4_trio_speed_ratio(self):
+        p = fig4_trio(noisy=False)
+        assert p.size == 3
+        speeds = [d.profile.flops_at(100) for d in p.devices]
+        assert speeds[0] / speeds[2] == pytest.approx(16.0 / 9.0, rel=0.01)
+        assert speeds[0] / speeds[1] == pytest.approx(16.0 / 11.0, rel=0.01)
+
+    def test_uniprocessor_node(self):
+        n = uniprocessor_node("u", 3.0e9, noisy=False)
+        assert len(n) == 1
+        assert n.devices[0].profile.flops_at(50) == pytest.approx(3.0e9, rel=0.05)
+
+    def test_constant_speed_platform(self):
+        p = constant_speed_platform([1.0e9, 2.0e9])
+        assert p.size == 2
+        assert p.device(1).profile.flops_at(12345) == 2.0e9

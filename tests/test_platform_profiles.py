@@ -1,0 +1,195 @@
+"""Tests for synthetic speed profiles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlatformError
+from repro.platform.profiles import (
+    CacheHierarchyProfile,
+    ConstantProfile,
+    GpuProfile,
+    ScaledProfile,
+    TableProfile,
+    WigglyProfile,
+)
+
+_SIZES = st.floats(min_value=1.0, max_value=1e7)
+
+
+class TestConstantProfile:
+    def test_constant(self):
+        p = ConstantProfile(2.0e9)
+        assert p.flops_at(1) == 2.0e9
+        assert p.flops_at(1e6) == 2.0e9
+
+    def test_callable(self):
+        assert ConstantProfile(5.0)(10) == 5.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(PlatformError):
+            ConstantProfile(0.0)
+
+    @given(_SIZES)
+    def test_positive_everywhere(self, d):
+        assert ConstantProfile(1e9).flops_at(d) > 0
+
+
+class TestScaledProfile:
+    def test_scales(self):
+        p = ScaledProfile(ConstantProfile(10.0), 0.5)
+        assert p.flops_at(100) == pytest.approx(5.0)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(PlatformError):
+            ScaledProfile(ConstantProfile(1.0), 0.0)
+
+
+class TestTableProfile:
+    def test_through_points(self):
+        p = TableProfile([(10.0, 100.0), (20.0, 200.0)])
+        assert p.flops_at(10) == pytest.approx(100.0)
+        assert p.flops_at(15) == pytest.approx(150.0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(PlatformError):
+            TableProfile([(10.0, 0.0)])
+
+    def test_clamped_at_min_rate(self):
+        p = TableProfile([(1.0, 100.0), (2.0, 10.0)])
+        assert p.flops_at(1e6) >= 1.0
+
+
+class TestCacheHierarchyProfile:
+    def make(self):
+        return CacheHierarchyProfile(
+            levels=[(1000.0, 4.0e9), (10000.0, 2.0e9)],
+            paged_flops=0.5e9,
+            transition_width=0.05,
+        )
+
+    def test_fast_when_fitting_first_level(self):
+        assert self.make().flops_at(100) == pytest.approx(4.0e9, rel=0.05)
+
+    def test_mid_level_rate(self):
+        assert self.make().flops_at(4000) == pytest.approx(2.0e9, rel=0.1)
+
+    def test_paged_beyond_last_level(self):
+        assert self.make().flops_at(1e6) == pytest.approx(0.5e9, rel=0.05)
+
+    def test_monotone_non_increasing_overall(self):
+        p = self.make()
+        sizes = [10.0 * 1.3**k for k in range(40)]
+        rates = [p.flops_at(d) for d in sizes]
+        for a, b in zip(rates, rates[1:]):
+            assert b <= a * 1.001
+
+    def test_rejects_unordered_capacities(self):
+        with pytest.raises(PlatformError):
+            CacheHierarchyProfile(
+                levels=[(100.0, 1.0), (50.0, 2.0)], paged_flops=1.0
+            )
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(PlatformError):
+            CacheHierarchyProfile(levels=[], paged_flops=1.0)
+
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(PlatformError):
+            CacheHierarchyProfile(levels=[(10.0, -1.0)], paged_flops=1.0)
+
+    @given(_SIZES)
+    def test_positive_everywhere(self, d):
+        assert self.make().flops_at(d) > 0
+
+
+class TestGpuProfile:
+    def make(self, **kw):
+        defaults = dict(
+            peak_flops=1.0e11,
+            ramp_units=1000.0,
+            memory_limit_units=50000.0,
+            out_of_core_factor=0.5,
+        )
+        defaults.update(kw)
+        return GpuProfile(**defaults)
+
+    def test_slow_at_small_sizes(self):
+        p = self.make()
+        assert p.flops_at(10) < 0.02 * p.peak_flops
+
+    def test_saturates_at_peak(self):
+        p = self.make(memory_limit_units=None, out_of_core_factor=None)
+        assert p.flops_at(1e7) == pytest.approx(1.0e11, rel=0.01)
+
+    def test_half_speed_at_ramp_size(self):
+        p = self.make()
+        assert p.flops_at(1000) == pytest.approx(0.5e11, rel=0.01)
+
+    def test_out_of_core_slowdown(self):
+        p = self.make()
+        inside = p.flops_at(49000)
+        outside = p.flops_at(51000)
+        assert outside < 0.6 * inside
+
+    def test_monotone_before_memory_limit(self):
+        p = self.make()
+        rates = [p.flops_at(d) for d in [10, 100, 1000, 10000, 49999]]
+        for a, b in zip(rates, rates[1:]):
+            assert b > a
+
+    def test_host_flops_floor(self):
+        p = self.make(host_flops=1.0e9)
+        assert p.flops_at(1) >= 1.0e9
+
+    def test_rejects_bad_out_of_core(self):
+        with pytest.raises(PlatformError):
+            self.make(out_of_core_factor=1.5)
+
+    def test_rejects_bad_ramp(self):
+        with pytest.raises(PlatformError):
+            GpuProfile(peak_flops=1.0, ramp_units=0.0)
+
+
+class TestWigglyProfile:
+    def make(self):
+        return WigglyProfile(
+            peak_flops=5.0e9,
+            rise_units=100.0,
+            decay_per_unit=1e-5,
+            humps=[(1000.0, 0.2, 100.0), (2000.0, -0.3, 150.0)],
+        )
+
+    def test_positive_everywhere(self):
+        p = self.make()
+        for d in [1, 10, 500, 1000, 2000, 5000, 1e6]:
+            assert p.flops_at(d) > 0
+
+    def test_hump_raises_speed_locally(self):
+        p = self.make()
+        base = WigglyProfile(peak_flops=5.0e9, rise_units=100.0, decay_per_unit=1e-5)
+        assert p.flops_at(1000) > base.flops_at(1000)
+
+    def test_dip_lowers_speed_locally(self):
+        p = self.make()
+        base = WigglyProfile(peak_flops=5.0e9, rise_units=100.0, decay_per_unit=1e-5)
+        assert p.flops_at(2000) < base.flops_at(2000)
+
+    def test_not_monotone(self):
+        # The whole point of this profile: simple shape assumptions fail.
+        p = self.make()
+        rates = [p.flops_at(d) for d in range(200, 3000, 50)]
+        rises = any(b > a for a, b in zip(rates, rates[1:]))
+        falls = any(b < a for a, b in zip(rates, rates[1:]))
+        assert rises and falls
+
+    def test_rejects_bad_humps(self):
+        with pytest.raises(PlatformError):
+            WigglyProfile(peak_flops=1.0, rise_units=1.0, humps=[(0.0, 0.1, 1.0)])
+
+    @given(_SIZES)
+    @settings(max_examples=50)
+    def test_positive_property(self, d):
+        assert self.make().flops_at(d) > 0

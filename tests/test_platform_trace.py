@@ -1,0 +1,104 @@
+"""Tests for execution traces and their Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import PlatformError
+from repro.platform.trace import EventKind, TraceEvent, TraceRecorder
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        e = TraceEvent(0, EventKind.COMPUTE, 1.0, 3.5)
+        assert e.duration == 2.5
+
+    def test_marker_zero_duration(self):
+        e = TraceEvent(0, EventKind.MARKER, 2.0, 2.0, "rebalance")
+        assert e.duration == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            TraceEvent(-1, EventKind.COMPUTE, 0.0, 1.0)
+        with pytest.raises(PlatformError):
+            TraceEvent(0, EventKind.COMPUTE, 2.0, 1.0)
+        with pytest.raises(PlatformError):
+            TraceEvent(0, EventKind.COMPUTE, -1.0, 1.0)
+
+
+class TestTraceRecorder:
+    def _trace(self) -> TraceRecorder:
+        t = TraceRecorder()
+        t.compute(0, 0.0, 4.0, "work")
+        t.comm(0, 4.0, 5.0, "gather")
+        t.compute(1, 0.0, 2.0, "work")
+        t.comm(1, 2.0, 5.0, "gather")
+        t.marker(1, 2.0, "rebalance")
+        return t
+
+    def test_span(self):
+        assert self._trace().span == (0.0, 5.0)
+
+    def test_empty_span_raises(self):
+        with pytest.raises(PlatformError):
+            TraceRecorder().span
+
+    def test_ranks(self):
+        assert self._trace().ranks == [0, 1]
+
+    def test_busy_fraction_all(self):
+        t = self._trace()
+        assert t.busy_fraction(0) == pytest.approx(1.0)
+        assert t.busy_fraction(1) == pytest.approx(1.0)
+
+    def test_busy_fraction_by_kind(self):
+        t = self._trace()
+        assert t.busy_fraction(0, EventKind.COMPUTE) == pytest.approx(0.8)
+        assert t.busy_fraction(1, EventKind.COMPUTE) == pytest.approx(0.4)
+        assert t.busy_fraction(1, EventKind.COMM) == pytest.approx(0.6)
+
+    def test_busy_fraction_merges_overlaps(self):
+        t = TraceRecorder()
+        t.compute(0, 0.0, 3.0)
+        t.compute(0, 2.0, 4.0)  # overlaps the first span
+        t.compute(1, 0.0, 4.0)
+        assert t.busy_fraction(0) == pytest.approx(1.0)
+
+    def test_render_contains_lanes_and_chars(self):
+        out = self._trace().render(width=40)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 lanes
+        assert "#" in lines[1] and "~" in lines[1]
+        assert "|" in lines[2]
+
+    def test_render_custom_labels(self):
+        out = self._trace().render(width=30, labels={0: "gpu", 1: "cpu"})
+        assert "gpu" in out and "cpu" in out
+
+    def test_render_width_validated(self):
+        with pytest.raises(PlatformError):
+            self._trace().render(width=5)
+
+
+class TestJacobiTraceIntegration:
+    def test_trace_recorded_by_jacobi(self):
+        from repro.apps.jacobi.distributed import run_balanced_jacobi
+        from repro.platform.presets import fig4_trio
+
+        platform = fig4_trio(noisy=False)
+        models = [PiecewiseModel() for _ in range(platform.size)]
+        balancer = LoadBalancer(partition_geometric, models, 90, threshold=0.05)
+        trace = TraceRecorder()
+        run_balanced_jacobi(
+            platform, balancer, eps=1e-10, max_iterations=6, trace=trace
+        )
+        kinds = {e.kind for e in trace.events}
+        assert EventKind.COMPUTE in kinds
+        assert EventKind.COMM in kinds
+        assert EventKind.MARKER in kinds  # the rebalance after iteration 1
+        assert trace.ranks == [0, 1, 2]
+        # Render is printable without error.
+        assert trace.render(width=60)

@@ -1,0 +1,65 @@
+"""Tests for the ASCII plotting helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FuPerModError
+from repro.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        out = ascii_plot(
+            {"linear": [(0, 0), (5, 5), (10, 10)]},
+            width=40, height=10, title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "*=linear" in lines[1]
+        # height canvas rows + legend + title + axis + x labels.
+        assert len(lines) == 10 + 4
+
+    def test_markers_assigned_in_order(self):
+        out = ascii_plot(
+            {"a": [(0, 0)], "b": [(1, 1)], "c": [(2, 2)]},
+            width=20, height=5,
+        )
+        assert "*=a" in out and "+=b" in out and "o=c" in out
+
+    def test_extreme_points_land_on_edges(self):
+        out = ascii_plot({"s": [(0, 0), (10, 10)]}, width=30, height=8)
+        rows = [line for line in out.splitlines() if "|" in line]
+        # Max y -> first canvas row; min y -> last canvas row.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_axis_labels_present(self):
+        out = ascii_plot(
+            {"s": [(2.0, 1.0), (8.0, 3.0)]},
+            width=30, height=6, x_label="size", y_label="GFLOPS",
+        )
+        assert "size" in out
+        assert "GFLOPS" in out
+        assert "2" in out and "8" in out  # x range
+        assert "1" in out and "3" in out  # y range
+
+    def test_flat_series_ok(self):
+        out = ascii_plot({"flat": [(0, 5.0), (10, 5.0)]}, width=20, height=5)
+        assert "*" in out
+
+    def test_single_point_ok(self):
+        out = ascii_plot({"dot": [(3.0, 7.0)]}, width=20, height=5)
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(FuPerModError):
+            ascii_plot({}, width=30, height=6)
+        with pytest.raises(FuPerModError):
+            ascii_plot({"s": []}, width=30, height=6)
+        with pytest.raises(FuPerModError):
+            ascii_plot({"s": [(0, 0)]}, width=5, height=6)
+        with pytest.raises(FuPerModError):
+            ascii_plot(
+                {str(i): [(0, 0)] for i in range(20)}, width=30, height=6
+            )

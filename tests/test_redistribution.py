@@ -1,0 +1,135 @@
+"""Tests for contiguous redistribution plans."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition.redistribution import (
+    Transfer,
+    apply_plan_cost,
+    moved_units,
+    redistribution_plan,
+)
+from repro.errors import PartitionError
+from repro.mpi.comm import SimCommunicator
+from repro.mpi.network import LinkModel, Network
+
+
+class TestTransfer:
+    def test_fields(self):
+        t = Transfer(source=0, dest=1, units=5)
+        assert t.units == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(source=-1, dest=0, units=1),
+            dict(source=0, dest=0, units=1),
+            dict(source=0, dest=1, units=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PartitionError):
+            Transfer(**kwargs)
+
+
+class TestRedistributionPlan:
+    def test_identical_layouts_empty_plan(self):
+        assert redistribution_plan([3, 4, 5], [3, 4, 5]) == []
+
+    def test_simple_shift(self):
+        # [10, 0] -> [4, 6]: rows 4..9 move from rank 0 to rank 1.
+        plan = redistribution_plan([10, 0], [4, 6])
+        assert plan == [Transfer(source=0, dest=1, units=6)]
+
+    def test_boundary_move_between_neighbours(self):
+        plan = redistribution_plan([5, 5], [7, 3])
+        assert plan == [Transfer(source=1, dest=0, units=2)]
+
+    def test_three_way_cascade(self):
+        # [9, 0, 0] -> [3, 3, 3]: rank 0 feeds both others.
+        plan = redistribution_plan([9, 0, 0], [3, 3, 3])
+        assert Transfer(source=0, dest=1, units=3) in plan
+        assert Transfer(source=0, dest=2, units=3) in plan
+        assert moved_units(plan) == 6
+
+    def test_rank_count_mismatch(self):
+        with pytest.raises(PartitionError):
+            redistribution_plan([1, 2], [3])
+
+    def test_total_mismatch(self):
+        with pytest.raises(PartitionError):
+            redistribution_plan([1, 2], [2, 2])
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(PartitionError):
+            redistribution_plan([-1, 2], [1, 0])
+
+    def test_apply_plan_cost(self):
+        link = LinkModel(1e-3, 1e6)
+        comm = SimCommunicator(2, network=Network(inter_node=link, intra_node=link))
+        plan = redistribution_plan([10, 0], [4, 6])
+        apply_plan_cost(comm, plan, bytes_per_unit=1e5)
+        # 6 units x 1e5 bytes = 6e5 bytes -> 1e-3 + 0.6 s.
+        assert comm.time(1) == pytest.approx(0.601)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=100)
+    def test_plan_conservation_property(self, old_sizes, seed):
+        """Whatever the two layouts, the plan conserves ownership exactly."""
+        import random
+
+        total = sum(old_sizes)
+        rng = random.Random(seed)
+        # Random new layout with the same total.
+        cuts = sorted(rng.randint(0, total) for _ in range(len(old_sizes) - 1))
+        new_sizes = []
+        prev = 0
+        for c in cuts:
+            new_sizes.append(c - prev)
+            prev = c
+        new_sizes.append(total - prev)
+
+        plan = redistribution_plan(old_sizes, new_sizes)
+        outflow = [0] * len(old_sizes)
+        inflow = [0] * len(old_sizes)
+        for t in plan:
+            outflow[t.source] += t.units
+            inflow[t.dest] += t.units
+        for r in range(len(old_sizes)):
+            assert old_sizes[r] - outflow[r] + inflow[r] == new_sizes[r]
+            # A rank never sends more than it had.
+            assert outflow[r] <= old_sizes[r]
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=6))
+    @settings(max_examples=60)
+    def test_unit_moves_only_if_owner_changes(self, old_sizes):
+        """Minimality: moved units equal the owner-change count exactly."""
+        total = sum(old_sizes)
+        # Reverse the layout: a deterministic, generally different one.
+        new_sizes = list(reversed(old_sizes))
+        plan = redistribution_plan(old_sizes, new_sizes)
+
+        def owner(offsets, idx):
+            for r in range(len(offsets) - 1):
+                if offsets[r] <= idx < offsets[r + 1]:
+                    return r
+            raise AssertionError("index outside layout")
+
+        def offsets(sizes):
+            out = [0]
+            for d in sizes:
+                out.append(out[-1] + d)
+            return out
+
+        old_off, new_off = offsets(old_sizes), offsets(new_sizes)
+        changed = sum(
+            1 for idx in range(total)
+            if owner(old_off, idx) != owner(new_off, idx)
+        )
+        assert moved_units(plan) == changed

@@ -1,0 +1,164 @@
+"""Tests for the registries and file persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.point import MeasurementPoint
+from repro.core.registry import (
+    available_models,
+    available_partitioners,
+    model_factory,
+    partitioner,
+    register_model,
+    register_partitioner,
+)
+from repro.errors import FuPerModError, PersistenceError
+from repro.io.files import (
+    load_distribution,
+    load_model,
+    load_points,
+    save_distribution,
+    save_points,
+)
+
+
+class TestRegistry:
+    def test_builtin_models(self):
+        assert set(available_models()) >= {"constant", "piecewise", "akima"}
+
+    def test_builtin_partitioners(self):
+        assert set(available_partitioners()) >= {"basic", "geometric", "numerical"}
+
+    def test_factories_produce_right_types(self):
+        assert isinstance(model_factory("constant")(), ConstantModel)
+        assert isinstance(model_factory("piecewise")(), PiecewiseModel)
+        assert isinstance(model_factory("akima")(), AkimaModel)
+
+    def test_unknown_model(self):
+        with pytest.raises(FuPerModError):
+            model_factory("nope")
+
+    def test_unknown_partitioner(self):
+        with pytest.raises(FuPerModError):
+            partitioner("nope")
+
+    def test_custom_registration(self):
+        register_model("custom-test-model", ConstantModel, overwrite=True)
+        assert "custom-test-model" in available_models()
+        assert model_factory("custom-test-model") is ConstantModel
+
+    def test_duplicate_registration_rejected(self):
+        register_model("dup-model", ConstantModel, overwrite=True)
+        with pytest.raises(FuPerModError):
+            register_model("dup-model", ConstantModel)
+
+    def test_partitioner_registration(self):
+        fn = partitioner("geometric")
+        register_partitioner("geo-alias", fn, overwrite=True)
+        assert partitioner("geo-alias") is fn
+
+
+class TestPointsFiles:
+    def _points(self):
+        return [
+            MeasurementPoint(d=64, t=0.0123, reps=5, ci=0.0004),
+            MeasurementPoint(d=128, t=0.024, reps=7, ci=0.0007),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "p.points"
+        save_points(path, self._points(), metadata={"device": "cpu0"})
+        points, meta = load_points(path)
+        assert points == self._points()
+        assert meta == {"device": "cpu0"}
+
+    def test_no_metadata(self, tmp_path):
+        path = tmp_path / "p.points"
+        save_points(path, self._points())
+        _points, meta = load_points(path)
+        assert meta == {}
+
+    def test_metadata_whitespace_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_points(tmp_path / "p", self._points(), metadata={"a b": "c"})
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("not a points file\n")
+        with pytest.raises(PersistenceError):
+            load_points(path)
+
+    def test_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("# fupermod-points v1\n1 2 3\n")
+        with pytest.raises(PersistenceError, match=":2"):
+            load_points(path)
+
+    def test_bad_value_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("# fupermod-points v1\n-5 1.0 1 0.0\n")
+        with pytest.raises(PersistenceError, match=":2"):
+            load_points(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "p"
+        path.write_text(
+            "# fupermod-points v1\n\n# comment\n10 0.5 1 0.0  # trailing\n"
+        )
+        points, _ = load_points(path)
+        assert len(points) == 1
+        assert points[0].d == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_points(tmp_path / "nope")
+
+    def test_load_model(self, tmp_path):
+        path = tmp_path / "p.points"
+        save_points(path, self._points())
+        model = load_model(path, PiecewiseModel)
+        assert isinstance(model, PiecewiseModel)
+        assert model.count == 2
+
+
+class TestDistributionFiles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "d.dist"
+        dist = Distribution.from_sizes([400, 350, 250], [0.52, 0.51, 0.53])
+        save_distribution(path, dist)
+        loaded = load_distribution(path)
+        assert loaded.sizes == dist.sizes
+        assert loaded.times == pytest.approx(dist.times)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("junk\n")
+        with pytest.raises(PersistenceError):
+            load_distribution(path)
+
+    def test_rank_gap_rejected(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_text("# fupermod-dist v1 total=10\n0 5 0.1\n2 5 0.1\n")
+        with pytest.raises(PersistenceError, match="ranks"):
+            load_distribution(path)
+
+    def test_ranks_reordered(self, tmp_path):
+        path = tmp_path / "d"
+        path.write_text("# fupermod-dist v1 total=10\n1 7 0.1\n0 3 0.1\n")
+        loaded = load_distribution(path)
+        assert loaded.sizes == [3, 7]
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "d"
+        path.write_text("# fupermod-dist v1 total=0\n")
+        with pytest.raises(PersistenceError):
+            load_distribution(path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "d"
+        path.write_text("# fupermod-dist v1\n0 5\n")
+        with pytest.raises(PersistenceError, match=":2"):
+            load_distribution(path)

@@ -1,0 +1,103 @@
+"""Tests for the markdown reports and the CLI report command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.benchmark import PlatformBenchmark, build_full_models
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import FuPerModError
+from repro.platform.presets import fig4_trio, heterogeneous_cluster
+from repro.report import distribution_report, models_report, platform_report
+
+
+@pytest.fixture(scope="module")
+def built():
+    platform = fig4_trio(noisy=False)
+    bench = PlatformBenchmark(platform, unit_flops=1.0e6)
+    models, _ = build_full_models(bench, PiecewiseModel, [64, 256, 1024])
+    return platform, models
+
+
+class TestPlatformReport:
+    def test_lists_all_devices(self):
+        platform = heterogeneous_cluster(noisy=False)
+        out = platform_report(platform)
+        for device in platform.devices:
+            assert device.name in out
+        assert f"{platform.size} processes" in out
+
+    def test_memory_limit_shown(self):
+        from repro.platform.cluster import Node, Platform
+        from repro.platform.device import Device
+        from repro.platform.profiles import ConstantProfile
+
+        dev = Device("capped", ConstantProfile(1.0e9), memory_limit_units=50000)
+        out = platform_report(Platform([Node("n", [dev])]))
+        assert "50000" in out
+        # Devices without a hard cap show a dash.
+        assert "-" in platform_report(heterogeneous_cluster(noisy=False))
+
+    def test_markdown_table_shape(self):
+        out = platform_report(fig4_trio(noisy=False))
+        lines = out.splitlines()
+        table_lines = [line for line in lines if line.startswith("|")]
+        # Header + separator + 3 devices.
+        assert len(table_lines) == 5
+
+
+class TestModelsReport:
+    def test_speed_cells_present(self, built):
+        platform, models = built
+        out = models_report(platform, models, [64, 1024])
+        assert "64 u" in out and "1024 u" in out
+        assert "units/s" in out
+
+    def test_gflops_mode(self, built):
+        platform, models = built
+        out = models_report(
+            platform, models, [64], complexity=lambda x: 1.0e6 * x
+        )
+        assert "GFLOPS" in out
+
+    def test_validation(self, built):
+        platform, models = built
+        with pytest.raises(FuPerModError):
+            models_report(platform, models[:-1], [64])
+        with pytest.raises(FuPerModError):
+            models_report(platform, models, [])
+
+
+class TestDistributionReport:
+    def test_shares_and_makespan(self, built):
+        platform, models = built
+        dist = partition_geometric(360, models)
+        out = distribution_report(platform, dist)
+        assert "44.4%" in out
+        assert "predicted makespan" in out
+        assert "imbalance" in out
+
+    def test_size_checked(self, built):
+        platform, _models = built
+        with pytest.raises(FuPerModError):
+            distribution_report(platform, Distribution.from_sizes([1, 2]))
+
+
+class TestCliReport:
+    def test_runs_with_partitioning(self, capsys):
+        code = main(["report", "--platform", "fig4", "--sizes", "64,256",
+                     "--total", "360"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### Platform" in out
+        assert "### Modelled speeds" in out
+        assert "geometric partitioning of 360 units" in out
+
+    def test_runs_without_total(self, capsys):
+        code = main(["report", "--platform", "fig4", "--sizes", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partitioning" not in out

@@ -1,0 +1,93 @@
+"""Tests for the damped Newton system solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.newton import newton_system
+
+
+class TestNewtonSystem:
+    def test_linear_system(self):
+        # Solve A x = b as F(x) = A x - b.
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([5.0, 10.0])
+        res = newton_system(lambda x: a @ x - b, [0.0, 0.0])
+        assert res.converged
+        assert res.x == pytest.approx(np.linalg.solve(a, b), abs=1e-8)
+
+    def test_nonlinear_2d(self):
+        # x^2 + y^2 = 4, x - y = 0 -> x = y = sqrt(2).
+        def f(v):
+            x, y = v
+            return np.array([x * x + y * y - 4.0, x - y])
+
+        res = newton_system(f, [1.0, 0.5])
+        assert res.converged
+        assert res.x[0] == pytest.approx(np.sqrt(2.0), abs=1e-8)
+        assert res.x[1] == pytest.approx(np.sqrt(2.0), abs=1e-8)
+
+    def test_analytic_jacobian_used(self):
+        calls = {"jac": 0}
+
+        def f(v):
+            return np.array([v[0] ** 3 - 8.0])
+
+        def jac(v):
+            calls["jac"] += 1
+            return np.array([[3.0 * v[0] ** 2]])
+
+        res = newton_system(f, [1.0], jacobian=jac)
+        assert res.converged
+        assert res.x[0] == pytest.approx(2.0, abs=1e-8)
+        assert calls["jac"] > 0
+
+    def test_bounds_projection(self):
+        # Root at x = -2 is outside the box; solver must stay inside and
+        # report non-convergence.
+        res = newton_system(
+            lambda x: np.array([x[0] + 2.0]), [1.0], lower=[0.0], upper=[10.0],
+            max_iter=20,
+        )
+        assert not res.converged
+        assert res.x[0] >= 0.0
+
+    def test_already_at_root(self):
+        res = newton_system(lambda x: np.array([x[0] - 1.0]), [1.0])
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_singular_jacobian_falls_back_to_lstsq(self):
+        # F constant in one variable -> singular Jacobian; lstsq step still
+        # reduces the residual of the other equation.
+        def f(v):
+            return np.array([v[0] - 3.0, 0.0 * v[1]])
+
+        res = newton_system(f, [0.0, 0.0], max_iter=50)
+        assert res.x[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SolverError):
+            newton_system(lambda x: np.array([1.0, 2.0]), [0.0])
+
+    def test_stalls_report_not_converged(self):
+        # |x| has no root reachable by Newton from 1 with this residual:
+        # f(x) = x^2 + 1 > 0 everywhere.
+        res = newton_system(lambda x: np.array([x[0] ** 2 + 1.0]), [1.0], max_iter=30)
+        assert not res.converged
+        assert res.residual_norm >= 1.0 - 1e-9
+
+    def test_equal_time_partitioning_shape(self):
+        # The actual use case: t_i(x_i) equal, sum x = D, linear times.
+        speeds = np.array([4.0, 2.0, 1.0])
+        total = 70.0
+
+        def f(x):
+            t = x / speeds
+            return np.array([t[0] - t[2], t[1] - t[2], x.sum() - total])
+
+        res = newton_system(f, [total / 3] * 3)
+        assert res.converged
+        assert res.x == pytest.approx(np.array([40.0, 20.0, 10.0]), abs=1e-6)

@@ -1,0 +1,176 @@
+"""Tests for the 2D heat stencil application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil.distributed import run_balanced_stencil
+from repro.apps.stencil.solver import heat_step, heat_step_rows, init_grid, row_flops
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.errors import FuPerModError, PartitionError
+from repro.platform.cluster import Node, Platform
+from repro.platform.device import Device
+from repro.platform.noise import NoNoise
+from repro.platform.profiles import ConstantProfile
+
+
+class TestSolver:
+    def test_init_grid_hot_top(self):
+        grid = init_grid(5, 4, hot_value=50.0)
+        assert np.all(grid[0] == 50.0)
+        assert np.all(grid[1:] == 0.0)
+
+    def test_init_grid_validation(self):
+        with pytest.raises(FuPerModError):
+            init_grid(2, 10)
+
+    def test_boundary_rows_fixed(self):
+        grid = init_grid(6, 6)
+        out = heat_step(grid)
+        assert np.array_equal(out[0], grid[0])
+        assert np.array_equal(out[-1], grid[-1])
+
+    def test_boundary_columns_fixed(self):
+        grid = init_grid(6, 6)
+        out = heat_step(grid)
+        assert np.array_equal(out[:, 0], grid[:, 0])
+        assert np.array_equal(out[:, -1], grid[:, -1])
+
+    def test_heat_diffuses_downward(self):
+        grid = init_grid(8, 8)
+        out = heat_step(grid)
+        assert np.all(out[1, 1:-1] > 0.0)
+
+    def test_full_step_equals_row_slices(self):
+        rng = np.random.default_rng(0)
+        grid = rng.random((10, 7))
+        full = heat_step(grid)
+        pieces = np.vstack(
+            [
+                heat_step_rows(grid, 0, 4),
+                heat_step_rows(grid, 4, 3),
+                heat_step_rows(grid, 7, 3),
+            ]
+        )
+        assert np.allclose(full, pieces)
+
+    def test_zero_rows_empty(self):
+        grid = init_grid(5, 5)
+        out = heat_step_rows(grid, 2, 0)
+        assert out.shape == (0, 5)
+
+    def test_slab_bounds_checked(self):
+        grid = init_grid(5, 5)
+        with pytest.raises(FuPerModError):
+            heat_step_rows(grid, 4, 3)
+
+    def test_alpha_stability_checked(self):
+        grid = init_grid(5, 5)
+        with pytest.raises(FuPerModError):
+            heat_step_rows(grid, 1, 2, alpha=0.3)
+
+    def test_converges_to_steady_state(self):
+        grid = init_grid(8, 8)
+        for _ in range(3000):
+            grid = heat_step(grid)
+        # Steady state of the heat equation: Laplace's equation; interior
+        # values strictly between the boundary extremes, changes tiny.
+        nxt = heat_step(grid)
+        assert np.max(np.abs(nxt - grid)) < 1e-8
+        assert np.all(grid[1:-1, 1:-1] < 100.0)
+
+    def test_row_flops(self):
+        assert row_flops(100) == 600.0
+
+
+def _platform(speeds):
+    return Platform(
+        [
+            Node(f"n{i}", [Device(f"d{i}", ConstantProfile(s), noise=NoNoise())])
+            for i, s in enumerate(speeds)
+        ]
+    )
+
+
+def _balancer(size, rows, threshold=0.05):
+    models = [PiecewiseModel() for _ in range(size)]
+    return LoadBalancer(partition_geometric, models, rows, threshold=threshold)
+
+
+class TestRunBalancedStencil:
+    def test_physics_matches_serial(self):
+        platform = _platform([2.0e9, 1.0e9])
+        result = run_balanced_stencil(
+            platform, _balancer(2, 20), nx=12, eps=-1.0, max_iterations=30
+        )
+        serial = init_grid(20, 12)
+        for _ in range(30):
+            serial = heat_step(serial)
+        assert np.allclose(result.grid, serial)
+
+    def test_balances_to_speed_ratio(self):
+        platform = _platform([3.0e9, 1.0e9])
+        result = run_balanced_stencil(
+            platform, _balancer(2, 80), nx=16, eps=-1.0, max_iterations=30
+        )
+        assert result.final_sizes == [60, 20]
+
+    def test_converges_and_stops(self):
+        platform = _platform([1.0e9, 1.0e9])
+        result = run_balanced_stencil(
+            platform, _balancer(2, 16), nx=8, eps=1e-4, max_iterations=5000
+        )
+        assert result.records[-1].change <= 1e-4
+        assert len(result.records) < 5000
+
+    def test_records_consistent(self):
+        platform = _platform([2.0e9, 1.0e9, 1.0e9])
+        result = run_balanced_stencil(
+            platform, _balancer(3, 60), nx=10, eps=-1.0, max_iterations=12
+        )
+        for rec in result.records:
+            assert sum(rec.sizes) == 60
+            assert rec.makespan >= max(rec.compute_times) - 1e-12
+        assert result.total_time >= sum(r.makespan for r in result.records) - 1e-9
+
+    def test_trace_recorded(self):
+        from repro.platform.trace import EventKind, TraceRecorder
+
+        platform = _platform([2.0e9, 1.0e9])
+        trace = TraceRecorder()
+        run_balanced_stencil(
+            platform, _balancer(2, 30), nx=8, eps=-1.0, max_iterations=6,
+            trace=trace,
+        )
+        kinds = {e.kind for e in trace.events}
+        assert EventKind.COMPUTE in kinds
+        assert EventKind.COMM in kinds
+
+    def test_balancer_size_checked(self):
+        platform = _platform([1.0e9])
+        with pytest.raises(PartitionError):
+            run_balanced_stencil(platform, _balancer(2, 30), nx=8)
+
+    def test_perturbation_handled(self):
+        from repro.platform.perturbation import PerturbationSchedule, SpeedStep
+
+        platform = _platform([2.0e9, 1.0e9])
+        schedule = PerturbationSchedule([SpeedStep(0, 0.0, 0.5)])
+        result = run_balanced_stencil(
+            platform, _balancer(2, 60), nx=8, eps=-1.0, max_iterations=20,
+            perturbations=schedule,
+        )
+        # Effective speeds 1:1 -> rows even up.
+        assert abs(result.final_sizes[0] - result.final_sizes[1]) <= 4
+
+    def test_makespan_improves_after_balancing(self):
+        platform = _platform([4.0e9, 1.0e9])
+        result = run_balanced_stencil(
+            platform, _balancer(2, 100), nx=32, eps=-1.0, max_iterations=20
+        )
+        first_compute = max(result.records[0].compute_times)
+        later = [max(r.compute_times) for r in result.records[5:]]
+        assert min(later) < first_compute

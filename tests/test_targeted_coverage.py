@@ -1,0 +1,141 @@
+"""Targeted tests for less-travelled paths across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.numerical import partition_numerical
+from repro.core.point import MeasurementPoint
+from repro.io.files import load_points, save_points
+from repro.platform.presets import constant_speed_platform
+from repro.platform.trace import EventKind, TraceRecorder
+
+from tests.conftest import model_from_time_fn
+
+
+class TestPointsFileProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10**9),
+                st.floats(min_value=1e-12, max_value=1e6),
+                st.integers(min_value=1, max_value=1000),
+                st.floats(min_value=0.0, max_value=1e3),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_save_load_identity(self, raw):
+        import tempfile
+        from pathlib import Path
+
+        points = [
+            MeasurementPoint(d=d, t=t, reps=r, ci=ci) for d, t, r, ci in raw
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.points"
+            save_points(path, points)
+            loaded, _meta = load_points(path)
+        assert loaded == points
+
+
+class TestGeometricWithOtherModels:
+    def test_geometric_accepts_constant_models(self):
+        models = [
+            model_from_time_fn(ConstantModel, lambda d, s=s: d / s, [100])
+            for s in (4.0, 1.0)
+        ]
+        dist = partition_geometric(500, models)
+        assert dist.sizes == [400, 100]
+
+    def test_geometric_accepts_akima_models(self):
+        models = [
+            model_from_time_fn(AkimaModel, lambda d, s=s: d / s, [10, 100, 1000])
+            for s in (3.0, 1.0)
+        ]
+        dist = partition_geometric(4000, models)
+        assert dist.sizes == [3000, 1000]
+
+
+class TestNumericalFallbacks:
+    def test_nonmonotone_model_still_partitions(self):
+        # A pathological time function that dips: Newton may wander, but
+        # the function must still return an exact-total distribution (via
+        # scipy or the geometric fallback).
+        class DippyModel(PiecewiseModel):
+            def time(self, x):  # noqa: D102 - test double
+                base = super().time(x)
+                return base * (1.0 + 0.3 * np.sin(x / 50.0))
+
+        models = [
+            model_from_time_fn(DippyModel, lambda d: d / 10.0, [10, 100, 1000]),
+            model_from_time_fn(PiecewiseModel, lambda d: d / 5.0, [10, 100, 1000]),
+        ]
+        dist = partition_numerical(900, models)
+        assert dist.total == 900
+        assert all(p.d >= 0 for p in dist.parts)
+
+    def test_single_point_models(self):
+        models = [
+            model_from_time_fn(AkimaModel, lambda d: d / 7.0, [50]),
+            model_from_time_fn(AkimaModel, lambda d: d / 3.0, [50]),
+        ]
+        dist = partition_numerical(1000, models)
+        assert dist.total == 1000
+        assert dist.sizes[0] == pytest.approx(700, abs=5)
+
+
+class TestMatmulSimulationTrace:
+    def test_trace_spans_recorded(self):
+        from repro.apps.matmul.simulation import even_column_partition, simulate_matmul
+
+        platform = constant_speed_platform([2.0e9, 1.0e9])
+        trace = TraceRecorder()
+        result = simulate_matmul(
+            platform, even_column_partition(2, 8), b=16, trace=trace
+        )
+        kinds = {e.kind for e in trace.events}
+        assert EventKind.COMPUTE in kinds
+        assert EventKind.COMM in kinds
+        # Trace horizon matches the simulated makespan.
+        _lo, hi = trace.span
+        assert hi == pytest.approx(result.total_time, rel=0.2)
+        assert trace.render(width=40)
+
+
+class TestDistributionEdgeCases:
+    def test_from_sizes_accepts_any_sequence(self):
+        from repro.core.partition.dist import Distribution
+
+        dist = Distribution.from_sizes(tuple([1, 2, 3]))
+        assert dist.total == 6
+
+    def test_even_when_size_exceeds_total(self):
+        from repro.core.partition.dist import Distribution
+
+        dist = Distribution.even(2, 5)
+        assert dist.total == 2
+        assert sorted(dist.sizes, reverse=True)[:2] == [1, 1]
+
+
+class TestPrecisionPresets:
+    def test_thorough_used_by_benchmark(self):
+        from repro.core.benchmark import Benchmark
+        from repro.core.kernel import SimulatedKernel
+        from repro.core.precision import Precision
+        from repro.platform.device import Device
+        from repro.platform.noise import GaussianNoise
+        from repro.platform.profiles import ConstantProfile
+
+        dev = Device("d", ConstantProfile(1.0e9), noise=GaussianNoise(0.05))
+        kernel = SimulatedKernel(dev, 1.0e6, rng=np.random.default_rng(0))
+        point = Benchmark(kernel, Precision.thorough()).run(100)
+        assert point.reps >= 5
+        # Tight interval achieved or cap hit.
+        assert point.reps <= 100
