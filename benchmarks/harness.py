@@ -10,14 +10,28 @@ index.  The pattern is uniform:
   *shape* the paper reports (who wins, what converges, what collapses).
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+
+The module doubles as a CLI for throughput-regression gating::
+
+    python benchmarks/harness.py --check-regression [CURRENT] [BASELINE]
+
+compares two ``BENCH_hotpath_models.json``-style result files (defaults:
+the repo-root file against itself is a no-op; pass a fresh run as CURRENT)
+and exits non-zero when any throughput metric dropped by more than 20%.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
 
 from repro.core.partition.dist import Distribution
 from repro.platform.cluster import Platform
+
+#: Result-file keys treated as "higher is better" throughput metrics.
+THROUGHPUT_KEYS = ("scalar_pts_per_s", "batch_pts_per_s", "partitions_per_s", "speedup")
 
 
 def achieved_times(
@@ -75,3 +89,71 @@ def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> 
 def fmt(x: float, digits: int = 4) -> str:
     """Format a float for experiment tables."""
     return f"{x:.{digits}f}"
+
+
+def _throughput_metrics(results: Dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten a results tree to ``{dotted.path: value}`` throughput rows."""
+    out: Dict[str, float] = {}
+    for key, value in results.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(_throughput_metrics(value, path))
+        elif key in THROUGHPUT_KEYS and isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def check_regression(
+    current: Dict, baseline: Dict, threshold: float = 0.20
+) -> List[str]:
+    """Compare two bench result trees; report >threshold throughput drops.
+
+    Only metrics present in *both* trees are compared (a renamed or new
+    bench is not a regression).  Returns human-readable failure strings,
+    empty when everything is within the threshold.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    cur = _throughput_metrics(current)
+    base = _throughput_metrics(baseline)
+    failures: List[str] = []
+    for path, old in sorted(base.items()):
+        new = cur.get(path)
+        if new is None or old <= 0.0:
+            continue
+        drop = (old - new) / old
+        if drop > threshold:
+            failures.append(
+                f"{path}: {new:.3g} vs baseline {old:.3g} (-{100 * drop:.0f}%)"
+            )
+    return failures
+
+
+def _check_regression_cli(argv: Sequence[str]) -> int:
+    default = Path(__file__).resolve().parent.parent / "BENCH_hotpath_models.json"
+    current_path = Path(argv[0]) if len(argv) > 0 else default
+    baseline_path = Path(argv[1]) if len(argv) > 1 else default
+    for path in (current_path, baseline_path):
+        if not path.exists():
+            print(f"missing results file: {path}", file=sys.stderr)
+            return 2
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = check_regression(current, baseline)
+    if failures:
+        print("throughput regressions (>20% below baseline):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    compared = len(
+        set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
+    )
+    print(f"no throughput regressions ({compared} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    if args and args[0] == "--check-regression":
+        raise SystemExit(_check_regression_cli(args[1:]))
+    print(__doc__)

@@ -290,14 +290,19 @@ def build_full_models(
     if not sizes:
         raise BenchmarkError("sizes must be non-empty")
     models = [model_factory() for _ in range(bench.size)]
+    per_rank: List[List[MeasurementPoint]] = [[] for _ in range(bench.size)]
     total_cost = 0.0
     for d in sizes:
         if synchronised:
             points = bench.measure_group([d] * bench.size)
         else:
             points = [bench.measure(r, d) for r in range(bench.size)]
-        for model, point in zip(models, points):
+        for rank, point in enumerate(points):
             if point is not None:
-                model.update(point)
+                per_rank[rank].append(point)
                 total_cost += point.benchmark_cost
+    # Bulk ingest after the sweep: one deferred fit per model instead of
+    # one per (rank, size) measurement.
+    for model, collected in zip(models, per_rank):
+        model.update_many(collected)
     return models, total_cost

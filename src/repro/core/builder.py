@@ -99,11 +99,10 @@ def build_adaptive_model(
     skeleton[0], skeleton[-1] = lo, hi
 
     model = model_factory()
-    total_cost = 0.0
-    for d in skeleton:
-        point = measure(d)
-        model.update(point)
-        total_cost += point.benchmark_cost
+    skeleton_points = [measure(d) for d in skeleton]
+    total_cost = sum(p.benchmark_cost for p in skeleton_points)
+    # Bulk ingest: the skeleton triggers a single (lazy) model fit.
+    model.update_many(skeleton_points)
 
     # Max-heap of intervals, prioritised by the prediction error observed
     # when their parent interval was probed -- refinement chases the places

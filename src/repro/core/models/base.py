@@ -5,12 +5,32 @@ A model accumulates :class:`~repro.core.point.MeasurementPoint` objects (via
 *time function* ``t(x)`` of its process (the paper's ``fupermod_model.t``).
 The *speed* in computation units per second is derived as ``x / t(x)``, and
 in FLOP/s as ``complexity(x) / t(x)``.
+
+Two mechanisms keep the hot paths fast:
+
+* **Lazy rebuilds.**  :meth:`update` and :meth:`update_many` only record
+  points and mark the model dirty; the (possibly expensive) fit runs once,
+  on the first evaluation after the last ingest (:meth:`time`,
+  :meth:`time_batch`, :attr:`is_ready`, or any fitted property).  Bulk
+  ingestion of ``n`` points therefore costs one rebuild instead of ``n``.
+  A corollary: data that cannot be fitted (e.g. a non-increasing linear
+  regression) raises :class:`~repro.errors.ModelError` at the first
+  evaluation, not inside ``update``.
+* **Batch evaluation.**  :meth:`time_batch` predicts a whole array of
+  sizes in one call; subclasses override :meth:`_time_batch_impl` with
+  true vectorized kernels (``searchsorted`` + Horner instead of a Python
+  ``bisect`` per point).  :meth:`allocation_batch` inverts the time
+  function for a batch of time levels -- the inner operation of the
+  geometrical partitioning algorithm -- with a vectorized bisection that
+  subclasses may replace with closed forms.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.point import MeasurementPoint
 from repro.errors import ModelError
@@ -21,6 +41,7 @@ class PerformanceModel(abc.ABC):
 
     def __init__(self) -> None:
         self._points: List[MeasurementPoint] = []
+        self._dirty = False
 
     @property
     def points(self) -> Sequence[MeasurementPoint]:
@@ -34,30 +55,45 @@ class PerformanceModel(abc.ABC):
 
     @property
     def is_ready(self) -> bool:
-        """Whether the model has enough points to make predictions."""
-        return self.count >= self.min_points
+        """Whether the model has enough points to make predictions.
+
+        Resolves a pending lazy rebuild, so a ``True`` answer means
+        :meth:`time` will not fail for lack of a fit (it may still raise if
+        the accumulated data cannot be fitted at all).
+        """
+        if self.count < self.min_points:
+            return False
+        self._ensure_built()
+        return True
 
     #: Minimum number of points before :meth:`time` may be called.
     min_points: int = 1
 
-    def update(self, point: MeasurementPoint) -> None:
-        """Add an experimental point and refresh the approximation."""
+    @staticmethod
+    def _validate_point(point: MeasurementPoint) -> None:
         if point.d <= 0:
             raise ModelError(f"model points need positive size, got {point.d}")
         if point.t <= 0.0:
             raise ModelError(f"model points need positive time, got {point.t}")
+
+    def update(self, point: MeasurementPoint) -> None:
+        """Add an experimental point; the fit is refreshed lazily."""
+        self._validate_point(point)
         self._points.append(point)
-        self._rebuild()
+        self._dirty = True
 
     def update_many(self, points: Sequence[MeasurementPoint]) -> None:
-        """Add several points (rebuilding once at the end)."""
+        """Add several points in one go (single deferred rebuild)."""
         for point in points:
-            if point.d <= 0:
-                raise ModelError(f"model points need positive size, got {point.d}")
-            if point.t <= 0.0:
-                raise ModelError(f"model points need positive time, got {point.t}")
-            self._points.append(point)
-        self._rebuild()
+            self._validate_point(point)
+        self._points.extend(points)
+        self._dirty = True
+
+    def _ensure_built(self) -> None:
+        """Run the deferred :meth:`_rebuild` if new points arrived."""
+        if self._dirty:
+            self._rebuild()
+            self._dirty = False
 
     @abc.abstractmethod
     def _rebuild(self) -> None:
@@ -66,6 +102,94 @@ class PerformanceModel(abc.ABC):
     @abc.abstractmethod
     def time(self, x: float) -> float:
         """Predicted execution time (seconds) at problem size ``x`` units."""
+
+    def time_batch(self, sizes) -> np.ndarray:
+        """Predicted times for a whole array of problem sizes at once.
+
+        Semantically identical to ``[self.time(x) for x in sizes]`` but
+        vectorized: one call amortises the fit lookup over the batch, and
+        subclasses evaluate with numpy kernels.  Negative sizes raise
+        :class:`~repro.errors.ModelError`, zero sizes predict ``0.0``.
+        """
+        self._require_ready()
+        xs = np.atleast_1d(np.asarray(sizes, dtype=float))
+        if xs.size and float(xs.min()) < 0.0:
+            raise ModelError(f"size must be non-negative, got {float(xs.min())}")
+        return self._time_batch_impl(xs)
+
+    def _time_batch_impl(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized prediction kernel; input is validated and 1-D.
+
+        The fallback loops over scalar :meth:`time`; subclasses override
+        with true array code.
+        """
+        return np.fromiter(
+            (self.time(float(x)) for x in xs), dtype=float, count=xs.size
+        )
+
+    def allocation_batch(
+        self,
+        levels,
+        cap: float,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
+        """Sizes at which the time function reaches each of ``levels``.
+
+        The partitioner batching contract: for every time level ``T`` in
+        ``levels``, find ``x`` with ``time(x) = T``, clamped to
+        ``[0, cap]`` (no process can receive more than the whole problem).
+        Non-positive levels map to 0; levels at or above ``time(cap)`` map
+        to ``cap``.  ``lo``/``hi`` optionally narrow the search bracket per
+        level (partitioners cache the brackets across bisection steps).
+
+        The generic implementation is a vectorized bisection driven by
+        :meth:`time_batch`; subclasses with invertible forms (constant,
+        linear, piecewise) override it with closed-form inversions.
+        """
+        self._require_ready()
+        levels = np.atleast_1d(np.asarray(levels, dtype=float))
+        cap = float(cap)
+        out = np.zeros(levels.shape)
+        if cap <= 0.0:
+            return out
+        t_cap = self.time(cap)
+        at_cap = levels >= t_cap
+        out[at_cap] = cap
+        open_mask = (levels > 0.0) & ~at_cap
+        if not np.any(open_mask):
+            return out
+        tgt = levels[open_mask]
+        blo = np.zeros(tgt.shape) if lo is None else np.clip(
+            np.broadcast_to(np.asarray(lo, dtype=float), levels.shape)[open_mask],
+            0.0,
+            cap,
+        ).copy()
+        bhi = np.full(tgt.shape, cap) if hi is None else np.clip(
+            np.broadcast_to(np.asarray(hi, dtype=float), levels.shape)[open_mask],
+            0.0,
+            cap,
+        ).copy()
+        bad = blo > bhi
+        if np.any(bad):
+            blo[bad] = 0.0
+            bhi[bad] = cap
+        # Guard cached brackets that drifted off the root.
+        t_lo = self._time_batch_impl(blo)
+        t_hi = self._time_batch_impl(bhi)
+        blo[t_lo > tgt] = 0.0
+        bhi[t_hi < tgt] = cap
+        width_tol = tol * max(1.0, cap)
+        for _ in range(200):
+            if float(np.max(bhi - blo)) <= width_tol:
+                break
+            mid = 0.5 * (blo + bhi)
+            below = self._time_batch_impl(mid) < tgt
+            blo = np.where(below, mid, blo)
+            bhi = np.where(below, bhi, mid)
+        out[open_mask] = 0.5 * (blo + bhi)
+        return out
 
     def speed(self, x: float) -> float:
         """Predicted speed in computation units per second at size ``x``."""

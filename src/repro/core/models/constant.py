@@ -9,6 +9,10 @@ actually spent measuring it.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.core.models.base import PerformanceModel
 from repro.errors import ModelError
 
@@ -40,6 +44,22 @@ class ConstantModel(PerformanceModel):
         if x < 0.0:
             raise ModelError(f"size must be non-negative, got {x}")
         return x / self._speed
+
+    def _time_batch_impl(self, xs: np.ndarray) -> np.ndarray:
+        return xs / self._speed
+
+    def allocation_batch(
+        self,
+        levels,
+        cap: float,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
+        # Closed form: t(x) = x / s  =>  x = T s, clamped to [0, cap].
+        self._require_ready()
+        levels = np.atleast_1d(np.asarray(levels, dtype=float))
+        return np.clip(levels * self._speed, 0.0, float(cap))
 
     def speed(self, x: float) -> float:
         self._require_ready()

@@ -15,6 +15,8 @@ startup time is unphysical and would break partitioning).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.models.base import PerformanceModel
@@ -69,6 +71,26 @@ class LinearModel(PerformanceModel):
         if x == 0.0:
             return 0.0
         return self._a + self._b * x
+
+    def _time_batch_impl(self, xs: np.ndarray) -> np.ndarray:
+        return np.where(xs == 0.0, 0.0, self._a + self._b * xs)
+
+    def allocation_batch(
+        self,
+        levels,
+        cap: float,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
+        # Closed form: t(x) = a + b x  =>  x = (T - a) / b, clamped.
+        self._require_ready()
+        levels = np.atleast_1d(np.asarray(levels, dtype=float))
+        cap = float(cap)
+        x = np.clip((levels - self._a) / self._b, 0.0, cap)
+        # When b is vanishingly small the division cancels badly; pin the
+        # contract's boundary cases explicitly.
+        return np.where(levels >= self._a + self._b * cap, cap, x)
 
     def time_derivative(self, x: float) -> float:
         """Constant slope ``b`` (used by the numerical partitioner)."""

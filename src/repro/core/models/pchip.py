@@ -17,6 +17,8 @@ non-decreasing regardless of the noise.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.models.base import PerformanceModel
 from repro.errors import ModelError
 from repro.interp.isotonic import isotonic_increasing
@@ -74,6 +76,13 @@ class PchipModel(PerformanceModel):
         if x > self._x_max:
             return self._t_max + self._right_slope * (x - self._x_max)
         return max(self._spline(x), 1e-15)
+
+    def _time_batch_impl(self, xs: np.ndarray) -> np.ndarray:
+        assert self._spline is not None
+        beyond = xs > self._x_max
+        out = np.maximum(self._spline.evaluate_batch(np.where(beyond, self._x_max, xs)), 1e-15)
+        out = np.where(beyond, self._t_max + self._right_slope * (xs - self._x_max), out)
+        return np.where(xs == 0.0, 0.0, out)
 
     def time_derivative(self, x: float) -> float:
         """Derivative ``dt/dx`` -- continuous, used by the Newton solver."""

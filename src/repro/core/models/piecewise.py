@@ -18,7 +18,9 @@ converge.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.models.base import PerformanceModel
 from repro.errors import ModelError
@@ -36,6 +38,7 @@ class PiecewiseModel(PerformanceModel):
         self._speed_interp: PiecewiseLinear | None = None
         self._x_min: float = 0.0
         self._x_max: float = 0.0
+        self._knot_times: Optional[np.ndarray] = None
 
     def _rebuild(self) -> None:
         speed_points: List[Tuple[float, float]] = [
@@ -45,6 +48,7 @@ class PiecewiseModel(PerformanceModel):
         self._speed_interp = PiecewiseLinear(coarsened, min_y=1e-12)
         self._x_min = coarsened[0][0]
         self._x_max = coarsened[-1][0]
+        self._knot_times = None  # inversion cache, filled on demand
 
     @property
     def coarsened_speed_points(self) -> "tuple[Tuple[float, float], ...]":
@@ -67,3 +71,67 @@ class PiecewiseModel(PerformanceModel):
         if x == 0.0:
             return 0.0
         return x / self.speed(x)
+
+    def _time_batch_impl(self, xs: np.ndarray) -> np.ndarray:
+        assert self._speed_interp is not None
+        x_eval = np.clip(xs, self._x_min, self._x_max)
+        speeds = np.maximum(self._speed_interp.evaluate_batch(x_eval), 1e-12)
+        return np.where(xs == 0.0, 0.0, xs / speeds)
+
+    def _inversion_tables(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Cached ``(knot_xs, knot_speeds, knot_times)`` of the speed knots."""
+        assert self._speed_interp is not None
+        if self._knot_times is None:
+            xk = np.asarray(self._speed_interp.xs, dtype=float)
+            sk = np.maximum(np.asarray(self._speed_interp.ys, dtype=float), 1e-12)
+            self._knot_xs = xk
+            self._knot_speeds = sk
+            self._knot_times = xk / sk
+        return self._knot_xs, self._knot_speeds, self._knot_times
+
+    def allocation_batch(
+        self,
+        levels,
+        cap: float,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+        tol: float = 1e-9,
+    ) -> np.ndarray:
+        """Closed-form inversion of the coarsened piecewise time function.
+
+        The speed is linear on each knot interval, so ``t(x) = T`` solves
+        to ``x = T (s_k - m_k x_k) / (1 - T m_k)`` within the interval, and
+        to ``x = T s`` in the constant-speed extensions.  The FPM shape
+        restriction makes the knot times strictly increasing, so interval
+        lookup is one ``searchsorted``.
+        """
+        self._require_ready()
+        levels = np.atleast_1d(np.asarray(levels, dtype=float))
+        cap = float(cap)
+        xk, sk, tk = self._inversion_tables()
+        n = xk.size
+        if n == 1:
+            return np.clip(levels * sk[0], 0.0, cap)
+        # Interval index: -1 left of the first knot, n-1 right of the last.
+        j = np.searchsorted(tk, levels, side="right") - 1
+        left = j < 0
+        right = j >= n - 1
+        inner = ~(left | right)
+        x = np.empty(levels.shape)
+        # Constant-speed extensions on both sides.
+        x[left] = levels[left] * sk[0]
+        x[right] = levels[right] * sk[-1]
+        if np.any(inner):
+            ji = j[inner]
+            t = levels[inner]
+            mk = (sk[ji + 1] - sk[ji]) / (xk[ji + 1] - xk[ji])
+            denom = 1.0 - t * mk
+            # t strictly increasing on the interval => denominator > 0 at
+            # the root; guard float dust by falling back to the right knot.
+            xi = np.where(
+                denom > 1e-300,
+                t * (sk[ji] - mk * xk[ji]) / np.where(denom > 1e-300, denom, 1.0),
+                xk[ji + 1],
+            )
+            x[inner] = np.clip(xi, xk[ji], xk[ji + 1])
+        return np.clip(x, 0.0, cap)

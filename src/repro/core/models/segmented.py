@@ -90,6 +90,7 @@ class SegmentedLinearModel(PerformanceModel):
         if n == 1:
             # Pure bandwidth line through the origin, like LinearModel.
             self._segments = [Segment(0.0, float("inf"), 0.0, ts[0] / xs[0])]
+            self._refresh_segment_arrays()
             return
 
         # sse[i][j]: fit error of one line over points i..j (inclusive).
@@ -153,6 +154,13 @@ class SegmentedLinearModel(PerformanceModel):
             hi = float("inf") if idx == len(runs) - 1 else 0.5 * (xs[j] + xs[j + 1])
             segments.append(Segment(lo, hi, a, b))
         self._segments = segments
+        self._refresh_segment_arrays()
+
+    def _refresh_segment_arrays(self) -> None:
+        """Per-regime coefficient arrays for vectorized evaluation."""
+        self._seg_lo = np.asarray([s.x_lo for s in self._segments])
+        self._seg_a = np.asarray([s.a for s in self._segments])
+        self._seg_b = np.asarray([s.b for s in self._segments])
 
     @property
     def segments(self) -> List[Segment]:
@@ -173,6 +181,16 @@ class SegmentedLinearModel(PerformanceModel):
         if x == 0.0:
             return 0.0
         return max(self._segment_at(x).time(x), 1e-15)
+
+    def _time_batch_impl(self, xs: np.ndarray) -> np.ndarray:
+        # Regimes are contiguous, so the active one is a searchsorted away.
+        i = np.clip(
+            np.searchsorted(self._seg_lo, xs, side="right") - 1,
+            0,
+            len(self._segments) - 1,
+        )
+        t = np.maximum(self._seg_a[i] + self._seg_b[i] * xs, 1e-15)
+        return np.where(xs == 0.0, 0.0, t)
 
     def time_derivative(self, x: float) -> float:
         """Slope of the active regime (piecewise constant)."""

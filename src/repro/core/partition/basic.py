@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.models.base import PerformanceModel
+from repro.core.partition.batch import model_times
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.errors import PartitionError
 
@@ -40,15 +43,18 @@ def partition_constant(
     if total == 0:
         return Distribution(Part(0, 0.0) for _ in range(size))
     probe = max(total / size, 1.0)
-    speeds = []
-    for model in models:
-        s = model.speed(probe)
-        if s <= 0.0:
-            raise PartitionError(f"model {model!r} predicts non-positive speed {s}")
-        speeds.append(s)
-    total_speed = sum(speeds)
-    shares = [total * s / total_speed for s in speeds]
+    # One batched probe evaluation covers every model's constant speed.
+    probe_times = model_times(models, [probe] * size)
+    if np.any(probe_times <= 0.0):
+        rank = int(np.argmax(probe_times <= 0.0))
+        raise PartitionError(
+            f"model {models[rank]!r} predicts non-positive speed at size {probe}"
+        )
+    speeds = probe / probe_times
+    total_speed = float(np.sum(speeds))
+    shares = [total * float(s) / total_speed for s in speeds]
     sizes = round_preserving_sum(shares, total)
+    times = model_times(models, [float(d) for d in sizes])
     return Distribution(
-        Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)
+        Part(d, float(times[i]) if d > 0 else 0.0) for i, d in enumerate(sizes)
     )

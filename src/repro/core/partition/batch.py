@@ -1,0 +1,80 @@
+"""Batched model evaluation helpers shared by the partitioners.
+
+The partitioning algorithms repeatedly evaluate *p* per-process time
+functions.  These helpers funnel those evaluations through
+:meth:`~repro.core.models.base.PerformanceModel.time_batch` so each model
+is entered once per step with an array, instead of once per point:
+
+* :func:`model_times` -- ``times[i] = models[i].time(sizes[i])`` with
+  evaluations grouped per distinct model instance (hierarchical setups
+  share one aggregate model across several ranks, which then costs a
+  single vectorized call);
+* :func:`allocations_at_levels` -- the inner operation of the geometrical
+  algorithm: every model's allocation at every probed time level, with
+  optional per-model bracket caching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.models.base import PerformanceModel
+
+
+def model_times(
+    models: Sequence[PerformanceModel], sizes: Sequence[float]
+) -> np.ndarray:
+    """Evaluate ``models[i].time(sizes[i])`` for all ``i`` in batches.
+
+    Sizes are clamped at zero (solver iterates may step slightly
+    negative).  Evaluations are grouped by model instance, so ranks that
+    share a model contribute one ``time_batch`` call, not one ``time``
+    call each.
+    """
+    if len(models) != len(sizes):
+        raise ValueError(f"{len(models)} models for {len(sizes)} sizes")
+    xs = np.maximum(np.asarray(sizes, dtype=float), 0.0)
+    out = np.empty(xs.shape)
+    groups: dict = {}
+    for i, model in enumerate(models):
+        groups.setdefault(id(model), (model, []))[1].append(i)
+    for model, indices in groups.values():
+        if len(indices) == 1:
+            out[indices[0]] = model.time(float(xs[indices[0]]))
+        else:
+            idx = np.asarray(indices)
+            out[idx] = model.time_batch(xs[idx])
+    return out
+
+
+def allocations_at_levels(
+    models: Sequence[PerformanceModel],
+    levels: np.ndarray,
+    cap: float,
+    lo: Optional[np.ndarray] = None,
+    hi: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Allocation of every model at every time level, as a (p, m) array.
+
+    ``allocations[i, j]`` is the size at which ``models[i]``'s time
+    function reaches ``levels[j]``, clamped to ``[0, cap]``.  ``lo`` and
+    ``hi`` (per-model scalars, shape ``(p,)``) optionally bound the search
+    bracket; the geometrical partitioner feeds back the allocations found
+    at the bracketing levels of the previous step, which bound every
+    interior allocation by monotonicity.
+    """
+    levels = np.atleast_1d(np.asarray(levels, dtype=float))
+    out = np.empty((len(models), levels.size))
+    for i, model in enumerate(models):
+        out[i] = model.allocation_batch(
+            levels,
+            cap,
+            lo=None if lo is None else lo[i],
+            hi=None if hi is None else hi[i],
+        )
+    return out
+
+
+__all__ = ["model_times", "allocations_at_levels"]

@@ -109,6 +109,11 @@ class DynamicPartitioner:
         Ranks whose current share is zero are still probed at one unit when
         their model has no points yet, so every model stays usable by the
         partitioning algorithm.
+
+        Model updates are O(1) record-keeping: the refit is deferred until
+        the partitioning algorithm evaluates the model, so each iteration
+        pays exactly one (lazy) rebuild per touched model no matter how
+        many points it contributed.
         """
         sizes: List[Optional[int]] = []
         for rank, part in enumerate(self.dist.parts):
@@ -220,6 +225,9 @@ class LoadBalancer:
         Returns:
             The distribution the *next* iteration should use (unchanged if
             the observed imbalance is within the threshold).
+
+        Feeding an observation is O(1); the models refit lazily, when (and
+        only when) a rebalance actually evaluates them.
         """
         if len(observed_times) != self.dist.size:
             raise PartitionError(

@@ -17,6 +17,15 @@ algorithm therefore bisects on the common time level ``T = 1/k``:
 Convergence is guaranteed by the FPM shape restrictions, which the
 piecewise model enforces by coarsening: each time function is strictly
 increasing, so each ``x_i(T)`` is monotone in ``T``.
+
+The hot path is batched.  Each step probes ``probes`` interior levels at
+once (multi-section: the bracket shrinks by ``probes + 1`` per step instead
+of 2), and every model inverts the whole batch in a single
+:meth:`~repro.core.models.base.PerformanceModel.allocation_batch` call.
+The allocations found at the bracketing levels are carried to the next
+step: by monotonicity of ``x_i(T)`` they bound every interior allocation,
+so each model's inner search starts from an already tight bracket instead
+of ``[0, D]``.
 """
 
 from __future__ import annotations
@@ -24,15 +33,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.models.base import PerformanceModel
+from repro.core.partition.batch import allocations_at_levels
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.errors import PartitionError
-from repro.solver.bisect import bisect_monotone_inverse, bisect_root
 
 
 @dataclass(frozen=True)
 class BisectionStep:
-    """One bisection step of the geometrical algorithm.
+    """One probed level of the geometrical algorithm.
 
     In the paper's picture (Fig. 3) each step is a *line through the
     origin* of the (size, speed) plane; its slope is ``1 / level`` because
@@ -52,29 +63,13 @@ class BisectionStep:
     excess: float
 
 
-def _allocation_at(model: PerformanceModel, level: float, total: int) -> float:
-    """Size at which the model's time function reaches ``level``.
-
-    Clamped to ``[0, total]``: no process can be assigned more than the
-    whole problem.
-    """
-    if level <= 0.0:
-        return 0.0
-    if model.time(total) <= level:
-        return float(total)
-    # Sub-unit precision is enough: allocations are rounded to integers.
-    x = bisect_monotone_inverse(
-        model.time, level, 0.0, float(total), tol=1e-9, expand=False
-    )
-    return min(max(x, 0.0), float(total))
-
-
 def partition_geometric(
     total: int,
     models: Sequence[PerformanceModel],
     tol: float = 1e-10,
     max_iter: int = 200,
     trace: Optional[List[BisectionStep]] = None,
+    probes: int = 8,
 ) -> Distribution:
     """Partition ``total`` units by bisection on the equal-time level.
 
@@ -87,6 +82,8 @@ def partition_geometric(
         max_iter: maximum bisection steps.
         trace: optional list; when given, every probed level is appended as
             a :class:`BisectionStep` (the "lines" of the paper's Fig. 3).
+        probes: interior levels probed per step; each step shrinks the
+            bracket by ``probes + 1``.
 
     Returns:
         A :class:`Distribution` summing exactly to ``total``.
@@ -95,6 +92,8 @@ def partition_geometric(
         raise PartitionError(f"total must be non-negative, got {total}")
     if not models:
         raise PartitionError("need at least one model")
+    if probes < 1:
+        raise PartitionError(f"probes must be >= 1, got {probes}")
     size = len(models)
     if total == 0:
         return Distribution(Part(0, 0.0) for _ in range(size))
@@ -108,24 +107,59 @@ def partition_geometric(
     if t_hi <= 0.0:
         raise PartitionError("models predict non-positive time for the total size")
 
-    def excess(level: float) -> float:
-        allocations = [_allocation_at(m, level, total) for m in models]
-        residual = sum(allocations) - float(total)
+    cap = float(total)
+
+    def record(level: float, allocations: np.ndarray, residual: float) -> None:
         if trace is not None and level > 0.0:
             trace.append(
                 BisectionStep(
                     level=level,
                     slope=1.0 / level,
-                    allocations=allocations,
+                    allocations=[float(a) for a in allocations],
                     excess=residual,
                 )
             )
-        return residual
 
-    # excess(0) = -D < 0; excess(t_hi) >= 0 because at t_hi the fastest
-    # process alone reaches D.
-    level = bisect_root(excess, 0.0, t_hi, tol=tol, max_iter=max_iter)
-    shares: List[float] = [_allocation_at(m, level, total) for m in models]
+    # Invariant: excess(lo) < 0 <= excess(hi).  excess(0) = -D, and at
+    # t_hi the fastest process alone reaches D.  alloc_lo/alloc_hi are the
+    # per-model allocations at the bracketing levels; they bound every
+    # allocation probed inside the bracket (x_i(T) is monotone in T).
+    lo, hi = 0.0, t_hi
+    alloc_lo = np.zeros(size)
+    alloc_hi = np.full(size, cap)
+    level: Optional[float] = None
+    exact: Optional[np.ndarray] = None
+    fractions = np.arange(1, probes + 1) / (probes + 1.0)
+    for _ in range(max_iter):
+        if hi - lo <= tol * max(1.0, abs(lo), abs(hi)):
+            break
+        levels = lo + (hi - lo) * fractions
+        allocs = allocations_at_levels(models, levels, cap, alloc_lo, alloc_hi)
+        residuals = allocs.sum(axis=0) - cap
+        for j in range(levels.size):
+            record(float(levels[j]), allocs[:, j], float(residuals[j]))
+        hit = np.flatnonzero(residuals == 0.0)
+        if hit.size:
+            level = float(levels[hit[0]])
+            exact = allocs[:, hit[0]]
+            break
+        j = int(np.searchsorted(residuals > 0.0, True))
+        if j < levels.size:
+            hi = float(levels[j])
+            alloc_hi = allocs[:, j]
+        if j > 0:
+            lo = float(levels[j - 1])
+            alloc_lo = allocs[:, j - 1]
+
+    if level is None:
+        level = 0.5 * (lo + hi)
+        exact = allocations_at_levels(
+            models, np.asarray([level]), cap, alloc_lo, alloc_hi
+        )[:, 0]
+    # The converged level is always the last trace entry, so the trace
+    # ends with an (essentially) zero residual.
+    record(level, exact, float(exact.sum()) - cap)
+    shares: List[float] = [float(a) for a in exact]
     sizes = round_preserving_sum(shares, total)
     return Distribution(
         Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)

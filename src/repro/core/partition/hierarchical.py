@@ -55,6 +55,7 @@ def aggregate_node_model(
     if not sample_sizes:
         raise PartitionError("need at least one sample size")
     aggregate = model_factory()
+    samples: List[MeasurementPoint] = []
     for x in sample_sizes:
         if x <= 0:
             raise PartitionError(f"sample sizes must be positive, got {x}")
@@ -64,7 +65,9 @@ def aggregate_node_model(
             raise PartitionError(
                 f"intra-node split of {x} units yields non-positive makespan"
             )
-        aggregate.update(MeasurementPoint(d=x, t=makespan, reps=1, ci=0.0))
+        samples.append(MeasurementPoint(d=x, t=makespan, reps=1, ci=0.0))
+    # One bulk ingest: the aggregate is fitted once, not per sample.
+    aggregate.update_many(samples)
     return aggregate
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from scipy import optimize as _sciopt
 
 from repro.core.models.base import PerformanceModel
+from repro.core.partition.batch import model_times
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.partition.geometric import partition_geometric
 from repro.errors import PartitionError
@@ -38,10 +39,10 @@ def _residual_factory(
     p = len(models)
 
     def residual(x: np.ndarray) -> np.ndarray:
+        # All p time evaluations of the Newton step in one batched call.
+        times = model_times(models, x)
         out = np.empty(p)
-        t_last = models[p - 1].time(max(x[p - 1], 0.0))
-        for i in range(p - 1):
-            out[i] = models[i].time(max(x[i], 0.0)) - t_last
+        out[: p - 1] = times[: p - 1] - times[p - 1]
         out[p - 1] = float(np.sum(x)) - float(total)
         return out
 
@@ -57,10 +58,14 @@ def _jacobian_factory(
 
     def jacobian(x: np.ndarray) -> np.ndarray:
         jac = np.zeros((p, p))
-        d_last = models[p - 1].time_derivative(max(x[p - 1], 0.0))  # type: ignore[attr-defined]
-        for i in range(p - 1):
-            jac[i, i] = models[i].time_derivative(max(x[i], 0.0))  # type: ignore[attr-defined]
-            jac[i, p - 1] = -d_last
+        derivs = np.asarray(
+            [
+                m.time_derivative(max(float(xi), 0.0))  # type: ignore[attr-defined]
+                for m, xi in zip(models, x)
+            ]
+        )
+        jac[: p - 1, : p - 1][np.diag_indices(p - 1)] = derivs[: p - 1]
+        jac[: p - 1, p - 1] = -derivs[p - 1]
         jac[p - 1, :] = 1.0
         return jac
 
@@ -131,6 +136,7 @@ def partition_numerical(
         # near-balanced distribution.
         return seed
     sizes = round_preserving_sum(shares, total)
+    times = model_times(models, [float(d) for d in sizes])
     return Distribution(
-        Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)
+        Part(d, float(times[i]) if d > 0 else 0.0) for i, d in enumerate(sizes)
     )

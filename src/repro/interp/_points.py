@@ -1,0 +1,47 @@
+"""Shared point preparation for the interpolants.
+
+Every interpolant accepts an iterable of ``(x, y)`` pairs, merges duplicate
+abscissae by running average, and sorts by ``x``.  Model rebuilds pass data
+that is almost always *already* sorted and duplicate-free (models merge
+duplicates themselves), so the common case gets a single-scan fast path
+that skips the dict merge and the sort entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def prepare_points(
+    points: Iterable[Tuple[float, float]],
+) -> "tuple[List[float], List[float]]":
+    """Sorted, duplicate-merged ``(xs, ys)`` lists from raw pairs.
+
+    Duplicate ``x`` values are merged by running average (repeated
+    measurements of the same size refine rather than contradict).  Input
+    that is already strictly increasing in ``x`` is passed through without
+    re-sorting or re-averaging.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    is_sorted = True
+    for x, y in points:
+        x = float(x)
+        y = float(y)
+        if xs and x <= xs[-1]:
+            is_sorted = False
+        xs.append(x)
+        ys.append(y)
+    if is_sorted:
+        return xs, ys
+    merged: dict = {}
+    counts: dict = {}
+    for x, y in zip(xs, ys):
+        if x in merged:
+            counts[x] += 1
+            merged[x] += (y - merged[x]) / counts[x]
+        else:
+            merged[x] = y
+            counts[x] = 1
+    order = sorted(merged)
+    return order, [merged[x] for x in order]

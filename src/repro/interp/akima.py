@@ -17,7 +17,10 @@ four neighbouring secant slopes,
 
 with the average of the two central secants when the denominator vanishes,
 and two quadratically extrapolated secants appended at each boundary.  Each
-interval then carries a cubic Hermite polynomial.
+interval then carries a cubic Hermite polynomial whose coefficients are
+precomputed once as arrays, so both scalar calls and
+:meth:`evaluate_batch` (one ``searchsorted`` + Horner over the whole input
+array) read the same numbers.
 """
 
 from __future__ import annotations
@@ -25,7 +28,35 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import InterpolationError
+from repro.interp._points import prepare_points
+
+
+def hermite_interval_coeffs(
+    xs: np.ndarray, ys: np.ndarray, slopes: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Per-interval cubic coefficients ``(a, b, c, d)`` for Hermite data.
+
+    The interval-``i`` polynomial is ``a + b u + c u^2 + d u^3`` with
+    ``u = x - xs[i]``.  Intervals whose width underflows when squared are
+    degraded to their secant line, mirroring the scalar guard.
+    """
+    h = np.diff(xs)
+    dy = np.diff(ys)
+    s0 = slopes[:-1]
+    s1 = slopes[1:]
+    degenerate = h * h == 0.0
+    safe_h = np.where(degenerate, 1.0, h)
+    secant = np.where(h > 0.0, dy / safe_h, 0.0)
+    a = ys[:-1]
+    b = np.where(degenerate, secant, s0)
+    c = np.where(
+        degenerate, 0.0, (3.0 * dy / safe_h - 2.0 * s0 - s1) / safe_h
+    )
+    d = np.where(degenerate, 0.0, (s0 + s1 - 2.0 * dy / safe_h) / (safe_h * safe_h))
+    return a, b, c, d
 
 
 class AkimaSpline:
@@ -33,7 +64,9 @@ class AkimaSpline:
 
     Requires at least two distinct abscissae.  With exactly two the spline
     degenerates to the straight line through them (Akima's slopes reduce to
-    the single secant).  Duplicate ``x`` values are merged by averaging.
+    the single secant).  Duplicate ``x`` values are merged by averaging;
+    input that is already sorted and duplicate-free takes a fast path that
+    skips the merge and sort.
 
     Evaluation outside the data range continues the boundary cubic
     polynomials (linear in practice, since the Hermite cubic is evaluated
@@ -46,26 +79,20 @@ class AkimaSpline:
         points: Iterable[Tuple[float, float]],
         min_y: float = 1e-12,
     ) -> None:
-        merged: dict = {}
-        counts: dict = {}
-        for x, y in points:
-            x = float(x)
-            y = float(y)
-            if x in merged:
-                counts[x] += 1
-                merged[x] += (y - merged[x]) / counts[x]
-            else:
-                merged[x] = y
-                counts[x] = 1
-        if len(merged) < 2:
+        xs, ys = prepare_points(points)
+        if len(xs) < 2:
             raise InterpolationError(
-                f"AkimaSpline requires at least 2 distinct points, got {len(merged)}"
+                f"AkimaSpline requires at least 2 distinct points, got {len(xs)}"
             )
-        xs = sorted(merged)
         self._xs: List[float] = xs
-        self._ys: List[float] = [merged[x] for x in xs]
+        self._ys: List[float] = ys
         self._min_y = float(min_y)
         self._slopes = self._compute_slopes(self._xs, self._ys)
+        self._xs_arr = np.asarray(xs, dtype=float)
+        self._ys_arr = np.asarray(ys, dtype=float)
+        self._ca, self._cb, self._cc, self._cd = hermite_interval_coeffs(
+            self._xs_arr, self._ys_arr, np.asarray(self._slopes, dtype=float)
+        )
 
     @staticmethod
     def _compute_slopes(xs: Sequence[float], ys: Sequence[float]) -> List[float]:
@@ -122,20 +149,13 @@ class AkimaSpline:
 
         The polynomial is ``a + b u + c u^2 + d u^3`` with ``u = x - x0``.
         """
-        x0, x1 = self._xs[i], self._xs[i + 1]
-        y0, y1 = self._ys[i], self._ys[i + 1]
-        s0, s1 = self._slopes[i], self._slopes[i + 1]
-        h = x1 - x0
-        if h * h == 0.0:
-            # h is so small that h^2 underflows; the cubic terms are
-            # meaningless there, so treat the interval as linear.
-            secant = (y1 - y0) / h if h > 0.0 else 0.0
-            return x0, y0, secant, 0.0, 0.0
-        a = y0
-        b = s0
-        c = (3.0 * (y1 - y0) / h - 2.0 * s0 - s1) / h
-        d = (s0 + s1 - 2.0 * (y1 - y0) / h) / (h * h)
-        return x0, a, b, c, d
+        return (
+            self._xs[i],
+            float(self._ca[i]),
+            float(self._cb[i]),
+            float(self._cc[i]),
+            float(self._cd[i]),
+        )
 
     def __call__(self, x: float) -> float:
         """Evaluate the spline at ``x``."""
@@ -144,12 +164,33 @@ class AkimaSpline:
         u = x - x0
         return max(a + u * (b + u * (c + u * d)), self._min_y)
 
+    def evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Evaluate the spline at an array of abscissae at once.
+
+        Matches scalar evaluation exactly: the same interval rule and the
+        same precomputed coefficients, applied with one ``searchsorted``.
+        """
+        xs = np.asarray(xs, dtype=float)
+        n = len(self._xs)
+        i = np.clip(np.searchsorted(self._xs_arr, xs, side="right") - 1, 0, n - 2)
+        u = xs - self._xs_arr[i]
+        y = self._ca[i] + u * (self._cb[i] + u * (self._cc[i] + u * self._cd[i]))
+        return np.maximum(y, self._min_y)
+
     def derivative(self, x: float) -> float:
         """First derivative of the spline at ``x`` (continuous everywhere)."""
         i = self._interval(x)
         x0, _a, b, c, d = self._hermite_coeffs(i)
         u = x - x0
         return b + u * (2.0 * c + 3.0 * d * u)
+
+    def derivative_batch(self, xs: np.ndarray) -> np.ndarray:
+        """First derivative at an array of abscissae at once."""
+        xs = np.asarray(xs, dtype=float)
+        n = len(self._xs)
+        i = np.clip(np.searchsorted(self._xs_arr, xs, side="right") - 1, 0, n - 2)
+        u = xs - self._xs_arr[i]
+        return self._cb[i] + u * (2.0 * self._cc[i] + 3.0 * self._cd[i] * u)
 
     def with_point(self, x: float, y: float) -> "AkimaSpline":
         """Return a new spline with one extra point added."""

@@ -26,16 +26,22 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import InterpolationError
+from repro.interp._points import prepare_points
+from repro.interp.akima import hermite_interval_coeffs
 
 
 class PchipSpline:
     """Monotonicity-preserving cubic interpolant through (x, y) points.
 
     Requires at least two distinct abscissae; duplicates are merged by
-    averaging.  Outside the data range the boundary cubic is continued
+    averaging (already-sorted duplicate-free input skips the merge/sort
+    pass).  Outside the data range the boundary cubic is continued
     (effectively linear with the boundary slope); results are clamped
-    below at ``min_y``.
+    below at ``min_y``.  Per-interval cubic coefficients are precomputed
+    as arrays, shared by scalar calls and :meth:`evaluate_batch`.
     """
 
     def __init__(
@@ -43,26 +49,20 @@ class PchipSpline:
         points: Iterable[Tuple[float, float]],
         min_y: float = 1e-12,
     ) -> None:
-        merged: dict = {}
-        counts: dict = {}
-        for x, y in points:
-            x = float(x)
-            y = float(y)
-            if x in merged:
-                counts[x] += 1
-                merged[x] += (y - merged[x]) / counts[x]
-            else:
-                merged[x] = y
-                counts[x] = 1
-        if len(merged) < 2:
+        xs, ys = prepare_points(points)
+        if len(xs) < 2:
             raise InterpolationError(
-                f"PchipSpline requires at least 2 distinct points, got {len(merged)}"
+                f"PchipSpline requires at least 2 distinct points, got {len(xs)}"
             )
-        xs = sorted(merged)
         self._xs: List[float] = xs
-        self._ys: List[float] = [merged[x] for x in xs]
+        self._ys: List[float] = ys
         self._min_y = float(min_y)
         self._slopes = self._compute_slopes(self._xs, self._ys)
+        self._xs_arr = np.asarray(xs, dtype=float)
+        self._ys_arr = np.asarray(ys, dtype=float)
+        self._ca, self._cb, self._cc, self._cd = hermite_interval_coeffs(
+            self._xs_arr, self._ys_arr, np.asarray(self._slopes, dtype=float)
+        )
 
     @staticmethod
     def _compute_slopes(xs: Sequence[float], ys: Sequence[float]) -> List[float]:
@@ -116,16 +116,13 @@ class PchipSpline:
         return bisect.bisect_right(xs, x) - 1
 
     def _coeffs(self, i: int) -> Tuple[float, float, float, float, float]:
-        x0, x1 = self._xs[i], self._xs[i + 1]
-        y0, y1 = self._ys[i], self._ys[i + 1]
-        s0, s1 = self._slopes[i], self._slopes[i + 1]
-        h = x1 - x0
-        if h * h == 0.0:
-            secant = (y1 - y0) / h if h > 0.0 else 0.0
-            return x0, y0, secant, 0.0, 0.0
-        c = (3.0 * (y1 - y0) / h - 2.0 * s0 - s1) / h
-        d = (s0 + s1 - 2.0 * (y1 - y0) / h) / (h * h)
-        return x0, y0, s0, c, d
+        return (
+            self._xs[i],
+            float(self._ca[i]),
+            float(self._cb[i]),
+            float(self._cc[i]),
+            float(self._cd[i]),
+        )
 
     def __call__(self, x: float) -> float:
         """Evaluate the interpolant at ``x``."""
@@ -133,11 +130,32 @@ class PchipSpline:
         u = x - x0
         return max(a + u * (b + u * (c + u * d)), self._min_y)
 
+    def evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Evaluate the interpolant at an array of abscissae at once.
+
+        Matches scalar evaluation exactly: same interval rule, same
+        precomputed coefficients, one ``searchsorted`` for the whole array.
+        """
+        xs = np.asarray(xs, dtype=float)
+        n = len(self._xs)
+        i = np.clip(np.searchsorted(self._xs_arr, xs, side="right") - 1, 0, n - 2)
+        u = xs - self._xs_arr[i]
+        y = self._ca[i] + u * (self._cb[i] + u * (self._cc[i] + u * self._cd[i]))
+        return np.maximum(y, self._min_y)
+
     def derivative(self, x: float) -> float:
         """First derivative at ``x`` (continuous everywhere)."""
         x0, _a, b, c, d = self._coeffs(self._interval(x))
         u = x - x0
         return b + u * (2.0 * c + 3.0 * d * u)
+
+    def derivative_batch(self, xs: np.ndarray) -> np.ndarray:
+        """First derivative at an array of abscissae at once."""
+        xs = np.asarray(xs, dtype=float)
+        n = len(self._xs)
+        i = np.clip(np.searchsorted(self._xs_arr, xs, side="right") - 1, 0, n - 2)
+        u = xs - self._xs_arr[i]
+        return self._cb[i] + u * (2.0 * self._cc[i] + 3.0 * self._cd[i] * u)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PchipSpline({len(self._xs)} points, x in [{self._xs[0]}, {self._xs[-1]}])"

@@ -92,7 +92,12 @@ def load_model(
     path: PathLike,
     model_factory: Callable[[], PerformanceModel],
 ) -> PerformanceModel:
-    """Build a fresh model from a persisted point file."""
+    """Build a fresh model from a persisted point file.
+
+    The points are ingested in one :meth:`update_many` call, so the model
+    is fitted once -- lazily, at its first evaluation -- no matter how
+    many points the file holds.
+    """
     points, _meta = load_points(path)
     model = model_factory()
     model.update_many(points)

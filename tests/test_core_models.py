@@ -143,9 +143,11 @@ class TestAkimaModel:
         assert m.time(50) == pytest.approx(0.5)
 
     def test_no_origin_anchor_needs_two_points(self):
+        # Rebuilds are lazy: the unfittable data surfaces at first evaluation.
         m = AkimaModel(include_origin=False)
+        m.update(MeasurementPoint(d=10, t=1.0))
         with pytest.raises(ModelError):
-            m.update(MeasurementPoint(d=10, t=1.0))
+            m.time(10)
 
     def test_extrapolation_increasing(self):
         m = model_from_time_fn(AkimaModel, lambda d: d / 10.0, [10, 20, 40])

@@ -33,6 +33,26 @@ class TestConstruction:
         f = AkimaSpline([(5.0, 5.0), (1.0, 1.0), (3.0, 3.0)])
         assert f.xs == (1.0, 3.0, 5.0)
 
+    def test_sorted_fast_path_matches_unsorted(self):
+        # Pre-sorted input takes a single-scan fast path that skips the
+        # merge/sort; the resulting spline must be identical to the one
+        # built from the same points in scrambled order.
+        pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0), (3.0, 5.0), (4.0, 4.0)]
+        scrambled = [pts[3], pts[0], pts[4], pts[2], pts[1]]
+        fast = AkimaSpline(pts, min_y=-100.0)
+        slow = AkimaSpline(scrambled, min_y=-100.0)
+        assert fast.xs == slow.xs
+        assert fast.ys == slow.ys
+        for x in np.linspace(-0.5, 4.5, 41):
+            assert fast(float(x)) == slow(float(x))
+            assert fast.derivative(float(x)) == slow.derivative(float(x))
+
+    def test_sorted_fast_path_rejects_nothing_valid(self):
+        # An equal-x pair disables the fast path (merge still happens).
+        f = AkimaSpline([(0.0, 0.0), (1.0, 2.0), (1.0, 4.0), (2.0, 6.0)])
+        assert f.xs == (0.0, 1.0, 2.0)
+        assert f(1.0) == pytest.approx(3.0)
+
 
 class TestInterpolation:
     def test_passes_through_knots(self):

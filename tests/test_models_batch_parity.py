@@ -1,0 +1,217 @@
+"""Scalar/batch parity of the performance-model fast paths.
+
+The vectorized hot paths (``time_batch``, ``allocation_batch``, lazy
+rebuilds) must be *semantically invisible*: for every model class the
+batched prediction has to match the scalar ``time`` loop to near machine
+precision, and the lazy-rebuild schedule must produce exactly the model an
+eager rebuild would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import (
+    AkimaModel,
+    ConstantModel,
+    LinearModel,
+    PchipModel,
+    PerformanceModel,
+    PiecewiseModel,
+    SegmentedLinearModel,
+)
+from repro.core.point import MeasurementPoint
+from repro.errors import ModelError
+
+ALL_MODEL_CLASSES = [
+    ConstantModel,
+    LinearModel,
+    PiecewiseModel,
+    AkimaModel,
+    PchipModel,
+    SegmentedLinearModel,
+]
+
+# (size, time) measurement sets: unique sizes, times that grow with size
+# often enough for every model class to accept the fit.
+_raw_points = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=50_000),
+        st.floats(min_value=1e-6, max_value=1e3),
+    ),
+    min_size=2,
+    max_size=15,
+    unique_by=lambda p: p[0],
+)
+
+
+def _build(cls, raw):
+    model = cls()
+    model.update_many([MeasurementPoint(d=d, t=t) for d, t in raw])
+    return model
+
+
+def _eval_sizes(raw, total=100_000.0):
+    """Probe sizes: the edges (0, 1, total), every knot, and off-knot picks."""
+    ds = sorted(float(d) for d, _t in raw)
+    xs = [0.0, 1.0, float(total)]
+    xs.extend(ds)
+    xs.extend(0.5 * (a + b) for a, b in zip(ds, ds[1:]))
+    xs.extend([ds[-1] * 1.5, ds[-1] * 10.0])
+    return np.asarray(xs)
+
+
+class TestTimeBatchParity:
+    @pytest.mark.parametrize("cls", ALL_MODEL_CLASSES)
+    @given(raw=_raw_points)
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_scalar_loop(self, cls, raw):
+        try:
+            model = _build(cls, raw)
+            model.is_ready
+        except ModelError:
+            # Some sets are unfittable (e.g. decreasing linear fit): the
+            # parity contract only covers models that fit at all.
+            return
+        xs = _eval_sizes(raw)
+        batch = model.time_batch(xs)
+        scalar = np.asarray([model.time(float(x)) for x in xs])
+        assert batch.shape == xs.shape
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=1e-15)
+
+    @pytest.mark.parametrize("cls", ALL_MODEL_CLASSES)
+    def test_edge_sizes_one_and_total(self, cls):
+        raw = [(10, 0.2), (100, 1.5), (1000, 20.0), (5000, 130.0)]
+        model = _build(cls, raw)
+        total = 5000.0
+        batch = model.time_batch(np.asarray([1.0, total]))
+        assert batch[0] == pytest.approx(model.time(1.0), rel=1e-12)
+        assert batch[1] == pytest.approx(model.time(total), rel=1e-12)
+
+    @pytest.mark.parametrize("cls", ALL_MODEL_CLASSES)
+    def test_batch_rejects_negative_sizes(self, cls):
+        model = _build(cls, [(10, 0.5), (100, 4.0), (1000, 50.0)])
+        with pytest.raises(ModelError):
+            model.time_batch(np.asarray([5.0, -1.0]))
+
+    def test_generic_fallback_matches_override(self):
+        # A subclass that does not override _time_batch_impl gets the
+        # scalar-loop fallback; it must agree with any vectorized override.
+        raw = [(10, 0.5), (200, 8.0), (3000, 100.0)]
+        model = _build(PiecewiseModel, raw)
+        xs = _eval_sizes(raw)
+        fallback = PerformanceModel._time_batch_impl(model, xs)
+        np.testing.assert_allclose(model.time_batch(xs), fallback, rtol=1e-12)
+
+
+class TestAllocationBatchParity:
+    @pytest.mark.parametrize("cls", [ConstantModel, LinearModel, PiecewiseModel])
+    @given(raw=_raw_points)
+    @settings(max_examples=25, deadline=None)
+    def test_closed_form_matches_generic_bisection(self, cls, raw):
+        try:
+            model = _build(cls, raw)
+            model.is_ready
+        except ModelError:
+            return
+        cap = 2.0 * max(d for d, _t in raw)
+        t_cap = model.time(cap)
+        levels = np.asarray(
+            [-1.0, 0.0, 0.1 * t_cap, 0.5 * t_cap, 0.9 * t_cap, t_cap, 2.0 * t_cap]
+        )
+        closed = model.allocation_batch(levels, cap)
+        generic = PerformanceModel.allocation_batch(model, levels, cap)
+        # Both are valid inverses of the same time function, but where the
+        # function is flat the inverse is not unique in x, and where it is
+        # steep the bisection's x-tolerance shows up in time.  Each entry
+        # must therefore agree in x space OR in time space -- or both be
+        # sub-unit allocations, which round to zero either way.
+        t_closed = model.time_batch(closed)
+        t_generic = model.time_batch(generic)
+        x_close = np.abs(closed - generic) <= 1e-6 * max(1.0, cap)
+        t_close = np.abs(t_closed - t_generic) <= 1e-9 + 1e-6 * np.abs(t_generic)
+        sub_unit = (closed < 1.0) & (generic < 1.0)
+        assert np.all(x_close | t_close | sub_unit), (
+            closed,
+            generic,
+            t_closed,
+            t_generic,
+        )
+
+    @pytest.mark.parametrize("cls", ALL_MODEL_CLASSES)
+    def test_allocation_inverts_time(self, cls):
+        raw = [(10, 0.2), (100, 1.5), (1000, 20.0), (5000, 130.0)]
+        model = _build(cls, raw)
+        cap = 5000.0
+        levels = np.asarray([0.05, 0.9, 12.0, 80.0])
+        xs = model.allocation_batch(levels, cap)
+        assert np.all(xs >= 0.0) and np.all(xs <= cap)
+        # Sub-unit allocations are excluded: analytical models with a
+        # positive intercept have no inverse below time(0+).
+        interior = (xs >= 1.0) & (xs < cap)
+        got = model.time_batch(xs[interior])
+        np.testing.assert_allclose(got, levels[interior], rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("cls", ALL_MODEL_CLASSES)
+    def test_cached_bracket_does_not_change_answer(self, cls):
+        raw = [(10, 0.2), (100, 1.5), (1000, 20.0), (5000, 130.0)]
+        model = _build(cls, raw)
+        cap = 5000.0
+        levels = np.asarray([0.9, 12.0, 80.0])
+        free = model.allocation_batch(levels, cap)
+        bracketed = model.allocation_batch(
+            levels, cap, lo=free.min() * 0.5, hi=min(free.max() * 2.0, cap)
+        )
+        np.testing.assert_allclose(bracketed, free, atol=1e-5 * cap)
+        # A stale (wrong-side) bracket must be discarded, not trusted.
+        stale = model.allocation_batch(levels, cap, lo=cap * 0.99, hi=cap)
+        np.testing.assert_allclose(stale, free, atol=1e-5 * cap)
+
+
+class TestLazyRebuildEquivalence:
+    @pytest.mark.parametrize("cls", ALL_MODEL_CLASSES)
+    @given(raw=_raw_points)
+    @settings(max_examples=20, deadline=None)
+    def test_lazy_equals_eager(self, cls, raw):
+        points = [MeasurementPoint(d=d, t=t) for d, t in raw]
+        lazy = cls()
+        eager = cls()
+        lazy.update_many(points)  # one deferred rebuild
+        try:
+            for p in points:  # rebuild forced after every point
+                eager.update(p)
+                eager.is_ready
+        except ModelError:
+            return
+        xs = _eval_sizes(raw)
+        np.testing.assert_array_equal(lazy.time_batch(xs), eager.time_batch(xs))
+
+    def test_update_after_evaluation_refits(self):
+        m = PiecewiseModel()
+        m.update(MeasurementPoint(d=10, t=0.1))
+        first = m.time(10)
+        m.update(MeasurementPoint(d=1000, t=100.0))
+        second = m.time(1000)
+        assert first == pytest.approx(0.1)
+        assert second == pytest.approx(100.0, rel=0.2)
+
+    def test_update_does_not_rebuild(self):
+        calls = {"n": 0}
+
+        class Counting(ConstantModel):
+            def _rebuild(self):
+                calls["n"] += 1
+                super()._rebuild()
+
+        m = Counting()
+        for d in range(1, 101):
+            m.update(MeasurementPoint(d=d, t=0.01 * d))
+        assert calls["n"] == 0  # ingestion alone never fits
+        m.time(10)
+        assert calls["n"] == 1  # first evaluation fits exactly once
+        m.time(20)
+        m.time_batch(np.asarray([1.0, 2.0]))
+        assert calls["n"] == 1  # clean model is never refitted

@@ -44,10 +44,12 @@ class TestLinearModel:
         assert a >= 0.0
 
     def test_non_positive_slope_rejected(self):
+        # Rebuilds are lazy: the degenerate fit surfaces at first evaluation.
         m = LinearModel()
         m.update(MeasurementPoint(d=10, t=5.0))
+        m.update(MeasurementPoint(d=1000, t=1.0))
         with pytest.raises(ModelError):
-            m.update(MeasurementPoint(d=1000, t=1.0))
+            m.time(100)
 
     def test_time_at_zero(self):
         m = model_from_time_fn(LinearModel, lambda d: 1.0 + 0.1 * d, [10, 20])

@@ -59,9 +59,11 @@ class TestPchipModel:
         assert m.time(100) > m.time(40)
 
     def test_needs_distinct_sizes_without_origin(self):
+        # Rebuilds are lazy: the unfittable data surfaces at first evaluation.
         m = PchipModel(include_origin=False)
+        m.update(MeasurementPoint(d=5, t=1.0))
         with pytest.raises(ModelError):
-            m.update(MeasurementPoint(d=5, t=1.0))
+            m.time(5)
 
     def test_registered(self):
         from repro.core.registry import available_models
