@@ -133,12 +133,22 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
     default = Path(__file__).resolve().parent.parent / "BENCH_hotpath_models.json"
     current_path = Path(argv[0]) if len(argv) > 0 else default
     baseline_path = Path(argv[1]) if len(argv) > 1 else default
+    results = []
     for path in (current_path, baseline_path):
         if not path.exists():
             print(f"missing results file: {path}", file=sys.stderr)
             return 2
-    current = json.loads(current_path.read_text(encoding="utf-8"))
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"malformed results file {path}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(data, dict):
+            print(f"malformed results file {path}: expected a JSON object, "
+                  f"got {type(data).__name__}", file=sys.stderr)
+            return 2
+        results.append(data)
+    current, baseline = results
     failures = check_regression(current, baseline)
     if failures:
         print("throughput regressions (>20% below baseline):")

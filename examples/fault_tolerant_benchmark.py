@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Fault-tolerant model construction: surviving a mid-run device crash.
+
+A benchmark sweep is the expensive step of the static workflow, and on a
+real cluster things go wrong halfway through it: a node dies, a kernel
+throws, a thermally throttled device straggles.  This example scripts
+exactly that with a seeded :class:`~repro.faults.FaultPlan` and shows the
+resilient runtime absorbing it:
+
+1. rank 2 crashes after two measurements -- it is *quarantined* (recorded
+   in the :class:`~repro.faults.ResilienceReport`) instead of aborting
+   the sweep, and the survivors finish;
+2. rank 4 runs 3x slow and rank 1 fails ~15% of kernel executions -- the
+   straggler just yields honest (slow) models, the transients are retried;
+3. every committed point is journaled to a :class:`~repro.io.SweepCheckpoint`,
+   so when the sweep is killed after the first sizes, a second process
+   resumes from the journal and produces the *same* models as an
+   uninterrupted run would;
+4. the partitioner runs over the surviving models only
+   (:func:`~repro.core.partition.partition_survivors`), giving the dead
+   rank a zero allocation and the survivors the full problem.
+
+Run:  python examples/fault_tolerant_benchmark.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import PiecewiseModel
+from repro.core.benchmark import ResilientPlatformBenchmark
+from repro.core.builder import build_resilient_models
+from repro.core.partition import partition_survivors
+from repro.core.precision import Precision
+from repro.faults import FaultPlan, RankFaults
+from repro.io import SweepCheckpoint
+from repro.platform.presets import heterogeneous_cluster
+
+SIZES = [64, 256, 1024, 4096, 16384]
+TOTAL = 100_000
+UNIT_FLOPS = 2.0 * 32**3
+
+
+def fault_plan() -> FaultPlan:
+    return FaultPlan(
+        {
+            2: RankFaults(crash_at=2),            # dies at its 3rd measurement
+            4: RankFaults(straggler_factor=3.0),  # silently 3x slower
+            1: RankFaults(transient_rate=0.15),   # ~15% of executions raise
+        },
+        seed=2024,
+    )
+
+
+def sweep(checkpoint: SweepCheckpoint, sizes) -> "tuple":
+    """One resilient sweep (optionally partial) against the same plan."""
+    bench = ResilientPlatformBenchmark(
+        heterogeneous_cluster(),
+        unit_flops=UNIT_FLOPS,
+        precision=Precision(reps_min=1, reps_max=3),
+        seed=7,
+        plan=fault_plan(),
+    )
+    result = build_resilient_models(
+        bench, PiecewiseModel, sizes, checkpoint=checkpoint
+    )
+    return result
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = SweepCheckpoint(Path(tmp) / "sweep.journal")
+
+        # --- first attempt: "killed" after the first two sizes ----------
+        partial = sweep(journal, SIZES[:2])
+        print(f"interrupted sweep: committed {sum(m.count for m in partial.models)} "
+              f"points to {journal.path.name}, then died")
+
+        # --- resume: the journal skips what is already committed --------
+        result = sweep(journal, SIZES)
+        resumed = sum(
+            1 for e in result.report.events if e.kind == "resume"
+        )
+        print(f"resumed sweep: {resumed} points reused from the journal")
+        print(result.report.summary())
+
+        # --- partition over the survivors -------------------------------
+        dist = partition_survivors(TOTAL, result.models, result.survivors)
+        print(f"allocations over survivors: {dist.sizes} "
+              f"(sum {dist.total}, dead ranks get 0)")
+        print(f"new measurement cost this run: {result.total_cost:.2f} "
+              f"kernel-seconds (wasted on faults: "
+              f"{result.report.wasted_cost:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,16 +41,28 @@ from repro.core import (
     PiecewiseModel,
     PlatformBenchmark,
     Precision,
+    ResilientBenchmark,
+    ResilientBuildResult,
+    ResilientPlatformBenchmark,
+    RetryPolicy,
     SimulatedKernel,
     build_adaptive_model,
     build_full_models,
+    build_resilient_models,
     leave_one_out_error,
     partition_constant,
     partition_geometric,
     partition_numerical,
+    partition_survivors,
+    redistribute_to_survivors,
     select_model,
 )
 from repro.errors import FuPerModError
+from repro.faults import (
+    FaultPlan,
+    RankFaults,
+    ResilienceReport,
+)
 
 __version__ = "1.0.0"
 
@@ -63,6 +75,7 @@ __all__ = [
     "ConstantModel",
     "Distribution",
     "DynamicPartitioner",
+    "FaultPlan",
     "FuPerModError",
     "KernelContext",
     "LoadBalancer",
@@ -72,13 +85,22 @@ __all__ = [
     "PiecewiseModel",
     "PlatformBenchmark",
     "Precision",
+    "RankFaults",
+    "ResilienceReport",
+    "ResilientBenchmark",
+    "ResilientBuildResult",
+    "ResilientPlatformBenchmark",
+    "RetryPolicy",
     "SimulatedKernel",
     "__version__",
     "build_adaptive_model",
     "build_full_models",
+    "build_resilient_models",
     "leave_one_out_error",
     "partition_constant",
     "partition_geometric",
     "partition_numerical",
+    "partition_survivors",
+    "redistribute_to_survivors",
     "select_model",
 ]

@@ -14,7 +14,7 @@ message-passing simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -24,6 +24,9 @@ from repro.core.partition.dist import Distribution
 from repro.core.partition.dynamic import LoadBalancer
 from repro.core.partition.redistribution import apply_plan_cost, redistribution_plan
 from repro.errors import PartitionError
+from repro.faults.inject import FaultyCommunicator
+from repro.faults.plan import FaultPlan
+from repro.faults.report import ResilienceReport
 from repro.mpi.comm import SimCommunicator
 from repro.mpi.network import Network
 from repro.platform.cluster import Platform
@@ -65,6 +68,8 @@ class JacobiRunResult:
         solution_error: infinity-norm distance to the exact solution.
         total_time: virtual makespan of the whole run.
         final_sizes: the last distribution's row counts.
+        failed_ranks: ranks that crashed mid-run (empty without faults);
+            the survivors completed the run with their workload.
     """
 
     records: List[JacobiIterationRecord]
@@ -72,6 +77,7 @@ class JacobiRunResult:
     solution_error: float
     total_time: float
     final_sizes: List[int]
+    failed_ranks: List[int] = field(default_factory=list)
 
     @property
     def iteration_makespans(self) -> List[float]:
@@ -98,6 +104,8 @@ def run_balanced_jacobi(
     noise_seed: int = 0,
     trace: Optional[TraceRecorder] = None,
     perturbations: Optional[PerturbationSchedule] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    report: Optional[ResilienceReport] = None,
 ) -> JacobiRunResult:
     """Run the row-distributed Jacobi method under dynamic load balancing.
 
@@ -119,6 +127,16 @@ def run_balanced_jacobi(
         perturbations: optional time-varying speed episodes (external
             disturbances); the load balancer reacts to them through the
             observed iteration times, exactly as it would in production.
+        fault_plan: optional :class:`~repro.faults.FaultPlan`.  A rank
+            whose ``crash_at`` is ``k`` (counted in application
+            iterations) dies before starting iteration ``k + 1``; the
+            balancer quarantines it, its rows are redistributed to the
+            survivors (evacuation is served from checkpointed data, so no
+            network cost is charged to the dead rank), and the run
+            completes with the survivors.  Straggler factors slow the
+            affected ranks' compute, which the balancer sees and corrects.
+        report: optional :class:`~repro.faults.ResilienceReport`
+            collecting crash/drop events and the surviving rank set.
 
     Returns:
         A :class:`JacobiRunResult`; its per-iteration makespans reproduce
@@ -137,16 +155,52 @@ def run_balanced_jacobi(
     a, b_vec, x_star = generate_system(n_sys, seed=matrix_seed)
     x = np.zeros(n_sys)
     net = network if network is not None else Network(platform=platform)
-    comm = SimCommunicator(platform.size, network=net)
+    if fault_plan is not None:
+        if report is None:
+            report = ResilienceReport(survivors=list(range(platform.size)))
+        # Crashes are scheduled here, per application iteration; the
+        # communicator only injects the probabilistic collective drops.
+        comm: SimCommunicator = FaultyCommunicator(
+            platform.size, plan=fault_plan.without_crashes(), network=net,
+            report=report,
+        )
+    else:
+        comm = SimCommunicator(platform.size, network=net)
     rngs = [np.random.default_rng(noise_seed + 104729 * r) for r in range(platform.size)]
     unit_flops = row_flops(n_sys)
 
     records: List[JacobiIterationRecord] = []
+    failed: List[int] = []
     sizes = balancer.dist.sizes
     error = float("inf")
     iteration = 0
     while error > eps and iteration < max_iterations:
         iteration += 1
+
+        # --- scripted crashes: quarantine and evacuate ------------------
+        if fault_plan is not None:
+            for r in range(platform.size):
+                spec = fault_plan.for_rank(r)
+                if (r not in failed and spec.crash_at is not None
+                        and iteration - 1 >= spec.crash_at):
+                    failed.append(r)
+                    if isinstance(comm, FaultyCommunicator):
+                        comm.mark_dead(r)
+                    report.quarantine(
+                        r, platform.device(r).name, 0, "crash"
+                    )
+                    old_sizes = balancer.dist.sizes
+                    new_sizes = balancer.quarantine(r).sizes
+                    report.record(
+                        "repartition", -1,
+                        f"iter {iteration}: rows {old_sizes} -> {new_sizes}",
+                    )
+                    _price_redistribution(
+                        comm, old_sizes, new_sizes, n_sys, element_bytes,
+                        dead=failed,
+                    )
+            sizes = balancer.dist.sizes
+
         offsets = _row_offsets(sizes)
         comm_before = comm.max_time()
 
@@ -168,6 +222,8 @@ def run_balanced_jacobi(
             t = platform.device(r).execution_time(
                 unit_flops * d, d, rngs[r], contention_factor=contention
             )
+            if fault_plan is not None:
+                t *= fault_plan.for_rank(r).straggler_factor
             compute_times.append(t)
             span_start = comm.time(r)
             comm.compute(r, t)
@@ -199,7 +255,7 @@ def run_balanced_jacobi(
                 for r in range(platform.size):
                     trace.marker(r, comm.time(r), f"rebalance {iteration}")
             _price_redistribution(
-                comm, old_sizes, new_sizes, n_sys, element_bytes
+                comm, old_sizes, new_sizes, n_sys, element_bytes, dead=failed
             )
         comm_after = comm.barrier()
         makespan = comm_after - comm_before
@@ -223,6 +279,7 @@ def run_balanced_jacobi(
         solution_error=float(np.max(np.abs(x - x_star))),
         total_time=comm.max_time(),
         final_sizes=list(sizes),
+        failed_ranks=sorted(failed),
     )
 
 
@@ -232,11 +289,17 @@ def _price_redistribution(
     new_sizes: List[int],
     n: int,
     element_bytes: int,
+    dead: Optional[List[int]] = None,
 ) -> None:
     """Charge the cost of moving matrix rows between consecutive layouts.
 
     A row is ``n`` matrix elements plus the right-hand-side entry; the
     transfers come from the shared contiguous redistribution plan.
+    Transfers sourced at a dead rank are not charged on the network: that
+    data is restored from the last checkpoint, not fetched from the
+    crashed peer.
     """
     plan = redistribution_plan(old_sizes, new_sizes)
+    if dead:
+        plan = [t for t in plan if t.source not in dead and t.dest not in dead]
     apply_plan_cost(comm, plan, (n + 1) * element_bytes)

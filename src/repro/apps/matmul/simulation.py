@@ -19,14 +19,16 @@ maximum over ranks and the total is the sum over ``nb`` iterations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.matmul.kernel import gemm_unit_flops
-from repro.apps.matmul.partition2d import ColumnPartition
+from repro.apps.matmul.partition2d import ColumnPartition, partition_columns
 from repro.errors import PartitionError
+from repro.faults.plan import FaultPlan
+from repro.faults.report import ResilienceReport
 from repro.mpi.network import Network
 from repro.platform.cluster import Platform
 from repro.platform.trace import TraceRecorder
@@ -41,7 +43,9 @@ class MatmulResult:
         compute_time: per-rank total computation seconds.
         comm_time: per-rank total communication seconds.
         iteration_times: per-iteration makespans.
-        areas: per-rank block areas actually assigned (``d_i``).
+        areas: per-rank block areas actually assigned (``d_i``); under
+            faults, the areas of the *final* (post-crash) partition.
+        failed_ranks: ranks that crashed mid-run (empty without faults).
     """
 
     total_time: float
@@ -49,6 +53,7 @@ class MatmulResult:
     comm_time: List[float]
     iteration_times: List[float]
     areas: List[int]
+    failed_ranks: List[int] = field(default_factory=list)
 
     @property
     def compute_imbalance(self) -> float:
@@ -70,6 +75,8 @@ def simulate_matmul(
     network: Optional[Network] = None,
     seed: int = 0,
     trace: Optional[TraceRecorder] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    report: Optional[ResilienceReport] = None,
 ) -> MatmulResult:
     """Run the simulated parallel matrix multiplication.
 
@@ -84,6 +91,14 @@ def simulate_matmul(
         seed: seed for per-rank timing noise.
         trace: optional execution-trace recorder (per-iteration comm and
             compute spans; iterations are barrier-separated).
+        fault_plan: optional :class:`~repro.faults.FaultPlan`.  A rank
+            whose ``crash_at`` is ``k`` (counted in pivot iterations)
+            dies before iteration ``k``; the block grid is re-tiled over
+            the survivors in proportion to their current areas and the
+            remaining iterations complete with the survivors (a real
+            implementation would restore the lost submatrix from its last
+            checkpoint).  Straggler factors slow the affected ranks.
+        report: optional :class:`~repro.faults.ResilienceReport`.
 
     Returns:
         A :class:`MatmulResult` with virtual times.
@@ -100,12 +115,39 @@ def simulate_matmul(
 
     areas = partition.areas()
     active = [r for r in range(platform.size) if areas[r] > 0]
+    failed: List[int] = []
     compute_time = [0.0] * platform.size
     comm_time = [0.0] * platform.size
     iteration_times: List[float] = []
 
     elapsed = 0.0
     for k in range(nb):
+        # --- scripted crashes: re-tile the grid over the survivors -------
+        if fault_plan is not None:
+            crashed_now = [
+                r for r in active
+                if fault_plan.for_rank(r).crash_at is not None
+                and k >= fault_plan.for_rank(r).crash_at
+            ]
+            if crashed_now:
+                for r in crashed_now:
+                    failed.append(r)
+                    if report is not None:
+                        report.quarantine(
+                            r, platform.device(r).name, 0, "crash"
+                        )
+                weights = [
+                    0.0 if r in failed else float(areas[r])
+                    for r in range(platform.size)
+                ]
+                partition = partition_columns(weights, nb)
+                areas = partition.areas()
+                active = [r for r in range(platform.size) if areas[r] > 0]
+                if report is not None:
+                    report.record(
+                        "repartition", -1, f"iteration {k}: areas {areas}"
+                    )
+
         pivot_owner = active[k % len(active)]
         iter_makespan = 0.0
         for r in active:
@@ -119,6 +161,8 @@ def simulate_matmul(
             t = platform.device(r).execution_time(
                 unit_flops * areas[r], areas[r], rngs[r], contention_factor=contention
             )
+            if fault_plan is not None:
+                t *= fault_plan.for_rank(r).straggler_factor
             comm_time[r] += c
             compute_time[r] += t
             iter_makespan = max(iter_makespan, c + t)
@@ -135,6 +179,7 @@ def simulate_matmul(
         comm_time=comm_time,
         iteration_times=iteration_times,
         areas=areas,
+        failed_ranks=sorted(failed),
     )
 
 

@@ -19,7 +19,7 @@ machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -28,6 +28,9 @@ from repro.apps.stencil.solver import DEFAULT_ALPHA, heat_step_rows, init_grid, 
 from repro.core.partition.dynamic import LoadBalancer
 from repro.core.partition.redistribution import apply_plan_cost, redistribution_plan
 from repro.errors import PartitionError
+from repro.faults.inject import FaultyCommunicator
+from repro.faults.plan import FaultPlan
+from repro.faults.report import ResilienceReport
 from repro.mpi.comm import SimCommunicator
 from repro.mpi.network import Network
 from repro.platform.cluster import Platform
@@ -65,12 +68,14 @@ class StencilRunResult:
         grid: the final field.
         total_time: virtual makespan of the whole run.
         final_sizes: the last distribution's row counts.
+        failed_ranks: ranks that crashed mid-run (empty without faults).
     """
 
     records: List[StencilIterationRecord]
     grid: np.ndarray
     total_time: float
     final_sizes: List[int]
+    failed_ranks: List[int] = field(default_factory=list)
 
     @property
     def iteration_makespans(self) -> List[float]:
@@ -97,6 +102,8 @@ def run_balanced_stencil(
     noise_seed: int = 0,
     trace: Optional[TraceRecorder] = None,
     perturbations: Optional[PerturbationSchedule] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    report: Optional[ResilienceReport] = None,
 ) -> StencilRunResult:
     """Run the row-slab heat stencil under dynamic load balancing.
 
@@ -114,6 +121,12 @@ def run_balanced_stencil(
         noise_seed: device timing noise seed.
         trace: optional execution-trace recorder.
         perturbations: optional time-varying speed episodes.
+        fault_plan: optional :class:`~repro.faults.FaultPlan`; ranks with
+            a ``crash_at`` (counted in application iterations) die before
+            starting that iteration, their slab is redistributed to the
+            survivors, and the run completes with the survivors.
+            Straggler factors slow the affected ranks' compute.
+        report: optional :class:`~repro.faults.ResilienceReport`.
 
     Returns:
         A :class:`StencilRunResult`.
@@ -125,17 +138,51 @@ def run_balanced_stencil(
     ny = balancer.total
     grid = init_grid(ny, nx)
     net = network if network is not None else Network(platform=platform)
-    comm = SimCommunicator(platform.size, network=net)
+    if fault_plan is not None:
+        if report is None:
+            report = ResilienceReport(survivors=list(range(platform.size)))
+        # Crashes are scheduled here, per application iteration; the
+        # communicator only injects the probabilistic collective drops.
+        comm: SimCommunicator = FaultyCommunicator(
+            platform.size, plan=fault_plan.without_crashes(), network=net,
+            report=report,
+        )
+    else:
+        comm = SimCommunicator(platform.size, network=net)
     rngs = [np.random.default_rng(noise_seed + 15485863 * r) for r in range(platform.size)]
     unit_flops = row_flops(nx)
     halo_bytes = nx * element_bytes
 
     records: List[StencilIterationRecord] = []
+    failed: List[int] = []
     sizes = balancer.dist.sizes
     change = float("inf")
     iteration = 0
     while change > eps and iteration < max_iterations:
         iteration += 1
+
+        # --- scripted crashes: quarantine and evacuate -------------------
+        if fault_plan is not None:
+            for r in range(platform.size):
+                spec = fault_plan.for_rank(r)
+                if (r not in failed and spec.crash_at is not None
+                        and iteration - 1 >= spec.crash_at):
+                    failed.append(r)
+                    if isinstance(comm, FaultyCommunicator):
+                        comm.mark_dead(r)
+                    report.quarantine(r, platform.device(r).name, 0, "crash")
+                    old_sizes = balancer.dist.sizes
+                    new_sizes = balancer.quarantine(r).sizes
+                    report.record(
+                        "repartition", -1,
+                        f"iter {iteration}: rows {old_sizes} -> {new_sizes}",
+                    )
+                    _price_row_moves(
+                        comm, old_sizes, new_sizes, nx, element_bytes,
+                        dead=failed,
+                    )
+            sizes = balancer.dist.sizes
+
         offsets = _offsets(sizes)
         t_before = comm.max_time()
         active = [r for r in range(platform.size) if sizes[r] > 0]
@@ -165,6 +212,8 @@ def run_balanced_stencil(
             t = platform.device(r).execution_time(
                 unit_flops * d, d, rngs[r], contention_factor=contention
             )
+            if fault_plan is not None:
+                t *= fault_plan.for_rank(r).straggler_factor
             compute_times.append(t)
             span_start = comm.time(r)
             comm.compute(r, t)
@@ -185,7 +234,9 @@ def run_balanced_stencil(
             if trace is not None:
                 for r in range(platform.size):
                     trace.marker(r, comm.time(r), f"rebalance {iteration}")
-            _price_row_moves(comm, old_sizes, new_sizes, nx, element_bytes)
+            _price_row_moves(
+                comm, old_sizes, new_sizes, nx, element_bytes, dead=failed
+            )
         t_after = comm.barrier()
         records.append(
             StencilIterationRecord(
@@ -204,6 +255,7 @@ def run_balanced_stencil(
         grid=grid,
         total_time=comm.max_time(),
         final_sizes=list(sizes),
+        failed_ranks=sorted(failed),
     )
 
 
@@ -213,7 +265,14 @@ def _price_row_moves(
     new_sizes: List[int],
     nx: int,
     element_bytes: int,
+    dead: Optional[List[int]] = None,
 ) -> None:
-    """Charge the transfers of grid rows between consecutive layouts."""
+    """Charge the transfers of grid rows between consecutive layouts.
+
+    Transfers touching a dead rank are not charged: its slab is restored
+    from the last checkpoint, not fetched from the crashed peer.
+    """
     plan = redistribution_plan(old_sizes, new_sizes)
+    if dead:
+        plan = [t for t in plan if t.source not in dead and t.dest not in dead]
     apply_plan_cost(comm, plan, nx * element_bytes)

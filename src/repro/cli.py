@@ -17,6 +17,12 @@
 
 ``fupermod partition`` accepts ``--limits`` (comma-separated unit caps,
 ``none`` = unlimited) to respect device memory capacities.
+
+``fupermod build`` accepts ``--faults plan.json`` (a saved
+:class:`~repro.faults.FaultPlan`) to run the sweep through the resilient
+benchmark -- crashed or persistently failing ranks are quarantined and the
+survivors finish -- and ``--resume`` to continue an interrupted sweep from
+the journal at ``<out>/sweep.journal``.
 """
 
 from __future__ import annotations
@@ -70,12 +76,34 @@ def _get_platform(name: str) -> Platform:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     platform = _get_platform(args.platform)
-    bench = PlatformBenchmark(platform, unit_flops=args.unit_flops, seed=args.seed)
-    models, cost = build_full_models(
-        bench, model_factory(args.model), _parse_sizes(args.sizes)
-    )
+    sizes = _parse_sizes(args.sizes)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    resilient = args.faults is not None or args.resume
+    if resilient:
+        from repro.core.benchmark import ResilientPlatformBenchmark
+        from repro.core.builder import build_resilient_models
+        from repro.faults import FaultPlan
+        from repro.io.checkpoint import SweepCheckpoint
+
+        plan = FaultPlan.load(args.faults) if args.faults else FaultPlan()
+        checkpoint = SweepCheckpoint(out / "sweep.journal")
+        if not args.resume and checkpoint.exists:
+            checkpoint.clear()
+        elif args.resume and checkpoint.exists:
+            print(f"resuming from {checkpoint.path}")
+        bench_r = ResilientPlatformBenchmark(
+            platform, unit_flops=args.unit_flops, seed=args.seed, plan=plan
+        )
+        result = build_resilient_models(
+            bench_r, model_factory(args.model), sizes, checkpoint=checkpoint
+        )
+        models, cost = result.models, result.total_cost
+    else:
+        bench = PlatformBenchmark(
+            platform, unit_flops=args.unit_flops, seed=args.seed
+        )
+        models, cost = build_full_models(bench, model_factory(args.model), sizes)
     for rank, model in enumerate(models):
         device = platform.devices[rank]
         path = out / f"rank{rank:03d}.points"
@@ -86,6 +114,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         )
         print(f"rank {rank} ({device.name}): {model.count} points -> {path}")
     print(f"total benchmarking cost: {cost:.3f} kernel-seconds")
+    if resilient:
+        print(result.report.summary())
     return 0
 
 
@@ -373,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="unit_flops")
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument("--out", required=True)
+    p_build.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                         help="fault plan; sweep runs through the resilient "
+                              "benchmark (quarantine instead of crash)")
+    p_build.add_argument("--resume", action="store_true",
+                         help="resume an interrupted sweep from "
+                              "<out>/sweep.journal")
     p_build.set_defaults(func=_cmd_build)
 
     p_part = sub.add_parser("partition", help="partition from saved point files")

@@ -16,8 +16,20 @@ paper (C)                this library (Python)
 =======================  ==========================================
 """
 
-from repro.core.benchmark import Benchmark, PlatformBenchmark, build_full_models
-from repro.core.builder import AdaptiveBuildResult, build_adaptive_model
+from repro.core.benchmark import (
+    Benchmark,
+    PlatformBenchmark,
+    ResilientBenchmark,
+    ResilientPlatformBenchmark,
+    RetryPolicy,
+    build_full_models,
+)
+from repro.core.builder import (
+    AdaptiveBuildResult,
+    ResilientBuildResult,
+    build_adaptive_model,
+    build_resilient_models,
+)
 from repro.core.kernel import (
     CallableKernel,
     ComputationKernel,
@@ -38,6 +50,8 @@ from repro.core.partition import (
     partition_constant,
     partition_geometric,
     partition_numerical,
+    partition_survivors,
+    redistribute_to_survivors,
 )
 from repro.core.point import MeasurementPoint
 from repro.core.selection import SelectionResult, leave_one_out_error, select_model
@@ -60,13 +74,20 @@ __all__ = [
     "PiecewiseModel",
     "PlatformBenchmark",
     "Precision",
+    "ResilientBenchmark",
+    "ResilientBuildResult",
+    "ResilientPlatformBenchmark",
+    "RetryPolicy",
     "SelectionResult",
     "SimulatedKernel",
     "build_adaptive_model",
     "build_full_models",
+    "build_resilient_models",
     "partition_constant",
     "partition_geometric",
     "partition_numerical",
+    "partition_survivors",
+    "redistribute_to_survivors",
     "leave_one_out_error",
     "select_model",
 ]

@@ -13,10 +13,23 @@ speeds reflect what the application will actually see.
 functional performance models in advance (the static-partitioning workflow),
 returning both the models and the total benchmarking cost in kernel-seconds
 -- the quantity the dynamic algorithms are designed to avoid.
+
+The resilient layer -- :class:`RetryPolicy`, :class:`ResilientBenchmark`
+and :class:`ResilientPlatformBenchmark` -- makes measurement survive the
+faults :mod:`repro.faults` can inject (and the real world produces):
+transient kernel exceptions are retried with exponential backoff, garbage
+(NaN/negative) timings are re-measured, and a rank that exhausts its
+failure budget or crashes outright is *quarantined* -- excluded from the
+rest of the run with a typed
+:class:`~repro.faults.DeviceQuarantined` record instead of aborting
+everything.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -26,7 +39,10 @@ from repro.core.kernel import ComputationKernel, SimulatedKernel
 from repro.core.models.base import PerformanceModel
 from repro.core.point import MeasurementPoint
 from repro.core.precision import Precision
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, FaultInjectionError, QuarantineError
+from repro.faults.inject import FaultyKernel
+from repro.faults.plan import FaultPlan
+from repro.faults.report import ResilienceReport
 from repro.platform.cluster import Platform
 
 
@@ -83,6 +99,10 @@ class Benchmark:
             spent = 0.0
             while stats.count < p.reps_max:
                 elapsed = self.kernel.execute(context)
+                if not math.isfinite(elapsed):
+                    raise BenchmarkError(
+                        f"kernel {self.kernel.name!r} reported non-finite time {elapsed}"
+                    )
                 if elapsed < 0.0:
                     raise BenchmarkError(
                         f"kernel {self.kernel.name!r} reported negative time {elapsed}"
@@ -223,6 +243,11 @@ class PlatformBenchmark:
             while reps < p.reps_max:
                 for r in active:
                     elapsed = self._kernels[r].execute(contexts[r])
+                    if not math.isfinite(elapsed) or elapsed < 0.0:
+                        raise BenchmarkError(
+                            f"rank {r}: kernel {self._kernels[r].name!r} "
+                            f"reported invalid time {elapsed}"
+                        )
                     elapsed *= self._binding_factor(r)
                     stats[r].add(elapsed)
                     spent[r] += elapsed
@@ -306,3 +331,348 @@ def build_full_models(
     for model, collected in zip(models, per_rank):
         model.update_many(collected)
     return models, total_cost
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to fight for a measurement before giving up on a rank.
+
+    Attributes:
+        max_retries: retries per individual measurement before it is
+            abandoned (raising :class:`~repro.errors.QuarantineError`).
+        backoff_base: virtual seconds charged for the first retry's
+            backoff; doubles (times ``backoff_factor``) per further retry.
+            Simulated kernels have no wall clock to sleep on, so backoff
+            is accounted as wasted cost rather than slept.
+        backoff_factor: exponential growth factor of the backoff.
+        max_failures: cumulative failures a rank may accumulate across the
+            whole run before its device is quarantined.
+        remeasure_ci_ratio: when set, a point whose confidence-interval
+            half-width exceeds ``remeasure_ci_ratio * t`` (a statistical
+            outlier, e.g. one poisoned by an undetected straggler episode)
+            is measured a second time and the tighter of the two points is
+            kept.  None disables outlier re-measurement.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.001
+    backoff_factor: float = 2.0
+    max_failures: int = 10
+    remeasure_ci_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise BenchmarkError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0.0:
+            raise BenchmarkError(
+                f"backoff_base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise BenchmarkError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_failures < 1:
+            raise BenchmarkError(f"max_failures must be >= 1, got {self.max_failures}")
+        if self.remeasure_ci_ratio is not None and self.remeasure_ci_ratio <= 0.0:
+            raise BenchmarkError(
+                f"remeasure_ci_ratio must be positive, got {self.remeasure_ci_ratio}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff charged before retry number ``attempt`` (0-based)."""
+        return self.backoff_base * self.backoff_factor ** attempt
+
+
+class ResilientBenchmark:
+    """Measurement of one kernel that survives transient misbehaviour.
+
+    Wraps the statistically controlled :class:`Benchmark` with a retry
+    loop: transient injected faults
+    (:class:`~repro.errors.FaultInjectionError` with ``fatal=False``) and
+    garbage timings (NaN/negative, surfacing as
+    :class:`~repro.errors.BenchmarkError`) are retried up to
+    ``retry.max_retries`` times with exponential backoff.  Fatal faults
+    (rank crashes) propagate immediately -- retrying a dead rank is
+    pointless.  Failures accumulate in :attr:`failures` across calls so a
+    platform-level runner can enforce a per-rank budget.
+
+    Args:
+        kernel: the kernel to measure (typically a
+            :class:`~repro.faults.FaultyKernel` in tests).
+        precision: repetition policy.
+        retry: retry policy (defaults to :class:`RetryPolicy`).
+        report: optional :class:`~repro.faults.ResilienceReport` recording
+            retries and wasted cost.
+        rank: rank attached to events and errors.
+    """
+
+    def __init__(
+        self,
+        kernel: ComputationKernel,
+        precision: Optional[Precision] = None,
+        retry: Optional[RetryPolicy] = None,
+        report: Optional[ResilienceReport] = None,
+        rank: int = -1,
+    ) -> None:
+        self.kernel = kernel
+        self.precision = precision if precision is not None else Precision()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.report = report
+        self.rank = rank
+        #: Cumulative failed attempts across all measurements of this rank.
+        self.failures = 0
+        #: Virtual seconds lost to failed attempts' backoff.
+        self.wasted_cost = 0.0
+
+    def _note_failure(self, d: int, attempt: int, exc: Exception) -> None:
+        self.failures += 1
+        backoff = self.retry.backoff(attempt)
+        self.wasted_cost += backoff
+        if self.report is not None:
+            self.report.retries += 1
+            self.report.wasted_cost += backoff
+            self.report.record("retry", self.rank, f"d={d} attempt={attempt}: {exc}")
+
+    def run(self, d: int) -> MeasurementPoint:
+        """Measure at size ``d``, retrying transient failures.
+
+        Raises:
+            QuarantineError: the measurement failed ``max_retries + 1``
+                times in a row.
+            FaultInjectionError: a fatal (crash) fault fired.
+        """
+        if d <= 0:
+            raise BenchmarkError(f"problem size must be positive, got {d}")
+        attempt = 0
+        last: Optional[Exception] = None
+        while attempt <= self.retry.max_retries:
+            try:
+                point = Benchmark(self.kernel, self.precision).run(d)
+            except FaultInjectionError as exc:
+                if exc.fatal:
+                    raise
+                last = exc
+                self._note_failure(d, attempt, exc)
+            except BenchmarkError as exc:
+                last = exc
+                self._note_failure(d, attempt, exc)
+            else:
+                return self._maybe_remeasure(d, point)
+            attempt += 1
+        raise QuarantineError(
+            f"rank {self.rank}: measurement at d={d} failed {attempt} times "
+            f"(last: {last})",
+            rank=self.rank,
+        )
+
+    def _maybe_remeasure(self, d: int, point: MeasurementPoint) -> MeasurementPoint:
+        """Outlier re-measurement: retry points with huge relative CI."""
+        ratio = self.retry.remeasure_ci_ratio
+        if ratio is None or point.t <= 0.0 or point.ci <= ratio * point.t:
+            return point
+        if self.report is not None:
+            self.report.record(
+                "remeasure", self.rank,
+                f"d={d} ci={point.ci!r} t={point.t!r}",
+            )
+        try:
+            second = Benchmark(self.kernel, self.precision).run(d)
+        except (FaultInjectionError, BenchmarkError):
+            return point  # keep the outlier rather than lose the point
+        if second.t > 0.0 and second.ci / second.t < point.ci / point.t:
+            if self.report is not None:
+                self.report.wasted_cost += point.benchmark_cost
+            return second
+        if self.report is not None:
+            self.report.wasted_cost += second.benchmark_cost
+        return point
+
+
+class ResilientPlatformBenchmark:
+    """Platform-wide measurement that degrades gracefully under faults.
+
+    The drop-in resilient counterpart of :class:`PlatformBenchmark`:
+    per-rank kernels (optionally wrapped in
+    :class:`~repro.faults.FaultyKernel` by a
+    :class:`~repro.faults.FaultPlan`) are measured with retry/backoff, and
+    a rank that crashes, exhausts a measurement's retries or overruns the
+    cumulative failure budget is *quarantined*: recorded in the
+    :class:`~repro.faults.ResilienceReport` and excluded from every
+    subsequent measurement, while the surviving ranks carry on.
+
+    Determinism and resumability: the timing-noise and fault streams are
+    re-derived per ``(seed, rank, measurement index)``, so the same seed
+    replays bit-identically, and a checkpoint resume (which skips already
+    committed measurement indices via :meth:`skip_measurement`) measures
+    the remaining points exactly as an uninterrupted run would.
+
+    Args:
+        platform: the simulated platform.
+        unit_flops: arithmetic operations per computation unit.
+        precision: repetition policy shared by all ranks.
+        seed: base seed for timing noise (and kernel fault streams).
+        retry: retry/quarantine policy.
+        plan: optional fault plan; its per-rank specs are injected into
+            the measured kernels, and ``crash_at`` is interpreted as a
+            *measurement index* at this layer.
+        report: resilience report to append to (fresh one by default).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        unit_flops: "float | Callable[[int], float]",
+        precision: Optional[Precision] = None,
+        seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        plan: Optional[FaultPlan] = None,
+        report: Optional[ResilienceReport] = None,
+    ) -> None:
+        self.platform = platform
+        self.precision = precision if precision is not None else Precision()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.plan = plan if plan is not None else FaultPlan()
+        self.report = report if report is not None else ResilienceReport()
+        if not self.report.survivors:
+            self.report.survivors = list(range(platform.size))
+        self.seed = seed
+        self._sim_kernels: List[SimulatedKernel] = []
+        self._kernels: List[ComputationKernel] = []
+        self._runners: List[ResilientBenchmark] = []
+        self._measured = [0] * platform.size
+        for rank, device in enumerate(platform.devices):
+            sim = SimulatedKernel(
+                device, unit_flops, rng=np.random.default_rng([seed, rank])
+            )
+            self._sim_kernels.append(sim)
+            spec = self.plan.for_rank(rank)
+            kernel: ComputationKernel = sim
+            if not spec.benign:
+                # Crashes are scheduled at measurement granularity here, so
+                # the kernel wrapper only injects the sub-measurement faults.
+                kernel = FaultyKernel(
+                    sim,
+                    dataclasses.replace(spec, crash_at=None),
+                    rng=self.plan.rng(rank),
+                    rank=rank,
+                )
+            self._kernels.append(kernel)
+            self._runners.append(
+                ResilientBenchmark(
+                    kernel, self.precision, self.retry, self.report, rank=rank
+                )
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of ranks (= devices on the platform)."""
+        return self.platform.size
+
+    @property
+    def survivors(self) -> List[int]:
+        """Ranks not quarantined, sorted."""
+        return sorted(self.report.survivors)
+
+    def is_quarantined(self, rank: int) -> bool:
+        """Whether ``rank`` has been quarantined."""
+        return self.report.is_quarantined(rank)
+
+    def kernel(self, rank: int) -> SimulatedKernel:
+        """The (unwrapped) simulated kernel executed by ``rank``."""
+        return self._sim_kernels[rank]
+
+    def complexity(self, d: int) -> float:
+        """Complexity of ``d`` computation units (same for every rank)."""
+        return self._sim_kernels[0].complexity(d)
+
+    def failures(self, rank: int) -> int:
+        """Cumulative failed attempts of ``rank``."""
+        return self._runners[rank].failures
+
+    def skip_measurement(self, rank: int) -> None:
+        """Advance ``rank``'s measurement index without measuring.
+
+        Called by checkpoint resume for every committed point so the
+        remaining measurements draw the same noise/fault sub-streams they
+        would have drawn in an uninterrupted run.
+        """
+        self._measured[rank] += 1
+
+    def _quarantine(self, rank: int, reason: str) -> None:
+        self.report.quarantine(
+            rank,
+            self.platform.devices[rank].name,
+            self._runners[rank].failures,
+            reason,
+        )
+
+    def _measure_one(
+        self, rank: int, d: int, active: Sequence[int]
+    ) -> Optional[MeasurementPoint]:
+        index = self._measured[rank]
+        self._measured[rank] += 1
+        spec = self.plan.for_rank(rank)
+        if spec.crash_at is not None and index >= spec.crash_at:
+            self.report.record("crash", rank, f"measurement {index}")
+            self._quarantine(rank, "crash")
+            return None
+        # Fresh per-measurement streams: replay- and resume-stable.
+        self._sim_kernels[rank].rng = np.random.default_rng([self.seed, rank, index])
+        kernel = self._kernels[rank]
+        if isinstance(kernel, FaultyKernel):
+            kernel.reseed(self.plan.rng(rank, index))
+        kernel.contention_factor = self.platform.group_contention(rank, list(active))
+        try:
+            point = self._runners[rank].run(d)
+        except FaultInjectionError as exc:
+            if not exc.fatal:
+                raise
+            self.report.record("crash", rank, f"measurement {index}: {exc}")
+            self._quarantine(rank, "crash")
+            return None
+        except QuarantineError:
+            self._quarantine(rank, "retries-exhausted")
+            return None
+        if self._runners[rank].failures > self.retry.max_failures:
+            self._quarantine(rank, "failure-budget")
+        return point
+
+    def measure(self, rank: int, d: int) -> Optional[MeasurementPoint]:
+        """Measure one rank alone; None if it got quarantined instead.
+
+        Raises:
+            QuarantineError: the rank was already quarantined.
+        """
+        if self.is_quarantined(rank):
+            raise QuarantineError(f"rank {rank} is quarantined", rank=rank)
+        return self._measure_one(rank, d, [rank])
+
+    def measure_group(
+        self,
+        sizes: Sequence[Optional[int]],
+        contention_ranks: Optional[Sequence[int]] = None,
+    ) -> List[Optional[MeasurementPoint]]:
+        """Measure all requested ranks; quarantined ranks yield None.
+
+        ``sizes[rank]`` is the problem size for that rank, or None / 0 to
+        leave the rank idle.  Contention is charged for the whole group
+        that is simultaneously active (``contention_ranks`` overrides the
+        group, letting checkpoint resumes reproduce the contention of the
+        original full group).  Unlike
+        :meth:`PlatformBenchmark.measure_group`, ranks are isolated from
+        each other's *failures*: one rank's faults cannot poison another
+        rank's statistics.
+        """
+        if len(sizes) != self.size:
+            raise BenchmarkError(
+                f"got {len(sizes)} sizes for a platform of {self.size} ranks"
+            )
+        active = [
+            r for r, d in enumerate(sizes)
+            if d is not None and d > 0 and not self.is_quarantined(r)
+        ]
+        group = list(contention_ranks) if contention_ranks is not None else active
+        points: List[Optional[MeasurementPoint]] = [None] * self.size
+        for r in active:
+            points[r] = self._measure_one(r, int(sizes[r]), group)  # type: ignore[arg-type]
+        return points

@@ -19,6 +19,14 @@ model is actually wrong:
 
 The result records the cost actually spent and the worst observed
 disagreement, so callers can trade accuracy against cost explicitly.
+
+:func:`build_resilient_models` is the fault-tolerant counterpart of
+:func:`repro.core.benchmark.build_full_models`: it sweeps through a
+:class:`~repro.core.benchmark.ResilientPlatformBenchmark` (retry,
+quarantine), journals every committed point into an optional
+:class:`~repro.io.SweepCheckpoint` so an interrupted sweep resumes from
+the last committed point, and returns the surviving models together with
+the :class:`~repro.faults.ResilienceReport`.
 """
 
 from __future__ import annotations
@@ -26,11 +34,14 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
+from repro.core.benchmark import ResilientPlatformBenchmark
 from repro.core.models.base import PerformanceModel
 from repro.core.point import MeasurementPoint
 from repro.errors import BenchmarkError
+from repro.faults.report import ResilienceReport
+from repro.io.checkpoint import SweepCheckpoint
 
 #: A measurement oracle: problem size in, measurement point out.
 MeasureFunction = Callable[[int], MeasurementPoint]
@@ -140,4 +151,96 @@ def build_adaptive_model(
         total_cost=total_cost,
         max_observed_error=max_error,
         converged=not pending,
+    )
+
+
+@dataclass(frozen=True)
+class ResilientBuildResult:
+    """Outcome of :func:`build_resilient_models`.
+
+    Attributes:
+        models: one model per rank (quarantined ranks keep whatever points
+            they contributed before being excluded; they may not be ready).
+        total_cost: kernel-seconds spent on *successful* measurements this
+            run (checkpointed points resumed from disk cost nothing; the
+            cost of failed attempts is in ``report.wasted_cost``).
+        report: the resilience record -- events, retries, quarantined
+            devices and the surviving rank set.
+    """
+
+    models: List[PerformanceModel]
+    total_cost: float
+    report: ResilienceReport
+
+    @property
+    def survivors(self) -> List[int]:
+        """Ranks whose devices survived the sweep, sorted."""
+        return sorted(self.report.survivors)
+
+    def surviving_models(self) -> List[PerformanceModel]:
+        """The models of the surviving ranks, in rank order."""
+        return [self.models[r] for r in self.survivors]
+
+
+def build_resilient_models(
+    bench: ResilientPlatformBenchmark,
+    model_factory: Callable[[], PerformanceModel],
+    sizes: "Sequence[int]",
+    checkpoint: Optional[SweepCheckpoint] = None,
+) -> ResilientBuildResult:
+    """Build full models under faults, with checkpoint/resume.
+
+    Sweeps ``sizes`` through the resilient benchmark: transient failures
+    are retried, crashed or persistently failing ranks are quarantined
+    mid-sweep and the remaining ranks complete the sweep.  When a
+    ``checkpoint`` is given, every successful measurement is journaled
+    before the sweep moves on, and committed ``(rank, size)`` pairs found
+    in the journal are reused instead of re-measured -- resuming an
+    interrupted sweep yields the same models as an uninterrupted run
+    (measurement noise streams are indexed per rank and measurement, not
+    by global draw order).
+
+    Args:
+        bench: the resilient platform benchmark.
+        model_factory: produces one empty model per rank.
+        sizes: problem sizes to sweep, in order.
+        checkpoint: optional journal for checkpoint/resume.
+
+    Returns:
+        A :class:`ResilientBuildResult`.
+    """
+    if not sizes:
+        raise BenchmarkError("sizes must be non-empty")
+    committed = checkpoint.load() if checkpoint is not None else {}
+    report = bench.report
+    models = [model_factory() for _ in range(bench.size)]
+    per_rank: List[List[MeasurementPoint]] = [[] for _ in range(bench.size)]
+    total_cost = 0.0
+    for d in sizes:
+        request: List[Optional[int]] = [None] * bench.size
+        # The contention group of the uninterrupted run: every rank that
+        # is active at this size, measured now or resumed from disk.
+        group = [r for r in range(bench.size) if not bench.is_quarantined(r)]
+        for r in group:
+            point = committed.get(r, {}).get(d)
+            if point is not None:
+                per_rank[r].append(point)
+                bench.skip_measurement(r)
+                report.record("resume", r, f"d={d} from checkpoint")
+            else:
+                request[r] = d
+        if all(v is None for v in request):
+            continue
+        points = bench.measure_group(request, contention_ranks=group)
+        for r, point in enumerate(points):
+            if point is None:
+                continue
+            per_rank[r].append(point)
+            total_cost += point.benchmark_cost
+            if checkpoint is not None:
+                checkpoint.commit(r, point)
+    for model, collected in zip(models, per_rank):
+        model.update_many(collected)
+    return ResilientBuildResult(
+        models=models, total_cost=total_cost, report=report
     )

@@ -46,6 +46,10 @@ from repro.core.partition.redistribution import (
     moved_units,
     redistribution_plan,
 )
+from repro.core.partition.resilient import (
+    partition_survivors,
+    redistribute_to_survivors,
+)
 
 __all__ = [
     "BalanceStep",
@@ -68,7 +72,9 @@ __all__ = [
     "partition_geometric",
     "partition_hierarchical",
     "partition_numerical",
+    "partition_survivors",
     "partition_with_limits",
+    "redistribute_to_survivors",
     "redistribution_plan",
     "round_preserving_sum",
 ]

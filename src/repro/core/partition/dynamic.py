@@ -20,10 +20,10 @@ benchmark) is running:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.core.models.base import PerformanceModel
-from repro.core.partition.dist import Distribution, Part
+from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.point import MeasurementPoint
 from repro.errors import PartitionError
 
@@ -213,6 +213,68 @@ class LoadBalancer:
             )
         self.history: List[BalanceStep] = []
         self._iteration = 0
+        self._excluded: Set[int] = set()
+
+    @property
+    def excluded(self) -> List[int]:
+        """Ranks permanently quarantined from balancing, sorted."""
+        return sorted(self._excluded)
+
+    @property
+    def survivors(self) -> List[int]:
+        """Ranks still participating in balancing, sorted."""
+        return [r for r in range(self.dist.size) if r not in self._excluded]
+
+    def quarantine(self, rank: int) -> Distribution:
+        """Permanently exclude ``rank``; its workload moves to survivors.
+
+        Used by the resilient application runtimes when a device crashes
+        or exhausts its failure budget mid-run.  If every surviving model
+        is ready, the partitioner re-runs over the survivors; otherwise
+        the dead rank's share is redistributed in proportion to the
+        survivors' current shares (the best information available before
+        the models have enough points).
+
+        Returns:
+            The new distribution (zero at every excluded rank).
+        """
+        if not 0 <= rank < self.dist.size:
+            raise PartitionError(
+                f"rank {rank} out of range 0..{self.dist.size - 1}"
+            )
+        self._excluded.add(rank)
+        survivors = self.survivors
+        if not survivors:
+            raise PartitionError("cannot quarantine the last surviving rank")
+        if all(self.models[r].is_ready for r in survivors):
+            self.dist = self._repartition()
+            return self.dist
+        current = self.dist.sizes
+        alive_total = sum(current[r] for r in survivors)
+        if alive_total > 0:
+            shares = [
+                self.total * current[r] / alive_total if r in survivors else 0.0
+                for r in range(self.dist.size)
+            ]
+        else:
+            shares = [
+                self.total / len(survivors) if r in survivors else 0.0
+                for r in range(self.dist.size)
+            ]
+        self.dist = Distribution.from_sizes(
+            round_preserving_sum(shares, self.total)
+        )
+        return self.dist
+
+    def _repartition(self) -> Distribution:
+        """Run the partitioner, restricted to the survivors if any died."""
+        if not self._excluded:
+            return self.partition(self.total, self.models)
+        from repro.core.partition.resilient import partition_survivors
+
+        return partition_survivors(
+            self.total, self.models, self.survivors, self.partition
+        )
 
     def iterate(self, observed_times: Sequence[float]) -> Distribution:
         """Process one application iteration's timings.
@@ -236,15 +298,19 @@ class LoadBalancer:
         self._iteration += 1
         sizes = self.dist.sizes
         for rank, (d, t) in enumerate(zip(sizes, observed_times)):
-            if d > 0 and t > 0.0:
+            if d > 0 and t > 0.0 and rank not in self._excluded:
                 self.models[rank].update(MeasurementPoint(d=d, t=t, reps=1, ci=0.0))
-        active_times = [t for d, t in zip(sizes, observed_times) if d > 0]
+        active_times = [
+            t for rank, (d, t) in enumerate(zip(sizes, observed_times))
+            if d > 0 and rank not in self._excluded
+        ]
         tmax = max(active_times) if active_times else 0.0
         tmin = min(active_times) if active_times else 0.0
         imbalance = (tmax - tmin) / tmax if tmax > 0.0 else 0.0
         rebalanced = False
-        if imbalance > self.threshold and all(m.is_ready for m in self.models):
-            self.dist = self.partition(self.total, self.models)
+        ready = all(self.models[r].is_ready for r in self.survivors)
+        if imbalance > self.threshold and ready:
+            self.dist = self._repartition()
             rebalanced = True
         self.history.append(
             BalanceStep(

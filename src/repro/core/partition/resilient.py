@@ -1,0 +1,102 @@
+"""Partitioning over the surviving subset of a degraded platform.
+
+When devices are quarantined mid-run (crashes, exhausted retry budgets --
+see :mod:`repro.faults`), the partitioners must keep producing valid
+distributions for the *full* rank space: applications index buffers,
+halos and collectives by original rank, so a survivor-only distribution
+with renumbered ranks would be useless to them.  This module provides the
+two operations the resilient runtime needs:
+
+* :func:`partition_survivors` -- run any static partitioner over the
+  surviving models only, then expand the result back to the full rank
+  space with zero-size parts for quarantined ranks;
+* :func:`redistribute_to_survivors` -- given the distribution an
+  application was running with when a rank died, compute the new
+  distribution over the survivors *and* the contiguous-layout transfer
+  plan that evacuates the dead rank's slab.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.models.base import PerformanceModel
+from repro.core.partition.dist import Distribution, Part
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.redistribution import Transfer, redistribution_plan
+from repro.errors import PartitionError
+
+#: A static partitioner: (total, models) -> Distribution.
+Partitioner = Callable[[int, Sequence[PerformanceModel]], Distribution]
+
+
+def _check_survivors(survivors: Sequence[int], size: int) -> List[int]:
+    ranks = list(survivors)
+    if not ranks:
+        raise PartitionError("no surviving ranks to partition over")
+    if len(set(ranks)) != len(ranks):
+        raise PartitionError(f"duplicate survivor ranks: {ranks}")
+    for r in ranks:
+        if not 0 <= r < size:
+            raise PartitionError(
+                f"survivor rank {r} out of range for {size} models"
+            )
+    return sorted(ranks)
+
+
+def partition_survivors(
+    total: int,
+    models: Sequence[PerformanceModel],
+    survivors: Sequence[int],
+    partitioner: Partitioner = partition_geometric,
+) -> Distribution:
+    """Partition ``total`` units over the surviving ranks only.
+
+    Args:
+        total: the problem size ``D`` in computation units.
+        models: one model per *original* rank (quarantined ones included;
+            they are never evaluated).
+        survivors: ranks still alive, e.g.
+            ``ResilienceReport.survivors``.
+        partitioner: any static partitioner taking ``(total, models)``.
+
+    Returns:
+        A :class:`Distribution` over ``len(models)`` parts summing to
+        ``total``, with zero-size parts at every quarantined rank.
+    """
+    if not models:
+        raise PartitionError("need at least one model")
+    alive = _check_survivors(survivors, len(models))
+    compact = partitioner(total, [models[r] for r in alive])
+    by_rank = dict(zip(alive, compact.parts))
+    return Distribution(
+        by_rank.get(r, Part(0, 0.0)) for r in range(len(models))
+    )
+
+
+def redistribute_to_survivors(
+    current: Distribution,
+    models: Sequence[PerformanceModel],
+    survivors: Sequence[int],
+    partitioner: Partitioner = partition_geometric,
+) -> "Tuple[Distribution, List[Transfer]]":
+    """Re-balance a running distribution after ranks were quarantined.
+
+    Computes the survivor-balanced distribution of ``current.total`` and
+    the contiguous-layout transfer plan from ``current`` to it.  Dead
+    ranks appear only as *sources* in the plan (their slabs are
+    evacuated); in a real deployment those transfers would be served from
+    the last checkpoint of the dead rank's data.
+
+    Returns:
+        ``(new_distribution, plan)``.
+    """
+    if len(models) != current.size:
+        raise PartitionError(
+            f"{len(models)} models for a distribution of size {current.size}"
+        )
+    new_dist = partition_survivors(
+        current.total, models, survivors, partitioner
+    )
+    plan = redistribution_plan(current.sizes, new_dist.sizes)
+    return new_dist, plan

@@ -8,6 +8,7 @@ the confidence interval it achieved.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import BenchmarkError
@@ -32,10 +33,14 @@ class MeasurementPoint:
     def __post_init__(self) -> None:
         if self.d < 0:
             raise BenchmarkError(f"problem size must be non-negative, got {self.d}")
+        if not math.isfinite(self.t):
+            raise BenchmarkError(f"time must be finite, got {self.t}")
         if self.t < 0.0:
             raise BenchmarkError(f"time must be non-negative, got {self.t}")
         if self.reps < 1:
             raise BenchmarkError(f"reps must be >= 1, got {self.reps}")
+        if not math.isfinite(self.ci):
+            raise BenchmarkError(f"confidence interval must be finite, got {self.ci}")
         if self.ci < 0.0:
             raise BenchmarkError(f"confidence interval must be non-negative, got {self.ci}")
 

@@ -11,7 +11,10 @@ subsystem failed:
 * :class:`BenchmarkError` -- performance measurement (``repro.core.benchmark``);
 * :class:`ModelError` -- performance models (``repro.core.models``);
 * :class:`PartitionError` -- data partitioning (``repro.core.partition``);
-* :class:`PersistenceError` -- model/point file I/O (``repro.io``).
+* :class:`PersistenceError` -- model/point file I/O (``repro.io``);
+* :class:`FaultInjectionError` -- injected faults (``repro.faults``);
+* :class:`QuarantineError` -- a device exhausted its failure budget and was
+  excluded from the run (``repro.core.benchmark``).
 """
 
 from __future__ import annotations
@@ -51,3 +54,35 @@ class PartitionError(FuPerModError):
 
 class PersistenceError(FuPerModError):
     """Reading or writing model/measurement files failed."""
+
+
+class FaultInjectionError(FuPerModError):
+    """An injected fault fired (``repro.faults``).
+
+    Attributes:
+        rank: the rank the fault was injected into (-1 if unknown).
+        kind: fault category (``"crash"``, ``"transient"``, ...).
+        fatal: whether the fault is permanent (a crashed rank) or
+            transient (worth retrying).
+    """
+
+    def __init__(self, message: str, rank: int = -1, kind: str = "fault",
+                 fatal: bool = False) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.kind = kind
+        self.fatal = fatal
+
+
+class QuarantineError(BenchmarkError):
+    """A device exhausted its failure budget and was excluded from the run.
+
+    Raised when a measurement gives up on a rank; the resilient runtime
+    catches it, records a ``DeviceQuarantined`` entry in the
+    :class:`~repro.faults.ResilienceReport` and continues with the
+    surviving ranks.
+    """
+
+    def __init__(self, message: str, rank: int = -1) -> None:
+        super().__init__(message)
+        self.rank = rank

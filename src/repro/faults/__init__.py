@@ -1,0 +1,44 @@
+"""Fault injection and resilience bookkeeping.
+
+FuPerMod's measurement/partition pipeline assumes a dedicated, healthy
+platform; production platforms are neither.  This package provides the
+testing substrate for the resilient runtime:
+
+* :class:`FaultPlan` / :class:`RankFaults` -- a deterministic, seeded
+  script of rank crashes, transient kernel failures, straggler slowdowns,
+  NaN timings and dropped collective participants;
+* :class:`FaultyKernel`, :class:`DegradedDevice`,
+  :class:`FaultyCommunicator` -- wrappers that make healthy components
+  misbehave on that schedule;
+* :class:`ResilienceReport` / :class:`ResilienceEvent` /
+  :class:`DeviceQuarantined` -- the typed record of what failed, what was
+  retried and who survived.
+
+The consuming resilience layers live where the healthy code lives:
+retry/quarantine in :mod:`repro.core.benchmark`
+(:class:`~repro.core.benchmark.ResilientPlatformBenchmark`), graceful
+degradation in :mod:`repro.core.builder`
+(:func:`~repro.core.builder.build_resilient_models`) and
+:mod:`repro.core.partition.resilient`, checkpoint/resume in
+:mod:`repro.io.checkpoint`.
+"""
+
+from repro.faults.inject import DegradedDevice, FaultyCommunicator, FaultyKernel
+from repro.faults.plan import NO_FAULTS, FaultPlan, RankFaults
+from repro.faults.report import (
+    DeviceQuarantined,
+    ResilienceEvent,
+    ResilienceReport,
+)
+
+__all__ = [
+    "DegradedDevice",
+    "DeviceQuarantined",
+    "FaultPlan",
+    "FaultyCommunicator",
+    "FaultyKernel",
+    "NO_FAULTS",
+    "RankFaults",
+    "ResilienceEvent",
+    "ResilienceReport",
+]

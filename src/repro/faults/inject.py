@@ -1,0 +1,294 @@
+"""Fault-injecting wrappers for kernels, devices and communicators.
+
+Each wrapper takes a healthy component and a :class:`~repro.faults.RankFaults`
+spec and misbehaves on schedule:
+
+* :class:`FaultyKernel` wraps any
+  :class:`~repro.core.kernel.ComputationKernel` (simulated or real) and
+  injects crashes, transient exceptions, straggler slowdowns and NaN
+  timings at ``execute`` time;
+* :class:`DegradedDevice` wraps a simulated
+  :class:`~repro.platform.Device` whose sustained speed has silently
+  dropped (thermal throttling, a failing DIMM, a neighbour VM);
+* :class:`FaultyCommunicator` extends
+  :class:`~repro.mpi.comm.SimCommunicator` with crashed ranks and
+  probabilistic dropped collective participants -- collectives complete
+  with the survivors, and every drop is recorded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.kernel import ComputationKernel, KernelContext
+from repro.errors import CommunicationError, FaultInjectionError
+from repro.faults.plan import NO_FAULTS, FaultPlan, RankFaults
+from repro.faults.report import ResilienceReport
+from repro.mpi.comm import SimCommunicator
+from repro.mpi.network import Network
+from repro.platform.device import Device
+
+
+class FaultyKernel(ComputationKernel):
+    """A kernel that fails the way real benchmarked kernels fail.
+
+    Args:
+        inner: the healthy kernel.
+        spec: what to inject.
+        rng: generator driving the probabilistic faults (derive it from
+            :meth:`FaultPlan.rng` for reproducibility).
+        rank: rank attached to raised faults (for diagnostics).
+
+    ``crash_at`` counts *executions* of this wrapper: execution index
+    ``crash_at`` and every one after it raise a fatal
+    :class:`~repro.errors.FaultInjectionError`.
+    """
+
+    def __init__(
+        self,
+        inner: ComputationKernel,
+        spec: RankFaults,
+        rng: Optional[np.random.Generator] = None,
+        rank: int = -1,
+    ) -> None:
+        self.inner = inner
+        self.spec = spec
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rank = rank
+        self.name = f"faulty-{inner.name}"
+        self.executions = 0
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Replace the fault stream (one sub-stream per measurement)."""
+        self.rng = rng
+
+    @property
+    def contention_factor(self) -> float:
+        """Delegate contention to the wrapped kernel (if it has any)."""
+        return getattr(self.inner, "contention_factor", 1.0)
+
+    @contention_factor.setter
+    def contention_factor(self, value: float) -> None:
+        if hasattr(self.inner, "contention_factor"):
+            self.inner.contention_factor = value
+
+    def complexity(self, d: int) -> float:
+        return self.inner.complexity(d)
+
+    def initialize(self, d: int) -> KernelContext:
+        return self.inner.initialize(d)
+
+    def execute(self, context: KernelContext) -> float:
+        index = self.executions
+        self.executions += 1
+        spec = self.spec
+        if spec.crash_at is not None and index >= spec.crash_at:
+            raise FaultInjectionError(
+                f"rank {self.rank}: crashed at operation {index}",
+                rank=self.rank, kind="crash", fatal=True,
+            )
+        if spec.transient_rate and self.rng.random() < spec.transient_rate:
+            raise FaultInjectionError(
+                f"rank {self.rank}: transient kernel failure at operation {index}",
+                rank=self.rank, kind="transient", fatal=False,
+            )
+        elapsed = self.inner.execute(context)
+        if spec.nan_rate and self.rng.random() < spec.nan_rate:
+            return float("nan")
+        return elapsed * spec.straggler_factor
+
+    def finalize(self, context: KernelContext) -> None:
+        self.inner.finalize(context)
+
+
+class DegradedDevice(Device):
+    """A device whose sustained speed dropped by a constant factor.
+
+    Unlike :class:`FaultyKernel`'s straggler factor (which only affects
+    wrapped kernels), degradation at the device level is visible to every
+    consumer -- benchmarks, ground-truth judges, applications -- which is
+    the honest model of hardware that actually got slower.
+
+    Args:
+        inner: the healthy device.
+        slowdown: execution-time multiplier (>= 1).
+    """
+
+    def __init__(self, inner: Device, slowdown: float) -> None:
+        if not slowdown >= 1.0 or math.isinf(slowdown) or math.isnan(slowdown):
+            raise FaultInjectionError(
+                f"slowdown must be a finite factor >= 1, got {slowdown}"
+            )
+        super().__init__(
+            inner.name,
+            inner.profile,
+            kind=inner.kind,
+            noise=inner.noise,
+            memory_limit_units=inner.memory_limit_units,
+        )
+        self.inner = inner
+        self.slowdown = slowdown
+
+    def ideal_time(self, complexity_flops: float, d: float) -> float:
+        return self.inner.ideal_time(complexity_flops, d) * self.slowdown
+
+
+class FaultyCommunicator(SimCommunicator):
+    """A communicator with crashed ranks and dropped collective participants.
+
+    Crashed ranks (marked via :meth:`mark_dead`, or scripted through the
+    plan's ``crash_at`` counted in *collective operations*) are removed
+    from every subsequent collective; the survivors complete the
+    operation.  Ranks with a ``drop_collective_rate`` may additionally sit
+    out individual collectives.  Point-to-point traffic to or from a dead
+    rank raises :class:`~repro.errors.CommunicationError` -- exactly what
+    an application sees when its peer disappears.
+
+    Args:
+        size: number of ranks.
+        plan: the fault plan (drop rates, scripted crashes).
+        network: pairwise cost model.
+        report: optional report collecting drop/crash events.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        plan: Optional[FaultPlan] = None,
+        network: Optional[Network] = None,
+        report: Optional[ResilienceReport] = None,
+    ) -> None:
+        super().__init__(size, network)
+        self.plan = plan if plan is not None else FaultPlan()
+        self.report = report
+        self._dead: Set[int] = set()
+        self._drop_rngs = {
+            r: self.plan.rng(r, 0xC0)
+            for r in range(size)
+            if self.plan.for_rank(r).drop_collective_rate > 0.0
+        }
+        self._collectives = 0
+
+    @property
+    def alive(self) -> List[int]:
+        """Surviving ranks, sorted."""
+        return [r for r in range(self.size) if r not in self._dead]
+
+    def is_dead(self, rank: int) -> bool:
+        """Whether ``rank`` has crashed."""
+        return rank in self._dead
+
+    def mark_dead(self, rank: int) -> None:
+        """Declare ``rank`` crashed; it never participates again."""
+        self._check_rank(rank)
+        if rank not in self._dead:
+            self._dead.add(rank)
+            if self.report is not None:
+                self.report.record("crash", rank, "communicator peer lost")
+
+    def _check_alive(self, rank: int) -> None:
+        if rank in self._dead:
+            raise CommunicationError(f"rank {rank} has crashed")
+
+    def _participants(self, ranks: Optional[Sequence[int]]) -> List[int]:
+        """Collective group after scripted crashes and probabilistic drops."""
+        index = self._collectives
+        self._collectives += 1
+        group = self._group(ranks)
+        for r in group:
+            spec = self.plan.for_rank(r)
+            if spec.crash_at is not None and index >= spec.crash_at:
+                self.mark_dead(r)
+        survivors = []
+        for r in group:
+            if r in self._dead:
+                continue
+            rng = self._drop_rngs.get(r)
+            if rng is not None and rng.random() < self.plan.for_rank(r).drop_collective_rate:
+                if self.report is not None:
+                    self.report.record(
+                        "collective-drop", r, f"collective {index}"
+                    )
+                continue
+            survivors.append(r)
+        if not survivors:
+            raise CommunicationError(
+                f"collective {index}: no surviving participants in group {group}"
+            )
+        return survivors
+
+    # -- point-to-point: dead peers are an error --------------------------
+    def send(self, src: int, dst: int, nbytes: float) -> float:
+        self._check_alive(src)
+        self._check_alive(dst)
+        return super().send(src, dst, nbytes)
+
+    def exchange(self, a: int, b: int, nbytes_ab: float,
+                 nbytes_ba: Optional[float] = None) -> float:
+        self._check_alive(a)
+        self._check_alive(b)
+        return super().exchange(a, b, nbytes_ab, nbytes_ba)
+
+    # -- collectives: survivors complete the operation --------------------
+    def barrier(self, ranks: Optional[Sequence[int]] = None) -> float:
+        return super().barrier(self._participants(ranks))
+
+    def allreduce(self, nbytes: float,
+                  ranks: Optional[Sequence[int]] = None) -> float:
+        return super().allreduce(nbytes, self._participants(ranks))
+
+    def bcast(self, root: int, nbytes: float,
+              ranks: Optional[Sequence[int]] = None) -> float:
+        group = self._participants(ranks)
+        if root not in group:
+            raise CommunicationError(
+                f"bcast root {root} crashed or dropped out of group"
+            )
+        return super().bcast(root, nbytes, group)
+
+    def allgatherv(self, nbytes_per_rank: Sequence[float],
+                   ranks: Optional[Sequence[int]] = None) -> float:
+        requested = self._group(ranks)
+        if len(nbytes_per_rank) != len(requested):
+            raise CommunicationError(
+                f"allgatherv: {len(nbytes_per_rank)} sizes for "
+                f"{len(requested)} ranks"
+            )
+        group = self._participants(ranks)
+        sizes = [nbytes_per_rank[requested.index(r)] for r in group]
+        return super().allgatherv(sizes, group)
+
+    def scatterv(self, root: int, nbytes_per_rank: Sequence[float],
+                 ranks: Optional[Sequence[int]] = None) -> float:
+        requested = self._group(ranks)
+        if len(nbytes_per_rank) != len(requested):
+            raise CommunicationError(
+                f"scatterv: {len(nbytes_per_rank)} sizes for "
+                f"{len(requested)} ranks"
+            )
+        group = self._participants(ranks)
+        if root not in group:
+            raise CommunicationError(
+                f"scatterv root {root} crashed or dropped out of group"
+            )
+        sizes = [nbytes_per_rank[requested.index(r)] for r in group]
+        return super().scatterv(root, sizes, group)
+
+    def gatherv(self, root: int, nbytes_per_rank: Sequence[float],
+                ranks: Optional[Sequence[int]] = None) -> float:
+        requested = self._group(ranks)
+        if len(nbytes_per_rank) != len(requested):
+            raise CommunicationError(
+                f"gatherv: {len(nbytes_per_rank)} sizes for "
+                f"{len(requested)} ranks"
+            )
+        group = self._participants(ranks)
+        if root not in group:
+            raise CommunicationError(
+                f"gatherv root {root} crashed or dropped out of group"
+            )
+        sizes = [nbytes_per_rank[requested.index(r)] for r in group]
+        return super().gatherv(root, sizes, group)

@@ -1,0 +1,225 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` scripts what goes wrong during a run: which ranks
+crash (and when), which devices straggle, how often kernels fail
+transiently or report garbage timings, and how often ranks drop out of
+collectives.  The plan is *data* -- a mapping from rank to a
+:class:`RankFaults` spec plus a seed -- so the same plan replayed against
+the same runtime produces bit-identical fault sequences, which is what
+makes fault-tolerance testable.
+
+Randomised faults (transient failures, garbage timings, collective drops)
+are driven by per-rank generators derived from the plan seed via
+:meth:`FaultPlan.rng`; scripted faults (crashes) fire at a fixed
+*operation index*.  The unit of that index belongs to the consumer:
+kernel executions for :class:`~repro.faults.FaultyKernel`, measurements
+for :class:`~repro.core.benchmark.ResilientPlatformBenchmark`, and
+application iterations for the distributed apps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RankFaults:
+    """Fault spec for one rank.
+
+    Attributes:
+        crash_at: operation index at which the rank permanently fails
+            (None = never crashes).  The index is 0-based and counted by
+            the consuming layer (executions, measurements or iterations).
+        transient_rate: probability that one kernel execution raises a
+            transient :class:`~repro.errors.FaultInjectionError`.
+        straggler_factor: multiplicative slowdown of every execution
+            (1.0 = nominal speed; 4.0 = four times slower).
+        nan_rate: probability that one kernel execution reports a
+            non-finite (NaN) elapsed time instead of a real measurement.
+        drop_collective_rate: probability that the rank silently drops
+            out of one collective operation.
+    """
+
+    crash_at: Optional[int] = None
+    transient_rate: float = 0.0
+    straggler_factor: float = 1.0
+    nan_rate: float = 0.0
+    drop_collective_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.crash_at is not None and self.crash_at < 0:
+            raise FaultInjectionError(
+                f"crash_at must be non-negative, got {self.crash_at}"
+            )
+        for field in ("transient_rate", "nan_rate", "drop_collective_rate"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0 or math.isnan(value):
+                raise FaultInjectionError(
+                    f"{field} must be a probability in [0, 1], got {value}"
+                )
+        if not self.straggler_factor >= 1.0 or math.isinf(self.straggler_factor):
+            raise FaultInjectionError(
+                f"straggler_factor must be a finite factor >= 1, "
+                f"got {self.straggler_factor}"
+            )
+
+    @property
+    def benign(self) -> bool:
+        """True when this spec injects nothing at all."""
+        return (
+            self.crash_at is None
+            and self.transient_rate == 0.0
+            and self.straggler_factor == 1.0
+            and self.nan_rate == 0.0
+            and self.drop_collective_rate == 0.0
+        )
+
+
+#: The spec of a rank the plan says nothing about.
+NO_FAULTS = RankFaults()
+
+
+class FaultPlan:
+    """A seeded schedule of faults for a whole run.
+
+    Args:
+        rank_faults: mapping from rank to its :class:`RankFaults` spec;
+            ranks not present behave normally.
+        seed: base seed for every randomised fault draw.
+    """
+
+    def __init__(
+        self,
+        rank_faults: Optional[Mapping[int, RankFaults]] = None,
+        seed: int = 0,
+    ) -> None:
+        specs: Dict[int, RankFaults] = {}
+        for rank, spec in (rank_faults or {}).items():
+            rank = int(rank)
+            if rank < 0:
+                raise FaultInjectionError(f"rank must be non-negative, got {rank}")
+            if not isinstance(spec, RankFaults):
+                raise FaultInjectionError(
+                    f"rank {rank}: expected a RankFaults spec, got {type(spec).__name__}"
+                )
+            specs[rank] = spec
+        self._specs = specs
+        self.seed = int(seed)
+
+    def for_rank(self, rank: int) -> RankFaults:
+        """The fault spec of ``rank`` (benign default when unlisted)."""
+        return self._specs.get(rank, NO_FAULTS)
+
+    def rng(self, rank: int, *stream: int) -> np.random.Generator:
+        """A fresh deterministic generator for ``rank``.
+
+        Extra ``stream`` integers derive independent sub-streams (e.g. one
+        per measurement index), so replays and checkpoint resumes draw the
+        same fault sequence for the same operation regardless of what ran
+        before it.
+        """
+        return np.random.default_rng([self.seed, rank, *stream])
+
+    @property
+    def faulty_ranks(self) -> List[int]:
+        """Ranks with a non-benign spec, sorted."""
+        return sorted(r for r, s in self._specs.items() if not s.benign)
+
+    def without_crashes(self) -> "FaultPlan":
+        """A copy of the plan with every ``crash_at`` cleared.
+
+        Used by consumers that schedule crashes at their own granularity
+        (the resilient benchmark per measurement, the apps per
+        iteration) but still delegate the probabilistic faults to a
+        lower layer -- otherwise the lower layer would count the same
+        ``crash_at`` against its own operation index and fire early.
+        """
+        return FaultPlan(
+            {
+                rank: dataclasses.replace(spec, crash_at=None)
+                for rank, spec in self._specs.items()
+            },
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation of the plan."""
+        return {
+            "seed": self.seed,
+            "ranks": {
+                str(rank): dataclasses.asdict(spec)
+                for rank, spec in sorted(self._specs.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(data, Mapping):
+            raise FaultInjectionError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(RankFaults)}
+        specs: Dict[int, RankFaults] = {}
+        for rank_text, fields in dict(data.get("ranks", {})).items():
+            try:
+                rank = int(rank_text)
+            except (TypeError, ValueError):
+                raise FaultInjectionError(
+                    f"bad rank key {rank_text!r} in fault plan"
+                ) from None
+            if not isinstance(fields, Mapping):
+                raise FaultInjectionError(
+                    f"rank {rank}: spec must be an object, got {type(fields).__name__}"
+                )
+            unknown = set(fields) - known
+            if unknown:
+                raise FaultInjectionError(
+                    f"rank {rank}: unknown fault fields {sorted(unknown)}; "
+                    f"known: {sorted(known)}"
+                )
+            try:
+                specs[rank] = RankFaults(**fields)
+            except TypeError as exc:
+                raise FaultInjectionError(f"rank {rank}: {exc}") from exc
+        try:
+            seed = int(data.get("seed", 0))
+        except (TypeError, ValueError):
+            raise FaultInjectionError(
+                f"fault plan seed must be an integer, got {data.get('seed')!r}"
+            ) from None
+        return cls(specs, seed=seed)
+
+    def save(self, path: PathLike) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FaultPlan":
+        """Read a plan back from a JSON file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise FaultInjectionError(f"cannot read fault plan {path}: {exc}") from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultInjectionError(f"{path}: not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, faulty_ranks={self.faulty_ranks})"

@@ -1,0 +1,120 @@
+"""Resilience bookkeeping: what failed, what was retried, who survived.
+
+The resilient runtime never hides a fault -- every retry, crash and
+quarantine becomes a :class:`ResilienceEvent`, and the final state of the
+run (who is still usable) is the :class:`ResilienceReport`.  Reports are
+built exclusively from deterministic quantities (ranks, operation indices,
+virtual costs), so two runs under the same seeded
+:class:`~repro.faults.FaultPlan` produce bit-identical reports -- the
+property the determinism tests pin down via :meth:`ResilienceReport.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One thing that went wrong (or was recovered from).
+
+    Attributes:
+        kind: event category: ``"transient"``, ``"retry"``, ``"remeasure"``,
+            ``"crash"``, ``"quarantine"``, ``"collective-drop"``,
+            ``"resume"`` or ``"repartition"``.
+        rank: the rank involved (-1 for run-wide events).
+        detail: human-readable specifics (sizes, attempt counts, ...).
+    """
+
+    kind: str
+    rank: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DeviceQuarantined:
+    """A device excluded from the run instead of crashing it.
+
+    Attributes:
+        rank: the quarantined rank.
+        device: the device's name.
+        failures: failure count accumulated when the decision was made.
+        reason: why (``"crash"``, ``"retries-exhausted"``,
+            ``"failure-budget"``).
+    """
+
+    rank: int
+    device: str
+    failures: int
+    reason: str
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated outcome of a resilient run.
+
+    Attributes:
+        events: everything that happened, in order.
+        quarantined: devices excluded from the run.
+        survivors: ranks still usable at the end, sorted.
+        retries: total measurement retries performed.
+        wasted_cost: kernel-seconds spent on failed attempts and backoff.
+    """
+
+    events: List[ResilienceEvent] = field(default_factory=list)
+    quarantined: List[DeviceQuarantined] = field(default_factory=list)
+    survivors: List[int] = field(default_factory=list)
+    retries: int = 0
+    wasted_cost: float = 0.0
+
+    def record(self, kind: str, rank: int, detail: str = "") -> None:
+        """Append one event."""
+        self.events.append(ResilienceEvent(kind=kind, rank=rank, detail=detail))
+
+    def quarantine(self, rank: int, device: str, failures: int, reason: str) -> None:
+        """Mark ``rank`` as quarantined (idempotent)."""
+        if self.is_quarantined(rank):
+            return
+        self.quarantined.append(
+            DeviceQuarantined(rank=rank, device=device, failures=failures,
+                              reason=reason)
+        )
+        self.record("quarantine", rank, f"device={device} reason={reason}")
+        if rank in self.survivors:
+            self.survivors.remove(rank)
+
+    def is_quarantined(self, rank: int) -> bool:
+        """Whether ``rank`` has been quarantined."""
+        return any(q.rank == rank for q in self.quarantined)
+
+    def to_dict(self) -> Dict:
+        """Fully deterministic representation, for equality checks and JSON."""
+        return {
+            "events": [
+                {"kind": e.kind, "rank": e.rank, "detail": e.detail}
+                for e in self.events
+            ],
+            "quarantined": [
+                {"rank": q.rank, "device": q.device, "failures": q.failures,
+                 "reason": q.reason}
+                for q in self.quarantined
+            ],
+            "survivors": list(self.survivors),
+            "retries": self.retries,
+            "wasted_cost": repr(self.wasted_cost),
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human summary for CLI output."""
+        lines = [
+            f"resilience: {len(self.events)} events, {self.retries} retries, "
+            f"{len(self.quarantined)} quarantined, "
+            f"survivors {self.survivors}"
+        ]
+        for q in self.quarantined:
+            lines.append(
+                f"  quarantined rank {q.rank} ({q.device}): {q.reason} "
+                f"after {q.failures} failures"
+            )
+        return "\n".join(lines)

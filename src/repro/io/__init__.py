@@ -7,6 +7,7 @@ read them back and partition.  This package provides the same workflow with
 a simple, versioned, line-oriented text format.
 """
 
+from repro.io.checkpoint import SweepCheckpoint
 from repro.io.files import (
     load_distribution,
     load_model,
@@ -17,6 +18,7 @@ from repro.io.files import (
 from repro.io.profiles import load_profile, save_profile
 
 __all__ = [
+    "SweepCheckpoint",
     "load_distribution",
     "load_model",
     "load_points",

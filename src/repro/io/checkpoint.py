@@ -1,0 +1,159 @@
+"""Checkpoint/resume of measurement sweeps (atomic write + journal).
+
+A benchmark sweep is the expensive step of the static workflow; losing an
+hour of measurements to a crash at point 59 of 60 is not acceptable in
+production.  :class:`SweepCheckpoint` journals every *committed*
+measurement point as one JSON line, flushed and fsynced, so the on-disk
+state is always a durable prefix of the work done:
+
+* :meth:`commit` appends one durable line per measurement;
+* :meth:`load` reads the committed points back, tolerating a torn final
+  line (the signature of dying mid-write) by ignoring it;
+* :meth:`compact` atomically rewrites the journal (write to a temporary
+  file in the same directory, then ``os.replace``), dropping duplicates
+  from overlapping resumed runs.
+
+An interrupted sweep resumed through
+:func:`repro.core.builder.build_resilient_models` skips every committed
+``(rank, size)`` pair and measures only the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.point import MeasurementPoint
+from repro.errors import FuPerModError, PersistenceError
+
+PathLike = Union[str, Path]
+
+_MAGIC = "fupermod-journal"
+_VERSION = 1
+
+
+class SweepCheckpoint:
+    """Append-only journal of committed measurement points.
+
+    Args:
+        path: the journal file; created (with its parent directory) on the
+            first commit.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    @property
+    def exists(self) -> bool:
+        """Whether a journal file is present on disk."""
+        return self.path.exists()
+
+    def commit(self, rank: int, point: MeasurementPoint) -> None:
+        """Durably append one measurement point.
+
+        The line is flushed and fsynced before returning: once
+        ``commit`` returns, the point survives a crash.
+        """
+        if rank < 0:
+            raise PersistenceError(f"rank must be non-negative, got {rank}")
+        record = {
+            "magic": _MAGIC,
+            "v": _VERSION,
+            "rank": rank,
+            "d": point.d,
+            "t": point.t,
+            "reps": point.reps,
+            "ci": point.ci,
+        }
+        line = json.dumps(record, sort_keys=True)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(f"cannot journal to {self.path}: {exc}") from exc
+
+    def load(self) -> Dict[int, Dict[int, MeasurementPoint]]:
+        """Committed points, as ``{rank: {size: point}}``.
+
+        A missing journal is an empty checkpoint.  A torn *final* line
+        (interrupted mid-write) is ignored; corruption anywhere else
+        raises :class:`~repro.errors.PersistenceError`.  Duplicate
+        ``(rank, size)`` entries keep the latest commit.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
+        out: Dict[int, Dict[int, MeasurementPoint]] = {}
+        lines = text.split("\n")
+        # A well-formed journal ends with a newline, so the final split
+        # element is empty; anything else is a torn tail.
+        body, tail = lines[:-1], lines[-1]
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("magic") != _MAGIC:
+                    raise PersistenceError(
+                        f"{self.path}:{lineno}: not a journal record"
+                    )
+                point = MeasurementPoint(
+                    d=int(record["d"]),
+                    t=float(record["t"]),
+                    reps=int(record["reps"]),
+                    ci=float(record["ci"]),
+                )
+                rank = int(record["rank"])
+            except PersistenceError:
+                raise
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    FuPerModError) as exc:
+                if lineno == len(body) and not tail:
+                    # Torn final line: the crash interrupted this commit;
+                    # everything before it is intact.
+                    break
+                raise PersistenceError(f"{self.path}:{lineno}: {exc}") from exc
+            out.setdefault(rank, {})[point.d] = point
+        return out
+
+    def compact(self) -> None:
+        """Atomically rewrite the journal without duplicates or torn tails."""
+        committed = self.load()
+        if not committed:
+            return
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for rank in sorted(committed):
+                    for d in sorted(committed[rank]):
+                        point = committed[rank][d]
+                        handle.write(json.dumps({
+                            "magic": _MAGIC, "v": _VERSION, "rank": rank,
+                            "d": point.d, "t": point.t, "reps": point.reps,
+                            "ci": point.ci,
+                        }, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise PersistenceError(f"cannot compact {self.path}: {exc}") from exc
+
+    def clear(self) -> None:
+        """Delete the journal (start the sweep from scratch)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise PersistenceError(f"cannot remove {self.path}: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepCheckpoint({str(self.path)!r})"

@@ -13,6 +13,13 @@ textbook ones MPI implementations use at these scales:
 Blocking semantics are preserved: a receiver cannot finish before the data
 has been produced, and collectives act as synchronisation points for the
 participating ranks.
+
+Argument validation is strict, because a simulated communicator has no MPI
+runtime underneath it to crash loudly: invalid ranks, empty or duplicate
+rank groups, negative or non-finite message sizes, and zero-size
+``exchange``/``allgatherv``/``scatterv``/``gatherv`` operations (a
+collective that moves no data is a caller bug, not a no-op) all raise
+:class:`~repro.errors.CommunicationError`.
 """
 
 from __future__ import annotations
@@ -88,6 +95,7 @@ class SimCommunicator:
         """
         self._check_rank(src)
         self._check_rank(dst)
+        self._check_nbytes("send", [nbytes])
         if src == dst:
             return self._clocks[src].now
         wire = self.network.time(src, dst, nbytes)
@@ -112,10 +120,11 @@ class SimCommunicator:
         """
         self._check_rank(a)
         self._check_rank(b)
-        if a == b:
-            return self._clocks[a].now
         if nbytes_ba is None:
             nbytes_ba = nbytes_ab
+        self._check_nbytes("exchange", [nbytes_ab, nbytes_ba], total_positive=True)
+        if a == b:
+            return self._clocks[a].now
         wire = max(
             self.network.time(a, b, nbytes_ab),
             self.network.time(b, a, nbytes_ba),
@@ -137,6 +146,7 @@ class SimCommunicator:
         together (an allreduce is a synchronisation).
         """
         group = self._group(ranks)
+        self._check_nbytes("allreduce", [nbytes])
         if len(group) == 1:
             return self._clocks[group[0]].now
         start = max(self._clocks[r].now for r in group)
@@ -169,6 +179,7 @@ class SimCommunicator:
         group = self._group(ranks)
         if root not in group:
             raise CommunicationError(f"bcast root {root} not in group {group}")
+        self._check_nbytes("bcast", [nbytes])
         if len(group) == 1:
             return self._clocks[root].now
         start = max(self._clocks[r].now for r in group)
@@ -205,6 +216,7 @@ class SimCommunicator:
             raise CommunicationError(
                 f"allgatherv: {len(nbytes_per_rank)} sizes for {len(group)} ranks"
             )
+        self._check_nbytes("allgatherv", nbytes_per_rank, total_positive=True)
         if len(group) == 1:
             return self._clocks[group[0]].now
         start = max(self._clocks[r].now for r in group)
@@ -240,6 +252,7 @@ class SimCommunicator:
             raise CommunicationError(
                 f"scatterv: {len(nbytes_per_rank)} sizes for {len(group)} ranks"
             )
+        self._check_nbytes("scatterv", nbytes_per_rank, total_positive=True)
         start = max(self._clocks[root].now, self._clocks[root].now)
         t = start
         finish = start
@@ -267,6 +280,7 @@ class SimCommunicator:
             raise CommunicationError(
                 f"gatherv: {len(nbytes_per_rank)} sizes for {len(group)} ranks"
             )
+        self._check_nbytes("gatherv", nbytes_per_rank, total_positive=True)
         t = self._clocks[root].now
         for i, r in enumerate(group):
             if r == root:
@@ -280,9 +294,11 @@ class SimCommunicator:
     def _group(self, ranks: Optional[Sequence[int]]) -> List[int]:
         if ranks is None:
             return list(range(self._size))
-        group = list(dict.fromkeys(ranks))
+        group = list(ranks)
         if not group:
             raise CommunicationError("empty rank group")
+        if len(set(group)) != len(group):
+            raise CommunicationError(f"duplicate ranks in group {group}")
         for r in group:
             self._check_rank(r)
         return group
@@ -290,6 +306,16 @@ class SimCommunicator:
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self._size:
             raise CommunicationError(f"rank {rank} out of range 0..{self._size - 1}")
+
+    @staticmethod
+    def _check_nbytes(op: str, sizes: Sequence[float], total_positive: bool = False) -> None:
+        for nbytes in sizes:
+            if not math.isfinite(nbytes) or nbytes < 0.0:
+                raise CommunicationError(
+                    f"{op}: message size must be finite and non-negative, got {nbytes}"
+                )
+        if total_positive and sum(sizes) <= 0.0:
+            raise CommunicationError(f"{op}: zero-size operation (no data to move)")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimCommunicator(size={self._size})"

@@ -1,0 +1,169 @@
+"""SweepCheckpoint: journal durability, corruption handling, resume."""
+
+import json
+
+import pytest
+
+from repro.core.benchmark import ResilientPlatformBenchmark
+from repro.core.builder import build_resilient_models
+from repro.core.models import PiecewiseModel
+from repro.core.point import MeasurementPoint
+from repro.core.precision import Precision
+from repro.errors import PersistenceError
+from repro.faults import FaultPlan, RankFaults
+from repro.io.checkpoint import SweepCheckpoint
+from repro.platform.presets import heterogeneous_cluster
+
+pytestmark = pytest.mark.faults
+
+
+def _point(d=100, t=1.5):
+    return MeasurementPoint(d=d, t=t, reps=3, ci=0.01)
+
+
+class TestJournal:
+    def test_missing_journal_is_empty(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "none.journal")
+        assert not ck.exists
+        assert ck.load() == {}
+
+    def test_commit_load_round_trip(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "sweep.journal")
+        ck.commit(0, _point(d=10, t=1.0))
+        ck.commit(0, _point(d=20, t=2.0))
+        ck.commit(3, _point(d=10, t=4.0))
+        committed = ck.load()
+        assert sorted(committed) == [0, 3]
+        assert committed[0][20] == _point(d=20, t=2.0)
+        assert committed[3][10].t == 4.0
+
+    def test_parent_directory_created_on_first_commit(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "deep" / "nested" / "sweep.journal")
+        ck.commit(0, _point())
+        assert ck.exists
+
+    def test_negative_rank_rejected(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "sweep.journal")
+        with pytest.raises(PersistenceError, match="non-negative"):
+            ck.commit(-1, _point())
+
+    def test_duplicate_commit_keeps_latest(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "sweep.journal")
+        ck.commit(0, _point(d=10, t=1.0))
+        ck.commit(0, _point(d=10, t=9.0))
+        assert ck.load()[0][10].t == 9.0
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        ck = SweepCheckpoint(path)
+        ck.commit(0, _point(d=10))
+        ck.commit(1, _point(d=20))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"magic": "fupermod-journal", "rank": 2, "d": 3')
+        committed = ck.load()  # the interrupted commit is simply not there
+        assert sorted(committed) == [0, 1]
+
+    def test_corruption_in_the_middle_raises(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        ck = SweepCheckpoint(path)
+        ck.commit(0, _point(d=10))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+        ck.commit(1, _point(d=20))
+        with pytest.raises(PersistenceError, match="sweep.journal:2"):
+            ck.load()
+
+    def test_foreign_json_rejected(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        path.write_text(json.dumps({"rank": 0, "d": 1, "t": 1.0}) + "\n",
+                        encoding="utf-8")
+        with pytest.raises(PersistenceError, match="not a journal record"):
+            SweepCheckpoint(path).load()
+
+    def test_invalid_point_value_rejected(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        ck = SweepCheckpoint(path)
+        bad = {"magic": "fupermod-journal", "v": 1, "rank": 0,
+               "d": 10, "t": -1.0, "reps": 1, "ci": 0.0}
+        path.write_text(json.dumps(bad) + "\n", encoding="utf-8")
+        ck.commit(1, _point())  # the bad record is not a torn tail
+        with pytest.raises(PersistenceError, match="sweep.journal:1"):
+            ck.load()
+
+    def test_compact_drops_duplicates_and_torn_tail(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        ck = SweepCheckpoint(path)
+        ck.commit(0, _point(d=10, t=1.0))
+        ck.commit(0, _point(d=10, t=2.0))
+        ck.commit(1, _point(d=10, t=3.0))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        before = ck.load()
+        ck.compact()
+        text = path.read_text(encoding="utf-8")
+        assert len(text.strip().split("\n")) == 2  # one line per (rank, d)
+        assert text.endswith("\n")
+        assert ck.load() == before
+
+    def test_clear_removes_the_journal(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "sweep.journal")
+        ck.commit(0, _point())
+        ck.clear()
+        assert not ck.exists
+        ck.clear()  # idempotent
+
+
+class TestResume:
+    SIZES = [64, 256, 1024]
+
+    def _bench(self):
+        return ResilientPlatformBenchmark(
+            heterogeneous_cluster(),
+            unit_flops=2.0 * 32**3,
+            precision=Precision(reps_min=1, reps_max=2),
+            seed=7,
+            plan=FaultPlan({0: RankFaults(crash_at=2)}, seed=42),
+        )
+
+    def _points(self, models):
+        return [[(p.d, p.t, p.reps, p.ci) for p in m.points] for m in models]
+
+    def test_resume_reproduces_the_uninterrupted_run(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "sweep.journal")
+
+        # "crash" after the first two sizes...
+        partial = build_resilient_models(
+            self._bench(), PiecewiseModel, self.SIZES[:2], checkpoint=ck
+        )
+        assert ck.exists
+        committed = sum(m.count for m in partial.models)
+        assert committed > 0
+
+        # ...then a fresh process resumes the full sweep from the journal
+        resumed = build_resilient_models(
+            self._bench(), PiecewiseModel, self.SIZES, checkpoint=ck
+        )
+        reused = [e for e in resumed.report.events if e.kind == "resume"]
+        assert len(reused) == committed
+
+        # and one uninterrupted run is the ground truth
+        reference = build_resilient_models(
+            self._bench(), PiecewiseModel, self.SIZES
+        )
+        assert self._points(resumed.models) == self._points(reference.models)
+        assert resumed.survivors == reference.survivors
+
+        # resumed measurement cost covers only the remainder
+        assert resumed.total_cost < reference.total_cost
+
+    def test_journal_reflects_full_sweep_after_resume(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "sweep.journal")
+        build_resilient_models(
+            self._bench(), PiecewiseModel, self.SIZES[:1], checkpoint=ck
+        )
+        result = build_resilient_models(
+            self._bench(), PiecewiseModel, self.SIZES, checkpoint=ck
+        )
+        committed = ck.load()
+        for rank in result.survivors:
+            assert sorted(committed[rank]) == self.SIZES

@@ -1,0 +1,194 @@
+"""FaultyKernel, DegradedDevice and FaultyCommunicator behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import SimulatedKernel
+from repro.errors import CommunicationError, FaultInjectionError
+from repro.faults import FaultPlan, RankFaults
+from repro.faults.inject import DegradedDevice, FaultyCommunicator, FaultyKernel
+from repro.faults.report import ResilienceReport
+from repro.platform.device import Device
+from repro.platform.profiles import ConstantProfile
+
+UNIT_FLOPS = 1e6
+
+
+def _device(name="dev", flops=1e9):
+    return Device(name, ConstantProfile(flops), noise=None)
+
+
+def _kernel(spec, seed=0):
+    inner = SimulatedKernel(_device(), UNIT_FLOPS, rng=np.random.default_rng(seed))
+    return FaultyKernel(inner, spec, rng=np.random.default_rng(seed))
+
+
+def _run_once(kernel, d=32):
+    ctx = kernel.initialize(d)
+    try:
+        return kernel.execute(ctx)
+    finally:
+        kernel.finalize(ctx)
+
+
+# -- FaultyKernel ---------------------------------------------------------
+
+def test_benign_spec_is_transparent():
+    healthy = SimulatedKernel(_device(), UNIT_FLOPS, rng=np.random.default_rng(1))
+    faulty = _kernel(RankFaults(), seed=1)
+    assert _run_once(faulty, 32) == pytest.approx(_run_once(healthy, 32))
+
+
+def test_crash_at_counts_executions_and_is_permanent():
+    kernel = _kernel(RankFaults(crash_at=2), seed=0)
+    _run_once(kernel)
+    _run_once(kernel)
+    for _ in range(2):  # execution 2 and every later one
+        with pytest.raises(FaultInjectionError) as excinfo:
+            _run_once(kernel)
+        assert excinfo.value.fatal
+        assert excinfo.value.kind == "crash"
+
+
+def test_transient_failures_are_non_fatal_and_seeded():
+    spec = RankFaults(transient_rate=0.5)
+
+    def failure_pattern(seed):
+        kernel = _kernel(spec, seed=seed)
+        pattern = []
+        for _ in range(20):
+            try:
+                _run_once(kernel)
+                pattern.append(False)
+            except FaultInjectionError as exc:
+                assert not exc.fatal
+                assert exc.kind == "transient"
+                pattern.append(True)
+        return pattern
+
+    pattern = failure_pattern(seed=3)
+    assert any(pattern) and not all(pattern)
+    assert pattern == failure_pattern(seed=3)  # same seed, same faults
+
+
+def test_nan_rate_reports_garbage_timing():
+    kernel = _kernel(RankFaults(nan_rate=1.0), seed=0)
+    assert math.isnan(_run_once(kernel))
+
+
+def test_straggler_scales_elapsed_time():
+    healthy = SimulatedKernel(_device(), UNIT_FLOPS, rng=np.random.default_rng(5))
+    slow = _kernel(RankFaults(straggler_factor=4.0), seed=5)
+    assert _run_once(slow, 64) == pytest.approx(4.0 * _run_once(healthy, 64))
+
+
+def test_wrapper_delegates_complexity_and_contention():
+    kernel = _kernel(RankFaults(), seed=0)
+    assert kernel.complexity(10) == kernel.inner.complexity(10)
+    kernel.contention_factor = 0.5
+    assert kernel.inner.contention_factor == 0.5
+
+
+# -- DegradedDevice -------------------------------------------------------
+
+def test_degraded_device_scales_ideal_time():
+    healthy = _device()
+    degraded = DegradedDevice(healthy, slowdown=3.0)
+    assert degraded.ideal_time(UNIT_FLOPS, 10) == pytest.approx(
+        3.0 * healthy.ideal_time(UNIT_FLOPS, 10)
+    )
+
+
+@pytest.mark.parametrize("slowdown", [0.5, 0.0, float("inf"), float("nan")])
+def test_degraded_device_rejects_bad_slowdown(slowdown):
+    with pytest.raises(FaultInjectionError):
+        DegradedDevice(_device(), slowdown)
+
+
+# -- FaultyCommunicator ---------------------------------------------------
+
+def test_dead_peer_point_to_point_raises():
+    comm = FaultyCommunicator(4)
+    comm.mark_dead(2)
+    assert comm.alive == [0, 1, 3]
+    assert comm.is_dead(2)
+    with pytest.raises(CommunicationError, match="rank 2 has crashed"):
+        comm.send(0, 2, 64.0)
+    with pytest.raises(CommunicationError, match="rank 2 has crashed"):
+        comm.exchange(2, 3, 64.0)
+
+
+def test_collectives_complete_with_survivors():
+    comm = FaultyCommunicator(4)
+    comm.compute(3, 5.0)
+    comm.mark_dead(3)
+    t = comm.barrier()
+    # the dead rank's clock no longer gates the others
+    assert t < 5.0
+    assert math.isfinite(comm.allreduce(8.0))
+    assert math.isfinite(comm.allgatherv([8.0, 8.0, 8.0, 8.0]))
+
+
+def test_dead_root_raises():
+    comm = FaultyCommunicator(3)
+    comm.mark_dead(0)
+    with pytest.raises(CommunicationError, match="root 0"):
+        comm.bcast(0, 8.0)
+    with pytest.raises(CommunicationError, match="root 0"):
+        comm.scatterv(0, [8.0, 8.0, 8.0])
+    with pytest.raises(CommunicationError, match="root 0"):
+        comm.gatherv(0, [8.0, 8.0, 8.0])
+
+
+def test_all_dead_collective_raises():
+    comm = FaultyCommunicator(2)
+    comm.mark_dead(0)
+    comm.mark_dead(1)
+    with pytest.raises(CommunicationError, match="no surviving participants"):
+        comm.barrier()
+
+
+def test_scripted_crash_counts_collectives():
+    plan = FaultPlan({1: RankFaults(crash_at=2)})
+    report = ResilienceReport(survivors=[0, 1, 2])
+    comm = FaultyCommunicator(3, plan=plan, network=None, report=report)
+    comm.barrier()   # collective 0
+    comm.barrier()   # collective 1
+    assert not comm.is_dead(1)
+    comm.barrier()   # collective 2: rank 1 dies on schedule
+    assert comm.is_dead(1)
+    assert any(e.kind == "crash" and e.rank == 1 for e in report.events)
+
+
+def test_probabilistic_drops_are_seeded_and_recorded():
+    plan = FaultPlan({2: RankFaults(drop_collective_rate=0.5)}, seed=11)
+
+    def run():
+        report = ResilienceReport(survivors=[0, 1, 2, 3])
+        comm = FaultyCommunicator(4, plan=plan, report=report)
+        for _ in range(20):
+            comm.allreduce(8.0)
+        return [(e.kind, e.rank, e.detail) for e in report.events]
+
+    events = run()
+    drops = [e for e in events if e[0] == "collective-drop"]
+    assert drops and len(drops) < 20
+    assert all(rank == 2 for _, rank, _ in drops)
+    assert events == run()  # same seed, same drop schedule
+    # dropping out of collectives never kills the rank
+    comm = FaultyCommunicator(4, plan=plan)
+    for _ in range(20):
+        comm.allreduce(8.0)
+    assert comm.alive == [0, 1, 2, 3]
+
+
+def test_vector_collective_sizes_follow_surviving_group():
+    comm = FaultyCommunicator(3)
+    comm.mark_dead(1)
+    # three sizes for the requested full group; the dead rank's entry is
+    # discarded along with the rank, and the call still completes
+    assert math.isfinite(comm.allgatherv([64.0, 1e12, 64.0]))
+    with pytest.raises(CommunicationError, match="allgatherv: 2 sizes"):
+        comm.allgatherv([64.0, 64.0])

@@ -1,0 +1,161 @@
+"""FaultPlan / RankFaults: validation, serialisation, determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import FaultPlan, RankFaults
+from repro.faults.plan import NO_FAULTS
+
+
+# -- RankFaults validation ------------------------------------------------
+
+def test_default_spec_is_benign():
+    assert NO_FAULTS.benign
+    assert RankFaults().benign
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"crash_at": -1},
+        {"transient_rate": -0.1},
+        {"transient_rate": 1.5},
+        {"transient_rate": float("nan")},
+        {"nan_rate": 2.0},
+        {"drop_collective_rate": -1e-9},
+        {"straggler_factor": 0.5},
+        {"straggler_factor": 0.0},
+        {"straggler_factor": float("inf")},
+        {"straggler_factor": float("nan")},
+    ],
+)
+def test_invalid_spec_rejected(kwargs):
+    with pytest.raises(FaultInjectionError):
+        RankFaults(**kwargs)
+
+
+def test_any_single_fault_makes_spec_non_benign():
+    assert not RankFaults(crash_at=0).benign
+    assert not RankFaults(transient_rate=0.1).benign
+    assert not RankFaults(straggler_factor=2.0).benign
+    assert not RankFaults(nan_rate=0.1).benign
+    assert not RankFaults(drop_collective_rate=0.1).benign
+
+
+# -- plan construction ----------------------------------------------------
+
+def test_unlisted_rank_gets_benign_default():
+    plan = FaultPlan({1: RankFaults(crash_at=3)})
+    assert plan.for_rank(0) is NO_FAULTS
+    assert plan.for_rank(1).crash_at == 3
+
+
+def test_faulty_ranks_excludes_benign_specs():
+    plan = FaultPlan({0: RankFaults(), 2: RankFaults(straggler_factor=2.0),
+                      5: RankFaults(crash_at=1)})
+    assert plan.faulty_ranks == [2, 5]
+
+
+def test_negative_rank_rejected():
+    with pytest.raises(FaultInjectionError, match="non-negative"):
+        FaultPlan({-1: RankFaults()})
+
+
+def test_non_spec_value_rejected():
+    with pytest.raises(FaultInjectionError, match="RankFaults"):
+        FaultPlan({0: {"crash_at": 1}})
+
+
+# -- without_crashes ------------------------------------------------------
+
+def test_without_crashes_clears_only_crash_at():
+    plan = FaultPlan(
+        {0: RankFaults(crash_at=2, transient_rate=0.3, straggler_factor=4.0)},
+        seed=99,
+    )
+    stripped = plan.without_crashes()
+    spec = stripped.for_rank(0)
+    assert spec.crash_at is None
+    assert spec.transient_rate == 0.3
+    assert spec.straggler_factor == 4.0
+    assert stripped.seed == 99
+    # the original plan is untouched
+    assert plan.for_rank(0).crash_at == 2
+
+
+# -- seeded rng streams ---------------------------------------------------
+
+def test_rng_streams_are_deterministic_and_independent():
+    plan = FaultPlan(seed=42)
+    a1 = plan.rng(0, 7).random(4).tolist()
+    a2 = plan.rng(0, 7).random(4).tolist()
+    assert a1 == a2  # same (rank, stream) replays identically
+    assert plan.rng(1, 7).random(4).tolist() != a1  # rank decorrelates
+    assert plan.rng(0, 8).random(4).tolist() != a1  # stream decorrelates
+    assert FaultPlan(seed=43).rng(0, 7).random(4).tolist() != a1
+
+
+# -- serialisation --------------------------------------------------------
+
+def test_dict_round_trip():
+    plan = FaultPlan(
+        {2: RankFaults(crash_at=5, nan_rate=0.2),
+         4: RankFaults(straggler_factor=3.0)},
+        seed=7,
+    )
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.seed == 7
+    assert clone.for_rank(2) == plan.for_rank(2)
+    assert clone.for_rank(4) == plan.for_rank(4)
+    assert clone.faulty_ranks == plan.faulty_ranks
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "plan.json"
+    plan = FaultPlan({1: RankFaults(transient_rate=0.25)}, seed=13)
+    plan.save(path)
+    loaded = FaultPlan.load(path)
+    assert loaded.seed == 13
+    assert loaded.for_rank(1).transient_rate == 0.25
+    # the file is plain JSON a user can hand-edit
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["ranks"]["1"]["transient_rate"] == 0.25
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FaultInjectionError, match="cannot read"):
+        FaultPlan.load(tmp_path / "nope.json")
+
+
+def test_load_invalid_json_raises(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(FaultInjectionError, match="not valid JSON"):
+        FaultPlan.load(path)
+
+
+@pytest.mark.parametrize(
+    "data, match",
+    [
+        (["not", "an", "object"], "JSON object"),
+        ({"ranks": {"zero": {}}}, "bad rank key"),
+        ({"ranks": {"0": [1, 2]}}, "must be an object"),
+        ({"ranks": {"0": {"explode_rate": 0.5}}}, "unknown fault fields"),
+        ({"seed": "soon"}, "seed must be an integer"),
+    ],
+)
+def test_malformed_plan_dict_raises(data, match):
+    with pytest.raises(FaultInjectionError, match=match):
+        FaultPlan.from_dict(data)
+
+
+def test_out_of_range_value_in_file_raises(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(
+        json.dumps({"seed": 0, "ranks": {"0": {"transient_rate": 7.0}}}),
+        encoding="utf-8",
+    )
+    with pytest.raises(FaultInjectionError, match="probability"):
+        FaultPlan.load(path)

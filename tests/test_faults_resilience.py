@@ -1,0 +1,276 @@
+"""End-to-end resilience: faulty sweep -> surviving models -> partition.
+
+The acceptance property of the fault-injection subsystem: a seeded
+FaultPlan with one crashing rank, one straggler and a transient failure
+rate must not abort the benchmark->model->partition pipeline.  The
+crashed rank is quarantined, the survivors produce models, the
+partitioner allocates the full problem over them, and -- because every
+fault draw is seeded per (rank, operation) -- the whole run replays
+bit-identically.
+"""
+
+import pytest
+
+from repro.core.benchmark import ResilientPlatformBenchmark
+from repro.core.builder import build_resilient_models
+from repro.core.models import PiecewiseModel
+from repro.core.partition.dist import Distribution
+from repro.core.partition.dynamic import LoadBalancer
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.resilient import (
+    partition_survivors,
+    redistribute_to_survivors,
+)
+from repro.core.point import MeasurementPoint
+from repro.core.precision import Precision
+from repro.errors import PartitionError, QuarantineError
+from repro.faults import FaultPlan, RankFaults
+from repro.faults.report import ResilienceReport
+from repro.platform.presets import heterogeneous_cluster
+
+pytestmark = pytest.mark.faults
+
+SIZES = [64, 256, 1024, 4096]
+CRASHED, STRAGGLER, FLAKY = 0, 2, 3
+
+
+def _plan(seed):
+    return FaultPlan(
+        {
+            CRASHED: RankFaults(crash_at=2),
+            STRAGGLER: RankFaults(straggler_factor=3.0),
+            FLAKY: RankFaults(transient_rate=0.1),
+        },
+        seed=seed,
+    )
+
+
+def _pipeline(seed):
+    bench = ResilientPlatformBenchmark(
+        heterogeneous_cluster(),
+        unit_flops=2.0 * 32**3,
+        precision=Precision(reps_min=1, reps_max=2),
+        seed=7,
+        plan=_plan(seed),
+    )
+    return bench, build_resilient_models(bench, PiecewiseModel, SIZES)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize("seed", [3, 42, 1234])
+    def test_sweep_completes_and_quarantines_only_the_crashed_rank(self, seed):
+        bench, result = _pipeline(seed)
+        size = bench.size
+
+        # exactly the crashed rank is quarantined, with the right reason
+        assert [q.rank for q in result.report.quarantined] == [CRASHED]
+        assert result.report.quarantined[0].reason == "crash"
+        assert result.survivors == [r for r in range(size) if r != CRASHED]
+
+        # every survivor's model covers the full sweep
+        for r in result.survivors:
+            assert result.models[r].count == len(SIZES)
+            assert result.models[r].is_ready
+
+        # the straggler survived -- it is slow, not broken -- and its
+        # model honestly shows ~3x the healthy time at every size
+        straggler_t = result.models[STRAGGLER].time(SIZES[-1])
+        healthy = bench.kernel(STRAGGLER).device.ideal_time(
+            bench.complexity(SIZES[-1]), SIZES[-1]
+        )
+        assert straggler_t == pytest.approx(3.0 * healthy, rel=0.25)
+
+        # measurement cost was actually accounted
+        assert result.total_cost > 0.0
+
+    @pytest.mark.parametrize("seed", [3, 42, 1234])
+    def test_partition_over_survivors_sums_to_total(self, seed):
+        _, result = _pipeline(seed)
+        total = 10_000
+        dist = partition_survivors(total, result.models, result.survivors)
+        assert sum(dist.sizes) == total
+        assert dist.sizes[CRASHED] == 0
+        assert all(isinstance(d, int) for d in dist.sizes)
+        assert all(dist.sizes[r] > 0 for r in result.survivors)
+
+    @pytest.mark.parametrize("seed", [3, 42, 1234])
+    def test_same_seed_replays_bit_identically(self, seed):
+        _, first = _pipeline(seed)
+        _, second = _pipeline(seed)
+        assert first.report.to_dict() == second.report.to_dict()
+        for m1, m2 in zip(first.models, second.models):
+            assert [(p.d, p.t) for p in m1.points] == [
+                (p.d, p.t) for p in m2.points
+            ]
+
+    def test_different_seeds_differ(self):
+        # not a hard guarantee per-seed, but these three draw differently
+        reports = [_pipeline(s)[1].report.to_dict() for s in (3, 42, 1234)]
+        assert reports[0] != reports[1] or reports[1] != reports[2]
+
+    def test_transients_are_retried_not_fatal(self):
+        # a high transient rate forces visible retries within the budget
+        plan = FaultPlan({1: RankFaults(transient_rate=0.4)}, seed=5)
+        bench = ResilientPlatformBenchmark(
+            heterogeneous_cluster(),
+            unit_flops=2.0 * 32**3,
+            precision=Precision(reps_min=1, reps_max=2),
+            seed=7,
+            plan=plan,
+        )
+        result = build_resilient_models(bench, PiecewiseModel, SIZES)
+        assert result.report.retries > 0
+        assert result.report.wasted_cost > 0.0
+        assert 1 in result.survivors  # retried through, never quarantined
+
+    def test_measuring_a_quarantined_rank_raises(self):
+        bench, _ = _pipeline(42)
+        with pytest.raises(QuarantineError) as excinfo:
+            bench.measure(CRASHED, 64)
+        assert excinfo.value.rank == CRASHED
+
+
+class TestPartitionSurvivors:
+    def _models(self, speeds):
+        models = []
+        for s in speeds:
+            m = PiecewiseModel()
+            for d in (10, 100):
+                m.update(MeasurementPoint(d=d, t=d / s))
+            models.append(m)
+        return models
+
+    def test_dead_ranks_get_zero_live_ranks_split_by_speed(self):
+        models = self._models([1.0, 3.0, 1.0])
+        dist = partition_survivors(400, models, [1, 2])
+        assert dist.sizes[0] == 0
+        assert sum(dist.sizes) == 400
+        assert dist.sizes[1] == pytest.approx(300, abs=2)
+
+    def test_all_ranks_surviving_matches_plain_partition(self):
+        models = self._models([1.0, 2.0])
+        full = partition_geometric(300, models)
+        dist = partition_survivors(300, models, [0, 1])
+        assert dist.sizes == full.sizes
+
+    @pytest.mark.parametrize(
+        "survivors, match",
+        [
+            ([], "no surviving ranks"),
+            ([0, 0], "duplicate survivor"),
+            ([0, 5], "out of range"),
+        ],
+    )
+    def test_bad_survivor_lists_rejected(self, survivors, match):
+        models = self._models([1.0, 1.0])
+        with pytest.raises(PartitionError, match=match):
+            partition_survivors(100, models, survivors)
+
+    def test_redistribute_evacuates_the_dead_rank(self):
+        models = self._models([1.0, 1.0, 1.0])
+        current = Distribution.from_sizes([40, 40, 40])
+        new_dist, plan = redistribute_to_survivors(current, models, [0, 2])
+        assert new_dist.sizes[1] == 0
+        assert sum(new_dist.sizes) == 120
+        moved_from_dead = sum(t.units for t in plan if t.source == 1)
+        assert moved_from_dead == 40
+        assert not any(t.dest == 1 for t in plan)
+
+
+class TestLoadBalancerQuarantine:
+    def _balancer(self, total=120, size=3):
+        models = [PiecewiseModel() for _ in range(size)]
+        return LoadBalancer(partition_geometric, models, total)
+
+    def test_quarantine_moves_share_to_survivors(self):
+        lb = self._balancer(total=120, size=3)
+        dist = lb.quarantine(1)
+        assert dist.sizes[1] == 0
+        assert sum(dist.sizes) == 120
+        assert lb.excluded == [1]
+        assert lb.survivors == [0, 2]
+
+    def test_quarantined_rank_stays_empty_across_rebalances(self):
+        lb = self._balancer(total=120, size=3)
+        lb.quarantine(1)
+        for _ in range(4):
+            times = [1.0 if d else 0.0 for d in lb.dist.sizes]
+            dist = lb.iterate(times)
+            assert dist.sizes[1] == 0
+            assert sum(dist.sizes) == 120
+
+    def test_cannot_quarantine_everyone(self):
+        lb = self._balancer(size=2)
+        lb.quarantine(0)
+        with pytest.raises(PartitionError, match="last surviving rank"):
+            lb.quarantine(1)
+
+    def test_out_of_range_rank_rejected(self):
+        lb = self._balancer(size=3)
+        with pytest.raises(PartitionError, match="out of range"):
+            lb.quarantine(3)
+
+
+class TestAppsCompleteWithSurvivors:
+    def _balancer(self, size, total):
+        models = [PiecewiseModel() for _ in range(size)]
+        return LoadBalancer(partition_geometric, models, total)
+
+    def test_jacobi_survives_a_crash(self):
+        from repro.apps.jacobi.distributed import run_balanced_jacobi
+
+        platform = heterogeneous_cluster()
+        plan = FaultPlan({1: RankFaults(crash_at=2)}, seed=9)
+        result = run_balanced_jacobi(
+            platform,
+            self._balancer(platform.size, 240),
+            max_iterations=6,
+            fault_plan=plan,
+        )
+        assert result.failed_ranks == [1]
+        assert result.final_sizes[1] == 0
+        assert sum(result.final_sizes) == 240
+        assert len(result.records) > 2  # iterations continued past the crash
+
+    def test_stencil_survives_a_crash(self):
+        from repro.apps.stencil.distributed import run_balanced_stencil
+
+        platform = heterogeneous_cluster()
+        plan = FaultPlan({2: RankFaults(crash_at=2)}, seed=9)
+        report = ResilienceReport(survivors=list(range(platform.size)))
+        result = run_balanced_stencil(
+            platform,
+            self._balancer(platform.size, 120),
+            nx=32,
+            max_iterations=6,
+            fault_plan=plan,
+            report=report,
+        )
+        assert result.failed_ranks == [2]
+        assert result.final_sizes[2] == 0
+        assert sum(result.final_sizes) == 120
+        assert report.is_quarantined(2)
+        assert any(e.kind == "repartition" for e in report.events)
+
+    def test_matmul_survives_a_crash(self):
+        from repro.apps.matmul.partition2d import partition_columns
+        from repro.apps.matmul.simulation import simulate_matmul
+
+        platform = heterogeneous_cluster()
+        partition = partition_columns([1.0] * platform.size, nb=8)
+        plan = FaultPlan({2: RankFaults(crash_at=1)}, seed=9)
+        result = simulate_matmul(
+            platform, partition, b=16, fault_plan=plan
+        )
+        assert result.failed_ranks == [2]
+        assert result.areas[2] == 0
+        assert sum(result.areas) == 64  # the full block grid is re-tiled
+
+    def test_faultless_apps_report_no_failures(self):
+        from repro.apps.jacobi.distributed import run_balanced_jacobi
+
+        platform = heterogeneous_cluster()
+        result = run_balanced_jacobi(
+            platform, self._balancer(platform.size, 120), max_iterations=3
+        )
+        assert result.failed_ranks == []

@@ -32,9 +32,15 @@ class TestExchange:
     def test_waits_for_slower_party(self):
         c = _comm(2)
         c.compute(1, 5.0)
-        done = c.exchange(0, 1, 0.0)
-        assert done == pytest.approx(5.0)
-        assert c.time(0) == pytest.approx(5.0)
+        done = c.exchange(0, 1, 1e6)
+        assert done == pytest.approx(5.0 + 1.001)
+        assert c.time(0) == pytest.approx(5.0 + 1.001)
+
+    def test_zero_size_exchange_rejected(self):
+        from repro.errors import CommunicationError
+        c = _comm(2)
+        with pytest.raises(CommunicationError):
+            c.exchange(0, 1, 0.0)
 
     def test_self_exchange_free(self):
         c = _comm(2)
@@ -82,7 +88,7 @@ class TestClockInvariants:
                                  "exchange", "allreduce", "barrier"]),
                 st.integers(min_value=0, max_value=3),
                 st.integers(min_value=0, max_value=3),
-                st.floats(min_value=0.0, max_value=1e6),
+                st.floats(min_value=1.0, max_value=1e6),
             ),
             max_size=30,
         )

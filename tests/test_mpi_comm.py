@@ -203,7 +203,7 @@ class TestScenario:
         c = _comm(3, latency=0.0, bandwidth=math.inf)
         for r, w in enumerate([1.0, 2.0, 3.0]):
             c.compute(r, w)
-        t = c.allgatherv([0.0, 0.0, 0.0])
+        t = c.allgatherv([1.0, 1.0, 1.0])
         # With free communication, the iteration ends at the slowest rank.
         assert t == pytest.approx(3.0)
         assert c.times() == [3.0, 3.0, 3.0]

@@ -1,0 +1,154 @@
+"""SimCommunicator argument-validation error paths.
+
+A simulated communicator has no MPI runtime underneath it to crash
+loudly, so every malformed call must be rejected eagerly: invalid ranks,
+empty and duplicate rank groups, non-finite or negative message sizes,
+and zero-size collectives all raise CommunicationError instead of
+silently producing a wrong schedule.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.mpi.comm import SimCommunicator
+
+
+@pytest.fixture
+def comm():
+    return SimCommunicator(4)
+
+
+# -- communicator construction -------------------------------------------
+
+@pytest.mark.parametrize("size", [0, -1])
+def test_nonpositive_size_rejected(size):
+    with pytest.raises(CommunicationError, match="size must be >= 1"):
+        SimCommunicator(size)
+
+
+# -- invalid ranks --------------------------------------------------------
+
+@pytest.mark.parametrize("rank", [-1, 4, 100])
+def test_out_of_range_rank_rejected(comm, rank):
+    with pytest.raises(CommunicationError, match="out of range"):
+        comm.time(rank)
+    with pytest.raises(CommunicationError, match="out of range"):
+        comm.compute(rank, 1.0)
+    with pytest.raises(CommunicationError, match="out of range"):
+        comm.send(0, rank, 8.0)
+    with pytest.raises(CommunicationError, match="out of range"):
+        comm.exchange(rank, 0, 8.0)
+
+
+def test_bad_rank_inside_group_rejected(comm):
+    with pytest.raises(CommunicationError, match="out of range"):
+        comm.barrier([0, 1, 7])
+    with pytest.raises(CommunicationError, match="out of range"):
+        comm.allreduce(8.0, ranks=[-1, 0])
+
+
+def test_root_outside_group_rejected(comm):
+    with pytest.raises(CommunicationError, match="root 3 not in group"):
+        comm.bcast(3, 8.0, ranks=[0, 1])
+    with pytest.raises(CommunicationError, match="root 3 not in group"):
+        comm.scatterv(3, [8.0, 8.0], ranks=[0, 1])
+    with pytest.raises(CommunicationError, match="root 3 not in group"):
+        comm.gatherv(3, [8.0, 8.0], ranks=[0, 1])
+
+
+# -- empty and duplicate groups ------------------------------------------
+
+def test_empty_group_rejected(comm):
+    for op in (
+        lambda: comm.barrier([]),
+        lambda: comm.allreduce(8.0, ranks=[]),
+        lambda: comm.allgatherv([], ranks=[]),
+    ):
+        with pytest.raises(CommunicationError, match="empty rank group"):
+            op()
+
+
+def test_duplicate_group_rejected(comm):
+    with pytest.raises(CommunicationError, match="duplicate ranks"):
+        comm.barrier([0, 1, 1])
+    with pytest.raises(CommunicationError, match="duplicate ranks"):
+        comm.allreduce(8.0, ranks=[2, 2])
+    with pytest.raises(CommunicationError, match="duplicate ranks"):
+        comm.allgatherv([8.0, 8.0, 8.0], ranks=[0, 1, 0])
+
+
+# -- malformed message sizes ---------------------------------------------
+
+@pytest.mark.parametrize("nbytes", [-1.0, float("nan"), float("inf")])
+def test_bad_message_size_rejected(comm, nbytes):
+    with pytest.raises(CommunicationError, match="finite and non-negative"):
+        comm.send(0, 1, nbytes)
+    with pytest.raises(CommunicationError, match="finite and non-negative"):
+        comm.exchange(0, 1, nbytes)
+    with pytest.raises(CommunicationError, match="finite and non-negative"):
+        comm.allreduce(nbytes)
+    with pytest.raises(CommunicationError, match="finite and non-negative"):
+        comm.bcast(0, nbytes)
+    with pytest.raises(CommunicationError, match="finite and non-negative"):
+        comm.allgatherv([8.0, nbytes, 8.0, 8.0])
+
+
+def test_size_count_must_match_group(comm):
+    with pytest.raises(CommunicationError, match="allgatherv: 2 sizes"):
+        comm.allgatherv([8.0, 8.0])
+    with pytest.raises(CommunicationError, match="scatterv: 3 sizes"):
+        comm.scatterv(0, [8.0, 8.0, 8.0])
+    with pytest.raises(CommunicationError, match="gatherv: 1 sizes"):
+        comm.gatherv(0, [8.0], ranks=[0, 1])
+
+
+# -- zero-size collectives -----------------------------------------------
+#
+# A collective whose *total* payload is zero moves no data: a caller bug,
+# not a no-op.  Individual zero entries among non-zero ones stay legal --
+# empty ranks contribute nothing to an allgather but still participate.
+
+def test_zero_total_exchange_rejected(comm):
+    with pytest.raises(CommunicationError, match="zero-size"):
+        comm.exchange(0, 1, 0.0)
+    with pytest.raises(CommunicationError, match="zero-size"):
+        comm.exchange(0, 1, 0.0, 0.0)
+
+
+def test_asymmetric_exchange_with_one_zero_leg_is_legal(comm):
+    assert comm.exchange(0, 1, 0.0, 64.0) > 0.0
+
+
+@pytest.mark.parametrize("op", ["allgatherv", "scatterv", "gatherv"])
+def test_zero_total_vector_collective_rejected(comm, op):
+    sizes = [0.0, 0.0, 0.0, 0.0]
+    call = {
+        "allgatherv": lambda: comm.allgatherv(sizes),
+        "scatterv": lambda: comm.scatterv(0, sizes),
+        "gatherv": lambda: comm.gatherv(0, sizes),
+    }[op]
+    with pytest.raises(CommunicationError, match="zero-size"):
+        call()
+
+
+@pytest.mark.parametrize("op", ["allgatherv", "scatterv", "gatherv"])
+def test_partially_zero_vector_collective_is_legal(comm, op):
+    sizes = [64.0, 0.0, 64.0, 0.0]
+    call = {
+        "allgatherv": lambda: comm.allgatherv(sizes),
+        "scatterv": lambda: comm.scatterv(0, sizes),
+        "gatherv": lambda: comm.gatherv(0, sizes),
+    }[op]
+    assert math.isfinite(call())
+
+
+def test_clocks_untouched_after_rejected_call(comm):
+    comm.compute(0, 1.0)
+    before = comm.times()
+    with pytest.raises(CommunicationError):
+        comm.exchange(0, 1, 0.0)
+    with pytest.raises(CommunicationError):
+        comm.allgatherv([0.0] * 4)
+    assert comm.times() == before
