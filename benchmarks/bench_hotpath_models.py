@@ -8,7 +8,11 @@ Measures the two fast paths this repo's partitioners rely on:
   :func:`~repro.core.partition.geometric.partition_geometric` vs. a
   scalar reference implementation of the same algorithm (bisection on the
   level with one scalar inverse bisection per model per probe -- the
-  pre-vectorization seed code), at ``p`` in {4, 16, 64, 256}.
+  pre-vectorization seed code), at ``p`` in {4, 16, 64, 256};
+* **Ladder overhead** -- the happy-path cost of routing the same
+  partition through :class:`~repro.degrade.DegradationPolicy` (fallback
+  bookkeeping, certificates) relative to calling the partitioner
+  directly.  ``harness.py --check-regression`` gates this at < 5%.
 
 Writes ``BENCH_hotpath_models.json`` at the repo root; compare runs with
 ``python benchmarks/harness.py --check-regression``.  Run directly::
@@ -43,6 +47,7 @@ from repro.core.models.base import PerformanceModel
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.partition.geometric import partition_geometric
 from repro.core.point import MeasurementPoint
+from repro.degrade import DegradationPolicy
 from repro.solver.bisect import bisect_monotone_inverse, bisect_root
 
 from harness import fmt, print_table
@@ -182,6 +187,39 @@ def bench_partition(
     return out
 
 
+def bench_ladder_overhead(
+    ranks: Sequence[int] = (4, 64), reps: int = 5
+) -> Dict[str, Dict]:
+    """Happy-path :class:`DegradationPolicy` cost vs. direct geometric.
+
+    On healthy models the ladder never descends, so its only cost is
+    bookkeeping: the strict-mode probe call, certificate recording, and
+    report plumbing.  That tax must stay negligible -- the harness gate
+    fails a run whose ``overhead_frac`` exceeds 5%.
+    """
+    out: Dict[str, Dict] = {}
+    for p in ranks:
+        models = build_models(PiecewiseModel, p)
+        policy = DegradationPolicy()
+        dist = policy.partition(TOTAL, models)
+        assert not policy.report.steps, (
+            f"ladder bench expects a happy path, got fallbacks: "
+            f"{policy.report.summary()}"
+        )
+        direct = partition_geometric(TOTAL, models)
+        assert dist.sizes == direct.sizes
+        direct_s = _best_time(lambda: partition_geometric(TOTAL, models), reps)
+        ladder_s = _best_time(
+            lambda: DegradationPolicy().partition(TOTAL, models), reps
+        )
+        out[str(p)] = {
+            "ladder_s": ladder_s,
+            "direct_s": direct_s,
+            "overhead_frac": ladder_s / direct_s - 1.0,
+        }
+    return out
+
+
 def run_bench(
     ranks: Sequence[int] = PARTITION_SIZES,
     batch_size: int = 4096,
@@ -191,6 +229,7 @@ def run_bench(
         "total_units": TOTAL,
         "model_throughput": bench_model_throughput(batch_size=batch_size),
         "partition_geometric": bench_partition(ranks=ranks),
+        "partition_ladder": bench_ladder_overhead(),
     }
     if write:
         RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
@@ -216,6 +255,15 @@ def report(results: Dict) -> None:
             for p, row in results["partition_geometric"].items()
         ],
     )
+    print_table(
+        "degradation-ladder overhead (happy path, piecewise FPMs)",
+        ["p", "direct s", "ladder s", "overhead"],
+        [
+            [p, fmt(row["direct_s"]), fmt(row["ladder_s"]),
+             fmt(100.0 * row["overhead_frac"], 1) + "%"]
+            for p, row in results["partition_ladder"].items()
+        ],
+    )
 
 
 @pytest.mark.bench_smoke
@@ -232,8 +280,12 @@ def test_bench_smoke(capsys):
     assert p64["speedup"] >= 5.0, f"expected >= 5x at p=64, got {p64['speedup']:.1f}x"
     # Both implementations agree on the answer (within integer rounding).
     assert p64["max_size_drift_units"] <= 2.0
-    from harness import check_regression
+    from harness import check_ladder_overhead, check_regression
 
+    # Ladder bookkeeping must stay near-free; the smoke gate is looser
+    # than the harness CLI's 5% to ride out shared-CI timing noise.
+    overhead = check_ladder_overhead(results, limit=0.25)
+    assert not overhead, "ladder overhead: " + "; ".join(overhead)
     if RESULT_PATH.exists():
         baseline = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
         # The committed baseline may come from different hardware; gate the

@@ -17,7 +17,9 @@ The module doubles as a CLI for throughput-regression gating::
 
 compares two ``BENCH_hotpath_models.json``-style result files (defaults:
 the repo-root file against itself is a no-op; pass a fresh run as CURRENT)
-and exits non-zero when any throughput metric dropped by more than 20%.
+and exits non-zero when any throughput metric dropped by more than 20%
+or when the happy-path degradation-ladder overhead (the
+``partition_ladder`` section's ``overhead_frac``) exceeds 5%.
 """
 
 from __future__ import annotations
@@ -32,6 +34,10 @@ from repro.platform.cluster import Platform
 
 #: Result-file keys treated as "higher is better" throughput metrics.
 THROUGHPUT_KEYS = ("scalar_pts_per_s", "batch_pts_per_s", "partitions_per_s", "speedup")
+
+#: Ceiling on the happy-path DegradationPolicy tax over a direct
+#: partitioner call (the ``partition_ladder`` bench section).
+LADDER_OVERHEAD_LIMIT = 0.05
 
 
 def achieved_times(
@@ -129,6 +135,29 @@ def check_regression(
     return failures
 
 
+def check_ladder_overhead(
+    current: Dict, limit: float = LADDER_OVERHEAD_LIMIT
+) -> List[str]:
+    """Gate the degradation ladder's happy-path tax.
+
+    Reads the ``partition_ladder`` section of a result tree and reports
+    every rank count whose ``overhead_frac`` (ladder time over direct
+    partitioner time, minus one) exceeds *limit*.  A missing section is
+    not a failure -- older baselines predate the ladder bench.
+    """
+    if limit <= 0.0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    failures: List[str] = []
+    for p, row in sorted(current.get("partition_ladder", {}).items()):
+        frac = row.get("overhead_frac")
+        if isinstance(frac, (int, float)) and frac > limit:
+            failures.append(
+                f"partition_ladder.{p}: overhead {100 * frac:.1f}% "
+                f"(limit {100 * limit:.0f}%)"
+            )
+    return failures
+
+
 def _check_regression_cli(argv: Sequence[str]) -> int:
     default = Path(__file__).resolve().parent.parent / "BENCH_hotpath_models.json"
     current_path = Path(argv[0]) if len(argv) > 0 else default
@@ -155,10 +184,18 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
         for line in failures:
             print(f"  {line}")
         return 1
+    overhead_failures = check_ladder_overhead(current)
+    if overhead_failures:
+        print("degradation-ladder overhead above the "
+              f"{100 * LADDER_OVERHEAD_LIMIT:.0f}% ceiling:")
+        for line in overhead_failures:
+            print(f"  {line}")
+        return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
-    print(f"no throughput regressions ({compared} metrics compared)")
+    print(f"no throughput regressions ({compared} metrics compared); "
+          "ladder overhead within limits")
     return 0
 
 

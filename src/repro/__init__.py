@@ -31,6 +31,8 @@ from repro.core import (
     CallableKernel,
     ComputationKernel,
     ConstantModel,
+    ConvergenceCert,
+    DegradedBuildResult,
     Distribution,
     DynamicPartitioner,
     KernelContext,
@@ -47,6 +49,7 @@ from repro.core import (
     RetryPolicy,
     SimulatedKernel,
     build_adaptive_model,
+    build_degraded_models,
     build_full_models,
     build_resilient_models,
     leave_one_out_error,
@@ -57,7 +60,12 @@ from repro.core import (
     redistribute_to_survivors,
     select_model,
 )
-from repro.errors import FuPerModError
+from repro.degrade import (
+    DegradationPolicy,
+    DegradationReport,
+    Watchdog,
+)
+from repro.errors import ConvergenceError, DeadlineExceeded, FuPerModError
 from repro.faults import (
     FaultPlan,
     RankFaults,
@@ -73,6 +81,12 @@ __all__ = [
     "CallableKernel",
     "ComputationKernel",
     "ConstantModel",
+    "ConvergenceCert",
+    "ConvergenceError",
+    "DeadlineExceeded",
+    "DegradationPolicy",
+    "DegradationReport",
+    "DegradedBuildResult",
     "Distribution",
     "DynamicPartitioner",
     "FaultPlan",
@@ -92,8 +106,10 @@ __all__ = [
     "ResilientPlatformBenchmark",
     "RetryPolicy",
     "SimulatedKernel",
+    "Watchdog",
     "__version__",
     "build_adaptive_model",
+    "build_degraded_models",
     "build_full_models",
     "build_resilient_models",
     "leave_one_out_error",

@@ -23,6 +23,7 @@ from repro.apps.jacobi.solver import generate_system, jacobi_rows, row_flops
 from repro.core.partition.dist import Distribution
 from repro.core.partition.dynamic import LoadBalancer
 from repro.core.partition.redistribution import apply_plan_cost, redistribution_plan
+from repro.degrade import DegradationPolicy, DegradationReport
 from repro.errors import PartitionError
 from repro.faults.inject import FaultyCommunicator
 from repro.faults.plan import FaultPlan
@@ -70,6 +71,9 @@ class JacobiRunResult:
         final_sizes: the last distribution's row counts.
         failed_ranks: ranks that crashed mid-run (empty without faults);
             the survivors completed the run with their workload.
+        degradation: the fallback ladder's audit trail when the run was
+            guarded by a :class:`~repro.degrade.DegradationPolicy`
+            (``None`` otherwise).
     """
 
     records: List[JacobiIterationRecord]
@@ -78,6 +82,7 @@ class JacobiRunResult:
     total_time: float
     final_sizes: List[int]
     failed_ranks: List[int] = field(default_factory=list)
+    degradation: Optional[DegradationReport] = None
 
     @property
     def iteration_makespans(self) -> List[float]:
@@ -106,6 +111,7 @@ def run_balanced_jacobi(
     perturbations: Optional[PerturbationSchedule] = None,
     fault_plan: Optional[FaultPlan] = None,
     report: Optional[ResilienceReport] = None,
+    policy: Optional[DegradationPolicy] = None,
 ) -> JacobiRunResult:
     """Run the row-distributed Jacobi method under dynamic load balancing.
 
@@ -137,11 +143,18 @@ def run_balanced_jacobi(
             affected ranks' compute, which the balancer sees and corrects.
         report: optional :class:`~repro.faults.ResilienceReport`
             collecting crash/drop events and the surviving rank set.
+        policy: optional :class:`~repro.degrade.DegradationPolicy`; the
+            balancer's partition function is guarded by the fallback
+            ladder, so a repartitioning failure mid-run degrades (and is
+            recorded in the result's ``degradation`` report) instead of
+            aborting the application.
 
     Returns:
         A :class:`JacobiRunResult`; its per-iteration makespans reproduce
         the convergence behaviour of Fig. 4.
     """
+    if policy is not None:
+        balancer.partition = policy.wrap(balancer.partition)
     if balancer.dist.size != platform.size:
         raise PartitionError(
             f"balancer has {balancer.dist.size} parts for {platform.size} devices"
@@ -280,6 +293,7 @@ def run_balanced_jacobi(
         total_time=comm.max_time(),
         final_sizes=list(sizes),
         failed_ranks=sorted(failed),
+        degradation=policy.report if policy is not None else None,
     )
 
 

@@ -26,6 +26,7 @@ from repro.core.models import PiecewiseModel
 from repro.core.partition.dynamic import DynamicPartitioner, DynamicResult
 from repro.core.partition.geometric import partition_geometric
 from repro.core.precision import Precision
+from repro.degrade import DegradationPolicy, DegradationReport
 from repro.errors import PartitionError
 from repro.platform.cluster import Platform
 
@@ -40,6 +41,10 @@ class AdaptiveMatmulReport:
         run: the simulated application execution under that layout.
         baseline_run: the same application under the even layout.
         startup_cost: kernel-seconds spent benchmarking at startup.
+        degradation: the fallback ladder's audit trail when startup
+            partitioning was guarded by a
+            :class:`~repro.degrade.DegradationPolicy` (``None``
+            otherwise).
     """
 
     partitioning: DynamicResult
@@ -47,6 +52,7 @@ class AdaptiveMatmulReport:
     run: MatmulResult
     baseline_run: MatmulResult
     startup_cost: float
+    degradation: Optional[DegradationReport] = None
 
     @property
     def speedup_over_even(self) -> float:
@@ -63,6 +69,7 @@ def run_adaptive_matmul(
     eps: float = 0.03,
     precision: Optional[Precision] = None,
     seed: int = 0,
+    policy: Optional[DegradationPolicy] = None,
 ) -> AdaptiveMatmulReport:
     """Run the self-adaptive matrix multiplication end to end.
 
@@ -75,6 +82,11 @@ def run_adaptive_matmul(
             (defaults to a cheap 1-3 repetition policy -- startup cost is
             the whole point of the adaptive path).
         seed: RNG seed for benchmarking and simulation noise.
+        policy: optional :class:`~repro.degrade.DegradationPolicy`
+            guarding the startup partitioning: if the geometric algorithm
+            fails on the partial models, the ladder (numerical, basic,
+            even) takes over instead of aborting the one-shot run, and
+            the report's ``degradation`` field says so.
 
     Returns:
         An :class:`AdaptiveMatmulReport`.
@@ -91,8 +103,12 @@ def run_adaptive_matmul(
         platform, unit_flops=unit_flops, precision=startup_precision, seed=seed
     )
     models = [PiecewiseModel() for _ in range(platform.size)]
+    partition_fn = (
+        policy.wrap(partition_geometric) if policy is not None
+        else partition_geometric
+    )
     dyn = DynamicPartitioner(
-        partition_geometric,
+        partition_fn,
         models,
         nb * nb,
         bench.measure_group,
@@ -110,4 +126,5 @@ def run_adaptive_matmul(
         run=run,
         baseline_run=baseline,
         startup_cost=partitioning.total_cost,
+        degradation=policy.report if policy is not None else None,
     )

@@ -27,6 +27,7 @@ import numpy as np
 from repro.apps.stencil.solver import DEFAULT_ALPHA, heat_step_rows, init_grid, row_flops
 from repro.core.partition.dynamic import LoadBalancer
 from repro.core.partition.redistribution import apply_plan_cost, redistribution_plan
+from repro.degrade import DegradationPolicy, DegradationReport
 from repro.errors import PartitionError
 from repro.faults.inject import FaultyCommunicator
 from repro.faults.plan import FaultPlan
@@ -69,6 +70,9 @@ class StencilRunResult:
         total_time: virtual makespan of the whole run.
         final_sizes: the last distribution's row counts.
         failed_ranks: ranks that crashed mid-run (empty without faults).
+        degradation: the fallback ladder's audit trail when the run was
+            guarded by a :class:`~repro.degrade.DegradationPolicy`
+            (``None`` otherwise).
     """
 
     records: List[StencilIterationRecord]
@@ -76,6 +80,7 @@ class StencilRunResult:
     total_time: float
     final_sizes: List[int]
     failed_ranks: List[int] = field(default_factory=list)
+    degradation: Optional[DegradationReport] = None
 
     @property
     def iteration_makespans(self) -> List[float]:
@@ -104,6 +109,7 @@ def run_balanced_stencil(
     perturbations: Optional[PerturbationSchedule] = None,
     fault_plan: Optional[FaultPlan] = None,
     report: Optional[ResilienceReport] = None,
+    policy: Optional[DegradationPolicy] = None,
 ) -> StencilRunResult:
     """Run the row-slab heat stencil under dynamic load balancing.
 
@@ -127,10 +133,16 @@ def run_balanced_stencil(
             survivors, and the run completes with the survivors.
             Straggler factors slow the affected ranks' compute.
         report: optional :class:`~repro.faults.ResilienceReport`.
+        policy: optional :class:`~repro.degrade.DegradationPolicy`
+            guarding the balancer's partition function: a mid-run
+            repartitioning failure degrades down the ladder (recorded in
+            the result's ``degradation`` report) instead of aborting.
 
     Returns:
         A :class:`StencilRunResult`.
     """
+    if policy is not None:
+        balancer.partition = policy.wrap(balancer.partition)
     if balancer.dist.size != platform.size:
         raise PartitionError(
             f"balancer has {balancer.dist.size} parts for {platform.size} devices"
@@ -256,6 +268,7 @@ def run_balanced_stencil(
         total_time=comm.max_time(),
         final_sizes=list(sizes),
         failed_ranks=sorted(failed),
+        degradation=policy.report if policy is not None else None,
     )
 
 

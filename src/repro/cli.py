@@ -23,6 +23,14 @@
 benchmark -- crashed or persistently failing ranks are quarantined and the
 survivors finish -- and ``--resume`` to continue an interrupted sweep from
 the journal at ``<out>/sweep.journal``.
+
+``fupermod build`` and ``fupermod partition`` both accept ``--degrade``
+(walk the model/partitioner fallback ladders of
+:class:`~repro.degrade.DegradationPolicy` and print what was degraded and
+why) and ``--strict`` (fail fast with a typed error instead).  ``build
+--deadline SECONDS`` arms a per-measurement watchdog that quarantines hung
+ranks; ``partition --max-iter N`` overrides the iterative partitioners'
+iteration caps.
 """
 
 from __future__ import annotations
@@ -79,6 +87,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     sizes = _parse_sizes(args.sizes)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    if args.degrade or args.strict:
+        return _build_degraded(args, platform, sizes, out)
     resilient = args.faults is not None or args.resume
     if resilient:
         from repro.core.benchmark import ResilientPlatformBenchmark
@@ -119,6 +129,51 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_degraded(args: argparse.Namespace, platform: Platform,
+                    sizes: List[int], out: Path) -> int:
+    """The ``build --degrade``/``--strict`` path: sweep, then ladder-fit."""
+    from repro.core.benchmark import ResilientPlatformBenchmark
+    from repro.core.builder import build_degraded_models
+    from repro.degrade import DegradationPolicy
+    from repro.faults import FaultPlan
+    from repro.io.checkpoint import SweepCheckpoint
+
+    plan = FaultPlan.load(args.faults) if args.faults else FaultPlan()
+    checkpoint = SweepCheckpoint(out / "sweep.journal")
+    if not args.resume and checkpoint.exists:
+        checkpoint.clear()
+    elif args.resume and checkpoint.exists:
+        print(f"resuming from {checkpoint.path}")
+    bench = ResilientPlatformBenchmark(
+        platform, unit_flops=args.unit_flops, seed=args.seed, plan=plan,
+        deadline_budget=args.deadline,
+    )
+    policy = DegradationPolicy(strict=args.strict, resilience=bench.report)
+    result = build_degraded_models(
+        bench, sizes, policy, primary=args.model, checkpoint=checkpoint
+    )
+    for rank, model in enumerate(result.models):
+        device = platform.devices[rank]
+        if model is None:
+            print(f"rank {rank} ({device.name}): no usable measurements "
+                  "(quarantined), no point file written")
+            continue
+        path = out / f"rank{rank:03d}.points"
+        family = result.families[rank]
+        save_points(
+            path,
+            list(model.points),
+            metadata={"device": device.name, "model": family},
+        )
+        note = "" if family == args.model else f" (degraded from {args.model})"
+        print(f"rank {rank} ({device.name}): {model.count} points, "
+              f"model {family}{note} -> {path}")
+    print(f"total benchmarking cost: {result.total_cost:.3f} kernel-seconds")
+    print("degradation: " + result.degradation.summary())
+    print(result.resilience.summary())
+    return 0
+
+
 def _parse_limits(text: str, size: int) -> List[Optional[int]]:
     tokens = [tok.strip().lower() for tok in text.split(",")]
     if len(tokens) != size:
@@ -140,9 +195,38 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     files = sorted(points_dir.glob("rank*.points"))
     if not files:
         raise FuPerModError(f"no rank*.points files in {points_dir}")
-    factory = model_factory(args.model)
-    models = [load_model(path, factory) for path in files]
-    algorithm = partitioner(args.algorithm)
+    degradation = None
+    if args.degrade or args.strict:
+        from repro.degrade import DEFAULT_PARTITIONER_LADDER, DegradationPolicy
+        from repro.io.files import load_points
+
+        ladder = [args.algorithm] + [
+            n for n in DEFAULT_PARTITIONER_LADDER if n != args.algorithm
+        ]
+        policy = DegradationPolicy(
+            partitioner_ladder=ladder, strict=args.strict,
+            max_iter=args.max_iter,
+        )
+        models = []
+        for rank, path in enumerate(files):
+            points, _meta = load_points(path)
+            models.append(policy.fit_model(points, rank=rank,
+                                           primary=args.model))
+        algorithm = policy.partition_function()
+        degradation = policy.report
+    else:
+        factory = model_factory(args.model)
+        models = [load_model(path, factory) for path in files]
+        algorithm = partitioner(args.algorithm)
+        if args.max_iter is not None:
+            import functools
+            import inspect
+
+            if "max_iter" not in inspect.signature(algorithm).parameters:
+                raise FuPerModError(
+                    f"--max-iter is not supported by {args.algorithm!r}"
+                )
+            algorithm = functools.partial(algorithm, max_iter=args.max_iter)
     if args.limits:
         limits = _parse_limits(args.limits, len(models))
         dist = partition_with_limits(algorithm, args.total, models, limits)
@@ -153,6 +237,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     for rank, part in enumerate(dist.parts):
         print(f"rank {rank}: d={part.d} predicted_t={part.t:.6f}s")
     print(f"predicted imbalance: {dist.predicted_imbalance * 100.0:.2f}%")
+    cert = getattr(dist, "convergence", None)
+    if cert is not None:
+        print(f"convergence: {cert.summary()}")
+    if degradation is not None:
+        print("degradation: " + degradation.summary())
     if args.out:
         save_distribution(args.out, dist)
         print(f"written to {args.out}")
@@ -409,6 +498,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--resume", action="store_true",
                          help="resume an interrupted sweep from "
                               "<out>/sweep.journal")
+    p_build.add_argument("--degrade", action="store_true",
+                         help="fit through the fallback ladder: the preferred "
+                              "model first, simpler models when it cannot fit")
+    p_build.add_argument("--strict", action="store_true",
+                         help="fail fast with a typed error instead of "
+                              "degrading")
+    p_build.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-measurement watchdog budget; a hung rank "
+                              "is quarantined (reason 'hang')")
     p_build.set_defaults(func=_cmd_build)
 
     p_part = sub.add_parser("partition", help="partition from saved point files")
@@ -419,6 +518,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--limits", default=None,
                         help="comma-separated per-process unit caps; 'none' = unlimited")
     p_part.add_argument("--out", default=None)
+    p_part.add_argument("--degrade", action="store_true",
+                        help="walk the model and partitioner fallback ladders "
+                             "instead of failing; always yields a full "
+                             "partition and prints the degradation report")
+    p_part.add_argument("--strict", action="store_true",
+                        help="fail fast with a typed error (ConvergenceError, "
+                             "ModelError, ...) instead of degrading")
+    p_part.add_argument("--max-iter", type=int, default=None, dest="max_iter",
+                        help="iteration cap override for iterative "
+                             "partitioners")
     p_part.set_defaults(func=_cmd_partition)
 
     p_jac = sub.add_parser("demo-jacobi", help="dynamic load balancing demo (Fig. 4)")

@@ -26,8 +26,10 @@ from repro.core.benchmark import (
 )
 from repro.core.builder import (
     AdaptiveBuildResult,
+    DegradedBuildResult,
     ResilientBuildResult,
     build_adaptive_model,
+    build_degraded_models,
     build_resilient_models,
 )
 from repro.core.kernel import (
@@ -43,6 +45,7 @@ from repro.core.models import (
     PiecewiseModel,
 )
 from repro.core.partition import (
+    ConvergenceCert,
     Distribution,
     DynamicPartitioner,
     LoadBalancer,
@@ -64,6 +67,8 @@ __all__ = [
     "CallableKernel",
     "ComputationKernel",
     "ConstantModel",
+    "ConvergenceCert",
+    "DegradedBuildResult",
     "Distribution",
     "DynamicPartitioner",
     "KernelContext",
@@ -81,6 +86,7 @@ __all__ = [
     "SelectionResult",
     "SimulatedKernel",
     "build_adaptive_model",
+    "build_degraded_models",
     "build_full_models",
     "build_resilient_models",
     "partition_constant",

@@ -39,7 +39,13 @@ from repro.core.kernel import ComputationKernel, SimulatedKernel
 from repro.core.models.base import PerformanceModel
 from repro.core.point import MeasurementPoint
 from repro.core.precision import Precision
-from repro.errors import BenchmarkError, FaultInjectionError, QuarantineError
+from repro.degrade.watchdog import Deadline
+from repro.errors import (
+    BenchmarkError,
+    DeadlineExceeded,
+    FaultInjectionError,
+    QuarantineError,
+)
 from repro.faults.inject import FaultyKernel
 from repro.faults.plan import FaultPlan
 from repro.faults.report import ResilienceReport
@@ -83,12 +89,22 @@ class Benchmark:
         self.kernel = kernel
         self.precision = precision if precision is not None else Precision()
 
-    def run(self, d: int) -> MeasurementPoint:
+    def run(self, d: int, deadline: Optional[Deadline] = None) -> MeasurementPoint:
         """Measure the kernel at problem size ``d``.
 
         Executes at least ``reps_min`` repetitions, then continues until the
         relative confidence-interval target is met or a budget (repetitions
         or accumulated kernel time) runs out.
+
+        Args:
+            deadline: optional watchdog :class:`~repro.degrade.Deadline`.
+                Every repetition's duration is charged against it, so a
+                hung kernel raises
+                :class:`~repro.errors.DeadlineExceeded` -- carrying the
+                point built from the repetitions that *did* complete as
+                ``partial`` -- instead of stalling the sweep.  Works in
+                both wall-clock and virtual-time modes (simulated kernels
+                run in virtual time).
         """
         if d <= 0:
             raise BenchmarkError(f"problem size must be positive, got {d}")
@@ -109,6 +125,9 @@ class Benchmark:
                     )
                 stats.add(elapsed)
                 spent += elapsed
+                if deadline is not None:
+                    deadline.consume(elapsed,
+                                     partial=_point_from_stats(d, stats, p))
                 if stats.count < p.reps_min:
                     continue
                 if spent >= p.time_limit:
@@ -404,6 +423,15 @@ class ResilientBenchmark:
         report: optional :class:`~repro.faults.ResilienceReport` recording
             retries and wasted cost.
         rank: rank attached to events and errors.
+        deadline_budget: optional watchdog budget in seconds for each
+            measurement.  A measurement that overruns it raises
+            :class:`~repro.errors.DeadlineExceeded` (recorded as a
+            ``hang`` event) *without* retrying -- a hung kernel is not a
+            transient fault, and re-running it would just hang again.
+        clock: time source for the deadline; the default ``None`` selects
+            virtual time (the kernel's own reported durations), which is
+            what simulated platforms need -- pass ``time.monotonic`` for
+            real kernels.
     """
 
     def __init__(
@@ -413,12 +441,16 @@ class ResilientBenchmark:
         retry: Optional[RetryPolicy] = None,
         report: Optional[ResilienceReport] = None,
         rank: int = -1,
+        deadline_budget: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.kernel = kernel
         self.precision = precision if precision is not None else Precision()
         self.retry = retry if retry is not None else RetryPolicy()
         self.report = report
         self.rank = rank
+        self.deadline_budget = deadline_budget
+        self.clock = clock
         #: Cumulative failed attempts across all measurements of this rank.
         self.failures = 0
         #: Virtual seconds lost to failed attempts' backoff.
@@ -440,14 +472,31 @@ class ResilientBenchmark:
             QuarantineError: the measurement failed ``max_retries + 1``
                 times in a row.
             FaultInjectionError: a fatal (crash) fault fired.
+            DeadlineExceeded: the measurement overran ``deadline_budget``
+                (the kernel hung); not retried.
         """
         if d <= 0:
             raise BenchmarkError(f"problem size must be positive, got {d}")
         attempt = 0
         last: Optional[Exception] = None
         while attempt <= self.retry.max_retries:
+            deadline = (
+                Deadline(self.deadline_budget, stage="benchmark",
+                         rank=self.rank, clock=self.clock)
+                if self.deadline_budget is not None else None
+            )
             try:
-                point = Benchmark(self.kernel, self.precision).run(d)
+                point = Benchmark(self.kernel, self.precision).run(
+                    d, deadline=deadline
+                )
+            except DeadlineExceeded as exc:
+                if self.report is not None:
+                    self.report.record(
+                        "hang", self.rank,
+                        f"d={d}: {exc.elapsed:.3g}s of a {exc.budget:.3g}s "
+                        "budget",
+                    )
+                raise
             except FaultInjectionError as exc:
                 if exc.fatal:
                     raise
@@ -516,6 +565,12 @@ class ResilientPlatformBenchmark:
             the measured kernels, and ``crash_at`` is interpreted as a
             *measurement index* at this layer.
         report: resilience report to append to (fresh one by default).
+        deadline_budget: optional per-measurement watchdog budget in
+            seconds.  A rank whose measurement overruns it is quarantined
+            with reason ``"hang"`` -- distinguished from ``"crash"``
+            (raised) and ``"retries-exhausted"`` (kept failing).
+        clock: deadline time source (``None`` = virtual kernel time, the
+            right choice for simulated platforms).
     """
 
     def __init__(
@@ -527,6 +582,8 @@ class ResilientPlatformBenchmark:
         retry: Optional[RetryPolicy] = None,
         plan: Optional[FaultPlan] = None,
         report: Optional[ResilienceReport] = None,
+        deadline_budget: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.platform = platform
         self.precision = precision if precision is not None else Precision()
@@ -559,7 +616,8 @@ class ResilientPlatformBenchmark:
             self._kernels.append(kernel)
             self._runners.append(
                 ResilientBenchmark(
-                    kernel, self.precision, self.retry, self.report, rank=rank
+                    kernel, self.precision, self.retry, self.report, rank=rank,
+                    deadline_budget=deadline_budget, clock=clock,
                 )
             )
 
@@ -624,6 +682,10 @@ class ResilientPlatformBenchmark:
         kernel.contention_factor = self.platform.group_contention(rank, list(active))
         try:
             point = self._runners[rank].run(d)
+        except DeadlineExceeded:
+            # The "hang" event itself was recorded by the runner.
+            self._quarantine(rank, "hang")
+            return None
         except FaultInjectionError as exc:
             if not exc.fatal:
                 raise

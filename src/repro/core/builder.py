@@ -27,6 +27,13 @@ quarantine), journals every committed point into an optional
 :class:`~repro.io.SweepCheckpoint` so an interrupted sweep resumes from
 the last committed point, and returns the surviving models together with
 the :class:`~repro.faults.ResilienceReport`.
+
+:func:`build_degraded_models` goes one step further: the same resilient
+sweep, but every rank's model is fitted through a
+:class:`~repro.degrade.DegradationPolicy` ladder, so unfittable or
+shape-violating data degrades to a simpler model (with a
+:class:`~repro.degrade.DegradationReport` entry) instead of failing the
+whole build.
 """
 
 from __future__ import annotations
@@ -39,6 +46,8 @@ from typing import Callable, List, Optional
 from repro.core.benchmark import ResilientPlatformBenchmark
 from repro.core.models.base import PerformanceModel
 from repro.core.point import MeasurementPoint
+from repro.degrade.policy import DegradationPolicy
+from repro.degrade.report import DegradationReport
 from repro.errors import BenchmarkError
 from repro.faults.report import ResilienceReport
 from repro.io.checkpoint import SweepCheckpoint
@@ -244,3 +253,100 @@ def build_resilient_models(
     return ResilientBuildResult(
         models=models, total_cost=total_cost, report=report
     )
+
+
+@dataclass(frozen=True)
+class DegradedBuildResult:
+    """Outcome of :func:`build_degraded_models`.
+
+    Attributes:
+        models: one fitted model per rank; None for ranks with no usable
+            measurements (quarantined before contributing any point).
+        families: the model name actually used per rank (``"akima"``,
+            ``"constant"``, ...; None where the model is None) -- the
+            quickest view of how far each rank degraded.
+        total_cost: kernel-seconds spent on successful measurements.
+        degradation: every fallback the policy took, with triggers.
+        resilience: the sweep's crash/retry/quarantine record.
+    """
+
+    models: List[Optional[PerformanceModel]]
+    families: List[Optional[str]]
+    total_cost: float
+    degradation: "DegradationReport"
+    resilience: ResilienceReport
+
+    @property
+    def survivors(self) -> List[int]:
+        """Ranks with a usable model, sorted."""
+        return [r for r, m in enumerate(self.models) if m is not None]
+
+    def surviving_models(self) -> List[PerformanceModel]:
+        """The usable models, in rank order."""
+        return [m for m in self.models if m is not None]
+
+
+def build_degraded_models(
+    bench: ResilientPlatformBenchmark,
+    sizes: "Sequence[int]",
+    policy: "DegradationPolicy",
+    primary: Optional[str] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+) -> DegradedBuildResult:
+    """Build per-rank models under faults *and* fit failures.
+
+    Runs the resilient sweep of :func:`build_resilient_models` to collect
+    measurement points (crashes/hangs quarantine, transient faults
+    retry), then fits each surviving rank's points through the policy's
+    model ladder: the preferred model first, simpler models when it is
+    unfittable or violates the FPM shape restriction.  In the policy's
+    strict mode fit failures propagate as typed errors instead.
+
+    Args:
+        bench: the resilient platform benchmark.
+        sizes: problem sizes to sweep, in order.
+        policy: the degradation policy (ladders, strictness, budgets,
+            report).
+        primary: preferred model name (defaults to the first rung of the
+            policy's model ladder).
+        checkpoint: optional journal for checkpoint/resume.
+
+    Returns:
+        A :class:`DegradedBuildResult`.
+    """
+    from repro.core.models import ConstantModel
+
+    # The sweep models are only point collectors (fits are lazy and never
+    # forced here); the real fit happens on the ladder below.
+    base = build_resilient_models(
+        bench, ConstantModel, sizes, checkpoint=checkpoint
+    )
+    models: List[Optional[PerformanceModel]] = []
+    families: List[Optional[str]] = []
+    for rank, collector in enumerate(base.models):
+        points = list(collector.points)
+        if not points:
+            models.append(None)
+            families.append(None)
+            continue
+        fitted = policy.fit_model(points, rank=rank, primary=primary)
+        models.append(fitted)
+        families.append(_family_name(fitted))
+    return DegradedBuildResult(
+        models=models,
+        families=families,
+        total_cost=base.total_cost,
+        degradation=policy.report,
+        resilience=base.report,
+    )
+
+
+def _family_name(model: PerformanceModel) -> str:
+    """Registry name of a model instance (class name as fallback)."""
+    from repro.core import registry
+
+    for name in registry.available_models():
+        factory = registry.model_factory(name)
+        if isinstance(factory, type) and type(model) is factory:
+            return name
+    return type(model).__name__

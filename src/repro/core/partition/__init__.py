@@ -17,9 +17,17 @@ Dynamic algorithms (build *partial* models at runtime):
 * :class:`LoadBalancer` -- the paper's ``fupermod_balance_iterate``: use the
   observed times of real application iterations and repartition whenever
   the imbalance exceeds a threshold.
+
+Robustness: every algorithm validates its inputs at the boundary
+(:func:`validate_partition_inputs`) and certifies how it terminated with a
+:class:`ConvergenceCert` -- attached to the returned distribution as
+``.convergence`` -- so iteration-cap exhaustion raises
+:class:`~repro.errors.ConvergenceError` (``strict=True``) or warns
+(``strict=False``) instead of silently returning the last iterate.
 """
 
 from repro.core.partition.basic import partition_constant
+from repro.core.partition.cert import ConvergenceCert, certify
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.partition.distributed import (
     DistributedPartitionResult,
@@ -50,10 +58,12 @@ from repro.core.partition.resilient import (
     partition_survivors,
     redistribute_to_survivors,
 )
+from repro.core.partition.validate import validate_partition_inputs, validate_total
 
 __all__ = [
     "BalanceStep",
     "BisectionStep",
+    "ConvergenceCert",
     "DistributedPartitionResult",
     "Distribution",
     "DynamicPartitioner",
@@ -64,6 +74,7 @@ __all__ = [
     "Transfer",
     "aggregate_node_model",
     "apply_plan_cost",
+    "certify",
     "distributed_partition",
     "group_models_by_node",
     "limits_from_platform",
@@ -77,4 +88,6 @@ __all__ = [
     "redistribute_to_survivors",
     "redistribution_plan",
     "round_preserving_sum",
+    "validate_partition_inputs",
+    "validate_total",
 ]

@@ -11,37 +11,48 @@ from a functional model when a caller insists on the basic algorithm.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.models.base import PerformanceModel
 from repro.core.partition.batch import model_times
+from repro.core.partition.cert import ConvergenceCert, certify
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.core.partition.validate import validate_partition_inputs
 from repro.errors import PartitionError
 
 
 def partition_constant(
     total: int,
     models: Sequence[PerformanceModel],
+    strict: bool = False,
+    certs: Optional[List[ConvergenceCert]] = None,
 ) -> Distribution:
     """Partition ``total`` units in proportion to constant speeds.
 
     Args:
         total: the problem size ``D`` in computation units.
         models: one performance model per process (each must be ready).
+        strict: accepted for interface uniformity with the iterative
+            partitioners; the basic algorithm is closed-form and its cert
+            is always converged.
+        certs: optional sink for the :class:`ConvergenceCert` (also
+            attached to the returned distribution as ``.convergence``).
 
     Returns:
         A :class:`Distribution` whose parts sum exactly to ``total``, with
         predicted times from the models.
     """
-    if total < 0:
-        raise PartitionError(f"total must be non-negative, got {total}")
-    if not models:
-        raise PartitionError("need at least one model")
+    total = validate_partition_inputs(total, models)
     size = len(models)
+    _cert = ConvergenceCert("basic", True, 0, 0, 0.0, 0.0,
+                            "closed-form proportional split")
     if total == 0:
-        return Distribution(Part(0, 0.0) for _ in range(size))
+        return certify(
+            Distribution(Part(0, 0.0) for _ in range(size)),
+            _cert, strict, certs,
+        )
     probe = max(total / size, 1.0)
     # One batched probe evaluation covers every model's constant speed.
     probe_times = model_times(models, [probe] * size)
@@ -55,6 +66,7 @@ def partition_constant(
     shares = [total * float(s) / total_speed for s in speeds]
     sizes = round_preserving_sum(shares, total)
     times = model_times(models, [float(d) for d in sizes])
-    return Distribution(
+    dist = Distribution(
         Part(d, float(times[i]) if d > 0 else 0.0) for i, d in enumerate(sizes)
     )
+    return certify(dist, _cert, strict, certs)

@@ -21,14 +21,17 @@ of the dynamic algorithms concrete.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.benchmark import PlatformBenchmark
 from repro.core.models.base import PerformanceModel
+from repro.core.partition.cert import ConvergenceCert
 from repro.core.partition.dist import Distribution
 from repro.core.partition.dynamic import PartitionFunction
-from repro.errors import PartitionError
+from repro.core.partition.validate import validate_total
+from repro.errors import ConvergenceError, ConvergenceWarning
 from repro.mpi.comm import SimCommunicator
 from repro.mpi.network import Network
 
@@ -48,6 +51,8 @@ class DistributedPartitionResult:
         protocol_time: virtual seconds the *exchange* steps consumed on the
             slowest rank -- the distributed algorithm's own overhead.
         total_time: virtual makespan of the whole partitioning phase.
+        cert: the :class:`~repro.core.partition.ConvergenceCert` for the
+            protocol's outer loop (None for legacy constructions).
     """
 
     final: Distribution
@@ -56,6 +61,7 @@ class DistributedPartitionResult:
     benchmark_cost: float
     protocol_time: float
     total_time: float
+    cert: Optional[ConvergenceCert] = None
 
 
 def distributed_partition(
@@ -66,6 +72,7 @@ def distributed_partition(
     eps: float = 0.05,
     max_iterations: int = 25,
     network: Optional[Network] = None,
+    strict: bool = False,
 ) -> DistributedPartitionResult:
     """Run the distributed dynamic partitioning protocol.
 
@@ -79,12 +86,17 @@ def distributed_partition(
             even share, falls below this.
         max_iterations: safety cap.
         network: communication model (platform-aware default).
+        strict: raise :class:`~repro.errors.ConvergenceError` when the
+            cap is exhausted before the shares stabilise; with
+            ``strict=False`` (default) a
+            :class:`~repro.errors.ConvergenceWarning` is emitted and the
+            last agreed distribution is returned with a non-converged
+            cert.
 
     Returns:
         A :class:`DistributedPartitionResult`.
     """
-    if total < 0:
-        raise PartitionError(f"total must be non-negative, got {total}")
+    total = validate_total(total)
     size = bench.size
     net = network if network is not None else Network(platform=bench.platform)
     comm = SimCommunicator(size, network=net)
@@ -97,6 +109,7 @@ def distributed_partition(
     protocol_time = 0.0
     converged = False
     iterations = 0
+    change = float("inf")
     for iterations in range(1, max_iterations + 1):
         # 1. Local benchmarks at the current shares (synchronised).
         sizes: List[Optional[int]] = []
@@ -124,12 +137,27 @@ def distributed_partition(
                 model.update(point)
         new_dist = partition(total, models)
         # 4. Convergence test on the share change.
-        if new_dist.max_relative_change(dist) <= eps:
+        change = new_dist.max_relative_change(dist)
+        if change <= eps:
             dist = new_dist
             converged = True
             break
         dist = new_dist
 
+    cert = ConvergenceCert(
+        algorithm="distributed",
+        converged=converged,
+        iterations=iterations,
+        max_iter=max_iterations,
+        residual=change,
+        tolerance=eps,
+        detail="" if converged else
+        "round cap hit before the shares stabilised",
+    )
+    if not converged:
+        if strict:
+            raise ConvergenceError(cert.summary(), cert=cert, partial=dist)
+        warnings.warn(cert.summary(), ConvergenceWarning, stacklevel=2)
     return DistributedPartitionResult(
         final=dist,
         iterations=iterations,
@@ -137,4 +165,5 @@ def distributed_partition(
         benchmark_cost=benchmark_cost,
         protocol_time=protocol_time,
         total_time=comm.max_time(),
+        cert=cert,
     )

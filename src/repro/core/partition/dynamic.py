@@ -19,13 +19,16 @@ benchmark) is running:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Set
 
 from repro.core.models.base import PerformanceModel
+from repro.core.partition.cert import ConvergenceCert
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.core.partition.validate import validate_total
 from repro.core.point import MeasurementPoint
-from repro.errors import PartitionError
+from repro.errors import ConvergenceError, ConvergenceWarning, PartitionError
 
 #: A partitioning algorithm: ``(total, models) -> Distribution``.
 PartitionFunction = Callable[[int, Sequence[PerformanceModel]], Distribution]
@@ -48,6 +51,8 @@ class DynamicResult:
         total_cost: kernel-seconds spent on all benchmark measurements.
         points_per_rank: how many experimental points each partial model
             accumulated (compare with a full model sweep to see the saving).
+        cert: the :class:`~repro.core.partition.ConvergenceCert` for the
+            outer refine-repartition loop (None for legacy constructions).
     """
 
     distributions: List[Distribution]
@@ -55,6 +60,7 @@ class DynamicResult:
     iterations: int
     total_cost: float
     points_per_rank: List[int]
+    cert: Optional[ConvergenceCert] = None
 
     @property
     def final(self) -> Distribution:
@@ -75,6 +81,11 @@ class DynamicPartitioner:
         eps: accuracy -- stop when the largest per-rank size change,
             relative to the even share, falls below this.
         max_iterations: safety cap on iterations.
+        strict: raise :class:`~repro.errors.ConvergenceError` when
+            :meth:`run` exhausts ``max_iterations`` without the
+            distribution stabilising; with ``strict=False`` (default) a
+            :class:`~repro.errors.ConvergenceWarning` is emitted and the
+            last distribution is returned with a non-converged cert.
     """
 
     def __init__(
@@ -85,9 +96,9 @@ class DynamicPartitioner:
         measure: MeasureFunction,
         eps: float = 0.05,
         max_iterations: int = 25,
+        strict: bool = False,
     ) -> None:
-        if total < 0:
-            raise PartitionError(f"total must be non-negative, got {total}")
+        total = validate_total(total)
         if not models:
             raise PartitionError("need at least one model")
         if eps <= 0.0:
@@ -100,6 +111,7 @@ class DynamicPartitioner:
         self.measure = measure
         self.eps = eps
         self.max_iterations = max_iterations
+        self.strict = strict
         self.dist = Distribution.even(total, len(self.models))
         self.total_cost = 0.0
 
@@ -132,24 +144,49 @@ class DynamicPartitioner:
         return self.dist
 
     def run(self) -> DynamicResult:
-        """Iterate until the distribution stabilises (or the cap is hit)."""
+        """Iterate until the distribution stabilises (or the cap is hit).
+
+        Hitting the cap is never silent: the result carries a
+        non-converged :class:`~repro.core.partition.ConvergenceCert`, a
+        :class:`~repro.errors.ConvergenceWarning` is emitted -- or, with
+        ``strict=True``, a :class:`~repro.errors.ConvergenceError` is
+        raised carrying the last distribution as ``partial``.
+        """
         trace: List[Distribution] = []
         converged = False
         previous = self.dist
         iterations = 0
+        change = float("inf")
         for iterations in range(1, self.max_iterations + 1):
             current = self.iterate()
             trace.append(current)
-            if current.max_relative_change(previous) <= self.eps:
+            change = current.max_relative_change(previous)
+            if change <= self.eps:
                 converged = True
                 break
             previous = current
+        cert = ConvergenceCert(
+            algorithm="dynamic",
+            converged=converged,
+            iterations=iterations,
+            max_iter=self.max_iterations,
+            residual=change,
+            tolerance=self.eps,
+            detail="" if converged else
+            "iteration cap hit before the distribution stabilised",
+        )
+        if not converged:
+            if self.strict:
+                raise ConvergenceError(cert.summary(), cert=cert,
+                                       partial=self.dist)
+            warnings.warn(cert.summary(), ConvergenceWarning, stacklevel=2)
         return DynamicResult(
             distributions=trace,
             converged=converged,
             iterations=iterations,
             total_cost=self.total_cost,
             points_per_rank=[m.count for m in self.models],
+            cert=cert,
         )
 
 
@@ -187,6 +224,10 @@ class LoadBalancer:
         total: problem size ``D`` in computation units.
         threshold: rebalance when observed imbalance exceeds this.
         initial: starting distribution (defaults to even).
+        report: optional :class:`~repro.faults.ResilienceReport`; every
+            convergence certificate the partitioner attaches to its
+            result is recorded there (uncertified rebalances become
+            ``PartitionUncertified`` events instead of vanishing).
     """
 
     def __init__(
@@ -196,7 +237,9 @@ class LoadBalancer:
         total: int,
         threshold: float = 0.05,
         initial: Optional[Distribution] = None,
+        report=None,
     ) -> None:
+        total = validate_total(total)
         if not models:
             raise PartitionError("need at least one model")
         if threshold < 0.0:
@@ -212,6 +255,8 @@ class LoadBalancer:
                 f"{len(self.models)} models"
             )
         self.history: List[BalanceStep] = []
+        self.report = report
+        self.certs: List[ConvergenceCert] = []
         self._iteration = 0
         self._excluded: Set[int] = set()
 
@@ -267,14 +312,27 @@ class LoadBalancer:
         return self.dist
 
     def _repartition(self) -> Distribution:
-        """Run the partitioner, restricted to the survivors if any died."""
-        if not self._excluded:
-            return self.partition(self.total, self.models)
-        from repro.core.partition.resilient import partition_survivors
+        """Run the partitioner, restricted to the survivors if any died.
 
-        return partition_survivors(
-            self.total, self.models, self.survivors, self.partition
-        )
+        Convergence certificates attached by the partitioner are
+        harvested into :attr:`certs` (and into the optional report), so
+        an uncertified rebalance leaves a trace instead of being
+        silently adopted.
+        """
+        if not self._excluded:
+            dist = self.partition(self.total, self.models)
+        else:
+            from repro.core.partition.resilient import partition_survivors
+
+            dist = partition_survivors(
+                self.total, self.models, self.survivors, self.partition
+            )
+        cert = getattr(dist, "convergence", None)
+        if cert is not None:
+            self.certs.append(cert)
+            if self.report is not None and hasattr(self.report, "record_cert"):
+                self.report.record_cert(cert, context="load-balancer")
+        return dist
 
     def iterate(self, observed_times: Sequence[float]) -> Distribution:
         """Process one application iteration's timings.

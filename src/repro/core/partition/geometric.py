@@ -37,7 +37,9 @@ import numpy as np
 
 from repro.core.models.base import PerformanceModel
 from repro.core.partition.batch import allocations_at_levels
+from repro.core.partition.cert import ConvergenceCert, certify
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
+from repro.core.partition.validate import validate_partition_inputs
 from repro.errors import PartitionError
 
 
@@ -70,6 +72,8 @@ def partition_geometric(
     max_iter: int = 200,
     trace: Optional[List[BisectionStep]] = None,
     probes: int = 8,
+    strict: bool = False,
+    certs: Optional[List[ConvergenceCert]] = None,
 ) -> Distribution:
     """Partition ``total`` units by bisection on the equal-time level.
 
@@ -84,21 +88,36 @@ def partition_geometric(
             a :class:`BisectionStep` (the "lines" of the paper's Fig. 3).
         probes: interior levels probed per step; each step shrinks the
             bracket by ``probes + 1``.
+        strict: raise :class:`~repro.errors.ConvergenceError` when the
+            bisection exhausts ``max_iter`` without closing the bracket.
+            With ``strict=False`` (default) the midpoint partition is still
+            returned, annotated with a non-converged cert, and a
+            :class:`~repro.errors.ConvergenceWarning` is emitted.
+        certs: optional sink; the run's :class:`ConvergenceCert` is
+            appended to it (and always attached to the returned
+            distribution as ``.convergence``).
 
     Returns:
         A :class:`Distribution` summing exactly to ``total``.
     """
-    if total < 0:
-        raise PartitionError(f"total must be non-negative, got {total}")
-    if not models:
-        raise PartitionError("need at least one model")
+    total = validate_partition_inputs(total, models)
     if probes < 1:
         raise PartitionError(f"probes must be >= 1, got {probes}")
     size = len(models)
     if total == 0:
-        return Distribution(Part(0, 0.0) for _ in range(size))
+        return certify(
+            Distribution(Part(0, 0.0) for _ in range(size)),
+            ConvergenceCert("geometric", True, 0, max_iter, 0.0, tol,
+                            "trivial: total is 0"),
+            strict, certs,
+        )
     if size == 1:
-        return Distribution([Part(total, models[0].time(total))])
+        return certify(
+            Distribution([Part(total, models[0].time(total))]),
+            ConvergenceCert("geometric", True, 0, max_iter, 0.0, tol,
+                            "trivial: single process"),
+            strict, certs,
+        )
 
     # Upper bracket: the time level at which allocations certainly cover D
     # is at most the smallest single-process time for the whole problem
@@ -129,10 +148,15 @@ def partition_geometric(
     alloc_hi = np.full(size, cap)
     level: Optional[float] = None
     exact: Optional[np.ndarray] = None
+    converged = False
+    detail = ""
+    iterations = 0
     fractions = np.arange(1, probes + 1) / (probes + 1.0)
     for _ in range(max_iter):
         if hi - lo <= tol * max(1.0, abs(lo), abs(hi)):
+            converged = True
             break
+        iterations += 1
         levels = lo + (hi - lo) * fractions
         allocs = allocations_at_levels(models, levels, cap, alloc_lo, alloc_hi)
         residuals = allocs.sum(axis=0) - cap
@@ -142,6 +166,8 @@ def partition_geometric(
         if hit.size:
             level = float(levels[hit[0]])
             exact = allocs[:, hit[0]]
+            converged = True
+            detail = "exact zero-residual level hit"
             break
         j = int(np.searchsorted(residuals > 0.0, True))
         if j < levels.size:
@@ -156,11 +182,23 @@ def partition_geometric(
         exact = allocations_at_levels(
             models, np.asarray([level]), cap, alloc_lo, alloc_hi
         )[:, 0]
+        if not converged:
+            detail = "iteration cap hit before the bracket closed"
     # The converged level is always the last trace entry, so the trace
     # ends with an (essentially) zero residual.
     record(level, exact, float(exact.sum()) - cap)
     shares: List[float] = [float(a) for a in exact]
     sizes = round_preserving_sum(shares, total)
-    return Distribution(
+    dist = Distribution(
         Part(d, models[i].time(d) if d > 0 else 0.0) for i, d in enumerate(sizes)
     )
+    cert = ConvergenceCert(
+        algorithm="geometric",
+        converged=converged,
+        iterations=iterations,
+        max_iter=max_iter,
+        residual=float(hi - lo),
+        tolerance=tol * max(1.0, abs(lo), abs(hi)),
+        detail=detail,
+    )
+    return certify(dist, cert, strict, certs)

@@ -27,9 +27,10 @@ from scipy import optimize as _sciopt
 
 from repro.core.models.base import PerformanceModel
 from repro.core.partition.batch import model_times
+from repro.core.partition.cert import ConvergenceCert, certify
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.partition.geometric import partition_geometric
-from repro.errors import PartitionError
+from repro.core.partition.validate import validate_partition_inputs
 from repro.solver.newton import newton_system
 
 
@@ -77,6 +78,8 @@ def partition_numerical(
     models: Sequence[PerformanceModel],
     tol: float = 1e-9,
     max_iter: int = 100,
+    strict: bool = False,
+    certs: Optional[List[ConvergenceCert]] = None,
 ) -> Distribution:
     """Partition ``total`` units by solving the equal-time system.
 
@@ -87,19 +90,33 @@ def partition_numerical(
             Jacobian; others fall back to finite differences.
         tol: residual tolerance (seconds / units, mixed system).
         max_iter: Newton iteration cap.
+        strict: raise :class:`~repro.errors.ConvergenceError` when both
+            Newton and the hybrid-Powell fallback fail to converge.  With
+            ``strict=False`` (default) the geometrical seed is returned,
+            annotated with a non-converged cert, after a
+            :class:`~repro.errors.ConvergenceWarning`.
+        certs: optional sink for the run's :class:`ConvergenceCert` (also
+            attached to the returned distribution as ``.convergence``).
 
     Returns:
         A :class:`Distribution` summing exactly to ``total``.
     """
-    if total < 0:
-        raise PartitionError(f"total must be non-negative, got {total}")
-    if not models:
-        raise PartitionError("need at least one model")
+    total = validate_partition_inputs(total, models)
     size = len(models)
     if total == 0:
-        return Distribution(Part(0, 0.0) for _ in range(size))
+        return certify(
+            Distribution(Part(0, 0.0) for _ in range(size)),
+            ConvergenceCert("numerical", True, 0, max_iter, 0.0, tol,
+                            "trivial: total is 0"),
+            strict, certs,
+        )
     if size == 1:
-        return Distribution([Part(total, models[0].time(total))])
+        return certify(
+            Distribution([Part(total, models[0].time(total))]),
+            ConvergenceCert("numerical", True, 0, max_iter, 0.0, tol,
+                            "trivial: single process"),
+            strict, certs,
+        )
 
     seed = partition_geometric(total, models)
     x0 = np.asarray([float(p.d) for p in seed.parts])
@@ -123,6 +140,7 @@ def partition_numerical(
         upper=[float(total)] * size,
     )
     shares: Optional[List[float]] = None
+    detail = "damped Newton with analytic Jacobian" if jacobian else "damped Newton"
     if result.converged:
         shares = [float(v) for v in result.x]
     else:
@@ -131,12 +149,32 @@ def partition_numerical(
             x = np.clip(np.asarray(sol.x, dtype=float), 0.0, float(total))
             if abs(float(np.sum(x)) - total) <= max(1e-6 * total, 1e-6):
                 shares = [float(v) for v in x]
+                detail = "scipy hybrid-Powell fallback after Newton failed"
     if shares is None:
         # Both solvers failed: the geometrical solution is still a valid,
-        # near-balanced distribution.
-        return seed
+        # near-balanced distribution -- but no longer returned silently.
+        cert = ConvergenceCert(
+            algorithm="numerical",
+            converged=False,
+            iterations=result.iterations,
+            max_iter=max_iter,
+            residual=result.residual_norm,
+            tolerance=abs_tol,
+            detail="Newton and hybrid-Powell both failed; geometric seed returned",
+        )
+        return certify(seed, cert, strict, certs)
     sizes = round_preserving_sum(shares, total)
     times = model_times(models, [float(d) for d in sizes])
-    return Distribution(
+    dist = Distribution(
         Part(d, float(times[i]) if d > 0 else 0.0) for i, d in enumerate(sizes)
     )
+    cert = ConvergenceCert(
+        algorithm="numerical",
+        converged=True,
+        iterations=result.iterations,
+        max_iter=max_iter,
+        residual=result.residual_norm if result.converged else 0.0,
+        tolerance=abs_tol,
+        detail=detail,
+    )
+    return certify(dist, cert, strict, certs)

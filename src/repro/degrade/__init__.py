@@ -1,0 +1,43 @@
+"""Graceful degradation: watchdogs, fallback ladders, degradation reports.
+
+FuPerMod's pipeline (benchmark -> FPM fit -> geometric/numerical
+partition) assumes every stage succeeds.  Real heterogeneous-platform
+data routinely violates that: kernels hang, point sets are unfittable by
+the preferred spline, and solvers run into their iteration caps.  This
+package is the runtime that turns those failures into *degraded but
+valid* results instead of hangs or silent garbage:
+
+* :class:`Deadline` / :class:`Watchdog` -- wall-clock (or virtual-time)
+  budgets for benchmark repetitions, model fits and partition calls;
+  expiry raises a typed :class:`~repro.errors.DeadlineExceeded` carrying
+  whatever partial results were accumulated.
+* :class:`DegradationPolicy` -- the fallback ladder: on a fit or
+  convergence failure, walk the model chain Akima -> PCHIP ->
+  piecewise -> constant and the partitioner chain geometric ->
+  numerical -> basic, always producing a valid full partition.
+* :class:`DegradationReport` / :class:`FallbackStep` -- the audit trail:
+  every fallback taken, with the stage, rank and triggering error.
+
+``strict`` mode inverts the contract: instead of degrading, the first
+failure propagates as its typed error (:class:`~repro.errors.ModelError`,
+:class:`~repro.errors.ConvergenceError`,
+:class:`~repro.errors.DeadlineExceeded`, ...).
+"""
+
+from repro.degrade.policy import (
+    DEFAULT_MODEL_LADDER,
+    DEFAULT_PARTITIONER_LADDER,
+    DegradationPolicy,
+)
+from repro.degrade.report import DegradationReport, FallbackStep
+from repro.degrade.watchdog import Deadline, Watchdog
+
+__all__ = [
+    "DEFAULT_MODEL_LADDER",
+    "DEFAULT_PARTITIONER_LADDER",
+    "Deadline",
+    "DegradationPolicy",
+    "DegradationReport",
+    "FallbackStep",
+    "Watchdog",
+]

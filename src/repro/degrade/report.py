@@ -1,0 +1,107 @@
+"""The audit trail of a degraded run.
+
+Degradation is only acceptable when it is visible: a run that silently
+swapped Akima models for constants would report beautiful balance built
+on a lie.  :class:`DegradationReport` records every
+:class:`FallbackStep` the :class:`~repro.degrade.DegradationPolicy`
+takes -- which stage fell back, on which rank, from what to what, and
+the triggering error -- plus the convergence certificates gathered along
+the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FallbackStep:
+    """One rung descended on the fallback ladder.
+
+    Attributes:
+        stage: pipeline stage (``"model-fit"`` or ``"partition"``).
+        rank: the rank involved (-1 for run-wide steps like partitioning).
+        attempted: what was tried (model or partitioner name).
+        fallback: what was used instead (empty when even the last rung
+            failed and the step records a terminal failure).
+        trigger: why -- the stringified triggering error, prefixed with
+            its type name (``"ModelError: needs at least two ..."``).
+    """
+
+    stage: str
+    rank: int
+    attempted: str
+    fallback: str
+    trigger: str
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return {
+            "stage": self.stage,
+            "rank": self.rank,
+            "attempted": self.attempted,
+            "fallback": self.fallback,
+            "trigger": self.trigger,
+        }
+
+
+@dataclass
+class DegradationReport:
+    """Everything the fallback ladder did during one run.
+
+    Attributes:
+        steps: every fallback taken, in order.
+        certs: convergence certificates from the partitioner attempts
+            (converged and not), in order.
+    """
+
+    steps: List[FallbackStep] = field(default_factory=list)
+    certs: List = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fallback was taken at all."""
+        return bool(self.steps)
+
+    def record(self, stage: str, rank: int, attempted: str, fallback: str,
+               trigger: Optional[BaseException] = None) -> FallbackStep:
+        """Append a :class:`FallbackStep` (and return it)."""
+        if trigger is None:
+            text = ""
+        else:
+            text = f"{type(trigger).__name__}: {trigger}"
+        step = FallbackStep(stage=stage, rank=rank, attempted=attempted,
+                            fallback=fallback, trigger=text)
+        self.steps.append(step)
+        return step
+
+    def record_cert(self, cert) -> None:
+        """Append a partitioner :class:`~repro.core.partition.ConvergenceCert`."""
+        self.certs.append(cert)
+
+    def fallbacks_for(self, stage: str) -> List[FallbackStep]:
+        """The steps taken at one stage, in order."""
+        return [s for s in self.steps if s.stage == stage]
+
+    def to_dict(self) -> Dict:
+        """Deterministic JSON-friendly representation."""
+        return {
+            "degraded": self.degraded,
+            "steps": [s.to_dict() for s in self.steps],
+            "certs": [c.to_dict() for c in self.certs],
+        }
+
+    def summary(self) -> str:
+        """Multi-line human summary, one line per fallback."""
+        if not self.steps:
+            return "no degradation: every stage succeeded at its first choice"
+        lines = [f"{len(self.steps)} fallback(s) taken:"]
+        for s in self.steps:
+            where = f" rank {s.rank}" if s.rank >= 0 else ""
+            target = s.fallback if s.fallback else "<none left>"
+            lines.append(
+                f"  - {s.stage}{where}: {s.attempted} -> {target}"
+                + (f" ({s.trigger})" if s.trigger else "")
+            )
+        return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Watchdog deadlines for benchmark, fit and partition calls.
+
+A hung kernel is worse than a crashed one: a crash raises and the
+resilient runtime retries or quarantines, but a hang stalls the whole
+measurement sweep.  :class:`Deadline` gives any operation a time budget
+and raises :class:`~repro.errors.DeadlineExceeded` -- carrying whatever
+partial results were accumulated -- the moment the budget is spent.
+
+Two time sources are supported:
+
+* **wall clock** (``clock=time.monotonic`` or any zero-argument callable
+  returning seconds): :meth:`Deadline.check` compares against real
+  elapsed time.  This is the production mode.
+* **virtual time** (``clock=None``): time only advances when the
+  instrumented operation reports it via :meth:`Deadline.consume`.  The
+  simulated platform runs kernels in virtual time (a "10-second" kernel
+  returns instantly), so a simulated straggler can only be caught by
+  charging its *virtual* duration against the budget.  This also makes
+  hang tests deterministic.
+
+:class:`Watchdog` is the convenience wrapper that mints deadlines from a
+per-stage budget and runs callables under them.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A time budget for one operation.
+
+    Args:
+        budget: seconds the operation may take.  Must be positive.
+        stage: label for error messages (``"benchmark"``, ``"model-fit"``,
+            ``"partition:geometric"``, ...).
+        rank: the rank involved, for error attribution (-1 if run-wide).
+        clock: zero-argument callable returning seconds.  ``None`` selects
+            virtual-time mode, where only :meth:`consume` advances the
+            elapsed time.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        stage: str = "",
+        rank: int = -1,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not budget > 0.0:
+            raise ValueError(f"deadline budget must be positive, got {budget!r}")
+        self.budget = float(budget)
+        self.stage = stage
+        self.rank = rank
+        self._clock = clock
+        self._start = clock() if clock is not None else 0.0
+        self._consumed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds consumed so far (wall or virtual, by mode)."""
+        if self._clock is not None:
+            return self._clock() - self._start
+        return self._consumed
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget - self.elapsed)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.elapsed > self.budget
+
+    def check(self, partial: Any = None) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` if expired.
+
+        Args:
+            partial: attached to the raised error so the caller can keep
+                results from the part of the operation that did finish.
+        """
+        elapsed = self.elapsed
+        if elapsed > self.budget:
+            raise DeadlineExceeded(
+                f"{self.stage or 'operation'} exceeded its {self.budget:.3g}s "
+                f"deadline ({elapsed:.3g}s elapsed)"
+                + (f" on rank {self.rank}" if self.rank >= 0 else ""),
+                budget=self.budget,
+                elapsed=elapsed,
+                stage=self.stage,
+                rank=self.rank,
+                partial=partial,
+            )
+
+    def consume(self, seconds: float, partial: Any = None) -> None:
+        """Charge ``seconds`` of virtual time against the budget and check.
+
+        In wall-clock mode the charge is ignored (the clock is
+        authoritative) but the expiry check still runs, so instrumented
+        code can call ``consume`` unconditionally.
+        """
+        if seconds < 0.0:
+            raise ValueError(f"cannot consume negative time: {seconds!r}")
+        self._consumed += seconds
+        self.check(partial=partial)
+
+
+class Watchdog:
+    """Mints per-operation deadlines from a stage budget.
+
+    Args:
+        budget: seconds each guarded operation gets (one fresh
+            :class:`Deadline` per operation).
+        clock: time source passed to every minted deadline; ``None`` for
+            virtual time (see module docstring).
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        clock: Optional[Callable[[], float]] = time.monotonic,
+    ) -> None:
+        if not budget > 0.0:
+            raise ValueError(f"watchdog budget must be positive, got {budget!r}")
+        self.budget = float(budget)
+        self.clock = clock
+
+    def deadline(self, stage: str = "", rank: int = -1) -> Deadline:
+        """A fresh :class:`Deadline` for one operation."""
+        return Deadline(self.budget, stage=stage, rank=rank, clock=self.clock)
+
+    def call(self, fn: Callable[..., Any], *args: Any,
+             stage: str = "", rank: int = -1, **kwargs: Any) -> Any:
+        """Run ``fn(*args, **kwargs)`` and enforce the budget on return.
+
+        The deadline is checked after the call (and the callee may check
+        earlier by accepting a ``deadline`` keyword argument, which is
+        injected when ``fn``'s signature declares it), so a cooperative
+        callee fails mid-flight and an uncooperative one fails on exit.
+        """
+        deadline = self.deadline(stage=stage, rank=rank)
+        try:
+            accepts = "deadline" in inspect.signature(fn).parameters
+        except (TypeError, ValueError):
+            accepts = False
+        if accepts:
+            kwargs = dict(kwargs, deadline=deadline)
+        result = fn(*args, **kwargs)
+        deadline.check(partial=result)
+        return result

@@ -14,10 +14,21 @@ subsystem failed:
 * :class:`PersistenceError` -- model/point file I/O (``repro.io``);
 * :class:`FaultInjectionError` -- injected faults (``repro.faults``);
 * :class:`QuarantineError` -- a device exhausted its failure budget and was
-  excluded from the run (``repro.core.benchmark``).
+  excluded from the run (``repro.core.benchmark``);
+* :class:`ConvergenceError` -- an iterative partitioner exhausted its
+  iteration cap without certifying convergence (``repro.core.partition``);
+* :class:`DeadlineExceeded` -- a watchdog wall-clock budget expired
+  (``repro.degrade``).
+
+:class:`ConvergenceWarning` is the non-fatal counterpart of
+:class:`ConvergenceError`: in non-strict mode an uncertified result is
+still returned, but the caller is warned and the convergence certificate
+records the failure.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional
 
 
 class FuPerModError(Exception):
@@ -72,6 +83,66 @@ class FaultInjectionError(FuPerModError):
         self.rank = rank
         self.kind = kind
         self.fatal = fatal
+
+
+class ConvergenceWarning(RuntimeWarning):
+    """An iterative algorithm returned a result it could not certify.
+
+    Emitted (instead of :class:`ConvergenceError`) when ``strict`` mode is
+    off: the last iterate is still returned, annotated with a
+    non-converged :class:`~repro.core.partition.ConvergenceCert`.
+    """
+
+
+class ConvergenceError(PartitionError):
+    """An iterative partitioner exhausted its cap without converging.
+
+    Raised in ``strict`` mode instead of silently returning the last
+    iterate.  Carries the evidence so callers (and the degradation
+    ladder) can decide what to do with the uncertified result:
+
+    Attributes:
+        cert: the :class:`~repro.core.partition.ConvergenceCert`
+            describing how far the algorithm got (None if unavailable).
+        partial: the last iterate -- typically a
+            :class:`~repro.core.partition.Distribution` that sums
+            correctly but is not certified balanced (None if none).
+    """
+
+    def __init__(self, message: str, cert: Optional[Any] = None,
+                 partial: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.cert = cert
+        self.partial = partial
+
+
+class DeadlineExceeded(FuPerModError):
+    """A watchdog wall-clock (or virtual-time) budget expired.
+
+    Distinguishes a *hung* operation (overran its deadline) from a
+    *crashed* one (raised); the resilient runtime quarantines the former
+    with reason ``"hang"``.
+
+    Attributes:
+        budget: the budget in seconds.
+        elapsed: seconds actually consumed when the deadline fired.
+        stage: what was being attempted (``"benchmark"``, ``"model-fit"``,
+            ``"partition:geometric"``, ...).
+        rank: the rank involved (-1 for run-wide operations).
+        partial: partial results accumulated before expiry (e.g. a
+            :class:`~repro.core.point.MeasurementPoint` from the
+            repetitions that did complete), or None.
+    """
+
+    def __init__(self, message: str, budget: float = 0.0, elapsed: float = 0.0,
+                 stage: str = "", rank: int = -1,
+                 partial: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+        self.stage = stage
+        self.rank = rank
+        self.partial = partial
 
 
 class QuarantineError(BenchmarkError):

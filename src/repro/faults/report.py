@@ -21,8 +21,10 @@ class ResilienceEvent:
 
     Attributes:
         kind: event category: ``"transient"``, ``"retry"``, ``"remeasure"``,
-            ``"crash"``, ``"quarantine"``, ``"collective-drop"``,
-            ``"resume"`` or ``"repartition"``.
+            ``"crash"``, ``"hang"``, ``"quarantine"``,
+            ``"collective-drop"``, ``"resume"``, ``"repartition"``,
+            ``"convergence"``, ``"ModelFallback"`` or
+            ``"PartitionFallback"``.
         rank: the rank involved (-1 for run-wide events).
         detail: human-readable specifics (sizes, attempt counts, ...).
     """
@@ -40,7 +42,7 @@ class DeviceQuarantined:
         rank: the quarantined rank.
         device: the device's name.
         failures: failure count accumulated when the decision was made.
-        reason: why (``"crash"``, ``"retries-exhausted"``,
+        reason: why (``"crash"``, ``"hang"``, ``"retries-exhausted"``,
             ``"failure-budget"``).
     """
 
@@ -71,6 +73,17 @@ class ResilienceReport:
     def record(self, kind: str, rank: int, detail: str = "") -> None:
         """Append one event."""
         self.events.append(ResilienceEvent(kind=kind, rank=rank, detail=detail))
+
+    def record_cert(self, cert, context: str = "") -> None:
+        """Record a partitioner convergence certificate as an event.
+
+        Certs are deterministic (iterations, residuals), so recording them
+        keeps :meth:`to_dict` replay-stable.  Non-converged certs are the
+        interesting ones; converged certs are recorded too so a report
+        shows certification coverage, not just failures.
+        """
+        prefix = f"{context}: " if context else ""
+        self.record("convergence", -1, prefix + cert.summary())
 
     def quarantine(self, rank: int, device: str, failures: int, reason: str) -> None:
         """Mark ``rank`` as quarantined (idempotent)."""

@@ -1,0 +1,179 @@
+"""End-to-end acceptance: the degradation ladder through the CLI.
+
+The issue's acceptance scenario: pathological inputs -- unfittable
+timings, a shape-violating speed function, a non-converging bisection --
+fed through ``fupermod partition --degrade`` must complete with a valid
+full partition and a degradation report naming each fallback and its
+trigger; the same inputs under ``--strict`` must fail with a typed
+error (exit code 1).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.core.point import MeasurementPoint
+from repro.io.files import save_points
+
+
+@pytest.fixture
+def pathological_points(tmp_path):
+    """Three rank files: shape-violating, single-point, and healthy."""
+    # Rank 0: non-monotone timings -- Akima's exact interpolant must dip,
+    # violating the FPM shape restriction (model-ladder trigger).
+    save_points(
+        tmp_path / "rank000.points",
+        [MeasurementPoint(10, 1.0), MeasurementPoint(100, 0.2),
+         MeasurementPoint(1000, 5.0)],
+        metadata={"device": "zigzag"},
+    )
+    # Rank 1: a single measured point -- unfittable for spline models.
+    save_points(
+        tmp_path / "rank001.points",
+        [MeasurementPoint(50, 0.5)],
+        metadata={"device": "sparse"},
+    )
+    # Rank 2: healthy monotone timings.
+    save_points(
+        tmp_path / "rank002.points",
+        [MeasurementPoint(10, 0.1), MeasurementPoint(100, 1.0),
+         MeasurementPoint(1000, 10.0)],
+        metadata={"device": "healthy"},
+    )
+    return tmp_path
+
+
+def _partition_sizes(out: str):
+    return [int(m.group(1)) for m in re.finditer(r"d=(\d+)", out)]
+
+
+class TestPartitionDegrade:
+    def test_degrade_completes_with_valid_partition_and_report(
+        self, pathological_points, capsys
+    ):
+        # --max-iter 1 starves the geometric bisection on top of the
+        # pathological models, forcing partitioner fallbacks too.
+        code = main([
+            "partition",
+            "--points", str(pathological_points),
+            "--total", "300",
+            "--model", "akima",
+            "--max-iter", "1",
+            "--degrade",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        sizes = _partition_sizes(out)
+        assert len(sizes) == 3
+        assert sum(sizes) == 300
+        assert all(d >= 0 for d in sizes)
+        # The degradation report names each fallback with its trigger.
+        assert "fallback(s) taken" in out
+        assert "model-fit" in out
+        assert "akima" in out
+        assert "convergence:" in out
+
+    def test_strict_raises_typed_error(self, pathological_points, capsys):
+        code = main([
+            "partition",
+            "--points", str(pathological_points),
+            "--total", "300",
+            "--model", "akima",
+            "--max-iter", "1",
+            "--strict",
+        ])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+
+    def test_degrade_without_pathology_reports_clean(self, tmp_path, capsys):
+        for rank in range(2):
+            save_points(
+                tmp_path / f"rank{rank:03d}.points",
+                [MeasurementPoint(d, d / (100.0 * (rank + 1)))
+                 for d in (10, 100, 1000)],
+                metadata={"device": f"d{rank}"},
+            )
+        code = main([
+            "partition",
+            "--points", str(tmp_path),
+            "--total", "400",
+            "--degrade",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no degradation" in out
+        assert sum(_partition_sizes(out)) == 400
+
+    def test_max_iter_without_degrade_is_forwarded(self, tmp_path, capsys):
+        for rank in range(2):
+            save_points(
+                tmp_path / f"rank{rank:03d}.points",
+                [MeasurementPoint(d, d / (100.0 * (rank + 1)))
+                 for d in (10, 100, 1000)],
+                metadata={"device": f"d{rank}"},
+            )
+        code = main([
+            "partition",
+            "--points", str(tmp_path),
+            "--total", "400",
+            "--max-iter", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The cap was honoured: the cert on the result says so.
+        assert "NOT converged after 1/1" in out
+
+
+class TestBuildDegrade:
+    def test_build_degrade_writes_models_and_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "models"
+        code = main([
+            "build",
+            "--platform", "fig4",
+            "--sizes", "32,128,512",
+            "--model", "akima",
+            "--out", str(out_dir),
+            "--degrade",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert sorted(p.name for p in out_dir.glob("rank*.points")) == [
+            "rank000.points", "rank001.points", "rank002.points",
+        ]
+        assert "degradation:" in out
+        assert "resilience:" in out
+
+    def test_build_deadline_quarantines_hangs(self, tmp_path, capsys):
+        # The hybrid preset has wildly different device speeds; a tight
+        # virtual-time budget hangs the slow ones.
+        out_dir = tmp_path / "models"
+        code = main([
+            "build",
+            "--platform", "heterogeneous",
+            "--sizes", "64,256",
+            "--out", str(out_dir),
+            "--degrade",
+            "--deadline", "1e-6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hang" in out
+
+    def test_build_then_partition_degrade_round_trip(self, tmp_path, capsys):
+        out_dir = tmp_path / "models"
+        assert main([
+            "build", "--platform", "fig4", "--sizes", "32,128,512",
+            "--out", str(out_dir), "--degrade",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "partition", "--points", str(out_dir), "--total", "600",
+            "--degrade",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert sum(_partition_sizes(out)) == 600

@@ -1,0 +1,206 @@
+"""Tests for the model/partitioner fallback ladder.
+
+The contract: given a well-formed request, the policy always produces a
+valid full partition; every descent is recorded with its trigger; strict
+mode propagates the first typed failure instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import AkimaModel, ConstantModel, PiecewiseModel
+from repro.core.partition.cert import ConvergenceCert
+from repro.core.point import MeasurementPoint
+from repro.degrade import (
+    DEFAULT_MODEL_LADDER,
+    DEFAULT_PARTITIONER_LADDER,
+    DegradationPolicy,
+    DegradationReport,
+)
+from repro.errors import ConvergenceError, ModelError, PartitionError
+
+
+def _points(pairs):
+    return [MeasurementPoint(d, t) for d, t in pairs]
+
+
+MONOTONE = _points([(10, 0.1), (100, 1.0), (1000, 10.0)])
+# Akima interpolates these exactly, so its curve must dip -- the FPM
+# shape restriction rejects it; PCHIP's isotonic projection cannot dip.
+NON_MONOTONE = _points([(10, 1.0), (100, 0.2), (1000, 5.0)])
+
+
+class TestModelLadder:
+    def test_monotone_data_keeps_first_rung(self):
+        policy = DegradationPolicy()
+        model = policy.fit_model(MONOTONE, rank=0)
+        assert isinstance(model, AkimaModel)
+        assert not policy.report.degraded
+
+    def test_non_monotone_data_descends(self):
+        policy = DegradationPolicy()
+        model = policy.fit_model(NON_MONOTONE, rank=3)
+        assert not isinstance(model, AkimaModel)
+        steps = policy.report.fallbacks_for("model-fit")
+        assert steps and steps[0].attempted == "akima"
+        assert steps[0].rank == 3
+        assert "shape restriction" in steps[0].trigger
+
+    def test_primary_tried_first(self):
+        policy = DegradationPolicy()
+        model = policy.fit_model(MONOTONE, rank=0, primary="constant")
+        assert isinstance(model, ConstantModel)
+
+    def test_strict_mode_raises_first_failure(self):
+        policy = DegradationPolicy(strict=True)
+        with pytest.raises(ModelError, match="shape restriction"):
+            policy.fit_model(NON_MONOTONE, rank=0)
+
+    def test_empty_points_raise(self):
+        policy = DegradationPolicy()
+        with pytest.raises(ModelError, match="no measured points"):
+            policy.fit_model([], rank=0)
+
+    def test_shape_probe_can_be_disabled(self):
+        policy = DegradationPolicy(require_monotone=False)
+        model = policy.fit_model(NON_MONOTONE, rank=0)
+        assert isinstance(model, AkimaModel)
+
+    def test_every_rung_failing_raises(self):
+        policy = DegradationPolicy(model_ladder=["akima"])
+        with pytest.raises(ModelError, match="every model on the ladder"):
+            policy.fit_model(NON_MONOTONE, rank=0)
+
+
+def _models(speeds, sizes=(10, 100, 1000)):
+    out = []
+    for s in speeds:
+        m = PiecewiseModel()
+        m.update_many(_points([(d, d / s) for d in sizes]))
+        out.append(m)
+    return out
+
+
+class TestPartitionerLadder:
+    def test_happy_path_uses_first_rung(self):
+        policy = DegradationPolicy()
+        dist = policy.partition(500, _models([3.0, 1.0]))
+        assert sum(dist.sizes) == 500
+        assert dist.convergence.algorithm == "geometric"
+        assert not policy.report.degraded
+        assert policy.report.certs  # certification is always recorded
+
+    def test_tiny_cap_descends_with_trigger(self):
+        policy = DegradationPolicy(max_iter=1)
+        dist = policy.partition(500, _models([3.0, 1.0]))
+        assert sum(dist.sizes) == 500
+        steps = policy.report.fallbacks_for("partition")
+        assert steps and steps[0].attempted == "geometric"
+        assert "ConvergenceError" in steps[0].trigger
+        # The failed attempt's cert is kept alongside the winner's.
+        algos = [c.algorithm for c in policy.report.certs]
+        assert "geometric" in algos
+
+    def test_even_floor_when_ladder_exhausted(self):
+        policy = DegradationPolicy(partitioner_ladder=["geometric"], max_iter=1)
+        dist = policy.partition(500, _models([3.0, 1.0]))
+        assert sum(dist.sizes) == 500
+        assert dist.convergence.algorithm == "even"
+        assert policy.report.fallbacks_for("partition")[-1].fallback == "even"
+
+    def test_strict_mode_raises(self):
+        policy = DegradationPolicy(strict=True, max_iter=1)
+        with pytest.raises(ConvergenceError):
+            policy.partition(500, _models([3.0, 1.0]))
+
+    def test_malformed_total_not_degraded_around(self):
+        policy = DegradationPolicy()
+        with pytest.raises(PartitionError):
+            policy.partition(float("nan"), _models([3.0, 1.0]))
+
+    def test_empty_models_not_degraded_around(self):
+        policy = DegradationPolicy()
+        with pytest.raises(PartitionError, match="empty"):
+            policy.partition(100, [])
+
+    def test_partition_function_is_drop_in(self):
+        fn = DegradationPolicy().partition_function()
+        dist = fn(500, _models([3.0, 1.0]))
+        assert sum(dist.sizes) == 500
+
+    def test_wrap_guards_a_failing_function(self):
+        policy = DegradationPolicy()
+
+        def exploding(total, models):
+            raise PartitionError("boom")
+
+        guarded = policy.wrap(exploding)
+        dist = guarded(500, _models([3.0, 1.0]))
+        assert sum(dist.sizes) == 500
+        assert policy.report.degraded
+        assert policy.report.steps[0].attempted == "exploding"
+
+    def test_wrap_strict_propagates(self):
+        policy = DegradationPolicy(strict=True)
+
+        def exploding(total, models):
+            raise PartitionError("boom")
+
+        with pytest.raises(PartitionError, match="boom"):
+            policy.wrap(exploding)(500, _models([3.0, 1.0]))
+
+    def test_empty_ladders_rejected(self):
+        with pytest.raises(PartitionError):
+            DegradationPolicy(model_ladder=[])
+        with pytest.raises(PartitionError):
+            DegradationPolicy(partitioner_ladder=[])
+
+
+class TestReport:
+    def test_summary_names_each_fallback(self):
+        report = DegradationReport()
+        report.record("model-fit", 1, "akima", "pchip",
+                      ModelError("shape violated"))
+        text = report.summary()
+        assert "akima -> pchip" in text
+        assert "rank 1" in text
+
+    def test_to_dict_round_trip(self):
+        report = DegradationReport()
+        report.record("partition", -1, "geometric", "numerical")
+        report.record_cert(ConvergenceCert("geometric", False, 5, 5, 1.0, 0.1))
+        d = report.to_dict()
+        assert d["degraded"] is True
+        assert d["steps"][0]["attempted"] == "geometric"
+        assert d["certs"][0]["algorithm"] == "geometric"
+
+    def test_clean_report(self):
+        report = DegradationReport()
+        assert not report.degraded
+        assert "no degradation" in report.summary()
+
+    def test_default_ladders_exposed(self):
+        assert DEFAULT_MODEL_LADDER[0] == "akima"
+        assert DEFAULT_MODEL_LADDER[-1] == "constant"
+        assert DEFAULT_PARTITIONER_LADDER == ("geometric", "numerical", "basic")
+
+
+class TestResilienceMirroring:
+    def test_fallbacks_mirrored_into_resilience_report(self):
+        from repro.faults.report import ResilienceReport
+
+        resilience = ResilienceReport()
+        policy = DegradationPolicy(resilience=resilience)
+        policy.fit_model(NON_MONOTONE, rank=0)
+        kinds = [e.kind for e in resilience.events]
+        assert "ModelFallback" in kinds
+
+    def test_certs_mirrored_into_resilience_report(self):
+        from repro.faults.report import ResilienceReport
+
+        resilience = ResilienceReport()
+        policy = DegradationPolicy(resilience=resilience)
+        policy.partition(500, _models([3.0, 1.0]))
+        kinds = [e.kind for e in resilience.events]
+        assert "convergence" in kinds

@@ -1,0 +1,123 @@
+"""Property tests: the ladder always yields a valid partition.
+
+Randomised pathological speed functions -- non-monotone, flat,
+single-point, near-zero and near-overflow timings -- are fed through
+:class:`~repro.degrade.DegradationPolicy`.  Whatever rung the ladder
+lands on, the outcome must be a full partition: parts sum to ``n``,
+every part is a non-negative integer, one part per rank.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import MeasurementPoint
+from repro.degrade import DegradationPolicy
+
+# Timings span from denormal-adjacent to astronomically large: the exact
+# values models must survive without manufacturing NaNs or negatives.
+_times = st.floats(min_value=1e-9, max_value=1e9, allow_nan=False,
+                   allow_infinity=False)
+_sizes = st.integers(min_value=1, max_value=10_000)
+
+
+@st.composite
+def _rank_points(draw):
+    """One rank's measurements: 1..6 points at distinct sizes."""
+    sizes = draw(st.lists(_sizes, min_size=1, max_size=6, unique=True))
+    return [MeasurementPoint(d, draw(_times)) for d in sorted(sizes)]
+
+
+@st.composite
+def _flat_rank_points(draw):
+    """A flat speed function: the same time at every size."""
+    sizes = draw(st.lists(_sizes, min_size=2, max_size=5, unique=True))
+    t = draw(_times)
+    return [MeasurementPoint(d, t) for d in sorted(sizes)]
+
+
+def _assert_valid(dist, total, ranks):
+    sizes = dist.sizes
+    assert len(sizes) == ranks
+    assert sum(sizes) == total
+    assert all(isinstance(d, int) and d >= 0 for d in sizes)
+    assert getattr(dist, "convergence", None) is not None
+
+
+class TestLadderAlwaysPartitions:
+    @given(
+        points_per_rank=st.lists(_rank_points(), min_size=1, max_size=4),
+        total=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_pathological_speed_functions(self, points_per_rank, total):
+        policy = DegradationPolicy()
+        models = [
+            policy.fit_model(pts, rank=r)
+            for r, pts in enumerate(points_per_rank)
+        ]
+        dist = policy.partition(total, models)
+        _assert_valid(dist, total, len(points_per_rank))
+
+    @given(
+        points_per_rank=st.lists(_flat_rank_points(), min_size=1, max_size=3),
+        total=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_flat_speed_functions(self, points_per_rank, total):
+        policy = DegradationPolicy()
+        models = [
+            policy.fit_model(pts, rank=r)
+            for r, pts in enumerate(points_per_rank)
+        ]
+        dist = policy.partition(total, models)
+        _assert_valid(dist, total, len(points_per_rank))
+
+    @given(
+        size=_sizes,
+        time=_times,
+        ranks=st.integers(min_value=1, max_value=4),
+        total=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_single_point_models(self, size, time, ranks, total):
+        policy = DegradationPolicy()
+        models = [
+            policy.fit_model([MeasurementPoint(size, time)], rank=r)
+            for r in range(ranks)
+        ]
+        dist = policy.partition(total, models)
+        _assert_valid(dist, total, ranks)
+
+    @given(
+        points_per_rank=st.lists(_rank_points(), min_size=2, max_size=3),
+        total=st.integers(min_value=1, max_value=2000),
+        max_iter=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tiny_iteration_caps(self, points_per_rank, total, max_iter):
+        # Starving the iterative rungs forces descents; the floor still
+        # holds.
+        policy = DegradationPolicy(max_iter=max_iter)
+        models = [
+            policy.fit_model(pts, rank=r)
+            for r, pts in enumerate(points_per_rank)
+        ]
+        dist = policy.partition(total, models)
+        _assert_valid(dist, total, len(points_per_rank))
+
+    @given(
+        points_per_rank=st.lists(_rank_points(), min_size=1, max_size=3),
+        total=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_step_has_a_trigger(self, points_per_rank, total):
+        policy = DegradationPolicy()
+        models = [
+            policy.fit_model(pts, rank=r)
+            for r, pts in enumerate(points_per_rank)
+        ]
+        policy.partition(total, models)
+        for step in policy.report.steps:
+            assert step.trigger  # a fallback without a reason is a bug

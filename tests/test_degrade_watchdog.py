@@ -1,0 +1,140 @@
+"""Tests for watchdog deadlines (wall-clock and virtual time)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.degrade import Deadline, Watchdog
+from repro.errors import DeadlineExceeded
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadlineWallClock:
+    def test_fresh_deadline_not_expired(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        assert not dl.expired
+        assert dl.elapsed == 0.0
+        assert dl.remaining == 1.0
+        dl.check()  # no raise
+
+    def test_expiry_raises_typed_error(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, stage="benchmark", rank=2, clock=clock)
+        clock.advance(1.5)
+        assert dl.expired
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            dl.check(partial=[1, 2, 3])
+        exc = exc_info.value
+        assert exc.budget == 1.0
+        assert exc.elapsed == pytest.approx(1.5)
+        assert exc.stage == "benchmark"
+        assert exc.rank == 2
+        assert exc.partial == [1, 2, 3]
+
+    def test_exactly_at_budget_not_expired(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        clock.advance(1.0)
+        assert not dl.expired
+        dl.check()
+
+    def test_remaining_clamps_at_zero(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert dl.remaining == 0.0
+
+    def test_consume_ignored_in_wall_mode(self):
+        # The wall clock is authoritative; consume() only checks.
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        dl.consume(10.0)  # clock has not moved, so no expiry
+        assert dl.elapsed == 0.0
+
+
+class TestDeadlineVirtual:
+    def test_consume_accumulates(self):
+        dl = Deadline(1.0, clock=None)
+        dl.consume(0.4)
+        dl.consume(0.4)
+        assert dl.elapsed == pytest.approx(0.8)
+        assert not dl.expired
+
+    def test_consume_past_budget_raises(self):
+        dl = Deadline(1.0, stage="benchmark", clock=None)
+        dl.consume(0.9)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            dl.consume(0.5, partial="partial-result")
+        assert exc_info.value.partial == "partial-result"
+        assert exc_info.value.elapsed == pytest.approx(1.4)
+
+    def test_negative_consume_rejected(self):
+        dl = Deadline(1.0, clock=None)
+        with pytest.raises(ValueError):
+            dl.consume(-0.1)
+
+    def test_message_names_stage_and_rank(self):
+        dl = Deadline(0.5, stage="model-fit", rank=3, clock=None)
+        with pytest.raises(DeadlineExceeded, match="model-fit"):
+            dl.consume(1.0)
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("budget", [0.0, -1.0, float("nan")])
+    def test_bad_budget_rejected(self, budget):
+        with pytest.raises(ValueError):
+            Deadline(budget)
+
+
+class TestWatchdog:
+    def test_deadline_factory_mints_fresh_deadlines(self):
+        clock = FakeClock()
+        wd = Watchdog(1.0, clock=clock)
+        a = wd.deadline(stage="x")
+        clock.advance(0.8)
+        b = wd.deadline(stage="y")
+        assert a.elapsed == pytest.approx(0.8)
+        assert b.elapsed == 0.0
+
+    def test_call_injects_deadline_kwarg(self):
+        clock = FakeClock()
+        wd = Watchdog(1.0, clock=clock)
+        seen = {}
+
+        def fn(x, deadline=None):
+            seen["deadline"] = deadline
+            return x * 2
+
+        assert wd.call(fn, 21, stage="s", rank=1) == 42
+        assert seen["deadline"] is not None
+        assert seen["deadline"].stage == "s"
+
+    def test_call_without_deadline_param(self):
+        clock = FakeClock()
+        wd = Watchdog(1.0, clock=clock)
+        assert wd.call(lambda x: x + 1, 1) == 2
+
+    def test_call_checks_after_return(self):
+        clock = FakeClock()
+        wd = Watchdog(1.0, clock=clock)
+
+        def slow():
+            clock.advance(2.0)
+            return "partial"
+
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            wd.call(slow, stage="slow-stage")
+        assert exc_info.value.partial == "partial"

@@ -104,7 +104,8 @@ class TestModelMisuse:
 
 class TestPartitionerMisuse:
     def test_unready_models_rejected(self):
-        with pytest.raises(ModelError):
+        # Rejected at the partition boundary now, before any model fit.
+        with pytest.raises(PartitionError, match="measured point"):
             partition_geometric(100, [PiecewiseModel(), PiecewiseModel()])
 
     def test_empty_models_rejected(self):
