@@ -17,9 +17,11 @@ The module doubles as a CLI for throughput-regression gating::
 
 compares two ``BENCH_hotpath_models.json``-style result files (defaults:
 the repo-root file against itself is a no-op; pass a fresh run as CURRENT)
-and exits non-zero when any throughput metric dropped by more than 20%
-or when the happy-path degradation-ladder overhead (the
-``partition_ladder`` section's ``overhead_frac``) exceeds 5%.
+and exits non-zero when any throughput metric dropped by more than 20%,
+when the happy-path degradation-ladder overhead (the
+``partition_ladder`` section's ``overhead_frac``) exceeds 5%, or when the
+plan-cache hit path (the repo-root ``BENCH_plan_cache.json``, if present)
+is less than 10x faster than a cold solve.
 """
 
 from __future__ import annotations
@@ -38,6 +40,10 @@ THROUGHPUT_KEYS = ("scalar_pts_per_s", "batch_pts_per_s", "partitions_per_s", "s
 #: Ceiling on the happy-path DegradationPolicy tax over a direct
 #: partitioner call (the ``partition_ladder`` bench section).
 LADDER_OVERHEAD_LIMIT = 0.05
+
+#: Floor on the plan-cache hit path's advantage over a cold solve (the
+#: ``plan_cache`` bench section's ``hit_speedup``).
+PLAN_CACHE_SPEEDUP_FLOOR = 10.0
 
 
 def achieved_times(
@@ -158,26 +164,56 @@ def check_ladder_overhead(
     return failures
 
 
+def check_plan_cache(
+    current: Dict, floor: float = PLAN_CACHE_SPEEDUP_FLOOR
+) -> List[str]:
+    """Gate the plan-cache hit path's speedup over a cold solve.
+
+    Reads the ``plan_cache`` section of a result tree (the
+    ``bench_plan_cache`` bench) and reports every rank count whose
+    ``hit_speedup`` (cold solve time over cache-hit serve time) falls
+    below *floor*.  A missing section is not a failure -- hotpath result
+    files predate the serving bench.
+    """
+    if floor <= 1.0:
+        raise ValueError(f"floor must exceed 1, got {floor}")
+    failures: List[str] = []
+    for p, row in sorted(current.get("plan_cache", {}).items()):
+        speedup = row.get("hit_speedup")
+        if isinstance(speedup, (int, float)) and speedup < floor:
+            failures.append(
+                f"plan_cache.{p}: hit path only {speedup:.1f}x faster than "
+                f"a cold solve (floor {floor:.0f}x)"
+            )
+    return failures
+
+
+def _load_results(path: Path) -> Dict:
+    """Load one bench result file, raising ``SystemExit(2)`` on damage."""
+    if not path.exists():
+        print(f"missing results file: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"malformed results file {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict):
+        print(f"malformed results file {path}: expected a JSON object, "
+              f"got {type(data).__name__}", file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
 def _check_regression_cli(argv: Sequence[str]) -> int:
     default = Path(__file__).resolve().parent.parent / "BENCH_hotpath_models.json"
     current_path = Path(argv[0]) if len(argv) > 0 else default
     baseline_path = Path(argv[1]) if len(argv) > 1 else default
-    results = []
-    for path in (current_path, baseline_path):
-        if not path.exists():
-            print(f"missing results file: {path}", file=sys.stderr)
-            return 2
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"malformed results file {path}: {exc}", file=sys.stderr)
-            return 2
-        if not isinstance(data, dict):
-            print(f"malformed results file {path}: expected a JSON object, "
-                  f"got {type(data).__name__}", file=sys.stderr)
-            return 2
-        results.append(data)
-    current, baseline = results
+    try:
+        current = _load_results(current_path)
+        baseline = _load_results(baseline_path)
+    except SystemExit as exc:
+        return int(exc.code or 2)
     failures = check_regression(current, baseline)
     if failures:
         print("throughput regressions (>20% below baseline):")
@@ -191,11 +227,28 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
         for line in overhead_failures:
             print(f"  {line}")
         return 1
+    # The plan-cache bench writes its own result file; gate it whenever a
+    # committed baseline is present (its absence predates the serving layer).
+    plan_cache_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
+    )
+    if plan_cache_path.exists():
+        try:
+            plan_cache = _load_results(plan_cache_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        cache_failures = check_plan_cache(plan_cache)
+        if cache_failures:
+            print("plan-cache hit path below the "
+                  f"{PLAN_CACHE_SPEEDUP_FLOOR:.0f}x floor:")
+            for line in cache_failures:
+                print(f"  {line}")
+            return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
     print(f"no throughput regressions ({compared} metrics compared); "
-          "ladder overhead within limits")
+          "ladder overhead and plan-cache floor within limits")
     return 0
 
 

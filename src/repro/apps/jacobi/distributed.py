@@ -15,7 +15,10 @@ message-passing simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.serve.engine import PlanEngine
 
 import numpy as np
 
@@ -112,6 +115,7 @@ def run_balanced_jacobi(
     fault_plan: Optional[FaultPlan] = None,
     report: Optional[ResilienceReport] = None,
     policy: Optional[DegradationPolicy] = None,
+    engine: Optional["PlanEngine"] = None,
 ) -> JacobiRunResult:
     """Run the row-distributed Jacobi method under dynamic load balancing.
 
@@ -148,11 +152,20 @@ def run_balanced_jacobi(
             ladder, so a repartitioning failure mid-run degrades (and is
             recorded in the result's ``degradation`` report) instead of
             aborting the application.
+        engine: optional :class:`~repro.serve.PlanEngine`; the balancer's
+            repartitioning then flows through the plan cache (the
+            engine's default partitioner replaces the balancer's own),
+            so a converged loop -- same refitted models, same total --
+            stops recomputing, and warm starts speed up the steps that
+            do compute.  Composes with ``policy``: the ladder guards the
+            cached path.
 
     Returns:
         A :class:`JacobiRunResult`; its per-iteration makespans reproduce
         the convergence behaviour of Fig. 4.
     """
+    if engine is not None:
+        balancer.partition = engine.partition_function()
     if policy is not None:
         balancer.partition = policy.wrap(balancer.partition)
     if balancer.dist.size != platform.size:

@@ -49,10 +49,10 @@ from repro.core.registry import (
     model_factory,
     partitioner,
 )
-from repro.errors import FuPerModError
+from repro.errors import FuPerModError, PartitionError, PersistenceError
 from repro.core.builder import build_adaptive_model
 from repro.core.partition.limits import partition_with_limits
-from repro.io.files import load_model, save_distribution, save_points
+from repro.io.files import save_distribution, save_points
 from repro.platform.cluster import Platform
 from repro.platform.presets import fig4_trio, heterogeneous_cluster, hybrid_node
 
@@ -190,15 +190,39 @@ def _parse_limits(text: str, size: int) -> List[Optional[int]]:
     return out
 
 
-def _cmd_partition(args: argparse.Namespace) -> int:
-    points_dir = Path(args.points)
+def _point_files(points_dir: Path) -> List[Path]:
+    """The sorted rank point files of a build output directory."""
     files = sorted(points_dir.glob("rank*.points"))
     if not files:
         raise FuPerModError(f"no rank*.points files in {points_dir}")
+    return files
+
+
+def _load_rank_points(path: Path, rank: int):
+    """Load one rank's points, turning persistence failures actionable.
+
+    A missing, truncated or binary-corrupt point file used to escape as a
+    raw traceback; now it is a :class:`~repro.errors.PartitionError`
+    naming the rank, the file and the fix, which ``main`` renders as a
+    one-line ``error:`` message with a nonzero exit.
+    """
+    from repro.io.files import load_points
+
+    try:
+        return load_points(path)[0]
+    except PersistenceError as exc:
+        raise PartitionError(
+            f"cannot load points for rank {rank}: {exc}; the file is "
+            "missing or corrupt -- re-run 'fupermod build' to regenerate it"
+        ) from exc
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    points_dir = Path(args.points)
+    files = _point_files(points_dir)
     degradation = None
     if args.degrade or args.strict:
         from repro.degrade import DEFAULT_PARTITIONER_LADDER, DegradationPolicy
-        from repro.io.files import load_points
 
         ladder = [args.algorithm] + [
             n for n in DEFAULT_PARTITIONER_LADDER if n != args.algorithm
@@ -209,14 +233,18 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
         models = []
         for rank, path in enumerate(files):
-            points, _meta = load_points(path)
+            points = _load_rank_points(path, rank)
             models.append(policy.fit_model(points, rank=rank,
                                            primary=args.model))
         algorithm = policy.partition_function()
         degradation = policy.report
     else:
         factory = model_factory(args.model)
-        models = [load_model(path, factory) for path in files]
+        models = []
+        for rank, path in enumerate(files):
+            model = factory()
+            model.update_many(_load_rank_points(path, rank))
+            models.append(model)
         algorithm = partitioner(args.algorithm)
         if args.max_iter is not None:
             import functools
@@ -245,6 +273,77 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.out:
         save_distribution(args.out, dist)
         print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``fupermod serve`` command: a partition-plan service.
+
+    Models come from a ``build`` output directory; plans are served over
+    JSON-lines stdio (default) or stdlib HTTP (``--http``).  Status and
+    statistics go to stderr so stdout stays a clean protocol stream.
+    """
+    from repro.serve import PlanCache, PlanEngine, PlanServer
+    from repro.serve.frontend import make_http_server, serve_stdio
+
+    files = _point_files(Path(args.points))
+    factory = model_factory(args.model)
+    models = []
+    for rank, path in enumerate(files):
+        model = factory()
+        model.update_many(_load_rank_points(path, rank))
+        models.append(model)
+    cache = PlanCache(capacity=args.cache_size, ttl=args.ttl)
+    cache_file = Path(args.cache_file) if args.cache_file else None
+    if cache_file is not None and cache_file.exists():
+        from repro.io.plans import load_plan_cache
+
+        loaded = load_plan_cache(cache_file, cache)
+        print(f"loaded {loaded} cached plan(s) from {cache_file}",
+              file=sys.stderr)
+    policy = None
+    if args.degrade:
+        from repro.degrade import DegradationPolicy
+
+        policy = DegradationPolicy()
+    engine = PlanEngine(
+        cache=cache, policy=policy, partitioner=args.algorithm,
+        warm=not args.no_warm,
+    )
+    server = PlanServer(models, engine=engine, max_workers=args.workers)
+    try:
+        if args.http:
+            httpd = make_http_server(server, args.host, args.port)
+            host, port = httpd.server_address[:2]
+            print(f"serving plans over http://{host}:{port} "
+                  f"(POST /plan, GET /stats); Ctrl-C to stop",
+                  file=sys.stderr)
+            try:
+                httpd.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                httpd.server_close()
+        else:
+            print(f"serving plans for {len(models)} rank(s) over stdio; "
+                  "one JSON request per line", file=sys.stderr)
+            served = serve_stdio(server, sys.stdin, sys.stdout)
+            print(f"served {served} request(s)", file=sys.stderr)
+    finally:
+        server.close()
+        if cache_file is not None:
+            from repro.io.plans import save_plan_cache
+
+            saved = save_plan_cache(cache_file, cache)
+            print(f"persisted {saved} cached plan(s) to {cache_file}",
+                  file=sys.stderr)
+        stats = server.stats()
+        print(f"cache: {stats['cache']['hits']} hit(s), "
+              f"{stats['cache']['misses']} miss(es); "
+              f"serve: {stats['serve']['computations']} computation(s), "
+              f"{stats['serve']['coalesced']} coalesced, "
+              f"{stats['serve']['warm_starts']} warm-started",
+              file=sys.stderr)
     return 0
 
 
@@ -529,6 +628,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="iteration cap override for iterative "
                              "partitioners")
     p_part.set_defaults(func=_cmd_partition)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve partition plans from saved point files (stdio or HTTP)",
+    )
+    p_srv.add_argument("--points", required=True,
+                       help="directory of rank*.points files from 'build'")
+    p_srv.add_argument("--model", default="piecewise")
+    p_srv.add_argument("--algorithm", default="geometric",
+                       help="default partitioner for requests that name none")
+    p_srv.add_argument("--cache-size", type=int, default=128,
+                       dest="cache_size", help="plan cache capacity (entries)")
+    p_srv.add_argument("--ttl", type=float, default=None,
+                       help="plan time-to-live in seconds (default: no expiry)")
+    p_srv.add_argument("--cache-file", default=None, dest="cache_file",
+                       help="JSON file to preload the cache from and persist "
+                            "it to on shutdown")
+    p_srv.add_argument("--no-warm", action="store_true", dest="no_warm",
+                       help="disable warm-started solves from nearby plans")
+    p_srv.add_argument("--degrade", action="store_true",
+                       help="fall back down the partitioner ladder instead of "
+                            "failing a request")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="worker threads for concurrent computations")
+    p_srv.add_argument("--http", action="store_true",
+                       help="serve over HTTP instead of JSON-lines stdio")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8755)
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_jac = sub.add_parser("demo-jacobi", help="dynamic load balancing demo (Fig. 4)")
     p_jac.add_argument("--platform", default="fig4")

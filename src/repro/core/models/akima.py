@@ -53,6 +53,18 @@ class AkimaModel(PerformanceModel):
         avg_slope = self._t_max / self._x_max if self._x_max > 0 else 0.0
         self._right_slope = max(slope_at_end, avg_slope, 1e-15)
 
+    def fingerprint_state(self) -> tuple:
+        """Fitted state is the spline knots plus the right extension slope."""
+        self._require_ready()
+        assert self._spline is not None
+        return (
+            "AkimaModel",
+            "knots",
+            tuple(self._spline.xs),
+            tuple(self._spline.ys),
+            self._right_slope,
+        )
+
     def time(self, x: float) -> float:
         self._require_ready()
         assert self._spline is not None

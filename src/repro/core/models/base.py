@@ -191,6 +191,30 @@ class PerformanceModel(abc.ABC):
         out[open_mask] = 0.5 * (blo + bhi)
         return out
 
+    def fingerprint_state(self) -> tuple:
+        """Canonical fitted state for content fingerprinting.
+
+        Returns a nested tuple of plain Python values (strings, ints,
+        floats) that identifies the *fitted* model semantically: two
+        model objects whose fitted parameters coincide must return equal
+        state, regardless of object identity or insertion history.  The
+        serving layer (:mod:`repro.serve.fingerprint`) hashes this state
+        to key plan caches.
+
+        Resolves the lazy fit first, so the state always reflects the
+        parameters predictions would actually use.  Subclasses override
+        with their fitted parameters (knots, coefficients, segments);
+        this fallback identifies the model by family and raw points,
+        which is stable but weaker (it distinguishes point sets that fit
+        to the same curve).
+        """
+        self._require_ready()
+        return (
+            type(self).__name__,
+            "points",
+            tuple((p.d, p.t, p.reps, p.ci) for p in self._points),
+        )
+
     def speed(self, x: float) -> float:
         """Predicted speed in computation units per second at size ``x``."""
         if x <= 0.0:

@@ -64,3 +64,8 @@ class ConstantModel(PerformanceModel):
     def speed(self, x: float) -> float:
         self._require_ready()
         return self._speed
+
+    def fingerprint_state(self) -> tuple:
+        """Fitted state is the single pooled speed constant."""
+        self._require_ready()
+        return ("ConstantModel", "speed", self._speed)

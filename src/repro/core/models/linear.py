@@ -96,3 +96,8 @@ class LinearModel(PerformanceModel):
         """Constant slope ``b`` (used by the numerical partitioner)."""
         self._require_ready()
         return self._b
+
+    def fingerprint_state(self) -> tuple:
+        """Fitted state is the regression coefficients ``(a, b)``."""
+        self._require_ready()
+        return ("LinearModel", "coefficients", self._a, self._b)

@@ -66,6 +66,18 @@ class PchipModel(PerformanceModel):
         avg_slope = self._t_max / self._x_max if self._x_max > 0 else 0.0
         self._right_slope = max(slope_at_end, avg_slope, 1e-15)
 
+    def fingerprint_state(self) -> tuple:
+        """Fitted state is the (isotonic) spline knots plus the right slope."""
+        self._require_ready()
+        assert self._spline is not None
+        return (
+            "PchipModel",
+            "knots",
+            tuple(self._spline.xs),
+            tuple(self._spline.ys),
+            self._right_slope,
+        )
+
     def time(self, x: float) -> float:
         self._require_ready()
         assert self._spline is not None

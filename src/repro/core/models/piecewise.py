@@ -57,6 +57,22 @@ class PiecewiseModel(PerformanceModel):
         assert self._speed_interp is not None
         return tuple(zip(self._speed_interp.xs, self._speed_interp.ys))
 
+    def fingerprint_state(self) -> tuple:
+        """Fitted state is the coarsened (size, speed) knot sequence.
+
+        Points that coarsen to the same knots (e.g. re-measurements of an
+        already-converged dynamic loop on a noise-free device) fingerprint
+        identically, which is what lets the plan cache serve them.
+        """
+        self._require_ready()
+        assert self._speed_interp is not None
+        return (
+            "PiecewiseModel",
+            "knots",
+            tuple(self._speed_interp.xs),
+            tuple(self._speed_interp.ys),
+        )
+
     def speed(self, x: float) -> float:
         self._require_ready()
         assert self._speed_interp is not None

@@ -196,3 +196,12 @@ class SegmentedLinearModel(PerformanceModel):
         """Slope of the active regime (piecewise constant)."""
         self._require_ready()
         return self._segment_at(max(x, 0.0)).b
+
+    def fingerprint_state(self) -> tuple:
+        """Fitted state is the regime table ``(x_lo, x_hi, a, b)`` per segment."""
+        self._require_ready()
+        return (
+            "SegmentedLinearModel",
+            "segments",
+            tuple((s.x_lo, s.x_hi, s.a, s.b) for s in self._segments),
+        )

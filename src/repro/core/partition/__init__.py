@@ -59,6 +59,7 @@ from repro.core.partition.resilient import (
     redistribute_to_survivors,
 )
 from repro.core.partition.validate import validate_partition_inputs, validate_total
+from repro.core.partition.warm import WarmStart, warm_start_from
 
 __all__ = [
     "BalanceStep",
@@ -72,6 +73,7 @@ __all__ = [
     "LoadBalancer",
     "Part",
     "Transfer",
+    "WarmStart",
     "aggregate_node_model",
     "apply_plan_cost",
     "certify",
@@ -90,4 +92,5 @@ __all__ = [
     "round_preserving_sum",
     "validate_partition_inputs",
     "validate_total",
+    "warm_start_from",
 ]

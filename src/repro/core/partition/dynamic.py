@@ -86,6 +86,11 @@ class DynamicPartitioner:
             distribution stabilising; with ``strict=False`` (default) a
             :class:`~repro.errors.ConvergenceWarning` is emitted and the
             last distribution is returned with a non-converged cert.
+        initial: optional warm-start distribution to begin from instead
+            of the even split (e.g. a cached plan from a previous run of
+            the same application); a good seed means the first benchmark
+            already probes near-final sizes and the loop stabilises in
+            fewer iterations.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class DynamicPartitioner:
         eps: float = 0.05,
         max_iterations: int = 25,
         strict: bool = False,
+        initial: Optional[Distribution] = None,
     ) -> None:
         total = validate_total(total)
         if not models:
@@ -112,7 +118,20 @@ class DynamicPartitioner:
         self.eps = eps
         self.max_iterations = max_iterations
         self.strict = strict
-        self.dist = Distribution.even(total, len(self.models))
+        if initial is not None:
+            if initial.size != len(self.models):
+                raise PartitionError(
+                    f"initial distribution has {initial.size} parts for "
+                    f"{len(self.models)} models"
+                )
+            if initial.total != total:
+                raise PartitionError(
+                    f"initial distribution totals {initial.total}, "
+                    f"expected {total}"
+                )
+            self.dist = initial
+        else:
+            self.dist = Distribution.even(total, len(self.models))
         self.total_cost = 0.0
 
     def iterate(self) -> Distribution:

@@ -40,6 +40,7 @@ from repro.core.partition.batch import allocations_at_levels
 from repro.core.partition.cert import ConvergenceCert, certify
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.partition.validate import validate_partition_inputs
+from repro.core.partition.warm import WarmStart, warm_bracket
 from repro.errors import PartitionError
 
 
@@ -74,6 +75,7 @@ def partition_geometric(
     probes: int = 8,
     strict: bool = False,
     certs: Optional[List[ConvergenceCert]] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> Distribution:
     """Partition ``total`` units by bisection on the equal-time level.
 
@@ -96,6 +98,12 @@ def partition_geometric(
         certs: optional sink; the run's :class:`ConvergenceCert` is
             appended to it (and always attached to the returned
             distribution as ``.convergence``).
+        warm_start: optional :class:`~repro.core.partition.warm.WarmStart`
+            from a previously solved nearby plan.  Used only to narrow
+            the *initial* bracket (the stopping criterion and rounding
+            are untouched), so the result is identical to a cold solve
+            with fewer -- never more -- bisection iterations.  A
+            misleading hint is discarded, not trusted.
 
     Returns:
         A :class:`Distribution` summing exactly to ``total``.
@@ -143,9 +151,14 @@ def partition_geometric(
     # t_hi the fastest process alone reaches D.  alloc_lo/alloc_hi are the
     # per-model allocations at the bracketing levels; they bound every
     # allocation probed inside the bracket (x_i(T) is monotone in T).
-    lo, hi = 0.0, t_hi
-    alloc_lo = np.zeros(size)
-    alloc_hi = np.full(size, cap)
+    if warm_start is not None:
+        lo, hi, alloc_lo, alloc_hi = warm_bracket(
+            warm_start, total, models, cap, t_hi
+        )
+    else:
+        lo, hi = 0.0, t_hi
+        alloc_lo = np.zeros(size)
+        alloc_hi = np.full(size, cap)
     level: Optional[float] = None
     exact: Optional[np.ndarray] = None
     converged = False

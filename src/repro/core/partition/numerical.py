@@ -31,6 +31,7 @@ from repro.core.partition.cert import ConvergenceCert, certify
 from repro.core.partition.dist import Distribution, Part, round_preserving_sum
 from repro.core.partition.geometric import partition_geometric
 from repro.core.partition.validate import validate_partition_inputs
+from repro.core.partition.warm import WarmStart
 from repro.solver.newton import newton_system
 
 
@@ -80,6 +81,7 @@ def partition_numerical(
     max_iter: int = 100,
     strict: bool = False,
     certs: Optional[List[ConvergenceCert]] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> Distribution:
     """Partition ``total`` units by solving the equal-time system.
 
@@ -97,6 +99,12 @@ def partition_numerical(
             :class:`~repro.errors.ConvergenceWarning`.
         certs: optional sink for the run's :class:`ConvergenceCert` (also
             attached to the returned distribution as ``.convergence``).
+        warm_start: optional :class:`~repro.core.partition.warm.WarmStart`
+            from a nearby solved plan, forwarded to the geometrical seed
+            solve.  The Newton phase then starts from the *same* iterate
+            a cold run would use (the seed's integer shares), so the
+            result is bit-identical to a cold solve; only the seed
+            computation gets cheaper.
 
     Returns:
         A :class:`Distribution` summing exactly to ``total``.
@@ -118,7 +126,7 @@ def partition_numerical(
             strict, certs,
         )
 
-    seed = partition_geometric(total, models)
+    seed = partition_geometric(total, models, warm_start=warm_start)
     x0 = np.asarray([float(p.d) for p in seed.parts])
     # Strictly interior start helps when a part was rounded to zero.
     x0 = np.maximum(x0, 1e-3)

@@ -5,10 +5,16 @@ performance models and data partitioning algorithms can be plugged in.
 These registries are the plug points -- the CLI and the experiment harness
 look algorithms up by name, so a user package can register its own and use
 it everywhere the built-ins work.
+
+Registration and lookup are protected by a module lock: the plan server
+resolves partitioners from worker threads while user code may still be
+registering extensions, and an unlocked check-then-set would let two
+racing registrations both succeed or corrupt the dicts.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List
 
 from repro.core.models import (
@@ -30,52 +36,64 @@ ModelFactory = Callable[[], PerformanceModel]
 
 _MODEL_REGISTRY: Dict[str, ModelFactory] = {}
 _PARTITIONER_REGISTRY: Dict[str, PartitionFunction] = {}
+# One lock for both registries: registrations are rare, lookups are cheap,
+# and a single lock keeps cross-registry iteration (the CLI's --list output)
+# consistent.  RLock so a factory registered under the lock may itself
+# consult the registry.
+_REGISTRY_LOCK = threading.RLock()
 
 
 def register_model(name: str, factory: ModelFactory, overwrite: bool = False) -> None:
-    """Register a performance-model factory under ``name``."""
-    if name in _MODEL_REGISTRY and not overwrite:
-        raise FuPerModError(f"model {name!r} is already registered")
-    _MODEL_REGISTRY[name] = factory
+    """Register a performance-model factory under ``name`` (thread-safe)."""
+    with _REGISTRY_LOCK:
+        if name in _MODEL_REGISTRY and not overwrite:
+            raise FuPerModError(f"model {name!r} is already registered")
+        _MODEL_REGISTRY[name] = factory
 
 
 def register_partitioner(
     name: str, fn: PartitionFunction, overwrite: bool = False
 ) -> None:
-    """Register a partitioning algorithm under ``name``."""
-    if name in _PARTITIONER_REGISTRY and not overwrite:
-        raise FuPerModError(f"partitioner {name!r} is already registered")
-    _PARTITIONER_REGISTRY[name] = fn
+    """Register a partitioning algorithm under ``name`` (thread-safe)."""
+    with _REGISTRY_LOCK:
+        if name in _PARTITIONER_REGISTRY and not overwrite:
+            raise FuPerModError(f"partitioner {name!r} is already registered")
+        _PARTITIONER_REGISTRY[name] = fn
 
 
 def model_factory(name: str) -> ModelFactory:
     """Look up a model factory by name."""
-    try:
-        return _MODEL_REGISTRY[name]
-    except KeyError:
-        raise FuPerModError(
-            f"unknown model {name!r}; available: {sorted(_MODEL_REGISTRY)}"
-        ) from None
+    with _REGISTRY_LOCK:
+        try:
+            return _MODEL_REGISTRY[name]
+        except KeyError:
+            raise FuPerModError(
+                f"unknown model {name!r}; available: {sorted(_MODEL_REGISTRY)}"
+            ) from None
 
 
 def partitioner(name: str) -> PartitionFunction:
     """Look up a partitioning algorithm by name."""
-    try:
-        return _PARTITIONER_REGISTRY[name]
-    except KeyError:
-        raise FuPerModError(
-            f"unknown partitioner {name!r}; available: {sorted(_PARTITIONER_REGISTRY)}"
-        ) from None
+    with _REGISTRY_LOCK:
+        try:
+            return _PARTITIONER_REGISTRY[name]
+        except KeyError:
+            raise FuPerModError(
+                f"unknown partitioner {name!r}; "
+                f"available: {sorted(_PARTITIONER_REGISTRY)}"
+            ) from None
 
 
 def available_models() -> List[str]:
     """Names of all registered models."""
-    return sorted(_MODEL_REGISTRY)
+    with _REGISTRY_LOCK:
+        return sorted(_MODEL_REGISTRY)
 
 
 def available_partitioners() -> List[str]:
     """Names of all registered partitioning algorithms."""
-    return sorted(_PARTITIONER_REGISTRY)
+    with _REGISTRY_LOCK:
+        return sorted(_PARTITIONER_REGISTRY)
 
 
 # Built-ins, matching the paper's naming.

@@ -15,6 +15,7 @@ from repro.io.files import (
     save_distribution,
     save_points,
 )
+from repro.io.plans import load_plan_cache, save_plan_cache
 from repro.io.profiles import load_profile, save_profile
 
 __all__ = [
@@ -22,8 +23,10 @@ __all__ = [
     "load_distribution",
     "load_model",
     "load_points",
+    "load_plan_cache",
     "load_profile",
     "save_distribution",
+    "save_plan_cache",
     "save_points",
     "save_profile",
 ]

@@ -146,6 +146,12 @@ def _read(path: PathLike) -> str:
         return Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        # A binary or mis-encoded file is corruption, not a caller bug:
+        # surface it as the same typed error the CLI already reports.
+        raise PersistenceError(
+            f"cannot read {path}: not a UTF-8 text file ({exc})"
+        ) from exc
 
 
 def _parse_metadata(rest: str) -> Dict[str, str]:

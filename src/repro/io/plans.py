@@ -1,0 +1,90 @@
+"""Persistence for the serving layer's plan cache.
+
+A plan-cache file is a single JSON document::
+
+    {
+      "format": "fupermod-plan-cache",
+      "version": 1,
+      "fingerprint_version": "fp1",
+      "entries": [ {"key": ..., "models_fp": ..., "result": {...}}, ... ]
+    }
+
+Entries are stored oldest-first (LRU order), so a round trip preserves
+eviction priority.  The fingerprint version is recorded because keys are
+only meaningful under the encoding that produced them: a file written
+under a different :data:`~repro.serve.fingerprint.FINGERPRINT_VERSION`
+is loaded as *empty* (with a count of 0) rather than polluting the cache
+with entries that can never match -- and could falsely match if the
+canonical encodings collided.
+
+TTL note: entry ages are **not** persisted.  The cache timestamps with a
+monotonic clock (immune to wall-clock jumps), and monotonic readings do
+not survive a restart, so loaded entries start a fresh TTL window.  This
+is documented as part of the cache contract in ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import PersistenceError
+from repro.serve.cache import PlanCache
+from repro.serve.fingerprint import FINGERPRINT_VERSION
+
+_FORMAT = "fupermod-plan-cache"
+_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_plan_cache(path: PathLike, cache: PlanCache) -> int:
+    """Write the cache's live entries to ``path``; returns the count."""
+    payload = cache.to_payload()
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "entries": payload,
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(payload)
+
+
+def load_plan_cache(path: PathLike, cache: PlanCache) -> int:
+    """Load persisted entries into ``cache``; returns how many loaded.
+
+    A file written under a different fingerprint version loads zero
+    entries (see module docstring).  A structurally invalid file raises
+    :class:`~repro.errors.PersistenceError`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise PersistenceError(
+            f"cannot read {path}: not a UTF-8 text file ({exc})"
+        ) from exc
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise PersistenceError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise PersistenceError(f"{path}: not a fupermod plan-cache file")
+    if doc.get("version") != _VERSION:
+        raise PersistenceError(
+            f"{path}: unsupported plan-cache version {doc.get('version')!r}"
+        )
+    if doc.get("fingerprint_version") != FINGERPRINT_VERSION:
+        return 0
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise PersistenceError(f"{path}: 'entries' must be a list")
+    try:
+        return cache.load_payload(entries)
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"{path}: malformed cache entry: {exc}") from exc

@@ -1,0 +1,51 @@
+"""repro.serve -- the partition-plan service.
+
+Production use of FuPerMod is repetitive: the same fitted models are
+queried for plans at a stream of nearby totals, often from several
+threads at once.  This package turns the one-shot partitioners into a
+serving layer built on three ideas:
+
+* **content fingerprints** (:mod:`~repro.serve.fingerprint`) -- plans are
+  keyed by the fitted parameters of the model set plus the request, so
+  identity survives refits, restarts and processes;
+* **a plan cache with warm starts** (:mod:`~repro.serve.cache`,
+  :class:`~repro.serve.engine.PlanEngine`) -- exact repeats are served
+  without computing; near repeats seed the iterative partitioners with a
+  :class:`~repro.core.partition.warm.WarmStart`, cutting iterations while
+  staying bit-identical to a cold solve;
+* **single-flight coalescing** (:class:`~repro.serve.server.PlanServer`)
+  -- N concurrent identical requests run exactly one computation.
+
+Front ends (:mod:`~repro.serve.frontend`, ``fupermod serve``) expose the
+server over JSON-lines stdio and stdlib HTTP.  Cache persistence lives in
+:mod:`repro.io.plans`.
+"""
+
+from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.engine import PlanEngine
+from repro.serve.fingerprint import (
+    FINGERPRINT_VERSION,
+    fingerprint_model,
+    fingerprint_models,
+    fingerprint_request,
+)
+from repro.serve.frontend import handle_request, make_http_server, serve_stdio
+from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
+from repro.serve.server import PlanServer
+
+__all__ = [
+    "CacheStats",
+    "FINGERPRINT_VERSION",
+    "PlanCache",
+    "PlanEngine",
+    "PlanRequest",
+    "PlanResult",
+    "PlanServer",
+    "ServeCounters",
+    "fingerprint_model",
+    "fingerprint_models",
+    "fingerprint_request",
+    "handle_request",
+    "make_http_server",
+    "serve_stdio",
+]

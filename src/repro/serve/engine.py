@@ -1,0 +1,206 @@
+"""The plan engine: cache-backed, warm-started partition solving.
+
+:class:`PlanEngine` is the single compute path of the serving layer.
+Given a model set and a total it:
+
+1. fingerprints the models and the request (content identity, see
+   :mod:`repro.serve.fingerprint`);
+2. consults the :class:`~repro.serve.cache.PlanCache` -- a hit is
+   returned without touching the partitioner at all;
+3. on a miss, looks for a cached plan for the *same model set* at a
+   nearby total and turns it into a
+   :class:`~repro.core.partition.warm.WarmStart` seed;
+4. runs the requested partitioner (warm-started when it accepts a seed),
+   falling back to the :class:`~repro.degrade.DegradationPolicy` ladder
+   when one is configured and the partitioner fails with a typed error;
+5. stores and returns the :class:`~repro.serve.plan.PlanResult`.
+
+The engine is deliberately model-set agnostic: callers pass the models
+with every request (the dynamic loops refit them between calls), and the
+fingerprint keeps cache identity honest across mutation.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core import registry
+from repro.core.partition.dist import Distribution
+from repro.core.partition.warm import WarmStart
+from repro.degrade.policy import _FALLBACK_TRIGGERS, DegradationPolicy
+from repro.errors import PartitionError
+from repro.serve.cache import PlanCache
+from repro.serve.fingerprint import fingerprint_models
+from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
+
+
+class PlanEngine:
+    """Cache-backed partition planning over any registered partitioner.
+
+    Args:
+        cache: the plan cache (a default 128-entry LRU when omitted;
+            pass ``None`` explicitly via ``PlanEngine(cache=None)`` is
+            not supported -- caching is the point of the engine).
+        policy: optional :class:`DegradationPolicy`; when the requested
+            partitioner fails with a typed error the ladder produces the
+            plan instead and the result records the degradation.
+        partitioner: default partitioner name for requests that name none.
+        warm: enable warm-started solves from nearby cached plans.
+        counters: optional shared :class:`ServeCounters` (the server
+            passes its own so coalescing and computation counts live
+            together).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[PlanCache] = None,
+        policy: Optional[DegradationPolicy] = None,
+        partitioner: str = "geometric",
+        warm: bool = True,
+        counters: Optional[ServeCounters] = None,
+    ) -> None:
+        self.cache = cache if cache is not None else PlanCache()
+        self.policy = policy
+        self.default_partitioner = partitioner
+        self.warm = warm
+        self.counters = counters if counters is not None else ServeCounters()
+
+    # -- request construction ---------------------------------------------
+
+    def request(
+        self,
+        models: Sequence,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> PlanRequest:
+        """Build the content-addressed request for ``models`` at ``total``.
+
+        The model fingerprint is recomputed on every call -- the dynamic
+        loops mutate models between requests, and a stale fingerprint
+        would serve a stale plan.
+        """
+        return PlanRequest.make(
+            models_fp=fingerprint_models(models),
+            total=total,
+            partitioner=partitioner or self.default_partitioner,
+            options=options,
+        )
+
+    # -- warm-start lookup --------------------------------------------------
+
+    def _warm_hint(self, request: PlanRequest) -> Optional[WarmStart]:
+        """A seed from the nearest cached plan for the same model set."""
+        if not self.warm:
+            return None
+        near = self.cache.nearest(
+            request.models_fp, request.total, exclude=request.key
+        )
+        if near is None:
+            return None
+        level = max(near.times, default=0.0)
+        if not level > 0.0:
+            return None
+        try:
+            return WarmStart(total=near.total, level=level, sizes=near.sizes)
+        except PartitionError:
+            return None
+
+    # -- solving -------------------------------------------------------------
+
+    def _solve(self, request: PlanRequest, models: Sequence) -> PlanResult:
+        """Run the partitioner for a cache miss (no cache interaction)."""
+        fn = registry.partitioner(request.partitioner)
+        kwargs = request.option_dict()
+        warm_used = False
+        try:
+            params = inspect.signature(fn).parameters
+        except (TypeError, ValueError):
+            params = {}
+        if "warm_start" in params and "warm_start" not in kwargs:
+            hint = self._warm_hint(request)
+            if hint is not None:
+                kwargs["warm_start"] = hint
+                warm_used = True
+        degraded = ""
+        start = time.perf_counter()
+        try:
+            dist = fn(request.total, models, **kwargs)
+        except _FALLBACK_TRIGGERS as exc:
+            if self.policy is None:
+                raise
+            degraded = (
+                f"{request.partitioner} failed "
+                f"({type(exc).__name__}: {exc}); ladder engaged"
+            )
+            dist = self.policy.partition(request.total, models)
+            warm_used = False
+        elapsed = time.perf_counter() - start
+        self.counters.computations += 1
+        if warm_used:
+            self.counters.warm_starts += 1
+        cert = getattr(dist, "convergence", None)
+        return PlanResult(
+            key=request.key,
+            total=request.total,
+            sizes=tuple(p.d for p in dist.parts),
+            times=tuple(p.t for p in dist.parts),
+            algorithm=cert.algorithm if cert is not None else request.partitioner,
+            cert=cert,
+            cached=False,
+            warm=warm_used,
+            degraded=degraded,
+            compute_seconds=elapsed,
+        )
+
+    def plan_request(self, models: Sequence, request: PlanRequest) -> PlanResult:
+        """Serve one prepared request: cache hit, or solve and store."""
+        hit = self.cache.get(request.key)
+        if hit is not None:
+            return hit.replace(cached=True)
+        result = self._solve(request, models)
+        self.cache.put(request.key, result, request.models_fp)
+        return result
+
+    def plan(
+        self,
+        models: Sequence,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> PlanResult:
+        """Serve a plan for ``models`` at ``total`` (request sugar)."""
+        return self.plan_request(
+            models, self.request(models, total, partitioner, options)
+        )
+
+    def distribution(
+        self,
+        models: Sequence,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Distribution:
+        """Serve a plan and rebuild it as a :class:`Distribution`."""
+        return self.plan(models, total, partitioner, options).distribution()
+
+    def partition_function(
+        self,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ):
+        """This engine as a ``(total, models) -> Distribution`` callable.
+
+        Drop-in for :class:`~repro.core.partition.DynamicPartitioner`,
+        :class:`~repro.core.partition.LoadBalancer` and the apps'
+        ``partition_fn`` seams: every repartitioning step of a dynamic
+        loop then flows through the cache, so converged loops (which
+        re-request the same models at the same total) stop recomputing.
+        """
+
+        def cached_partition(total: int, models: Sequence) -> Distribution:
+            return self.distribution(models, total, partitioner, options)
+
+        return cached_partition

@@ -1,0 +1,156 @@
+"""Wire front ends for the plan server: JSON-lines stdio and HTTP.
+
+Both front ends speak the same tiny protocol over a
+:class:`~repro.serve.server.PlanServer`:
+
+* a **plan** request is an object with ``total`` (required),
+  ``partitioner`` and ``options`` (optional), and a client-chosen ``id``
+  echoed back in the response;
+* a **stats** request (``{"cmd": "stats"}`` on stdio, ``GET /stats`` over
+  HTTP) returns the consolidated counter snapshot;
+* errors come back as ``{"error": ..., "id": ...}`` with the connection
+  kept alive -- one bad request must not kill a serving session.
+
+The stdio transport (``fupermod serve``) reads one JSON object per line
+and writes one JSON object per line, which makes it scriptable from any
+language and trivially testable.  The HTTP transport
+(``fupermod serve --http``) uses only the standard library
+(:mod:`http.server`), honouring the no-new-dependencies rule.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, IO, Optional
+
+from repro.errors import FuPerModError
+from repro.serve.server import PlanServer
+
+
+def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Serve one decoded protocol object, never raising for bad input.
+
+    Shared by both transports so the protocol cannot drift between them.
+    """
+    req_id = payload.get("id")
+    try:
+        cmd = payload.get("cmd", "plan")
+        if cmd == "stats":
+            out: Dict[str, Any] = {"stats": server.stats()}
+        elif cmd == "plan":
+            if "total" not in payload:
+                raise FuPerModError("plan request needs a 'total' field")
+            total = payload["total"]
+            if not isinstance(total, int) or isinstance(total, bool):
+                raise FuPerModError(
+                    f"'total' must be an integer, got {total!r}"
+                )
+            options = payload.get("options") or {}
+            if not isinstance(options, dict):
+                raise FuPerModError("'options' must be an object")
+            result = server.request(
+                total, payload.get("partitioner"), options
+            )
+            out = result.to_dict()
+        else:
+            raise FuPerModError(f"unknown command {cmd!r}")
+    except FuPerModError as exc:
+        out = {"error": str(exc)}
+    except (TypeError, ValueError) as exc:
+        out = {"error": f"bad request: {exc}"}
+    if req_id is not None:
+        out["id"] = req_id
+    return out
+
+
+def serve_stdio(
+    server: PlanServer,
+    stdin: IO[str],
+    stdout: IO[str],
+) -> int:
+    """Serve JSON-lines requests from ``stdin`` until EOF or shutdown.
+
+    Returns the number of requests served (shutdown line included), so
+    the CLI can log a summary.  Undecodable lines produce an ``error``
+    response and the loop continues.
+    """
+    served = 0
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        served += 1
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            print(json.dumps({"error": f"bad JSON: {exc}"}), file=stdout,
+                  flush=True)
+            continue
+        if payload.get("cmd") == "shutdown":
+            print(json.dumps({"ok": True, "shutdown": True}), file=stdout,
+                  flush=True)
+            break
+        print(json.dumps(handle_request(server, payload)), file=stdout,
+              flush=True)
+    return served
+
+
+class _PlanHTTPHandler(BaseHTTPRequestHandler):
+    """Request handler bridging HTTP to :func:`handle_request`."""
+
+    # The bound PlanServer, set by make_http_server on the handler class.
+    plan_server: Optional[PlanServer] = None
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """``GET /stats`` -> counter snapshot; anything else 404."""
+        if self.path.rstrip("/") == "/stats":
+            assert self.plan_server is not None
+            self._send(200, {"stats": self.plan_server.stats()})
+        else:
+            self._send(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """``POST /plan`` with a JSON body -> plan response."""
+        if self.path.rstrip("/") != "/plan":
+            self._send(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        assert self.plan_server is not None
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+        except ValueError as exc:
+            self._send(400, {"error": f"bad JSON: {exc}"})
+            return
+        response = handle_request(self.plan_server, payload)
+        self._send(400 if "error" in response else 200, response)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging (the CLI owns the terminal)."""
+
+
+def make_http_server(
+    server: PlanServer, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP transport for ``server``.
+
+    Returns a :class:`ThreadingHTTPServer`; the caller runs
+    ``serve_forever()`` (the CLI) or drives it from a thread and reads
+    ``server_address`` for the bound port (tests pass ``port=0``).
+    """
+    handler = type(
+        "PlanHTTPHandler", (_PlanHTTPHandler,), {"plan_server": server}
+    )
+    return ThreadingHTTPServer((host, port), handler)

@@ -1,0 +1,207 @@
+"""Typed plan requests and results for the partition-plan service.
+
+A :class:`PlanRequest` names a partitioning problem by semantic identity:
+the fingerprint of the fitted model set, the total, the partitioner and
+its options.  Its :attr:`~PlanRequest.key` is the cache key and the
+single-flight coalescing key.
+
+A :class:`PlanResult` is the answer: the integer shares and predicted
+times (enough to rebuild a :class:`~repro.core.partition.dist.
+Distribution`), the convergence certificate, and serving metadata -- did
+it come from the cache, was the solve warm-started, did the degradation
+ladder have to step in.  Results serialise to plain JSON dicts for the
+stdio/HTTP front ends and for cache persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.partition.cert import ConvergenceCert
+from repro.core.partition.dist import Distribution, Part
+from repro.errors import PartitionError
+from repro.serve.fingerprint import fingerprint_request
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One partitioning problem, identified by content.
+
+    Attributes:
+        models_fp: fingerprint of the ordered fitted-model set (see
+            :func:`~repro.serve.fingerprint.fingerprint_models`).
+        total: problem size ``D`` in computation units.
+        partitioner: registered partitioner name (``"geometric"``, ...).
+        options: extra keyword arguments for the partitioner, as an
+            order-insensitive tuple of ``(name, value)`` pairs.
+    """
+
+    models_fp: str
+    total: int
+    partitioner: str = "geometric"
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(
+        models_fp: str,
+        total: int,
+        partitioner: str = "geometric",
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> "PlanRequest":
+        """Build a request, normalising ``options`` from any mapping."""
+        if total < 0:
+            raise PartitionError(f"total must be non-negative, got {total}")
+        opts = tuple(sorted((options or {}).items()))
+        return PlanRequest(
+            models_fp=models_fp,
+            total=int(total),
+            partitioner=partitioner,
+            options=opts,
+        )
+
+    @property
+    def key(self) -> str:
+        """The request's content hash -- cache and coalescing key."""
+        return fingerprint_request(
+            self.models_fp, self.total, self.partitioner, dict(self.options)
+        )
+
+    def option_dict(self) -> Dict[str, Any]:
+        """The options as a plain keyword-argument dict."""
+        return dict(self.options)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """A served partition plan plus its provenance.
+
+    Attributes:
+        key: the originating request's content hash.
+        total: the problem size the plan covers.
+        sizes: integer per-rank shares (sum to ``total``).
+        times: model-predicted per-rank seconds.
+        algorithm: partitioner that actually produced the plan (after any
+            degradation).
+        cert: the solve's convergence certificate (None for plans from
+            partitioners that do not certify).
+        cached: True when served from the plan cache without computing.
+        warm: True when the solve was warm-started from a nearby plan.
+        degraded: summary of the degradation ladder's fallbacks, or ``""``
+            when the requested partitioner succeeded directly.
+        compute_seconds: wall seconds the solve took (0.0 for cache hits).
+    """
+
+    key: str
+    total: int
+    sizes: Tuple[int, ...]
+    times: Tuple[float, ...]
+    algorithm: str
+    cert: Optional[ConvergenceCert] = None
+    cached: bool = False
+    warm: bool = False
+    degraded: str = ""
+    compute_seconds: float = 0.0
+
+    def distribution(self) -> Distribution:
+        """Rebuild a fresh :class:`Distribution` (cert re-attached)."""
+        dist = Distribution(
+            Part(d, t) for d, t in zip(self.sizes, self.times)
+        )
+        if self.cert is not None:
+            dist.convergence = self.cert
+        return dist
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (used by front ends and persistence)."""
+        out: Dict[str, Any] = {
+            "key": self.key,
+            "total": self.total,
+            "sizes": list(self.sizes),
+            "times": [repr(t) for t in self.times],
+            "algorithm": self.algorithm,
+            "cached": self.cached,
+            "warm": self.warm,
+            "degraded": self.degraded,
+            "compute_seconds": self.compute_seconds,
+        }
+        if self.cert is not None:
+            out["cert"] = self.cert.to_dict()
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "PlanResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises:
+            PartitionError: on a malformed payload (missing fields or
+                mismatched lengths), so corrupt persisted caches fail
+                loudly instead of serving garbage plans.
+        """
+        try:
+            sizes = tuple(int(d) for d in data["sizes"])
+            times = tuple(float(t) for t in data["times"])
+            if len(sizes) != len(times):
+                raise ValueError(
+                    f"{len(sizes)} sizes for {len(times)} times"
+                )
+            cert = None
+            if "cert" in data:
+                c = data["cert"]
+                cert = ConvergenceCert(
+                    algorithm=str(c["algorithm"]),
+                    converged=bool(c["converged"]),
+                    iterations=int(c["iterations"]),
+                    max_iter=int(c["max_iter"]),
+                    residual=float(c["residual"]),
+                    tolerance=float(c["tolerance"]),
+                    detail=str(c.get("detail", "")),
+                )
+            return PlanResult(
+                key=str(data["key"]),
+                total=int(data["total"]),
+                sizes=sizes,
+                times=times,
+                algorithm=str(data["algorithm"]),
+                cert=cert,
+                cached=bool(data.get("cached", False)),
+                warm=bool(data.get("warm", False)),
+                degraded=str(data.get("degraded", "")),
+                compute_seconds=float(data.get("compute_seconds", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PartitionError(f"malformed plan payload: {exc}") from exc
+
+    def replace(self, **changes: Any) -> "PlanResult":
+        """A copy with the given fields changed (dataclass-replace sugar)."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
+
+
+@dataclass
+class ServeCounters:
+    """Mutable serving counters shared by engine and server.
+
+    Attributes:
+        computations: partitioner solves actually executed.
+        warm_starts: solves that were seeded from a nearby cached plan.
+        coalesced: requests that piggybacked on an identical in-flight
+            computation instead of starting their own.
+    """
+
+    computations: int = 0
+    warm_starts: int = 0
+    coalesced: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Snapshot as a plain dict."""
+        return {
+            "computations": self.computations,
+            "warm_starts": self.warm_starts,
+            "coalesced": self.coalesced,
+        }
+
+
+# Re-exported for type hints in the front ends.
+__all__ = ["PlanRequest", "PlanResult", "ServeCounters", "field"]

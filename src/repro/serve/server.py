@@ -1,0 +1,154 @@
+"""The plan server: concurrent request handling with single-flight.
+
+:class:`PlanServer` binds a :class:`~repro.serve.engine.PlanEngine` to a
+fixed model set and serves plan requests from many threads.  Its one job
+beyond the engine's is **coalescing**: when N identical requests are in
+flight at once, exactly one partitioner computation runs and all N
+callers share its future.  The guarantee (tested by
+``tests/test_serve_server.py``) is counter-based, not timing-based:
+``counters.computations`` rises by one however many identical requests
+race.
+
+The server also exposes batch submission (:meth:`request_many`) for
+callers that want a whole sweep of totals planned concurrently, and a
+consolidated :meth:`stats` snapshot for the front ends.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.degrade.policy import DegradationPolicy
+from repro.serve.cache import PlanCache
+from repro.serve.engine import PlanEngine
+from repro.serve.plan import PlanRequest, PlanResult
+
+
+class PlanServer:
+    """Serve partition plans for one model set, coalescing duplicates.
+
+    Args:
+        models: the fitted per-rank performance models to plan against.
+        engine: optional preconfigured engine (cache/policy/partitioner
+            wiring); a default cache-backed engine is built when omitted.
+        cache: cache for the default engine (ignored when ``engine`` is
+            given).
+        policy: degradation policy for the default engine (ignored when
+            ``engine`` is given).
+        max_workers: worker-thread cap for concurrent computations.
+
+    Use as a context manager, or call :meth:`close` when done, to stop
+    the worker pool.
+    """
+
+    def __init__(
+        self,
+        models: Sequence,
+        engine: Optional[PlanEngine] = None,
+        cache: Optional[PlanCache] = None,
+        policy: Optional[DegradationPolicy] = None,
+        max_workers: int = 4,
+    ) -> None:
+        if not models:
+            raise ValueError("a plan server needs at least one model")
+        self.models = list(models)
+        self.engine = (
+            engine
+            if engine is not None
+            else PlanEngine(cache=cache, policy=policy)
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="fupermod-serve"
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, "Future[PlanResult]"] = {}
+        self._closed = False
+
+    # -- core serving ------------------------------------------------------
+
+    def submit(
+        self,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> "Future[PlanResult]":
+        """Queue one request, returning its future.
+
+        Single-flight: if an identical request (same content key) is
+        already in flight, its future is returned and no new work starts;
+        the duplicate is counted in ``counters.coalesced``.
+        """
+        request = self.engine.request(self.models, total, partitioner, options)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("plan server is closed")
+            existing = self._inflight.get(request.key)
+            if existing is not None:
+                self.engine.counters.coalesced += 1
+                return existing
+            future = self._pool.submit(self._run, request)
+            self._inflight[request.key] = future
+            return future
+
+    def _run(self, request: PlanRequest) -> PlanResult:
+        """Worker body: serve the request, then retire it from in-flight."""
+        try:
+            return self.engine.plan_request(self.models, request)
+        finally:
+            with self._lock:
+                self._inflight.pop(request.key, None)
+
+    def request(
+        self,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> PlanResult:
+        """Serve one request, blocking until the plan is ready."""
+        return self.submit(total, partitioner, options).result()
+
+    def request_many(
+        self,
+        specs: Sequence[Tuple[int, Optional[str], Optional[Mapping[str, Any]]]],
+    ) -> List[PlanResult]:
+        """Serve a batch of ``(total, partitioner, options)`` specs.
+
+        All specs are submitted before any result is awaited, so
+        independent plans compute concurrently (bounded by the worker
+        pool) and identical specs coalesce to one computation.  Results
+        come back in spec order.
+        """
+        futures = [self.submit(*spec) for spec in specs]
+        return [f.result() for f in futures]
+
+    # -- introspection and lifecycle --------------------------------------
+
+    def inflight(self) -> int:
+        """Number of distinct computations currently running."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> Dict[str, Any]:
+        """Consolidated snapshot: cache counters + serving counters."""
+        return {
+            "cache": self.engine.cache.stats().to_dict(),
+            "serve": self.engine.counters.to_dict(),
+            "inflight": self.inflight(),
+            "ranks": len(self.models),
+        }
+
+    def close(self) -> None:
+        """Stop accepting work and shut the worker pool down."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PlanServer":
+        """Context-manager entry (no-op)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()

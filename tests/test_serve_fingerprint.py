@@ -1,0 +1,142 @@
+"""Fingerprint stability: the contract the plan cache is built on."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import model_from_time_fn
+from repro.core.models import (
+    AkimaModel,
+    ConstantModel,
+    LinearModel,
+    PchipModel,
+    PiecewiseModel,
+    SegmentedLinearModel,
+)
+from repro.core.point import MeasurementPoint
+from repro.errors import FuPerModError
+from repro.serve.fingerprint import (
+    canonical,
+    digest,
+    fingerprint_model,
+    fingerprint_models,
+    fingerprint_request,
+)
+
+pytestmark = pytest.mark.serve
+
+MODEL_CLASSES = [
+    ConstantModel,
+    PiecewiseModel,
+    AkimaModel,
+    LinearModel,
+    PchipModel,
+    SegmentedLinearModel,
+]
+
+SIZES = [16, 64, 256, 1024]
+
+
+def _time_fn(d):
+    return d / 150.0 + 1e-4
+
+
+class TestCanonical:
+    """The canonical encoding underlying every digest."""
+
+    def test_floats_bit_exact(self):
+        assert canonical(0.1) == repr(0.1)
+        assert canonical(0.1 + 0.2) != canonical(0.3)
+
+    def test_negative_zero_distinguished(self):
+        assert canonical(-0.0) != canonical(0.0)
+
+    def test_bool_not_confused_with_int(self):
+        assert canonical(True) != canonical(1)
+
+    def test_mapping_order_insensitive(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_numpy_scalars_match_python(self):
+        np = pytest.importorskip("numpy")
+        assert canonical(np.float64(0.25)) == canonical(0.25)
+        assert canonical(np.int64(7)) == canonical(7)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(FuPerModError, match="canonicalise"):
+            canonical(object())
+
+    def test_digest_sensitive_to_part_boundaries(self):
+        # ("ab", "c") and ("a", "bc") must not collide.
+        assert digest("ab", "c") != digest("a", "bc")
+
+
+class TestModelFingerprints:
+    """Fingerprints follow fitted parameters, not object identity."""
+
+    @pytest.mark.parametrize("model_cls", MODEL_CLASSES)
+    def test_same_fit_same_fingerprint(self, model_cls):
+        a = model_from_time_fn(model_cls, _time_fn, SIZES)
+        b = model_from_time_fn(model_cls, _time_fn, SIZES)
+        assert fingerprint_model(a) == fingerprint_model(b)
+
+    @pytest.mark.parametrize("model_cls", MODEL_CLASSES)
+    def test_different_fit_different_fingerprint(self, model_cls):
+        a = model_from_time_fn(model_cls, _time_fn, SIZES)
+        b = model_from_time_fn(model_cls, lambda d: d / 75.0 + 1e-4, SIZES)
+        assert fingerprint_model(a) != fingerprint_model(b)
+
+    def test_families_never_collide(self):
+        fps = {
+            fingerprint_model(model_from_time_fn(cls, _time_fn, SIZES))
+            for cls in MODEL_CLASSES
+        }
+        assert len(fps) == len(MODEL_CLASSES)
+
+    def test_fingerprint_resolves_lazy_fit(self):
+        model = PiecewiseModel()
+        model.update_many(
+            [MeasurementPoint(d=d, t=_time_fn(d), reps=1, ci=0.0)
+             for d in SIZES]
+        )
+        # No evaluation has happened yet; fingerprinting must force the
+        # fit rather than hash an unfitted placeholder.
+        fp_lazy = fingerprint_model(model)
+        model.time(100)
+        assert fingerprint_model(model) == fp_lazy
+
+    def test_refit_changes_fingerprint(self):
+        model = model_from_time_fn(PiecewiseModel, _time_fn, SIZES)
+        before = fingerprint_model(model)
+        model.update(MeasurementPoint(d=2048, t=_time_fn(2048) * 2, reps=1,
+                                      ci=0.0))
+        assert fingerprint_model(model) != before
+
+    def test_unfingerprintable_object_raises(self):
+        with pytest.raises(FuPerModError, match="fingerprint_state"):
+            fingerprint_model(object())
+
+
+class TestModelSetAndRequest:
+    """Set and request fingerprints."""
+
+    def test_rank_order_matters(self):
+        fast = model_from_time_fn(ConstantModel, lambda d: d / 200.0, [64])
+        slow = model_from_time_fn(ConstantModel, lambda d: d / 50.0, [64])
+        assert fingerprint_models([fast, slow]) != fingerprint_models(
+            [slow, fast]
+        )
+
+    def test_request_varies_with_every_field(self):
+        base = fingerprint_request("mfp", 1000, "geometric", {})
+        assert fingerprint_request("mfp2", 1000, "geometric", {}) != base
+        assert fingerprint_request("mfp", 1001, "geometric", {}) != base
+        assert fingerprint_request("mfp", 1000, "numerical", {}) != base
+        assert fingerprint_request(
+            "mfp", 1000, "geometric", {"probes": 4}
+        ) != base
+
+    def test_request_option_order_insensitive(self):
+        a = fingerprint_request("m", 10, "geometric", {"a": 1, "b": 2.5})
+        b = fingerprint_request("m", 10, "geometric", {"b": 2.5, "a": 1})
+        assert a == b

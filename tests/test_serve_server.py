@@ -1,0 +1,239 @@
+"""PlanEngine and PlanServer: caching, coalescing, degradation, batching.
+
+The acceptance contracts of the serving layer are asserted on counters,
+not timing:
+
+* a repeated identical request is served from the cache without the
+  partitioner running again (``computations`` stays put);
+* N concurrent identical requests run exactly one computation
+  (single-flight);
+* a failing partitioner degrades through the policy ladder and the
+  result says so.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tests.conftest import model_from_time_fn
+from repro.core import registry
+from repro.core.models import PiecewiseModel
+from repro.core.registry import register_partitioner
+from repro.degrade import DegradationPolicy
+from repro.errors import PartitionError
+from repro.serve import PlanCache, PlanEngine, PlanServer
+
+pytestmark = pytest.mark.serve
+
+
+def make_models(speeds=(100.0, 200.0, 400.0)):
+    """Noiseless piecewise models over constant-speed devices."""
+    return [
+        model_from_time_fn(PiecewiseModel, lambda d, s=s: d / s,
+                           [16, 128, 1024, 4096])
+        for s in speeds
+    ]
+
+
+@pytest.fixture
+def scratch_partitioner():
+    """Register throwaway partitioners, removed again after the test.
+
+    Leaked registrations would pollute the warm-start parity suite, which
+    iterates every registered partitioner.
+    """
+    added = []
+
+    def add(name, fn):
+        register_partitioner(name, fn, overwrite=True)
+        added.append(name)
+
+    yield add
+    with registry._REGISTRY_LOCK:
+        for name in added:
+            registry._PARTITIONER_REGISTRY.pop(name, None)
+
+
+class TestEngineCaching:
+    """The cache hit path never recomputes."""
+
+    def test_repeat_request_served_from_cache(self):
+        engine = PlanEngine()
+        models = make_models()
+        first = engine.plan(models, 1000)
+        again = engine.plan(models, 1000)
+        assert not first.cached and again.cached
+        assert again.sizes == first.sizes
+        assert engine.counters.computations == 1
+        stats = engine.cache.stats()
+        assert stats.hits == 1 and stats.inserts == 1
+
+    def test_equal_refit_still_hits(self):
+        # A different model *instance* with the same fitted parameters is
+        # the same content: the cache must hit across refits.
+        engine = PlanEngine()
+        engine.plan(make_models(), 1000)
+        result = engine.plan(make_models(), 1000)
+        assert result.cached
+        assert engine.counters.computations == 1
+
+    def test_changed_model_misses(self):
+        engine = PlanEngine()
+        engine.plan(make_models((100.0, 200.0, 400.0)), 1000)
+        result = engine.plan(make_models((100.0, 200.0, 300.0)), 1000)
+        assert not result.cached
+        assert engine.counters.computations == 2
+
+    def test_options_partition_the_key_space(self):
+        engine = PlanEngine()
+        models = make_models()
+        a = engine.plan(models, 1000, options={"probes": 1})
+        b = engine.plan(models, 1000, options={"probes": 8})
+        assert not b.cached
+        assert a.key != b.key
+
+    def test_distribution_rebuilt_with_cert(self):
+        engine = PlanEngine()
+        models = make_models()
+        engine.plan(models, 1000)
+        dist = engine.distribution(models, 1000)
+        assert dist.total == 1000
+        assert dist.convergence is not None
+        assert dist.convergence.algorithm == "geometric"
+
+    def test_warm_start_used_on_nearby_total(self):
+        engine = PlanEngine()
+        models = make_models()
+        cold = engine.plan(models, 10_000)
+        near = engine.plan(models, 11_000)
+        assert not cold.warm and near.warm
+        assert engine.counters.warm_starts == 1
+        # Warm result equals an independent cold solve bit for bit.
+        cold_engine = PlanEngine(warm=False)
+        reference = cold_engine.plan(models, 11_000)
+        assert near.sizes == reference.sizes
+        assert near.cert.iterations <= reference.cert.iterations
+
+    def test_warm_disabled(self):
+        engine = PlanEngine(warm=False)
+        models = make_models()
+        engine.plan(models, 10_000)
+        near = engine.plan(models, 11_000)
+        assert not near.warm
+        assert engine.counters.warm_starts == 0
+
+
+class TestEngineDegradation:
+    """Typed partitioner failures walk the ladder when a policy is given."""
+
+    def test_failure_without_policy_propagates(self, scratch_partitioner):
+        scratch_partitioner(
+            "always-fails",
+            lambda total, models, **kw: (_ for _ in ()).throw(
+                PartitionError("scripted failure")
+            ),
+        )
+        engine = PlanEngine()
+        with pytest.raises(PartitionError, match="scripted failure"):
+            engine.plan(make_models(), 1000, partitioner="always-fails")
+
+    def test_failure_with_policy_degrades_and_records(
+        self, scratch_partitioner
+    ):
+        scratch_partitioner(
+            "always-fails",
+            lambda total, models, **kw: (_ for _ in ()).throw(
+                PartitionError("scripted failure")
+            ),
+        )
+        engine = PlanEngine(policy=DegradationPolicy())
+        result = engine.plan(make_models(), 1000, partitioner="always-fails")
+        assert sum(result.sizes) == 1000
+        assert "scripted failure" in result.degraded
+        assert result.algorithm != "always-fails"
+        # The degraded plan is cached like any other.
+        again = engine.plan(make_models(), 1000, partitioner="always-fails")
+        assert again.cached and "scripted failure" in again.degraded
+
+
+class TestServerCoalescing:
+    """Single-flight: identical concurrent requests share one computation."""
+
+    def test_concurrent_identical_requests_compute_once(
+        self, scratch_partitioner
+    ):
+        models = make_models()
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_partitioner(total, models_, **kwargs):
+            from repro.core.partition.geometric import partition_geometric
+
+            entered.set()
+            assert release.wait(timeout=30), "test deadlock"
+            return partition_geometric(total, models_)
+
+        scratch_partitioner("slow-geometric", slow_partitioner)
+        with PlanServer(models, max_workers=8) as server:
+            first = server.submit(4000, partitioner="slow-geometric")
+            assert entered.wait(timeout=30)
+            # The computation is now provably in flight; pile on.
+            futures = [
+                server.submit(4000, partitioner="slow-geometric")
+                for _ in range(9)
+            ]
+            assert all(f is first for f in futures)
+            release.set()
+            results = [f.result(timeout=30) for f in [first] + futures]
+            assert server.engine.counters.computations == 1
+            assert server.engine.counters.coalesced == 9
+            assert all(r.sizes == results[0].sizes for r in results)
+
+    def test_after_completion_requests_hit_cache_not_flight(self):
+        models = make_models()
+        with PlanServer(models) as server:
+            server.request(2000)
+            result = server.request(2000)
+            assert result.cached
+            assert server.engine.counters.computations == 1
+            assert server.inflight() == 0
+
+    def test_request_many_mixes_distinct_and_duplicate(self):
+        models = make_models()
+        with PlanServer(models, max_workers=4) as server:
+            specs = [
+                (1000, None, None),
+                (2000, None, None),
+                (1000, None, None),  # duplicate of the first
+            ]
+            results = server.request_many(specs)
+            assert [r.total for r in results] == [1000, 2000, 1000]
+            assert results[0].sizes == results[2].sizes
+            # Never more than the two distinct computations.
+            assert server.engine.counters.computations <= 2
+
+    def test_closed_server_rejects_work(self):
+        server = PlanServer(make_models())
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(100)
+
+    def test_needs_models(self):
+        with pytest.raises(ValueError, match="at least one model"):
+            PlanServer([])
+
+
+class TestServerStats:
+    """The consolidated stats snapshot."""
+
+    def test_stats_shape(self):
+        with PlanServer(make_models(), cache=PlanCache(capacity=4)) as server:
+            server.request(1000)
+            server.request(1000)
+            stats = server.stats()
+            assert stats["ranks"] == 3
+            assert stats["cache"]["hits"] == 1
+            assert stats["serve"]["computations"] == 1
+            assert stats["inflight"] == 0

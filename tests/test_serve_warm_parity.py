@@ -1,0 +1,190 @@
+"""Warm-start parity: warm solves are bit-identical to cold ones.
+
+The plan cache substitutes warm-started results for cold ones, so the
+warm path must be *indistinguishable* in output: for every registered
+partitioner and every model family, a solve seeded with a
+:class:`~repro.core.partition.warm.WarmStart` from a nearby plan returns
+exactly the same integer shares as a cold solve, with a convergence
+certificate that took no more iterations.  A separate case pins down that
+the iteration saving is real (strictly fewer iterations for the
+single-probe bisection), and that a *misleading* hint still cannot change
+the answer.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from tests.conftest import model_from_time_fn
+from repro.core.models import (
+    AkimaModel,
+    ConstantModel,
+    LinearModel,
+    PchipModel,
+    PiecewiseModel,
+    SegmentedLinearModel,
+)
+from repro.core.partition.dynamic import DynamicPartitioner
+from repro.core.partition.geometric import partition_geometric
+from repro.core.partition.warm import WarmStart, warm_start_from
+from repro.core.registry import available_partitioners, partitioner
+
+pytestmark = pytest.mark.serve
+
+MODEL_FAMILIES = {
+    "constant": ConstantModel,
+    "piecewise": PiecewiseModel,
+    "akima": AkimaModel,
+    "linear": LinearModel,
+    "pchip": PchipModel,
+    "segmented": SegmentedLinearModel,
+}
+
+SIZES = [16, 64, 256, 1024, 4096, 16384]
+
+# Three devices with different nonlinearities, so the equal-time solution
+# is not a trivial proportional split.
+TIME_FNS = [
+    lambda d: d / 300.0 + 1e-4,
+    lambda d: d / 150.0 + 5e-4,
+    lambda d: d / 80.0 + (d / 9000.0) ** 2 + 2e-4,
+]
+
+
+def build_models(model_cls):
+    """One fitted model per synthetic device."""
+    return [model_from_time_fn(model_cls, fn, SIZES) for fn in TIME_FNS]
+
+
+def registered_partitioners():
+    """All registry entries (the built-ins plus any extensions)."""
+    return available_partitioners()
+
+
+def solve(name, total, models, **kwargs):
+    """Run a registered partitioner, forwarding kwargs it understands."""
+    fn = partitioner(name)
+    params = inspect.signature(fn).parameters
+    usable = {k: v for k, v in kwargs.items() if k in params}
+    return fn(total, models, **usable)
+
+
+class TestWarmEqualsCold:
+    """The core parity matrix: partitioner x model family."""
+
+    @pytest.mark.parametrize("name", registered_partitioners())
+    @pytest.mark.parametrize("family", sorted(MODEL_FAMILIES))
+    def test_parity_and_iteration_bound(self, name, family):
+        models = build_models(MODEL_FAMILIES[family])
+        seed_total, total = 9_000, 10_000
+        seed = solve(name, seed_total, models)
+        warm = warm_start_from(seed)
+
+        cold = solve(name, total, models)
+        warmed = solve(name, total, models, warm_start=warm)
+
+        assert warmed.sizes == cold.sizes, (
+            f"{name} x {family}: warm start changed the answer"
+        )
+        cold_cert = getattr(cold, "convergence", None)
+        warm_cert = getattr(warmed, "convergence", None)
+        if cold_cert is not None and warm_cert is not None:
+            assert warm_cert.iterations <= cold_cert.iterations, (
+                f"{name} x {family}: warm start took more iterations "
+                f"({warm_cert.iterations} > {cold_cert.iterations})"
+            )
+
+    @pytest.mark.parametrize("name", registered_partitioners())
+    def test_parity_across_totals(self, name):
+        models = build_models(PiecewiseModel)
+        seed = solve(name, 5_000, models)
+        warm = warm_start_from(seed)
+        for total in (500, 4_999, 5_001, 20_000, 100_000):
+            cold = solve(name, total, models)
+            warmed = solve(name, total, models, warm_start=warm)
+            assert warmed.sizes == cold.sizes, (name, total)
+
+
+class TestIterationSavings:
+    """The warm start must demonstrably cut iterations, not just tie."""
+
+    def test_single_probe_bisection_saves_iterations(self):
+        models = build_models(PiecewiseModel)
+        seed = partition_geometric(9_800, models, probes=1)
+        warm = warm_start_from(seed)
+        cold = partition_geometric(10_000, models, probes=1)
+        warmed = partition_geometric(10_000, models, probes=1,
+                                     warm_start=warm)
+        assert warmed.sizes == cold.sizes
+        assert warmed.convergence.iterations < cold.convergence.iterations
+
+    def test_identical_repeat_collapses_bracket(self):
+        models = build_models(AkimaModel)
+        first = partition_geometric(10_000, models, probes=1)
+        warm = warm_start_from(first)
+        again = partition_geometric(10_000, models, probes=1,
+                                    warm_start=warm)
+        assert again.sizes == first.sizes
+        assert again.convergence.iterations <= first.convergence.iterations
+
+
+class TestMisleadingHints:
+    """A bad hint may cost speed, never correctness."""
+
+    def test_hint_from_unrelated_models_is_harmless(self):
+        models = build_models(PiecewiseModel)
+        # A hint whose level is wildly wrong for these models.
+        for level in (1e-9, 1e6):
+            warm = WarmStart(total=10, level=level, sizes=(4, 3, 3))
+            cold = partition_geometric(10_000, models)
+            warmed = partition_geometric(10_000, models, warm_start=warm)
+            assert warmed.sizes == cold.sizes
+
+    def test_invalid_warm_start_rejected_at_construction(self):
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            WarmStart(total=0, level=1.0, sizes=(1,))
+        with pytest.raises(PartitionError):
+            WarmStart(total=10, level=0.0, sizes=(1,))
+        with pytest.raises(PartitionError):
+            WarmStart(total=10, level=1.0, sizes=(-1, 11))
+
+
+class TestDynamicInitial:
+    """The dynamic loop's warm seam: start from a served distribution."""
+
+    def test_initial_distribution_seeds_first_iterate(self):
+        from repro.core.point import MeasurementPoint
+
+        models_a = [PiecewiseModel() for _ in range(3)]
+        base = build_models(PiecewiseModel)
+
+        def measure(sizes):
+            return [
+                MeasurementPoint(d=d, t=fn(d), reps=1, ci=0.0)
+                if d else None
+                for fn, d in zip(TIME_FNS, sizes)
+            ]
+
+        initial = partition_geometric(3_000, base)
+        dyn = DynamicPartitioner(
+            partition_geometric, models_a, 3_000, measure, eps=0.05,
+            initial=initial,
+        )
+        assert dyn.dist.sizes == initial.sizes
+        result = dyn.run()
+        assert sum(result.final.sizes) == 3_000
+
+    def test_initial_total_mismatch_rejected(self):
+        from repro.errors import PartitionError
+
+        models = [PiecewiseModel() for _ in range(3)]
+        initial = partition_geometric(2_000, build_models(PiecewiseModel))
+        with pytest.raises(PartitionError, match="total"):
+            DynamicPartitioner(
+                partition_geometric, models, 3_000,
+                lambda dist: [0.1, 0.1, 0.1], initial=initial,
+            )
