@@ -19,9 +19,12 @@ compares two ``BENCH_hotpath_models.json``-style result files (defaults:
 the repo-root file against itself is a no-op; pass a fresh run as CURRENT)
 and exits non-zero when any throughput metric dropped by more than 20%,
 when the happy-path degradation-ladder overhead (the
-``partition_ladder`` section's ``overhead_frac``) exceeds 5%, or when the
+``partition_ladder`` section's ``overhead_frac``) exceeds 5%, when the
 plan-cache hit path (the repo-root ``BENCH_plan_cache.json``, if present)
-is less than 10x faster than a cold solve.
+is less than 10x faster than a cold solve, or when the serving-hardening
+tax (the repo-root ``BENCH_serve_resilience.json``, if present) puts the
+WAL-backed, breaker-wired engine more than 5% over the plain engine on
+the cache-hit path.
 """
 
 from __future__ import annotations
@@ -44,6 +47,11 @@ LADDER_OVERHEAD_LIMIT = 0.05
 #: Floor on the plan-cache hit path's advantage over a cold solve (the
 #: ``plan_cache`` bench section's ``hit_speedup``).
 PLAN_CACHE_SPEEDUP_FLOOR = 10.0
+
+#: Ceiling on the serving-hardening tax (WAL-backed cache + breaker
+#: board) over the plain engine on the cache-hit path (the
+#: ``serve_resilience`` bench section).
+SERVE_RESILIENCE_OVERHEAD_LIMIT = 0.05
 
 
 def achieved_times(
@@ -188,6 +196,32 @@ def check_plan_cache(
     return failures
 
 
+def check_serve_resilience(
+    current: Dict, limit: float = SERVE_RESILIENCE_OVERHEAD_LIMIT
+) -> List[str]:
+    """Gate the serving-hardening tax on the cache-hit path.
+
+    Reads the ``serve_resilience`` section of a result tree (the
+    ``bench_serve_resilience`` bench) and reports every rank count whose
+    ``overhead_frac`` (hardened hit time over plain hit time, minus one)
+    exceeds *limit*.  The hit path touches neither the journal nor the
+    breaker, so anything above noise means the hardening leaked into the
+    steady-state loop.  A missing section is not a failure -- older
+    result files predate the hardening bench.
+    """
+    if limit <= 0.0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    failures: List[str] = []
+    for p, row in sorted(current.get("serve_resilience", {}).items()):
+        frac = row.get("overhead_frac")
+        if isinstance(frac, (int, float)) and frac > limit:
+            failures.append(
+                f"serve_resilience.{p}: hardened hit path "
+                f"{100 * frac:.1f}% over plain (limit {100 * limit:.0f}%)"
+            )
+    return failures
+
+
 def _load_results(path: Path) -> Dict:
     """Load one bench result file, raising ``SystemExit(2)`` on damage."""
     if not path.exists():
@@ -244,11 +278,28 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
             for line in cache_failures:
                 print(f"  {line}")
             return 1
+    # Likewise for the serving-hardening bench (WAL + breakers).
+    resilience_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_serve_resilience.json"
+    )
+    if resilience_path.exists():
+        try:
+            resilience = _load_results(resilience_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        resilience_failures = check_serve_resilience(resilience)
+        if resilience_failures:
+            print("serving-hardening overhead above the "
+                  f"{100 * SERVE_RESILIENCE_OVERHEAD_LIMIT:.0f}% ceiling:")
+            for line in resilience_failures:
+                print(f"  {line}")
+            return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
     print(f"no throughput regressions ({compared} metrics compared); "
-          "ladder overhead and plan-cache floor within limits")
+          "ladder overhead, plan-cache floor and serving-hardening "
+          "overhead within limits")
     return 0
 
 

@@ -276,14 +276,32 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+class _GracefulShutdown(Exception):
+    """Raised by the serve command's signal handlers to begin draining."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``fupermod serve`` command: a partition-plan service.
 
     Models come from a ``build`` output directory; plans are served over
     JSON-lines stdio (default) or stdlib HTTP (``--http``).  Status and
     statistics go to stderr so stdout stays a clean protocol stream.
+
+    Shutdown contract: SIGTERM and SIGINT (and stdio EOF / the
+    ``shutdown`` command) drain in-flight computations, flush the plan
+    cache to ``--cache-file`` (compacting its write-ahead journal) and
+    exit 0.  A SIGKILLed server recovers its cache on the next start
+    from ``snapshot + WAL replay`` -- at most the one plan whose journal
+    append was interrupted is lost.
     """
-    from repro.serve import PlanCache, PlanEngine, PlanServer
+    import signal
+    import threading
+
+    from repro.serve import DurablePlanCache, PlanCache, PlanEngine, PlanServer
     from repro.serve.frontend import make_http_server, serve_stdio
 
     files = _point_files(Path(args.points))
@@ -293,24 +311,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         model = factory()
         model.update_many(_load_rank_points(path, rank))
         models.append(model)
-    cache = PlanCache(capacity=args.cache_size, ttl=args.ttl)
     cache_file = Path(args.cache_file) if args.cache_file else None
-    if cache_file is not None and cache_file.exists():
-        from repro.io.plans import load_plan_cache
+    durable = cache_file is not None and not args.no_wal
+    if durable:
+        cache: PlanCache = DurablePlanCache(
+            cache_file,
+            compact_every=args.compact_every,
+            capacity=args.cache_size,
+            ttl=args.ttl,
+        )
+        snapshot_entries, wal_ops = cache.recover()
+        if snapshot_entries or wal_ops:
+            print(f"recovered {snapshot_entries} plan(s) from snapshot + "
+                  f"{wal_ops} journaled op(s) from {cache_file}",
+                  file=sys.stderr)
+    else:
+        cache = PlanCache(capacity=args.cache_size, ttl=args.ttl)
+        if cache_file is not None and cache_file.exists():
+            from repro.io.plans import load_plan_cache
 
-        loaded = load_plan_cache(cache_file, cache)
-        print(f"loaded {loaded} cached plan(s) from {cache_file}",
-              file=sys.stderr)
+            loaded = load_plan_cache(cache_file, cache)
+            print(f"loaded {loaded} cached plan(s) from {cache_file}",
+                  file=sys.stderr)
     policy = None
     if args.degrade:
         from repro.degrade import DegradationPolicy
 
         policy = DegradationPolicy()
+    breakers = None
+    if not args.no_breaker:
+        from repro.serve import BreakerBoard
+
+        breakers = BreakerBoard(cooldown=args.breaker_cooldown)
     engine = PlanEngine(
         cache=cache, policy=policy, partitioner=args.algorithm,
-        warm=not args.no_warm,
+        warm=not args.no_warm, breakers=breakers,
     )
-    server = PlanServer(models, engine=engine, max_workers=args.workers)
+    server = PlanServer(
+        models, engine=engine, max_workers=args.workers,
+        max_pending=args.max_pending, default_deadline=args.deadline,
+    )
+
+    # Signal handlers can only live in the main thread (tests drive this
+    # command from worker threads, where installation must be skipped).
+    previous_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            raise _GracefulShutdown(signum)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[sig] = signal.signal(sig, _on_signal)
+
+    exit_code = 0
     try:
         if args.http:
             httpd = make_http_server(server, args.host, args.port)
@@ -320,18 +372,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             try:
                 httpd.serve_forever()
-            except KeyboardInterrupt:
-                pass
+            except (KeyboardInterrupt, _GracefulShutdown):
+                print("shutdown requested; draining", file=sys.stderr)
             finally:
                 httpd.server_close()
         else:
             print(f"serving plans for {len(models)} rank(s) over stdio; "
                   "one JSON request per line", file=sys.stderr)
-            served = serve_stdio(server, sys.stdin, sys.stdout)
-            print(f"served {served} request(s)", file=sys.stderr)
+            try:
+                served = serve_stdio(server, sys.stdin, sys.stdout)
+                print(f"served {served} request(s)", file=sys.stderr)
+            except (KeyboardInterrupt, _GracefulShutdown):
+                print("shutdown requested; draining", file=sys.stderr)
     finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        drained = server.drain(timeout=args.drain_timeout)
+        if not drained:
+            print(f"warning: in-flight computations still running after "
+                  f"{args.drain_timeout:.3g}s drain window", file=sys.stderr)
         server.close()
-        if cache_file is not None:
+        if durable:
+            cache.close()
+            print(f"compacted {len(cache)} cached plan(s) to {cache_file}",
+                  file=sys.stderr)
+        elif cache_file is not None:
             from repro.io.plans import save_plan_cache
 
             saved = save_plan_cache(cache_file, cache)
@@ -342,9 +407,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{stats['cache']['misses']} miss(es); "
               f"serve: {stats['serve']['computations']} computation(s), "
               f"{stats['serve']['coalesced']} coalesced, "
-              f"{stats['serve']['warm_starts']} warm-started",
+              f"{stats['serve']['warm_starts']} warm-started, "
+              f"{stats['serve']['shed']} shed, "
+              f"{stats['serve']['short_circuits']} short-circuited",
               file=sys.stderr)
-    return 0
+    return exit_code
 
 
 def _cmd_demo_jacobi(args: argparse.Namespace) -> int:
@@ -643,8 +710,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--ttl", type=float, default=None,
                        help="plan time-to-live in seconds (default: no expiry)")
     p_srv.add_argument("--cache-file", default=None, dest="cache_file",
-                       help="JSON file to preload the cache from and persist "
-                            "it to on shutdown")
+                       help="snapshot file for the plan cache: recovered from "
+                            "(snapshot + write-ahead journal) at startup and "
+                            "compacted to on shutdown")
+    p_srv.add_argument("--no-wal", action="store_true", dest="no_wal",
+                       help="disable the write-ahead journal (cache persists "
+                            "only at clean shutdown, as before hardening)")
+    p_srv.add_argument("--compact-every", type=int, default=256,
+                       dest="compact_every",
+                       help="journaled operations between automatic snapshot "
+                            "compactions")
     p_srv.add_argument("--no-warm", action="store_true", dest="no_warm",
                        help="disable warm-started solves from nearby plans")
     p_srv.add_argument("--degrade", action="store_true",
@@ -652,6 +727,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "failing a request")
     p_srv.add_argument("--workers", type=int, default=4,
                        help="worker threads for concurrent computations")
+    p_srv.add_argument("--max-pending", type=int, default=None,
+                       dest="max_pending",
+                       help="admission cap: shed new requests (HTTP 503) once "
+                            "this many computations are in flight "
+                            "(default: unbounded)")
+    p_srv.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds; expiry "
+                            "answers HTTP 504 (default: wait forever)")
+    p_srv.add_argument("--no-breaker", action="store_true", dest="no_breaker",
+                       help="disable the per-model-set circuit breakers")
+    p_srv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       dest="breaker_cooldown",
+                       help="seconds an open circuit breaker waits before "
+                            "admitting a trial request")
+    p_srv.add_argument("--drain-timeout", type=float, default=10.0,
+                       dest="drain_timeout",
+                       help="seconds to wait for in-flight computations at "
+                            "shutdown")
     p_srv.add_argument("--http", action="store_true",
                        help="serve over HTTP instead of JSON-lines stdio")
     p_srv.add_argument("--host", default="127.0.0.1")

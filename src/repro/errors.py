@@ -18,7 +18,11 @@ subsystem failed:
 * :class:`ConvergenceError` -- an iterative partitioner exhausted its
   iteration cap without certifying convergence (``repro.core.partition``);
 * :class:`DeadlineExceeded` -- a watchdog wall-clock budget expired
-  (``repro.degrade``).
+  (``repro.degrade``);
+* :class:`ServiceOverloadError` -- the plan service shed a request
+  because its admission queue was full (``repro.serve``);
+* :class:`CircuitOpenError` -- a model set's circuit breaker is open and
+  no degradation fallback is configured (``repro.serve``).
 
 :class:`ConvergenceWarning` is the non-fatal counterpart of
 :class:`ConvergenceError`: in non-strict mode an uncertified result is
@@ -143,6 +147,49 @@ class DeadlineExceeded(FuPerModError):
         self.stage = stage
         self.rank = rank
         self.partial = partial
+
+
+class ServiceOverloadError(FuPerModError):
+    """The plan service shed a request because its admission queue is full.
+
+    Load shedding is the overload contract of :class:`~repro.serve.server.
+    PlanServer`: rather than queueing without bound (and timing out every
+    caller once the backlog exceeds the deadline), a request arriving
+    while ``max_pending`` distinct computations are already admitted is
+    rejected immediately with this error.  The HTTP front end maps it to
+    503 with a ``Retry-After`` header.
+
+    Attributes:
+        retry_after: suggested seconds to wait before retrying (None when
+            the server offers no estimate).
+        pending: admitted-but-unfinished computations at shed time (-1 if
+            unknown).
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None,
+                 pending: int = -1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.pending = pending
+
+
+class CircuitOpenError(FuPerModError):
+    """A model set's circuit breaker is open and no fallback is configured.
+
+    Raised by :class:`~repro.serve.engine.PlanEngine` when the
+    per-model-fingerprint breaker (:mod:`repro.serve.breaker`) has
+    tripped and there is no :class:`~repro.degrade.DegradationPolicy` to
+    short-circuit to.  With a policy configured the request is served
+    through the ladder instead and this error is never raised.
+
+    Attributes:
+        retry_after: seconds until the breaker's cooldown elapses and a
+            half-open probe will be admitted (None if unknown).
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class QuarantineError(BenchmarkError):

@@ -12,7 +12,11 @@ testing substrate for the resilient runtime:
   misbehave on that schedule;
 * :class:`ResilienceReport` / :class:`ResilienceEvent` /
   :class:`DeviceQuarantined` -- the typed record of what failed, what was
-  retried and who survived.
+  retried and who survived;
+* :class:`SolveFaults` / :func:`chaotic_partitioner` /
+  :func:`corrupt_wal` (:mod:`repro.faults.serve`) -- chaos hooks for the
+  plan-serving layer: scheduled solve failures and slowdowns, and
+  realistic write-ahead-journal damage.
 
 The consuming resilience layers live where the healthy code lives:
 retry/quarantine in :mod:`repro.core.benchmark`
@@ -30,6 +34,12 @@ from repro.faults.report import (
     ResilienceEvent,
     ResilienceReport,
 )
+from repro.faults.serve import (
+    SolveFaults,
+    WAL_CORRUPTIONS,
+    chaotic_partitioner,
+    corrupt_wal,
+)
 
 __all__ = [
     "DegradedDevice",
@@ -41,4 +51,8 @@ __all__ = [
     "RankFaults",
     "ResilienceEvent",
     "ResilienceReport",
+    "SolveFaults",
+    "WAL_CORRUPTIONS",
+    "chaotic_partitioner",
+    "corrupt_wal",
 ]

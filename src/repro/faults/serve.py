@@ -1,0 +1,186 @@
+"""Chaos hooks for the plan-serving layer.
+
+Where :mod:`repro.faults.inject` breaks kernels, devices and
+communicators, this module breaks the *serving* stack -- on a seeded,
+deterministic schedule -- so the chaos tests
+(``tests/test_serve_chaos.py``, marker ``chaos``) can assert the
+hardening invariants:
+
+* :class:`SolveFaults` + :func:`chaotic_partitioner` -- wrap any
+  registered partitioner in scheduled failures (typed
+  :class:`~repro.errors.SolverError`, a degradation-ladder trigger) and
+  straggler slowdowns, to exercise circuit breakers, deadlines and
+  admission control;
+* :func:`corrupt_wal` -- damage a write-ahead journal the ways real
+  crashes and real disks do (torn tail, garbage tail, flipped interior
+  byte), to exercise recovery's tolerate-the-tail /
+  refuse-the-interior contract.
+
+Kill-and-restart chaos (SIGKILL mid-write, recover, compare) needs a
+real process boundary and lives in the tests themselves, driven through
+``fupermod serve`` subprocesses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FaultInjectionError, SolverError
+
+PathLike = Union[str, Path]
+
+#: Valid corruption modes for :func:`corrupt_wal`.
+WAL_CORRUPTIONS = ("torn-tail", "garbage-tail", "flip-byte")
+
+
+@dataclass(frozen=True)
+class SolveFaults:
+    """A deterministic, seeded schedule of partitioner misbehaviour.
+
+    Attributes:
+        fail_first: the first this-many solves raise
+            :class:`~repro.errors.SolverError` (deterministic -- the way
+            to script "enough failures to open the breaker").
+        fail_rate: probability any later solve fails (seeded draw).
+        slow_seconds: extra wall seconds added to slowed solves.
+        slow_rate: probability a solve is slowed (1.0 slows every one;
+            use with ``slow_seconds`` to trip deadlines).
+        seed: seed for the probabilistic draws.
+    """
+
+    fail_first: int = 0
+    fail_rate: float = 0.0
+    slow_seconds: float = 0.0
+    slow_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fail_first < 0:
+            raise FaultInjectionError(
+                f"fail_first must be non-negative, got {self.fail_first}"
+            )
+        if not 0.0 <= self.fail_rate <= 1.0:
+            raise FaultInjectionError(
+                f"fail_rate must be in [0, 1], got {self.fail_rate}"
+            )
+        if self.slow_seconds < 0.0:
+            raise FaultInjectionError(
+                f"slow_seconds must be non-negative, got {self.slow_seconds}"
+            )
+        if not 0.0 <= self.slow_rate <= 1.0:
+            raise FaultInjectionError(
+                f"slow_rate must be in [0, 1], got {self.slow_rate}"
+            )
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator for this schedule's probabilistic draws."""
+        return np.random.default_rng(self.seed)
+
+
+def chaotic_partitioner(
+    inner: Callable,
+    spec: SolveFaults,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Callable:
+    """Wrap a partitioner function in the misbehaviour ``spec`` scripts.
+
+    The wrapper keeps the inner partitioner's calling convention
+    (``(total, models, **kwargs) -> Distribution``) so it can be
+    registered under a scratch name and served through the full
+    engine/breaker/ladder path.  Failures raise
+    :class:`~repro.errors.SolverError` -- a degradation-ladder trigger
+    and a breaker-recorded outcome, exactly like a real diverging solve.
+
+    Args:
+        inner: the healthy partitioner function.
+        spec: what to inject.
+        rng: generator for the probabilistic draws (defaults to
+            ``spec.rng()``; pass a shared one to correlate with other
+            injectors).
+        sleep: injectable sleep (tests pass a virtual clock's).
+
+    The wrapper counts invocations on its ``calls`` attribute.
+    """
+    draws = rng if rng is not None else spec.rng()
+
+    def chaotic(total: int, models: Sequence, **kwargs):
+        index = chaotic.calls
+        chaotic.calls += 1
+        if spec.slow_seconds > 0.0 and (
+            spec.slow_rate >= 1.0
+            or (spec.slow_rate > 0.0 and draws.uniform() < spec.slow_rate)
+        ):
+            sleep(spec.slow_seconds)
+        if index < spec.fail_first or (
+            spec.fail_rate > 0.0 and draws.uniform() < spec.fail_rate
+        ):
+            raise SolverError(
+                f"injected solve fault (call {index}, total={total})"
+            )
+        return inner(total, models, **kwargs)
+
+    chaotic.calls = 0
+    return chaotic
+
+
+def corrupt_wal(
+    path: PathLike,
+    mode: str = "torn-tail",
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Damage a write-ahead journal the way crashes and bad disks do.
+
+    Modes:
+
+    * ``"torn-tail"`` -- truncate mid-way through the final record, as a
+      power cut during an append would.  Recovery must *tolerate* this:
+      replay every earlier record, drop the tail.
+    * ``"garbage-tail"`` -- append non-JSON bytes with no trailing
+      newline (a crashed writer's buffer flushed half-formed).  Also a
+      tail: tolerated.
+    * ``"flip-byte"`` -- flip one byte in the middle of the journal
+      (silent media corruption).  This is *interior* damage: recovery
+      must refuse it loudly (:class:`~repro.errors.PersistenceError`)
+      rather than replay records of unknown integrity.
+
+    Returns the number of bytes written/removed.  Raises
+    :class:`~repro.errors.FaultInjectionError` for an unknown mode or a
+    journal too small to damage.
+    """
+    if mode not in WAL_CORRUPTIONS:
+        raise FaultInjectionError(
+            f"unknown WAL corruption {mode!r}; choose from {WAL_CORRUPTIONS}"
+        )
+    target = Path(path)
+    data = target.read_bytes()
+    if mode == "torn-tail":
+        stripped = data.rstrip(b"\n")
+        if not stripped:
+            raise FaultInjectionError(f"{path}: no record to tear")
+        # Cut inside the last record: keep at least one byte of it so
+        # the tear is visible, lose at least its newline.
+        last_start = stripped.rfind(b"\n") + 1
+        cut = last_start + max(1, (len(stripped) - last_start) // 2)
+        target.write_bytes(data[:cut])
+        return len(data) - cut
+    if mode == "garbage-tail":
+        garbage = b'{"half": "rec'
+        with open(target, "ab") as handle:
+            handle.write(garbage)
+        return len(garbage)
+    # flip-byte: pick a byte in the first half so the damage is interior
+    # (never in the final, tearable record).
+    draws = rng if rng is not None else np.random.default_rng(0)
+    first_newline = data.find(b"\n")
+    if first_newline <= 2:
+        raise FaultInjectionError(f"{path}: journal too small to corrupt")
+    offset = int(draws.integers(1, first_newline))
+    flipped = bytes([data[offset] ^ 0xFF])
+    target.write_bytes(data[:offset] + flipped + data[offset + 1:])
+    return 1

@@ -17,6 +17,12 @@ is loaded as *empty* (with a count of 0) rather than polluting the cache
 with entries that can never match -- and could falsely match if the
 canonical encodings collided.
 
+A snapshot is one half of the durability story: between snapshots,
+:class:`repro.serve.wal.DurablePlanCache` journals every mutation to a
+write-ahead log and recovers from ``snapshot + WAL replay``, so the
+whole-file save here only needs to run at compaction points (and
+shutdown), not on every insert.
+
 TTL note: entry ages are **not** persisted.  The cache timestamps with a
 monotonic clock (immune to wall-clock jumps), and monotonic readings do
 not survive a restart, so loaded entries start a fresh TTL window.  This
@@ -26,6 +32,7 @@ is documented as part of the cache contract in ``docs/API.md``.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -40,7 +47,15 @@ PathLike = Union[str, Path]
 
 
 def save_plan_cache(path: PathLike, cache: PlanCache) -> int:
-    """Write the cache's live entries to ``path``; returns the count."""
+    """Atomically write the cache's live entries to ``path``; returns the count.
+
+    The document lands via temp-file + ``os.replace`` (the
+    ``SweepCheckpoint.compact`` idiom), fsynced before the rename, so a
+    crash mid-save leaves either the old snapshot or the new one --
+    never a torn file.  The payload is captured in one locked call
+    (:meth:`PlanCache.to_payload`), so saving while serving threads
+    insert concurrently snapshots a consistent LRU state.
+    """
     payload = cache.to_payload()
     doc = {
         "format": _FORMAT,
@@ -48,9 +63,16 @@ def save_plan_cache(path: PathLike, cache: PlanCache) -> int:
         "fingerprint_version": FINGERPRINT_VERSION,
         "entries": payload,
     }
-    Path(path).write_text(
-        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
-    )
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(doc, indent=2) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except OSError as exc:
+        raise PersistenceError(f"cannot save plan cache to {path}: {exc}") from exc
     return len(payload)
 
 

@@ -16,12 +16,28 @@ serving layer built on three ideas:
 * **single-flight coalescing** (:class:`~repro.serve.server.PlanServer`)
   -- N concurrent identical requests run exactly one computation.
 
+The hardening layer makes the service safe to depend on:
+
+* **durability** (:mod:`~repro.serve.wal`) -- a write-ahead journal plus
+  periodic snapshot compaction make the cache of a killed server
+  recoverable bit-for-bit, minus at most one torn tail record;
+* **overload protection** -- bounded admission with load shedding and
+  per-request deadlines (:class:`~repro.serve.server.PlanServer`),
+  per-model-fingerprint circuit breakers
+  (:mod:`~repro.serve.breaker`) that short-circuit failing model sets
+  to the degradation ladder, and a jittered-backoff
+  :class:`~repro.serve.client.PlanClient`.
+
 Front ends (:mod:`~repro.serve.frontend`, ``fupermod serve``) expose the
-server over JSON-lines stdio and stdlib HTTP.  Cache persistence lives in
-:mod:`repro.io.plans`.
+server over JSON-lines stdio and stdlib HTTP, with a typed error
+taxonomy (400/413/500/503/504).  Cache persistence lives in
+:mod:`repro.io.plans`; serve-level chaos hooks in
+:mod:`repro.faults.serve`.
 """
 
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
 from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.client import PlanClient, http_transport
 from repro.serve.engine import PlanEngine
 from repro.serve.fingerprint import (
     FINGERPRINT_VERSION,
@@ -32,20 +48,28 @@ from repro.serve.fingerprint import (
 from repro.serve.frontend import handle_request, make_http_server, serve_stdio
 from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
 from repro.serve.server import PlanServer
+from repro.serve.wal import DurablePlanCache, PlanWAL, ReplayResult
 
 __all__ = [
+    "BreakerBoard",
     "CacheStats",
+    "CircuitBreaker",
+    "DurablePlanCache",
     "FINGERPRINT_VERSION",
     "PlanCache",
+    "PlanClient",
     "PlanEngine",
     "PlanRequest",
     "PlanResult",
     "PlanServer",
+    "PlanWAL",
+    "ReplayResult",
     "ServeCounters",
     "fingerprint_model",
     "fingerprint_models",
     "fingerprint_request",
     "handle_request",
+    "http_transport",
     "make_http_server",
     "serve_stdio",
 ]

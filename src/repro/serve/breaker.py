@@ -1,0 +1,231 @@
+"""Per-model-fingerprint circuit breakers for the plan service.
+
+A model set whose solves keep failing (malformed fitted data, a
+pathological speed function, an injected chaos fault) should not burn a
+worker thread per request re-discovering the same failure.  The breaker
+is the classic three-state machine:
+
+* **closed** -- requests flow to the requested partitioner; outcomes are
+  recorded in a sliding window.  When the window holds at least
+  ``min_calls`` outcomes and the failure rate reaches
+  ``failure_threshold``, the breaker *opens*.
+* **open** -- requests are short-circuited without touching the
+  partitioner: the engine serves them through the
+  :class:`~repro.degrade.DegradationPolicy` ladder (or raises
+  :class:`~repro.errors.CircuitOpenError` when no policy is configured).
+  After ``cooldown`` seconds the breaker *half-opens*.
+* **half-open** -- exactly one trial request is admitted to the real
+  partitioner.  Success closes the breaker (window reset); failure
+  re-opens it for another cooldown.
+
+Breakers are keyed by model-set fingerprint in a :class:`BreakerBoard`:
+one misbehaving model set cannot trip serving for the healthy ones.
+State transitions and short-circuit counts surface in the server's
+``stats()`` snapshot, so overload tests assert on counters rather than
+timing.  The clock is injectable (monotonic by default) -- chaos tests
+drive cooldowns with a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+#: State names (plain strings so they serialise directly into stats).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker for one model set.
+
+    Args:
+        failure_threshold: failure fraction of the sliding window at
+            which the breaker opens (in ``(0, 1]``).
+        window: number of most-recent outcomes considered.
+        min_calls: outcomes required before the rate is meaningful (a
+            single failure must not trip a cold breaker).
+        cooldown: seconds the breaker stays open before half-opening.
+        clock: monotonic-seconds source, injectable for deterministic
+            tests.
+
+    Thread-safe: ``allow`` / ``record_success`` / ``record_failure`` may
+    race from many serving threads.  In the half-open state only one
+    caller wins the trial slot; the rest stay short-circuited until the
+    trial resolves.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 8,
+        min_calls: int = 4,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if min_calls <= 0 or min_calls > window:
+            raise ValueError(
+                f"min_calls must be in [1, window={window}], got {min_calls}"
+            )
+        if cooldown <= 0.0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_calls = min_calls
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=window)  # True = failure
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._trial_inflight = False
+        self.opens = 0
+        self.short_circuits = 0
+
+    # -- state machine -----------------------------------------------------
+
+    def _open(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._trial_inflight = False
+        self.opens += 1
+
+    @property
+    def state(self) -> str:
+        """Current state name (cooldown elapse is applied lazily)."""
+        with self._lock:
+            return self._peek_state(self._clock())
+
+    def _peek_state(self, now: float) -> str:
+        if self._state == OPEN and now - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the next request may reach the real partitioner.
+
+        Returns False (and counts a short-circuit) while open; in the
+        half-open window exactly one caller gets True as the trial.
+        """
+        with self._lock:
+            now = self._clock()
+            if self._state == OPEN and now - self._opened_at >= self.cooldown:
+                self._state = HALF_OPEN
+                self._trial_inflight = False
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._trial_inflight:
+                self._trial_inflight = True
+                return True
+            self.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        """A solve for this model set succeeded."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._trial_inflight = False
+                self._outcomes.clear()
+            elif self._state == CLOSED:
+                self._outcomes.append(False)
+
+    def record_failure(self) -> None:
+        """A solve for this model set failed with a typed error."""
+        with self._lock:
+            now = self._clock()
+            if self._state == HALF_OPEN:
+                # The trial failed: straight back to open, fresh cooldown.
+                self._open(now)
+                return
+            if self._state == OPEN:
+                return
+            self._outcomes.append(True)
+            if len(self._outcomes) >= self.min_calls:
+                rate = sum(self._outcomes) / len(self._outcomes)
+                if rate >= self.failure_threshold:
+                    self._open(now)
+                    self._outcomes.clear()
+
+    def remaining_cooldown(self) -> float:
+        """Seconds until an open breaker half-opens (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot for stats endpoints."""
+        with self._lock:
+            now = self._clock()
+            outcomes = list(self._outcomes)
+            return {
+                "state": self._peek_state(now),
+                "opens": self.opens,
+                "short_circuits": self.short_circuits,
+                "window_failures": sum(outcomes),
+                "window_calls": len(outcomes),
+            }
+
+
+class BreakerBoard:
+    """The breakers of a serving process, keyed by model-set fingerprint.
+
+    Args:
+        **breaker_kwargs: forwarded to every :class:`CircuitBreaker`
+            minted by :meth:`breaker` (``failure_threshold``, ``window``,
+            ``min_calls``, ``cooldown``, ``clock``).
+
+    Thread-safe; breakers are created lazily on first use and live for
+    the board's lifetime (a refit produces a new fingerprint, whose
+    breaker starts closed).
+    """
+
+    def __init__(self, **breaker_kwargs: Any) -> None:
+        # Validate eagerly so a bad configuration fails at construction,
+        # not on the first unlucky request.
+        CircuitBreaker(**breaker_kwargs)
+        self._kwargs = breaker_kwargs
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, models_fp: str) -> CircuitBreaker:
+        """The breaker for ``models_fp`` (created closed on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(models_fp)
+            if breaker is None:
+                breaker = CircuitBreaker(**self._kwargs)
+                self._breakers[models_fp] = breaker
+            return breaker
+
+    def get(self, models_fp: str) -> Optional[CircuitBreaker]:
+        """The breaker for ``models_fp`` if one exists (no creation)."""
+        with self._lock:
+            return self._breakers.get(models_fp)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Per-fingerprint snapshots plus aggregate counters."""
+        with self._lock:
+            boards = dict(self._breakers)
+        per_fp = {fp: b.to_dict() for fp, b in boards.items()}
+        return {
+            "breakers": per_fp,
+            "open": sum(1 for b in per_fp.values() if b["state"] != CLOSED),
+            "opens": sum(b["opens"] for b in per_fp.values()),
+            "short_circuits": sum(
+                b["short_circuits"] for b in per_fp.values()
+            ),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._breakers)

@@ -149,6 +149,23 @@ class PlanCache:
     def _expired(self, entry: _Entry, now: float) -> bool:
         return self._ttl is not None and now - entry.stored_at > self._ttl
 
+    def _live_entry(self, key: str, now: float) -> Optional[_Entry]:
+        """The entry for ``key`` if present and unexpired, else None.
+
+        The single expiry gate for every lookup path (``get``,
+        ``nearest``, ``__contains__``): a TTL-expired entry is evicted
+        and counted as an expiration *here*, so no path can ever hand
+        out (or warm-start from) an entry another path would refuse.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if self._expired(entry, now):
+            self._drop(key)
+            self._expirations += 1
+            return None
+        return entry
+
     def _evict_for_space(self) -> None:
         while len(self._entries) > self._capacity:
             key = next(iter(self._entries))
@@ -165,13 +182,8 @@ class PlanCache:
     def get(self, key: str) -> Optional[PlanResult]:
         """The cached plan for ``key``, or None (counting hit/miss)."""
         with self._lock:
-            entry = self._entries.get(key)
+            entry = self._live_entry(key, self._clock())
             if entry is None:
-                self._misses += 1
-                return None
-            if self._expired(entry, self._clock()):
-                self._drop(key)
-                self._expirations += 1
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -212,22 +224,17 @@ class PlanCache:
             now = self._clock()
             best: Optional[_Entry] = None
             best_key: Optional[str] = None
-            stale: List[str] = []
-            for key in keys:
-                entry = self._entries[key]
-                if self._expired(entry, now):
-                    stale.append(key)
-                    continue
-                if key == exclude or entry.result.total <= 0:
+            # _live_entry evicts expired entries, mutating the index set;
+            # iterate a copy.
+            for key in list(keys):
+                entry = self._live_entry(key, now)
+                if entry is None or key == exclude or entry.result.total <= 0:
                     continue
                 if best is None or (
                     abs(entry.result.total - total),
                     entry.result.total,
                 ) < (abs(best.result.total - total), best.result.total):
                     best, best_key = entry, key
-            for key in stale:
-                self._drop(key)
-                self._expirations += 1
             if best_key is not None:
                 self._entries.move_to_end(best_key)
             return best.result if best is not None else None
@@ -266,10 +273,14 @@ class PlanCache:
             return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        """Membership without touching LRU order or counters."""
+        """Membership without touching LRU order or hit/miss counters.
+
+        A TTL-expired entry is evicted here too (counted as an
+        expiration), so membership agrees with ``get`` *and* leaves the
+        same cache state behind.
+        """
         with self._lock:
-            entry = self._entries.get(key)
-            return entry is not None and not self._expired(entry, self._clock())
+            return self._live_entry(key, self._clock()) is not None
 
     # -- persistence (payload shape; file I/O lives in repro.io.plans) -----
 

@@ -1,0 +1,198 @@
+"""A retrying client for the plan-service protocol.
+
+:class:`PlanClient` wraps any transport that speaks the front-end
+protocol (:mod:`repro.serve.frontend`) -- a callable taking the request
+dict and returning the response dict -- and layers the client half of
+the overload contract on top:
+
+* **503 (shed / circuit open)** responses are retried with capped
+  exponential backoff and *full jitter*: the sleep before attempt ``k``
+  is uniform in ``[0, min(max_delay, base * 2**k)]``.  Jitter is the
+  point -- a fleet of deterministic clients would all retry at the same
+  instant and re-overload the server in lockstep.  When the response
+  carries a ``retry_after`` hint the sleep is at least that long.
+* **504 (deadline)** responses are retried the same way: the timed-out
+  solve keeps running server-side and populates the cache, so the retry
+  is usually a cache hit.
+* **400/404/413/500** responses are not retried -- the request itself is
+  wrong, and resending it cannot help.  They raise immediately.
+
+Retries exhausted, the final error is raised as its typed exception
+(:class:`~repro.errors.ServiceOverloadError`,
+:class:`~repro.errors.DeadlineExceeded`, ...), so callers keep one
+except-clause vocabulary across in-process and remote serving.
+
+The transport seam keeps this testable without sockets: tests drive the
+client against :func:`~repro.serve.frontend.handle_request` directly (or
+a scripted fake), and the sleep function and RNG are injectable.  An
+HTTP transport for a live ``fupermod serve --http`` process is provided
+by :func:`http_transport` (standard library only).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    FuPerModError,
+    ServiceOverloadError,
+)
+from repro.serve.plan import PlanResult
+
+Transport = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+#: Response codes worth retrying: overload (503) and deadline (504).
+RETRYABLE_CODES = (503, 504)
+
+
+def _error_for(response: Mapping[str, Any]) -> FuPerModError:
+    """The typed exception for a protocol error response."""
+    code = response.get("code")
+    message = str(response.get("error", "unknown service error"))
+    retry_after = response.get("retry_after")
+    if code == 503 and response.get("circuit_open"):
+        return CircuitOpenError(message, retry_after=retry_after)
+    if code == 503:
+        return ServiceOverloadError(
+            message, retry_after=retry_after,
+            pending=int(response.get("pending", -1)),
+        )
+    if code == 504:
+        return DeadlineExceeded(message, stage="serve:client")
+    return FuPerModError(message)
+
+
+class PlanClient:
+    """Protocol client with capped exponential backoff and full jitter.
+
+    Args:
+        transport: callable mapping a request dict to a response dict
+            (e.g. :func:`http_transport` output, or
+            ``lambda p: handle_request(server, p)`` for in-process use).
+        max_attempts: total tries per request (first attempt included).
+        base_delay: backoff base in seconds; attempt ``k`` (0-based
+            retry) sleeps uniform in ``[0, min(max_delay, base * 2**k)]``.
+        max_delay: cap on any single sleep.
+        rng: seeded generator for the jitter draw (deterministic tests).
+        sleep: injectable sleep function (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self.transport = transport
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.sleep = sleep
+        self.retries = 0
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        """The sleep before retry ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        delay = float(self.rng.uniform(0.0, ceiling))
+        if retry_after is not None:
+            # The server's hint is a floor, not a suggestion.
+            delay = max(delay, float(retry_after))
+        return delay
+
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one protocol request, retrying retryable errors.
+
+        Returns the successful response dict; raises the typed exception
+        for the final error once retries are exhausted (non-retryable
+        errors raise immediately).
+        """
+        last: Dict[str, Any] = {}
+        for attempt in range(self.max_attempts):
+            response = self.transport(payload)
+            if "error" not in response:
+                return response
+            last = response
+            if response.get("code") not in RETRYABLE_CODES:
+                raise _error_for(response)
+            if attempt + 1 < self.max_attempts:
+                self.retries += 1
+                self.sleep(self._backoff(attempt, response.get("retry_after")))
+        raise _error_for(last)
+
+    def plan(
+        self,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> PlanResult:
+        """Request one plan, returning it as a :class:`PlanResult`."""
+        payload: Dict[str, Any] = {"cmd": "plan", "total": int(total)}
+        if partitioner is not None:
+            payload["partitioner"] = partitioner
+        if options:
+            payload["options"] = dict(options)
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return PlanResult.from_dict(self.call(payload))
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's consolidated counter snapshot."""
+        return self.call({"cmd": "stats"})["stats"]
+
+
+def http_transport(
+    base_url: str, timeout: float = 30.0
+) -> Transport:
+    """A :class:`PlanClient` transport for a live HTTP front end.
+
+    HTTP error responses (4xx/5xx) are decoded back into protocol error
+    dicts -- with ``code`` set from the status and ``retry_after``
+    recovered from the ``Retry-After`` header when the body lacks it --
+    so the client's retry logic is transport-agnostic.
+    """
+    root = base_url.rstrip("/")
+
+    def send(payload: Dict[str, Any]) -> Dict[str, Any]:
+        if payload.get("cmd") == "stats":
+            req = urllib.request.Request(root + "/stats")
+        else:
+            req = urllib.request.Request(
+                root + "/plan",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                body = {"error": f"HTTP {exc.code}"}
+            body.setdefault("code", exc.code)
+            retry_after = exc.headers.get("Retry-After")
+            if retry_after is not None and "retry_after" not in body:
+                try:
+                    body["retry_after"] = float(retry_after)
+                except ValueError:
+                    pass
+            return body
+
+    return send

@@ -10,10 +10,16 @@ Given a model set and a total it:
 3. on a miss, looks for a cached plan for the *same model set* at a
    nearby total and turns it into a
    :class:`~repro.core.partition.warm.WarmStart` seed;
-4. runs the requested partitioner (warm-started when it accepts a seed),
+4. consults the model set's circuit breaker (when a
+   :class:`~repro.serve.breaker.BreakerBoard` is wired in): an open
+   breaker short-circuits straight to the degradation ladder without
+   touching the partitioner;
+5. runs the requested partitioner (warm-started when it accepts a seed),
    falling back to the :class:`~repro.degrade.DegradationPolicy` ladder
-   when one is configured and the partitioner fails with a typed error;
-5. stores and returns the :class:`~repro.serve.plan.PlanResult`.
+   when one is configured and the partitioner fails with a typed error,
+   recording the outcome on the breaker either way;
+6. stores and returns the :class:`~repro.serve.plan.PlanResult`
+   (breaker short circuits are served but never cached).
 
 The engine is deliberately model-set agnostic: callers pass the models
 with every request (the dynamic loops refit them between calls), and the
@@ -24,13 +30,14 @@ from __future__ import annotations
 
 import inspect
 import time
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from repro.core import registry
 from repro.core.partition.dist import Distribution
 from repro.core.partition.warm import WarmStart
 from repro.degrade.policy import _FALLBACK_TRIGGERS, DegradationPolicy
-from repro.errors import PartitionError
+from repro.errors import CircuitOpenError, PartitionError
+from repro.serve.breaker import BreakerBoard
 from repro.serve.cache import PlanCache
 from repro.serve.fingerprint import fingerprint_models
 from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
@@ -51,6 +58,13 @@ class PlanEngine:
         counters: optional shared :class:`ServeCounters` (the server
             passes its own so coalescing and computation counts live
             together).
+        breakers: optional :class:`~repro.serve.breaker.BreakerBoard`.
+            When a model set's breaker is open, solves for it are
+            short-circuited: the ladder answers (when a policy is
+            configured) or :class:`~repro.errors.CircuitOpenError` is
+            raised.  Short-circuited plans are **not** cached -- a cached
+            degraded plan would keep being served long after the breaker
+            recovered.
     """
 
     def __init__(
@@ -60,12 +74,14 @@ class PlanEngine:
         partitioner: str = "geometric",
         warm: bool = True,
         counters: Optional[ServeCounters] = None,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         self.cache = cache if cache is not None else PlanCache()
         self.policy = policy
         self.default_partitioner = partitioner
         self.warm = warm
         self.counters = counters if counters is not None else ServeCounters()
+        self.breakers = breakers
 
     # -- request construction ---------------------------------------------
 
@@ -110,8 +126,52 @@ class PlanEngine:
 
     # -- solving -------------------------------------------------------------
 
-    def _solve(self, request: PlanRequest, models: Sequence) -> PlanResult:
-        """Run the partitioner for a cache miss (no cache interaction)."""
+    def _short_circuit(self, request: PlanRequest, models: Sequence, breaker) -> PlanResult:
+        """Answer a request whose breaker is open without solving."""
+        self.counters.short_circuits += 1
+        if self.policy is None:
+            raise CircuitOpenError(
+                f"circuit open for model set {request.models_fp[:12]}...; "
+                f"no degradation policy configured",
+                retry_after=breaker.remaining_cooldown(),
+            )
+        start = time.perf_counter()
+        dist = self.policy.partition(request.total, models)
+        elapsed = time.perf_counter() - start
+        cert = getattr(dist, "convergence", None)
+        return PlanResult(
+            key=request.key,
+            total=request.total,
+            sizes=tuple(p.d for p in dist.parts),
+            times=tuple(p.t for p in dist.parts),
+            algorithm=cert.algorithm if cert is not None else "degraded",
+            cert=cert,
+            cached=False,
+            warm=False,
+            degraded=(
+                f"circuit open for model set "
+                f"({breaker.remaining_cooldown():.1f}s cooldown remaining); "
+                f"ladder engaged"
+            ),
+            compute_seconds=elapsed,
+        )
+
+    def _solve(
+        self, request: PlanRequest, models: Sequence
+    ) -> Tuple[PlanResult, bool]:
+        """Run the partitioner for a cache miss (no cache interaction).
+
+        Returns ``(result, cacheable)``: breaker-open short circuits are
+        not cacheable -- the cache would keep serving the degraded plan
+        long after the breaker recovered.
+        """
+        breaker = (
+            self.breakers.breaker(request.models_fp)
+            if self.breakers is not None
+            else None
+        )
+        if breaker is not None and not breaker.allow():
+            return self._short_circuit(request, models, breaker), False
         fn = registry.partitioner(request.partitioner)
         kwargs = request.option_dict()
         warm_used = False
@@ -129,6 +189,8 @@ class PlanEngine:
         try:
             dist = fn(request.total, models, **kwargs)
         except _FALLBACK_TRIGGERS as exc:
+            if breaker is not None:
+                breaker.record_failure()
             if self.policy is None:
                 raise
             degraded = (
@@ -137,22 +199,28 @@ class PlanEngine:
             )
             dist = self.policy.partition(request.total, models)
             warm_used = False
+        else:
+            if breaker is not None:
+                breaker.record_success()
         elapsed = time.perf_counter() - start
         self.counters.computations += 1
         if warm_used:
             self.counters.warm_starts += 1
         cert = getattr(dist, "convergence", None)
-        return PlanResult(
-            key=request.key,
-            total=request.total,
-            sizes=tuple(p.d for p in dist.parts),
-            times=tuple(p.t for p in dist.parts),
-            algorithm=cert.algorithm if cert is not None else request.partitioner,
-            cert=cert,
-            cached=False,
-            warm=warm_used,
-            degraded=degraded,
-            compute_seconds=elapsed,
+        return (
+            PlanResult(
+                key=request.key,
+                total=request.total,
+                sizes=tuple(p.d for p in dist.parts),
+                times=tuple(p.t for p in dist.parts),
+                algorithm=cert.algorithm if cert is not None else request.partitioner,
+                cert=cert,
+                cached=False,
+                warm=warm_used,
+                degraded=degraded,
+                compute_seconds=elapsed,
+            ),
+            True,
         )
 
     def plan_request(self, models: Sequence, request: PlanRequest) -> PlanResult:
@@ -160,8 +228,9 @@ class PlanEngine:
         hit = self.cache.get(request.key)
         if hit is not None:
             return hit.replace(cached=True)
-        result = self._solve(request, models)
-        self.cache.put(request.key, result, request.models_fp)
+        result, cacheable = self._solve(request, models)
+        if cacheable:
+            self.cache.put(request.key, result, request.models_fp)
         return result
 
     def plan(

@@ -4,12 +4,27 @@ Both front ends speak the same tiny protocol over a
 :class:`~repro.serve.server.PlanServer`:
 
 * a **plan** request is an object with ``total`` (required),
-  ``partitioner`` and ``options`` (optional), and a client-chosen ``id``
-  echoed back in the response;
+  ``partitioner``, ``options`` and ``deadline`` (optional, seconds), and
+  a client-chosen ``id`` echoed back in the response;
 * a **stats** request (``{"cmd": "stats"}`` on stdio, ``GET /stats`` over
   HTTP) returns the consolidated counter snapshot;
-* errors come back as ``{"error": ..., "id": ...}`` with the connection
+* errors come back as ``{"error": ..., "code": ...}`` with the connection
   kept alive -- one bad request must not kill a serving session.
+
+Error responses carry the failure taxonomy so clients can tell *retry
+later* from *fix your request*:
+
+====  ===========================================================
+code  meaning
+====  ===========================================================
+400   malformed request (bad JSON, missing/invalid fields)
+404   unknown endpoint
+413   request body larger than the transport's cap
+500   the solve failed internally (typed fault, no fallback)
+503   shed by admission control, or circuit open with no fallback
+      (``retry_after`` seconds included; HTTP adds ``Retry-After``)
+504   the request's deadline expired before the plan arrived
+====  ===========================================================
 
 The stdio transport (``fupermod serve``) reads one JSON object per line
 and writes one JSON object per line, which makes it scriptable from any
@@ -24,14 +39,25 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, IO, Optional
 
-from repro.errors import FuPerModError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    FuPerModError,
+    ServiceOverloadError,
+)
 from repro.serve.server import PlanServer
+
+#: Default request-body cap for the HTTP transport (1 MiB).
+MAX_BODY_BYTES = 1 << 20
 
 
 def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any]:
     """Serve one decoded protocol object, never raising for bad input.
 
     Shared by both transports so the protocol cannot drift between them.
+    Error responses carry a ``code`` field with the HTTP-status taxonomy
+    from the module docstring (the stdio transport passes it through
+    verbatim; the HTTP transport promotes it to the response status).
     """
     req_id = payload.get("id")
     try:
@@ -46,19 +72,45 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
                 raise FuPerModError(
                     f"'total' must be an integer, got {total!r}"
                 )
+            if total < 0:
+                raise FuPerModError(
+                    f"'total' must be non-negative, got {total}"
+                )
             options = payload.get("options") or {}
             if not isinstance(options, dict):
                 raise FuPerModError("'options' must be an object")
+            deadline = payload.get("deadline")
+            if deadline is not None:
+                if not isinstance(deadline, (int, float)) or isinstance(
+                    deadline, bool
+                ) or not deadline > 0:
+                    raise FuPerModError(
+                        f"'deadline' must be a positive number of seconds, "
+                        f"got {deadline!r}"
+                    )
             result = server.request(
-                total, payload.get("partitioner"), options
+                total, payload.get("partitioner"), options, deadline=deadline
             )
             out = result.to_dict()
         else:
             raise FuPerModError(f"unknown command {cmd!r}")
+    except ServiceOverloadError as exc:
+        out = {"error": str(exc), "code": 503, "shed": True}
+        if exc.retry_after is not None:
+            out["retry_after"] = exc.retry_after
+    except CircuitOpenError as exc:
+        out = {"error": str(exc), "code": 503, "circuit_open": True}
+        if exc.retry_after is not None:
+            out["retry_after"] = exc.retry_after
+    except DeadlineExceeded as exc:
+        out = {"error": str(exc), "code": 504}
     except FuPerModError as exc:
-        out = {"error": str(exc)}
+        # Validation errors above raise bare FuPerModError (400); any
+        # subclass reaching here escaped the solve path itself (500).
+        code = 400 if type(exc) is FuPerModError else 500
+        out = {"error": str(exc), "code": code}
     except (TypeError, ValueError) as exc:
-        out = {"error": f"bad request: {exc}"}
+        out = {"error": f"bad request: {exc}", "code": 400}
     if req_id is not None:
         out["id"] = req_id
     return out
@@ -86,8 +138,8 @@ def serve_stdio(
             if not isinstance(payload, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
-            print(json.dumps({"error": f"bad JSON: {exc}"}), file=stdout,
-                  flush=True)
+            print(json.dumps({"error": f"bad JSON: {exc}", "code": 400}),
+                  file=stdout, flush=True)
             continue
         if payload.get("cmd") == "shutdown":
             print(json.dumps({"ok": True, "shutdown": True}), file=stdout,
@@ -103,12 +155,20 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
 
     # The bound PlanServer, set by make_http_server on the handler class.
     plan_server: Optional[PlanServer] = None
+    # Request-body cap; bodies over this are refused with 413.
+    max_body_bytes: int = MAX_BODY_BYTES
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        retry_after = payload.get("retry_after")
+        if status == 503 and retry_after is not None:
+            # RFC 7231 Retry-After in whole seconds, at least 1.
+            self.send_header(
+                "Retry-After", str(max(1, int(round(retry_after))))
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -128,6 +188,21 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
         assert self.plan_server is not None
         try:
             length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send(400, {"error": "bad Content-Length header"})
+            return
+        if length > self.max_body_bytes:
+            # Refuse before reading: an oversized body must not be
+            # buffered into memory just to be rejected.
+            self._send(413, {
+                "error": (
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte cap"
+                ),
+            })
+            self.close_connection = True
+            return
+        try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
             if not isinstance(payload, dict):
                 raise ValueError("request body must be a JSON object")
@@ -135,22 +210,29 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
             self._send(400, {"error": f"bad JSON: {exc}"})
             return
         response = handle_request(self.plan_server, payload)
-        self._send(400 if "error" in response else 200, response)
+        status = response.pop("code", None) if "error" in response else None
+        self._send(status or (400 if "error" in response else 200), response)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Silence per-request stderr logging (the CLI owns the terminal)."""
 
 
 def make_http_server(
-    server: PlanServer, host: str = "127.0.0.1", port: int = 0
+    server: PlanServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP transport for ``server``.
 
     Returns a :class:`ThreadingHTTPServer`; the caller runs
     ``serve_forever()`` (the CLI) or drives it from a thread and reads
     ``server_address`` for the bound port (tests pass ``port=0``).
+    ``max_body_bytes`` caps POST bodies; larger ones get 413.
     """
     handler = type(
-        "PlanHTTPHandler", (_PlanHTTPHandler,), {"plan_server": server}
+        "PlanHTTPHandler",
+        (_PlanHTTPHandler,),
+        {"plan_server": server, "max_body_bytes": max_body_bytes},
     )
     return ThreadingHTTPServer((host, port), handler)

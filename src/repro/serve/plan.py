@@ -188,11 +188,21 @@ class ServeCounters:
         warm_starts: solves that were seeded from a nearby cached plan.
         coalesced: requests that piggybacked on an identical in-flight
             computation instead of starting their own.
+        shed: requests rejected at admission because the queue was full
+            (each raised a :class:`~repro.errors.ServiceOverloadError`).
+        deadline_expired: requests whose caller gave up on a
+            :class:`~repro.degrade.watchdog.Deadline` before the plan
+            arrived (the solve itself keeps running and fills the cache).
+        short_circuits: requests served without trying the requested
+            partitioner because the model set's circuit breaker was open.
     """
 
     computations: int = 0
     warm_starts: int = 0
     coalesced: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
+    short_circuits: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """Snapshot as a plain dict."""
@@ -200,6 +210,9 @@ class ServeCounters:
             "computations": self.computations,
             "warm_starts": self.warm_starts,
             "coalesced": self.coalesced,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "short_circuits": self.short_circuits,
         }
 
 

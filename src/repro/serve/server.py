@@ -1,26 +1,42 @@
 """The plan server: concurrent request handling with single-flight.
 
 :class:`PlanServer` binds a :class:`~repro.serve.engine.PlanEngine` to a
-fixed model set and serves plan requests from many threads.  Its one job
-beyond the engine's is **coalescing**: when N identical requests are in
-flight at once, exactly one partitioner computation runs and all N
-callers share its future.  The guarantee (tested by
-``tests/test_serve_server.py``) is counter-based, not timing-based:
-``counters.computations`` rises by one however many identical requests
-race.
+fixed model set and serves plan requests from many threads.  Beyond the
+engine it owns three serving-side guarantees:
+
+* **Coalescing** -- when N identical requests are in flight at once,
+  exactly one partitioner computation runs and all N callers share its
+  future.  The guarantee (tested by ``tests/test_serve_server.py``) is
+  counter-based, not timing-based: ``counters.computations`` rises by
+  one however many identical requests race.
+* **Admission control** -- with ``max_pending`` set, a request that would
+  start a *new* computation while that many are already in flight is
+  shed immediately with :class:`~repro.errors.ServiceOverloadError`
+  (counted in ``counters.shed``) instead of queueing without bound.
+  Coalesced joins never count against the cap: they add no work.
+* **Deadlines** -- :meth:`request` takes a per-request budget (a float
+  of seconds or a :class:`~repro.degrade.watchdog.Deadline`).  Expiry
+  raises :class:`~repro.errors.DeadlineExceeded` *at the wait site
+  only*: the computation keeps running and fills the cache, because its
+  future may be shared by coalesced callers with laxer deadlines.
 
 The server also exposes batch submission (:meth:`request_many`) for
-callers that want a whole sweep of totals planned concurrently, and a
-consolidated :meth:`stats` snapshot for the front ends.
+callers that want a whole sweep of totals planned concurrently, a
+consolidated :meth:`stats` snapshot for the front ends, and a
+:meth:`drain`-then-:meth:`close` shutdown path for graceful termination.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.degrade.policy import DegradationPolicy
+from repro.degrade.watchdog import Deadline
+from repro.errors import DeadlineExceeded, ServiceOverloadError
+from repro.serve.breaker import BreakerBoard
 from repro.serve.cache import PlanCache
 from repro.serve.engine import PlanEngine
 from repro.serve.plan import PlanRequest, PlanResult
@@ -38,6 +54,16 @@ class PlanServer:
         policy: degradation policy for the default engine (ignored when
             ``engine`` is given).
         max_workers: worker-thread cap for concurrent computations.
+        max_pending: admission cap -- maximum distinct computations in
+            flight before new (non-coalescing) requests are shed with
+            :class:`~repro.errors.ServiceOverloadError`.  ``None``
+            disables shedding (the pre-hardening behaviour).
+        default_deadline: seconds granted to :meth:`request` calls that
+            pass no explicit deadline; ``None`` means wait forever.
+        shed_retry_after: the ``Retry-After`` hint (seconds) attached to
+            shed errors, surfaced as an HTTP header by the front end.
+        breakers: circuit-breaker board for the default engine (ignored
+            when ``engine`` is given).
 
     Use as a context manager, or call :meth:`close` when done, to stop
     the worker pool.
@@ -50,15 +76,30 @@ class PlanServer:
         cache: Optional[PlanCache] = None,
         policy: Optional[DegradationPolicy] = None,
         max_workers: int = 4,
+        max_pending: Optional[int] = None,
+        default_deadline: Optional[float] = None,
+        shed_retry_after: float = 1.0,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         if not models:
             raise ValueError("a plan server needs at least one model")
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError(
+                f"max_pending must be positive or None, got {max_pending}"
+            )
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive or None, got {default_deadline}"
+            )
         self.models = list(models)
         self.engine = (
             engine
             if engine is not None
-            else PlanEngine(cache=cache, policy=policy)
+            else PlanEngine(cache=cache, policy=policy, breakers=breakers)
         )
+        self.max_pending = max_pending
+        self.default_deadline = default_deadline
+        self.shed_retry_after = shed_retry_after
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="fupermod-serve"
         )
@@ -79,6 +120,12 @@ class PlanServer:
         Single-flight: if an identical request (same content key) is
         already in flight, its future is returned and no new work starts;
         the duplicate is counted in ``counters.coalesced``.
+
+        Raises:
+            ServiceOverloadError: when ``max_pending`` distinct
+                computations are already in flight and this request would
+                start another (counted in ``counters.shed``).
+            RuntimeError: when the server has been closed.
         """
         request = self.engine.request(self.models, total, partitioner, options)
         with self._lock:
@@ -88,6 +135,15 @@ class PlanServer:
             if existing is not None:
                 self.engine.counters.coalesced += 1
                 return existing
+            pending = len(self._inflight)
+            if self.max_pending is not None and pending >= self.max_pending:
+                self.engine.counters.shed += 1
+                raise ServiceOverloadError(
+                    f"admission queue full ({pending} computations in "
+                    f"flight, cap {self.max_pending}); request shed",
+                    retry_after=self.shed_retry_after,
+                    pending=pending,
+                )
             future = self._pool.submit(self._run, request)
             self._inflight[request.key] = future
             return future
@@ -105,9 +161,41 @@ class PlanServer:
         total: int,
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
+        deadline: Optional[Union[float, Deadline]] = None,
     ) -> PlanResult:
-        """Serve one request, blocking until the plan is ready."""
-        return self.submit(total, partitioner, options).result()
+        """Serve one request, blocking until the plan is ready.
+
+        Args:
+            deadline: seconds to wait (or a prepared
+                :class:`~repro.degrade.watchdog.Deadline`); falls back to
+                the server's ``default_deadline``; ``None`` waits
+                forever.
+
+        Raises:
+            DeadlineExceeded: the budget ran out before the plan arrived
+                (counted in ``counters.deadline_expired``).  The
+                computation itself is *not* cancelled -- coalesced
+                callers may still be waiting on it, and its result
+                populates the cache for the retry.
+        """
+        if deadline is None and self.default_deadline is not None:
+            deadline = self.default_deadline
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline(float(deadline), stage="serve:request")
+        future = self.submit(total, partitioner, options)
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(timeout=deadline.remaining)
+        except FutureTimeoutError:
+            self.engine.counters.deadline_expired += 1
+            raise DeadlineExceeded(
+                f"plan request (total={total}) exceeded its "
+                f"{deadline.budget:.3g}s deadline",
+                budget=deadline.budget,
+                elapsed=deadline.elapsed,
+                stage=deadline.stage or "serve:request",
+            ) from None
 
     def request_many(
         self,
@@ -131,13 +219,50 @@ class PlanServer:
             return len(self._inflight)
 
     def stats(self) -> Dict[str, Any]:
-        """Consolidated snapshot: cache counters + serving counters."""
-        return {
+        """Consolidated snapshot: cache + serving + breaker counters."""
+        out: Dict[str, Any] = {
             "cache": self.engine.cache.stats().to_dict(),
             "serve": self.engine.counters.to_dict(),
             "inflight": self.inflight(),
             "ranks": len(self.models),
         }
+        if self.engine.breakers is not None:
+            out["breakers"] = self.engine.breakers.to_dict()
+        durability = getattr(self.engine.cache, "durability_stats", None)
+        if callable(durability):
+            out["durability"] = durability()
+        return out
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting work and wait for in-flight computations.
+
+        Returns True when everything finished inside ``timeout`` (or
+        unconditionally with ``timeout=None``), False when computations
+        were still running at expiry.  Safe to call more than once;
+        :meth:`close` drains implicitly.
+        """
+        with self._lock:
+            self._closed = True
+            pending = list(self._inflight.values())
+        deadline = (
+            Deadline(timeout, stage="serve:drain") if timeout else None
+        )
+        for future in pending:
+            try:
+                if deadline is None:
+                    future.result()
+                else:
+                    remaining = deadline.remaining
+                    if remaining <= 0.0:
+                        return False
+                    future.result(timeout=remaining)
+            except FutureTimeoutError:
+                return False
+            except Exception:
+                # A failed computation still counts as drained; its error
+                # already went to that request's caller.
+                continue
+        return True
 
     def close(self) -> None:
         """Stop accepting work and shut the worker pool down."""

@@ -1,0 +1,418 @@
+"""Write-ahead journal for the plan cache (crash-safe serving).
+
+Whole-file snapshots (:mod:`repro.io.plans`) only persist the cache at
+shutdown; a killed ``fupermod serve`` process loses every plan computed
+since the last save.  This module closes that gap with the same
+journalling discipline as :class:`repro.io.checkpoint.SweepCheckpoint`:
+
+* :class:`PlanWAL` is an append-only journal of cache *operations*
+  (``put`` / ``invalidate`` / ``clear``), one fsynced JSON line each, so
+  the on-disk log is always a durable prefix of the mutations applied;
+* :class:`DurablePlanCache` is a :class:`~repro.serve.cache.PlanCache`
+  that journals every mutation **before** applying it (write-ahead), and
+  recovers bit-for-bit from ``snapshot + WAL replay`` -- replaying the
+  operation log through the same ``put`` path reproduces the same LRU
+  order and the same evictions, so a SIGKILL loses at most the one torn
+  tail record of an interrupted commit;
+* :meth:`DurablePlanCache.compact` atomically rewrites the snapshot
+  (temp file + ``os.replace``, reusing the idiom of
+  ``SweepCheckpoint.compact``) and truncates the journal; compaction
+  runs automatically every ``compact_every`` journaled operations and on
+  graceful shutdown (:meth:`DurablePlanCache.close`).
+
+Journal records carry the fingerprint version: a log written under a
+different :data:`~repro.serve.fingerprint.FINGERPRINT_VERSION` replays
+as empty (mirroring the snapshot contract), because its keys can never
+match -- and could falsely match -- requests under the current encoding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import PersistenceError
+from repro.serve.cache import PlanCache
+from repro.serve.fingerprint import FINGERPRINT_VERSION
+from repro.serve.plan import PlanResult
+
+PathLike = Union[str, Path]
+
+_MAGIC = "fupermod-plan-wal"
+_VERSION = 1
+
+#: Operations a journal record may carry.
+_OPS = ("put", "invalidate", "clear")
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of reading a journal back.
+
+    Attributes:
+        ops: the validated operation records, in commit order.  Records
+            written under a different fingerprint version are omitted
+            (their keys are meaningless under the current encoding).
+        valid_bytes: length of the well-formed prefix of the file; a
+            recovering cache truncates the journal here so the torn tail
+            of an interrupted commit cannot corrupt later appends.
+        dropped_tail: True when a torn final record was dropped (the
+            signature of dying mid-write).
+    """
+
+    ops: List[Dict[str, Any]]
+    valid_bytes: int
+    dropped_tail: bool
+
+
+class PlanWAL:
+    """Append-only, fsynced journal of plan-cache operations.
+
+    Args:
+        path: the journal file; created (with its parent directory) on
+            the first append.
+        fsync: fsync every appended record (the durability guarantee;
+            disable only in benchmarks that measure the no-sync floor).
+
+    The journal keeps its file handle open across appends; call
+    :meth:`close` (or use :class:`DurablePlanCache` as a context
+    manager) when done.  Appends are not internally locked --
+    :class:`DurablePlanCache` serialises them under the cache lock so
+    journal order always matches apply order.
+    """
+
+    def __init__(self, path: PathLike, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle = None
+        #: Records appended (or replayed) since the last reset; the
+        #: compaction threshold counts against this.
+        self.records = 0
+
+    @property
+    def exists(self) -> bool:
+        """Whether a journal file is present on disk."""
+        return self.path.exists()
+
+    # -- appending ---------------------------------------------------------
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot journal to {self.path}: {exc}"
+            ) from exc
+        self.records += 1
+
+    def _record(self, op: str, **fields: Any) -> Dict[str, Any]:
+        return {
+            "magic": _MAGIC,
+            "v": _VERSION,
+            "fp": FINGERPRINT_VERSION,
+            "op": op,
+            **fields,
+        }
+
+    def append_put(self, key: str, models_fp: str, result: PlanResult) -> None:
+        """Durably journal one insert before it is applied."""
+        self._write_line(
+            self._record(
+                "put", key=key, models_fp=models_fp, result=result.to_dict()
+            )
+        )
+
+    def append_invalidate(self, key: str) -> None:
+        """Durably journal one invalidation."""
+        self._write_line(self._record("invalidate", key=key))
+
+    def append_clear(self) -> None:
+        """Durably journal a full clear."""
+        self._write_line(self._record("clear"))
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> ReplayResult:
+        """Read the committed operations back, tolerating a torn tail.
+
+        A missing journal is empty.  A torn *final* line (interrupted
+        mid-write) is dropped; corruption anywhere else raises
+        :class:`~repro.errors.PersistenceError` -- a journal with a
+        damaged interior cannot be trusted at all.
+        """
+        if not self.path.exists():
+            return ReplayResult([], 0, False)
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
+        ops: List[Dict[str, Any]] = []
+        valid_bytes = 0
+        dropped = False
+        lines = text.split("\n")
+        # A well-formed journal ends with a newline, so the final split
+        # element is empty; anything else is a torn tail.
+        body, tail = lines[:-1], lines[-1]
+        if tail:
+            dropped = True
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                valid_bytes += len(line.encode("utf-8")) + 1
+                continue
+            try:
+                ops_entry = self._parse(line, lineno)
+            except PersistenceError:
+                if lineno == len(body) and not tail:
+                    # Torn final line: the crash interrupted this commit;
+                    # everything before it is intact.
+                    dropped = True
+                    break
+                raise
+            if ops_entry is not None:
+                ops.append(ops_entry)
+            valid_bytes += len(line.encode("utf-8")) + 1
+        return ReplayResult(ops, valid_bytes, dropped)
+
+    def _parse(self, line: str, lineno: int) -> Optional[Dict[str, Any]]:
+        """Validate one journal line; None when fingerprint-mismatched."""
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"{self.path}:{lineno}: {exc}") from None
+        if not isinstance(record, dict) or record.get("magic") != _MAGIC:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: not a plan-WAL record"
+            )
+        if record.get("v") != _VERSION:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: unsupported WAL version "
+                f"{record.get('v')!r}"
+            )
+        op = record.get("op")
+        if op not in _OPS:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: unknown WAL operation {op!r}"
+            )
+        if op == "put":
+            try:
+                # Validate eagerly: a malformed result is corruption, and
+                # only a *torn tail* corruption is forgivable.
+                PlanResult.from_dict(record["result"])
+                str(record["key"]), str(record["models_fp"])
+            except Exception as exc:
+                raise PersistenceError(
+                    f"{self.path}:{lineno}: malformed put record: {exc}"
+                ) from None
+        elif op == "invalidate" and "key" not in record:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: invalidate record without a key"
+            )
+        if record.get("fp") != FINGERPRINT_VERSION:
+            return None
+        return record
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def truncate(self, valid_bytes: int) -> None:
+        """Cut the journal back to its well-formed prefix."""
+        if not self.path.exists():
+            return
+        self._close_handle()
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot truncate {self.path}: {exc}"
+            ) from exc
+
+    def reset(self) -> None:
+        """Empty the journal (after its contents reached a snapshot)."""
+        self._close_handle()
+        try:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(f"cannot reset {self.path}: {exc}") from exc
+        self.records = 0
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        """Close the append handle (the journal file stays on disk)."""
+        self._close_handle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanWAL({str(self.path)!r}, records={self.records})"
+
+
+class DurablePlanCache(PlanCache):
+    """A plan cache whose every mutation survives a SIGKILL.
+
+    Args:
+        snapshot_path: the snapshot file (``repro.io.plans`` format).
+        wal_path: the journal file (default: ``<snapshot_path>.wal``).
+        compact_every: journaled operations between automatic
+            compactions (snapshot rewrite + journal truncation).
+        fsync: fsync every journal append (see :class:`PlanWAL`).
+        **cache_kwargs: forwarded to :class:`~repro.serve.cache.PlanCache`
+            (``capacity``, ``ttl``, ``max_bytes``, ``clock``).
+
+    Write-ahead contract: once ``put`` returns, the plan is durable.  A
+    crash *between* the journal append and the in-memory apply recovers
+    the plan anyway (committed means journaled).  Replay drives the
+    journal back through the normal ``put``/``invalidate``/``clear``
+    path, so recovery reproduces LRU order and capacity evictions
+    bit-for-bit; entries get a fresh TTL lease, exactly as snapshot
+    loading does (monotonic clocks do not survive restarts).
+    """
+
+    def __init__(
+        self,
+        snapshot_path: PathLike,
+        wal_path: Optional[PathLike] = None,
+        compact_every: int = 256,
+        fsync: bool = True,
+        **cache_kwargs: Any,
+    ) -> None:
+        super().__init__(**cache_kwargs)
+        if compact_every <= 0:
+            raise ValueError(
+                f"compact_every must be positive, got {compact_every}"
+            )
+        self.snapshot_path = Path(snapshot_path)
+        self.wal = PlanWAL(
+            wal_path if wal_path is not None
+            else self.snapshot_path.with_name(self.snapshot_path.name + ".wal"),
+            fsync=fsync,
+        )
+        self.compact_every = compact_every
+        self.compactions = 0
+        self._replaying = False
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> Tuple[int, int]:
+        """Rebuild the cache from ``snapshot + WAL replay``.
+
+        Returns ``(snapshot_entries, wal_ops)``.  A torn journal tail is
+        truncated away so subsequent appends start on a clean record
+        boundary.  Raises :class:`~repro.errors.PersistenceError` on
+        interior corruption of either file.
+        """
+        from repro.io.plans import load_plan_cache
+
+        with self._lock:
+            snapshot_entries = 0
+            self._replaying = True
+            try:
+                if self.snapshot_path.exists():
+                    snapshot_entries = load_plan_cache(self.snapshot_path, self)
+                replayed = self.wal.replay()
+                for op in replayed.ops:
+                    if op["op"] == "put":
+                        super().put(
+                            str(op["key"]),
+                            PlanResult.from_dict(op["result"]),
+                            str(op["models_fp"]),
+                        )
+                    elif op["op"] == "invalidate":
+                        super().invalidate(str(op["key"]))
+                    else:
+                        super().clear()
+            finally:
+                self._replaying = False
+            if replayed.dropped_tail:
+                self.wal.truncate(replayed.valid_bytes)
+            self.wal.records = len(replayed.ops)
+            return snapshot_entries, len(replayed.ops)
+
+    # -- journaled mutations ----------------------------------------------
+
+    def put(self, key: str, result: PlanResult, models_fp: str) -> None:
+        """Journal, then insert; durable once this returns."""
+        with self._lock:
+            if not self._replaying:
+                self.wal.append_put(key, models_fp, result)
+            super().put(key, result, models_fp)
+            if not self._replaying:
+                self._maybe_compact()
+
+    def invalidate(self, key: str) -> bool:
+        """Journal, then drop one entry; True if it existed."""
+        with self._lock:
+            if not self._replaying and key in self._entries:
+                self.wal.append_invalidate(key)
+            return super().invalidate(key)
+
+    def clear(self) -> None:
+        """Journal, then drop every entry."""
+        with self._lock:
+            if not self._replaying:
+                self.wal.append_clear()
+            super().clear()
+            if not self._replaying:
+                self._maybe_compact()
+
+    # -- compaction --------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self.wal.records >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> int:
+        """Snapshot the live entries atomically and truncate the journal.
+
+        Returns the number of entries written.  Safe against a crash at
+        any point: the snapshot lands via temp-file + ``os.replace``,
+        and a journal that survives the snapshot merely replays
+        idempotent operations already captured by it.
+        """
+        from repro.io.plans import save_plan_cache
+
+        with self._lock:
+            written = save_plan_cache(self.snapshot_path, self)
+            self.wal.reset()
+            self.compactions += 1
+            return written
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: compact, then release the journal handle."""
+        with self._lock:
+            self.compact()
+            self.wal.close()
+
+    def durability_stats(self) -> Dict[str, Any]:
+        """Snapshot of the durability-side counters (for ``/stats``)."""
+        with self._lock:
+            return {
+                "wal_records": self.wal.records,
+                "compactions": self.compactions,
+                "compact_every": self.compact_every,
+                "snapshot": str(self.snapshot_path),
+            }
+
+    def __enter__(self) -> "DurablePlanCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,265 @@
+"""Circuit breakers: state machine, per-model-set isolation, engine wiring.
+
+The contracts:
+
+* a breaker opens only on *rate* (``min_calls`` outcomes at
+  ``failure_threshold``), never on one unlucky failure;
+* open means short-circuit -- the engine serves through the degradation
+  ladder (or raises :class:`CircuitOpenError` without one) and does
+  **not** cache the degraded plan;
+* after ``cooldown`` exactly one trial request reaches the real
+  partitioner; its outcome decides closed-vs-reopen;
+* breakers are keyed by model-set fingerprint: one failing model set
+  cannot trip serving for a healthy one.
+
+All clock-driven transitions use a fake clock -- no sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import partitioner
+from repro.degrade import DegradationPolicy
+from repro.errors import CircuitOpenError, SolverError
+from repro.serve import BreakerBoard, CircuitBreaker, PlanEngine
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+from tests.test_serve_cache import FakeClock
+from tests.test_serve_server import make_models, scratch_partitioner  # noqa: F401
+
+pytestmark = pytest.mark.serve
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 0.5)
+    kwargs.setdefault("window", 4)
+    kwargs.setdefault("min_calls", 4)
+    kwargs.setdefault("cooldown", 30.0)
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestStateMachine:
+    """closed -> open -> half-open -> closed / reopen."""
+
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert all(breaker.allow() for _ in range(10))
+
+    def test_one_failure_does_not_trip_a_cold_breaker(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_opens_at_failure_rate_with_min_calls(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(2):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 1/3 failures, below min_calls
+        breaker.record_failure()
+        assert breaker.state == OPEN  # 2/4 >= 0.5
+        assert breaker.opens == 1
+
+    def test_open_short_circuits_and_counts(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(4):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.short_circuits == 2
+
+    def test_half_open_admits_exactly_one_trial(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.now += 30.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the trial
+        assert not breaker.allow()  # everyone else keeps short-circuiting
+
+    def test_trial_success_closes_and_resets_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.now += 30.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # The old failure window is gone: one new failure must not trip.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_trial_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.now += 30.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        assert breaker.remaining_cooldown() == pytest.approx(30.0)
+
+    def test_remaining_cooldown_counts_down(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.now += 12.0
+        assert breaker.remaining_cooldown() == pytest.approx(18.0)
+
+    def test_to_dict_snapshot(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        snap = breaker.to_dict()
+        assert snap["state"] == CLOSED
+        assert snap["window_failures"] == 1
+        assert snap["window_calls"] == 1
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(min_calls=10, window=4)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+
+class TestBreakerBoard:
+    """Per-fingerprint isolation."""
+
+    def test_boards_isolate_model_sets(self):
+        board = BreakerBoard(window=4, min_calls=4, clock=FakeClock())
+        for _ in range(4):
+            board.breaker("sick-models").record_failure()
+        assert board.breaker("sick-models").state == OPEN
+        assert board.breaker("healthy-models").state == CLOSED
+        assert len(board) == 2
+
+    def test_board_aggregates(self):
+        board = BreakerBoard(window=4, min_calls=4, clock=FakeClock())
+        for _ in range(4):
+            board.breaker("m1").record_failure()
+        board.breaker("m1").allow()
+        snap = board.to_dict()
+        assert snap["open"] == 1
+        assert snap["opens"] == 1
+        assert snap["short_circuits"] == 1
+        assert snap["breakers"]["m1"]["state"] == OPEN
+
+    def test_get_does_not_create(self):
+        board = BreakerBoard()
+        assert board.get("never-seen") is None
+        assert len(board) == 0
+
+    def test_bad_config_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            BreakerBoard(window=-1)
+
+
+class TestEngineIntegration:
+    """The engine consults, records on, and short-circuits through breakers."""
+
+    def failing(self, name, scratch):
+        calls = {"n": 0}
+
+        def bad_partitioner(total, models, **kwargs):
+            calls["n"] += 1
+            raise SolverError("injected divergence")
+
+        scratch(name, bad_partitioner)
+        return calls
+
+    def test_failures_open_breaker_and_short_circuit(self, scratch_partitioner):
+        clock = FakeClock()
+        calls = self.failing("always-fails", scratch_partitioner)
+        engine = PlanEngine(
+            policy=DegradationPolicy(),
+            breakers=BreakerBoard(window=4, min_calls=4, clock=clock),
+        )
+        models = make_models()
+        for total in (1000, 1001, 1002, 1003):
+            result = engine.plan(models, total, partitioner="always-fails")
+            assert "ladder engaged" in result.degraded
+        assert calls["n"] == 4
+        # Breaker now open: the next request never reaches the partitioner.
+        result = engine.plan(models, 1004, partitioner="always-fails")
+        assert calls["n"] == 4
+        assert "circuit open" in result.degraded
+        assert engine.counters.short_circuits == 1
+
+    def test_short_circuited_plans_are_not_cached(self, scratch_partitioner):
+        clock = FakeClock()
+        self.failing("always-fails-2", scratch_partitioner)
+        engine = PlanEngine(
+            policy=DegradationPolicy(),
+            breakers=BreakerBoard(window=4, min_calls=4, clock=clock),
+        )
+        models = make_models()
+        for total in (1000, 1001, 1002, 1003):
+            engine.plan(models, total, partitioner="always-fails-2")
+        inserts_before = engine.cache.stats().inserts
+        first = engine.plan(models, 2000, partitioner="always-fails-2")
+        assert "circuit open" in first.degraded
+        assert engine.cache.stats().inserts == inserts_before
+        again = engine.plan(models, 2000, partitioner="always-fails-2")
+        assert not again.cached  # served again, not from cache
+
+    def test_open_without_policy_raises_typed(self, scratch_partitioner):
+        clock = FakeClock()
+        self.failing("always-fails-3", scratch_partitioner)
+        engine = PlanEngine(
+            breakers=BreakerBoard(window=4, min_calls=4, clock=clock),
+        )
+        models = make_models()
+        for total in (1000, 1001, 1002, 1003):
+            with pytest.raises(SolverError):
+                engine.plan(models, total, partitioner="always-fails-3")
+        with pytest.raises(CircuitOpenError) as exc_info:
+            engine.plan(models, 1004, partitioner="always-fails-3")
+        assert exc_info.value.retry_after == pytest.approx(30.0)
+
+    def test_recovery_after_cooldown(self, scratch_partitioner):
+        clock = FakeClock()
+        state = {"healthy": False, "calls": 0}
+        geometric = partitioner("geometric")
+
+        def flaky(total, models, **kwargs):
+            state["calls"] += 1
+            if not state["healthy"]:
+                raise SolverError("still sick")
+            return geometric(total, models)
+
+        scratch_partitioner("flaky-solver", flaky)
+        engine = PlanEngine(
+            policy=DegradationPolicy(),
+            breakers=BreakerBoard(window=4, min_calls=4, cooldown=30.0,
+                                  clock=clock),
+        )
+        models = make_models()
+        for total in (1000, 1001, 1002, 1003):
+            engine.plan(models, total, partitioner="flaky-solver")
+        assert state["calls"] == 4
+        state["healthy"] = True
+        clock.now += 30.0
+        trial = engine.plan(models, 1004, partitioner="flaky-solver")
+        assert state["calls"] == 5
+        assert trial.degraded == ""
+        # Closed again: requests flow normally and get cached.
+        after = engine.plan(models, 1005, partitioner="flaky-solver")
+        assert after.degraded == ""
+        assert engine.cache.get(trial.key) is not None
+
+    def test_healthy_solves_never_touch_short_circuit_counters(self):
+        engine = PlanEngine(breakers=BreakerBoard(clock=FakeClock()))
+        models = make_models()
+        engine.plan(models, 1000)
+        engine.plan(models, 2000)
+        assert engine.counters.short_circuits == 0
+        snap = engine.breakers.to_dict()
+        assert snap["open"] == 0 and snap["short_circuits"] == 0

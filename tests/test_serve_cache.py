@@ -117,6 +117,39 @@ class TestTTL:
         near = cache.nearest("m1", 120)
         assert near is not None and near.key == "new"
 
+    def test_nearest_and_get_agree_on_expiry(self):
+        """Regression: every lookup path shares one TTL gate.
+
+        ``nearest`` must never warm-start from an entry ``get`` would
+        refuse, and both must evict (and count) the expired entry
+        identically whichever runs first.
+        """
+        for first_lookup in ("get", "nearest"):
+            clock = FakeClock()
+            cache = PlanCache(capacity=4, ttl=10.0, clock=clock)
+            cache.put("a", plan("a", total=100), "m1")
+            clock.now = 15.0
+            if first_lookup == "get":
+                assert cache.get("a") is None
+                assert cache.nearest("m1", 100) is None
+            else:
+                assert cache.nearest("m1", 100) is None
+                assert cache.get("a") is None
+            stats = cache.stats()
+            # Exactly one expiration however the lookups are ordered.
+            assert stats.expirations == 1, first_lookup
+            assert stats.entries == 0
+
+    def test_contains_agrees_with_get_on_expiry(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put("a", plan("a"), "m1")
+        clock.now = 11.0
+        assert "a" not in cache
+        assert cache.stats().expirations == 1
+        assert cache.get("a") is None  # and the state left behind agrees
+        assert cache.stats().expirations == 1
+
 
 class TestNearest:
     """The warm-start lookup."""
@@ -172,6 +205,82 @@ class TestConcurrency:
         stats = cache.stats()
         assert stats.entries <= 16
         assert stats.hits + stats.misses == 8 * 200
+
+    def test_save_while_serving_never_tears_the_snapshot(self, tmp_path):
+        """Persisting under concurrent inserts yields loadable snapshots.
+
+        Every snapshot written while other threads insert must be a
+        consistent document -- loadable, internally coherent (each entry
+        round-trips), never a torn or half-written file.
+        """
+        cache = PlanCache(capacity=64)
+        cache.put("seed", plan("seed"), "m1")
+        path = tmp_path / "plans.json"
+        stop = threading.Event()
+        errors = []
+
+        def inserter(tid: int) -> None:
+            i = 0
+            while not stop.is_set():
+                key = f"t{tid}-{i}"
+                cache.put(key, plan(key, total=100 + i), "m1")
+                cache.get(key)
+                i += 1
+
+        def saver() -> None:
+            try:
+                for _ in range(25):
+                    saved = save_plan_cache(path, cache)
+                    fresh = PlanCache(capacity=64)
+                    loaded = load_plan_cache(path, fresh)
+                    assert loaded == saved
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=inserter, args=(t,))
+                   for t in range(4)]
+        save_thread = threading.Thread(target=saver)
+        for t in threads:
+            t.start()
+        save_thread.start()
+        save_thread.join(timeout=60.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        # The final snapshot on disk is fully loadable too.
+        final = PlanCache(capacity=64)
+        assert load_plan_cache(path, final) >= 1
+
+    def test_durable_cache_concurrent_puts_recover_consistently(
+        self, tmp_path
+    ):
+        """Journaled inserts from many threads replay without loss."""
+        from repro.serve.wal import DurablePlanCache
+
+        cache = DurablePlanCache(tmp_path / "plans.json", capacity=256)
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(20):
+                    key = f"t{tid}-{i}"
+                    cache.put(key, plan(key, total=100 + i), f"m{tid}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        cache.wal.close()  # crash, not close: no compaction
+        recovered = DurablePlanCache(tmp_path / "plans.json", capacity=256)
+        recovered.recover()
+        assert len(recovered) == 80
+        assert recovered.to_payload() == cache.to_payload()
 
 
 class TestPersistence:

@@ -1,0 +1,351 @@
+"""Chaos suite: kill -9 recovery, WAL damage, floods, seeded fault storms.
+
+These tests exercise the hardening invariants end to end (marker
+``chaos``; they also run in the default suite, kept fast enough to):
+
+* **kill-and-restart** -- a ``fupermod serve`` subprocess SIGKILLed
+  mid-stream recovers every *acknowledged* plan from snapshot + WAL
+  replay, fingerprint-identical, dropping at most the torn tail of an
+  unacknowledged commit;
+* **graceful shutdown** -- SIGTERM drains, compacts and exits 0;
+* **WAL damage** -- :func:`repro.faults.corrupt_wal`'s tail modes are
+  tolerated, its interior mode is refused loudly;
+* **overload floods** -- every request is either served or shed with a
+  typed error; the counters account for all of them;
+* **seeded fault storms** -- with a degradation policy, a partitioner
+  failing on a seeded schedule still yields a full-coverage plan for
+  every request, and the breaker's short circuits are visible in stats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.registry import partitioner
+from repro.degrade import DegradationPolicy
+from repro.errors import PersistenceError, ServiceOverloadError
+from repro.faults import SolveFaults, chaotic_partitioner, corrupt_wal
+from repro.serve import BreakerBoard, DurablePlanCache, PlanEngine, PlanServer
+
+from tests.test_serve_cache import FakeClock
+from tests.test_serve_server import make_models, scratch_partitioner  # noqa: F401
+
+pytestmark = [pytest.mark.serve, pytest.mark.chaos]
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def points_dir(tmp_path_factory):
+    """A small build output shared by the subprocess chaos tests."""
+    out = tmp_path_factory.mktemp("chaos-points")
+    code = main(
+        ["build", "--platform", "fig4", "--sizes", "32,128,512",
+         "--out", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+def spawn_serve(points_dir, cache_file, *extra):
+    """Start a ``fupermod serve`` subprocess speaking stdio."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--points", str(points_dir), "--cache-file", str(cache_file),
+         *extra],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True, env=env, cwd=str(REPO_ROOT),
+    )
+
+
+def ask(proc, total):
+    """Send one plan request and read its acknowledged response."""
+    proc.stdin.write(json.dumps({"total": total}) + "\n")
+    proc.stdin.flush()
+    line = proc.stdout.readline()
+    assert line, "server died before answering"
+    response = json.loads(line)
+    assert "error" not in response, response
+    return response
+
+
+def recovered_payload(cache_file):
+    """Recover the on-disk cache the way a restarted server would."""
+    cache = DurablePlanCache(cache_file)
+    cache.recover()
+    payload = {entry["key"]: entry for entry in cache.to_payload()}
+    cache.wal.close()
+    return payload
+
+
+class TestKillAndRestart:
+    """SIGKILL loses nothing that was acknowledged."""
+
+    def test_sigkill_mid_stream_recovers_every_acked_plan(
+        self, points_dir, tmp_path
+    ):
+        cache_file = tmp_path / "plans.json"
+        proc = spawn_serve(points_dir, cache_file)
+        try:
+            acked = [ask(proc, total) for total in (1000, 1500, 2000, 2500)]
+            # One more request, killed before the ack comes back: it may
+            # or may not have committed -- recovery must cope either way.
+            proc.stdin.write(json.dumps({"total": 3000}) + "\n")
+            proc.stdin.flush()
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        entries = recovered_payload(cache_file)
+        for response in acked:
+            entry = entries[response["key"]]
+            # Fingerprint-identical: same key, same plan, bit-exact times.
+            assert entry["result"]["sizes"] == response["sizes"]
+            assert entry["result"]["times"] == response["times"]
+            assert entry["result"]["total"] == response["total"]
+            assert entry["result"]["algorithm"] == response["algorithm"]
+
+    def test_sigkill_then_warm_restart_serves_from_cache(
+        self, points_dir, tmp_path
+    ):
+        cache_file = tmp_path / "plans.json"
+        proc = spawn_serve(points_dir, cache_file)
+        try:
+            first = ask(proc, 1800)
+            assert first["cached"] is False
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+        second = spawn_serve(points_dir, cache_file)
+        try:
+            again = ask(second, 1800)
+            assert again["cached"] is True
+            assert again["sizes"] == first["sizes"]
+            assert again["times"] == first["times"]
+        finally:
+            second.kill()
+            second.wait(timeout=30)
+
+    def test_repeated_kill_restart_cycles_accumulate(
+        self, points_dir, tmp_path
+    ):
+        cache_file = tmp_path / "plans.json"
+        seen = {}
+        for round_no, total in enumerate((1100, 1200, 1300)):
+            proc = spawn_serve(points_dir, cache_file)
+            try:
+                response = ask(proc, total)
+                seen[response["key"]] = response
+            finally:
+                proc.kill()
+                proc.wait(timeout=30)
+        entries = recovered_payload(cache_file)
+        assert set(entries) == set(seen)
+
+    def test_sigterm_drains_compacts_and_exits_zero(
+        self, points_dir, tmp_path
+    ):
+        cache_file = tmp_path / "plans.json"
+        proc = spawn_serve(points_dir, cache_file)
+        try:
+            ask(proc, 1000)
+            ask(proc, 2000)
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert code == 0
+        # Graceful exit compacted: journal empty, snapshot holds the plans.
+        wal_path = cache_file.with_name(cache_file.name + ".wal")
+        assert wal_path.stat().st_size == 0
+        assert len(recovered_payload(cache_file)) == 2
+
+
+class TestWALDamage:
+    """corrupt_wal's modes against recovery's contract."""
+
+    def seeded_cache(self, tmp_path, n=3):
+        from tests.test_serve_cache import plan
+
+        cache = DurablePlanCache(tmp_path / "plans.json")
+        for i in range(n):
+            cache.put(f"k{i}", plan(f"k{i}", total=100 + i), "m1")
+        cache.wal.close()
+        return cache.wal.path
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        wal_path = self.seeded_cache(tmp_path)
+        corrupt_wal(wal_path, "torn-tail")
+        entries = recovered_payload(tmp_path / "plans.json")
+        assert set(entries) == {"k0", "k1"}  # tail commit dropped
+
+    def test_garbage_tail_tolerated(self, tmp_path):
+        wal_path = self.seeded_cache(tmp_path)
+        corrupt_wal(wal_path, "garbage-tail")
+        entries = recovered_payload(tmp_path / "plans.json")
+        assert set(entries) == {"k0", "k1", "k2"}  # all commits intact
+
+    def test_interior_flip_refused(self, tmp_path):
+        wal_path = self.seeded_cache(tmp_path)
+        corrupt_wal(wal_path, "flip-byte")
+        with pytest.raises(PersistenceError):
+            recovered_payload(tmp_path / "plans.json")
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        from repro.errors import FaultInjectionError
+
+        wal_path = self.seeded_cache(tmp_path)
+        with pytest.raises(FaultInjectionError):
+            corrupt_wal(wal_path, "set-on-fire")
+
+
+class TestOverloadFlood:
+    """Every request in a flood is served or shed -- none vanish."""
+
+    def test_flood_accounting(self, scratch_partitioner):  # noqa: F811
+        gate = threading.Event()
+        geometric = partitioner("geometric")
+
+        def slow(total, models, **kwargs):
+            assert gate.wait(timeout=30.0)
+            return geometric(total, models)
+
+        scratch_partitioner("slow-solver", slow)
+        outcomes = {"served": 0, "shed": 0}
+        lock = threading.Lock()
+        with PlanServer(make_models(), max_workers=2,
+                        max_pending=2) as server:
+            def hammer(total):
+                try:
+                    future = server.submit(total, partitioner="slow-solver")
+                except ServiceOverloadError:
+                    with lock:
+                        outcomes["shed"] += 1
+                    return
+                future.result(timeout=30.0)
+                with lock:
+                    outcomes["served"] += 1
+
+            threads = [
+                threading.Thread(target=hammer, args=(1000 + i,))
+                for i in range(12)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let the flood pile up against the gate
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert outcomes["served"] + outcomes["shed"] == 12
+            assert outcomes["shed"] >= 1  # the cap actually bit
+            assert server.engine.counters.shed == outcomes["shed"]
+
+    def test_single_flight_survives_chaos(self, scratch_partitioner):  # noqa: F811
+        """Concurrent identical requests + failing solver: one computation."""
+        from repro.errors import SolverError
+
+        gate = threading.Event()
+        calls = {"n": 0}
+
+        def failing(total, models, **kwargs):
+            calls["n"] += 1
+            assert gate.wait(timeout=30.0)
+            raise SolverError("chaos")
+
+        scratch_partitioner("failing-solver", failing)
+        with PlanServer(make_models(), policy=DegradationPolicy()) as server:
+            futures = [
+                server.submit(4000, partitioner="failing-solver")
+                for _ in range(6)
+            ]
+            gate.set()
+            results = [f.result(timeout=30.0) for f in futures]
+            assert calls["n"] == 1
+            assert server.engine.counters.coalesced == 5
+            assert all(sum(r.sizes) == 4000 for r in results)
+
+
+class TestSeededFaultStorm:
+    """Randomised (but seeded) schedules keep the serving invariants."""
+
+    def test_every_request_gets_full_coverage(self, scratch_partitioner):  # noqa: F811
+        spec = SolveFaults(fail_rate=0.4, seed=1234)
+        chaotic = chaotic_partitioner(partitioner("geometric"), spec)
+        scratch_partitioner("chaotic-geometric", chaotic)
+        clock = FakeClock()
+        engine = PlanEngine(
+            policy=DegradationPolicy(),
+            breakers=BreakerBoard(window=4, min_calls=4, cooldown=5.0,
+                                  clock=clock),
+        )
+        models = make_models()
+        degraded = 0
+        for i in range(40):
+            total = 1000 + 13 * i
+            result = engine.plan(models, total,
+                                 partitioner="chaotic-geometric")
+            assert sum(result.sizes) == total  # full coverage, always
+            degraded += bool(result.degraded)
+            clock.now += 1.0
+        assert degraded >= 1  # the storm actually fired
+        snap = engine.breakers.to_dict()
+        assert snap["short_circuits"] == engine.counters.short_circuits
+        # Deterministic schedule: the same seed replays the same storm.
+        draws_a = [spec.rng().uniform() for _ in range(5)]
+        draws_b = [spec.rng().uniform() for _ in range(5)]
+        assert draws_a == draws_b
+
+    def test_breaker_opens_and_recovers_under_storm(self, scratch_partitioner):  # noqa: F811
+        spec = SolveFaults(fail_first=6, seed=0)
+        chaotic = chaotic_partitioner(partitioner("geometric"), spec)
+        scratch_partitioner("heals-later", chaotic)
+        clock = FakeClock()
+        engine = PlanEngine(
+            policy=DegradationPolicy(),
+            breakers=BreakerBoard(window=4, min_calls=4, cooldown=10.0,
+                                  clock=clock),
+        )
+        models = make_models()
+        for i in range(6):
+            engine.plan(models, 1000 + i, partitioner="heals-later")
+        # The breaker opened after 4 failures: solver calls stopped early.
+        assert chaotic.calls == 4
+        assert engine.counters.short_circuits == 2
+        clock.now += 10.0  # cooldown over; schedule still in fail_first
+        engine.plan(models, 2000, partitioner="heals-later")
+        assert chaotic.calls == 5  # the trial ran (and failed: reopened)
+        clock.now += 10.0
+        result = engine.plan(models, 2001, partitioner="heals-later")
+        assert chaotic.calls == 6  # second trial: schedule exhausted...
+        clock.now += 10.0
+        healed = engine.plan(models, 2002, partitioner="heals-later")
+        assert healed.degraded == ""  # ...third trial heals the breaker
+        assert engine.breakers.breaker(
+            engine.request(models, 1).models_fp
+        ).state == "closed"
+
+    def test_slowdown_storm_trips_deadlines(self, scratch_partitioner):  # noqa: F811
+        spec = SolveFaults(slow_seconds=0.2, slow_rate=1.0)
+        chaotic = chaotic_partitioner(partitioner("geometric"), spec)
+        scratch_partitioner("straggler", chaotic)
+        from repro.errors import DeadlineExceeded
+
+        with PlanServer(make_models()) as server:
+            with pytest.raises(DeadlineExceeded):
+                server.request(1000, partitioner="straggler", deadline=0.05)
+            assert server.engine.counters.deadline_expired == 1
