@@ -21,10 +21,13 @@ and exits non-zero when any throughput metric dropped by more than 20%,
 when the happy-path degradation-ladder overhead (the
 ``partition_ladder`` section's ``overhead_frac``) exceeds 5%, when the
 plan-cache hit path (the repo-root ``BENCH_plan_cache.json``, if present)
-is less than 10x faster than a cold solve, or when the serving-hardening
+is less than 10x faster than a cold solve, when the serving-hardening
 tax (the repo-root ``BENCH_serve_resilience.json``, if present) puts the
 WAL-backed, breaker-wired engine more than 5% over the plain engine on
-the cache-hit path.
+the cache-hit path, or when the fleet gates (the repo-root
+``BENCH_fleet_scaling.json``, if present) fail: 4 workers under 3x one
+worker, the asyncio front end behind the threaded one, or FPM routing
+losing to round-robin on a skewed fleet.
 """
 
 from __future__ import annotations
@@ -52,6 +55,14 @@ PLAN_CACHE_SPEEDUP_FLOOR = 10.0
 #: board) over the plain engine on the cache-hit path (the
 #: ``serve_resilience`` bench section).
 SERVE_RESILIENCE_OVERHEAD_LIMIT = 0.05
+
+#: Floor on the 4-worker fleet's throughput over a single worker (the
+#: ``fleet_scaling`` bench section's ``scale_at_4``).
+FLEET_SCALING_FLOOR = 3.0
+
+#: Floor on the asyncio front end's hit-path throughput relative to the
+#: threaded stdlib front end (``frontend_http.aio_over_threaded``).
+AIO_PARITY_FLOOR = 1.0
 
 
 def achieved_times(
@@ -222,6 +233,56 @@ def check_serve_resilience(
     return failures
 
 
+def check_fleet_scaling(
+    current: Dict,
+    scale_floor: float = FLEET_SCALING_FLOOR,
+    aio_floor: float = AIO_PARITY_FLOOR,
+) -> List[str]:
+    """Gate the fleet layer's three claims (the ``bench_fleet_scaling`` bench).
+
+    * ``frontend_http.aio_over_threaded`` -- the asyncio front end must
+      meet or beat the threaded stdlib one on the single-worker hit path;
+    * ``fleet_scaling.scale_at_4`` -- four workers must sustain at least
+      *scale_floor* times one worker's throughput on the mixed flood;
+    * ``fpm_vs_rr`` -- on the skewed fleet, FPM routing must match or
+      beat round-robin on throughput *and* p99 latency.
+
+    Missing sections are not failures -- older result files predate the
+    fleet bench, and the smoke run skips the routing duel.
+    """
+    if scale_floor <= 1.0:
+        raise ValueError(f"scale_floor must exceed 1, got {scale_floor}")
+    failures: List[str] = []
+    frontend = current.get("frontend_http", {})
+    ratio = frontend.get("aio_over_threaded")
+    if isinstance(ratio, (int, float)) and ratio < aio_floor:
+        failures.append(
+            f"frontend_http: asyncio at {ratio:.2f}x the threaded front "
+            f"end (floor {aio_floor:.1f}x)"
+        )
+    scaling = current.get("fleet_scaling", {})
+    scale = scaling.get("scale_at_4")
+    if isinstance(scale, (int, float)) and scale < scale_floor:
+        failures.append(
+            f"fleet_scaling: 4 workers at {scale:.2f}x one worker "
+            f"(floor {scale_floor:.1f}x)"
+        )
+    duel = current.get("fpm_vs_rr", {})
+    fpm_over_rr = duel.get("fpm_over_rr_throughput")
+    if isinstance(fpm_over_rr, (int, float)) and fpm_over_rr < 1.0:
+        failures.append(
+            f"fpm_vs_rr: FPM routing at {fpm_over_rr:.2f}x round-robin "
+            "throughput (must match or beat it)"
+        )
+    p99_ratio = duel.get("fpm_p99_over_rr_p99")
+    if isinstance(p99_ratio, (int, float)) and p99_ratio > 1.0:
+        failures.append(
+            f"fpm_vs_rr: FPM p99 at {p99_ratio:.2f}x round-robin's "
+            "(must match or beat it)"
+        )
+    return failures
+
+
 def _load_results(path: Path) -> Dict:
     """Load one bench result file, raising ``SystemExit(2)`` on damage."""
     if not path.exists():
@@ -294,12 +355,27 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
             for line in resilience_failures:
                 print(f"  {line}")
             return 1
+    # And for the fleet bench (asyncio front end, sharding, FPM routing).
+    fleet_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_fleet_scaling.json"
+    )
+    if fleet_path.exists():
+        try:
+            fleet = _load_results(fleet_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        fleet_failures = check_fleet_scaling(fleet)
+        if fleet_failures:
+            print("fleet-serving gates failed:")
+            for line in fleet_failures:
+                print(f"  {line}")
+            return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
     print(f"no throughput regressions ({compared} metrics compared); "
-          "ladder overhead, plan-cache floor and serving-hardening "
-          "overhead within limits")
+          "ladder overhead, plan-cache floor, serving-hardening "
+          "overhead and fleet gates within limits")
     return 0
 
 

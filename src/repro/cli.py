@@ -284,12 +284,84 @@ class _GracefulShutdown(Exception):
         self.signum = signum
 
 
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """The ``fupermod serve --workers N`` (N >= 2) path: a sharded fleet.
+
+    N worker processes each own an engine and a per-shard write-ahead
+    journal; a router consistent-hashes requests to home shards, fills
+    misses from sibling caches, and apportions non-affinitised traffic
+    by functional performance models of the workers themselves
+    (``--routing fpm``) or plain rotation (``--routing round-robin``).
+    """
+    import signal
+    import threading
+
+    from repro.serve import PlanFleet
+
+    if not (args.http or args.threaded_http):
+        raise FuPerModError(
+            "a multi-worker fleet serves over HTTP; add --http "
+            "(stdio cannot be multiplexed across worker processes)"
+        )
+    worker_args = ["--cache-size", str(args.cache_size),
+                   "--compact-every", str(args.compact_every)]
+    if args.ttl is not None:
+        worker_args += ["--ttl", str(args.ttl)]
+    if args.no_warm:
+        worker_args += ["--no-warm"]
+    if args.degrade:
+        worker_args += ["--degrade"]
+    if args.no_breaker:
+        worker_args += ["--no-breaker"]
+    worker_args += ["--breaker-cooldown", str(args.breaker_cooldown)]
+    if args.max_pending is not None:
+        worker_args += ["--max-pending", str(args.max_pending)]
+    if args.deadline is not None:
+        worker_args += ["--deadline", str(args.deadline)]
+    fleet = PlanFleet(
+        args.points,
+        workers=args.workers,
+        model=args.model,
+        algorithm=args.algorithm,
+        routing=args.routing,
+        cache_dir=args.cache_file,
+        worker_threads=args.threads,
+        host=args.host,
+        port=args.port,
+        worker_args=worker_args,
+    )
+    previous_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            raise _GracefulShutdown(signum)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[sig] = signal.signal(sig, _on_signal)
+    stop = threading.Event()
+    try:
+        fleet.start()
+        print(f"serving plans over {fleet.url} "
+              f"({args.workers} worker shards, {args.routing} balancing); "
+              f"Ctrl-C to stop", file=sys.stderr)
+        stop.wait()
+    except (KeyboardInterrupt, _GracefulShutdown):
+        print("shutdown requested; stopping fleet", file=sys.stderr)
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+        fleet.stop()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``fupermod serve`` command: a partition-plan service.
 
     Models come from a ``build`` output directory; plans are served over
-    JSON-lines stdio (default) or stdlib HTTP (``--http``).  Status and
-    statistics go to stderr so stdout stays a clean protocol stream.
+    JSON-lines stdio (default), the asyncio HTTP front end (``--http``),
+    or the legacy threaded HTTP front end (``--threaded-http``).
+    ``--workers N`` with N >= 2 scales out to a sharded fleet of worker
+    processes behind a consistent-hashing router (HTTP only).  Status
+    and statistics go to stderr so stdout stays a clean protocol stream.
 
     Shutdown contract: SIGTERM and SIGINT (and stdio EOF / the
     ``shutdown`` command) drain in-flight computations, flush the plan
@@ -302,7 +374,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.serve import DurablePlanCache, PlanCache, PlanEngine, PlanServer
+    from repro.serve.aio import AioFrontend
     from repro.serve.frontend import make_http_server, serve_stdio
+
+    if args.workers > 1:
+        return _serve_fleet(args)
 
     files = _point_files(Path(args.points))
     factory = model_factory(args.model)
@@ -348,7 +424,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm=not args.no_warm, breakers=breakers,
     )
     server = PlanServer(
-        models, engine=engine, max_workers=args.workers,
+        models, engine=engine, max_workers=args.threads,
         max_pending=args.max_pending, default_deadline=args.deadline,
     )
 
@@ -364,18 +440,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     exit_code = 0
     try:
-        if args.http:
+        if args.threaded_http:
             httpd = make_http_server(server, args.host, args.port)
             host, port = httpd.server_address[:2]
             print(f"serving plans over http://{host}:{port} "
-                  f"(POST /plan, GET /stats); Ctrl-C to stop",
-                  file=sys.stderr)
+                  f"(threaded; POST /plan, GET /stats, GET /metrics); "
+                  f"Ctrl-C to stop", file=sys.stderr)
             try:
                 httpd.serve_forever()
             except (KeyboardInterrupt, _GracefulShutdown):
                 print("shutdown requested; draining", file=sys.stderr)
             finally:
                 httpd.server_close()
+        elif args.http:
+            frontend = AioFrontend(server, args.host, args.port)
+            frontend.start()
+            print(f"serving plans over {frontend.url} "
+                  f"(asyncio; POST /plan, GET /stats, GET /metrics); "
+                  f"Ctrl-C to stop", file=sys.stderr)
+            try:
+                threading.Event().wait()
+            except (KeyboardInterrupt, _GracefulShutdown):
+                print("shutdown requested; draining", file=sys.stderr)
+            finally:
+                frontend.stop()
         else:
             print(f"serving plans for {len(models)} rank(s) over stdio; "
                   "one JSON request per line", file=sys.stderr)
@@ -712,7 +800,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-file", default=None, dest="cache_file",
                        help="snapshot file for the plan cache: recovered from "
                             "(snapshot + write-ahead journal) at startup and "
-                            "compacted to on shutdown")
+                            "compacted to on shutdown; with --workers N >= 2 "
+                            "this is a directory of per-shard caches")
     p_srv.add_argument("--no-wal", action="store_true", dest="no_wal",
                        help="disable the write-ahead journal (cache persists "
                             "only at clean shutdown, as before hardening)")
@@ -725,8 +814,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--degrade", action="store_true",
                        help="fall back down the partitioner ladder instead of "
                             "failing a request")
-    p_srv.add_argument("--workers", type=int, default=4,
-                       help="worker threads for concurrent computations")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="worker processes (shards); 1 serves in-process, "
+                            ">= 2 runs a sharded fleet behind a "
+                            "consistent-hashing router (requires --http)")
+    p_srv.add_argument("--threads", type=int, default=4,
+                       help="solver threads per worker for concurrent "
+                            "computations")
+    p_srv.add_argument("--routing", choices=["fpm", "round-robin"],
+                       default="fpm",
+                       help="fleet balancing for non-affinitised requests: "
+                            "'fpm' partitions the stream over functional "
+                            "performance models of the workers; "
+                            "'round-robin' rotates")
     p_srv.add_argument("--max-pending", type=int, default=None,
                        dest="max_pending",
                        help="admission cap: shed new requests (HTTP 503) once "
@@ -746,7 +846,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for in-flight computations at "
                             "shutdown")
     p_srv.add_argument("--http", action="store_true",
-                       help="serve over HTTP instead of JSON-lines stdio")
+                       help="serve over HTTP (asyncio front end with an "
+                            "inline cache-hit fast lane) instead of "
+                            "JSON-lines stdio")
+    p_srv.add_argument("--threaded-http", action="store_true",
+                       dest="threaded_http",
+                       help="serve over the legacy threaded HTTP front end "
+                            "(one thread per connection)")
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8755)
     p_srv.set_defaults(func=_cmd_serve)

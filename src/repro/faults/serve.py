@@ -16,6 +16,11 @@ hardening invariants:
   byte), to exercise recovery's tolerate-the-tail /
   refuse-the-interior contract.
 
+* :func:`flood_totals` + :class:`ShardKillSchedule` -- seeded mixed
+  hit/miss request streams and kill points for fleet chaos
+  (``tests/test_fleet_chaos.py``) and the fleet-scaling benchmark, so
+  "SIGKILL one shard mid-flood" is the same flood every run.
+
 Kill-and-restart chaos (SIGKILL mid-write, recover, compare) needs a
 real process boundary and lives in the tests themselves, driven through
 ``fupermod serve`` subprocesses.
@@ -184,3 +189,73 @@ def corrupt_wal(
     flipped = bytes([data[offset] ^ 0xFF])
     target.write_bytes(data[:offset] + flipped + data[offset + 1:])
     return 1
+
+
+def flood_totals(
+    n: int,
+    pool: int = 16,
+    base: int = 100_000,
+    spread: int = 1_000,
+    miss_rate: float = 0.125,
+    seed: int = 0,
+) -> list:
+    """A seeded mixed hit/miss stream of problem sizes.
+
+    Draws ``n`` totals: with probability ``1 - miss_rate`` a member of a
+    fixed ``pool`` of warm totals (a cache hit once each has been solved
+    once), otherwise a fresh never-seen total (a cold solve).  The same
+    ``(n, pool, base, spread, miss_rate, seed)`` always yields the same
+    stream, so chaos tests and the fleet-scaling benchmark flood
+    identically across runs and across routing policies.
+
+    Pool totals are ``base + i * spread``; fresh totals are drawn beyond
+    the pool's range so they can never collide with it.
+    """
+    if n <= 0 or pool <= 0:
+        raise FaultInjectionError(
+            f"need positive n and pool, got n={n}, pool={pool}"
+        )
+    if not 0.0 <= miss_rate <= 1.0:
+        raise FaultInjectionError(
+            f"miss_rate must be in [0, 1], got {miss_rate}"
+        )
+    draws = np.random.default_rng(seed)
+    warm = [base + i * spread for i in range(pool)]
+    fresh_base = base + pool * spread
+    totals = []
+    fresh = 0
+    for _ in range(n):
+        if miss_rate > 0.0 and draws.uniform() < miss_rate:
+            fresh += 1
+            totals.append(fresh_base + fresh * spread)
+        else:
+            totals.append(warm[int(draws.integers(0, pool))])
+    return totals
+
+
+@dataclass(frozen=True)
+class ShardKillSchedule:
+    """When, during a flood, to SIGKILL which shard.
+
+    Attributes:
+        victim: the shard id to kill (``"shard1"``, ...).
+        after_requests: kill once this many flood requests have
+            completed -- "mid-flood" as a deterministic request count,
+            not a wall-clock race.
+        restart_after: requests to wait after the kill before the
+            supervisor restarts the victim (``None`` = never restart).
+    """
+
+    victim: str = "shard1"
+    after_requests: int = 50
+    restart_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.after_requests < 0:
+            raise FaultInjectionError(
+                f"after_requests must be non-negative, got {self.after_requests}"
+            )
+        if self.restart_after is not None and self.restart_after < 0:
+            raise FaultInjectionError(
+                f"restart_after must be non-negative, got {self.restart_after}"
+            )

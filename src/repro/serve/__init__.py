@@ -29,42 +29,76 @@ The hardening layer makes the service safe to depend on:
   :class:`~repro.serve.client.PlanClient`.
 
 Front ends (:mod:`~repro.serve.frontend`, ``fupermod serve``) expose the
-server over JSON-lines stdio and stdlib HTTP, with a typed error
-taxonomy (400/413/500/503/504).  Cache persistence lives in
-:mod:`repro.io.plans`; serve-level chaos hooks in
-:mod:`repro.faults.serve`.
+server over JSON-lines stdio, threaded stdlib HTTP, and a keep-alive
+:mod:`asyncio` front end (:mod:`~repro.serve.aio`) with an inline
+cache-hit fast lane, all speaking one protocol with a typed error
+taxonomy (400/413/500/503/504) and a versioned ``/metrics`` endpoint.
+
+The fleet layer scales out to many processes:
+
+* **sharding** -- :class:`~repro.serve.fleet.PlanFleet` runs N worker
+  processes (:mod:`~repro.serve.worker`), each with its own engine and
+  per-shard write-ahead journal;
+* **routing** -- :class:`~repro.serve.router.PlanRouter`
+  consistent-hashes requests to a home shard
+  (:class:`~repro.serve.hashring.HashRing`) and relays responses as raw
+  bytes (bit parity through the fleet); non-affinitised traffic is
+  apportioned by the repo's *own partitioners* over functional
+  performance models fitted to each worker's measured service rate --
+  FuPerMod dogfooding its methodology on its serving fleet;
+* **peer cache fill** -- a shard missing a plan probes its siblings
+  (ring preference order) before solving cold.
+
+Cache persistence lives in :mod:`repro.io.plans`; serve-level chaos
+hooks in :mod:`repro.faults.serve`.
 """
 
+from repro.serve.aio import AioFrontend, AsyncHTTPBase
 from repro.serve.breaker import BreakerBoard, CircuitBreaker
 from repro.serve.cache import CacheStats, PlanCache
-from repro.serve.client import PlanClient, http_transport
+from repro.serve.client import KeepAliveTransport, PlanClient, http_transport
 from repro.serve.engine import PlanEngine
 from repro.serve.fingerprint import (
     FINGERPRINT_VERSION,
+    affinity_key,
     fingerprint_model,
     fingerprint_models,
     fingerprint_request,
 )
+from repro.serve.fleet import PlanFleet
 from repro.serve.frontend import handle_request, make_http_server, serve_stdio
+from repro.serve.hashring import HashRing
 from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
+from repro.serve.router import FpmBalancer, PlanRouter, RoundRobinBalancer
 from repro.serve.server import PlanServer
+from repro.serve.shard import ShardClient
 from repro.serve.wal import DurablePlanCache, PlanWAL, ReplayResult
 
 __all__ = [
+    "AioFrontend",
+    "AsyncHTTPBase",
     "BreakerBoard",
     "CacheStats",
     "CircuitBreaker",
     "DurablePlanCache",
     "FINGERPRINT_VERSION",
+    "FpmBalancer",
+    "HashRing",
+    "KeepAliveTransport",
     "PlanCache",
     "PlanClient",
     "PlanEngine",
+    "PlanFleet",
     "PlanRequest",
     "PlanResult",
+    "PlanRouter",
     "PlanServer",
     "PlanWAL",
     "ReplayResult",
+    "RoundRobinBalancer",
     "ServeCounters",
+    "ShardClient",
+    "affinity_key",
     "fingerprint_model",
     "fingerprint_models",
     "fingerprint_request",

@@ -190,6 +190,19 @@ class PlanCache:
             self._hits += 1
             return entry.result
 
+    def peek(self, key: str) -> Optional[PlanResult]:
+        """The cached plan for ``key`` without counting a hit or a miss.
+
+        Sibling cache-fill probes from peer shards use this: a peer
+        peeking for a plan must not skew this shard's hit-rate counters
+        or refresh the entry's LRU position (the peer's interest says
+        nothing about local access patterns).  TTL expiry still applies
+        -- a peek never hands out an entry :meth:`get` would refuse.
+        """
+        with self._lock:
+            entry = self._live_entry(key, self._clock())
+            return entry.result if entry is not None else None
+
     def put(self, key: str, result: PlanResult, models_fp: str) -> None:
         """Store ``result`` under ``key``, evicting as needed.
 

@@ -65,6 +65,14 @@ class PlanEngine:
             raised.  Short-circuited plans are **not** cached -- a cached
             degraded plan would keep being served long after the breaker
             recovered.
+        sibling_fill: optional peer-cache lookup for fleet serving.
+            Called with the :class:`~repro.serve.plan.PlanRequest` on a
+            local cache miss, *before* solving cold; a returned
+            :class:`~repro.serve.plan.PlanResult` (validated against the
+            request) is stored locally and served.  Any exception or a
+            plan that does not answer the request is swallowed into the
+            ``sibling_errors`` counter and the solve proceeds cold -- a
+            dead or lying peer must never fail, or poison, this shard.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class PlanEngine:
         warm: bool = True,
         counters: Optional[ServeCounters] = None,
         breakers: Optional[BreakerBoard] = None,
+        sibling_fill=None,
     ) -> None:
         self.cache = cache if cache is not None else PlanCache()
         self.policy = policy
@@ -82,6 +91,7 @@ class PlanEngine:
         self.warm = warm
         self.counters = counters if counters is not None else ServeCounters()
         self.breakers = breakers
+        self.sibling_fill = sibling_fill
 
     # -- request construction ---------------------------------------------
 
@@ -223,11 +233,43 @@ class PlanEngine:
             True,
         )
 
+    def _from_sibling(self, request: PlanRequest) -> Optional[PlanResult]:
+        """A validated plan from a sibling shard's cache, or None.
+
+        The validation is the poisoning guard: a sibling answering with
+        the wrong key, the wrong total, or shares that do not sum to the
+        total is counted as an error and ignored, never cached.
+        """
+        try:
+            got = self.sibling_fill(request)
+        except Exception:
+            self.counters.sibling_errors += 1
+            return None
+        if got is None:
+            self.counters.sibling_misses += 1
+            return None
+        if (
+            not isinstance(got, PlanResult)
+            or got.key != request.key
+            or got.total != request.total
+            or sum(got.sizes) != request.total
+            or len(got.sizes) != len(got.times)
+        ):
+            self.counters.sibling_errors += 1
+            return None
+        self.counters.sibling_fills += 1
+        return got
+
     def plan_request(self, models: Sequence, request: PlanRequest) -> PlanResult:
-        """Serve one prepared request: cache hit, or solve and store."""
+        """Serve one prepared request: cache hit, sibling fill, or solve."""
         hit = self.cache.get(request.key)
         if hit is not None:
             return hit.replace(cached=True)
+        if self.sibling_fill is not None:
+            filled = self._from_sibling(request)
+            if filled is not None:
+                self.cache.put(request.key, filled, request.models_fp)
+                return filled.replace(cached=True)
         result, cacheable = self._solve(request, models)
         if cacheable:
             self.cache.put(request.key, result, request.models_fp)

@@ -110,3 +110,20 @@ def fingerprint_request(
 ) -> str:
     """Content hash of a plan request (the cache key)."""
     return digest("request", models_fp, int(total), partitioner, options)
+
+
+def affinity_key(
+    total: int,
+    partitioner: str,
+    options: Mapping[str, Any],
+) -> str:
+    """The fleet routing key: the request *without* the model set.
+
+    A fleet serves one model set, so including ``models_fp`` would add
+    nothing to placement while coupling the consistent-hash ring to model
+    refits (every refit would remap every key).  Router and workers both
+    derive this key -- the router to pick the home shard, a worker to
+    order its sibling-fill probes so the most likely holder is asked
+    first.
+    """
+    return digest("affinity", int(total), partitioner, options or {})

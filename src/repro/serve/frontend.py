@@ -8,6 +8,9 @@ Both front ends speak the same tiny protocol over a
   a client-chosen ``id`` echoed back in the response;
 * a **stats** request (``{"cmd": "stats"}`` on stdio, ``GET /stats`` over
   HTTP) returns the consolidated counter snapshot;
+* a **metrics** request (``{"cmd": "metrics"}``, ``GET /metrics``) returns
+  the same counters under the versioned ``fupermod-metrics/1`` schema
+  (cache hits/misses, coalesced, shed, per-fingerprint breaker state);
 * errors come back as ``{"error": ..., "code": ...}`` with the connection
   kept alive -- one bad request must not kill a serving session.
 
@@ -64,6 +67,8 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
         cmd = payload.get("cmd", "plan")
         if cmd == "stats":
             out: Dict[str, Any] = {"stats": server.stats()}
+        elif cmd == "metrics":
+            out = {"metrics": server.metrics()}
         elif cmd == "plan":
             if "total" not in payload:
                 raise FuPerModError("plan request needs a 'total' field")
@@ -157,6 +162,11 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
     plan_server: Optional[PlanServer] = None
     # Request-body cap; bodies over this are refused with 413.
     max_body_bytes: int = MAX_BODY_BYTES
+    # HTTP/1.1 keeps connections alive between requests (every response
+    # carries Content-Length, which 1.1 keep-alive requires).  This is
+    # half of the client-side connection-reuse win -- the other half is
+    # PlanClient's persistent-connection transport.
+    protocol_version = "HTTP/1.1"
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -173,10 +183,13 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        """``GET /stats`` -> counter snapshot; anything else 404."""
-        if self.path.rstrip("/") == "/stats":
-            assert self.plan_server is not None
+        """``GET /stats`` or ``GET /metrics``; anything else 404."""
+        path = self.path.rstrip("/")
+        assert self.plan_server is not None
+        if path == "/stats":
             self._send(200, {"stats": self.plan_server.stats()})
+        elif path == "/metrics":
+            self._send(200, {"metrics": self.plan_server.metrics()})
         else:
             self._send(404, {"error": f"no such endpoint {self.path!r}"})
 

@@ -1,0 +1,147 @@
+"""Consistent-hash ring for the sharded plan fleet.
+
+The fleet routes plan requests to worker shards by *content affinity*:
+an identical request must keep landing on the same shard so its plan
+cache actually accumulates hits.  A modulo hash would remap nearly every
+key whenever a shard joins or leaves; a consistent-hash ring remaps only
+the keys whose arc the change touches -- on average ``K / N`` of ``K``
+keys across ``N`` shards (tested by ``tests/test_serve_hashring.py``).
+
+Placement is deterministic across processes and restarts: positions are
+SHA-256 digests of ``"shard-id/replica-index"`` (never Python's seeded
+``hash``), so a restarted router rebuilds the identical ring and a
+recovered shard finds its old keys waiting on its own arc.
+
+Each shard is planted at ``replicas`` virtual points to smooth the
+arc-length distribution; :meth:`HashRing.preference` walks the ring from
+a key's position and yields each distinct shard once, which gives the
+router its deterministic fail-over order and the sibling-fill path its
+"most likely owner first" query order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import FuPerModError
+
+#: Virtual points per shard; 64 keeps arc lengths within a few percent
+#: of even for single-digit fleets while staying cheap to rebuild.
+DEFAULT_REPLICAS = 64
+
+
+def _position(text: str) -> int:
+    """Deterministic 64-bit ring position for ``text``."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named shards.
+
+    Args:
+        shards: initial shard identifiers (order-insensitive; the ring's
+            layout depends only on the identifier strings).
+        replicas: virtual points per shard (must be positive).
+    """
+
+    def __init__(
+        self, shards: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas <= 0:
+            raise FuPerModError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        self._shards: Dict[str, List[int]] = {}
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """The member shard identifiers, sorted."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        """Number of member shards."""
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        """Whether ``shard`` is a member."""
+        return shard in self._shards
+
+    def add(self, shard: str) -> None:
+        """Plant ``shard`` at its virtual points (idempotent is an error).
+
+        Raises:
+            FuPerModError: when the shard is already a member -- a silent
+                double-add would double its arc share.
+        """
+        if shard in self._shards:
+            raise FuPerModError(f"shard {shard!r} is already on the ring")
+        positions = []
+        for index in range(self.replicas):
+            pos = _position(f"{shard}/{index}")
+            at = bisect.bisect_left(self._keys, pos)
+            self._keys.insert(at, pos)
+            self._points.insert(at, (pos, shard))
+            positions.append(pos)
+        self._shards[shard] = positions
+
+    def remove(self, shard: str) -> None:
+        """Remove ``shard`` and all its virtual points.
+
+        Raises:
+            FuPerModError: when the shard is not a member.
+        """
+        if shard not in self._shards:
+            raise FuPerModError(f"shard {shard!r} is not on the ring")
+        del self._shards[shard]
+        self._points = [(pos, s) for pos, s in self._points if s != shard]
+        self._keys = [pos for pos, _ in self._points]
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        """The shard owning ``key`` (first point clockwise of its hash).
+
+        Raises:
+            FuPerModError: when the ring is empty.
+        """
+        if not self._points:
+            raise FuPerModError("hash ring has no shards")
+        at = bisect.bisect_right(self._keys, _position(key))
+        if at == len(self._points):
+            at = 0
+        return self._points[at][1]
+
+    def preference(
+        self, key: str, limit: Optional[int] = None
+    ) -> List[str]:
+        """Distinct shards in clockwise order from ``key``'s position.
+
+        The first entry is :meth:`lookup`'s answer (the key's home); the
+        rest are the deterministic fail-over order the router walks when
+        shards are down, and the query order sibling fills use.  With
+        ``limit`` the walk stops after that many distinct shards.
+        """
+        if not self._points:
+            return []
+        cap = len(self._shards) if limit is None else max(0, limit)
+        start = bisect.bisect_right(self._keys, _position(key))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            shard = self._points[(start + offset) % len(self._points)][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) >= cap:
+                    break
+        return seen
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate the member shard identifiers, sorted."""
+        return iter(self.shards)

@@ -195,6 +195,12 @@ class ServeCounters:
             arrived (the solve itself keeps running and fills the cache).
         short_circuits: requests served without trying the requested
             partitioner because the model set's circuit breaker was open.
+        sibling_fills: cache misses answered by a sibling shard's cache
+            instead of a cold solve (fleet serving only).
+        sibling_misses: sibling lookups that came back empty (the solve
+            proceeded cold).
+        sibling_errors: sibling lookups that failed (dead peer, bad
+            payload); never fatal -- the solve proceeds cold.
     """
 
     computations: int = 0
@@ -203,6 +209,9 @@ class ServeCounters:
     shed: int = 0
     deadline_expired: int = 0
     short_circuits: int = 0
+    sibling_fills: int = 0
+    sibling_misses: int = 0
+    sibling_errors: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """Snapshot as a plain dict."""
@@ -213,6 +222,9 @@ class ServeCounters:
             "shed": self.shed,
             "deadline_expired": self.deadline_expired,
             "short_circuits": self.short_circuits,
+            "sibling_fills": self.sibling_fills,
+            "sibling_misses": self.sibling_misses,
+            "sibling_errors": self.sibling_errors,
         }
 
 

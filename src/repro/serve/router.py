@@ -1,0 +1,577 @@
+"""The fleet router: consistent-hash affinity plus FPM-balanced spillover.
+
+The router is the fleet's single public endpoint.  Every request takes
+one of two paths:
+
+* **Affinity routing** (the default): the request's
+  :func:`~repro.serve.fingerprint.affinity_key` is looked up on a
+  consistent-hash ring (:class:`~repro.serve.hashring.HashRing`), so
+  identical requests always land on the same *home* shard and the
+  fleet's aggregate cache is the union of the shards' caches, not N
+  copies of one.  A dead home fails over to the next shard clockwise --
+  the same preference order workers use for sibling-fill probes.
+* **Balanced routing** (requests carrying ``"affinity": false``): the
+  request stream is apportioned by the repo's own machinery, dogfooded.
+  Each worker's *service* is modelled as a functional performance model
+  -- a :class:`~repro.core.models.PiecewiseModel` fitted to measured
+  batch-latency points, exactly as a compute kernel would be -- and a
+  registered partitioner divides a slot budget among the workers the
+  way it would divide matrix rows among processors.  The resulting
+  integer shares drive a deterministic smooth weighted round-robin.
+  Latencies observed in flight refit the models online, so a shard that
+  slows down sheds load without operator input.
+
+Plans are **relayed as raw bytes**: the router never re-encodes a
+worker's response, which makes plans served through the fleet
+bit-identical to plans served by the worker directly (the parity tests
+assert this).  Shard failures mark the shard dead and reroute; the
+supervisor revives it after a restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core import registry
+from repro.core.models import PiecewiseModel
+from repro.core.point import MeasurementPoint
+from repro.errors import FuPerModError, PartitionError
+from repro.serve.aio import MAX_BODY_BYTES, AsyncHTTPBase, Reply
+from repro.serve.fingerprint import affinity_key
+from repro.serve.hashring import DEFAULT_REPLICAS, HashRing
+
+#: Slot budget the partitioner divides among workers.  Finer than the
+#: worker count by orders of magnitude so shares resolve small speed
+#: differences; coarse enough that geometric partitioning is instant.
+BALANCE_SLOTS = 240
+
+
+class RoundRobinBalancer:
+    """The control: equal turns to every live worker, no model.
+
+    Shares the :class:`FpmBalancer` interface so the router (and the
+    benchmark that compares the two) can swap them freely.
+    """
+
+    def __init__(self, shard_ids: Sequence[str]) -> None:
+        self._ids = sorted(shard_ids)
+        self._alive = set(self._ids)
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def seed(self, shard_id: str, points: Sequence[Tuple[float, float]]) -> None:
+        """No-op: round-robin has no model to seed."""
+
+    def observe(self, shard_id: str, seconds: float) -> None:
+        """No-op: round-robin never adapts."""
+
+    def set_alive(self, shard_id: str, alive: bool) -> None:
+        """Mark a worker (un)routable."""
+        with self._lock:
+            (self._alive.add if alive else self._alive.discard)(shard_id)
+
+    def next(self) -> Optional[str]:
+        """The next live worker in strict rotation (None if all dead)."""
+        with self._lock:
+            if not self._alive:
+                return None
+            for _ in range(len(self._ids)):
+                sid = self._ids[self._cursor % len(self._ids)]
+                self._cursor += 1
+                if sid in self._alive:
+                    return sid
+        return None  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Snapshot for ``/metrics``."""
+        with self._lock:
+            return {"policy": "round-robin", "alive": sorted(self._alive)}
+
+
+class FpmBalancer:
+    """Load shares from functional performance models of the workers.
+
+    Args:
+        shard_ids: the fleet's worker identities.
+        partitioner: registered partitioner dividing the slot budget
+            (the dogfooding seam -- the same algorithm that splits
+            matrices splits the request stream).
+        slots: integer slot budget to divide (resolution of the shares).
+        window: sliding-window length of observed per-request latencies
+            kept per worker for online refits.
+        refresh_every: observations between automatic refits.
+
+    Seeding: the supervisor measures each worker's hit-path service rate
+    at startup (timed batches of b requests) and calls :meth:`seed` with
+    ``(batch, seconds)`` points; these become the worker's FPM exactly
+    as kernel benchmarks become a device's FPM.  :meth:`observe` feeds
+    per-request latencies from live traffic; every ``refresh_every``
+    observations the models refit from the sliding window and the
+    shares re-partition.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str],
+        partitioner: str = "geometric",
+        slots: int = BALANCE_SLOTS,
+        window: int = 256,
+        refresh_every: int = 64,
+    ) -> None:
+        if slots < len(shard_ids):
+            raise FuPerModError(
+                f"{slots} slots cannot cover {len(shard_ids)} workers"
+            )
+        self.partitioner_name = partitioner
+        self.slots = slots
+        self.window = window
+        self.refresh_every = refresh_every
+        self.refits = 0
+        self._ids = sorted(shard_ids)
+        self._alive = set(self._ids)
+        self._seeds: Dict[str, List[MeasurementPoint]] = {}
+        self._observed: Dict[str, Deque[float]] = {
+            sid: deque(maxlen=window) for sid in self._ids
+        }
+        self._since_refresh = 0
+        self._weights: Dict[str, int] = {sid: 1 for sid in self._ids}
+        self._swrr: Dict[str, int] = {sid: 0 for sid in self._ids}
+        self._lock = threading.Lock()
+
+    # -- model fitting -----------------------------------------------------
+
+    def seed(self, shard_id: str, points: Sequence[Tuple[float, float]]) -> None:
+        """Install startup-probe measurements: ``(batch size, seconds)``."""
+        fitted = [
+            MeasurementPoint(d=max(1, int(round(b))), t=max(float(t), 1e-9))
+            for b, t in points
+        ]
+        with self._lock:
+            self._seeds[shard_id] = fitted
+            self._refit_locked()
+
+    def observe(self, shard_id: str, seconds: float) -> None:
+        """Feed one observed request latency; refits periodically."""
+        if seconds <= 0.0:
+            return
+        with self._lock:
+            window = self._observed.get(shard_id)
+            if window is None:
+                return
+            window.append(seconds)
+            self._since_refresh += 1
+            if self._since_refresh >= self.refresh_every:
+                self._refit_locked()
+
+    def _model_for(self, sid: str) -> Optional[PiecewiseModel]:
+        """This worker's service FPM from observations, else seeds."""
+        window = self._observed.get(sid)
+        if window and len(window) >= 8:
+            mean = sum(window) / len(window)
+            points = [
+                MeasurementPoint(d=b, t=max(mean * b, 1e-9))
+                for b in (1, 2, 4, 8)
+            ]
+        elif self._seeds.get(sid):
+            points = self._seeds[sid]
+        else:
+            return None
+        model = PiecewiseModel()
+        model.update_many(points)
+        return model
+
+    def _refit_locked(self) -> None:
+        """Rebuild models and re-partition the slot budget (lock held)."""
+        self._since_refresh = 0
+        alive = [sid for sid in self._ids if sid in self._alive]
+        if not alive:
+            return
+        models = [self._model_for(sid) for sid in alive]
+        weights: Dict[str, int]
+        if any(m is None for m in models) or len(alive) == 1:
+            weights = {sid: self.slots // len(alive) for sid in alive}
+        else:
+            try:
+                fn = registry.partitioner(self.partitioner_name)
+                dist = fn(self.slots, models)
+                # A starving share still gets one slot: a slow shard must
+                # stay observable or its model can never recover.
+                weights = {
+                    sid: max(1, int(d)) for sid, d in zip(alive, dist.sizes)
+                }
+            except (PartitionError, FuPerModError, ValueError):
+                weights = {sid: self.slots // len(alive) for sid in alive}
+        self._weights = weights
+        self._swrr = {sid: 0 for sid in weights}
+        self.refits += 1
+
+    # -- routing -----------------------------------------------------------
+
+    def set_alive(self, shard_id: str, alive: bool) -> None:
+        """Mark a worker (un)routable and re-partition among survivors."""
+        with self._lock:
+            (self._alive.add if alive else self._alive.discard)(shard_id)
+            self._refit_locked()
+
+    def next(self) -> Optional[str]:
+        """Deterministic smooth weighted round-robin pick (None = all dead).
+
+        Classic SWRR: every pick adds each worker's weight to its
+        current score, serves the highest score, then subtracts the
+        total weight from it -- proportional in the long run, maximally
+        interleaved in the short run, and fully deterministic (ties
+        break lexicographically).
+        """
+        with self._lock:
+            live = {
+                sid: w for sid, w in self._weights.items()
+                if sid in self._alive
+            }
+            if not live:
+                return None
+            total = sum(live.values())
+            best: Optional[str] = None
+            for sid in sorted(live):
+                self._swrr[sid] = self._swrr.get(sid, 0) + live[sid]
+                if best is None or self._swrr[sid] > self._swrr[best]:
+                    best = sid
+            self._swrr[best] -= total
+            return best
+
+    def weights(self) -> Dict[str, int]:
+        """Current integer shares (slots per worker)."""
+        with self._lock:
+            return dict(self._weights)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Snapshot for ``/metrics``."""
+        with self._lock:
+            return {
+                "policy": "fpm",
+                "partitioner": self.partitioner_name,
+                "slots": self.slots,
+                "weights": dict(self._weights),
+                "alive": sorted(self._alive),
+                "refits": self.refits,
+                "observed": {
+                    sid: len(win) for sid, win in self._observed.items()
+                },
+            }
+
+
+class WorkerLink:
+    """Pooled keep-alive asyncio connections to one worker.
+
+    Lives on the router's event loop.  Up to ``pool`` requests run
+    concurrently, each on its own persistent connection; a request that
+    fails on a *reused* connection retries once on a fresh one, while a
+    fresh-connection failure propagates (the shard is down).
+    """
+
+    def __init__(
+        self, shard_id: str, url: str, pool: int = 8, timeout: float = 30.0
+    ) -> None:
+        if not url.startswith("http://"):
+            raise FuPerModError(f"worker link needs an http:// URL, got {url!r}")
+        hostport = url[len("http://"):].rstrip("/")
+        host, _, port_text = hostport.partition(":")
+        self.shard_id = shard_id
+        self.url = url.rstrip("/")
+        self.host = host
+        self.port = int(port_text)
+        self.timeout = timeout
+        self._free: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._sem = asyncio.Semaphore(pool)
+
+    async def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Content-Type: application/json\r\n\r\n"
+        ).encode("ascii")
+        while True:
+            reused = bool(self._free)
+            if reused:
+                reader, writer = self._free.pop()
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            try:
+                writer.write(head + payload)
+                await writer.drain()
+                status_line = await reader.readline()
+                if not status_line:
+                    raise ConnectionError("worker closed the connection")
+                status = int(status_line.split()[1])
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        raise ConnectionError("worker truncated the response")
+                    if line in (b"\r\n", b"\n"):
+                        break
+                    name, _, value = (
+                        line.decode("ascii", "replace").partition(":")
+                    )
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0"))
+                data = await reader.readexactly(length) if length else b""
+            except (
+                ConnectionError, OSError,
+                asyncio.IncompleteReadError, ValueError, IndexError,
+            ):
+                writer.close()
+                if reused:
+                    continue  # stale kept-alive connection: one fresh retry
+                raise
+            if headers.get("connection", "keep-alive").lower() == "close":
+                writer.close()
+            else:
+                self._free.append((reader, writer))
+            return status, headers, data
+
+    async def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request to this worker: ``(status, headers, raw body)``."""
+        async with self._sem:
+            return await asyncio.wait_for(
+                self._roundtrip(method, path, body), timeout=self.timeout
+            )
+
+    def close(self) -> None:
+        """Close pooled connections (call from the event loop)."""
+        for _reader, writer in self._free:
+            writer.close()
+        self._free.clear()
+
+
+class PlanRouter(AsyncHTTPBase):
+    """The fleet's public endpoint: route, relay, fail over.
+
+    Args:
+        workers: mapping of shard id to worker base URL.
+        routing: ``"fpm"`` (FPM-partitioned smooth weighted round-robin)
+            or ``"round-robin"`` for balanced requests.
+        balance_partitioner: partitioner dividing the slot budget when
+            ``routing="fpm"``.
+        replicas: virtual nodes per shard on the affinity ring.
+        host / port: bind address (port 0 = ephemeral).
+        link_pool: concurrent connections per worker.
+        worker_timeout: per-relay timeout, seconds.
+    """
+
+    def __init__(
+        self,
+        workers: Mapping[str, str],
+        routing: str = "fpm",
+        balance_partitioner: str = "geometric",
+        replicas: int = DEFAULT_REPLICAS,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        link_pool: int = 8,
+        worker_timeout: float = 30.0,
+    ) -> None:
+        if not workers:
+            raise FuPerModError("a plan router needs at least one worker")
+        if routing not in ("fpm", "round-robin"):
+            raise FuPerModError(
+                f"unknown routing policy {routing!r} "
+                "(want 'fpm' or 'round-robin')"
+            )
+        super().__init__(host, port, max_body_bytes, "fupermod-router")
+        self.routing = routing
+        self.ring = HashRing(workers, replicas=replicas)
+        self._urls = {sid: url.rstrip("/") for sid, url in workers.items()}
+        self._link_pool = link_pool
+        self._worker_timeout = worker_timeout
+        self._links: Dict[str, WorkerLink] = {}
+        self._dead: set = set()
+        self._state_lock = threading.Lock()
+        self._started_at = time.monotonic()
+        if routing == "fpm":
+            self.balancer = FpmBalancer(
+                list(workers), partitioner=balance_partitioner
+            )
+        else:
+            self.balancer = RoundRobinBalancer(list(workers))
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "affinity_routed": 0,
+            "balanced_routed": 0,
+            "reroutes": 0,
+            "shard_errors": 0,
+        }
+
+    # -- membership (supervisor-facing, thread-safe) -----------------------
+
+    def mark_dead(self, shard_id: str) -> None:
+        """Stop routing to a shard (router also does this on errors)."""
+        with self._state_lock:
+            self._dead.add(shard_id)
+        self.balancer.set_alive(shard_id, False)
+
+    def revive(self, shard_id: str, url: Optional[str] = None) -> None:
+        """Route to a shard again (optionally at a new URL post-restart)."""
+        with self._state_lock:
+            if url is not None:
+                self._urls[shard_id] = url.rstrip("/")
+                # The old link's sockets died with the old process; a new
+                # link is built lazily on the loop at the new URL.
+                self._links.pop(shard_id, None)
+            self._dead.discard(shard_id)
+        self.balancer.set_alive(shard_id, True)
+
+    def alive(self) -> List[str]:
+        """Currently routable shard ids."""
+        with self._state_lock:
+            return [s for s in self.ring.shards if s not in self._dead]
+
+    def _link(self, shard_id: str) -> WorkerLink:
+        with self._state_lock:
+            link = self._links.get(shard_id)
+            if link is None:
+                link = WorkerLink(
+                    shard_id, self._urls[shard_id],
+                    pool=self._link_pool, timeout=self._worker_timeout,
+                )
+                self._links[shard_id] = link
+            return link
+
+    # -- routing -----------------------------------------------------------
+
+    def _candidates(self, payload: Dict[str, Any]) -> Tuple[List[str], bool]:
+        """The shard order to try for a plan payload.
+
+        Returns ``(candidates, affinity)``.  Affinity requests follow
+        ring preference (home first); balanced requests take the
+        balancer's pick, with the remaining live shards as failovers.
+        """
+        live = set(self.alive())
+        affinity = bool(payload.get("affinity", True))
+        if affinity:
+            try:
+                key = affinity_key(
+                    int(payload.get("total", 0)),
+                    str(payload.get("partitioner") or "geometric"),
+                    payload.get("options") or {},
+                )
+            except (TypeError, ValueError, FuPerModError):
+                # Malformed request: any shard will produce the 400.
+                return sorted(live), True
+            order = [s for s in self.ring.preference(key) if s in live]
+            return order, True
+        pick = self.balancer.next()
+        if pick is None or pick not in live:
+            return sorted(live), False
+        return [pick] + sorted(live - {pick}), False
+
+    async def _route_plan(self, body: bytes) -> Reply:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+        except (UnicodeDecodeError, ValueError) as exc:
+            return 400, {"error": f"bad JSON: {exc}"}, None
+        candidates, affinity = self._candidates(payload)
+        self.counters["requests"] += 1
+        for position, sid in enumerate(candidates):
+            link = self._link(sid)
+            start = time.perf_counter()
+            try:
+                status, headers, data = await link.request(
+                    "POST", "/plan", body
+                )
+            except (
+                ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, ValueError,
+            ):
+                self.counters["shard_errors"] += 1
+                self.mark_dead(sid)
+                continue
+            if position > 0:
+                self.counters["reroutes"] += 1
+            if affinity:
+                self.counters["affinity_routed"] += 1
+            else:
+                self.counters["balanced_routed"] += 1
+                if status == 200:
+                    self.balancer.observe(sid, time.perf_counter() - start)
+            extra = None
+            retry_after = headers.get("retry-after")
+            if retry_after is not None:
+                extra = {"Retry-After": retry_after}
+            # Raw relay: the worker's bytes, untouched (bit parity).
+            return status, data, extra
+        return 503, {
+            "error": "no live shard can serve this plan",
+            "code": 503,
+            "retry_after": 1.0,
+        }, None
+
+    async def _aggregate(self, endpoint: str) -> Dict[str, Any]:
+        """Fan ``GET endpoint`` out to live shards, keyed by shard id."""
+        shards = self.alive()
+
+        async def one(sid: str) -> Tuple[str, Dict[str, Any]]:
+            try:
+                status, _headers, data = await self._link(sid).request(
+                    "GET", endpoint
+                )
+                decoded = json.loads(data.decode("utf-8"))
+                if status != 200 or not isinstance(decoded, dict):
+                    raise ValueError(f"HTTP {status}")
+            except Exception as exc:
+                return sid, {"error": f"unreachable: {exc}"}
+            return sid, decoded.get(endpoint.strip("/"), decoded)
+
+        pairs = await asyncio.gather(*(one(sid) for sid in shards))
+        return dict(pairs)
+
+    def _fleet_summary(self) -> Dict[str, Any]:
+        with self._state_lock:
+            dead = sorted(self._dead)
+        return {
+            "routing": self.routing,
+            "shards": list(self.ring.shards),
+            "dead": dead,
+            "counters": dict(self.counters),
+            "balancer": self.balancer.to_dict(),
+        }
+
+    async def _handle_one(self, method: str, path: str, body: bytes) -> Reply:
+        norm = path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "POST" and norm == "/plan":
+            return await self._route_plan(body)
+        if method == "GET" and norm == "/health":
+            return 200, {"ok": True, "role": "router",
+                         "alive": self.alive()}, None
+        if method == "GET" and norm in ("/stats", "/metrics"):
+            per_shard = await self._aggregate(norm)
+            out: Dict[str, Any] = {
+                "fleet": self._fleet_summary(),
+                "shards": per_shard,
+            }
+            if norm == "/metrics":
+                out["schema"] = "fupermod-fleet-metrics/1"
+                out["uptime_s"] = time.monotonic() - self._started_at
+                return 200, {"metrics": out}, None
+            return 200, {"stats": out}, None
+        return 404, {"error": f"no such endpoint {path!r}"}, None
+
+    async def _on_stop(self) -> None:
+        with self._state_lock:
+            links = list(self._links.values())
+        for link in links:
+            link.close()

@@ -29,6 +29,7 @@ consolidated :meth:`stats` snapshot for the front ends, and a
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -106,8 +107,31 @@ class PlanServer:
         self._lock = threading.Lock()
         self._inflight: Dict[str, "Future[PlanResult]"] = {}
         self._closed = False
+        self._started_at = time.monotonic()
 
     # -- core serving ------------------------------------------------------
+
+    def try_cached(
+        self,
+        total: int,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[PlanResult]:
+        """The plan iff it is already cached locally; never queues work.
+
+        This is the asyncio front end's fast lane: a cache hit is served
+        inline on the event loop (fingerprint + LRU lookup, microseconds)
+        instead of round-tripping through the worker pool.  A miss
+        returns ``None`` without counting it -- the caller falls back to
+        :meth:`request`, whose engine path counts the miss exactly once.
+        """
+        request = self.engine.request(self.models, total, partitioner, options)
+        hit = self.engine.cache.peek(request.key)
+        if hit is None:
+            return None
+        # Count the hit the same way the engine's get() path would.
+        hit = self.engine.cache.get(request.key)
+        return hit.replace(cached=True) if hit is not None else None
 
     def submit(
         self,
@@ -231,6 +255,19 @@ class PlanServer:
         durability = getattr(self.engine.cache, "durability_stats", None)
         if callable(durability):
             out["durability"] = durability()
+        return out
+
+    def metrics(self) -> Dict[str, Any]:
+        """The ``/metrics`` payload: existing counters under a versioned schema.
+
+        Nothing here is newly measured -- this is the same cache, serving
+        and breaker state :meth:`stats` snapshots, wrapped with a schema
+        marker and uptime so fleet benchmarks and production scrapers can
+        read one stable shape (documented in ``docs/API.md``).
+        """
+        out = self.stats()
+        out["schema"] = "fupermod-metrics/1"
+        out["uptime_s"] = time.monotonic() - self._started_at
         return out
 
     def drain(self, timeout: Optional[float] = None) -> bool:

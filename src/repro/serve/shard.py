@@ -1,0 +1,193 @@
+"""Client for one fleet shard (a worker process's HTTP endpoint).
+
+:class:`ShardClient` is the low-level, shard-aware counterpart of
+:class:`~repro.serve.client.PlanClient`: where PlanClient speaks the
+abstract plan protocol to *a* service, ShardClient speaks to one known
+worker process and exposes the fleet-internal surface too --
+
+* ``plan_raw`` returns the **raw response bytes** alongside the status,
+  which is how the router guarantees bit-identical plans through the
+  fleet: it relays the worker's bytes verbatim instead of re-encoding;
+* ``get_cached`` is the sibling-fill probe (``GET /cache/<key>``): a
+  pure cache peek on the peer that never triggers a solve there;
+* ``set_peers`` delivers the supervisor's peer roster
+  (``POST /peers``), re-broadcast whenever the fleet membership changes;
+* ``health`` is the liveness probe used for startup waits and
+  post-SIGKILL detection.
+
+Connections are persistent (HTTP/1.1 keep-alive) with one
+fresh-connection retry, matching
+:class:`~repro.serve.client.KeepAliveTransport`; instances are
+thread-safe via thread-local connections.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FuPerModError
+from repro.serve.plan import PlanResult
+
+
+class ShardClient:
+    """Keep-alive HTTP client for one worker shard.
+
+    Args:
+        url: the worker's base URL (``http://host:port``).
+        shard_id: the worker's fleet identity (for error messages and
+            router bookkeeping; not sent on the wire).
+        timeout: socket timeout per request, seconds.
+    """
+
+    def __init__(
+        self, url: str, shard_id: str = "", timeout: float = 30.0
+    ) -> None:
+        if not url.startswith("http://"):
+            raise FuPerModError(f"shard client needs an http:// URL, got {url!r}")
+        hostport = url[len("http://"):].rstrip("/")
+        host, _, port_text = hostport.partition(":")
+        if not host or not port_text:
+            raise FuPerModError(f"shard URL must be http://host:port, got {url!r}")
+        try:
+            self.port = int(port_text)
+        except ValueError:
+            raise FuPerModError(f"bad port in shard URL {url!r}") from None
+        self.host = host
+        self.url = f"http://{host}:{self.port}"
+        self.shard_id = shard_id or self.url
+        self.timeout = timeout
+        self.connections_opened = 0
+        self._count_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+            with self._count_lock:
+                self.connections_opened += 1
+        return conn
+
+    def _drop(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (if any)."""
+        self._drop()
+
+    def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        """One request with the keep-alive retry contract.
+
+        Returns ``(status, raw body bytes)``; raises ``ConnectionError``
+        / ``OSError`` when the shard is unreachable even on a fresh
+        connection (the router's cue to mark it dead).
+        """
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                reply = conn.getresponse()
+                data = reply.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._drop()
+                if attempt:
+                    raise
+                continue
+            if reply.will_close:
+                self._drop()
+            return reply.status, data
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        status, data = self._roundtrip(method, path, body)
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+            if not isinstance(decoded, dict):
+                raise ValueError
+        except (UnicodeDecodeError, ValueError):
+            decoded = {"error": f"HTTP {status} from shard {self.shard_id}"}
+        return status, decoded
+
+    # -- fleet surface -----------------------------------------------------
+
+    def plan_raw(self, payload: Dict[str, Any]) -> Tuple[int, bytes]:
+        """``POST /plan`` returning ``(status, raw response bytes)``.
+
+        The router relays these bytes verbatim, so a plan served through
+        the fleet is bit-identical to one served by the worker directly.
+        """
+        body = json.dumps(payload).encode("utf-8")
+        return self._roundtrip("POST", "/plan", body)
+
+    def plan(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /plan`` decoded (convenience for tests and probes)."""
+        status, decoded = self._json("POST", "/plan", payload)
+        if status >= 400:
+            decoded.setdefault("error", f"HTTP {status}")
+            decoded.setdefault("code", status)
+        return decoded
+
+    def get_cached(self, key: str) -> Optional[PlanResult]:
+        """The peer's cached plan for ``key``, or None (never solves).
+
+        Any malformed answer is treated as a miss -- the engine's
+        sibling-fill validation is the real poisoning guard; this just
+        avoids raising on garbage.
+        """
+        status, decoded = self._json("GET", f"/cache/{key}")
+        if status != 200 or "plan" not in decoded:
+            return None
+        try:
+            return PlanResult.from_dict(decoded["plan"])
+        except Exception:
+            return None
+
+    def set_peers(self, peers: Sequence[Dict[str, str]]) -> bool:
+        """Deliver the peer roster: ``[{"shard_id": ..., "url": ...}]``."""
+        status, _ = self._json("POST", "/peers", {"peers": list(peers)})
+        return status == 200
+
+    def health(self) -> bool:
+        """Whether the shard answers its liveness probe."""
+        try:
+            status, _ = self._roundtrip("GET", "/health")
+        except (http.client.HTTPException, ConnectionError, OSError):
+            return False
+        return status == 200
+
+    def stats(self) -> Dict[str, Any]:
+        """The shard's ``/stats`` snapshot."""
+        status, decoded = self._json("GET", "/stats")
+        if status != 200:
+            raise FuPerModError(
+                f"shard {self.shard_id} /stats failed: HTTP {status}"
+            )
+        return decoded.get("stats", decoded)
+
+    def metrics(self) -> Dict[str, Any]:
+        """The shard's ``/metrics`` snapshot."""
+        status, decoded = self._json("GET", "/metrics")
+        if status != 200:
+            raise FuPerModError(
+                f"shard {self.shard_id} /metrics failed: HTTP {status}"
+            )
+        return decoded.get("metrics", decoded)

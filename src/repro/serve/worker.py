@@ -1,0 +1,288 @@
+"""One fleet shard: a worker process serving plans over the asyncio front end.
+
+Run as ``python -m repro.serve.worker`` (the fleet supervisor's child
+process).  Each worker owns the full single-node serving stack -- its own
+:class:`~repro.serve.engine.PlanEngine`,
+:class:`~repro.serve.wal.DurablePlanCache` with a **per-shard** WAL, and
+an :class:`~repro.serve.aio.AioFrontend` -- plus the fleet-internal
+surface:
+
+* ``GET /cache/<key>`` -- a pure cache peek for sibling fill: the plan's
+  serialized form if this shard has it, 404 otherwise.  Never solves.
+* ``POST /peers`` -- the supervisor's roster broadcast; installs the
+  sibling-fill hook so local misses probe peers (in consistent-hash
+  preference order for the request's affinity key) before solving cold.
+* a **READY line** on stdout once the port is bound:
+  ``{"ready": true, "shard_id": ..., "port": ...}`` -- how the
+  supervisor learns ephemeral ports without a race.
+
+``--slowdown MS`` injects a blocking per-request service time into the
+event loop.  This is the fleet's simulated heterogeneity: the sleep
+genuinely consumes the worker's serving capacity (its event loop can do
+nothing else meanwhile), exactly as a slower processor would, so
+routing and scaling results measured against it are real queueing
+behaviour, not arithmetic.
+
+Shutdown: SIGTERM/SIGINT drain in-flight solves and compact the WAL;
+SIGKILL is the crash case the WAL recovers from on restart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.registry import model_factory
+from repro.errors import FuPerModError, PersistenceError
+from repro.serve.aio import AioFrontend
+from repro.serve.cache import PlanCache
+from repro.serve.engine import PlanEngine
+from repro.serve.fingerprint import affinity_key
+from repro.serve.hashring import HashRing
+from repro.serve.plan import PlanRequest, PlanResult
+from repro.serve.server import PlanServer
+from repro.serve.shard import ShardClient
+from repro.serve.wal import DurablePlanCache
+
+
+def load_model_set(points_dir: Path, model: str = "piecewise") -> List[Any]:
+    """Fitted per-rank models from a ``build`` output directory.
+
+    The same loading path ``fupermod serve`` uses, factored out so the
+    supervisor and every worker construct identical model sets (and
+    therefore identical fingerprints -- the cache-identity invariant the
+    whole fleet hangs off).
+    """
+    from repro.io.files import load_points
+
+    files = sorted(Path(points_dir).glob("rank*.points"))
+    if not files:
+        raise FuPerModError(f"no rank*.points files in {points_dir}")
+    factory = model_factory(model)
+    models = []
+    for rank, path in enumerate(files):
+        try:
+            points, _meta = load_points(path)
+        except PersistenceError as exc:
+            raise FuPerModError(
+                f"cannot load points for rank {rank}: {exc}"
+            ) from exc
+        m = factory()
+        m.update_many(points)
+        models.append(m)
+    return models
+
+
+class SiblingFill:
+    """Peer-cache lookup hook for :class:`PlanEngine`.
+
+    On a local miss the engine calls this with the
+    :class:`~repro.serve.plan.PlanRequest`; peers are probed with a pure
+    cache peek (``GET /cache/<key>``) in consistent-hash preference
+    order for the request's affinity key -- the home shard, which the
+    router sends that key to, is asked first.  A dead or slow peer is
+    skipped (never fatal); at most ``max_probes`` peers are asked before
+    giving up and solving cold.
+    """
+
+    def __init__(
+        self, shard_id: str, max_probes: int = 2, timeout: float = 2.0
+    ) -> None:
+        self.shard_id = shard_id
+        self.max_probes = max_probes
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._clients: Dict[str, ShardClient] = {}
+        self._ring = HashRing()
+
+    def set_peers(self, peers: Sequence[Dict[str, str]]) -> int:
+        """Install the roster (``[{"shard_id", "url"}, ...]``, self included)."""
+        clients: Dict[str, ShardClient] = {}
+        ring = HashRing()
+        for peer in peers:
+            sid, url = str(peer["shard_id"]), str(peer["url"])
+            ring.add(sid)
+            if sid != self.shard_id:
+                clients[sid] = ShardClient(url, sid, timeout=self.timeout)
+        with self._lock:
+            self._clients = clients
+            self._ring = ring
+        return len(clients)
+
+    def peer_count(self) -> int:
+        """Number of known peers (excluding this shard)."""
+        with self._lock:
+            return len(self._clients)
+
+    def __call__(self, request: PlanRequest) -> Optional[PlanResult]:
+        with self._lock:
+            clients = dict(self._clients)
+            ring = self._ring
+        if not clients:
+            return None
+        key = affinity_key(request.total, request.partitioner,
+                           request.option_dict())
+        order = [s for s in ring.preference(key) if s in clients]
+        probed = 0
+        for sid in order:
+            if probed >= self.max_probes:
+                break
+            probed += 1
+            try:
+                got = clients[sid].get_cached(request.key)
+            except Exception:
+                continue  # dead peer: the next preference may answer
+            if got is not None:
+                return got
+        return None
+
+
+def _extra_routes(server: PlanServer, sibling: SiblingFill):
+    """The worker's fleet-internal routes for the asyncio front end."""
+
+    def cache_peek(path: str, _payload) -> Tuple[int, Dict[str, Any]]:
+        key = path.rsplit("/", 1)[-1]
+        hit = server.engine.cache.peek(key)
+        if hit is None:
+            return 404, {"error": f"no cached plan for key {key[:16]}..."}
+        return 200, {"plan": hit.to_dict()}
+
+    def set_peers(_path: str, payload) -> Tuple[int, Dict[str, Any]]:
+        peers = (payload or {}).get("peers")
+        if not isinstance(peers, list):
+            return 400, {"error": "'peers' must be a list of shard records"}
+        try:
+            count = sibling.set_peers(peers)
+        except (KeyError, TypeError, FuPerModError) as exc:
+            return 400, {"error": f"bad peer roster: {exc}"}
+        return 200, {"ok": True, "peers": count}
+
+    return {
+        "GET /cache/": cache_peek,
+        "POST /peers": set_peers,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The worker's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker", description="one plan-fleet shard"
+    )
+    parser.add_argument("--points", required=True)
+    parser.add_argument("--model", default="piecewise")
+    parser.add_argument("--algorithm", default="geometric")
+    parser.add_argument("--shard-id", default="shard0", dest="shard_id")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--cache-file", default=None, dest="cache_file")
+    parser.add_argument("--cache-size", type=int, default=512,
+                        dest="cache_size")
+    parser.add_argument("--ttl", type=float, default=None)
+    parser.add_argument("--compact-every", type=int, default=256,
+                        dest="compact_every")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="solver threads for this shard")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        dest="max_pending")
+    parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument("--no-warm", action="store_true", dest="no_warm")
+    parser.add_argument("--no-breaker", action="store_true", dest="no_breaker")
+    parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        dest="breaker_cooldown")
+    parser.add_argument("--degrade", action="store_true")
+    parser.add_argument("--sibling-probes", type=int, default=2,
+                        dest="sibling_probes",
+                        help="peers asked per miss before solving cold")
+    parser.add_argument("--slowdown", type=float, default=0.0, metavar="MS",
+                        help="simulated per-request service time in "
+                             "milliseconds (models a slower shard)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Worker entry point: serve until SIGTERM/SIGINT."""
+    args = build_parser().parse_args(argv)
+    models = load_model_set(Path(args.points), args.model)
+
+    durable = args.cache_file is not None
+    if durable:
+        cache: PlanCache = DurablePlanCache(
+            args.cache_file, compact_every=args.compact_every,
+            capacity=args.cache_size, ttl=args.ttl,
+        )
+        snapshot_entries, wal_ops = cache.recover()
+        recovered = snapshot_entries + wal_ops
+    else:
+        cache = PlanCache(capacity=args.cache_size, ttl=args.ttl)
+        recovered = 0
+
+    policy = None
+    if args.degrade:
+        from repro.degrade import DegradationPolicy
+
+        policy = DegradationPolicy()
+    breakers = None
+    if not args.no_breaker:
+        from repro.serve.breaker import BreakerBoard
+
+        breakers = BreakerBoard(cooldown=args.breaker_cooldown)
+
+    sibling = SiblingFill(args.shard_id, max_probes=args.sibling_probes)
+    engine = PlanEngine(
+        cache=cache, policy=policy, partitioner=args.algorithm,
+        warm=not args.no_warm, breakers=breakers, sibling_fill=sibling,
+    )
+    server = PlanServer(
+        models, engine=engine, max_workers=args.threads,
+        max_pending=args.max_pending, default_deadline=args.deadline,
+    )
+
+    plan_hook = None
+    if args.slowdown > 0.0:
+        delay = args.slowdown / 1000.0
+
+        def plan_hook() -> None:
+            # Deliberately blocks the event loop: this *is* the shard's
+            # service time, so it must consume serving capacity.
+            time.sleep(delay)
+
+    frontend = AioFrontend(
+        server, host=args.host, port=args.port,
+        extra_routes=_extra_routes(server, sibling), plan_hook=plan_hook,
+    )
+    frontend.start()
+    print(json.dumps({
+        "ready": True,
+        "shard_id": args.shard_id,
+        "host": args.host,
+        "port": frontend.port,
+        "url": frontend.url,
+        "recovered": recovered,
+    }), flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, _frame) -> None:
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, _on_signal)
+    stop.wait()
+
+    frontend.stop()
+    server.drain(timeout=10.0)
+    server.close()
+    if durable:
+        cache.close()
+    print(f"shard {args.shard_id}: clean shutdown", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

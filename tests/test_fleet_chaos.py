@@ -1,0 +1,189 @@
+"""Fleet chaos: SIGKILL a shard mid-flood, reroute, recover, rejoin.
+
+The crash story the fleet must survive, driven end to end with real
+worker processes:
+
+* a shard is SIGKILLed *without telling the router* (the process just
+  dies, as crashes do) while a seeded flood
+  (:func:`repro.faults.serve.flood_totals`) is in flight -- the router
+  must discover the death from connection errors, mark the shard dead,
+  and reroute to the survivors, losing **zero** requests;
+* every plan acked before the kill stays servable afterwards;
+* the restarted shard recovers its plans from its **own** WAL, rejoins
+  the ring at its old position, and serves its old keys from cache;
+* sibling fill skips the dead peer instead of failing the request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.faults.serve import ShardKillSchedule, flood_totals
+from repro.serve import PlanFleet, ShardClient, affinity_key
+
+pytestmark = [pytest.mark.chaos, pytest.mark.fleet]
+
+WORKERS = 3
+
+
+@pytest.fixture(scope="module")
+def points_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("chaos-points")
+    assert cli_main([
+        "build", "--platform", "fig4", "--sizes", "32,128,512",
+        "--out", str(out),
+    ]) == 0
+    return out
+
+
+def homes(fleet, totals):
+    """Map each total to the shard its affinity key hashes to."""
+    return {
+        t: fleet.router.ring.lookup(affinity_key(t, "geometric", {}))
+        for t in totals
+    }
+
+
+def crash(fleet, shard_id):
+    """Kill the worker the way crashes do: no supervisor bookkeeping.
+
+    Deliberately NOT :meth:`PlanFleet.kill_shard` -- that tells the
+    router.  Here the router must notice on its own, from the failed
+    relay, and reroute within the same request.
+    """
+    proc = fleet.shards[shard_id].proc
+    proc.kill()
+    proc.wait()
+
+
+class TestKillMidFlood:
+    def test_sigkill_reroutes_and_recovers(self, points_dir, tmp_path):
+        schedule = ShardKillSchedule(victim="shard1", after_requests=20,
+                                     restart_after=12)
+        stream = flood_totals(44, pool=12, miss_rate=0.1, seed=7)
+        with PlanFleet(
+            points_dir, workers=WORKERS, probe=False,
+            cache_dir=tmp_path / "caches",
+        ) as fleet:
+            placed = homes(fleet, stream)
+            # The seeded flood must actually exercise the victim, both
+            # before the kill (so its WAL has plans to recover) and
+            # after (so reroutes happen) -- assert the schedule is sane.
+            before = stream[:schedule.after_requests]
+            after = stream[schedule.after_requests:]
+            assert any(placed[t] == schedule.victim for t in before)
+            assert any(placed[t] == schedule.victim for t in after)
+
+            client = ShardClient(fleet.url)
+            served = {}
+            killed = restarted = False
+            try:
+                for index, total in enumerate(stream):
+                    if index == schedule.after_requests:
+                        crash(fleet, schedule.victim)
+                        killed = True
+                    if index == schedule.after_requests + schedule.restart_after:
+                        ready = fleet.restart_shard(schedule.victim)
+                        assert ready["recovered"] > 0, (
+                            "victim's WAL held no plans to recover"
+                        )
+                        restarted = True
+                    reply = client.plan({"cmd": "plan", "total": total})
+                    assert "error" not in reply, (
+                        f"request {index} (total={total}) failed: {reply}"
+                    )
+                    assert sum(reply["sizes"]) == total
+                    served.setdefault(total, reply["sizes"])
+                    # Any repeat must agree with the first ack.
+                    assert reply["sizes"] == served[total]
+
+                assert killed and restarted
+                # The router discovered the death itself and rerouted.
+                counters = fleet.router.counters
+                assert counters["shard_errors"] >= 1
+                assert counters["reroutes"] >= 1
+
+                # Every acked plan is still servable, and the rejoined
+                # shard answers for its own arc again.
+                assert schedule.victim in fleet.router.alive()
+                for total in served:
+                    reply = client.plan({"cmd": "plan", "total": total})
+                    assert "error" not in reply
+                    assert reply["sizes"] == served[total]
+            finally:
+                client.close()
+
+    def test_recovered_shard_serves_its_old_keys_from_cache(
+        self, points_dir, tmp_path
+    ):
+        with PlanFleet(
+            points_dir, workers=2, probe=False,
+            cache_dir=tmp_path / "caches",
+        ) as fleet:
+            victim = "shard0"
+            # Find totals homed on the victim and solve them there.
+            pool = [t for t in flood_totals(64, pool=32, miss_rate=0.0, seed=3)
+                    if fleet.router.ring.lookup(
+                        affinity_key(t, "geometric", {})) == victim]
+            assert pool, "no totals hash to the victim; enlarge the pool"
+            client = ShardClient(fleet.url)
+            try:
+                first = {t: client.plan({"cmd": "plan", "total": t})
+                         for t in pool[:3]}
+                crash(fleet, victim)
+                fleet.router.mark_dead(victim)  # supervisor-noticed crash
+                ready = fleet.restart_shard(victim)
+                assert ready["recovered"] >= len(first)
+                for total, original in first.items():
+                    reply = client.plan({"cmd": "plan", "total": total})
+                    # Served from the recovered WAL: cached, identical.
+                    assert reply["cached"] is True
+                    assert reply["sizes"] == original["sizes"]
+                    assert reply["times"] == original["times"]
+            finally:
+                client.close()
+
+    def test_sibling_fill_skips_dead_peers(self, points_dir):
+        with PlanFleet(points_dir, workers=3, probe=False) as fleet:
+            client = ShardClient(fleet.url)
+            try:
+                total = 9191
+                home = fleet.router.ring.lookup(
+                    affinity_key(total, "geometric", {})
+                )
+                client.plan({"cmd": "plan", "total": total})  # cached on home
+                crash(fleet, home)
+                fleet.router.mark_dead(home)
+                # The reroute target misses locally; its first sibling
+                # probe (the dead home) must be skipped, not fatal.
+                reply = client.plan({"cmd": "plan", "total": total})
+                assert "error" not in reply
+                assert sum(reply["sizes"]) == total
+            finally:
+                client.close()
+
+
+class TestSchedules:
+    def test_flood_is_deterministic_and_mixed(self):
+        a = flood_totals(200, pool=16, miss_rate=0.2, seed=11)
+        b = flood_totals(200, pool=16, miss_rate=0.2, seed=11)
+        assert a == b
+        assert a != flood_totals(200, pool=16, miss_rate=0.2, seed=12)
+        warm = {100_000 + 1_000 * i for i in range(16)}
+        fresh = [t for t in a if t not in warm]
+        assert fresh, "no misses in a mixed flood"
+        assert len(fresh) < len(a) // 2, "mostly hits by construction"
+        assert len(set(fresh)) == len(fresh), "fresh totals never repeat"
+
+    def test_bad_parameters_refused(self):
+        from repro.errors import FaultInjectionError
+
+        with pytest.raises(FaultInjectionError):
+            flood_totals(0)
+        with pytest.raises(FaultInjectionError):
+            flood_totals(10, miss_rate=1.5)
+        with pytest.raises(FaultInjectionError):
+            ShardKillSchedule(after_requests=-1)
+        with pytest.raises(FaultInjectionError):
+            ShardKillSchedule(restart_after=-2)

@@ -1,0 +1,124 @@
+"""Consistent-hash ring: determinism, spread, and minimal remapping.
+
+The ring is the fleet's placement function; these tests pin the three
+properties the router and sibling fill depend on:
+
+* placement is a pure function of the shard-id strings (two processes,
+  or a restarted router, build identical rings);
+* membership changes remap only the touched arcs (~K/N of K keys), not
+  the whole keyspace like a modulo hash would;
+* :meth:`~repro.serve.hashring.HashRing.preference` yields each shard
+  exactly once, home first -- the deterministic fail-over order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FuPerModError
+from repro.serve import HashRing
+from repro.serve.fingerprint import affinity_key
+
+pytestmark = [pytest.mark.serve, pytest.mark.fleet]
+
+SHARDS = ("shard0", "shard1", "shard2", "shard3")
+
+KEYS = [affinity_key(10_000 + 17 * i, "geometric", {}) for i in range(2000)]
+
+
+class TestDeterminism:
+    def test_identical_across_instances(self):
+        a = HashRing(SHARDS)
+        b = HashRing(reversed(SHARDS))  # insertion order must not matter
+        assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+        assert a.shards == b.shards == tuple(sorted(SHARDS))
+
+    def test_preference_is_stable(self):
+        ring = HashRing(SHARDS)
+        for key in KEYS[:50]:
+            order = ring.preference(key)
+            assert order == ring.preference(key)
+            assert order[0] == ring.lookup(key)
+            assert sorted(order) == sorted(SHARDS)  # each shard once
+
+    def test_preference_limit(self):
+        ring = HashRing(SHARDS)
+        assert len(ring.preference(KEYS[0], limit=2)) == 2
+        assert ring.preference(KEYS[0], limit=2) == ring.preference(KEYS[0])[:2]
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.preference("anything") == []
+        with pytest.raises(FuPerModError):
+            ring.lookup("anything")
+
+
+class TestMembership:
+    def test_double_add_and_missing_remove_refused(self):
+        ring = HashRing(SHARDS)
+        with pytest.raises(FuPerModError):
+            ring.add("shard0")
+        with pytest.raises(FuPerModError):
+            ring.remove("nope")
+        with pytest.raises(FuPerModError):
+            HashRing(SHARDS, replicas=0)
+
+    def test_join_remaps_at_most_its_share(self):
+        before = HashRing(SHARDS)
+        placed = {k: before.lookup(k) for k in KEYS}
+        after = HashRing(SHARDS)
+        after.add("shard4")
+        moved = [k for k in KEYS if after.lookup(k) != placed[k]]
+        # Ideal share is K/(N+1) = 20%; virtual nodes keep the real arc
+        # within a modest factor of that.  A modulo hash would move ~80%.
+        assert len(moved) / len(KEYS) < 0.40
+        # Every moved key must have moved *to* the joiner, nowhere else.
+        assert all(after.lookup(k) == "shard4" for k in moved)
+
+    def test_leave_remaps_only_the_leavers_keys(self):
+        ring = HashRing(SHARDS)
+        placed = {k: ring.lookup(k) for k in KEYS}
+        ring.remove("shard2")
+        for key in KEYS:
+            if placed[key] == "shard2":
+                assert ring.lookup(key) != "shard2"
+            else:  # survivors' keys must not move at all
+                assert ring.lookup(key) == placed[key]
+
+    def test_rejoin_restores_placement(self):
+        ring = HashRing(SHARDS)
+        placed = {k: ring.lookup(k) for k in KEYS}
+        ring.remove("shard1")
+        ring.add("shard1")
+        assert {k: ring.lookup(k) for k in KEYS} == placed
+
+
+class TestSpread:
+    def test_no_shard_starves(self):
+        ring = HashRing(SHARDS)
+        counts = {s: 0 for s in SHARDS}
+        for key in KEYS:
+            counts[ring.lookup(key)] += 1
+        share = len(KEYS) / len(SHARDS)
+        for shard, count in counts.items():
+            assert 0.4 * share < count < 1.8 * share, (
+                f"{shard} owns {count}/{len(KEYS)} keys"
+            )
+
+
+class TestAffinityKey:
+    def test_excludes_model_fingerprints(self):
+        # Identical requests must share a key regardless of model state:
+        # a refit must not remap the fleet's placement.
+        assert affinity_key(1000, "geometric", {}) == affinity_key(
+            1000, "geometric", {}
+        )
+        assert affinity_key(1000, "geometric", {}) != affinity_key(
+            1001, "geometric", {}
+        )
+        assert affinity_key(1000, "geometric", {}) != affinity_key(
+            1000, "dp", {}
+        )
+        assert affinity_key(1000, None, {}) != affinity_key(
+            1000, None, {"tol": 0.5}
+        )
