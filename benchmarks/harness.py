@@ -60,6 +60,11 @@ SERVE_RESILIENCE_OVERHEAD_LIMIT = 0.05
 #: ``fleet_scaling`` bench section's ``scale_at_4``).
 FLEET_SCALING_FLOOR = 3.0
 
+#: Ceiling on the closed-loop tax (attached feedback controller +
+#: model lineage) over a plain server on the cache-hit path (the
+#: ``feedback_loop`` bench section).
+FEEDBACK_OVERHEAD_LIMIT = 0.05
+
 #: Floor on the asyncio front end's hit-path throughput relative to the
 #: threaded stdlib front end (``frontend_http.aio_over_threaded``).
 AIO_PARITY_FLOOR = 1.0
@@ -283,6 +288,33 @@ def check_fleet_scaling(
     return failures
 
 
+def check_feedback_loop(
+    current: Dict, limit: float = FEEDBACK_OVERHEAD_LIMIT
+) -> List[str]:
+    """Gate the closed-loop tax on the cache-hit path.
+
+    Reads the ``feedback_loop`` section of a result tree (the
+    ``bench_feedback_loop`` bench) and reports every rank count whose
+    ``overhead_frac`` (hit time with an attached feedback controller
+    over a plain server's, minus one) exceeds *limit*.  The lineage
+    check on the hit path is one atomic reference read of
+    ``server.models``, so anything above noise means refinement
+    machinery leaked into plan serving.  A missing section is not a
+    failure -- older result files predate the closed loop.
+    """
+    if limit <= 0.0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    failures: List[str] = []
+    for p, row in sorted(current.get("feedback_loop", {}).items()):
+        frac = row.get("overhead_frac")
+        if isinstance(frac, (int, float)) and frac > limit:
+            failures.append(
+                f"feedback_loop.{p}: closed-loop hit path "
+                f"{100 * frac:.1f}% over plain (limit {100 * limit:.0f}%)"
+            )
+    return failures
+
+
 def _load_results(path: Path) -> Dict:
     """Load one bench result file, raising ``SystemExit(2)`` on damage."""
     if not path.exists():
@@ -370,12 +402,28 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
             for line in fleet_failures:
                 print(f"  {line}")
             return 1
+    # And for the closed-loop bench (feedback controller + lineage).
+    feedback_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_feedback_loop.json"
+    )
+    if feedback_path.exists():
+        try:
+            feedback = _load_results(feedback_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        feedback_failures = check_feedback_loop(feedback)
+        if feedback_failures:
+            print("closed-loop overhead above the "
+                  f"{100 * FEEDBACK_OVERHEAD_LIMIT:.0f}% ceiling:")
+            for line in feedback_failures:
+                print(f"  {line}")
+            return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
     print(f"no throughput regressions ({compared} metrics compared); "
           "ladder overhead, plan-cache floor, serving-hardening "
-          "overhead and fleet gates within limits")
+          "overhead, fleet and closed-loop gates within limits")
     return 0
 
 

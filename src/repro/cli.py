@@ -318,6 +318,13 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         worker_args += ["--max-pending", str(args.max_pending)]
     if args.deadline is not None:
         worker_args += ["--deadline", str(args.deadline)]
+    if args.no_feedback:
+        worker_args += ["--no-feedback"]
+    worker_args += ["--refit-every", str(args.refit_every),
+                    "--feedback-k", str(args.feedback_k),
+                    "--feedback-strikes", str(args.feedback_strikes)]
+    if args.feedback_rate is not None:
+        worker_args += ["--feedback-rate", str(args.feedback_rate)]
     fleet = PlanFleet(
         args.points,
         workers=args.workers,
@@ -428,6 +435,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending, default_deadline=args.deadline,
     )
 
+    lineage = None
+    if not args.no_feedback:
+        from repro.serve import FeedbackController, FeedbackQuarantine, ModelLineage
+
+        # The lineage journal sits beside the cache WAL so models and
+        # the plans computed from them crash-recover together.
+        lineage_path = str(cache_file) + ".lineage" if durable else None
+        lineage = ModelLineage(models, wal_path=lineage_path)
+        replayed = lineage.recover()
+        if replayed:
+            print(f"replayed {replayed} lineage op(s); serving model "
+                  f"epoch {lineage.epoch}", file=sys.stderr)
+        server.models = lineage.models
+        server.attach_feedback(FeedbackController(
+            server, lineage,
+            quarantine=FeedbackQuarantine(
+                k=args.feedback_k,
+                max_strikes=args.feedback_strikes,
+                rate_limit=args.feedback_rate,
+            ),
+            refit_every=args.refit_every,
+        ))
+
     # Signal handlers can only live in the main thread (tests drive this
     # command from worker threads, where installation must be skipped).
     previous_handlers = {}
@@ -480,6 +510,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"warning: in-flight computations still running after "
                   f"{args.drain_timeout:.3g}s drain window", file=sys.stderr)
         server.close()
+        if lineage is not None:
+            lineage.close()
         if durable:
             cache.close()
             print(f"compacted {len(cache)} cached plan(s) to {cache_file}",
@@ -841,6 +873,28 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="breaker_cooldown",
                        help="seconds an open circuit breaker waits before "
                             "admitting a trial request")
+    p_srv.add_argument("--no-feedback", action="store_true",
+                       dest="no_feedback",
+                       help="serve without the closed-loop feedback path "
+                            "(POST /feedback answers 400)")
+    p_srv.add_argument("--refit-every", type=int, default=16,
+                       dest="refit_every",
+                       help="accepted feedback reports buffered between "
+                            "model refits")
+    p_srv.add_argument("--feedback-k", type=float, default=8.0,
+                       dest="feedback_k",
+                       help="outlier ratio bound of the feedback quarantine: "
+                            "a reported time outside [pred/k, k*pred] is "
+                            "rejected")
+    p_srv.add_argument("--feedback-strikes", type=int, default=3,
+                       dest="feedback_strikes",
+                       help="consecutive rejected reports before a source is "
+                            "quarantined (403)")
+    p_srv.add_argument("--feedback-rate", type=int, default=None,
+                       dest="feedback_rate",
+                       help="max feedback reports per source per minute; "
+                            "over-rate answers 429 with Retry-After "
+                            "(default: unlimited)")
     p_srv.add_argument("--drain-timeout", type=float, default=10.0,
                        dest="drain_timeout",
                        help="seconds to wait for in-flight computations at "

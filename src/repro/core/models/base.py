@@ -28,6 +28,7 @@ Two mechanisms keep the hot paths fast:
 from __future__ import annotations
 
 import abc
+import math
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -71,8 +72,23 @@ class PerformanceModel(abc.ABC):
 
     @staticmethod
     def _validate_point(point: MeasurementPoint) -> None:
+        """Reject a point no fit could use, with a typed error, at ingest.
+
+        :class:`MeasurementPoint` construction already refuses non-finite
+        and negative times, but ``update``/``update_many`` accept any
+        object with ``d``/``t`` attributes (the closed-loop feedback path
+        and tests duck-type them), and ``point.t <= 0.0`` is *False* for
+        NaN -- which would otherwise sail through and fail cryptically
+        inside the lazy rebuild.  Every model family shares this gate, so
+        rejection is uniform: :class:`~repro.errors.ModelError`, here,
+        not an interpolator traceback later.
+        """
+        if not math.isfinite(point.d):
+            raise ModelError(f"model points need a finite size, got {point.d}")
         if point.d <= 0:
             raise ModelError(f"model points need positive size, got {point.d}")
+        if not math.isfinite(point.t):
+            raise ModelError(f"model points need a finite time, got {point.t}")
         if point.t <= 0.0:
             raise ModelError(f"model points need positive time, got {point.t}")
 

@@ -22,7 +22,10 @@ subsystem failed:
 * :class:`ServiceOverloadError` -- the plan service shed a request
   because its admission queue was full (``repro.serve``);
 * :class:`CircuitOpenError` -- a model set's circuit breaker is open and
-  no degradation fallback is configured (``repro.serve``).
+  no degradation fallback is configured (``repro.serve``);
+* :class:`FeedbackRejected` -- a feedback report failed quarantine
+  scoring or rate limiting and was not folded into the models
+  (``repro.serve.feedback``).
 
 :class:`ConvergenceWarning` is the non-fatal counterpart of
 :class:`ConvergenceError`: in non-strict mode an uncertified result is
@@ -199,8 +202,47 @@ class QuarantineError(BenchmarkError):
     catches it, records a ``DeviceQuarantined`` entry in the
     :class:`~repro.faults.ResilienceReport` and continues with the
     surviving ranks.
+
+    The feedback quarantine (:mod:`repro.serve.feedback`) reuses this
+    type for a *source* that exhausted its strike budget: subsequent
+    reports from it are refused outright (HTTP 403).  ``source`` carries
+    the offender's identity there; ``rank`` stays -1.
     """
 
-    def __init__(self, message: str, rank: int = -1) -> None:
+    def __init__(self, message: str, rank: int = -1, source: str = "") -> None:
         super().__init__(message)
         self.rank = rank
+        self.source = source
+
+
+class FeedbackRejected(FuPerModError):
+    """A feedback report failed the trust boundary and was discarded.
+
+    Raised by the closed-loop refinement path
+    (:class:`~repro.serve.feedback.FeedbackController`) when a
+    structurally valid report fails quarantine scoring (non-finite,
+    negative or outlier timings, impossible sizes) or rate limiting.
+    The front ends map it to HTTP 400 -- or 429 with a ``Retry-After``
+    header when :attr:`retry_after` is set (a rate-limit violation,
+    worth retrying later; the content rejections are not).
+
+    Attributes:
+        reasons: rejection-reason slugs, in check order (``"non-finite"``,
+            ``"negative"``, ``"outlier"``, ``"impossible-sizes"``,
+            ``"rate-limit"``).
+        source: the reporting source's identity.
+        retry_after: seconds until the rate-limit window frees a slot
+            (None for content rejections, which retrying cannot fix).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reasons: "tuple[str, ...]" = (),
+        source: str = "",
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.reasons = tuple(reasons)
+        self.source = source
+        self.retry_after = retry_after

@@ -14,9 +14,11 @@ testing substrate for the resilient runtime:
   :class:`DeviceQuarantined` -- the typed record of what failed, what was
   retried and who survived;
 * :class:`SolveFaults` / :func:`chaotic_partitioner` /
-  :func:`corrupt_wal` (:mod:`repro.faults.serve`) -- chaos hooks for the
-  plan-serving layer: scheduled solve failures and slowdowns, and
-  realistic write-ahead-journal damage.
+  :func:`corrupt_wal` / :class:`FeedbackStorm`
+  (:mod:`repro.faults.serve`) -- chaos hooks for the plan-serving
+  layer: scheduled solve failures and slowdowns, realistic
+  write-ahead-journal damage, and seeded honest/adversarial feedback
+  streams for the closed-loop refinement suite.
 
 The consuming resilience layers live where the healthy code lives:
 retry/quarantine in :mod:`repro.core.benchmark`
@@ -35,6 +37,8 @@ from repro.faults.report import (
     ResilienceReport,
 )
 from repro.faults.serve import (
+    FEEDBACK_BEHAVIOURS,
+    FeedbackStorm,
     SolveFaults,
     WAL_CORRUPTIONS,
     chaotic_partitioner,
@@ -44,9 +48,11 @@ from repro.faults.serve import (
 __all__ = [
     "DegradedDevice",
     "DeviceQuarantined",
+    "FEEDBACK_BEHAVIOURS",
     "FaultPlan",
     "FaultyCommunicator",
     "FaultyKernel",
+    "FeedbackStorm",
     "NO_FAULTS",
     "RankFaults",
     "ResilienceEvent",

@@ -21,6 +21,12 @@ hardening invariants:
   (``tests/test_fleet_chaos.py``) and the fleet-scaling benchmark, so
   "SIGKILL one shard mid-flood" is the same flood every run.
 
+* :class:`FeedbackStorm` -- seeded streams of feedback reports in four
+  behaviours (honest drift, lying ranks, NaN floods, slow-drip
+  poisoners) for the closed-loop chaos suite
+  (``tests/test_feedback_chaos.py``): adversarial storms must never
+  move served plans, honest drift must converge them.
+
 Kill-and-restart chaos (SIGKILL mid-write, recover, compare) needs a
 real process boundary and lives in the tests themselves, driven through
 ``fupermod serve`` subprocesses.
@@ -231,6 +237,134 @@ def flood_totals(
         else:
             totals.append(warm[int(draws.integers(0, pool))])
     return totals
+
+
+#: Valid behaviours for :class:`FeedbackStorm`.
+FEEDBACK_BEHAVIOURS = ("honest", "lying", "nan-flood", "slow-drip")
+
+
+@dataclass(frozen=True)
+class FeedbackStorm:
+    """A seeded stream of feedback reports, honest or adversarial.
+
+    Four behaviours, spanning the threat model of the feedback
+    quarantine (:mod:`repro.serve.feedback`):
+
+    * ``"honest"`` -- timings are the ground-truth models' predictions
+      scaled by ``drift`` (platform drift: the machine really did get
+      slower/faster) with small multiplicative ``jitter``.  These must
+      be *accepted* and converge served plans toward the drifted truth.
+    * ``"lying"`` -- honest timings, but ``lying_ranks`` (every rank if
+      empty) multiplied by ``lie_factor``: a rank misreporting by orders
+      of magnitude to steal work.  Must be rejected.
+    * ``"nan-flood"`` -- ``lying_ranks`` report NaN.  Python's ``json``
+      emits and accepts NaN tokens, so this arrives over the wire
+      intact; the quarantine, not the parser, must stop it.
+    * ``"slow-drip"`` -- honest except every ``drip_every``-th report,
+      which lies like ``"lying"``: a poisoner nursing its reputation.
+      The drip reports must be rejected without the honest ones
+      widening any gate.
+
+    The same ``(behaviour, ..., seed)`` always yields the same payloads,
+    so chaos assertions ("served plans bit-identical after the storm")
+    compare like with like across runs.
+
+    Attributes:
+        source: the reporting identity stamped on every payload.
+        behaviour: one of :data:`FEEDBACK_BEHAVIOURS`.
+        drift: multiplier on ground-truth predictions (honest platform
+            drift; 1.0 = no drift).
+        lie_factor: multiplier lying ranks apply to their timings.
+        lying_ranks: ranks that lie or flood (empty tuple = all ranks).
+        drip_every: for ``"slow-drip"``, every this-many-th report lies.
+        jitter: half-width of the multiplicative noise on honest values.
+        seed: seed for the jitter draws.
+    """
+
+    source: str = "storm0"
+    behaviour: str = "honest"
+    drift: float = 1.0
+    lie_factor: float = 64.0
+    lying_ranks: "tuple" = ()
+    drip_every: int = 4
+    jitter: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in FEEDBACK_BEHAVIOURS:
+            raise FaultInjectionError(
+                f"unknown feedback behaviour {self.behaviour!r}; "
+                f"choose from {FEEDBACK_BEHAVIOURS}"
+            )
+        if self.drift <= 0.0:
+            raise FaultInjectionError(
+                f"drift must be positive, got {self.drift}"
+            )
+        if self.lie_factor <= 1.0:
+            raise FaultInjectionError(
+                f"lie_factor must exceed 1, got {self.lie_factor}"
+            )
+        if self.drip_every <= 0:
+            raise FaultInjectionError(
+                f"drip_every must be positive, got {self.drip_every}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise FaultInjectionError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator for this storm's jitter draws."""
+        return np.random.default_rng(self.seed)
+
+    def _lies_at(self, index: int) -> bool:
+        if self.behaviour in ("lying", "nan-flood"):
+            return True
+        if self.behaviour == "slow-drip":
+            return (index + 1) % self.drip_every == 0
+        return False
+
+    def payloads(
+        self,
+        plans: Sequence[Sequence[int]],
+        truth: Sequence,
+        partitioner: Optional[str] = None,
+    ) -> list:
+        """Feedback payloads for a sequence of per-rank size vectors.
+
+        ``truth`` is the *ground-truth* model list (the platform as it
+        actually is -- drifted, if the storm models drift); honest
+        timings are its predictions times ``drift`` and jitter.  Returns
+        JSON-ready dicts for ``POST /feedback`` / ``{"cmd": "feedback"}``
+        in order, one per plan.
+        """
+        draws = self.rng()
+        out = []
+        for index, sizes in enumerate(plans):
+            times = []
+            lies = self._lies_at(index)
+            for rank, size in enumerate(sizes):
+                base = float(truth[rank].time(float(size))) * self.drift
+                noise = 1.0 + float(draws.uniform(-self.jitter, self.jitter))
+                t = base * noise
+                targeted = not self.lying_ranks or rank in self.lying_ranks
+                if lies and targeted:
+                    if self.behaviour == "nan-flood":
+                        t = float("nan")
+                    else:
+                        t = t * self.lie_factor
+                times.append(t)
+            payload = {
+                "cmd": "feedback",
+                "source": self.source,
+                "total": int(sum(sizes)),
+                "sizes": [int(s) for s in sizes],
+                "times": times,
+            }
+            if partitioner is not None:
+                payload["partitioner"] = partitioner
+            out.append(payload)
+        return out
 
 
 @dataclass(frozen=True)

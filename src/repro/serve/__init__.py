@@ -49,8 +49,28 @@ The fleet layer scales out to many processes:
 * **peer cache fill** -- a shard missing a plan probes its siblings
   (ring preference order) before solving cold.
 
+The closed-loop layer lets served models track the platform:
+
+* **feedback with a trust boundary** (:mod:`~repro.serve.feedback`) --
+  apps report actual per-rank timings (``POST /feedback``); a per-source
+  :class:`~repro.serve.feedback.FeedbackQuarantine` scores every report
+  against the current models (non-finite, negative, outlier, impossible
+  sizes, rate limits) and quarantines offenders, naming every rejection
+  in a :class:`~repro.serve.feedback.QuarantineReport`;
+* **versioned model lineage** (:mod:`~repro.serve.lineage`) -- accepted
+  points refit *copies* of the models behind a parent-to-child
+  fingerprint chain with monotonically increasing epochs, journalled to
+  a :class:`~repro.serve.lineage.LineageWAL` before the atomic swap, so
+  old plans stay servable during a refit and a SIGKILL mid-refit
+  recovers a consistent epoch;
+* **a regression gate** -- each refit must predict a held-back window of
+  accepted feedback at least as well as its parent, or the lineage
+  rolls back (counted in ``/metrics``); stale cache entries are
+  invalidated and warm-re-solved off the request path.
+
 Cache persistence lives in :mod:`repro.io.plans`; serve-level chaos
-hooks in :mod:`repro.faults.serve`.
+hooks (including the seeded :class:`~repro.faults.FeedbackStorm`) in
+:mod:`repro.faults.serve`.
 """
 
 from repro.serve.aio import AioFrontend, AsyncHTTPBase
@@ -58,6 +78,13 @@ from repro.serve.breaker import BreakerBoard, CircuitBreaker
 from repro.serve.cache import CacheStats, PlanCache
 from repro.serve.client import KeepAliveTransport, PlanClient, http_transport
 from repro.serve.engine import PlanEngine
+from repro.serve.feedback import (
+    FeedbackController,
+    FeedbackCounters,
+    FeedbackQuarantine,
+    FeedbackReport,
+    QuarantineReport,
+)
 from repro.serve.fingerprint import (
     FINGERPRINT_VERSION,
     affinity_key,
@@ -68,6 +95,7 @@ from repro.serve.fingerprint import (
 from repro.serve.fleet import PlanFleet
 from repro.serve.frontend import handle_request, make_http_server, serve_stdio
 from repro.serve.hashring import HashRing
+from repro.serve.lineage import LineageRecord, LineageWAL, ModelLineage
 from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
 from repro.serve.router import FpmBalancer, PlanRouter, RoundRobinBalancer
 from repro.serve.server import PlanServer
@@ -82,9 +110,16 @@ __all__ = [
     "CircuitBreaker",
     "DurablePlanCache",
     "FINGERPRINT_VERSION",
+    "FeedbackController",
+    "FeedbackCounters",
+    "FeedbackQuarantine",
+    "FeedbackReport",
     "FpmBalancer",
     "HashRing",
     "KeepAliveTransport",
+    "LineageRecord",
+    "LineageWAL",
+    "ModelLineage",
     "PlanCache",
     "PlanClient",
     "PlanEngine",
@@ -94,6 +129,7 @@ __all__ = [
     "PlanRouter",
     "PlanServer",
     "PlanWAL",
+    "QuarantineReport",
     "ReplayResult",
     "RoundRobinBalancer",
     "ServeCounters",

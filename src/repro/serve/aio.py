@@ -20,9 +20,9 @@ replaces it with a single-threaded :mod:`asyncio` event loop:
 The HTTP surface is deliberately minimal (we control both ends):
 HTTP/1.1, Content-Length framing only, keep-alive by default,
 ``Connection: close`` honoured.  Endpoints: ``POST /plan``,
-``GET /stats``, ``GET /metrics``, ``GET /health``, plus any
-``extra_routes`` the fleet worker mounts (sibling cache peeks, peer
-wiring).
+``POST /feedback`` (closed-loop refinement), ``GET /stats``,
+``GET /metrics``, ``GET /health``, plus any ``extra_routes`` the fleet
+worker mounts (sibling cache peeks, peer wiring).
 
 The connection loop and lifecycle live in :class:`AsyncHTTPBase` so the
 fleet router (:mod:`repro.serve.router`) -- which relays raw bytes
@@ -52,9 +52,10 @@ RouteHandler = Callable[[str, Optional[Dict[str, Any]]], Tuple[int, Dict[str, An
 Reply = Tuple[int, Union[Dict[str, Any], bytes], Optional[Dict[str, str]]]
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    413: "Payload Too Large", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
+    200: "OK", 400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -67,8 +68,9 @@ def encode_response(
     """One full HTTP/1.1 response with Content-Length framing.
 
     ``payload`` may be a dict (encoded as JSON) or raw pre-encoded bytes
-    (relayed verbatim -- the router's bit-parity guarantee).  A 503 dict
-    carrying ``retry_after`` grows the RFC 7231 ``Retry-After`` header.
+    (relayed verbatim -- the router's bit-parity guarantee).  A 503 or
+    429 dict carrying ``retry_after`` grows the RFC 7231 ``Retry-After``
+    header.
     """
     headers: Dict[str, str] = dict(extra_headers or {})
     if isinstance(payload, bytes):
@@ -76,7 +78,7 @@ def encode_response(
     else:
         body = json.dumps(payload).encode("utf-8")
         retry_after = payload.get("retry_after")
-        if status == 503 and retry_after is not None:
+        if status in (429, 503) and retry_after is not None:
             headers.setdefault(
                 "Retry-After", str(max(1, int(round(retry_after))))
             )
@@ -422,6 +424,14 @@ class AioFrontend(AsyncHTTPBase):
             except (UnicodeDecodeError, ValueError) as exc:
                 return 400, {"error": f"bad JSON: {exc}"}, None
             if norm == "/plan":
+                status, response = await self._respond_plan(payload)
+                return status, response, None
+            if norm == "/feedback":
+                # Same executor path as plans: handle_request dispatches
+                # cmd="feedback" and owns the 400/403/429 taxonomy.  The
+                # fast lane and plan hook ignore non-plan commands, so
+                # reusing _respond_plan cannot serve feedback from cache.
+                payload["cmd"] = "feedback"
                 status, response = await self._respond_plan(payload)
                 return status, response, None
             extra = self._route_extra("POST", path, payload)

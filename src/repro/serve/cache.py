@@ -78,15 +78,21 @@ class CacheStats:
 class _Entry:
     """One cached plan plus bookkeeping (internal)."""
 
-    __slots__ = ("result", "models_fp", "stored_at", "nbytes")
+    __slots__ = ("result", "models_fp", "stored_at", "nbytes", "spec")
 
     def __init__(
-        self, result: PlanResult, models_fp: str, stored_at: float, nbytes: int
+        self,
+        result: PlanResult,
+        models_fp: str,
+        stored_at: float,
+        nbytes: int,
+        spec: Optional[Tuple[Any, ...]] = None,
     ) -> None:
         self.result = result
         self.models_fp = models_fp
         self.stored_at = stored_at
         self.nbytes = nbytes
+        self.spec = spec
 
 
 def _estimate_bytes(result: PlanResult) -> int:
@@ -203,17 +209,29 @@ class PlanCache:
             entry = self._live_entry(key, self._clock())
             return entry.result if entry is not None else None
 
-    def put(self, key: str, result: PlanResult, models_fp: str) -> None:
+    def put(
+        self,
+        key: str,
+        result: PlanResult,
+        models_fp: str,
+        spec: Optional[Tuple[Any, ...]] = None,
+    ) -> None:
         """Store ``result`` under ``key``, evicting as needed.
 
         ``models_fp`` feeds the secondary warm-start index; pass the
-        model-set fingerprint the plan was computed against.
+        model-set fingerprint the plan was computed against.  ``spec``
+        optionally records the ``(total, partitioner, options)`` the plan
+        answers, so a model refit can re-solve invalidated entries
+        (:meth:`invalidate_models`) without reverse-engineering requests
+        from result keys.
         """
         with self._lock:
             if key in self._entries:
                 self._drop(key)
             nbytes = _estimate_bytes(result)
-            self._entries[key] = _Entry(result, models_fp, self._clock(), nbytes)
+            self._entries[key] = _Entry(
+                result, models_fp, self._clock(), nbytes, spec
+            )
             self._bytes += nbytes
             self._by_models.setdefault(models_fp, set()).add(key)
             self._inserts += 1
@@ -260,6 +278,31 @@ class PlanCache:
             self._drop(key)
             return True
 
+    def invalidate_models(self, models_fp: str) -> List[Optional[Tuple[Any, ...]]]:
+        """Drop every entry planned against ``models_fp``.
+
+        This is the refit invalidation hook: when a model lineage commits
+        a new epoch, plans computed against the *parent* fingerprint are
+        stale -- they answer requests correctly for models nobody serves
+        any more.  Returns the recorded request spec of each dropped
+        entry, oldest-first (``None`` for entries stored without one), so
+        the caller can count the drops and warm-re-solve the spec'd ones
+        against the child models off the request path.
+
+        Goes through :meth:`invalidate` per key, so subclasses that
+        journal invalidations (``DurablePlanCache``) record each drop.
+        """
+        with self._lock:
+            keys = [
+                key
+                for key in self._entries
+                if self._entries[key].models_fp == models_fp
+            ]
+            specs = [self._entries[key].spec for key in keys]
+            for key in keys:
+                self.invalidate(key)
+            return specs
+
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:
@@ -298,16 +341,24 @@ class PlanCache:
     # -- persistence (payload shape; file I/O lives in repro.io.plans) -----
 
     def to_payload(self) -> List[Dict[str, Any]]:
-        """Entries oldest-first as JSON-ready dicts (LRU order preserved)."""
+        """Entries oldest-first as JSON-ready dicts (LRU order preserved).
+
+        The optional ``spec`` slot (refit re-solve bookkeeping) is
+        emitted only when present, so payloads from spec-less caches are
+        byte-identical to the pre-lineage format.
+        """
         with self._lock:
-            return [
-                {
+            out: List[Dict[str, Any]] = []
+            for key, entry in self._entries.items():
+                item: Dict[str, Any] = {
                     "key": key,
                     "models_fp": entry.models_fp,
                     "result": entry.result.to_dict(),
                 }
-                for key, entry in self._entries.items()
-            ]
+                if entry.spec is not None:
+                    item["spec"] = list(entry.spec)
+                out.append(item)
+            return out
 
     def load_payload(self, payload: List[Dict[str, Any]]) -> int:
         """Insert persisted entries, returning how many were loaded.
@@ -321,6 +372,12 @@ class PlanCache:
         count = 0
         for item in payload:
             result = PlanResult.from_dict(item["result"])
-            self.put(str(item["key"]), result, str(item["models_fp"]))
+            spec = item.get("spec")
+            self.put(
+                str(item["key"]),
+                result,
+                str(item["models_fp"]),
+                spec=tuple(spec) if spec is not None else None,
+            )
             count += 1
         return count

@@ -14,8 +14,12 @@ the overload contract on top:
 * **504 (deadline)** responses are retried the same way: the timed-out
   solve keeps running server-side and populates the cache, so the retry
   is usually a cache hit.
-* **400/404/413/500** responses are not retried -- the request itself is
-  wrong, and resending it cannot help.  They raise immediately.
+* **429 (feedback rate limit)** responses are retried identically, with
+  the server's ``Retry-After`` hint as the backoff floor -- the window
+  will free a slot, so patience succeeds where insistence is a strike.
+* **400/403/404/413/500** responses are not retried -- the request (or
+  the source's standing, for 403) is wrong, and resending cannot help.
+  They raise immediately.
 
 Retries exhausted, the final error is raised as its typed exception
 (:class:`~repro.errors.ServiceOverloadError`,
@@ -43,15 +47,18 @@ import numpy as np
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceeded,
+    FeedbackRejected,
     FuPerModError,
+    QuarantineError,
     ServiceOverloadError,
 )
 from repro.serve.plan import PlanResult
 
 Transport = Callable[[Dict[str, Any]], Dict[str, Any]]
 
-#: Response codes worth retrying: overload (503) and deadline (504).
-RETRYABLE_CODES = (503, 504)
+#: Response codes worth retrying: feedback rate limit (429), overload
+#: (503) and deadline (504).
+RETRYABLE_CODES = (429, 503, 504)
 
 
 def _error_for(response: Mapping[str, Any]) -> FuPerModError:
@@ -68,6 +75,15 @@ def _error_for(response: Mapping[str, Any]) -> FuPerModError:
         )
     if code == 504:
         return DeadlineExceeded(message, stage="serve:client")
+    if code == 403 and response.get("quarantined"):
+        return QuarantineError(message, source=str(response.get("source", "")))
+    if code == 429 or "rejected" in response:
+        return FeedbackRejected(
+            message,
+            reasons=tuple(response.get("rejected", ())),
+            source=str(response.get("source", "")),
+            retry_after=retry_after,
+        )
     return FuPerModError(message)
 
 
@@ -153,6 +169,40 @@ class PlanClient:
             payload["deadline"] = deadline
         return PlanResult.from_dict(self.call(payload))
 
+    def feedback(
+        self,
+        source: str,
+        total: int,
+        sizes,
+        times,
+        partitioner: Optional[str] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Report actual per-rank timings into the closed loop.
+
+        Same retry policy as :meth:`plan`: 429 (rate limit) retries with
+        the server's ``Retry-After`` as the backoff floor; content
+        rejections (400, :class:`~repro.errors.FeedbackRejected` with
+        ``retry_after`` unset) and quarantine (403,
+        :class:`~repro.errors.QuarantineError`) raise immediately --
+        resending a rejected report is a strike, not a retry.
+
+        Returns the acceptance response
+        (``{"status": "accepted", "epoch", "buffered", "refit"}``).
+        """
+        payload: Dict[str, Any] = {
+            "cmd": "feedback",
+            "source": str(source),
+            "total": int(total),
+            "sizes": [int(s) for s in sizes],
+            "times": [float(t) for t in times],
+        }
+        if partitioner is not None:
+            payload["partitioner"] = partitioner
+        if options:
+            payload["options"] = dict(options)
+        return self.call(payload)
+
     def stats(self) -> Dict[str, Any]:
         """The server's consolidated counter snapshot."""
         return self.call({"cmd": "stats"})["stats"]
@@ -227,7 +277,8 @@ class KeepAliveTransport:
         if cmd in ("stats", "metrics"):
             method, path, body = "GET", f"/{cmd}", None
         else:
-            method, path = "POST", "/plan"
+            method = "POST"
+            path = "/feedback" if cmd == "feedback" else "/plan"
             body = json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body else {}
         for attempt in (0, 1):

@@ -265,14 +265,19 @@ class PlanEngine:
         hit = self.cache.get(request.key)
         if hit is not None:
             return hit.replace(cached=True)
+        # The spec rides along with cached entries so a model refit can
+        # re-solve exactly the requests this cache was answering.
+        spec = (request.total, request.partitioner, request.option_dict())
         if self.sibling_fill is not None:
             filled = self._from_sibling(request)
             if filled is not None:
-                self.cache.put(request.key, filled, request.models_fp)
+                self.cache.put(
+                    request.key, filled, request.models_fp, spec=spec
+                )
                 return filled.replace(cached=True)
         result, cacheable = self._solve(request, models)
         if cacheable:
-            self.cache.put(request.key, result, request.models_fp)
+            self.cache.put(request.key, result, request.models_fp, spec=spec)
         return result
 
     def plan(

@@ -10,7 +10,12 @@ Both front ends speak the same tiny protocol over a
   HTTP) returns the consolidated counter snapshot;
 * a **metrics** request (``{"cmd": "metrics"}``, ``GET /metrics``) returns
   the same counters under the versioned ``fupermod-metrics/1`` schema
-  (cache hits/misses, coalesced, shed, per-fingerprint breaker state);
+  (cache hits/misses, coalesced, shed, per-fingerprint breaker state,
+  and -- when closed-loop refinement is attached -- feedback counters);
+* a **feedback** request (``{"cmd": "feedback"}`` on stdio,
+  ``POST /feedback`` over HTTP) reports actual per-rank timings into the
+  closed-loop refinement path (:mod:`repro.serve.feedback`); servers
+  without an attached controller answer 400;
 * errors come back as ``{"error": ..., "code": ...}`` with the connection
   kept alive -- one bad request must not kill a serving session.
 
@@ -20,9 +25,13 @@ later* from *fix your request*:
 ====  ===========================================================
 code  meaning
 ====  ===========================================================
-400   malformed request (bad JSON, missing/invalid fields)
+400   malformed request (bad JSON, missing/invalid fields), or a
+      feedback report rejected on content (``rejected`` reasons named)
+403   the feedback source is quarantined; its reports are refused
 404   unknown endpoint
 413   request body larger than the transport's cap
+429   feedback rate limit exceeded (``retry_after`` seconds included;
+      HTTP adds ``Retry-After``)
 500   the solve failed internally (typed fault, no fallback)
 503   shed by admission control, or circuit open with no fallback
       (``retry_after`` seconds included; HTTP adds ``Retry-After``)
@@ -45,7 +54,9 @@ from typing import Any, Dict, IO, Optional
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceeded,
+    FeedbackRejected,
     FuPerModError,
+    QuarantineError,
     ServiceOverloadError,
 )
 from repro.serve.server import PlanServer
@@ -97,6 +108,12 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
                 total, payload.get("partitioner"), options, deadline=deadline
             )
             out = result.to_dict()
+        elif cmd == "feedback":
+            if server.feedback is None:
+                raise FuPerModError(
+                    "this server has no feedback loop attached"
+                )
+            out = server.feedback.handle(payload)
         else:
             raise FuPerModError(f"unknown command {cmd!r}")
     except ServiceOverloadError as exc:
@@ -109,6 +126,24 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
             out["retry_after"] = exc.retry_after
     except DeadlineExceeded as exc:
         out = {"error": str(exc), "code": 504}
+    except QuarantineError as exc:
+        out = {
+            "error": str(exc),
+            "code": 403,
+            "quarantined": True,
+            "source": exc.source,
+        }
+    except FeedbackRejected as exc:
+        # Rate limiting is worth retrying (429 + Retry-After); content
+        # rejections are not (400) -- retrying the same lie cannot help.
+        out = {
+            "error": str(exc),
+            "code": 429 if exc.retry_after is not None else 400,
+            "rejected": list(exc.reasons),
+            "source": exc.source,
+        }
+        if exc.retry_after is not None:
+            out["retry_after"] = exc.retry_after
     except FuPerModError as exc:
         # Validation errors above raise bare FuPerModError (400); any
         # subclass reaching here escaped the solve path itself (500).
@@ -174,7 +209,7 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         retry_after = payload.get("retry_after")
-        if status == 503 and retry_after is not None:
+        if status in (429, 503) and retry_after is not None:
             # RFC 7231 Retry-After in whole seconds, at least 1.
             self.send_header(
                 "Retry-After", str(max(1, int(round(retry_after))))
@@ -194,8 +229,9 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"no such endpoint {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        """``POST /plan`` with a JSON body -> plan response."""
-        if self.path.rstrip("/") != "/plan":
+        """``POST /plan`` or ``POST /feedback`` with a JSON body."""
+        path = self.path.rstrip("/")
+        if path not in ("/plan", "/feedback"):
             self._send(404, {"error": f"no such endpoint {self.path!r}"})
             return
         assert self.plan_server is not None
@@ -222,6 +258,8 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send(400, {"error": f"bad JSON: {exc}"})
             return
+        if path == "/feedback":
+            payload["cmd"] = "feedback"
         response = handle_request(self.plan_server, payload)
         status = response.pop("code", None) if "error" in response else None
         self._send(status or (400 if "error" in response else 200), response)

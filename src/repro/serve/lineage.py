@@ -1,0 +1,488 @@
+"""Versioned model lineage: epochs, fingerprint chains, crash-safe refits.
+
+Closed-loop refinement mutates the model set a running server plans
+against.  Doing that *in place* would be a correctness hazard twice
+over: a request racing the refit could fingerprint half-updated models,
+and a SIGKILL mid-refit would leave no way to know which points made it
+in.  :class:`ModelLineage` removes both hazards:
+
+* **Copy-on-refit.**  :meth:`propose` never touches the served models.
+  It builds a *candidate* set by clone-and-extend -- a fresh model per
+  rank, refitted via ``update_many`` from the parent's points plus the
+  accepted feedback -- so the parent epoch stays fully servable (old
+  plans, old fingerprints, old cache entries) for as long as the refit
+  and its regression gate take.
+* **Fingerprint chain.**  Every committed epoch records
+  ``parent fingerprint -> child fingerprint`` with a monotonically
+  increasing epoch number.  The chain is the audit trail: any served
+  plan's ``models_fp`` names exactly one epoch of exactly one lineage.
+* **Write-ahead durability.**  :meth:`commit` journals the epoch record
+  (parent, child, the accepted points) to a :class:`LineageWAL` --
+  fsynced, one JSON line -- *before* swapping the in-memory model set.
+  The append is the commit point: a SIGKILL before it loses the refit
+  entirely (the parent epoch survives, consistent); a SIGKILL after it
+  replays to the child epoch on restart.  Replay tolerates a torn final
+  record (the interrupted commit) and refuses interior corruption, the
+  same contract as :class:`~repro.serve.wal.PlanWAL`; it also verifies
+  that every replayed epoch reproduces its recorded child fingerprint,
+  so a journal that no longer matches the base models (wrong points
+  directory, silent edit) fails loudly instead of serving a lineage
+  that never existed.
+
+Rollbacks -- a refit the regression gate refused -- are journaled too
+(as no-op audit records) and counted, but never advance the epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.point import MeasurementPoint
+from repro.errors import PersistenceError
+from repro.serve.fingerprint import FINGERPRINT_VERSION, fingerprint_models
+
+PathLike = Union[str, Path]
+
+_MAGIC = "fupermod-lineage-wal"
+_VERSION = 1
+
+#: Operations a lineage journal record may carry.
+_OPS = ("epoch", "rollback")
+
+#: Per-rank accepted points, aligned with the model set's rank order.
+RankPoints = Sequence[Sequence[MeasurementPoint]]
+
+
+def _encode_points(points_per_rank: RankPoints) -> List[List[List[float]]]:
+    """Per-rank points as JSON-ready ``[[d, t], ...]`` lists."""
+    return [
+        [[int(p.d), float(p.t)] for p in rank_points]
+        for rank_points in points_per_rank
+    ]
+
+
+def _decode_points(encoded: Any, ranks: int) -> List[List[MeasurementPoint]]:
+    """Rebuild per-rank points from a journal record, validating shape."""
+    if not isinstance(encoded, list) or len(encoded) != ranks:
+        raise PersistenceError(
+            f"lineage record carries points for {len(encoded) if isinstance(encoded, list) else '?'} "
+            f"ranks, lineage has {ranks}"
+        )
+    out: List[List[MeasurementPoint]] = []
+    for rank_points in encoded:
+        out.append(
+            [MeasurementPoint(d=int(d), t=float(t)) for d, t in rank_points]
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """One committed epoch of a model lineage.
+
+    Attributes:
+        epoch: the child epoch number (parent's + 1; the root is 0).
+        parent_fp: the model-set fingerprint this refit started from.
+        child_fp: the fingerprint after folding the points in.
+        point_count: accepted feedback points folded in, across ranks.
+    """
+
+    epoch: int
+    parent_fp: str
+    child_fp: str
+    point_count: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (for ``/stats`` and tests)."""
+        return {
+            "epoch": self.epoch,
+            "parent_fp": self.parent_fp,
+            "child_fp": self.child_fp,
+            "point_count": self.point_count,
+        }
+
+
+@dataclass(frozen=True)
+class LineageCandidate:
+    """A proposed child epoch: refitted models awaiting the gate.
+
+    Built by :meth:`ModelLineage.propose`; holds everything
+    :meth:`ModelLineage.commit` needs, so the regression gate can score
+    ``models`` against held-back feedback without mutating the lineage.
+    """
+
+    models: Tuple[Any, ...]
+    fingerprint: str
+    parent_fp: str
+    points_per_rank: Tuple[Tuple[MeasurementPoint, ...], ...]
+
+
+class LineageWAL:
+    """Append-only, fsynced journal of lineage epochs.
+
+    The same journalling discipline as :class:`~repro.serve.wal.PlanWAL`:
+    one JSON line per record, fsync before the caller proceeds, torn
+    final line tolerated on replay, interior corruption refused.  Kept
+    separate because the record vocabulary differs (epochs and point
+    sets, not cache operations) and because the two journals fail
+    independently -- a corrupt plan WAL must not take the lineage down
+    with it, nor vice versa.
+    """
+
+    def __init__(self, path: PathLike, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle = None
+        self.records = 0
+
+    @property
+    def exists(self) -> bool:
+        """Whether a journal file is present on disk."""
+        return self.path.exists()
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot journal to {self.path}: {exc}"
+            ) from exc
+        self.records += 1
+
+    def append_epoch(
+        self,
+        epoch: int,
+        parent_fp: str,
+        child_fp: str,
+        points_per_rank: RankPoints,
+    ) -> None:
+        """Durably journal one epoch commit (the commit point itself)."""
+        self._write_line({
+            "magic": _MAGIC,
+            "v": _VERSION,
+            "fp": FINGERPRINT_VERSION,
+            "op": "epoch",
+            "epoch": epoch,
+            "parent": parent_fp,
+            "child": child_fp,
+            "points": _encode_points(points_per_rank),
+        })
+
+    def append_rollback(self, epoch: int, parent_fp: str, reason: str) -> None:
+        """Journal a refused refit (audit only; a no-op on replay)."""
+        self._write_line({
+            "magic": _MAGIC,
+            "v": _VERSION,
+            "fp": FINGERPRINT_VERSION,
+            "op": "rollback",
+            "epoch": epoch,
+            "parent": parent_fp,
+            "reason": reason,
+        })
+
+    def replay(self) -> Tuple[List[Dict[str, Any]], int, bool]:
+        """Read committed records back: ``(ops, valid_bytes, dropped_tail)``.
+
+        A missing journal is empty.  A torn *final* line -- the signature
+        of a SIGKILL mid-commit -- is dropped; corruption anywhere else
+        raises :class:`~repro.errors.PersistenceError`.  Records written
+        under a different fingerprint version are omitted (their
+        fingerprints cannot be compared under the current encoding).
+        """
+        if not self.path.exists():
+            return [], 0, False
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
+        ops: List[Dict[str, Any]] = []
+        valid_bytes = 0
+        dropped = False
+        lines = text.split("\n")
+        body, tail = lines[:-1], lines[-1]
+        if tail:
+            dropped = True
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                valid_bytes += len(line.encode("utf-8")) + 1
+                continue
+            try:
+                record = self._parse(line, lineno)
+            except PersistenceError:
+                if lineno == len(body) and not tail:
+                    dropped = True
+                    break
+                raise
+            if record is not None:
+                ops.append(record)
+            valid_bytes += len(line.encode("utf-8")) + 1
+        return ops, valid_bytes, dropped
+
+    def _parse(self, line: str, lineno: int) -> Optional[Dict[str, Any]]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"{self.path}:{lineno}: {exc}") from None
+        if not isinstance(record, dict) or record.get("magic") != _MAGIC:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: not a lineage-WAL record"
+            )
+        if record.get("v") != _VERSION:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: unsupported lineage-WAL version "
+                f"{record.get('v')!r}"
+            )
+        op = record.get("op")
+        if op not in _OPS:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: unknown lineage operation {op!r}"
+            )
+        if op == "epoch":
+            try:
+                int(record["epoch"])
+                str(record["parent"]), str(record["child"])
+                if not isinstance(record["points"], list):
+                    raise ValueError("'points' must be a list")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise PersistenceError(
+                    f"{self.path}:{lineno}: malformed epoch record: {exc}"
+                ) from None
+        if record.get("fp") != FINGERPRINT_VERSION:
+            return None
+        return record
+
+    def truncate(self, valid_bytes: int) -> None:
+        """Cut the journal back to its well-formed prefix."""
+        if not self.path.exists():
+            return
+        self._close_handle()
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot truncate {self.path}: {exc}"
+            ) from exc
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        """Close the append handle (the journal file stays on disk)."""
+        self._close_handle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LineageWAL({str(self.path)!r}, records={self.records})"
+
+
+class ModelLineage:
+    """The versioned model set a closed-loop server plans against.
+
+    Args:
+        models: the root (epoch 0) fitted per-rank model set.  The
+            lineage takes ownership of the *list*; the model objects are
+            never mutated -- refits clone-and-extend.
+        wal_path: optional journal path; without it the lineage is
+            memory-only (commits still work, crashes lose them).
+        fsync: fsync every journal append.
+
+    Thread safety: :attr:`models`, :attr:`fingerprint` and :attr:`epoch`
+    are swapped together under an internal lock by :meth:`commit`;
+    readers that need a consistent triple use :meth:`snapshot`.  Plain
+    attribute reads see either the parent or the child epoch, never a
+    mixture, because the swap replaces whole references.
+    """
+
+    def __init__(
+        self,
+        models: Sequence,
+        wal_path: Optional[PathLike] = None,
+        fsync: bool = True,
+    ) -> None:
+        if not models:
+            raise ValueError("a model lineage needs at least one model")
+        self.models: List[Any] = list(models)
+        self.fingerprint: str = fingerprint_models(self.models)
+        self.parent_fp: Optional[str] = None
+        self.epoch: int = 0
+        self.rollbacks: int = 0
+        self.history: List[LineageRecord] = []
+        self.wal: Optional[LineageWAL] = (
+            LineageWAL(wal_path, fsync=fsync) if wal_path is not None else None
+        )
+        self._lock = threading.Lock()
+        self._replaying = False
+
+    # -- refit construction ------------------------------------------------
+
+    def propose(self, points_per_rank: RankPoints) -> LineageCandidate:
+        """A candidate child epoch from accepted feedback points.
+
+        ``points_per_rank`` is aligned with the model set's rank order
+        (empty sequences for ranks with no new points).  Each rank's
+        model is rebuilt from scratch -- the parent's points plus the new
+        ones through ``update_many`` -- so the parent models are never
+        touched and the candidate's fit is exactly what a cold build
+        from the union would produce.  Raises
+        :class:`~repro.errors.ModelError` if any rank's extended point
+        set cannot be fitted (the caller counts that as a failed refit).
+        """
+        if len(points_per_rank) != len(self.models):
+            raise ValueError(
+                f"{len(points_per_rank)} rank point sets for "
+                f"{len(self.models)} models"
+            )
+        rebuilt: List[Any] = []
+        for model, new_points in zip(self.models, points_per_rank):
+            child = type(model)()
+            child.update_many(list(model.points) + list(new_points))
+            rebuilt.append(child)
+        return LineageCandidate(
+            models=tuple(rebuilt),
+            fingerprint=fingerprint_models(rebuilt),
+            parent_fp=self.fingerprint,
+            points_per_rank=tuple(
+                tuple(rank_points) for rank_points in points_per_rank
+            ),
+        )
+
+    # -- state transitions -------------------------------------------------
+
+    def commit(self, candidate: LineageCandidate) -> LineageRecord:
+        """Journal the epoch, then atomically swap to the child models.
+
+        The journal append *is* the commit point: once it returns, a
+        crash replays to the child epoch; before it, the parent epoch
+        survives untouched.  Raises :class:`ValueError` if the candidate
+        was proposed against a fingerprint that is no longer current
+        (a concurrent commit won the race).
+        """
+        with self._lock:
+            if candidate.parent_fp != self.fingerprint:
+                raise ValueError(
+                    f"stale candidate: parent {candidate.parent_fp[:12]}... "
+                    f"is not the current epoch {self.fingerprint[:12]}..."
+                )
+            record = LineageRecord(
+                epoch=self.epoch + 1,
+                parent_fp=candidate.parent_fp,
+                child_fp=candidate.fingerprint,
+                point_count=sum(len(r) for r in candidate.points_per_rank),
+            )
+            if self.wal is not None and not self._replaying:
+                self.wal.append_epoch(
+                    record.epoch, record.parent_fp, record.child_fp,
+                    candidate.points_per_rank,
+                )
+            self.models = list(candidate.models)
+            self.parent_fp = candidate.parent_fp
+            self.fingerprint = candidate.fingerprint
+            self.epoch = record.epoch
+            self.history.append(record)
+            return record
+
+    def rollback(self, reason: str) -> None:
+        """Count (and journal) a refit the regression gate refused."""
+        with self._lock:
+            self.rollbacks += 1
+            if self.wal is not None and not self._replaying:
+                self.wal.append_rollback(self.epoch, self.fingerprint, reason)
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the journal, re-deriving every committed epoch.
+
+        Returns the number of epochs replayed.  Each epoch record is
+        re-applied through the normal :meth:`propose`/:meth:`commit`
+        path, and the resulting fingerprint is checked against the
+        recorded child -- replay that does not reproduce the recorded
+        lineage raises :class:`~repro.errors.PersistenceError` (the
+        journal and the base models no longer agree, and serving either
+        story would be a lie).  A torn final record -- a SIGKILL mid
+        commit -- is dropped and truncated away: that refit never
+        committed, so the parent epoch is the consistent state.
+        """
+        if self.wal is None:
+            return 0
+        ops, valid_bytes, dropped = self.wal.replay()
+        replayed = 0
+        self._replaying = True
+        try:
+            for record in ops:
+                if record["op"] == "rollback":
+                    self.rollbacks += 1
+                    continue
+                epoch = int(record["epoch"])
+                if epoch != self.epoch + 1:
+                    raise PersistenceError(
+                        f"{self.wal.path}: lineage gap: epoch {epoch} "
+                        f"follows epoch {self.epoch}"
+                    )
+                if str(record["parent"]) != self.fingerprint:
+                    raise PersistenceError(
+                        f"{self.wal.path}: epoch {epoch} parent "
+                        f"{str(record['parent'])[:12]}... does not match "
+                        f"replayed fingerprint {self.fingerprint[:12]}..."
+                    )
+                points = _decode_points(record["points"], len(self.models))
+                candidate = self.propose(points)
+                if candidate.fingerprint != str(record["child"]):
+                    raise PersistenceError(
+                        f"{self.wal.path}: epoch {epoch} replayed to "
+                        f"{candidate.fingerprint[:12]}..., journal recorded "
+                        f"{str(record['child'])[:12]}..."
+                    )
+                self.commit(candidate)
+                replayed += 1
+        finally:
+            self._replaying = False
+        if dropped:
+            self.wal.truncate(valid_bytes)
+        self.wal.records = len(ops)
+        return replayed
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> Tuple[List[Any], str, int]:
+        """A consistent ``(models, fingerprint, epoch)`` triple."""
+        with self._lock:
+            return self.models, self.fingerprint, self.epoch
+
+    def stats(self) -> Dict[str, Any]:
+        """Lineage state for ``/stats`` and ``/metrics``."""
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "fingerprint": self.fingerprint,
+                "parent_fp": self.parent_fp,
+                "commits": len(self.history),
+                "rollbacks": self.rollbacks,
+            }
+
+    def close(self) -> None:
+        """Release the journal handle (the file stays on disk)."""
+        if self.wal is not None:
+            self.wal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelLineage(epoch={self.epoch}, "
+            f"fp={self.fingerprint[:12]}..., ranks={len(self.models)})"
+        )

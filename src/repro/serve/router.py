@@ -412,6 +412,7 @@ class PlanRouter(AsyncHTTPBase):
             "balanced_routed": 0,
             "reroutes": 0,
             "shard_errors": 0,
+            "feedback_relayed": 0,
         }
 
     # -- membership (supervisor-facing, thread-safe) -----------------------
@@ -451,15 +452,20 @@ class PlanRouter(AsyncHTTPBase):
 
     # -- routing -----------------------------------------------------------
 
-    def _candidates(self, payload: Dict[str, Any]) -> Tuple[List[str], bool]:
+    def _candidates(
+        self, payload: Dict[str, Any], force_affinity: bool = False
+    ) -> Tuple[List[str], bool]:
         """The shard order to try for a plan payload.
 
         Returns ``(candidates, affinity)``.  Affinity requests follow
         ring preference (home first); balanced requests take the
         balancer's pick, with the remaining live shards as failovers.
+        ``force_affinity`` ignores the payload's ``affinity`` flag --
+        feedback must reach the shard that owns the plan's cache entries
+        and models, so it is never load-balanced.
         """
         live = set(self.alive())
-        affinity = bool(payload.get("affinity", True))
+        affinity = force_affinity or bool(payload.get("affinity", True))
         if affinity:
             try:
                 key = affinity_key(
@@ -477,21 +483,23 @@ class PlanRouter(AsyncHTTPBase):
             return sorted(live), False
         return [pick] + sorted(live - {pick}), False
 
-    async def _route_plan(self, body: bytes) -> Reply:
+    async def _route_plan(
+        self, body: bytes, path: str = "/plan", force_affinity: bool = False
+    ) -> Reply:
         try:
             payload = json.loads(body.decode("utf-8"))
             if not isinstance(payload, dict):
                 raise ValueError("request body must be a JSON object")
         except (UnicodeDecodeError, ValueError) as exc:
             return 400, {"error": f"bad JSON: {exc}"}, None
-        candidates, affinity = self._candidates(payload)
+        candidates, affinity = self._candidates(payload, force_affinity)
         self.counters["requests"] += 1
         for position, sid in enumerate(candidates):
             link = self._link(sid)
             start = time.perf_counter()
             try:
                 status, headers, data = await link.request(
-                    "POST", "/plan", body
+                    "POST", path, body
                 )
             except (
                 ConnectionError, OSError, asyncio.TimeoutError,
@@ -515,7 +523,7 @@ class PlanRouter(AsyncHTTPBase):
             # Raw relay: the worker's bytes, untouched (bit parity).
             return status, data, extra
         return 503, {
-            "error": "no live shard can serve this plan",
+            "error": f"no live shard can serve {path}",
             "code": 503,
             "retry_after": 1.0,
         }, None
@@ -554,6 +562,15 @@ class PlanRouter(AsyncHTTPBase):
         norm = path.split("?", 1)[0].rstrip("/") or "/"
         if method == "POST" and norm == "/plan":
             return await self._route_plan(body)
+        if method == "POST" and norm == "/feedback":
+            # Forced affinity: a report must reach the shard whose
+            # models and cached plans cover its (total, partitioner,
+            # options) -- the same home the plan itself routed to.  The
+            # shard's response (200/400/403/429) relays verbatim.
+            self.counters["feedback_relayed"] += 1
+            return await self._route_plan(
+                body, path="/feedback", force_affinity=True
+            )
         if method == "GET" and norm == "/health":
             return 200, {"ok": True, "role": "router",
                          "alive": self.alive()}, None

@@ -108,6 +108,10 @@ class PlanServer:
         self._inflight: Dict[str, "Future[PlanResult]"] = {}
         self._closed = False
         self._started_at = time.monotonic()
+        #: Optional closed-loop refinement controller
+        #: (:class:`repro.serve.feedback.FeedbackController`); the front
+        #: ends dispatch ``{"cmd": "feedback"}`` to it when attached.
+        self.feedback = None
 
     # -- core serving ------------------------------------------------------
 
@@ -235,6 +239,19 @@ class PlanServer:
         futures = [self.submit(*spec) for spec in specs]
         return [f.result() for f in futures]
 
+    # -- closed-loop refinement --------------------------------------------
+
+    def attach_feedback(self, controller) -> None:
+        """Enable closed-loop refinement through ``controller``.
+
+        The controller (:class:`repro.serve.feedback.FeedbackController`)
+        must refine *this* server's model list -- it swaps
+        :attr:`models` on epoch commits.  Once attached, the front ends
+        route ``{"cmd": "feedback"}`` / ``POST /feedback`` to it and
+        :meth:`stats` grows a ``"feedback"`` section.
+        """
+        self.feedback = controller
+
     # -- introspection and lifecycle --------------------------------------
 
     def inflight(self) -> int:
@@ -255,6 +272,8 @@ class PlanServer:
         durability = getattr(self.engine.cache, "durability_stats", None)
         if callable(durability):
             out["durability"] = durability()
+        if self.feedback is not None:
+            out["feedback"] = self.feedback.stats()
         return out
 
     def metrics(self) -> Dict[str, Any]:

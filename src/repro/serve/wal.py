@@ -125,13 +125,25 @@ class PlanWAL:
             **fields,
         }
 
-    def append_put(self, key: str, models_fp: str, result: PlanResult) -> None:
-        """Durably journal one insert before it is applied."""
-        self._write_line(
-            self._record(
-                "put", key=key, models_fp=models_fp, result=result.to_dict()
-            )
-        )
+    def append_put(
+        self,
+        key: str,
+        models_fp: str,
+        result: PlanResult,
+        spec: Optional[Tuple[Any, ...]] = None,
+    ) -> None:
+        """Durably journal one insert before it is applied.
+
+        ``spec`` is the optional ``(total, partitioner, options)`` the
+        cache stores for refit re-solving; journalled so it survives a
+        crash along with the entry it annotates.
+        """
+        fields: Dict[str, Any] = {
+            "key": key, "models_fp": models_fp, "result": result.to_dict()
+        }
+        if spec is not None:
+            fields["spec"] = list(spec)
+        self._write_line(self._record("put", **fields))
 
     def append_invalidate(self, key: str) -> None:
         """Durably journal one invalidation."""
@@ -328,10 +340,12 @@ class DurablePlanCache(PlanCache):
                 replayed = self.wal.replay()
                 for op in replayed.ops:
                     if op["op"] == "put":
+                        spec = op.get("spec")
                         super().put(
                             str(op["key"]),
                             PlanResult.from_dict(op["result"]),
                             str(op["models_fp"]),
+                            spec=tuple(spec) if spec is not None else None,
                         )
                     elif op["op"] == "invalidate":
                         super().invalidate(str(op["key"]))
@@ -346,12 +360,23 @@ class DurablePlanCache(PlanCache):
 
     # -- journaled mutations ----------------------------------------------
 
-    def put(self, key: str, result: PlanResult, models_fp: str) -> None:
+    def put(
+        self,
+        key: str,
+        result: PlanResult,
+        models_fp: str,
+        spec: Optional[Tuple[Any, ...]] = None,
+    ) -> None:
         """Journal, then insert; durable once this returns."""
         with self._lock:
             if not self._replaying:
-                self.wal.append_put(key, models_fp, result)
-            super().put(key, result, models_fp)
+                if spec is None:
+                    # Positional call keeps pre-lineage PlanWAL
+                    # subclasses (three-argument signature) working.
+                    self.wal.append_put(key, models_fp, result)
+                else:
+                    self.wal.append_put(key, models_fp, result, spec=spec)
+            super().put(key, result, models_fp, spec=spec)
             if not self._replaying:
                 self._maybe_compact()
 

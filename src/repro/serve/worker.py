@@ -202,6 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slowdown", type=float, default=0.0, metavar="MS",
                         help="simulated per-request service time in "
                              "milliseconds (models a slower shard)")
+    parser.add_argument("--no-feedback", action="store_true",
+                        dest="no_feedback",
+                        help="serve without the closed-loop feedback path")
+    parser.add_argument("--refit-every", type=int, default=16,
+                        dest="refit_every",
+                        help="accepted feedback reports between refits")
+    parser.add_argument("--feedback-k", type=float, default=8.0,
+                        dest="feedback_k",
+                        help="outlier ratio bound of the feedback quarantine")
+    parser.add_argument("--feedback-strikes", type=int, default=3,
+                        dest="feedback_strikes",
+                        help="consecutive rejections before a source is "
+                             "quarantined")
+    parser.add_argument("--feedback-rate", type=int, default=None,
+                        dest="feedback_rate",
+                        help="max feedback reports per source per minute "
+                             "(default: unlimited)")
     return parser
 
 
@@ -243,6 +260,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_pending=args.max_pending, default_deadline=args.deadline,
     )
 
+    lineage = None
+    if not args.no_feedback:
+        from repro.serve.feedback import FeedbackController, FeedbackQuarantine
+        from repro.serve.lineage import ModelLineage
+
+        # The lineage journal sits beside the cache WAL: models and the
+        # plans computed from them crash-recover as one coherent story.
+        lineage_path = (
+            str(args.cache_file) + ".lineage" if durable else None
+        )
+        lineage = ModelLineage(models, wal_path=lineage_path)
+        lineage.recover()
+        # Replay may have advanced past the snapshot's epoch: serve the
+        # recovered models, not the freshly loaded ones.
+        server.models = lineage.models
+        server.attach_feedback(FeedbackController(
+            server, lineage,
+            quarantine=FeedbackQuarantine(
+                k=args.feedback_k,
+                max_strikes=args.feedback_strikes,
+                rate_limit=args.feedback_rate,
+            ),
+            refit_every=args.refit_every,
+        ))
+
     plan_hook = None
     if args.slowdown > 0.0:
         delay = args.slowdown / 1000.0
@@ -264,6 +306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "port": frontend.port,
         "url": frontend.url,
         "recovered": recovered,
+        "epoch": lineage.epoch if lineage is not None else None,
     }), flush=True)
 
     stop = threading.Event()
@@ -278,6 +321,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     frontend.stop()
     server.drain(timeout=10.0)
     server.close()
+    if lineage is not None:
+        lineage.close()
     if durable:
         cache.close()
     print(f"shard {args.shard_id}: clean shutdown", file=sys.stderr)

@@ -1,0 +1,269 @@
+"""Closed-loop chaos: feedback storms, routed feedback, crash recovery.
+
+The acceptance criteria of the closed loop under fire:
+
+* an **honest-drift** storm converges served plans toward the drifted
+  platform (epochs commit, work shifts off the slowed rank);
+* **adversarial** storms -- lying ranks, NaN floods, slow-drip poisoners
+  -- never change a served plan at all: the epoch stays put, the same
+  request returns bit-identical plans, and every poisoned source is
+  named in the :class:`QuarantineReport`;
+* through a real fleet, ``POST /feedback`` relays to the home shard and
+  unknown verbs surface the *shard's* error taxonomy verbatim (never a
+  router 500);
+* a SIGKILLed worker -- including one killed mid-commit, leaving a torn
+  lineage record -- recovers a consistent epoch from its lineage WAL.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.conftest import model_from_time_fn
+from repro.cli import main as cli_main
+from repro.core.models import PiecewiseModel
+from repro.errors import FeedbackRejected, QuarantineError
+from repro.faults import FeedbackStorm
+from repro.serve import (
+    FeedbackController,
+    FeedbackQuarantine,
+    ModelLineage,
+    PlanFleet,
+    PlanServer,
+    ShardClient,
+    handle_request,
+)
+
+pytestmark = [pytest.mark.chaos, pytest.mark.feedback]
+
+SIZES = [16, 128, 1024, 4096]
+
+
+def make_models(speeds):
+    return [
+        model_from_time_fn(PiecewiseModel, lambda d, s=s: d / s, SIZES)
+        for s in speeds
+    ]
+
+
+def make_loop(speeds=(100.0, 200.0, 400.0), refit_every=8, **quarantine_kw):
+    server = PlanServer(make_models(speeds), max_workers=2)
+    lineage = ModelLineage(server.models)
+    server.attach_feedback(FeedbackController(
+        server, lineage,
+        quarantine=FeedbackQuarantine(**quarantine_kw),
+        refit_every=refit_every,
+    ))
+    return server, lineage
+
+
+def run_storm(server, storm, plans, truth):
+    """Feed every storm payload through the front-end dispatch."""
+    return [
+        handle_request(server, payload)
+        for payload in storm.payloads(plans, truth)
+    ]
+
+
+class TestHonestDrift:
+    def test_converging_plans_follow_the_platform(self):
+        # Served models think rank 1 runs at speed 200; the platform
+        # (truth) has it degraded to 100.  Honest reports must commit an
+        # epoch and shift work off the slowed rank.
+        server, lineage = make_loop(speeds=(100.0, 200.0, 400.0),
+                                    refit_every=8)
+        truth = make_models((100.0, 100.0, 400.0))
+        before = server.request(2800)
+        storm = FeedbackStorm(source="honest0", behaviour="honest",
+                              jitter=0.02, seed=7)
+        outs = run_storm(server, storm, [before.sizes] * 8, truth)
+        assert all(out.get("status") == "accepted" for out in outs)
+        assert lineage.epoch >= 1
+        after = server.request(2800)
+        assert sum(after.sizes) == 2800
+        assert after.sizes[1] < before.sizes[1]  # the slowed rank sheds work
+        # Staleness bound: the commit re-keyed the cache, so the served
+        # plan reflects the new epoch immediately, not lazily.
+        assert after.key != before.key
+
+    def test_storm_payloads_are_reproducible(self):
+        truth = make_models((100.0, 200.0, 400.0))
+        storm = FeedbackStorm(source="s", behaviour="slow-drip", seed=3,
+                              lie_factor=64.0)
+        plans = [(100, 200, 400)] * 6
+        assert storm.payloads(plans, truth) == storm.payloads(plans, truth)
+
+
+class TestAdversarialStorms:
+    @pytest.mark.parametrize("behaviour,lying_ranks", [
+        ("lying", ()),         # every rank misreports 64x
+        ("lying", (1,)),       # one rank lies to steal work
+        ("nan-flood", (0,)),   # NaN arrives through JSON intact
+    ])
+    def test_storm_never_changes_served_plans(self, behaviour, lying_ranks):
+        server, lineage = make_loop(refit_every=4, max_strikes=3)
+        before = server.request(2800)
+        baseline = before.to_dict()
+        storm = FeedbackStorm(source="evil0", behaviour=behaviour,
+                              lying_ranks=lying_ranks, seed=11)
+        outs = run_storm(server, storm, [before.sizes] * 6, server.models)
+        assert all(out["code"] in (400, 403) for out in outs)
+        # Rejected feedback never advances the epoch: the same request
+        # returns the same plan, byte for byte.
+        assert lineage.epoch == 0
+        after = server.request(2800)
+        assert after.to_dict() == {**baseline, "cached": True}
+        # The poisoner is named and, after three straight strikes,
+        # quarantined outright.
+        report = server.feedback.quarantine.report
+        assert "evil0" in report.sources_named
+        assert server.feedback.quarantine.quarantined_sources() == ["evil0"]
+
+    def test_slow_drip_is_rejected_without_widening_any_gate(self):
+        # A poisoner nursing its reputation: honest reports between
+        # lies, so strikes never go consecutive.  The lies still bounce
+        # -- the fixed-k gate cannot be trained open -- and every one is
+        # on the record even though the source avoids quarantine.
+        server, lineage = make_loop(refit_every=100, max_strikes=3)
+        before = server.request(2800)
+        storm = FeedbackStorm(source="drip0", behaviour="slow-drip",
+                              drip_every=3, lie_factor=64.0, seed=5)
+        outs = run_storm(server, storm, [before.sizes] * 9, server.models)
+        rejected = [out for out in outs if "code" in out]
+        accepted = [out for out in outs if out.get("status") == "accepted"]
+        assert len(rejected) == 3 and len(accepted) == 6
+        assert all(out["rejected"] == ["outlier"] for out in rejected)
+        report = server.feedback.quarantine.report
+        assert report.sources_named == ["drip0"]
+        assert server.feedback.quarantine.quarantined_sources() == []
+        # No refit ran (buffer below refit_every): plans untouched.
+        assert lineage.epoch == 0
+        assert server.request(2800).sizes == before.sizes
+
+    def test_mixed_storms_name_every_poisoned_source(self):
+        server, _ = make_loop(refit_every=100, max_strikes=2)
+        plan = server.request(2800)
+        for storm in (
+            FeedbackStorm(source="liar", behaviour="lying", seed=1),
+            FeedbackStorm(source="flood", behaviour="nan-flood", seed=2),
+            FeedbackStorm(source="honest", behaviour="honest", seed=3),
+        ):
+            run_storm(server, storm, [plan.sizes] * 3, server.models)
+        report = server.feedback.quarantine.report
+        assert report.sources_named == ["flood", "liar"]
+        assert server.feedback.quarantine.quarantined_sources() == [
+            "flood", "liar"
+        ]
+        assert report.accepted == 3  # the honest bystander got through
+
+
+@pytest.mark.fleet
+class TestFleetFeedback:
+    @pytest.fixture(scope="class")
+    def points_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("feedback-points")
+        assert cli_main([
+            "build", "--platform", "fig4", "--sizes", "32,128,512",
+            "--out", str(out),
+        ]) == 0
+        return out
+
+    def feedback_via_router(self, fleet, payload):
+        client = ShardClient(fleet.url)
+        try:
+            status, decoded = client._json("POST", "/feedback", payload)
+        finally:
+            client.close()
+        return status, decoded
+
+    def honest_payload(self, fleet, total, source="app0", factor=1.0):
+        """A report echoing the fleet's own plan -- honest by construction."""
+        client = ShardClient(fleet.url)
+        try:
+            plan = client.plan({"cmd": "plan", "total": total})
+        finally:
+            client.close()
+        return {
+            "source": source,
+            "total": total,
+            "sizes": list(plan["sizes"]),
+            # The wire carries repr'd floats (bit-exact round-trips).
+            "times": [factor * float(t) for t in plan["times"]],
+        }
+
+    def test_feedback_relays_to_the_home_shard(self, points_dir, tmp_path):
+        with PlanFleet(points_dir, workers=2, probe=False,
+                       cache_dir=tmp_path / "caches",
+                       worker_args=["--refit-every", "64"]) as fleet:
+            payload = self.honest_payload(fleet, 4000)
+            status, out = self.feedback_via_router(fleet, payload)
+            assert status == 200
+            assert out["status"] == "accepted" and out["epoch"] == 0
+            # The shard's taxonomy relays verbatim too: a 64x lie is the
+            # worker's 400, reasons and all, not a router 500.
+            lie = dict(payload, times=[t * 64 for t in payload["times"]])
+            status, out = self.feedback_via_router(fleet, lie)
+            assert status == 400
+            assert out["rejected"] == ["outlier"]
+            relayed = fleet.router.counters["feedback_relayed"]
+            assert relayed == 2
+
+    def test_unknown_verb_surfaces_the_shards_taxonomy(self, points_dir):
+        # Satellite contract: the router is a relay, not an interpreter.
+        # A verb it has never heard of must come back as the shard's own
+        # 400 ("unknown command ..."), never a router-made 500.
+        with PlanFleet(points_dir, workers=2, probe=False) as fleet:
+            client = ShardClient(fleet.url)
+            try:
+                reply = client.plan({"cmd": "bogus-verb", "total": 100})
+            finally:
+                client.close()
+            assert reply["code"] == 400
+            assert "unknown command 'bogus-verb'" in reply["error"]
+
+    def test_sigkill_mid_refit_recovers_a_consistent_lineage(
+        self, points_dir, tmp_path
+    ):
+        cache_dir = tmp_path / "caches"
+        with PlanFleet(points_dir, workers=1, probe=False,
+                       cache_dir=cache_dir,
+                       worker_args=["--refit-every", "4"]) as fleet:
+            payload = self.honest_payload(fleet, 4000)
+            epoch = 0
+            for i in range(4):
+                status, out = self.feedback_via_router(
+                    fleet, dict(payload, source=f"app{i}")
+                )
+                assert status == 200
+                epoch = out["epoch"]
+            assert epoch == 1  # the fourth report committed a refit
+
+            # SIGKILL, then simulate dying *mid-commit*: a torn final
+            # lineage record, exactly what an interrupted fsync leaves.
+            fleet.kill_shard("shard0")
+            lineage_wal = cache_dir / "shard0.plans.lineage"
+            assert lineage_wal.exists()
+            with open(lineage_wal, "a", encoding="utf-8") as handle:
+                handle.write('{"magic": "fupermod-lineage-wal", "v": 1,')
+
+            ready = fleet.restart_shard("shard0")
+            # The torn commit never happened; epoch 1 is the consistent
+            # recovered state, reported on the READY line.
+            assert ready["epoch"] == 1
+            status, out = self.feedback_via_router(
+                fleet, dict(payload, source="app-after")
+            )
+            assert status == 200
+            assert out["epoch"] == 1
+
+    def test_feedback_survives_json_nan_on_the_wire(self, points_dir):
+        # Python's json emits/accepts bare NaN tokens; the quarantine --
+        # not a parser error -- must be what stops a NaN flood over HTTP.
+        with PlanFleet(points_dir, workers=1, probe=False) as fleet:
+            payload = self.honest_payload(fleet, 4000, source="nan-app")
+            payload["times"][0] = float("nan")
+            status, out = self.feedback_via_router(fleet, payload)
+            assert status == 400
+            assert out["rejected"] == ["non-finite"]

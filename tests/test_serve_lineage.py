@@ -1,0 +1,221 @@
+"""Model lineage: copy-on-refit, fingerprint chains, crash-safe commits.
+
+The contracts a closed-loop server hangs off:
+
+* :meth:`ModelLineage.propose` never touches the served models, and the
+  candidate it builds is exactly what a cold build from the union of
+  points would produce;
+* :meth:`ModelLineage.commit` journals the epoch *before* swapping, so
+  the journal append is the commit point -- replay after a crash lands
+  on the same epoch and the same fingerprint;
+* a torn final journal record (SIGKILL mid-commit) is dropped and
+  truncated away, interior corruption refuses loudly, and a journal
+  that no longer matches the base models fails instead of fabricating a
+  lineage that never existed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.conftest import model_from_time_fn, points_from_time_fn
+from repro.core.models import PiecewiseModel
+from repro.core.point import MeasurementPoint
+from repro.errors import PersistenceError
+from repro.serve import LineageWAL, ModelLineage, fingerprint_models
+
+pytestmark = [pytest.mark.serve, pytest.mark.feedback]
+
+SIZES = [16, 128, 1024, 4096]
+
+
+def make_models(speeds=(100.0, 200.0, 400.0)):
+    """Noiseless piecewise models over constant-speed devices."""
+    return [
+        model_from_time_fn(PiecewiseModel, lambda d, s=s: d / s, SIZES)
+        for s in speeds
+    ]
+
+
+def drift_points(speeds, factor, sizes=(48, 2048)):
+    """Per-rank points from the same devices running ``factor``x slower."""
+    return [
+        points_from_time_fn(lambda d, s=s: factor * d / s, sizes)
+        for s in speeds
+    ]
+
+
+class TestProposeCommit:
+    def test_propose_leaves_parent_untouched(self):
+        speeds = (100.0, 200.0, 400.0)
+        lineage = ModelLineage(make_models(speeds))
+        before_fp = lineage.fingerprint
+        before_counts = [m.count for m in lineage.models]
+        candidate = lineage.propose(drift_points(speeds, 2.0))
+        assert lineage.fingerprint == before_fp
+        assert [m.count for m in lineage.models] == before_counts
+        assert candidate.parent_fp == before_fp
+        assert candidate.fingerprint != before_fp
+
+    def test_candidate_equals_cold_build_from_union(self):
+        speeds = (100.0, 300.0)
+        lineage = ModelLineage(make_models(speeds))
+        new = drift_points(speeds, 2.0)
+        candidate = lineage.propose(new)
+        cold = []
+        for speed, extra in zip(speeds, new):
+            m = PiecewiseModel()
+            m.update_many(
+                points_from_time_fn(lambda d, s=speed: d / s, SIZES) + extra
+            )
+            cold.append(m)
+        assert candidate.fingerprint == fingerprint_models(cold)
+
+    def test_commit_advances_the_chain(self):
+        speeds = (100.0, 200.0)
+        lineage = ModelLineage(make_models(speeds))
+        root_fp = lineage.fingerprint
+        record = lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        assert lineage.epoch == 1
+        assert record.epoch == 1
+        assert record.parent_fp == root_fp
+        assert lineage.parent_fp == root_fp
+        assert lineage.fingerprint == record.child_fp
+        assert record.point_count == 4  # 2 ranks x 2 points
+
+    def test_rank_count_mismatch_refused(self):
+        lineage = ModelLineage(make_models((100.0, 200.0)))
+        with pytest.raises(ValueError, match="rank point sets"):
+            lineage.propose(drift_points((100.0,), 2.0))
+
+    def test_stale_candidate_refused(self):
+        speeds = (100.0, 200.0)
+        lineage = ModelLineage(make_models(speeds))
+        stale = lineage.propose(drift_points(speeds, 2.0))
+        lineage.commit(lineage.propose(drift_points(speeds, 3.0)))
+        with pytest.raises(ValueError, match="stale candidate"):
+            lineage.commit(stale)
+
+    def test_rollback_never_advances_the_epoch(self):
+        lineage = ModelLineage(make_models())
+        fp = lineage.fingerprint
+        lineage.rollback("regression gate said no")
+        assert lineage.epoch == 0
+        assert lineage.fingerprint == fp
+        assert lineage.stats()["rollbacks"] == 1
+
+
+class TestJournalReplay:
+    def test_recovery_reproduces_epoch_and_fingerprint(self, tmp_path):
+        speeds = (100.0, 200.0, 400.0)
+        wal = tmp_path / "models.lineage"
+        lineage = ModelLineage(make_models(speeds), wal_path=wal)
+        lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        lineage.rollback("gate refused a later refit")
+        lineage.commit(lineage.propose(drift_points(speeds, 2.5, (64, 512))))
+        final_fp, final_epoch = lineage.fingerprint, lineage.epoch
+        lineage.close()
+
+        reborn = ModelLineage(make_models(speeds), wal_path=wal)
+        assert reborn.recover() == 2
+        assert reborn.epoch == final_epoch == 2
+        assert reborn.fingerprint == final_fp
+        assert reborn.rollbacks == 1
+
+    def test_recovered_models_predict_like_the_originals(self, tmp_path):
+        speeds = (100.0, 200.0)
+        wal = tmp_path / "models.lineage"
+        lineage = ModelLineage(make_models(speeds), wal_path=wal)
+        lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        expected = [m.time(777.0) for m in lineage.models]
+        lineage.close()
+        reborn = ModelLineage(make_models(speeds), wal_path=wal)
+        reborn.recover()
+        assert [m.time(777.0) for m in reborn.models] == expected
+
+    def test_torn_tail_is_dropped_and_truncated(self, tmp_path):
+        speeds = (100.0, 200.0)
+        wal = tmp_path / "models.lineage"
+        lineage = ModelLineage(make_models(speeds), wal_path=wal)
+        lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        epoch1_fp = lineage.fingerprint
+        lineage.close()
+        clean_size = wal.stat().st_size
+        with open(wal, "a", encoding="utf-8") as handle:
+            handle.write('{"magic": "fupermod-lineage-wal", "v": 1, "op": "ep')
+
+        reborn = ModelLineage(make_models(speeds), wal_path=wal)
+        assert reborn.recover() == 1
+        assert reborn.epoch == 1
+        assert reborn.fingerprint == epoch1_fp
+        # The interrupted commit is physically gone: a third recovery
+        # starts from a clean journal.
+        assert wal.stat().st_size == clean_size
+
+    def test_interior_corruption_refused(self, tmp_path):
+        speeds = (100.0, 200.0)
+        wal = tmp_path / "models.lineage"
+        lineage = ModelLineage(make_models(speeds), wal_path=wal)
+        lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        lineage.commit(lineage.propose(drift_points(speeds, 3.0, (64,))))
+        lineage.close()
+        lines = wal.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][: len(lines[0]) // 2]  # damage a *middle* record
+        wal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(PersistenceError):
+            ModelLineage(make_models(speeds), wal_path=wal).recover()
+
+    def test_wrong_base_models_refused(self, tmp_path):
+        # The journal belongs to one root model set; replaying it over a
+        # different one cannot reproduce the recorded parent fingerprint
+        # and must fail instead of serving a fabricated lineage.
+        speeds = (100.0, 200.0)
+        wal = tmp_path / "models.lineage"
+        lineage = ModelLineage(make_models(speeds), wal_path=wal)
+        lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        lineage.close()
+        with pytest.raises(PersistenceError):
+            ModelLineage(make_models((111.0, 222.0)), wal_path=wal).recover()
+
+    def test_epoch_gap_refused(self, tmp_path):
+        speeds = (100.0, 200.0)
+        wal = tmp_path / "models.lineage"
+        lineage = ModelLineage(make_models(speeds), wal_path=wal)
+        lineage.commit(lineage.propose(drift_points(speeds, 2.0)))
+        lineage.close()
+        record = json.loads(wal.read_text(encoding="utf-8").splitlines()[0])
+        record["epoch"] = 5
+        wal.write_text(json.dumps(record, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        with pytest.raises(PersistenceError, match="lineage gap"):
+            ModelLineage(make_models(speeds), wal_path=wal).recover()
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        lineage = ModelLineage(
+            make_models(), wal_path=tmp_path / "never-written.lineage"
+        )
+        assert lineage.recover() == 0
+        assert lineage.epoch == 0
+
+
+class TestWalUnit:
+    def test_replay_roundtrip(self, tmp_path):
+        wal = LineageWAL(tmp_path / "w.lineage")
+        points = [[MeasurementPoint(d=10, t=0.5)], []]
+        wal.append_epoch(1, "fp-parent", "fp-child", points)
+        wal.append_rollback(1, "fp-child", "worse than parent")
+        wal.close()
+        ops, _valid, dropped = LineageWAL(tmp_path / "w.lineage").replay()
+        assert not dropped
+        assert [op["op"] for op in ops] == ["epoch", "rollback"]
+        assert ops[0]["points"] == [[[10, 0.5]], []]
+        assert ops[1]["reason"] == "worse than parent"
+
+    def test_foreign_file_refused(self, tmp_path):
+        path = tmp_path / "w.lineage"
+        path.write_text('{"not": "a lineage record"}\n{"x": 1}\n',
+                        encoding="utf-8")
+        with pytest.raises(PersistenceError, match="not a lineage-WAL"):
+            LineageWAL(path).replay()
