@@ -27,7 +27,10 @@ WAL-backed, breaker-wired engine more than 5% over the plain engine on
 the cache-hit path, or when the fleet gates (the repo-root
 ``BENCH_fleet_scaling.json``, if present) fail: 4 workers under 3x one
 worker, the asyncio front end behind the threaded one, or FPM routing
-losing to round-robin on a skewed fleet.
+losing to round-robin on a skewed fleet.  The partition-tolerance gates
+(the repo-root ``BENCH_partition_tolerance.json``, if present) hold the
+replication tax on the warm hit path to 5% and require that a SIGKILL
+on a quiesced replicated fleet loses zero acked plans.
 """
 
 from __future__ import annotations
@@ -68,6 +71,10 @@ FEEDBACK_OVERHEAD_LIMIT = 0.05
 #: Floor on the asyncio front end's hit-path throughput relative to the
 #: threaded stdlib front end (``frontend_http.aio_over_threaded``).
 AIO_PARITY_FLOOR = 1.0
+
+#: Ceiling on the replication tax (``replicas=2`` over ``replicas=1``)
+#: on the warm hit path (the ``replication_tax`` bench section).
+PARTITION_OVERHEAD_LIMIT = 0.05
 
 
 def achieved_times(
@@ -315,6 +322,46 @@ def check_feedback_loop(
     return failures
 
 
+def check_partition_tolerance(
+    current: Dict, limit: float = PARTITION_OVERHEAD_LIMIT
+) -> List[str]:
+    """Gate the replication tax and the acked-plan survival guarantee.
+
+    Reads the ``replication_tax`` and ``failover`` sections of a result
+    tree (the ``bench_partition_tolerance`` bench).  Replication fires
+    only on cold commits and runs on a background thread, so the warm
+    hit path of a ``replicas=2`` fleet must stay within *limit* of a
+    single-copy fleet's; and after a SIGKILL on a quiesced replicated
+    fleet, every acked plan must still be served from a replica copy
+    (``lost_acked`` zero, ``post_kill_hit_rate`` 1.0).  Missing sections
+    are not failures -- older result files predate replication.
+    """
+    if limit <= 0.0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    failures: List[str] = []
+    tax = current.get("replication_tax", {})
+    frac = tax.get("overhead_frac")
+    if isinstance(frac, (int, float)) and frac > limit:
+        failures.append(
+            f"replication_tax: replicas=2 hit path {100 * frac:.1f}% over "
+            f"replicas=1 (limit {100 * limit:.0f}%)"
+        )
+    failover = current.get("failover", {})
+    lost = failover.get("lost_acked")
+    if isinstance(lost, (int, float)) and lost > 0:
+        failures.append(
+            f"failover: {lost:.0f} acked plan(s) lost after a SIGKILL on a "
+            "quiesced replicated fleet (must be 0)"
+        )
+    rate = failover.get("post_kill_hit_rate")
+    if isinstance(rate, (int, float)) and rate < 1.0:
+        failures.append(
+            f"failover: post-kill replica hit rate {rate:.3f} < 1.0 "
+            "(acked plans were re-solved instead of replica-served)"
+        )
+    return failures
+
+
 def _load_results(path: Path) -> Dict:
     """Load one bench result file, raising ``SystemExit(2)`` on damage."""
     if not path.exists():
@@ -418,12 +465,29 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
             for line in feedback_failures:
                 print(f"  {line}")
             return 1
+    # And for the partition-tolerance bench (replication tax + failover).
+    partition_path = (
+        Path(__file__).resolve().parent.parent
+        / "BENCH_partition_tolerance.json"
+    )
+    if partition_path.exists():
+        try:
+            partition = _load_results(partition_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        partition_failures = check_partition_tolerance(partition)
+        if partition_failures:
+            print("partition-tolerance gates failed:")
+            for line in partition_failures:
+                print(f"  {line}")
+            return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
     print(f"no throughput regressions ({compared} metrics compared); "
           "ladder overhead, plan-cache floor, serving-hardening "
-          "overhead, fleet and closed-loop gates within limits")
+          "overhead, fleet, closed-loop and partition-tolerance gates "
+          "within limits")
     return 0
 
 

@@ -336,6 +336,7 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         worker_args=worker_args,
+        replicas=args.replicas,
     )
     previous_handlers = {}
     if threading.current_thread() is threading.main_thread():
@@ -859,6 +860,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'fpm' partitions the stream over functional "
                             "performance models of the workers; "
                             "'round-robin' rotates")
+    p_srv.add_argument("--replicas", type=int, default=2,
+                       help="plan replica-set size including the home shard "
+                            "(fleet mode): committed plans replicate to "
+                            "ring successors so a killed shard's plans keep "
+                            "serving; 1 disables replication")
     p_srv.add_argument("--max-pending", type=int, default=None,
                        dest="max_pending",
                        help="admission cap: shed new requests (HTTP 503) once "

@@ -18,7 +18,13 @@ testing substrate for the resilient runtime:
   (:mod:`repro.faults.serve`) -- chaos hooks for the plan-serving
   layer: scheduled solve failures and slowdowns, realistic
   write-ahead-journal damage, and seeded honest/adversarial feedback
-  streams for the closed-loop refinement suite.
+  streams for the closed-loop refinement suite;
+* :class:`NetFaultPlan` / :class:`NetChaos` (:mod:`repro.faults.net`)
+  -- transport faults *between* fleet processes: seeded slow links,
+  dropped requests, truncated and garbage responses, and asymmetric
+  directed partitions, applied by wrapping the fleet's transports
+  (:func:`wrap_shard_client`, :func:`wrap_worker_link`) -- the
+  netsplit suite's substrate.
 
 The consuming resilience layers live where the healthy code lives:
 retry/quarantine in :mod:`repro.core.benchmark`
@@ -30,6 +36,13 @@ degradation in :mod:`repro.core.builder`
 """
 
 from repro.faults.inject import DegradedDevice, FaultyCommunicator, FaultyKernel
+from repro.faults.net import (
+    NO_NET_FAULTS,
+    NetChaos,
+    NetFaultPlan,
+    wrap_shard_client,
+    wrap_worker_link,
+)
 from repro.faults.plan import NO_FAULTS, FaultPlan, RankFaults
 from repro.faults.report import (
     DeviceQuarantined,
@@ -54,6 +67,9 @@ __all__ = [
     "FaultyKernel",
     "FeedbackStorm",
     "NO_FAULTS",
+    "NO_NET_FAULTS",
+    "NetChaos",
+    "NetFaultPlan",
     "RankFaults",
     "ResilienceEvent",
     "ResilienceReport",
@@ -61,4 +77,6 @@ __all__ = [
     "WAL_CORRUPTIONS",
     "chaotic_partitioner",
     "corrupt_wal",
+    "wrap_shard_client",
+    "wrap_worker_link",
 ]

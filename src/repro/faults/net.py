@@ -1,0 +1,281 @@
+"""Transport-fault injection for the plan fleet (the netsplit layer).
+
+:mod:`repro.faults.serve` breaks *nodes* -- kills, WAL damage, solve
+failures.  This module breaks the *links between* them, which is the
+failure class replication and hinted handoff exist for:
+
+* :class:`NetFaultPlan` -- a seeded, JSON-serialisable script of link
+  misbehaviour: slow links (a blocking sleep before the bytes move),
+  dropped requests (``ConnectionError`` before anything is sent),
+  truncated and garbage responses (the reply arrives damaged), and
+  **asymmetric partitions** -- a set of *directed* ``(src, dst)`` pairs
+  that are blocked, so ``A -> B`` can be cut while ``B -> A`` flows,
+  exactly the pathology that makes naive gossip diverge;
+* :class:`NetChaos` -- the live controller: holds the current plan
+  (swap it at runtime with :meth:`set_plan` / :meth:`block` /
+  :meth:`heal`), draws deterministic per-message decisions from a
+  seeded RNG, and counts every verdict;
+* :func:`wrap_shard_client` / :func:`wrap_worker_link` -- wrap the
+  fleet's two transports (:class:`~repro.serve.shard.ShardClient`
+  synchronous, :class:`~repro.serve.router.WorkerLink` asyncio) so
+  every message they carry consults the controller *at send time*:
+  partitions applied mid-flood affect in-flight traffic immediately.
+
+Workers mount ``POST /chaos`` (see :mod:`repro.serve.worker`), which
+feeds their controller from a serialised plan -- the netsplit suite
+partitions a live fleet's internal links without reaching into worker
+processes.  The router's links live in the supervisor process and are
+wrapped directly.
+
+Determinism: every decision consumes one draw from the plan's seeded
+RNG per fault class, so a given (seed, message sequence) replays the
+identical fault script -- the property all the ``repro.faults`` layers
+share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import FuPerModError
+
+#: Bytes returned in place of a response by the ``garbage`` fault: not
+#: JSON, not HTTP, guaranteed to exercise the decode-failure paths.
+GARBAGE_BYTES = b"\x00\xff\xfe\x01not-json\x9c\x81garbage"
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """A deterministic script of transport misbehaviour.
+
+    Rates are independent per-message probabilities in ``[0, 1]``;
+    ``blocked`` is a set of directed ``(src, dst)`` links that fail
+    unconditionally (the partition).  The zero plan (all defaults) is a
+    healthy network.
+
+    Attributes:
+        seed: RNG seed for the per-message draws.
+        slow_rate: probability a message is delayed by ``slow_ms``.
+        slow_ms: injected one-way delay, milliseconds.
+        drop_rate: probability a request fails before anything is sent
+            (``ConnectionError`` -- the peer looks down).
+        truncate_rate: probability a response loses its second half.
+        garbage_rate: probability a response is replaced with bytes that
+            decode as nothing.
+        blocked: directed links that are cut outright.
+    """
+
+    seed: int = 0
+    slow_rate: float = 0.0
+    slow_ms: float = 0.0
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    garbage_rate: float = 0.0
+    blocked: FrozenSet[Tuple[str, str]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for name in ("slow_rate", "drop_rate", "truncate_rate",
+                     "garbage_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FuPerModError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.slow_ms < 0.0:
+            raise FuPerModError(
+                f"slow_ms must be non-negative, got {self.slow_ms}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (the ``POST /chaos`` wire format)."""
+        return {
+            "seed": self.seed,
+            "slow_rate": self.slow_rate,
+            "slow_ms": self.slow_ms,
+            "drop_rate": self.drop_rate,
+            "truncate_rate": self.truncate_rate,
+            "garbage_rate": self.garbage_rate,
+            "blocked": sorted([src, dst] for src, dst in self.blocked),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "NetFaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.FuPerModError` on malformed input
+        (a chaos endpoint must not crash its worker on a bad script).
+        """
+        try:
+            blocked = frozenset(
+                (str(pair[0]), str(pair[1]))
+                for pair in data.get("blocked", ())
+            )
+            return NetFaultPlan(
+                seed=int(data.get("seed", 0)),
+                slow_rate=float(data.get("slow_rate", 0.0)),
+                slow_ms=float(data.get("slow_ms", 0.0)),
+                drop_rate=float(data.get("drop_rate", 0.0)),
+                truncate_rate=float(data.get("truncate_rate", 0.0)),
+                garbage_rate=float(data.get("garbage_rate", 0.0)),
+                blocked=blocked,
+            )
+        except (TypeError, ValueError, IndexError, KeyError) as exc:
+            raise FuPerModError(f"malformed net-fault plan: {exc}") from exc
+
+
+#: The healthy network.
+NO_NET_FAULTS = NetFaultPlan()
+
+
+class NetChaos:
+    """Live fault controller consulted by wrapped transports at send time.
+
+    One controller per process side (a worker's outbound links, the
+    router's links); transports wrapped against it see plan swaps --
+    including mid-flood partitions and heals -- on their very next
+    message.  Thread-safe: the serving threads, the replication thread
+    and the test driver all consult/mutate it concurrently.
+    """
+
+    def __init__(self, plan: NetFaultPlan = NO_NET_FAULTS) -> None:
+        self._lock = threading.Lock()
+        self._plan = plan
+        self._rng = random.Random(plan.seed)
+        self.counters: Dict[str, int] = {
+            "messages": 0,
+            "blocked": 0,
+            "dropped": 0,
+            "slowed": 0,
+            "truncated": 0,
+            "garbled": 0,
+        }
+
+    # -- plan management ---------------------------------------------------
+
+    @property
+    def plan(self) -> NetFaultPlan:
+        """The current fault plan."""
+        with self._lock:
+            return self._plan
+
+    def set_plan(self, plan: NetFaultPlan) -> None:
+        """Swap the fault script (reseeds the RNG from the new plan)."""
+        with self._lock:
+            self._plan = plan
+            self._rng = random.Random(plan.seed)
+
+    def block(self, src: str, dst: str) -> None:
+        """Cut the directed link ``src -> dst`` (partition surgery)."""
+        with self._lock:
+            self._plan = NetFaultPlan(
+                seed=self._plan.seed,
+                slow_rate=self._plan.slow_rate,
+                slow_ms=self._plan.slow_ms,
+                drop_rate=self._plan.drop_rate,
+                truncate_rate=self._plan.truncate_rate,
+                garbage_rate=self._plan.garbage_rate,
+                blocked=self._plan.blocked | {(src, dst)},
+            )
+
+    def heal(self) -> None:
+        """Restore the healthy network (clears every fault, keeps counters)."""
+        with self._lock:
+            self._plan = NO_NET_FAULTS
+
+    # -- per-message decisions ---------------------------------------------
+
+    def before_send(self, src: str, dst: str) -> Optional[float]:
+        """The pre-send verdict for one ``src -> dst`` message.
+
+        Returns the injected delay in seconds (0.0 for none); raises
+        ``ConnectionError`` for a blocked link or a dropped request --
+        indistinguishable, to the sender, from the peer being down
+        (which is the point).
+        """
+        with self._lock:
+            plan = self._plan
+            self.counters["messages"] += 1
+            if (src, dst) in plan.blocked:
+                self.counters["blocked"] += 1
+                raise ConnectionError(
+                    f"netsplit: link {src} -> {dst} is partitioned"
+                )
+            if plan.drop_rate and self._rng.random() < plan.drop_rate:
+                self.counters["dropped"] += 1
+                raise ConnectionError(
+                    f"net fault: request {src} -> {dst} dropped"
+                )
+            if plan.slow_rate and self._rng.random() < plan.slow_rate:
+                self.counters["slowed"] += 1
+                return plan.slow_ms / 1000.0
+        return 0.0
+
+    def after_receive(self, src: str, dst: str, data: bytes) -> bytes:
+        """The response-mangling verdict: the (possibly damaged) bytes."""
+        with self._lock:
+            plan = self._plan
+            if plan.truncate_rate and self._rng.random() < plan.truncate_rate:
+                self.counters["truncated"] += 1
+                return data[: len(data) // 2]
+            if plan.garbage_rate and self._rng.random() < plan.garbage_rate:
+                self.counters["garbled"] += 1
+                return GARBAGE_BYTES
+        return data
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters plus the active plan (for ``/chaos`` GETs and tests)."""
+        with self._lock:
+            return {"counters": dict(self.counters),
+                    "plan": self._plan.to_dict()}
+
+
+def wrap_shard_client(client, chaos: NetChaos, src: str):
+    """Route a :class:`~repro.serve.shard.ShardClient` through ``chaos``.
+
+    Wraps the client's ``_roundtrip`` in place (every public method
+    funnels through it) and returns the client.  The destination is the
+    client's ``shard_id`` -- the identity the fault plan's partitions
+    name.  Delays run in the calling thread, exactly where the real
+    network would stall it.
+    """
+    original = client._roundtrip
+    dst = client.shard_id
+
+    def chaotic_roundtrip(method, path, body=None, deadline=None):
+        delay = chaos.before_send(src, dst)
+        if delay:
+            time.sleep(delay)
+        status, data = original(method, path, body, deadline=deadline)
+        return status, chaos.after_receive(src, dst, data)
+
+    client._roundtrip = chaotic_roundtrip
+    return client
+
+
+def wrap_worker_link(link, chaos: NetChaos, src: str = "router"):
+    """Route a :class:`~repro.serve.router.WorkerLink` through ``chaos``.
+
+    The asyncio counterpart of :func:`wrap_shard_client`: wraps the
+    link's ``_roundtrip`` coroutine so delays await on the event loop
+    and faults surface as the same exceptions a real broken link would
+    raise into the router's failover path.
+    """
+    original = link._roundtrip
+    dst = link.shard_id
+
+    async def chaotic_roundtrip(method, path, body, headers=None):
+        delay = chaos.before_send(src, dst)
+        if delay:
+            await asyncio.sleep(delay)
+        status, reply_headers, data = await original(
+            method, path, body, headers=headers
+        )
+        return status, reply_headers, chaos.after_receive(src, dst, data)
+
+    link._roundtrip = chaotic_roundtrip
+    return link

@@ -47,7 +47,16 @@ The fleet layer scales out to many processes:
   performance models fitted to each worker's measured service rate --
   FuPerMod dogfooding its methodology on its serving fleet;
 * **peer cache fill** -- a shard missing a plan probes its siblings
-  (ring preference order) before solving cold.
+  (ring preference order) before solving cold;
+* **partition tolerance** (:mod:`~repro.serve.replicate`) -- each
+  committed plan is pushed asynchronously to its ring successors
+  (:class:`~repro.serve.replicate.PlanReplicator`), failed pushes
+  become durable hints (:class:`~repro.serve.replicate.HintLog`,
+  hinted handoff) drained on peer recovery, and shard digests feed
+  anti-entropy repair (:meth:`~repro.serve.fleet.PlanFleet.anti_entropy`)
+  after a partition heals; the router propagates per-request deadlines
+  hop to hop and caps failover retries with a token-bucket
+  :class:`~repro.serve.router.RetryBudget`.
 
 The closed-loop layer lets served models track the platform:
 
@@ -97,9 +106,20 @@ from repro.serve.frontend import handle_request, make_http_server, serve_stdio
 from repro.serve.hashring import HashRing
 from repro.serve.lineage import LineageRecord, LineageWAL, ModelLineage
 from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
-from repro.serve.router import FpmBalancer, PlanRouter, RoundRobinBalancer
+from repro.serve.replicate import (
+    DEFAULT_REPLICA_SET,
+    HintLog,
+    PlanReplicator,
+    entry_fingerprint,
+)
+from repro.serve.router import (
+    FpmBalancer,
+    PlanRouter,
+    RetryBudget,
+    RoundRobinBalancer,
+)
 from repro.serve.server import PlanServer
-from repro.serve.shard import ShardClient
+from repro.serve.shard import DEADLINE_HEADER, ShardClient
 from repro.serve.wal import DurablePlanCache, PlanWAL, ReplayResult
 
 __all__ = [
@@ -108,6 +128,8 @@ __all__ = [
     "BreakerBoard",
     "CacheStats",
     "CircuitBreaker",
+    "DEADLINE_HEADER",
+    "DEFAULT_REPLICA_SET",
     "DurablePlanCache",
     "FINGERPRINT_VERSION",
     "FeedbackController",
@@ -116,6 +138,7 @@ __all__ = [
     "FeedbackReport",
     "FpmBalancer",
     "HashRing",
+    "HintLog",
     "KeepAliveTransport",
     "LineageRecord",
     "LineageWAL",
@@ -124,6 +147,7 @@ __all__ = [
     "PlanClient",
     "PlanEngine",
     "PlanFleet",
+    "PlanReplicator",
     "PlanRequest",
     "PlanResult",
     "PlanRouter",
@@ -131,10 +155,12 @@ __all__ = [
     "PlanWAL",
     "QuarantineReport",
     "ReplayResult",
+    "RetryBudget",
     "RoundRobinBalancer",
     "ServeCounters",
     "ShardClient",
     "affinity_key",
+    "entry_fingerprint",
     "fingerprint_model",
     "fingerprint_models",
     "fingerprint_request",

@@ -40,7 +40,9 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
-from repro.serve.frontend import MAX_BODY_BYTES, handle_request
+from repro.serve.frontend import (
+    MAX_BODY_BYTES, handle_request, merge_deadline_header,
+)
 from repro.serve.server import PlanServer
 
 #: An extra route handler: ``(path, payload) -> (status, response dict)``.
@@ -129,8 +131,16 @@ class AsyncHTTPBase:
         self.port: Optional[int] = None
         self.requests_served = 0
 
-    async def _handle_one(self, method: str, path: str, body: bytes) -> Reply:
-        """Route one parsed request; subclasses implement."""
+    async def _handle_one(
+        self, method: str, path: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Reply:
+        """Route one parsed request; subclasses implement.
+
+        ``headers`` carries the parsed request headers (lower-cased
+        names) so hop-by-hop metadata -- notably the propagated
+        ``X-Fupermod-Deadline`` budget -- reaches the handler.
+        """
         raise NotImplementedError
 
     # -- connection loop ---------------------------------------------------
@@ -203,7 +213,7 @@ class AsyncHTTPBase:
                 method, path, headers, body = parsed
                 keep = headers.get("connection", "keep-alive").lower() != "close"
                 status, payload, extra = await self._handle_one(
-                    method, path, body
+                    method, path, body, headers
                 )
                 self.requests_served += 1
                 writer.write(encode_response(
@@ -402,7 +412,10 @@ class AioFrontend(AsyncHTTPBase):
             return response.pop("code", 400), response
         return 200, response
 
-    async def _handle_one(self, method: str, path: str, body: bytes) -> Reply:
+    async def _handle_one(
+        self, method: str, path: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Reply:
         path = path.split("?", 1)[0]
         norm = path.rstrip("/") or "/"
         if method == "GET":
@@ -423,6 +436,7 @@ class AioFrontend(AsyncHTTPBase):
                     raise ValueError("request body must be a JSON object")
             except (UnicodeDecodeError, ValueError) as exc:
                 return 400, {"error": f"bad JSON: {exc}"}, None
+            merge_deadline_header(payload, headers)
             if norm == "/plan":
                 status, response = await self._respond_plan(payload)
                 return status, response, None

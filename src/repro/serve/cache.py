@@ -270,6 +270,24 @@ class PlanCache:
                 self._entries.move_to_end(best_key)
             return best.result if best is not None else None
 
+    def export_entry(
+        self, key: str
+    ) -> Optional[Tuple[PlanResult, str, Optional[Tuple[Any, ...]]]]:
+        """The full stored entry for ``key``: ``(result, models_fp, spec)``.
+
+        The replication and anti-entropy paths use this: pushing a plan
+        to a peer needs the model fingerprint and request spec the entry
+        was stored under, not just the result.  Like :meth:`peek` it
+        neither counts a hit/miss nor refreshes LRU order (a repair
+        pulling an entry says nothing about local access patterns), and
+        TTL expiry still applies.  Returns None when absent or expired.
+        """
+        with self._lock:
+            entry = self._live_entry(key, self._clock())
+            if entry is None:
+                return None
+            return entry.result, entry.models_fp, entry.spec
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry; True if it existed."""
         with self._lock:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
 import urllib.parse
@@ -230,12 +231,29 @@ class KeepAliveTransport:
     recovered from the ``Retry-After`` header when the body lacks it --
     so the client's retry logic is transport-agnostic.
 
-    ``connections_opened`` counts real TCP connects across all threads;
-    the keep-alive tests assert it stays at one per thread however many
-    requests flow.
+    A request that fails on a connection retries on a fresh one with
+    bounded, jittered backoff (uniform in ``[0, backoff_base * 2**k]``
+    before retry ``k``, up to ``max_attempts`` tries) rather than the
+    old single blind retry, so a briefly-restarting server is ridden
+    out without every client in a fleet re-knocking at the same
+    instant.  A ``deadline`` field in the payload caps the attempt loop
+    and propagates to the server as the ``X-Fupermod-Deadline``
+    per-hop header.
+
+    ``connections_opened`` counts real TCP connects across all threads
+    (the keep-alive tests assert it stays at one per thread however many
+    requests flow); ``reconnects`` counts retry attempts after failures
+    (the backoff witness -- zero against a healthy server).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.02,
+        rng: Optional["random.Random"] = None,
+    ) -> None:
         parsed = urllib.parse.urlsplit(base_url.rstrip("/"))
         if parsed.scheme not in ("http", ""):
             raise FuPerModError(
@@ -243,11 +261,19 @@ class KeepAliveTransport:
             )
         if not parsed.hostname:
             raise FuPerModError(f"no host in transport URL {base_url!r}")
+        if max_attempts <= 0:
+            raise FuPerModError(
+                f"max_attempts must be positive, got {max_attempts}"
+            )
         self.host = parsed.hostname
         self.port = parsed.port if parsed.port is not None else 80
         self.prefix = parsed.path.rstrip("/")
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.rng = rng if rng is not None else random.Random()
         self.connections_opened = 0
+        self.reconnects = 0
         self._count_lock = threading.Lock()
         self._local = threading.local()
 
@@ -281,20 +307,40 @@ class KeepAliveTransport:
             path = "/feedback" if cmd == "feedback" else "/plan"
             body = json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body else {}
-        for attempt in (0, 1):
+        deadline = payload.get("deadline")
+        budget = float(deadline) if deadline is not None else None
+        start = time.monotonic()
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            remaining: Optional[float] = None
+            if budget is not None:
+                remaining = budget - (time.monotonic() - start)
+                if remaining <= 0.0:
+                    break
+                headers["X-Fupermod-Deadline"] = f"{remaining:.6f}"
+            if attempt:
+                # A stale kept-alive connection (server restarted, idle
+                # close) or a transient fault: back off with full jitter
+                # before the fresh-connection retry, bounded by the
+                # remaining deadline.
+                with self._count_lock:
+                    self.reconnects += 1
+                delay = self.rng.uniform(
+                    0.0, self.backoff_base * (2.0 ** (attempt - 1))
+                )
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+                if delay > 0.0:
+                    time.sleep(delay)
             conn = self._connection()
             try:
                 conn.request(method, self.prefix + path, body=body,
                              headers=headers)
                 reply = conn.getresponse()
                 data = reply.read()
-            except (http.client.HTTPException, ConnectionError, OSError):
-                # A stale kept-alive connection (server restarted, idle
-                # close) fails here; one fresh-connection retry is the
-                # keep-alive contract, anything after that is a real error.
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 self._drop()
-                if attempt:
-                    raise
+                last_error = exc
                 continue
             if reply.will_close:
                 self._drop()
@@ -314,7 +360,12 @@ class KeepAliveTransport:
                     except ValueError:
                         pass
             return decoded
-        raise AssertionError("unreachable")  # pragma: no cover
+        if last_error is not None:
+            raise last_error
+        return {
+            "error": "deadline exhausted before reaching the server",
+            "code": 504,
+        }
 
 
 def http_transport(base_url: str, timeout: float = 30.0) -> Transport:

@@ -73,6 +73,13 @@ class PlanEngine:
             plan that does not answer the request is swallowed into the
             ``sibling_errors`` counter and the solve proceeds cold -- a
             dead or lying peer must never fail, or poison, this shard.
+        on_commit: optional hook called with ``(request, result)`` after
+            a freshly *solved* plan is cached -- the fleet's replication
+            trigger.  Cache hits and sibling fills do not fire it: a hit
+            was already replicated when first committed, and a sibling
+            fill is a copy of a plan whose home committed (and
+            replicated) it.  Exceptions are swallowed; replication must
+            never fail a serve.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class PlanEngine:
         counters: Optional[ServeCounters] = None,
         breakers: Optional[BreakerBoard] = None,
         sibling_fill=None,
+        on_commit=None,
     ) -> None:
         self.cache = cache if cache is not None else PlanCache()
         self.policy = policy
@@ -92,6 +100,7 @@ class PlanEngine:
         self.counters = counters if counters is not None else ServeCounters()
         self.breakers = breakers
         self.sibling_fill = sibling_fill
+        self.on_commit = on_commit
 
     # -- request construction ---------------------------------------------
 
@@ -278,6 +287,11 @@ class PlanEngine:
         result, cacheable = self._solve(request, models)
         if cacheable:
             self.cache.put(request.key, result, request.models_fp, spec=spec)
+            if self.on_commit is not None:
+                try:
+                    self.on_commit(request, result)
+                except Exception:
+                    pass  # replication is asynchronous and best-effort
         return result
 
     def plan(

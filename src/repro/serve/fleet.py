@@ -15,7 +15,12 @@ hit-path service rate, and fronts them with a
   fleet;
 * a worker that dies is routed around immediately; a restarted worker
   recovers its plans from its own WAL and rejoins the ring at the same
-  position (shard ids, not addresses, hash onto the ring).
+  position (shard ids, not addresses, hash onto the ring);
+* with ``replicas >= 2`` each committed plan also lives on its ring
+  successors (:mod:`repro.serve.replicate`): a SIGKILLed home's plans
+  keep serving as bit-identical replica hits, failed pushes drain as
+  hints on peer recovery, and :meth:`PlanFleet.anti_entropy` diffs
+  shard digests after a heal and repairs whatever diverged.
 
 Startup sequencing (the ephemeral-port chicken-and-egg): workers bind
 port 0 and announce the bound port in a READY line on stdout; once all
@@ -117,6 +122,9 @@ class PlanFleet:
         host / port: router bind address (port 0 = ephemeral).
         startup_timeout: seconds allowed for each worker to become ready.
         worker_args: extra argv appended to every worker command line.
+        replicas: plan replica-set size including the home shard
+            (passed to every worker as ``--replicas``; 1 disables
+            replication -- the pre-replication fleet).
 
     Use as a context manager, or call :meth:`stop`.
     """
@@ -137,6 +145,7 @@ class PlanFleet:
         port: int = 0,
         startup_timeout: float = 30.0,
         worker_args: Optional[Sequence[str]] = None,
+        replicas: int = 2,
     ) -> None:
         if workers <= 0:
             raise FuPerModError(f"a fleet needs at least one worker, got {workers}")
@@ -162,9 +171,15 @@ class PlanFleet:
             self.shards[sid] = _Shard(
                 sid, cache_file, slowdowns[i % len(slowdowns)]
             )
+        if replicas <= 0:
+            raise FuPerModError(
+                f"replica set size must be positive, got {replicas}"
+            )
+        self.replicas = replicas
         self.router = PlanRouter(
             {sid: "http://127.0.0.1:0" for sid in self.shards},
             routing=routing, host=host, port=port,
+            read_replicas=replicas,
         )
         self._stopped = False
 
@@ -184,6 +199,7 @@ class PlanFleet:
             cmd += ["--cache-file", str(shard.cache_file)]
         if shard.slowdown_ms > 0.0:
             cmd += ["--slowdown", str(shard.slowdown_ms)]
+        cmd += ["--replicas", str(self.replicas)]
         cmd += self.worker_args
         return cmd
 
@@ -266,7 +282,119 @@ class PlanFleet:
         ready = self._spawn(shard)
         self.router.revive(shard_id, shard.url)
         self._broadcast_peers()
+        if self.replicas > 1:
+            # A rejoining shard missed every plan committed while it was
+            # down; repair it in the background (reads keep flowing to
+            # its replicas meanwhile, so nothing waits on this).
+            threading.Thread(
+                target=self._safe_anti_entropy,
+                name=f"fupermod-anti-entropy-{shard_id}",
+                daemon=True,
+            ).start()
         return ready
+
+    # -- anti-entropy ------------------------------------------------------
+
+    def _safe_anti_entropy(self) -> None:
+        try:
+            self.anti_entropy()
+        except Exception:
+            pass  # background repair is best-effort; digests retry later
+
+    def digest_report(self) -> Dict[str, Dict[str, Any]]:
+        """Every running shard's anti-entropy digest, keyed by shard id."""
+        digests: Dict[str, Dict[str, Any]] = {}
+        for shard in self.shards.values():
+            if shard.running and shard.client is not None:
+                got = shard.client.digest()
+                if got is not None:
+                    digests[shard.shard_id] = got
+        return digests
+
+    def anti_entropy(self) -> Dict[str, Any]:
+        """Diff shard digests and repair divergent replica sets.
+
+        For every key any shard holds (with a placeable affinity), the
+        desired holders are its replica set on the *full* membership
+        ring, filtered to running shards.  The authoritative copy is the
+        ring-preference-first running holder; any desired holder missing
+        the key -- or holding it under a different entry fingerprint --
+        is repaired by pulling the entry from the authority and pushing
+        it through ``POST /replicate`` with the ``repair`` flag.
+
+        Returns a report: keys examined, divergent keys found, repairs
+        pushed, push failures.  Run it after a partition heals (the
+        netsplit suite asserts zero divergent keys on a second pass) or
+        let :meth:`restart_shard` trigger it in the background.
+        """
+        from repro.serve.hashring import HashRing
+
+        digests = self.digest_report()
+        holdings: Dict[str, Dict[str, Any]] = {
+            sid: {
+                str(e[0]): (str(e[1]), e[2])
+                for e in d.get("entries", ())
+            }
+            for sid, d in digests.items()
+        }
+        ring = HashRing()
+        for sid in self.shards:
+            ring.add(sid)
+        report = {"keys": 0, "divergent": 0, "repairs": 0, "failures": 0}
+        all_keys: Dict[str, Optional[str]] = {}
+        for entries in holdings.values():
+            for key, (_fp, affinity) in entries.items():
+                if affinity is not None:
+                    all_keys[key] = str(affinity)
+                else:
+                    all_keys.setdefault(key, None)
+        for key, affinity in sorted(all_keys.items()):
+            report["keys"] += 1
+            if affinity is None:
+                continue  # spec-less entries cannot be placed on the ring
+            preference = ring.preference(affinity)
+            desired = [
+                sid for sid in preference[: self.replicas]
+                if sid in holdings
+            ]
+            source_sid = next(
+                (sid for sid in preference
+                 if sid in holdings and key in holdings[sid]),
+                None,
+            )
+            if source_sid is None or not desired:
+                continue
+            source_fp = holdings[source_sid][key][0]
+            targets = [
+                sid for sid in desired
+                if sid != source_sid
+                and holdings[sid].get(key, (None, None))[0] != source_fp
+            ]
+            if not targets:
+                continue
+            report["divergent"] += 1
+            source = self.shards[source_sid].client
+            entry = source.get_entry(key) if source is not None else None
+            if entry is None:
+                report["failures"] += len(targets)
+                continue
+            result, models_fp, spec = entry
+            payload = {
+                "key": key,
+                "models_fp": models_fp,
+                "result": result.to_dict(),
+                "spec": list(spec) if spec is not None else None,
+                "source": source_sid,
+                "repair": True,
+            }
+            for sid in targets:
+                client = self.shards[sid].client
+                try:
+                    ok = client is not None and client.replicate(payload)
+                except Exception:
+                    ok = False
+                report["repairs" if ok else "failures"] += 1
+        return report
 
     # -- client-facing -----------------------------------------------------
 

@@ -9,9 +9,10 @@ Both front ends speak the same tiny protocol over a
 * a **stats** request (``{"cmd": "stats"}`` on stdio, ``GET /stats`` over
   HTTP) returns the consolidated counter snapshot;
 * a **metrics** request (``{"cmd": "metrics"}``, ``GET /metrics``) returns
-  the same counters under the versioned ``fupermod-metrics/1`` schema
+  the same counters under the versioned ``fupermod-metrics/2`` schema
   (cache hits/misses, coalesced, shed, per-fingerprint breaker state,
-  and -- when closed-loop refinement is attached -- feedback counters);
+  feedback counters when closed-loop refinement is attached, and a
+  ``replication`` section when the worker runs with a replica set);
 * a **feedback** request (``{"cmd": "feedback"}`` on stdio,
   ``POST /feedback`` over HTTP) reports actual per-rank timings into the
   closed-loop refinement path (:mod:`repro.serve.feedback`); servers
@@ -33,10 +34,25 @@ code  meaning
 429   feedback rate limit exceeded (``retry_after`` seconds included;
       HTTP adds ``Retry-After``)
 500   the solve failed internally (typed fault, no fallback)
-503   shed by admission control, or circuit open with no fallback
+503   shed by admission control, circuit open with no fallback, or --
+      at the fleet router -- no live shard could serve the request
       (``retry_after`` seconds included; HTTP adds ``Retry-After``)
-504   the request's deadline expired before the plan arrived
+504   the request's deadline expired before the plan arrived; at the
+      fleet router, the propagated per-hop budget ran out before a
+      shard answered (retries never outlive the caller)
 ====  ===========================================================
+
+Fleet replication failures never surface here: replica pushes are
+asynchronous and best-effort, a failed push becomes a durable hint
+(hinted handoff), and divergence left over after a partition heals is
+repaired by anti-entropy -- all off the request path (see
+:mod:`repro.serve.replicate` and docs/API.md "Fleet replication &
+partition tolerance").
+
+A request arriving over HTTP may carry an ``X-Fupermod-Deadline``
+header: the remaining time budget (seconds) propagated by the previous
+hop.  It merges into the payload's ``deadline`` as a minimum -- a hop
+can shrink, never extend, the budget it was granted.
 
 The stdio transport (``fupermod serve``) reads one JSON object per line
 and writes one JSON object per line, which makes it scriptable from any
@@ -63,6 +79,40 @@ from repro.serve.server import PlanServer
 
 #: Default request-body cap for the HTTP transport (1 MiB).
 MAX_BODY_BYTES = 1 << 20
+
+
+def merge_deadline_header(
+    payload: Dict[str, Any], headers: Optional[Dict[str, Optional[str]]]
+) -> None:
+    """Fold a propagated ``X-Fupermod-Deadline`` header into ``payload``.
+
+    The header carries the *remaining* per-request budget (seconds) from
+    the previous hop; the payload may carry its own ``deadline`` field.
+    The effective budget is the minimum of the two -- a hop can only
+    shrink the time it grants downstream, never extend it.  Malformed
+    or non-positive header values are ignored (a damaged header must
+    not reject an otherwise valid request).  Header names are expected
+    lower-cased.
+    """
+    if not headers:
+        return
+    raw = headers.get("x-fupermod-deadline")
+    if raw is None:
+        return
+    try:
+        budget = float(raw)
+    except (TypeError, ValueError):
+        return
+    if budget <= 0.0:
+        return
+    existing = payload.get("deadline")
+    try:
+        existing_f = float(existing) if existing is not None else None
+    except (TypeError, ValueError):
+        existing_f = None
+    payload["deadline"] = (
+        budget if existing_f is None else min(existing_f, budget)
+    )
 
 
 def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -258,6 +308,10 @@ class _PlanHTTPHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._send(400, {"error": f"bad JSON: {exc}"})
             return
+        merge_deadline_header(
+            payload,
+            {"x-fupermod-deadline": self.headers.get("X-Fupermod-Deadline")},
+        )
         if path == "/feedback":
             payload["cmd"] = "feedback"
         response = handle_request(self.plan_server, payload)

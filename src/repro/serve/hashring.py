@@ -142,6 +142,20 @@ class HashRing:
                     break
         return seen
 
+    def replica_set(self, key: str, n: int) -> List[str]:
+        """The ``n`` distinct shards responsible for ``key``.
+
+        The first entry is the key's home (:meth:`lookup`); the rest are
+        its successors clockwise -- the shards the home asynchronously
+        replicates committed plans to, and the shards the router fails
+        reads over to when the home is down.  Fewer than ``n`` shards on
+        the ring returns them all: a one-shard fleet has a replica set
+        of one, not an error.
+        """
+        if n <= 0:
+            raise FuPerModError(f"replica set size must be positive, got {n}")
+        return self.preference(key, limit=n)
+
     def __iter__(self) -> Iterator[str]:
         """Iterate the member shard identifiers, sorted."""
         return iter(self.shards)

@@ -40,7 +40,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.point import MeasurementPoint
 from repro.errors import PersistenceError
@@ -464,6 +464,26 @@ class ModelLineage:
         """A consistent ``(models, fingerprint, epoch)`` triple."""
         with self._lock:
             return self.models, self.fingerprint, self.epoch
+
+    def verified_fingerprints(self) -> Set[str]:
+        """Every model-set fingerprint this lineage can vouch for.
+
+        The root fingerprint plus the child of every committed epoch.  A
+        recovering worker checks its plan cache against this set: a plan
+        stamped with a fingerprint outside it was computed against an
+        epoch the (possibly torn) lineage journal cannot reproduce, so
+        serving it would claim a provenance nobody can verify.  Note the
+        root is always present -- a lineage that lost its tail recovers
+        to a consistent *older* epoch, and plans from surviving epochs
+        stay servable.
+        """
+        with self._lock:
+            verified = {record.child_fp for record in self.history}
+            if self.history:
+                verified.add(self.history[0].parent_fp)
+            else:
+                verified.add(self.fingerprint)
+            return verified
 
     def stats(self) -> Dict[str, Any]:
         """Lineage state for ``/stats`` and ``/metrics``."""

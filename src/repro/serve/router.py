@@ -41,14 +41,71 @@ from repro.core import registry
 from repro.core.models import PiecewiseModel
 from repro.core.point import MeasurementPoint
 from repro.errors import FuPerModError, PartitionError
-from repro.serve.aio import MAX_BODY_BYTES, AsyncHTTPBase, Reply
+from repro.serve.aio import (
+    MAX_BODY_BYTES, AsyncHTTPBase, Reply, merge_deadline_header,
+)
 from repro.serve.fingerprint import affinity_key
 from repro.serve.hashring import DEFAULT_REPLICAS, HashRing
+from repro.serve.shard import DEADLINE_HEADER
 
 #: Slot budget the partitioner divides among workers.  Finer than the
 #: worker count by orders of magnitude so shares resolve small speed
 #: differences; coarse enough that geometric partitioning is instant.
 BALANCE_SLOTS = 240
+
+
+class RetryBudget:
+    """Token-bucket budget for failover retries (the anti-retry-storm).
+
+    The *first* shard tried for a request is always free; every
+    additional attempt (a failover after an error) must draw a token.
+    Tokens refill at ``rate`` per second up to ``burst``, so a brief
+    blip retries freely while a sustained partition quickly degrades to
+    "serve from whoever answers first, else fail fast" instead of every
+    request hammering the whole candidate list.  Thread-safe; time is
+    injected for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float = 10.0,
+        burst: float = 20.0,
+        clock=time.monotonic,
+    ) -> None:
+        if rate < 0.0 or burst <= 0.0:
+            raise FuPerModError(
+                f"retry budget needs rate >= 0 and burst > 0, "
+                f"got rate={rate}, burst={burst}"
+            )
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Draw ``tokens`` from the bucket; False means budget exhausted."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (refilled to now)."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            return self._tokens
 
 
 class RoundRobinBalancer:
@@ -289,15 +346,22 @@ class WorkerLink:
         self._sem = asyncio.Semaphore(pool)
 
     async def _roundtrip(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         payload = body or b""
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {self.host}:{self.port}\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            "Content-Type: application/json\r\n\r\n"
-        ).encode("ascii")
+        head_lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(payload)}",
+            "Content-Type: application/json",
+        ]
+        if headers:
+            head_lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(head_lines) + "\r\n\r\n").encode("ascii")
         while True:
             reused = bool(self._free)
             if reused:
@@ -341,12 +405,24 @@ class WorkerLink:
             return status, headers, data
 
     async def request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """One request to this worker: ``(status, headers, raw body)``."""
+        """One request to this worker: ``(status, headers, raw body)``.
+
+        ``headers`` rides extra hop metadata (the propagated deadline);
+        ``timeout`` overrides the link's default for this call so a
+        nearly-exhausted request budget is honoured instead of the full
+        worker timeout.
+        """
         async with self._sem:
             return await asyncio.wait_for(
-                self._roundtrip(method, path, body), timeout=self.timeout
+                self._roundtrip(method, path, body, headers=headers),
+                timeout=self.timeout if timeout is None else timeout,
             )
 
     def close(self) -> None:
@@ -366,9 +442,19 @@ class PlanRouter(AsyncHTTPBase):
         balance_partitioner: partitioner dividing the slot budget when
             ``routing="fpm"``.
         replicas: virtual nodes per shard on the affinity ring.
+        read_replicas: the fleet's plan replica-set size (how many
+            shards hold each committed plan); reported in metrics so
+            operators see the durability the fleet was launched with.
         host / port: bind address (port 0 = ephemeral).
         link_pool: concurrent connections per worker.
         worker_timeout: per-relay timeout, seconds.
+        retry_rate / retry_burst: the failover :class:`RetryBudget`
+            (tokens per second / bucket depth).  The first shard tried
+            per request is free; each failover hop draws one token, so
+            a partition degrades to fast single-shot serving instead of
+            a retry storm.
+        health_probe_interval: seconds between half-open probe rounds
+            over dead shards (``GET /metrics``); 0 disables probing.
     """
 
     def __init__(
@@ -377,11 +463,15 @@ class PlanRouter(AsyncHTTPBase):
         routing: str = "fpm",
         balance_partitioner: str = "geometric",
         replicas: int = DEFAULT_REPLICAS,
+        read_replicas: int = 2,
         host: str = "127.0.0.1",
         port: int = 0,
         max_body_bytes: int = MAX_BODY_BYTES,
         link_pool: int = 8,
         worker_timeout: float = 30.0,
+        retry_rate: float = 10.0,
+        retry_burst: float = 20.0,
+        health_probe_interval: float = 1.0,
     ) -> None:
         if not workers:
             raise FuPerModError("a plan router needs at least one worker")
@@ -393,6 +483,7 @@ class PlanRouter(AsyncHTTPBase):
         super().__init__(host, port, max_body_bytes, "fupermod-router")
         self.routing = routing
         self.ring = HashRing(workers, replicas=replicas)
+        self.read_replicas = read_replicas
         self._urls = {sid: url.rstrip("/") for sid, url in workers.items()}
         self._link_pool = link_pool
         self._worker_timeout = worker_timeout
@@ -400,6 +491,10 @@ class PlanRouter(AsyncHTTPBase):
         self._dead: set = set()
         self._state_lock = threading.Lock()
         self._started_at = time.monotonic()
+        self.retry_budget = RetryBudget(rate=retry_rate, burst=retry_burst)
+        self.health_probe_interval = health_probe_interval
+        self._probe_task: Optional["asyncio.Task[None]"] = None
+        self._probe_cooldown: Dict[str, float] = {}
         if routing == "fpm":
             self.balancer = FpmBalancer(
                 list(workers), partitioner=balance_partitioner
@@ -413,14 +508,25 @@ class PlanRouter(AsyncHTTPBase):
             "reroutes": 0,
             "shard_errors": 0,
             "feedback_relayed": 0,
+            "retry_budget_exhausted": 0,
+            "deadline_rejected": 0,
+            "health_probes": 0,
+            "probe_revivals": 0,
         }
 
     # -- membership (supervisor-facing, thread-safe) -----------------------
 
     def mark_dead(self, shard_id: str) -> None:
-        """Stop routing to a shard (router also does this on errors)."""
+        """Stop routing to a shard (router also does this on errors).
+
+        A dead shard is not gone for good: the half-open health prober
+        pings it (``GET /metrics``) every probe round and revives it the
+        moment it answers again, so a healed-but-never-restarted shard
+        rejoins routing without supervisor intervention.
+        """
         with self._state_lock:
             self._dead.add(shard_id)
+            self._probe_cooldown[shard_id] = time.monotonic()
         self.balancer.set_alive(shard_id, False)
 
     def revive(self, shard_id: str, url: Optional[str] = None) -> None:
@@ -484,7 +590,11 @@ class PlanRouter(AsyncHTTPBase):
         return [pick] + sorted(live - {pick}), False
 
     async def _route_plan(
-        self, body: bytes, path: str = "/plan", force_affinity: bool = False
+        self,
+        body: bytes,
+        path: str = "/plan",
+        force_affinity: bool = False,
+        request_headers: Optional[Dict[str, str]] = None,
     ) -> Reply:
         try:
             payload = json.loads(body.decode("utf-8"))
@@ -492,14 +602,44 @@ class PlanRouter(AsyncHTTPBase):
                 raise ValueError("request body must be a JSON object")
         except (UnicodeDecodeError, ValueError) as exc:
             return 400, {"error": f"bad JSON: {exc}"}, None
+        merge_deadline_header(payload, request_headers)
+        deadline: Optional[float] = None
+        raw_deadline = payload.get("deadline")
+        if raw_deadline is not None:
+            try:
+                deadline = float(raw_deadline)
+            except (TypeError, ValueError):
+                deadline = None
         candidates, affinity = self._candidates(payload, force_affinity)
         self.counters["requests"] += 1
+        started = time.monotonic()
         for position, sid in enumerate(candidates):
+            hop_headers: Optional[Dict[str, str]] = None
+            hop_timeout: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - started)
+                if remaining <= 0.0:
+                    self.counters["deadline_rejected"] += 1
+                    return 504, {
+                        "error": (
+                            f"deadline of {deadline:.3f}s exhausted "
+                            f"before {path} could be served"
+                        ),
+                        "code": 504,
+                    }, None
+                hop_headers = {DEADLINE_HEADER: f"{remaining:.6f}"}
+                hop_timeout = min(self._worker_timeout, remaining)
+            if position > 0 and not self.retry_budget.try_acquire():
+                # Budget spent: fail fast instead of walking the whole
+                # candidate list during a sustained partition.
+                self.counters["retry_budget_exhausted"] += 1
+                break
             link = self._link(sid)
             start = time.perf_counter()
             try:
                 status, headers, data = await link.request(
-                    "POST", path, body
+                    "POST", path, body,
+                    headers=hop_headers, timeout=hop_timeout,
                 )
             except (
                 ConnectionError, OSError, asyncio.TimeoutError,
@@ -558,10 +698,89 @@ class PlanRouter(AsyncHTTPBase):
             "balancer": self.balancer.to_dict(),
         }
 
-    async def _handle_one(self, method: str, path: str, body: bytes) -> Reply:
+    def _replication_summary(
+        self, per_shard: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """The fleet-wide ``replication`` metrics section.
+
+        Sums the numeric fields of every reachable shard's own
+        ``replication`` section (replicas written, hints queued/drained,
+        digests served, repairs applied) and adds the router-side
+        partition-tolerance counters (retry-budget exhaustions, probe
+        revivals).
+        """
+        totals: Dict[str, float] = {}
+        reporting = 0
+        for info in per_shard.values():
+            section = info.get("replication") if isinstance(info, dict) else None
+            if not isinstance(section, dict):
+                continue
+            reporting += 1
+            for name, value in section.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        return {
+            "replica_set": self.read_replicas,
+            "shards_reporting": reporting,
+            "workers": totals,
+            "router": {
+                "retry_budget_exhausted":
+                    self.counters["retry_budget_exhausted"],
+                "retry_budget_available":
+                    round(self.retry_budget.available(), 3),
+                "deadline_rejected": self.counters["deadline_rejected"],
+                "health_probes": self.counters["health_probes"],
+                "probe_revivals": self.counters["probe_revivals"],
+            },
+        }
+
+    async def _probe_dead_shards(self) -> None:
+        """Half-open probe loop: ping dead shards, revive the responsive.
+
+        Runs on the event loop for the router's whole life.  Each round
+        probes every dead shard whose cooldown has lapsed with a cheap
+        ``GET /metrics``; a 200 means the process is healthy again
+        (restarted by hand, or the partition healed) and it rejoins
+        routing immediately -- ``revive`` stays available for the
+        supervisor's explicit restart path, which also updates the URL.
+        """
+        interval = self.health_probe_interval
+        while True:
+            await asyncio.sleep(interval)
+            with self._state_lock:
+                dead = sorted(self._dead)
+            now = time.monotonic()
+            for sid in dead:
+                with self._state_lock:
+                    since = self._probe_cooldown.get(sid, 0.0)
+                if now - since < interval:
+                    continue
+                self.counters["health_probes"] += 1
+                try:
+                    status, _headers, _data = await self._link(sid).request(
+                        "GET", "/metrics", timeout=min(2.0, interval * 2),
+                    )
+                except Exception:
+                    with self._state_lock:
+                        self._probe_cooldown[sid] = time.monotonic()
+                    continue
+                if status == 200:
+                    self.counters["probe_revivals"] += 1
+                    self.revive(sid)
+                else:
+                    with self._state_lock:
+                        self._probe_cooldown[sid] = time.monotonic()
+
+    async def _handle_one(
+        self, method: str, path: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Reply:
         norm = path.split("?", 1)[0].rstrip("/") or "/"
         if method == "POST" and norm == "/plan":
-            return await self._route_plan(body)
+            return await self._route_plan(body, request_headers=headers)
         if method == "POST" and norm == "/feedback":
             # Forced affinity: a report must reach the shard whose
             # models and cached plans cover its (total, partitioner,
@@ -569,7 +788,8 @@ class PlanRouter(AsyncHTTPBase):
             # shard's response (200/400/403/429) relays verbatim.
             self.counters["feedback_relayed"] += 1
             return await self._route_plan(
-                body, path="/feedback", force_affinity=True
+                body, path="/feedback", force_affinity=True,
+                request_headers=headers,
             )
         if method == "GET" and norm == "/health":
             return 200, {"ok": True, "role": "router",
@@ -581,13 +801,25 @@ class PlanRouter(AsyncHTTPBase):
                 "shards": per_shard,
             }
             if norm == "/metrics":
-                out["schema"] = "fupermod-fleet-metrics/1"
+                out["fleet"]["replication"] = (
+                    self._replication_summary(per_shard)
+                )
+                out["schema"] = "fupermod-fleet-metrics/2"
                 out["uptime_s"] = time.monotonic() - self._started_at
                 return 200, {"metrics": out}, None
             return 200, {"stats": out}, None
         return 404, {"error": f"no such endpoint {path!r}"}, None
 
+    async def _on_start(self) -> None:
+        if self.health_probe_interval > 0.0:
+            self._probe_task = asyncio.get_running_loop().create_task(
+                self._probe_dead_shards()
+            )
+
     async def _on_stop(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
         with self._state_lock:
             links = list(self._links.values())
         for link in links:

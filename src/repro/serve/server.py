@@ -112,6 +112,10 @@ class PlanServer:
         #: (:class:`repro.serve.feedback.FeedbackController`); the front
         #: ends dispatch ``{"cmd": "feedback"}`` to it when attached.
         self.feedback = None
+        #: Optional zero-argument callable returning replication stats
+        #: (the fleet worker wires :meth:`PlanReplicator.stats` here);
+        #: when set, :meth:`stats` grows a ``"replication"`` section.
+        self.replication = None
 
     # -- core serving ------------------------------------------------------
 
@@ -274,6 +278,8 @@ class PlanServer:
             out["durability"] = durability()
         if self.feedback is not None:
             out["feedback"] = self.feedback.stats()
+        if self.replication is not None:
+            out["replication"] = self.replication()
         return out
 
     def metrics(self) -> Dict[str, Any]:
@@ -285,7 +291,7 @@ class PlanServer:
         read one stable shape (documented in ``docs/API.md``).
         """
         out = self.stats()
-        out["schema"] = "fupermod-metrics/1"
+        out["schema"] = "fupermod-metrics/2"
         out["uptime_s"] = time.monotonic() - self._started_at
         return out
 

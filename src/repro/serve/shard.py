@@ -10,26 +10,43 @@ worker process and exposes the fleet-internal surface too --
   fleet: it relays the worker's bytes verbatim instead of re-encoding;
 * ``get_cached`` is the sibling-fill probe (``GET /cache/<key>``): a
   pure cache peek on the peer that never triggers a solve there;
+* ``replicate`` / ``digest`` / ``get_entry`` are the replication and
+  anti-entropy surface (``POST /replicate``, ``GET /digest``);
 * ``set_peers`` delivers the supervisor's peer roster
   (``POST /peers``), re-broadcast whenever the fleet membership changes;
+* ``chaos`` installs a transport-fault plan (``POST /chaos``, the
+  netsplit suite's seam);
 * ``health`` is the liveness probe used for startup waits and
   post-SIGKILL detection.
 
-Connections are persistent (HTTP/1.1 keep-alive) with one
-fresh-connection retry, matching
-:class:`~repro.serve.client.KeepAliveTransport`; instances are
-thread-safe via thread-local connections.
+Connections are persistent (HTTP/1.1 keep-alive).  A request that fails
+on a connection is retried on a fresh one with **bounded, jittered
+backoff** -- up to ``max_attempts`` tries, sleeping uniform in
+``[0, base * 2**k]`` before retry ``k`` -- instead of the old single
+blind retry, so a briefly unreachable peer (restart, transient
+partition) is ridden out without a fleet of clients hammering it in
+lockstep.  A propagated per-hop deadline caps the whole attempt loop:
+retries never outlive the caller.  ``reconnects`` counts retry attempts
+(the witness the backoff tests assert on) alongside
+``connections_opened``; instances are thread-safe via thread-local
+connections.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FuPerModError
 from repro.serve.plan import PlanResult
+
+#: HTTP header carrying the remaining per-request deadline (seconds) to
+#: the next hop; see docs/API.md "Deadline propagation".
+DEADLINE_HEADER = "X-Fupermod-Deadline"
 
 
 class ShardClient:
@@ -40,10 +57,23 @@ class ShardClient:
         shard_id: the worker's fleet identity (for error messages and
             router bookkeeping; not sent on the wire).
         timeout: socket timeout per request, seconds.
+        max_attempts: total connection attempts per request (first try
+            included); failures between attempts back off with full
+            jitter.
+        backoff_base: backoff base in seconds; retry ``k`` (0-based)
+            sleeps uniform in ``[0, backoff_base * 2**k]``.
+        rng: seeded ``random.Random`` for the jitter draw (deterministic
+            tests); a fresh unseeded one by default.
     """
 
     def __init__(
-        self, url: str, shard_id: str = "", timeout: float = 30.0
+        self,
+        url: str,
+        shard_id: str = "",
+        timeout: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.02,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not url.startswith("http://"):
             raise FuPerModError(f"shard client needs an http:// URL, got {url!r}")
@@ -55,11 +85,21 @@ class ShardClient:
             self.port = int(port_text)
         except ValueError:
             raise FuPerModError(f"bad port in shard URL {url!r}") from None
+        if max_attempts <= 0:
+            raise FuPerModError(
+                f"max_attempts must be positive, got {max_attempts}"
+            )
         self.host = host
         self.url = f"http://{host}:{self.port}"
         self.shard_id = shard_id or self.url
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.rng = rng if rng is not None else random.Random()
         self.connections_opened = 0
+        #: Retry attempts after a failed round trip (the backoff
+        #: witness: one request against a healthy shard adds zero).
+        self.reconnects = 0
         self._count_lock = threading.Lock()
         self._local = threading.local()
 
@@ -87,38 +127,77 @@ class ShardClient:
         self._drop()
 
     def _roundtrip(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[int, bytes]:
-        """One request with the keep-alive retry contract.
+        """One request with bounded, jittered reconnect backoff.
 
-        Returns ``(status, raw body bytes)``; raises ``ConnectionError``
-        / ``OSError`` when the shard is unreachable even on a fresh
-        connection (the router's cue to mark it dead).
+        ``deadline`` is the remaining per-request budget in seconds: it
+        caps the whole attempt loop (no retry starts past it) and rides
+        to the shard in the ``X-Fupermod-Deadline`` header so downstream
+        work never outlives the caller either.  Returns ``(status, raw
+        body bytes)``; raises ``ConnectionError`` / ``OSError`` when the
+        shard stays unreachable through every allowed attempt (the
+        router's cue to mark it dead).
         """
-        headers = {"Content-Type": "application/json"} if body else {}
-        for attempt in (0, 1):
+        start = time.monotonic()
+        headers: Dict[str, str] = (
+            {"Content-Type": "application/json"} if body else {}
+        )
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - start)
+                if remaining <= 0.0:
+                    break
+                headers[DEADLINE_HEADER] = f"{remaining:.6f}"
+            if attempt:
+                with self._count_lock:
+                    self.reconnects += 1
+                delay = self.rng.uniform(
+                    0.0, self.backoff_base * (2.0 ** (attempt - 1))
+                )
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+                if delay > 0.0:
+                    time.sleep(delay)
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 reply = conn.getresponse()
                 data = reply.read()
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 self._drop()
-                if attempt:
-                    raise
+                last_error = exc
                 continue
             if reply.will_close:
                 self._drop()
             return reply.status, data
-        raise AssertionError("unreachable")  # pragma: no cover
+        if last_error is not None:
+            raise (
+                last_error
+                if isinstance(last_error, (ConnectionError, OSError))
+                else ConnectionError(str(last_error))
+            )
+        raise ConnectionError(
+            f"deadline exhausted before reaching shard {self.shard_id}"
+        )
 
     def _json(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         body = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
-        status, data = self._roundtrip(method, path, body)
+        status, data = self._roundtrip(method, path, body, deadline=deadline)
         try:
             decoded = json.loads(data.decode("utf-8"))
             if not isinstance(decoded, dict):
@@ -134,13 +213,23 @@ class ShardClient:
 
         The router relays these bytes verbatim, so a plan served through
         the fleet is bit-identical to one served by the worker directly.
+        A ``deadline`` field in the payload bounds the retry loop and
+        propagates as the per-hop header.
         """
         body = json.dumps(payload).encode("utf-8")
-        return self._roundtrip("POST", "/plan", body)
+        deadline = payload.get("deadline")
+        return self._roundtrip(
+            "POST", "/plan", body,
+            deadline=float(deadline) if deadline is not None else None,
+        )
 
     def plan(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """``POST /plan`` decoded (convenience for tests and probes)."""
-        status, decoded = self._json("POST", "/plan", payload)
+        deadline = payload.get("deadline")
+        status, decoded = self._json(
+            "POST", "/plan", payload,
+            deadline=float(deadline) if deadline is not None else None,
+        )
         if status >= 400:
             decoded.setdefault("error", f"HTTP {status}")
             decoded.setdefault("code", status)
@@ -160,6 +249,46 @@ class ShardClient:
             return PlanResult.from_dict(decoded["plan"])
         except Exception:
             return None
+
+    def get_entry(
+        self, key: str
+    ) -> Optional[Tuple[PlanResult, str, Optional[Tuple[Any, ...]]]]:
+        """The peer's full cache entry: ``(result, models_fp, spec)``.
+
+        The anti-entropy repair path uses this to pull a divergent entry
+        from its authoritative holder before pushing it to the shards
+        that lack it.  Returns None on a miss or any malformed answer.
+        """
+        status, decoded = self._json("GET", f"/cache/{key}")
+        if status != 200 or "plan" not in decoded:
+            return None
+        try:
+            result = PlanResult.from_dict(decoded["plan"])
+            models_fp = str(decoded["models_fp"])
+            spec = decoded.get("spec")
+            return result, models_fp, tuple(spec) if spec is not None else None
+        except Exception:
+            return None
+
+    def replicate(self, entry: Dict[str, Any]) -> bool:
+        """Push one cache entry to this peer (``POST /replicate``)."""
+        status, _ = self._json("POST", "/replicate", entry)
+        return status == 200
+
+    def digest(self) -> Optional[Dict[str, Any]]:
+        """The peer's anti-entropy digest (``GET /digest``), or None."""
+        try:
+            status, decoded = self._json("GET", "/digest")
+        except (http.client.HTTPException, ConnectionError, OSError):
+            return None
+        if status != 200 or "entries" not in decoded:
+            return None
+        return decoded
+
+    def chaos(self, plan: Dict[str, Any]) -> bool:
+        """Install a transport-fault plan on the peer (``POST /chaos``)."""
+        status, _ = self._json("POST", "/chaos", plan)
+        return status == 200
 
     def set_peers(self, peers: Sequence[Dict[str, str]]) -> bool:
         """Deliver the peer roster: ``[{"shard_id": ..., "url": ...}]``."""

@@ -7,11 +7,21 @@ process).  Each worker owns the full single-node serving stack -- its own
 an :class:`~repro.serve.aio.AioFrontend` -- plus the fleet-internal
 surface:
 
-* ``GET /cache/<key>`` -- a pure cache peek for sibling fill: the plan's
-  serialized form if this shard has it, 404 otherwise.  Never solves.
+* ``GET /cache/<key>`` -- a pure cache peek for sibling fill and
+  anti-entropy pulls: the plan's serialized form (plus the model
+  fingerprint and request spec it was stored under) if this shard has
+  it, 404 otherwise.  Never solves.
 * ``POST /peers`` -- the supervisor's roster broadcast; installs the
   sibling-fill hook so local misses probe peers (in consistent-hash
-  preference order for the request's affinity key) before solving cold.
+  preference order for the request's affinity key) before solving cold,
+  and feeds the replicator's peer roster (which doubles as its
+  peer-recovery signal for hinted handoff).
+* ``POST /replicate`` / ``GET /digest`` -- the replica write path and
+  the anti-entropy digest (see :mod:`repro.serve.replicate`).
+* ``POST /chaos`` / ``GET /chaos`` -- install / inspect a
+  transport-fault plan (:mod:`repro.faults.net`) covering this worker's
+  *outbound* links (sibling probes and replica pushes); the netsplit
+  suite's seam for asymmetric partitions.
 * a **READY line** on stdout once the port is bound:
   ``{"ready": true, "shard_id": ..., "port": ...}`` -- how the
   supervisor learns ephemeral ports without a race.
@@ -40,12 +50,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.registry import model_factory
 from repro.errors import FuPerModError, PersistenceError
+from repro.faults.net import NetChaos, NetFaultPlan, wrap_shard_client
 from repro.serve.aio import AioFrontend
 from repro.serve.cache import PlanCache
 from repro.serve.engine import PlanEngine
 from repro.serve.fingerprint import affinity_key
 from repro.serve.hashring import HashRing
 from repro.serve.plan import PlanRequest, PlanResult
+from repro.serve.replicate import DEFAULT_REPLICA_SET, PlanReplicator
 from repro.serve.server import PlanServer
 from repro.serve.shard import ShardClient
 from repro.serve.wal import DurablePlanCache
@@ -92,11 +104,20 @@ class SiblingFill:
     """
 
     def __init__(
-        self, shard_id: str, max_probes: int = 2, timeout: float = 2.0
+        self,
+        shard_id: str,
+        max_probes: int = 2,
+        timeout: float = 2.0,
+        client_factory=None,
     ) -> None:
         self.shard_id = shard_id
         self.max_probes = max_probes
         self.timeout = timeout
+        # The client seam the transport-fault layer wraps: probes to
+        # peers go through whatever clients this factory builds.
+        self._client_factory = client_factory or (
+            lambda url, sid, tmo: ShardClient(url, sid, timeout=tmo)
+        )
         self._lock = threading.Lock()
         self._clients: Dict[str, ShardClient] = {}
         self._ring = HashRing()
@@ -109,7 +130,7 @@ class SiblingFill:
             sid, url = str(peer["shard_id"]), str(peer["url"])
             ring.add(sid)
             if sid != self.shard_id:
-                clients[sid] = ShardClient(url, sid, timeout=self.timeout)
+                clients[sid] = self._client_factory(url, sid, self.timeout)
         with self._lock:
             self._clients = clients
             self._ring = ring
@@ -143,15 +164,46 @@ class SiblingFill:
         return None
 
 
-def _extra_routes(server: PlanServer, sibling: SiblingFill):
+def purge_unverified(cache: PlanCache, lineage) -> int:
+    """Drop cached plans whose model fingerprint lineage cannot verify.
+
+    The plan WAL and the lineage journal are separate files with
+    separate torn tails: a crash can leave the cache holding plans
+    stamped with a model epoch the (shorter) recovered lineage never
+    reaches.  Serving such a plan would assert a provenance the lineage
+    chain cannot back, so on worker recovery every entry whose
+    ``models_fp`` is outside :meth:`ModelLineage.verified_fingerprints`
+    is invalidated -- the fleet's replicas (or a cold solve against the
+    recovered models) re-cover the key.  Returns how many were dropped.
+    """
+    verified = lineage.verified_fingerprints()
+    purged = 0
+    for item in cache.to_payload():
+        if str(item["models_fp"]) not in verified:
+            cache.invalidate(str(item["key"]))
+            purged += 1
+    return purged
+
+
+def _extra_routes(
+    server: PlanServer,
+    sibling: SiblingFill,
+    replicator: Optional[PlanReplicator] = None,
+    chaos: Optional[NetChaos] = None,
+):
     """The worker's fleet-internal routes for the asyncio front end."""
 
     def cache_peek(path: str, _payload) -> Tuple[int, Dict[str, Any]]:
         key = path.rsplit("/", 1)[-1]
-        hit = server.engine.cache.peek(key)
+        hit = server.engine.cache.export_entry(key)
         if hit is None:
             return 404, {"error": f"no cached plan for key {key[:16]}..."}
-        return 200, {"plan": hit.to_dict()}
+        result, models_fp, spec = hit
+        return 200, {
+            "plan": result.to_dict(),
+            "models_fp": models_fp,
+            "spec": list(spec) if spec is not None else None,
+        }
 
     def set_peers(_path: str, payload) -> Tuple[int, Dict[str, Any]]:
         peers = (payload or {}).get("peers")
@@ -159,14 +211,43 @@ def _extra_routes(server: PlanServer, sibling: SiblingFill):
             return 400, {"error": "'peers' must be a list of shard records"}
         try:
             count = sibling.set_peers(peers)
+            if replicator is not None:
+                replicator.set_peers(peers)
         except (KeyError, TypeError, FuPerModError) as exc:
             return 400, {"error": f"bad peer roster: {exc}"}
         return 200, {"ok": True, "peers": count}
 
-    return {
+    routes = {
         "GET /cache/": cache_peek,
         "POST /peers": set_peers,
     }
+
+    if replicator is not None:
+        def replicate(_path: str, payload) -> Tuple[int, Dict[str, Any]]:
+            return replicator.apply_replicate(payload)
+
+        def digest(_path: str, _payload) -> Tuple[int, Dict[str, Any]]:
+            return 200, replicator.digest()
+
+        routes["POST /replicate"] = replicate
+        routes["GET /digest"] = digest
+
+    if chaos is not None:
+        def set_chaos(_path: str, payload) -> Tuple[int, Dict[str, Any]]:
+            try:
+                plan = NetFaultPlan.from_dict(payload or {})
+            except FuPerModError as exc:
+                return 400, {"error": str(exc)}
+            chaos.set_plan(plan)
+            return 200, {"ok": True, "plan": plan.to_dict()}
+
+        def get_chaos(_path: str, _payload) -> Tuple[int, Dict[str, Any]]:
+            return 200, chaos.stats()
+
+        routes["POST /chaos"] = set_chaos
+        routes["GET /chaos"] = get_chaos
+
+    return routes
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sibling-probes", type=int, default=2,
                         dest="sibling_probes",
                         help="peers asked per miss before solving cold")
+    parser.add_argument("--replicas", type=int,
+                        default=DEFAULT_REPLICA_SET,
+                        help="plan replica set size including the home "
+                             "shard (1 disables replication)")
     parser.add_argument("--slowdown", type=float, default=0.0, metavar="MS",
                         help="simulated per-request service time in "
                              "milliseconds (models a slower shard)")
@@ -250,7 +335,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         breakers = BreakerBoard(cooldown=args.breaker_cooldown)
 
-    sibling = SiblingFill(args.shard_id, max_probes=args.sibling_probes)
+    # One fault controller covers every outbound link this worker owns
+    # (sibling probes and replica pushes): the netsplit suite partitions
+    # a worker by POSTing a plan to /chaos, and both transports see it.
+    chaos = NetChaos()
+
+    def chaotic_client(url: str, sid: str, tmo: float) -> ShardClient:
+        return wrap_shard_client(
+            ShardClient(url, sid, timeout=tmo), chaos, args.shard_id
+        )
+
+    sibling = SiblingFill(
+        args.shard_id, max_probes=args.sibling_probes,
+        client_factory=chaotic_client,
+    )
     engine = PlanEngine(
         cache=cache, policy=policy, partitioner=args.algorithm,
         warm=not args.no_warm, breakers=breakers, sibling_fill=sibling,
@@ -275,6 +373,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Replay may have advanced past the snapshot's epoch: serve the
         # recovered models, not the freshly loaded ones.
         server.models = lineage.models
+        # The plan WAL and lineage journal tear independently: drop any
+        # recovered plan stamped with an epoch the lineage chain cannot
+        # verify (see purge_unverified).
+        purged = purge_unverified(cache, lineage)
+        if purged:
+            print(
+                f"shard {args.shard_id}: purged {purged} cached plan(s) "
+                "with unverifiable model fingerprints",
+                file=sys.stderr,
+            )
         server.attach_feedback(FeedbackController(
             server, lineage,
             quarantine=FeedbackQuarantine(
@@ -284,6 +392,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ),
             refit_every=args.refit_every,
         ))
+
+    # Replica placement: every freshly committed plan is pushed to its
+    # ring successors off the request path; failed pushes become durable
+    # hints beside the cache WAL.  The replicator shares the chaos-
+    # wrapped client factory, so partitions cut replication too.
+    epoch_source = None
+    if lineage is not None:
+        epoch_source = lambda: (lineage.epoch, lineage.fingerprint)  # noqa: E731
+    replicator = PlanReplicator(
+        args.shard_id, cache, replicas=args.replicas,
+        hint_path=(str(args.cache_file) + ".hints" if durable else None),
+        client_factory=chaotic_client, epoch_source=epoch_source,
+    )
+    pending_hints = replicator.recover()
+    engine.on_commit = replicator.plan_committed
+    server.replication = replicator.stats
 
     plan_hook = None
     if args.slowdown > 0.0:
@@ -296,7 +420,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     frontend = AioFrontend(
         server, host=args.host, port=args.port,
-        extra_routes=_extra_routes(server, sibling), plan_hook=plan_hook,
+        extra_routes=_extra_routes(server, sibling, replicator, chaos),
+        plan_hook=plan_hook,
     )
     frontend.start()
     print(json.dumps({
@@ -307,6 +432,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "url": frontend.url,
         "recovered": recovered,
         "epoch": lineage.epoch if lineage is not None else None,
+        "replicas": args.replicas,
+        "pending_hints": pending_hints,
     }), flush=True)
 
     stop = threading.Event()
@@ -319,6 +446,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     stop.wait()
 
     frontend.stop()
+    replicator.close()
     server.drain(timeout=10.0)
     server.close()
     if lineage is not None:

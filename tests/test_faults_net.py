@@ -1,0 +1,259 @@
+"""The transport-fault layer: seeded link chaos for the plan fleet.
+
+:mod:`repro.faults.net` is the substrate the netsplit suite stands on,
+so its own contracts get direct coverage here:
+
+* :class:`NetFaultPlan` validates its rates, and survives the
+  ``POST /chaos`` wire format round trip;
+* :class:`NetChaos` draws **deterministic** per-message verdicts from
+  the plan's seed -- the same (seed, message sequence) replays the
+  identical fault script;
+* partitions are *directed*: blocking ``A -> B`` leaves ``B -> A``
+  flowing, and :meth:`NetChaos.heal` restores the zero plan while
+  keeping the counters;
+* a wrapped :class:`~repro.serve.shard.ShardClient` and a wrapped
+  :class:`~repro.serve.router.WorkerLink` surface faults exactly as a
+  real broken link would -- ``ConnectionError`` for cuts and drops,
+  decode-misses for damaged response bytes, a real stall for slow
+  links -- and see plan swaps on their very next message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import FuPerModError
+from repro.faults import (
+    NO_NET_FAULTS,
+    NetChaos,
+    NetFaultPlan,
+    wrap_shard_client,
+    wrap_worker_link,
+)
+from repro.faults.net import GARBAGE_BYTES
+from repro.serve import AioFrontend, PlanServer, ShardClient
+from repro.serve.router import WorkerLink
+
+from tests.test_serve_server import make_models, scratch_partitioner  # noqa: F401
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults]
+
+
+class TestNetFaultPlan:
+    def test_zero_plan_is_the_healthy_network(self):
+        assert NO_NET_FAULTS == NetFaultPlan()
+        assert NO_NET_FAULTS.blocked == frozenset()
+
+    @pytest.mark.parametrize("bad", [
+        {"slow_rate": -0.1},
+        {"drop_rate": 1.5},
+        {"truncate_rate": 2.0},
+        {"garbage_rate": -1.0},
+        {"slow_ms": -5.0},
+    ])
+    def test_bad_rates_refused(self, bad):
+        with pytest.raises(FuPerModError):
+            NetFaultPlan(**bad)
+
+    def test_wire_format_round_trip(self):
+        plan = NetFaultPlan(
+            seed=7, slow_rate=0.25, slow_ms=12.5, drop_rate=0.1,
+            truncate_rate=0.05, garbage_rate=0.02,
+            blocked=frozenset({("s0", "s1"), ("router", "s2")}),
+        )
+        assert NetFaultPlan.from_dict(plan.to_dict()) == plan
+        # blocked serialises sorted, so the wire form is deterministic.
+        wire = plan.to_dict()
+        assert wire["blocked"] == sorted(wire["blocked"])
+
+    def test_malformed_wire_plan_refused(self):
+        with pytest.raises(FuPerModError):
+            NetFaultPlan.from_dict({"drop_rate": "most of them"})
+        with pytest.raises(FuPerModError):
+            NetFaultPlan.from_dict({"blocked": [["only-src"]]})
+
+
+class TestNetChaosDecisions:
+    def _script(self, chaos, n=40):
+        """The verdict sequence for n messages on one link."""
+        script = []
+        for _ in range(n):
+            try:
+                script.append(("pass", chaos.before_send("a", "b")))
+            except ConnectionError:
+                script.append(("drop", None))
+        return script
+
+    def test_same_seed_replays_the_same_script(self):
+        plan = NetFaultPlan(seed=42, drop_rate=0.3, slow_rate=0.2,
+                           slow_ms=1.0)
+        first = self._script(NetChaos(plan))
+        second = self._script(NetChaos(plan))
+        assert first == second
+        assert any(v[0] == "drop" for v in first)
+        assert any(v == ("pass", 0.001) for v in first)
+
+    def test_different_seeds_diverge(self):
+        base = dict(drop_rate=0.3, slow_rate=0.2, slow_ms=1.0)
+        a = self._script(NetChaos(NetFaultPlan(seed=1, **base)))
+        b = self._script(NetChaos(NetFaultPlan(seed=2, **base)))
+        assert a != b
+
+    def test_partitions_are_directed(self):
+        chaos = NetChaos()
+        chaos.block("a", "b")
+        with pytest.raises(ConnectionError):
+            chaos.before_send("a", "b")
+        assert chaos.before_send("b", "a") == 0.0  # reverse link flows
+        assert chaos.before_send("a", "c") == 0.0  # other peers flow
+        stats = chaos.stats()
+        assert stats["counters"]["blocked"] == 1
+        assert stats["counters"]["messages"] == 3
+
+    def test_heal_restores_the_zero_plan_keeping_counters(self):
+        chaos = NetChaos(NetFaultPlan(seed=3, drop_rate=1.0))
+        with pytest.raises(ConnectionError):
+            chaos.before_send("a", "b")
+        chaos.heal()
+        assert chaos.plan == NO_NET_FAULTS
+        assert chaos.before_send("a", "b") == 0.0
+        assert chaos.stats()["counters"]["dropped"] == 1
+
+    def test_response_mangling(self):
+        truncating = NetChaos(NetFaultPlan(truncate_rate=1.0))
+        data = b"0123456789"
+        assert truncating.after_receive("a", "b", data) == b"01234"
+        garbling = NetChaos(NetFaultPlan(garbage_rate=1.0))
+        assert garbling.after_receive("a", "b", data) == GARBAGE_BYTES
+        healthy = NetChaos()
+        assert healthy.after_receive("a", "b", data) == data
+
+    def test_set_plan_reseeds(self):
+        chaos = NetChaos(NetFaultPlan(seed=5, drop_rate=0.5))
+        first = self._script(chaos, n=20)
+        chaos.set_plan(NetFaultPlan(seed=5, drop_rate=0.5))
+        assert self._script(chaos, n=20) == first
+
+
+@pytest.fixture
+def aio_server():
+    """A real plan server behind the asyncio front end."""
+    with PlanServer(make_models()) as server:
+        frontend = AioFrontend(server, port=0)
+        frontend.start()
+        try:
+            yield server, frontend
+        finally:
+            frontend.stop()
+
+
+class TestWrappedShardClient:
+    def _client(self, frontend, chaos):
+        client = ShardClient(frontend.url, "dst", timeout=5.0,
+                             max_attempts=1)
+        return wrap_shard_client(client, chaos, "src")
+
+    def test_healthy_wrap_is_transparent(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos()
+        client = self._client(frontend, chaos)
+        try:
+            reply = client.plan({"cmd": "plan", "total": 1000})
+            assert sum(reply["sizes"]) == 1000
+            assert chaos.stats()["counters"]["messages"] >= 1
+            assert chaos.stats()["counters"]["dropped"] == 0
+        finally:
+            client.close()
+
+    def test_partition_looks_like_a_dead_peer(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos()
+        client = self._client(frontend, chaos)
+        try:
+            assert client.health() is True
+            chaos.block("src", "dst")
+            # The swap hits the in-flight transport immediately.
+            assert client.health() is False
+            with pytest.raises(ConnectionError):
+                client.plan({"cmd": "plan", "total": 500})
+            chaos.heal()
+            assert client.health() is True
+        finally:
+            client.close()
+
+    def test_garbage_damages_payloads_not_statuses(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos(NetFaultPlan(garbage_rate=1.0))
+        client = self._client(frontend, chaos)
+        try:
+            # The bytes are ruined but the status made it through:
+            # health (status-only) passes, decoders treat it as a miss.
+            assert client.health() is True
+            reply = client.plan({"cmd": "plan", "total": 800})
+            assert "sizes" not in reply and "error" in reply
+            assert chaos.stats()["counters"]["garbled"] >= 1
+        finally:
+            client.close()
+
+    def test_truncated_responses_decode_as_misses(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos(NetFaultPlan(truncate_rate=1.0))
+        client = self._client(frontend, chaos)
+        try:
+            reply = client.plan({"cmd": "plan", "total": 1200})
+            assert "sizes" not in reply and "error" in reply
+            assert chaos.stats()["counters"]["truncated"] >= 1
+        finally:
+            client.close()
+
+    def test_slow_links_stall_the_caller(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos(NetFaultPlan(slow_rate=1.0, slow_ms=60.0))
+        client = self._client(frontend, chaos)
+        try:
+            begin = time.monotonic()
+            assert client.health() is True
+            assert time.monotonic() - begin >= 0.06
+            assert chaos.stats()["counters"]["slowed"] >= 1
+        finally:
+            client.close()
+
+
+class TestWrappedWorkerLink:
+    def _request(self, frontend, chaos, path="/health"):
+        async def run():
+            link = wrap_worker_link(
+                WorkerLink("dst", frontend.url, timeout=5.0), chaos
+            )
+            try:
+                return await link.request("GET", path)
+            finally:
+                link.close()
+        return asyncio.run(run())
+
+    def test_healthy_wrap_is_transparent(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos()
+        status, _, body = self._request(frontend, chaos)
+        assert status == 200 and body
+        assert chaos.stats()["counters"]["messages"] == 1
+
+    def test_partition_raises_into_the_failover_path(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos()
+        chaos.block("router", "dst")
+        with pytest.raises(ConnectionError):
+            self._request(frontend, chaos)
+        chaos.heal()
+        status, _, _ = self._request(frontend, chaos)
+        assert status == 200
+
+    def test_garbage_reaches_the_router_as_bytes(self, aio_server):
+        _, frontend = aio_server
+        chaos = NetChaos(NetFaultPlan(garbage_rate=1.0))
+        status, _, body = self._request(frontend, chaos)
+        assert status == 200
+        assert body == GARBAGE_BYTES

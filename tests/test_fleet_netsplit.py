@@ -1,0 +1,367 @@
+"""Netsplit suite: the partition-tolerant fleet, end to end.
+
+Real worker processes, real sockets, real SIGKILLs.  The invariants the
+replication layer (:mod:`repro.serve.replicate`) was built for:
+
+* with ``replicas=2``, SIGKILLing any single shard mid-stream loses
+  **zero acked plans** -- every plan served before the kill is served
+  again afterwards, from a replica, **bit-identical** and without a
+  re-solve;
+* an asymmetric partition (home -> successor cut, reverse flowing)
+  turns failed pushes into durable hints, drains them after the heal,
+  and a follow-up anti-entropy pass finds **zero divergent keys**;
+* a shard that rejoins empty (no WAL) is repaired by anti-entropy;
+* the router propagates per-request deadlines (``X-Fupermod-Deadline``)
+  and rejects exhausted budgets with 504 instead of queueing;
+* failover draws from a token-bucket :class:`RetryBudget`, so a
+  sustained partition degrades to fast failures, not a retry storm;
+* a shard marked dead while actually healthy is revived by the router's
+  half-open health probe without supervisor help.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import FuPerModError
+from repro.faults import NO_NET_FAULTS, NetFaultPlan
+from repro.faults.serve import flood_totals
+from repro.serve import PlanFleet, RetryBudget, ShardClient, affinity_key
+
+pytestmark = [pytest.mark.netsplit, pytest.mark.fleet]
+
+
+@pytest.fixture(scope="module")
+def points_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("netsplit-points")
+    assert cli_main([
+        "build", "--platform", "fig4", "--sizes", "32,128,512",
+        "--out", str(out),
+    ]) == 0
+    return out
+
+
+def crash(fleet, shard_id):
+    """SIGKILL without supervisor bookkeeping: the router must notice."""
+    proc = fleet.shards[shard_id].proc
+    proc.kill()
+    proc.wait()
+
+
+def wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def replication_gauges(fleet, shard_id):
+    return fleet.shard_client(shard_id).metrics()["replication"]
+
+
+def totals_homed_on(fleet, victim, count, seed=5):
+    """Seeded totals whose affinity keys hash to ``victim``."""
+    pool = [
+        t for t in dict.fromkeys(
+            flood_totals(96, pool=48, miss_rate=0.0, seed=seed)
+        )
+        if fleet.router.ring.lookup(affinity_key(t, "geometric", {}))
+        == victim
+    ]
+    assert len(pool) >= count, "enlarge the pool: too few totals home here"
+    return pool[:count]
+
+
+def post_with_deadline(url, payload, deadline_s, timeout=10.0):
+    """POST /plan with the budget riding the hop header, not the body."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "X-Fupermod-Deadline": f"{deadline_s:.9f}",
+        },
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestReplicaServing:
+    def test_sigkill_loses_zero_acked_plans_bit_identically(
+        self, points_dir
+    ):
+        with PlanFleet(points_dir, workers=3, probe=False,
+                       replicas=2) as fleet:
+            victim = "shard1"
+            totals = totals_homed_on(fleet, victim, 3)
+            client = ShardClient(fleet.url)
+            try:
+                acked = {}
+                for total in totals:
+                    cold = client.plan({"cmd": "plan", "total": total})
+                    assert sum(cold["sizes"]) == total
+                    status, warm_bytes = client.plan_raw(
+                        {"cmd": "plan", "total": total}
+                    )
+                    assert status == 200
+                    acked[total] = (cold["key"], warm_bytes)
+
+                # Replication is async: wait for the home to push its
+                # committed plans, then for the replicas to hold them.
+                assert wait_for(
+                    lambda: replication_gauges(fleet, victim)
+                    ["pending_pushes"] == 0
+                )
+                for total, (key, _) in acked.items():
+                    affinity = affinity_key(total, "geometric", {})
+                    replica = fleet.router.ring.preference(affinity)[1]
+                    assert replica != victim
+                    assert wait_for(
+                        lambda r=replica, k=key:
+                        fleet.shard_client(r).get_cached(k) is not None
+                    ), f"replica {replica} never received {key}"
+
+                # The fleet metrics surface the replication layer.
+                metrics = client.metrics()
+                summary = metrics["fleet"]["replication"]
+                assert summary["replica_set"] == 2
+                assert summary["shards_reporting"] == 3
+                assert summary["workers"]["replicas_written"] >= len(totals)
+                assert "retry_budget_available" in summary["router"]
+
+                crash(fleet, victim)  # no mark_dead: the router must cope
+
+                for total, (key, warm_bytes) in acked.items():
+                    status, failed_over = client.plan_raw(
+                        {"cmd": "plan", "total": total}
+                    )
+                    assert status == 200
+                    assert failed_over == warm_bytes, (
+                        f"replica served different bytes for total={total}"
+                    )
+                    decoded = json.loads(failed_over)
+                    assert decoded["cached"] is True  # a hit, not a re-solve
+                # Only the first failed-over request pays a reroute; the
+                # failure marks the home dead, so the rest go straight
+                # to the replica.
+                assert fleet.router.counters["reroutes"] >= 1
+                assert fleet.router.counters["shard_errors"] >= 1
+            finally:
+                client.close()
+
+
+class TestAsymmetricPartition:
+    def test_partition_hints_then_heal_drains_and_converges(
+        self, points_dir, tmp_path
+    ):
+        with PlanFleet(
+            points_dir, workers=2, probe=False, replicas=2,
+            cache_dir=tmp_path / "caches",
+        ) as fleet:
+            cut = NetFaultPlan(blocked=frozenset({("shard0", "shard1")}))
+            assert fleet.shard_client("shard0").chaos(cut.to_dict())
+
+            client = ShardClient(fleet.url)
+            try:
+                # Plans homed on shard0 cannot replicate: durable hints.
+                blocked_totals = totals_homed_on(fleet, "shard0", 2)
+                keys = {}
+                for total in blocked_totals:
+                    reply = client.plan({"cmd": "plan", "total": total})
+                    assert sum(reply["sizes"]) == total  # serving unharmed
+                    keys[total] = reply["key"]
+                assert wait_for(
+                    lambda: replication_gauges(fleet, "shard0")
+                    ["pending_hints"] >= len(blocked_totals)
+                )
+                gauges = replication_gauges(fleet, "shard0")
+                assert gauges["replicate_failures"] >= len(blocked_totals)
+                assert gauges["durable_hints"] is True
+
+                # The partition is *directed*: shard1 -> shard0 flows.
+                reverse_total = totals_homed_on(fleet, "shard1", 1)[0]
+                client.plan({"cmd": "plan", "total": reverse_total})
+                assert wait_for(
+                    lambda: replication_gauges(fleet, "shard1")
+                    ["replicas_written"] >= 1
+                )
+                assert replication_gauges(
+                    fleet, "shard0")["replicas_received"] >= 1
+
+                # Heal; the roster re-broadcast wakes the hint drainer.
+                assert fleet.shard_client("shard0").chaos(
+                    NO_NET_FAULTS.to_dict()
+                )
+                fleet._broadcast_peers()
+                assert wait_for(
+                    lambda: replication_gauges(fleet, "shard0")
+                    ["pending_hints"] == 0
+                ), "hints never drained after the heal"
+                assert replication_gauges(
+                    fleet, "shard0")["hints_drained"] \
+                    >= len(blocked_totals)
+
+                # Every hinted plan reached its replica...
+                for total, key in keys.items():
+                    cached = fleet.shard_client("shard1").get_cached(key)
+                    assert cached is not None
+                    assert list(cached.sizes) == list(
+                        client.plan({"cmd": "plan", "total": total})["sizes"]
+                    )
+                # ...and a post-heal anti-entropy pass finds nothing
+                # left to repair: zero divergent keys.
+                report = fleet.anti_entropy()
+                assert report["divergent"] == 0
+                assert report["failures"] == 0
+                assert report["keys"] >= len(blocked_totals) + 1
+            finally:
+                client.close()
+
+
+class TestAntiEntropyRepair:
+    def test_rejoining_empty_shard_is_repaired(self, points_dir):
+        with PlanFleet(points_dir, workers=2, probe=False,
+                       replicas=2) as fleet:
+            total = totals_homed_on(fleet, "shard0", 1)[0]
+            client = ShardClient(fleet.url)
+            try:
+                key = client.plan({"cmd": "plan", "total": total})["key"]
+                assert wait_for(
+                    lambda: fleet.shard_client("shard1").get_cached(key)
+                    is not None
+                )
+                # The replica dies and rejoins with nothing (no WAL).
+                fleet.kill_shard("shard1")
+                fleet.restart_shard("shard1")
+                # restart_shard kicked a background repair; drive extra
+                # passes while polling in case this test outraces it.
+                def repaired():
+                    if fleet.shard_client("shard1").get_cached(key):
+                        return True
+                    fleet.anti_entropy()
+                    return bool(
+                        fleet.shard_client("shard1").get_cached(key)
+                    )
+
+                assert wait_for(repaired), (
+                    "anti-entropy never repaired the rejoined shard"
+                )
+                # Convergence: a fresh pass has nothing left to do.
+                report = fleet.anti_entropy()
+                assert report["divergent"] == 0
+                # The repaired copy is the same entry, byte for byte.
+                digests = fleet.digest_report()
+                fps = {
+                    sid: dict((e[0], e[1]) for e in d["entries"]).get(key)
+                    for sid, d in digests.items()
+                }
+                assert fps["shard0"] is not None
+                assert fps["shard0"] == fps["shard1"]
+            finally:
+                client.close()
+
+
+class TestDeadlinePropagation:
+    def test_exhausted_header_budget_rejects_with_504(self, points_dir):
+        with PlanFleet(points_dir, workers=2, probe=False,
+                       replicas=2) as fleet:
+            # Through the router: the hop budget dies before any relay.
+            status, body = post_with_deadline(
+                f"{fleet.url}/plan", {"cmd": "plan", "total": 4040},
+                deadline_s=1e-9,
+            )
+            assert status == 504
+            assert "deadline" in body["error"]
+            assert fleet.router.counters["deadline_rejected"] >= 1
+
+            # Straight at a worker: the header merges into the payload
+            # and the server's own deadline machinery answers 504.
+            shard_url = fleet.shards["shard0"].url
+            status, body = post_with_deadline(
+                f"{shard_url}/plan", {"cmd": "plan", "total": 5050},
+                deadline_s=1e-9,
+            )
+            assert status == 504
+            assert "error" in body
+
+            # A sane budget sails through both hops.
+            status, body = post_with_deadline(
+                f"{fleet.url}/plan", {"cmd": "plan", "total": 4040},
+                deadline_s=30.0,
+            )
+            assert status == 200
+            assert sum(body["sizes"]) == 4040
+
+
+class TestRetryBudget:
+    def test_token_bucket_contract(self):
+        clock = [0.0]
+        budget = RetryBudget(rate=1.0, burst=2.0, clock=lambda: clock[0])
+        assert budget.try_acquire() and budget.try_acquire()
+        assert not budget.try_acquire()  # bucket empty
+        clock[0] += 1.0  # one second refills one token
+        assert budget.try_acquire()
+        assert not budget.try_acquire()
+        clock[0] += 100.0  # refill caps at burst
+        assert budget.available() == pytest.approx(2.0)
+
+    def test_bad_parameters_refused(self):
+        with pytest.raises(FuPerModError):
+            RetryBudget(rate=-1.0)
+        with pytest.raises(FuPerModError):
+            RetryBudget(burst=0.0)
+
+    def test_exhausted_budget_fails_fast_instead_of_storming(
+        self, points_dir
+    ):
+        with PlanFleet(points_dir, workers=2, probe=False,
+                       replicas=2) as fleet:
+            total = totals_homed_on(fleet, "shard0", 1)[0]
+            client = ShardClient(fleet.url)
+            try:
+                key = client.plan({"cmd": "plan", "total": total})["key"]
+                assert wait_for(
+                    lambda: fleet.shard_client("shard1").get_cached(key)
+                    is not None
+                )
+                crash(fleet, "shard0")  # router not told
+                # A budget too poor to afford one failover token: the
+                # failed relay cannot fall over, so the request fails
+                # fast with 503 instead of walking the candidate list.
+                fleet.router.retry_budget = RetryBudget(rate=0.0, burst=0.5)
+                reply = client.plan({"cmd": "plan", "total": total})
+                assert reply.get("code") == 503
+                assert fleet.router.counters["retry_budget_exhausted"] >= 1
+
+                # With budget again, the same request serves from the
+                # replica (the home is now marked dead: no token needed).
+                fleet.router.retry_budget = RetryBudget()
+                reply = client.plan({"cmd": "plan", "total": total})
+                assert reply["cached"] is True
+                assert sum(reply["sizes"]) == total
+            finally:
+                client.close()
+
+
+class TestHalfOpenProbe:
+    def test_probe_revives_a_healthy_shard_marked_dead(self, points_dir):
+        with PlanFleet(points_dir, workers=2, probe=False,
+                       replicas=2) as fleet:
+            fleet.router.mark_dead("shard0")  # the process is still fine
+            assert "shard0" not in fleet.router.alive()
+            assert wait_for(
+                lambda: "shard0" in fleet.router.alive(), timeout=10.0
+            ), "half-open probe never revived the healthy shard"
+            assert fleet.router.counters["health_probes"] >= 1
+            assert fleet.router.counters["probe_revivals"] >= 1

@@ -41,8 +41,14 @@ def points_dir(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def fleet(points_dir):
-    """One 2-worker fleet shared by the read-mostly tests."""
-    with PlanFleet(points_dir, workers=2, probe=True) as running:
+    """One 2-worker fleet shared by the read-mostly tests.
+
+    Runs with ``replicas=1`` (no replication) because these tests assert
+    single-copy placement semantics -- a plan living exactly on its home
+    shard, sibling fill firing on the non-home shard.  The replicated
+    fleet is covered by ``test_fleet_netsplit.py``.
+    """
+    with PlanFleet(points_dir, workers=2, probe=True, replicas=1) as running:
         yield running
 
 
@@ -119,7 +125,7 @@ class TestFleetObservability:
             metrics = client.metrics()
         finally:
             client.close()
-        assert metrics["schema"] == "fupermod-fleet-metrics/1"
+        assert metrics["schema"] == "fupermod-fleet-metrics/2"
         assert metrics["uptime_s"] >= 0.0
         summary = metrics["fleet"]
         assert summary["routing"] == "fpm"
@@ -127,7 +133,7 @@ class TestFleetObservability:
         assert summary["counters"]["affinity_routed"] >= 1
         assert sorted(metrics["shards"]) == sorted(fleet.shards)
         for sid, shard_metrics in metrics["shards"].items():
-            assert shard_metrics["schema"] == "fupermod-metrics/1", sid
+            assert shard_metrics["schema"] == "fupermod-metrics/2", sid
 
     def test_stats_and_health(self, fleet):
         client = ShardClient(fleet.url)
