@@ -30,7 +30,11 @@ worker, the asyncio front end behind the threaded one, or FPM routing
 losing to round-robin on a skewed fleet.  The partition-tolerance gates
 (the repo-root ``BENCH_partition_tolerance.json``, if present) hold the
 replication tax on the warm hit path to 5% and require that a SIGKILL
-on a quiesced replicated fleet loses zero acked plans.
+on a quiesced replicated fleet loses zero acked plans.  The
+bi-objective gates (the repo-root ``BENCH_energy_pareto.json``, if
+present) cap a 16-point (time, energy) Pareto sweep at 8x one
+time-only solve and the objective plumbing's tax on the cached
+``"time"`` hit path at 5%.
 """
 
 from __future__ import annotations
@@ -75,6 +79,15 @@ AIO_PARITY_FLOOR = 1.0
 #: Ceiling on the replication tax (``replicas=2`` over ``replicas=1``)
 #: on the warm hit path (the ``replication_tax`` bench section).
 PARTITION_OVERHEAD_LIMIT = 0.05
+
+#: Ceiling on a 16-point (time, energy) Pareto front sweep's cost
+#: relative to one time-only solve (the ``energy_front`` bench
+#: section's ``front_over_single``).
+ENERGY_FRONT_COST_LIMIT = 8.0
+
+#: Ceiling on the objective-machinery tax on the cached ``"time"`` hit
+#: path (the ``energy_time_path`` section's ``time_hit_overhead_frac``).
+ENERGY_TIME_PATH_OVERHEAD_LIMIT = 0.05
 
 
 def achieved_times(
@@ -362,6 +375,48 @@ def check_partition_tolerance(
     return failures
 
 
+def check_energy_pareto(
+    current: Dict,
+    cost_limit: float = ENERGY_FRONT_COST_LIMIT,
+    overhead_limit: float = ENERGY_TIME_PATH_OVERHEAD_LIMIT,
+) -> List[str]:
+    """Gate the bi-objective subsystem (the ``bench_energy_pareto`` bench).
+
+    * ``energy_front.*.front_over_single`` -- a 16-point Pareto sweep
+      must cost at most *cost_limit* times one time-only solve (the
+      batched interior bisection's whole claim);
+    * ``energy_time_path.*.time_hit_overhead_frac`` -- the objective
+      plumbing must not tax the pre-existing cached ``"time"`` hit path
+      beyond *overhead_limit* (it short-circuits to the legacy
+      fingerprint, so anything above noise is a leak).
+
+    Missing sections are not failures -- older result files predate the
+    bi-objective subsystem.
+    """
+    if cost_limit <= 1.0:
+        raise ValueError(f"cost_limit must exceed 1, got {cost_limit}")
+    if overhead_limit <= 0.0:
+        raise ValueError(
+            f"overhead_limit must be positive, got {overhead_limit}"
+        )
+    failures: List[str] = []
+    for p, row in sorted(current.get("energy_front", {}).items()):
+        ratio = row.get("front_over_single")
+        if isinstance(ratio, (int, float)) and ratio > cost_limit:
+            failures.append(
+                f"energy_front.{p}: {ratio:.1f}x one time-only solve "
+                f"(limit {cost_limit:.0f}x)"
+            )
+    for p, row in sorted(current.get("energy_time_path", {}).items()):
+        frac = row.get("time_hit_overhead_frac")
+        if isinstance(frac, (int, float)) and frac > overhead_limit:
+            failures.append(
+                f"energy_time_path.{p}: time hit path {100 * frac:.1f}% "
+                f"over the pre-kind engine (limit {100 * overhead_limit:.0f}%)"
+            )
+    return failures
+
+
 def _load_results(path: Path) -> Dict:
     """Load one bench result file, raising ``SystemExit(2)`` on damage."""
     if not path.exists():
@@ -481,13 +536,28 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
             for line in partition_failures:
                 print(f"  {line}")
             return 1
+    # And for the bi-objective bench (Pareto sweep cost + time-path tax).
+    energy_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_energy_pareto.json"
+    )
+    if energy_path.exists():
+        try:
+            energy = _load_results(energy_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        energy_failures = check_energy_pareto(energy)
+        if energy_failures:
+            print("bi-objective gates failed:")
+            for line in energy_failures:
+                print(f"  {line}")
+            return 1
     compared = len(
         set(_throughput_metrics(current)) & set(_throughput_metrics(baseline))
     )
     print(f"no throughput regressions ({compared} metrics compared); "
           "ladder overhead, plan-cache floor, serving-hardening "
-          "overhead, fleet, closed-loop and partition-tolerance gates "
-          "within limits")
+          "overhead, fleet, closed-loop, partition-tolerance and "
+          "bi-objective gates within limits")
     return 0
 
 

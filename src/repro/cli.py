@@ -325,6 +325,8 @@ def _serve_fleet(args: argparse.Namespace) -> int:
                     "--feedback-strikes", str(args.feedback_strikes)]
     if args.feedback_rate is not None:
         worker_args += ["--feedback-rate", str(args.feedback_rate)]
+    if args.power is not None:
+        worker_args += ["--power", str(args.power)]
     fleet = PlanFleet(
         args.points,
         workers=args.workers,
@@ -435,6 +437,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         models, engine=engine, max_workers=args.threads,
         max_pending=args.max_pending, default_deadline=args.deadline,
     )
+    if args.power is not None:
+        from repro.serve.worker import load_energy_model_set
+
+        server.attach_energy(load_energy_model_set(
+            Path(args.points), Path(args.power), args.model))
+        print(f"bi-objective plans enabled: {len(server.energy_models)} "
+              f"energy model(s) fitted from {args.power}", file=sys.stderr)
 
     lineage = None
     if not args.no_feedback:
@@ -824,6 +833,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--points", required=True,
                        help="directory of rank*.points files from 'build'")
     p_srv.add_argument("--model", default="piecewise")
+    p_srv.add_argument("--power", default=None,
+                       help="per-rank power-profile JSON (see repro.platform."
+                            "power); fits energy models alongside the speed "
+                            "models and enables bi-objective (pareto) plans")
     p_srv.add_argument("--algorithm", default="geometric",
                        help="default partitioner for requests that name none")
     p_srv.add_argument("--cache-size", type=int, default=128,

@@ -25,6 +25,14 @@ comparison:
 from repro.core.models.akima import AkimaModel
 from repro.core.models.base import PerformanceModel
 from repro.core.models.constant import ConstantModel
+from repro.core.models.energy import (
+    ConstantEnergyModel,
+    EnergyModelMixin,
+    LinearEnergyModel,
+    PiecewiseEnergyModel,
+    energy_model_for,
+    is_energy_model,
+)
 from repro.core.models.linear import LinearModel
 from repro.core.models.pchip import PchipModel
 from repro.core.models.segmented import SegmentedLinearModel
@@ -32,10 +40,16 @@ from repro.core.models.piecewise import PiecewiseModel
 
 __all__ = [
     "AkimaModel",
+    "ConstantEnergyModel",
     "ConstantModel",
+    "EnergyModelMixin",
+    "LinearEnergyModel",
     "LinearModel",
     "PchipModel",
     "PerformanceModel",
+    "PiecewiseEnergyModel",
     "PiecewiseModel",
     "SegmentedLinearModel",
+    "energy_model_for",
+    "is_energy_model",
 ]

@@ -1,0 +1,96 @@
+"""Energy models -- the joule-valued siblings of the speed models.
+
+An energy model approximates a process's *energy function* ``e(x)``: the
+joules consumed computing ``x`` units, fitted from measurement points
+whose ``t`` field holds joules instead of seconds (see
+:func:`repro.platform.power.energy_points_from_power`).  The machinery is
+deliberately the speed-model machinery: every family here subclasses an
+existing :class:`~repro.core.models.base.PerformanceModel` family, so the
+lazy-rebuild, ``update_many``, ``time_batch``/``allocation_batch``
+batching and ``fingerprint_state()`` contracts -- everything the serving
+layer (feedback refits, content-addressed plan fingerprints, warm-start
+bracket carrying) depends on -- hold unchanged.  Only the unit of the
+dependent variable differs, which the partitioners never inspect.
+
+``energy(x)`` / ``energy_batch(sizes)`` are unit-honest aliases of
+``time``/``time_batch``; the bi-objective partitioner
+(:mod:`repro.core.partition.pareto`) accepts either vocabulary.
+
+Because ``fingerprint_state()`` leads with the class name, an energy
+model never fingerprints equal to the speed model it shadows, even when
+fitted to numerically identical points -- the cache-key separation the
+objective-keyed plan serving relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.models.constant import ConstantModel
+from repro.core.models.linear import LinearModel
+from repro.core.models.piecewise import PiecewiseModel
+
+
+class EnergyModelMixin:
+    """Marker + joule-vocabulary aliases shared by every energy family."""
+
+    #: Distinguishes energy families from speed families at dispatch time.
+    objective = "energy"
+
+    def energy(self, x: float) -> float:
+        """Predicted energy (joules) to compute ``x`` units."""
+        return self.time(x)
+
+    def energy_batch(self, sizes) -> np.ndarray:
+        """Batched counterpart of :meth:`energy`."""
+        return self.time_batch(sizes)
+
+    def fingerprint_state(self) -> tuple:
+        """The parent family's fitted state, tagged with *this* class name.
+
+        The speed families hard-code their own name as the leading state
+        element; re-tagging keeps the fitted-parameter semantics while
+        guaranteeing an energy model never fingerprints equal to the
+        speed model it subclasses, even on numerically identical fits.
+        """
+        state = super().fingerprint_state()
+        return (type(self).__name__,) + tuple(state[1:])
+
+
+def is_energy_model(model) -> bool:
+    """Whether ``model`` predicts joules rather than seconds."""
+    return getattr(model, "objective", "time") == "energy"
+
+
+class ConstantEnergyModel(EnergyModelMixin, ConstantModel):
+    """Constant joules-per-unit: ``e(x) = c * x`` (registry ``energy-constant``)."""
+
+
+class LinearEnergyModel(EnergyModelMixin, LinearModel):
+    """Affine energy ``e(x) = a + b x`` by least squares (registry ``energy-linear``)."""
+
+
+class PiecewiseEnergyModel(EnergyModelMixin, PiecewiseModel):
+    """Piecewise energy function with the FPM shape restrictions
+    (registry ``energy-piecewise``) -- the default for served Pareto plans,
+    for the same reason the speed default is piecewise: the coarsened
+    function is strictly increasing, so the geometric solver's inversion
+    is well defined."""
+
+
+#: Energy family fitted alongside each speed family by default.
+DEFAULT_ENERGY_FAMILY = {
+    "constant": ConstantEnergyModel,
+    "linear": LinearEnergyModel,
+}
+
+
+def energy_model_for(speed_model_name: str):
+    """The energy family matching a speed-model registry name.
+
+    ``constant`` and ``linear`` map to their energy twins; every other
+    family (piecewise, akima, pchip, segmented) maps to
+    :class:`PiecewiseEnergyModel`, whose shape restrictions keep the
+    energy function invertible for the partitioners.
+    """
+    return DEFAULT_ENERGY_FAMILY.get(speed_model_name, PiecewiseEnergyModel)

@@ -48,6 +48,14 @@ from repro.core.partition.hierarchical import (
 )
 from repro.core.partition.limits import limits_from_platform, partition_with_limits
 from repro.core.partition.numerical import partition_numerical
+from repro.core.partition.pareto import (
+    BlendedModel,
+    DEFAULT_FRONT_POINTS,
+    MAX_FRONT_POINTS,
+    ParetoFront,
+    ParetoPoint,
+    partition_pareto,
+)
 from repro.core.partition.redistribution import (
     Transfer,
     apply_plan_cost,
@@ -64,7 +72,12 @@ from repro.core.partition.warm import WarmStart, warm_start_from
 __all__ = [
     "BalanceStep",
     "BisectionStep",
+    "BlendedModel",
     "ConvergenceCert",
+    "DEFAULT_FRONT_POINTS",
+    "MAX_FRONT_POINTS",
+    "ParetoFront",
+    "ParetoPoint",
     "DistributedPartitionResult",
     "Distribution",
     "DynamicPartitioner",
@@ -85,6 +98,7 @@ __all__ = [
     "partition_geometric",
     "partition_hierarchical",
     "partition_numerical",
+    "partition_pareto",
     "partition_survivors",
     "partition_with_limits",
     "redistribute_to_survivors",

@@ -19,10 +19,13 @@ from typing import Callable, Dict, List
 
 from repro.core.models import (
     AkimaModel,
+    ConstantEnergyModel,
     ConstantModel,
+    LinearEnergyModel,
     LinearModel,
     PchipModel,
     PerformanceModel,
+    PiecewiseEnergyModel,
     SegmentedLinearModel,
     PiecewiseModel,
 )
@@ -103,6 +106,10 @@ register_model("akima", AkimaModel)
 register_model("linear", LinearModel)
 register_model("pchip", PchipModel)
 register_model("segmented", SegmentedLinearModel)
+# Energy (joule-valued) families for the bi-objective partitioner.
+register_model("energy-constant", ConstantEnergyModel)
+register_model("energy-linear", LinearEnergyModel)
+register_model("energy-piecewise", PiecewiseEnergyModel)
 register_partitioner("basic", partition_constant)
 register_partitioner("geometric", partition_geometric)
 register_partitioner("numerical", partition_numerical)

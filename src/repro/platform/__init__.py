@@ -26,6 +26,15 @@ from repro.platform.clock import VirtualClock
 from repro.platform.device import Device, DeviceKind, MemoryExceeded
 from repro.platform.noise import GaussianNoise, NoiseModel, NoNoise
 from repro.platform.cluster import Node, Platform
+from repro.platform.power import (
+    ConstantPower,
+    GpuPower,
+    LinearPower,
+    PowerProfile,
+    energy_points_from_power,
+    load_power_profiles,
+    power_profile_from_dict,
+)
 from repro.platform.profiles import (
     CacheHierarchyProfile,
     ConstantProfile,
@@ -38,15 +47,19 @@ from repro.platform.profiles import (
 
 __all__ = [
     "CacheHierarchyProfile",
+    "ConstantPower",
     "ConstantProfile",
     "Device",
     "DeviceKind",
     "GaussianNoise",
+    "GpuPower",
     "GpuProfile",
+    "LinearPower",
     "MemoryExceeded",
     "NoNoise",
     "NoiseModel",
     "Node",
+    "PowerProfile",
     "ProfileFit",
     "Platform",
     "ScaledProfile",
@@ -54,6 +67,9 @@ __all__ = [
     "TableProfile",
     "VirtualClock",
     "WigglyProfile",
+    "energy_points_from_power",
     "fit_cache_profile",
     "fit_gpu_profile",
+    "load_power_profiles",
+    "power_profile_from_dict",
 ]

@@ -1,0 +1,287 @@
+"""Per-device power and energy profiles.
+
+The speed profiles (:mod:`repro.platform.profiles`) answer "how fast is
+this device at problem size ``d``"; the power profiles here answer "how
+many watts does it draw while doing so".  Together they price a workload
+in joules: a device that computes ``d`` units in ``t`` seconds at
+``watts_at(d)`` watts spends ``watts_at(d) * t`` joules, plus -- for
+accelerators -- the energy of moving the operands over the host link,
+priced through the same Hockney model (:class:`~repro.mpi.network.
+LinkModel`) the communication simulator uses.
+
+A :class:`PowerProfile` is *not* an energy model: it describes the
+device.  :func:`energy_points_from_power` turns a device's measured
+timing points plus its power profile into energy measurement points
+(``d`` units -> joules), from which the ``EnergyModel`` family in
+:mod:`repro.core.models.energy` fits an energy *function* the
+bi-objective partitioner (:mod:`repro.core.partition.pareto`) can
+invert, exactly as the speed models fit the time function.
+
+Profiles serialize to plain dicts (:meth:`PowerProfile.spec`,
+:func:`power_profile_from_dict`) so ``fupermod serve --power`` can load
+a per-rank power description next to the ``rank*.points`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import PlatformError
+from repro.mpi.network import DEFAULT_INTRA_NODE, LinkModel
+
+
+def _require_finite(name: str, value: float, minimum: float = 0.0) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value < minimum:
+        raise PlatformError(
+            f"{name} must be finite and >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+class PowerProfile:
+    """Base class: electrical power as a function of problem size.
+
+    Attributes:
+        idle_watts: power drawn while the device holds no work.
+    """
+
+    kind = "base"
+
+    def __init__(self, idle_watts: float) -> None:
+        self.idle_watts = _require_finite("idle_watts", idle_watts)
+
+    def dynamic_watts(self, d: float) -> float:
+        """Extra power (above idle) while computing ``d`` units."""
+        raise NotImplementedError
+
+    def watts_at(self, d: float) -> float:
+        """Total power draw while computing ``d`` units."""
+        if d < 0:
+            raise PlatformError(f"problem size must be non-negative, got {d}")
+        return self.idle_watts + self.dynamic_watts(float(d))
+
+    def transfer_joules(self, d: float) -> float:
+        """Energy of staging ``d`` units onto the device (0 for host CPUs)."""
+        return 0.0
+
+    def energy_joules(self, d: float, seconds: float) -> float:
+        """Joules to compute ``d`` units in ``seconds`` on this device."""
+        if seconds < 0.0:
+            raise PlatformError(f"seconds must be non-negative, got {seconds}")
+        if d <= 0:
+            return 0.0
+        return self.watts_at(d) * float(seconds) + self.transfer_joules(d)
+
+    def spec(self) -> Dict:
+        """JSON-friendly description; inverse of :func:`power_profile_from_dict`."""
+        raise NotImplementedError
+
+
+class ConstantPower(PowerProfile):
+    """Size-independent draw: ``idle + dynamic`` watts whenever busy."""
+
+    kind = "constant"
+
+    def __init__(self, idle_watts: float, dynamic_watts: float) -> None:
+        super().__init__(idle_watts)
+        self._dynamic = _require_finite("dynamic_watts", dynamic_watts)
+
+    def dynamic_watts(self, d: float) -> float:
+        return self._dynamic
+
+    def spec(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "idle_watts": self.idle_watts,
+            "dynamic_watts": self._dynamic,
+        }
+
+
+class LinearPower(PowerProfile):
+    """Draw growing linearly with the resident problem size.
+
+    ``dynamic(d) = base_watts + watts_per_unit * d``, capped at
+    ``peak_watts`` when given -- the usual shape for a multicore CPU
+    whose active cores (and memory traffic) scale with the working set
+    until the package power limit.
+    """
+
+    kind = "linear"
+
+    def __init__(
+        self,
+        idle_watts: float,
+        base_watts: float,
+        watts_per_unit: float = 0.0,
+        peak_watts: float = math.inf,
+    ) -> None:
+        super().__init__(idle_watts)
+        self.base_watts = _require_finite("base_watts", base_watts)
+        self.watts_per_unit = _require_finite("watts_per_unit", watts_per_unit)
+        peak_watts = float(peak_watts)
+        if math.isnan(peak_watts) or peak_watts <= 0.0:
+            raise PlatformError(
+                f"peak_watts must be positive, got {peak_watts!r}"
+            )
+        self.peak_watts = peak_watts
+
+    def dynamic_watts(self, d: float) -> float:
+        return min(self.base_watts + self.watts_per_unit * d, self.peak_watts)
+
+    def spec(self) -> Dict:
+        out = {
+            "kind": self.kind,
+            "idle_watts": self.idle_watts,
+            "base_watts": self.base_watts,
+            "watts_per_unit": self.watts_per_unit,
+        }
+        if math.isfinite(self.peak_watts):
+            out["peak_watts"] = self.peak_watts
+        return out
+
+
+class GpuPower(PowerProfile):
+    """Accelerator draw plus host-link transfer energy.
+
+    Compute power ramps from ``base_watts`` toward ``peak_watts`` as the
+    problem fills the device (the same saturation shape as
+    :class:`~repro.platform.profiles.GpuProfile`); staging ``d`` units
+    over the host link costs ``transfer_watts`` for the duration the
+    Hockney model predicts for ``d * bytes_per_unit`` bytes.
+    """
+
+    kind = "gpu"
+
+    def __init__(
+        self,
+        idle_watts: float,
+        base_watts: float,
+        peak_watts: float,
+        ramp_units: float,
+        transfer_watts: float = 0.0,
+        bytes_per_unit: float = 0.0,
+        link: LinkModel = DEFAULT_INTRA_NODE,
+    ) -> None:
+        super().__init__(idle_watts)
+        self.base_watts = _require_finite("base_watts", base_watts)
+        self.peak_watts = _require_finite("peak_watts", peak_watts)
+        if self.peak_watts < self.base_watts:
+            raise PlatformError(
+                f"peak_watts {peak_watts} must be >= base_watts {base_watts}"
+            )
+        self.ramp_units = _require_finite("ramp_units", ramp_units)
+        if self.ramp_units <= 0.0:
+            raise PlatformError(f"ramp_units must be positive, got {ramp_units}")
+        self.transfer_watts = _require_finite("transfer_watts", transfer_watts)
+        self.bytes_per_unit = _require_finite("bytes_per_unit", bytes_per_unit)
+        self.link = link
+
+    def dynamic_watts(self, d: float) -> float:
+        span = self.peak_watts - self.base_watts
+        return self.base_watts + span * d / (d + self.ramp_units)
+
+    def transfer_joules(self, d: float) -> float:
+        if d <= 0 or self.transfer_watts <= 0.0 or self.bytes_per_unit <= 0.0:
+            return 0.0
+        return self.transfer_watts * self.link.time(d * self.bytes_per_unit)
+
+    def spec(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "idle_watts": self.idle_watts,
+            "base_watts": self.base_watts,
+            "peak_watts": self.peak_watts,
+            "ramp_units": self.ramp_units,
+            "transfer_watts": self.transfer_watts,
+            "bytes_per_unit": self.bytes_per_unit,
+            "link_latency": self.link.latency,
+            "link_bandwidth": self.link.bandwidth,
+        }
+
+
+def power_profile_from_dict(spec: Dict) -> PowerProfile:
+    """Rebuild a :class:`PowerProfile` from its :meth:`~PowerProfile.spec`."""
+    if not isinstance(spec, dict):
+        raise PlatformError(f"power spec must be a mapping, got {type(spec).__name__}")
+    kind = spec.get("kind", "constant")
+    try:
+        if kind == "constant":
+            return ConstantPower(
+                idle_watts=spec.get("idle_watts", 0.0),
+                dynamic_watts=spec.get("dynamic_watts", 0.0),
+            )
+        if kind == "linear":
+            return LinearPower(
+                idle_watts=spec.get("idle_watts", 0.0),
+                base_watts=spec.get("base_watts", 0.0),
+                watts_per_unit=spec.get("watts_per_unit", 0.0),
+                peak_watts=spec.get("peak_watts", math.inf),
+            )
+        if kind == "gpu":
+            link = LinkModel(
+                latency=spec.get("link_latency", DEFAULT_INTRA_NODE.latency),
+                bandwidth=spec.get("link_bandwidth", DEFAULT_INTRA_NODE.bandwidth),
+            )
+            return GpuPower(
+                idle_watts=spec.get("idle_watts", 0.0),
+                base_watts=spec.get("base_watts", 0.0),
+                peak_watts=spec.get("peak_watts", 0.0),
+                ramp_units=spec.get("ramp_units", 1.0),
+                transfer_watts=spec.get("transfer_watts", 0.0),
+                bytes_per_unit=spec.get("bytes_per_unit", 0.0),
+                link=link,
+            )
+    except TypeError as exc:
+        raise PlatformError(f"malformed power spec {spec!r}: {exc}") from exc
+    raise PlatformError(f"unknown power profile kind {kind!r}")
+
+
+def load_power_profiles(path: Union[str, Path]) -> List[PowerProfile]:
+    """Load per-rank power profiles from a JSON file.
+
+    The file holds either a list of specs (rank order) or a mapping with
+    a ``"ranks"`` list, e.g.::
+
+        {"ranks": [{"kind": "linear", "idle_watts": 10, "base_watts": 35},
+                   {"kind": "gpu", "idle_watts": 25, "base_watts": 60,
+                    "peak_watts": 250, "ramp_units": 3000}]}
+    """
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PlatformError(f"cannot load power profiles from {path}: {exc}") from exc
+    specs = raw.get("ranks") if isinstance(raw, dict) else raw
+    if not isinstance(specs, list) or not specs:
+        raise PlatformError(
+            f"{path}: expected a non-empty list of power specs "
+            "(or a mapping with a 'ranks' list)"
+        )
+    return [power_profile_from_dict(spec) for spec in specs]
+
+
+def energy_points_from_power(points: Sequence, profile: PowerProfile) -> List:
+    """Price measured timing points in joules.
+
+    For each :class:`~repro.core.point.MeasurementPoint` ``(d, t)`` the
+    device's energy is ``watts_at(d) * t + transfer_joules(d)``; the
+    result is a list of new measurement points with ``t`` holding joules,
+    ready for :meth:`~repro.core.models.base.PerformanceModel.update_many`
+    on an ``EnergyModel``.
+    """
+    from repro.core.point import MeasurementPoint
+
+    out: List[MeasurementPoint] = []
+    for p in points:
+        joules = profile.energy_joules(p.d, p.t)
+        if not (math.isfinite(joules) and joules > 0.0):
+            raise PlatformError(
+                f"power profile priced point d={p.d} at {joules!r} J; "
+                "energy points must be positive and finite"
+            )
+        out.append(MeasurementPoint(d=p.d, t=joules, reps=p.reps, ci=p.ci))
+    return out

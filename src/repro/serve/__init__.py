@@ -99,13 +99,25 @@ from repro.serve.fingerprint import (
     affinity_key,
     fingerprint_model,
     fingerprint_models,
+    fingerprint_objective_request,
     fingerprint_request,
 )
 from repro.serve.fleet import PlanFleet
-from repro.serve.frontend import handle_request, make_http_server, serve_stdio
+from repro.serve.frontend import (
+    handle_request,
+    make_http_server,
+    serve_stdio,
+    validate_objective,
+)
 from repro.serve.hashring import HashRing
 from repro.serve.lineage import LineageRecord, LineageWAL, ModelLineage
-from repro.serve.plan import PlanRequest, PlanResult, ServeCounters
+from repro.serve.plan import (
+    PLAN_KINDS,
+    PLAN_KIND_VERSION,
+    PlanRequest,
+    PlanResult,
+    ServeCounters,
+)
 from repro.serve.replicate import (
     DEFAULT_REPLICA_SET,
     HintLog,
@@ -143,6 +155,8 @@ __all__ = [
     "LineageRecord",
     "LineageWAL",
     "ModelLineage",
+    "PLAN_KINDS",
+    "PLAN_KIND_VERSION",
     "PlanCache",
     "PlanClient",
     "PlanEngine",
@@ -163,9 +177,11 @@ __all__ = [
     "entry_fingerprint",
     "fingerprint_model",
     "fingerprint_models",
+    "fingerprint_objective_request",
     "fingerprint_request",
     "handle_request",
     "http_transport",
     "make_http_server",
     "serve_stdio",
+    "validate_objective",
 ]

@@ -41,7 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.serve.frontend import (
-    MAX_BODY_BYTES, handle_request, merge_deadline_header,
+    MAX_BODY_BYTES, handle_request, merge_deadline_header, validate_objective,
 )
 from repro.serve.server import PlanServer
 
@@ -329,7 +329,11 @@ def try_fast_plan(
     if not isinstance(options, dict):
         return None
     try:
-        hit = server.try_cached(total, partitioner, options)
+        # Bi-objective requests ride the fast lane too: a cached front is
+        # exactly as cheap to serve as a cached time plan.  Validation
+        # failures fall through so the executor path owns the 400.
+        kind, objective = validate_objective(payload, server)
+        hit = server.try_cached(total, partitioner, options, kind, objective)
     except Exception:
         # Let the slow path produce the typed error response.
         return None

@@ -30,7 +30,44 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.errors import PartitionError
 from repro.serve.plan import PlanResult
+
+
+def _spec_kind(spec: Optional[Tuple[Any, ...]]) -> str:
+    """The plan kind a request spec names (legacy 3-tuples mean "time").
+
+    Specs recorded before plan kinds existed are
+    ``(total, partitioner, options)``; kinded specs append the kind as a
+    fourth element.  Centralised so the cache, the WAL replayer and the
+    replicator all read specs the same way.
+    """
+    if spec is not None and len(spec) >= 4:
+        return str(spec[3])
+    return "time"
+
+
+def check_spec_kind(result: PlanResult, spec: Optional[Tuple[Any, ...]]) -> None:
+    """Refuse a spec/result pair that disagrees on the plan kind.
+
+    Entry keys embed the plan kind
+    (:func:`~repro.serve.fingerprint.fingerprint_objective_request`), so
+    a mismatched pair means some caller built the key for one kind and
+    the payload for another -- caching it would let a ``"time"`` plan
+    answer a ``"pareto"`` request or vice versa.  Called by
+    :meth:`PlanCache.put` and, *before journaling*, by
+    :meth:`~repro.serve.wal.DurablePlanCache.put`, so a poisoned entry
+    can reach neither memory nor the WAL.
+
+    Raises:
+        PartitionError: on a kind mismatch.
+    """
+    if spec is not None and _spec_kind(spec) != result.kind:
+        raise PartitionError(
+            f"plan kind mismatch: spec says {_spec_kind(spec)!r} but "
+            f"result is {result.kind!r}; refusing to cache a "
+            f"cross-kind aliased entry"
+        )
 
 
 @dataclass(frozen=True)
@@ -220,11 +257,21 @@ class PlanCache:
 
         ``models_fp`` feeds the secondary warm-start index; pass the
         model-set fingerprint the plan was computed against.  ``spec``
-        optionally records the ``(total, partitioner, options)`` the plan
-        answers, so a model refit can re-solve invalidated entries
-        (:meth:`invalidate_models`) without reverse-engineering requests
-        from result keys.
+        optionally records the ``(total, partitioner, options[, kind])``
+        the plan answers, so a model refit can re-solve invalidated
+        entries (:meth:`invalidate_models`) without reverse-engineering
+        requests from result keys.
+
+        Raises:
+            PartitionError: when ``spec`` names a plan kind that differs
+                from ``result.kind``.  Entry keys embed the plan kind
+                (``fingerprint_objective_request``), so a mismatched
+                spec/result pair means some caller built the key for one
+                kind and the payload for another -- caching it would let
+                a ``"time"`` plan answer a ``"pareto"`` request or vice
+                versa.  Refuse at the boundary instead.
         """
+        check_spec_kind(result, spec)
         with self._lock:
             if key in self._entries:
                 self._drop(key)
@@ -238,15 +285,22 @@ class PlanCache:
             self._evict_for_space()
 
     def nearest(
-        self, models_fp: str, total: int, exclude: Optional[str] = None
+        self,
+        models_fp: str,
+        total: int,
+        exclude: Optional[str] = None,
+        kind: str = "time",
     ) -> Optional[PlanResult]:
         """The live cached plan for the same model set nearest in total.
 
         This is the warm-start lookup: an exact-key miss can still find a
         plan for the *same devices* at a different problem size, whose
         equal-time level scales to a tight initial bracket.  Ties go to
-        the smaller total (conservative bracket).  Returns None when no
-        live plan for ``models_fp`` exists.
+        the smaller total (conservative bracket).  Only plans of the same
+        ``kind`` are considered: a pareto front's selected point sits at
+        some blend of time and energy, so its level would mis-seed a
+        time-only bisection (and vice versa).  Returns None when no live
+        same-kind plan for ``models_fp`` exists.
         """
         with self._lock:
             keys = self._by_models.get(models_fp)
@@ -260,6 +314,8 @@ class PlanCache:
             for key in list(keys):
                 entry = self._live_entry(key, now)
                 if entry is None or key == exclude or entry.result.total <= 0:
+                    continue
+                if entry.result.kind != kind:
                     continue
                 if best is None or (
                     abs(entry.result.total - total),

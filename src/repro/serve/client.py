@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import random
 import threading
 import time
@@ -159,8 +160,47 @@ class PlanClient:
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
         deadline: Optional[float] = None,
+        objective: Optional[str] = None,
+        alpha: Optional[float] = None,
+        energy_cap: Optional[float] = None,
+        npoints: Optional[int] = None,
     ) -> PlanResult:
-        """Request one plan, returning it as a :class:`PlanResult`."""
+        """Request one plan, returning it as a :class:`PlanResult`.
+
+        Bi-objective plans: pass ``objective="pareto"`` plus optionally
+        ``alpha`` (time weight in ``[0, 1]``), ``energy_cap`` (a joule
+        budget) and ``npoints`` (front resolution).  These are validated
+        *client-side* -- a malformed objective raises :class:`ValueError`
+        naming the field before any bytes hit the wire, so a typo'd sweep
+        script fails in microseconds instead of burning a server round
+        trip per point.
+        """
+        if alpha is not None:
+            a = float(alpha)
+            if math.isnan(a) or not 0.0 <= a <= 1.0:
+                raise ValueError(
+                    f"alpha must be in [0, 1], got {alpha!r}"
+                )
+        if energy_cap is not None:
+            cap = float(energy_cap)
+            if not math.isfinite(cap) or not cap > 0.0:
+                raise ValueError(
+                    f"energy_cap must be a positive finite number of "
+                    f"joules, got {energy_cap!r}"
+                )
+        if npoints is not None and (
+            not isinstance(npoints, int) or isinstance(npoints, bool)
+            or npoints < 2
+        ):
+            raise ValueError(
+                f"npoints must be an integer >= 2, got {npoints!r}"
+            )
+        if objective is None and (
+            alpha is not None or energy_cap is not None or npoints is not None
+        ):
+            raise ValueError(
+                "alpha/energy_cap/npoints require objective='pareto'"
+            )
         payload: Dict[str, Any] = {"cmd": "plan", "total": int(total)}
         if partitioner is not None:
             payload["partitioner"] = partitioner
@@ -168,6 +208,14 @@ class PlanClient:
             payload["options"] = dict(options)
         if deadline is not None:
             payload["deadline"] = deadline
+        if objective is not None:
+            payload["objective"] = objective
+        if alpha is not None:
+            payload["alpha"] = float(alpha)
+        if energy_cap is not None:
+            payload["energy_cap"] = float(energy_cap)
+        if npoints is not None:
+            payload["npoints"] = npoints
         return PlanResult.from_dict(self.call(payload))
 
     def feedback(

@@ -34,6 +34,7 @@ from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from repro.core import registry
 from repro.core.partition.dist import Distribution
+from repro.core.partition.pareto import DEFAULT_FRONT_POINTS, partition_pareto
 from repro.core.partition.warm import WarmStart
 from repro.degrade.policy import _FALLBACK_TRIGGERS, DegradationPolicy
 from repro.errors import CircuitOpenError, PartitionError
@@ -110,36 +111,66 @@ class PlanEngine:
         total: int,
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
+        kind: str = "time",
+        objective: Optional[Mapping[str, Any]] = None,
+        energy_models: Optional[Sequence] = None,
     ) -> PlanRequest:
         """Build the content-addressed request for ``models`` at ``total``.
 
         The model fingerprint is recomputed on every call -- the dynamic
         loops mutate models between requests, and a stale fingerprint
-        would serve a stale plan.
+        would serve a stale plan.  For non-``"time"`` kinds the energy
+        models fingerprint the same way, so refitting the power side
+        alone changes exactly the energy-keyed identities.
         """
+        if kind != "time" and not energy_models:
+            raise PartitionError(
+                f"plan kind {kind!r} requires energy models; none attached"
+            )
         return PlanRequest.make(
             models_fp=fingerprint_models(models),
             total=total,
             partitioner=partitioner or self.default_partitioner,
             options=options,
+            kind=kind,
+            energy_fp=(
+                fingerprint_models(energy_models) if kind != "time" else ""
+            ),
+            objective=objective,
         )
 
     # -- warm-start lookup --------------------------------------------------
 
     def _warm_hint(self, request: PlanRequest) -> Optional[WarmStart]:
-        """A seed from the nearest cached plan for the same model set."""
+        """A seed from the nearest cached *same-kind* plan for the model set.
+
+        A time solve seeds from a time plan's equal-time level; a pareto
+        solve seeds from a neighbouring front's pure-time endpoint (the
+        front sweep then re-derives every interior bracket from its own
+        endpoints).  Kinds never cross-seed -- a blended level is not an
+        equal-time level.
+        """
         if not self.warm:
             return None
         near = self.cache.nearest(
-            request.models_fp, request.total, exclude=request.key
+            request.models_fp, request.total, exclude=request.key,
+            kind=request.kind,
         )
         if near is None:
             return None
-        level = max(near.times, default=0.0)
+        if near.kind == "pareto" and near.front:
+            # The front is sorted by time, so points[0] is the pure-time
+            # endpoint -- the only point whose level is an equal-time
+            # level, which is what the endpoint solve brackets from.
+            sizes = near.front[0].sizes
+            level = max(near.front[0].times, default=0.0)
+        else:
+            sizes = near.sizes
+            level = max(near.times, default=0.0)
         if not level > 0.0:
             return None
         try:
-            return WarmStart(total=near.total, level=level, sizes=near.sizes)
+            return WarmStart(total=near.total, level=level, sizes=sizes)
         except PartitionError:
             return None
 
@@ -175,8 +206,74 @@ class PlanEngine:
             compute_seconds=elapsed,
         )
 
+    def _solve_pareto(
+        self,
+        request: PlanRequest,
+        models: Sequence,
+        energy_models: Sequence,
+    ) -> Tuple[PlanResult, bool]:
+        """Solve a bi-objective request: sweep the front, select one point.
+
+        The full dominance-filtered front rides on the result (and hence
+        into the cache), so every later request against the same
+        ``(models_fp, energy_fp, objective)`` key re-selects from the
+        cached front without re-solving.  Neither the circuit breaker nor
+        the degradation ladder applies here: both produce *time* plans,
+        and answering a pareto request with a time plan would be exactly
+        the cross-kind aliasing the key schema exists to prevent -- a
+        failed front solve raises its typed error instead.
+        """
+        if not energy_models:
+            raise PartitionError(
+                f"plan kind {request.kind!r} requires energy models; "
+                "none attached to this engine call"
+            )
+        obj = request.objective_dict()
+        kwargs = request.option_dict()
+        npoints = int(obj.get("npoints", DEFAULT_FRONT_POINTS))
+        warm_used = False
+        if "warm_start" not in kwargs:
+            hint = self._warm_hint(request)
+            if hint is not None:
+                kwargs["warm_start"] = hint
+                warm_used = True
+        start = time.perf_counter()
+        front = partition_pareto(
+            request.total, models, energy_models, npoints=npoints, **kwargs
+        )
+        elapsed = time.perf_counter() - start
+        self.counters.computations += 1
+        if warm_used:
+            self.counters.warm_starts += 1
+        alpha = obj.get("alpha")
+        cap = obj.get("energy_cap")
+        point = front.select(
+            alpha=float(alpha) if alpha is not None else None,
+            max_joules=float(cap) if cap is not None else None,
+        )
+        return (
+            PlanResult(
+                key=request.key,
+                total=request.total,
+                sizes=point.sizes,
+                times=point.times,
+                algorithm="pareto",
+                cert=point.cert,
+                cached=False,
+                warm=warm_used,
+                degraded="",
+                compute_seconds=elapsed,
+                kind="pareto",
+                front=front.points,
+            ),
+            True,
+        )
+
     def _solve(
-        self, request: PlanRequest, models: Sequence
+        self,
+        request: PlanRequest,
+        models: Sequence,
+        energy_models: Optional[Sequence] = None,
     ) -> Tuple[PlanResult, bool]:
         """Run the partitioner for a cache miss (no cache interaction).
 
@@ -184,6 +281,8 @@ class PlanEngine:
         not cacheable -- the cache would keep serving the degraded plan
         long after the breaker recovered.
         """
+        if request.kind == "pareto":
+            return self._solve_pareto(request, models, energy_models or ())
         breaker = (
             self.breakers.breaker(request.models_fp)
             if self.breakers is not None
@@ -261,22 +360,37 @@ class PlanEngine:
             not isinstance(got, PlanResult)
             or got.key != request.key
             or got.total != request.total
+            or got.kind != request.kind
             or sum(got.sizes) != request.total
             or len(got.sizes) != len(got.times)
+            or (got.kind != "time" and not got.front)
         ):
             self.counters.sibling_errors += 1
             return None
         self.counters.sibling_fills += 1
         return got
 
-    def plan_request(self, models: Sequence, request: PlanRequest) -> PlanResult:
+    def plan_request(
+        self,
+        models: Sequence,
+        request: PlanRequest,
+        energy_models: Optional[Sequence] = None,
+    ) -> PlanResult:
         """Serve one prepared request: cache hit, sibling fill, or solve."""
         hit = self.cache.get(request.key)
         if hit is not None:
             return hit.replace(cached=True)
         # The spec rides along with cached entries so a model refit can
-        # re-solve exactly the requests this cache was answering.
-        spec = (request.total, request.partitioner, request.option_dict())
+        # re-solve exactly the requests this cache was answering.  Time
+        # plans keep the historical 3-tuple (byte parity with persisted
+        # caches and replicas written before plan kinds existed); other
+        # kinds append their kind and objective so the re-solve -- and
+        # the cache's cross-kind aliasing guard -- see them.
+        spec: Tuple[Any, ...] = (
+            request.total, request.partitioner, request.option_dict()
+        )
+        if request.kind != "time":
+            spec = spec + (request.kind, request.objective_dict())
         if self.sibling_fill is not None:
             filled = self._from_sibling(request)
             if filled is not None:
@@ -284,7 +398,7 @@ class PlanEngine:
                     request.key, filled, request.models_fp, spec=spec
                 )
                 return filled.replace(cached=True)
-        result, cacheable = self._solve(request, models)
+        result, cacheable = self._solve(request, models, energy_models)
         if cacheable:
             self.cache.put(request.key, result, request.models_fp, spec=spec)
             if self.on_commit is not None:
@@ -300,10 +414,18 @@ class PlanEngine:
         total: int,
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
+        kind: str = "time",
+        objective: Optional[Mapping[str, Any]] = None,
+        energy_models: Optional[Sequence] = None,
     ) -> PlanResult:
         """Serve a plan for ``models`` at ``total`` (request sugar)."""
         return self.plan_request(
-            models, self.request(models, total, partitioner, options)
+            models,
+            self.request(
+                models, total, partitioner, options,
+                kind=kind, objective=objective, energy_models=energy_models,
+            ),
+            energy_models=energy_models,
         )
 
     def distribution(

@@ -701,9 +701,21 @@ class FeedbackController:
             key=lambda spec: spec[0],
         )[: self.resolve_limit]
         models = self.server.models
-        for total, partitioner, options in todo:
+        for spec in todo:
+            total, partitioner, options = spec[0], spec[1], spec[2]
+            # Kinded specs (bi-objective plans) append (kind, objective);
+            # legacy 3-tuples are time plans.
+            kind = str(spec[3]) if len(spec) >= 4 else "time"
+            objective = spec[4] if len(spec) >= 5 else None
+            energy = getattr(self.server, "energy_models", None)
+            if kind != "time" and energy is None:
+                continue  # energy side detached: re-solve lazily on demand
             try:
-                self.server.engine.plan(models, int(total), partitioner, options)
+                self.server.engine.plan(
+                    models, int(total), partitioner, options,
+                    kind=kind, objective=objective,
+                    energy_models=energy if kind != "time" else None,
+                )
                 self.counters.resolved_plans += 1
             except FuPerModError:
                 # A spec that no longer solves stays uncached; the next

@@ -112,6 +112,34 @@ def fingerprint_request(
     return digest("request", models_fp, int(total), partitioner, options)
 
 
+def fingerprint_objective_request(
+    kind: str,
+    models_fp: str,
+    energy_fp: str,
+    total: int,
+    partitioner: str,
+    options: Mapping[str, Any],
+    objective: Mapping[str, Any],
+) -> str:
+    """Content hash of an objective-keyed plan request.
+
+    Bi-objective plans are keyed on ``(models_fp, energy_fp, objective)``
+    in addition to the classic request tuple: the plan ``kind`` and the
+    energy-model fingerprint are mixed into the digest, so a ``"pareto"``
+    plan can never collide with a ``"time"`` plan for the same speed
+    models -- and a refit of the *power* side alone invalidates exactly
+    the energy-keyed entries.  ``"time"`` requests keep the original
+    :func:`fingerprint_request` key (bit-stable with every persisted
+    cache and replica written before plan kinds existed).
+    """
+    if kind == "time":
+        return fingerprint_request(models_fp, total, partitioner, options)
+    return digest(
+        "request", kind, models_fp, energy_fp, int(total), partitioner,
+        options, dict(objective or {}),
+    )
+
+
 def affinity_key(
     total: int,
     partitioner: str,

@@ -5,14 +5,19 @@ Both front ends speak the same tiny protocol over a
 
 * a **plan** request is an object with ``total`` (required),
   ``partitioner``, ``options`` and ``deadline`` (optional, seconds), and
-  a client-chosen ``id`` echoed back in the response;
+  a client-chosen ``id`` echoed back in the response; bi-objective
+  requests add ``objective: "pareto"`` plus optional ``alpha`` (time
+  weight in ``[0, 1]``), ``energy_cap`` (joule budget) and ``npoints``
+  (front resolution) -- all validated here with typed 400s naming the
+  offending field;
 * a **stats** request (``{"cmd": "stats"}`` on stdio, ``GET /stats`` over
   HTTP) returns the consolidated counter snapshot;
 * a **metrics** request (``{"cmd": "metrics"}``, ``GET /metrics``) returns
-  the same counters under the versioned ``fupermod-metrics/2`` schema
+  the same counters under the versioned ``fupermod-metrics/3`` schema
   (cache hits/misses, coalesced, shed, per-fingerprint breaker state,
-  feedback counters when closed-loop refinement is attached, and a
-  ``replication`` section when the worker runs with a replica set);
+  served plans by kind under ``plans_by_kind``, feedback counters when
+  closed-loop refinement is attached, and a ``replication`` section when
+  the worker runs with a replica set);
 * a **feedback** request (``{"cmd": "feedback"}`` on stdio,
   ``POST /feedback`` over HTTP) reports actual per-rank timings into the
   closed-loop refinement path (:mod:`repro.serve.feedback`); servers
@@ -67,6 +72,9 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, IO, Optional
 
+import math
+
+from repro.core.partition.pareto import MAX_FRONT_POINTS
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceeded,
@@ -75,10 +83,75 @@ from repro.errors import (
     QuarantineError,
     ServiceOverloadError,
 )
+from repro.serve.plan import PLAN_KINDS
 from repro.serve.server import PlanServer
 
 #: Default request-body cap for the HTTP transport (1 MiB).
 MAX_BODY_BYTES = 1 << 20
+
+
+def validate_objective(
+    payload: Dict[str, Any], server: PlanServer
+) -> "tuple[str, Dict[str, Any]]":
+    """Extract ``(kind, objective)`` from a plan payload, or raise a 400.
+
+    Every malformed-objective failure raises *bare*
+    :class:`~repro.errors.FuPerModError` naming the offending field, so
+    both transports answer 400 (fix your request), never 500.
+    """
+    kind = payload.get("objective", "time")
+    if not isinstance(kind, str) or kind not in PLAN_KINDS:
+        raise FuPerModError(
+            f"'objective' must be one of {list(PLAN_KINDS)}, got {kind!r}"
+        )
+    objective: Dict[str, Any] = {}
+    alpha = payload.get("alpha")
+    if alpha is not None:
+        if (
+            not isinstance(alpha, (int, float))
+            or isinstance(alpha, bool)
+            or not 0.0 <= float(alpha) <= 1.0
+        ):
+            raise FuPerModError(
+                f"'alpha' must be a number in [0, 1], got {alpha!r}"
+            )
+        objective["alpha"] = float(alpha)
+    cap = payload.get("energy_cap")
+    if cap is not None:
+        if (
+            not isinstance(cap, (int, float))
+            or isinstance(cap, bool)
+            or not math.isfinite(float(cap))
+            or not float(cap) > 0.0
+        ):
+            raise FuPerModError(
+                f"'energy_cap' must be a positive finite number of joules, "
+                f"got {cap!r}"
+            )
+        objective["energy_cap"] = float(cap)
+    npoints = payload.get("npoints")
+    if npoints is not None:
+        if (
+            not isinstance(npoints, int)
+            or isinstance(npoints, bool)
+            or not 2 <= npoints <= MAX_FRONT_POINTS
+        ):
+            raise FuPerModError(
+                f"'npoints' must be an integer in [2, {MAX_FRONT_POINTS}], "
+                f"got {npoints!r}"
+            )
+        objective["npoints"] = npoints
+    if kind == "time" and objective:
+        raise FuPerModError(
+            f"objective parameters {sorted(objective)} need "
+            f"'objective': 'pareto'; a time plan takes none"
+        )
+    if kind != "time" and server.energy_models is None:
+        raise FuPerModError(
+            f"this server has no energy models attached; "
+            f"{kind!r} plans are unavailable"
+        )
+    return kind, objective
 
 
 def merge_deadline_header(
@@ -145,6 +218,7 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
             options = payload.get("options") or {}
             if not isinstance(options, dict):
                 raise FuPerModError("'options' must be an object")
+            kind, objective = validate_objective(payload, server)
             deadline = payload.get("deadline")
             if deadline is not None:
                 if not isinstance(deadline, (int, float)) or isinstance(
@@ -155,7 +229,8 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
                         f"got {deadline!r}"
                     )
             result = server.request(
-                total, payload.get("partitioner"), options, deadline=deadline
+                total, payload.get("partitioner"), options,
+                deadline=deadline, kind=kind, objective=objective,
             )
             out = result.to_dict()
         elif cmd == "feedback":

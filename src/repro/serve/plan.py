@@ -20,8 +20,17 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.partition.cert import ConvergenceCert
 from repro.core.partition.dist import Distribution, Part
+from repro.core.partition.pareto import ParetoFront, ParetoPoint
 from repro.errors import PartitionError
-from repro.serve.fingerprint import fingerprint_request
+from repro.serve.fingerprint import fingerprint_objective_request
+
+#: Plan-kind schema version, emitted with every non-default-kind plan so
+#: persisted caches and replicas from a future incompatible kind encoding
+#: can be refused instead of misread.
+PLAN_KIND_VERSION = 1
+
+#: The plan kinds this build can serve.
+PLAN_KINDS = ("time", "pareto")
 
 
 @dataclass(frozen=True)
@@ -35,12 +44,22 @@ class PlanRequest:
         partitioner: registered partitioner name (``"geometric"``, ...).
         options: extra keyword arguments for the partitioner, as an
             order-insensitive tuple of ``(name, value)`` pairs.
+        kind: the plan kind -- ``"time"`` (default, the classic
+            single-objective plan) or ``"pareto"`` (bi-objective front).
+        energy_fp: fingerprint of the energy-model set (``""`` for
+            ``"time"`` requests; required for ``"pareto"``).
+        objective: objective parameters (``alpha``, ``energy_cap``,
+            ``npoints``) as an order-insensitive tuple of pairs; part of
+            the cache key for non-time kinds.
     """
 
     models_fp: str
     total: int
     partitioner: str = "geometric"
     options: Tuple[Tuple[str, Any], ...] = ()
+    kind: str = "time"
+    energy_fp: str = ""
+    objective: Tuple[Tuple[str, Any], ...] = ()
 
     @staticmethod
     def make(
@@ -48,28 +67,53 @@ class PlanRequest:
         total: int,
         partitioner: str = "geometric",
         options: Optional[Mapping[str, Any]] = None,
+        kind: str = "time",
+        energy_fp: str = "",
+        objective: Optional[Mapping[str, Any]] = None,
     ) -> "PlanRequest":
         """Build a request, normalising ``options`` from any mapping."""
         if total < 0:
             raise PartitionError(f"total must be non-negative, got {total}")
+        if kind not in PLAN_KINDS:
+            raise PartitionError(
+                f"unknown plan kind {kind!r}; known kinds: {list(PLAN_KINDS)}"
+            )
+        if kind != "time" and not energy_fp:
+            raise PartitionError(
+                f"plan kind {kind!r} requires an energy-model fingerprint"
+            )
         opts = tuple(sorted((options or {}).items()))
+        obj = tuple(sorted((objective or {}).items()))
         return PlanRequest(
             models_fp=models_fp,
             total=int(total),
             partitioner=partitioner,
             options=opts,
+            kind=kind,
+            energy_fp=energy_fp if kind != "time" else "",
+            objective=obj if kind != "time" else (),
         )
 
     @property
     def key(self) -> str:
-        """The request's content hash -- cache and coalescing key."""
-        return fingerprint_request(
-            self.models_fp, self.total, self.partitioner, dict(self.options)
+        """The request's content hash -- cache and coalescing key.
+
+        ``"time"`` requests hash exactly as before plan kinds existed;
+        other kinds mix ``(kind, energy_fp, objective)`` into the digest
+        so plans of different kinds can never alias.
+        """
+        return fingerprint_objective_request(
+            self.kind, self.models_fp, self.energy_fp, self.total,
+            self.partitioner, dict(self.options), dict(self.objective),
         )
 
     def option_dict(self) -> Dict[str, Any]:
         """The options as a plain keyword-argument dict."""
         return dict(self.options)
+
+    def objective_dict(self) -> Dict[str, Any]:
+        """The objective parameters as a plain dict."""
+        return dict(self.objective)
 
 
 @dataclass(frozen=True)
@@ -90,6 +134,11 @@ class PlanResult:
         degraded: summary of the degradation ladder's fallbacks, or ``""``
             when the requested partitioner succeeded directly.
         compute_seconds: wall seconds the solve took (0.0 for cache hits).
+        kind: the plan kind (``"time"`` or ``"pareto"``); ``sizes`` and
+            ``times`` always hold one concrete distribution -- for a
+            pareto plan, the point selected by the request's objective.
+        front: the full dominance-filtered front for ``"pareto"`` plans
+            (empty for ``"time"`` plans).
     """
 
     key: str
@@ -102,6 +151,20 @@ class PlanResult:
     warm: bool = False
     degraded: str = ""
     compute_seconds: float = 0.0
+    kind: str = "time"
+    front: Tuple[ParetoPoint, ...] = ()
+
+    def pareto_front(self) -> ParetoFront:
+        """Rebuild the :class:`~repro.core.partition.pareto.ParetoFront`.
+
+        Raises:
+            PartitionError: on a ``"time"`` plan, which has no front.
+        """
+        if self.kind != "pareto" or not self.front:
+            raise PartitionError(
+                f"plan kind {self.kind!r} carries no pareto front"
+            )
+        return ParetoFront(total=self.total, points=self.front)
 
     def distribution(self) -> Distribution:
         """Rebuild a fresh :class:`Distribution` (cert re-attached)."""
@@ -127,6 +190,13 @@ class PlanResult:
         }
         if self.cert is not None:
             out["cert"] = self.cert.to_dict()
+        if self.kind != "time":
+            # Time plans keep their historical byte layout (bit parity
+            # through relays, WALs and replicas written before kinds
+            # existed); other kinds declare themselves and their schema.
+            out["kind"] = self.kind
+            out["kind_v"] = PLAN_KIND_VERSION
+            out["front"] = [p.to_dict() for p in self.front]
         return out
 
     @staticmethod
@@ -157,6 +227,21 @@ class PlanResult:
                     tolerance=float(c["tolerance"]),
                     detail=str(c.get("detail", "")),
                 )
+            kind = str(data.get("kind", "time"))
+            if kind not in PLAN_KINDS:
+                raise ValueError(f"unknown plan kind {kind!r}")
+            front: Tuple[ParetoPoint, ...] = ()
+            if kind != "time":
+                kind_v = int(data.get("kind_v", PLAN_KIND_VERSION))
+                if kind_v != PLAN_KIND_VERSION:
+                    raise ValueError(
+                        f"plan kind schema v{kind_v} is not v{PLAN_KIND_VERSION}"
+                    )
+                front = tuple(
+                    ParetoPoint.from_dict(p) for p in data.get("front", ())
+                )
+                if not front:
+                    raise ValueError(f"{kind!r} plan carries an empty front")
             return PlanResult(
                 key=str(data["key"]),
                 total=int(data["total"]),
@@ -168,6 +253,8 @@ class PlanResult:
                 warm=bool(data.get("warm", False)),
                 degraded=str(data.get("degraded", "")),
                 compute_seconds=float(data.get("compute_seconds", 0.0)),
+                kind=kind,
+                front=front,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise PartitionError(f"malformed plan payload: {exc}") from exc
@@ -229,4 +316,11 @@ class ServeCounters:
 
 
 # Re-exported for type hints in the front ends.
-__all__ = ["PlanRequest", "PlanResult", "ServeCounters", "field"]
+__all__ = [
+    "PLAN_KINDS",
+    "PLAN_KIND_VERSION",
+    "PlanRequest",
+    "PlanResult",
+    "ServeCounters",
+    "field",
+]

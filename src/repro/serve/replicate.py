@@ -391,12 +391,18 @@ class PlanReplicator:
         """Queue one freshly committed plan for replication (non-blocking)."""
         if self.replicas <= 1:
             return
+        spec: List[Any] = [request.total, request.partitioner,
+                           request.option_dict()]
+        if request.kind != "time":
+            # Kinded plans carry their kind (and objective) in the spec,
+            # so the receiving cache's cross-kind aliasing guard sees the
+            # same identity the home stored the entry under.
+            spec.extend([request.kind, request.objective_dict()])
         entry = {
             "key": request.key,
             "models_fp": request.models_fp,
             "result": result.to_dict(),
-            "spec": [request.total, request.partitioner,
-                     request.option_dict()],
+            "spec": spec,
             "source": self.shard_id,
         }
         if self.epoch_source is not None:
@@ -557,10 +563,16 @@ class PlanReplicator:
                 "error": "replicated plan does not answer its own key"
             }
         spec = payload.get("spec")
-        self.cache.put(
-            key, result, models_fp,
-            spec=tuple(spec) if spec is not None else None,
-        )
+        try:
+            self.cache.put(
+                key, result, models_fp,
+                spec=tuple(spec) if spec is not None else None,
+            )
+        except FuPerModError as exc:
+            # The cache's cross-kind aliasing guard: a push whose spec
+            # and result disagree on the plan kind is poisoned, refused
+            # like any other malformed entry.
+            return 400, {"error": f"rejected replicated plan: {exc}"}
         with self._cv:
             self.counters["replicas_received"] += 1
             if payload.get("repair"):

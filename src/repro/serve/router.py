@@ -737,6 +737,26 @@ class PlanRouter(AsyncHTTPBase):
             },
         }
 
+    @staticmethod
+    def _plans_by_kind_summary(per_shard: Mapping[str, Any]) -> Dict[str, int]:
+        """Fleet-wide served-plans-by-kind tally.
+
+        Sums each reachable shard's ``plans_by_kind`` counters (schema
+        ``fupermod-metrics/3``); shards that predate the section, or were
+        unreachable, simply contribute nothing -- the same tolerant
+        summing as :meth:`_replication_summary`.
+        """
+        totals: Dict[str, int] = {}
+        for info in per_shard.values():
+            section = info.get("plans_by_kind") if isinstance(info, dict) else None
+            if not isinstance(section, dict):
+                continue
+            for name, value in section.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    continue
+                totals[str(name)] = totals.get(str(name), 0) + value
+        return totals
+
     async def _probe_dead_shards(self) -> None:
         """Half-open probe loop: ping dead shards, revive the responsive.
 
@@ -804,7 +824,10 @@ class PlanRouter(AsyncHTTPBase):
                 out["fleet"]["replication"] = (
                     self._replication_summary(per_shard)
                 )
-                out["schema"] = "fupermod-fleet-metrics/2"
+                out["fleet"]["plans_by_kind"] = (
+                    self._plans_by_kind_summary(per_shard)
+                )
+                out["schema"] = "fupermod-fleet-metrics/3"
                 out["uptime_s"] = time.monotonic() - self._started_at
                 return 200, {"metrics": out}, None
             return 200, {"stats": out}, None

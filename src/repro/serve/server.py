@@ -93,11 +93,16 @@ class PlanServer:
                 f"default_deadline must be positive or None, got {default_deadline}"
             )
         self.models = list(models)
+        #: Fitted per-rank *energy* models (J as a function of size), set
+        #: by :meth:`attach_energy`; required before any ``"pareto"``
+        #: request can be served.
+        self.energy_models: Optional[List] = None
         self.engine = (
             engine
             if engine is not None
             else PlanEngine(cache=cache, policy=policy, breakers=breakers)
         )
+        self._plans_by_kind: Dict[str, int] = {}
         self.max_pending = max_pending
         self.default_deadline = default_deadline
         self.shed_retry_after = shed_retry_after
@@ -117,13 +122,55 @@ class PlanServer:
         #: when set, :meth:`stats` grows a ``"replication"`` section.
         self.replication = None
 
+    # -- bi-objective serving ----------------------------------------------
+
+    def attach_energy(self, energy_models: Sequence) -> None:
+        """Enable ``"pareto"`` plans by attaching per-rank energy models.
+
+        ``energy_models[i]`` must model the same device as
+        ``models[i]`` (joules instead of seconds), so the lists must
+        match in length.  Like the speed models, the energy models are
+        re-fingerprinted per request -- refitting the power side alone
+        changes exactly the energy-keyed cache identities.
+        """
+        energy_models = list(energy_models)
+        if len(energy_models) != len(self.models):
+            raise ValueError(
+                f"{len(energy_models)} energy models for "
+                f"{len(self.models)} speed models; the lists must pair up "
+                f"rank for rank"
+            )
+        self.energy_models = energy_models
+
+    def _count_plan(self, kind: str) -> None:
+        """Tally one served plan for the ``/metrics`` per-kind counters."""
+        with self._lock:
+            self._plans_by_kind[kind] = self._plans_by_kind.get(kind, 0) + 1
+
     # -- core serving ------------------------------------------------------
+
+    def _make_request(
+        self,
+        total: int,
+        partitioner: Optional[str],
+        options: Optional[Mapping[str, Any]],
+        kind: str,
+        objective: Optional[Mapping[str, Any]],
+    ) -> PlanRequest:
+        """Build the content-addressed request (typed errors propagate)."""
+        return self.engine.request(
+            self.models, total, partitioner, options,
+            kind=kind, objective=objective,
+            energy_models=self.energy_models if kind != "time" else None,
+        )
 
     def try_cached(
         self,
         total: int,
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
+        kind: str = "time",
+        objective: Optional[Mapping[str, Any]] = None,
     ) -> Optional[PlanResult]:
         """The plan iff it is already cached locally; never queues work.
 
@@ -133,19 +180,26 @@ class PlanServer:
         returns ``None`` without counting it -- the caller falls back to
         :meth:`request`, whose engine path counts the miss exactly once.
         """
-        request = self.engine.request(self.models, total, partitioner, options)
+        if kind != "time" and self.energy_models is None:
+            return None  # the slow path owns the typed 400
+        request = self._make_request(total, partitioner, options, kind, objective)
         hit = self.engine.cache.peek(request.key)
         if hit is None:
             return None
         # Count the hit the same way the engine's get() path would.
         hit = self.engine.cache.get(request.key)
-        return hit.replace(cached=True) if hit is not None else None
+        if hit is None:
+            return None
+        self._count_plan(hit.kind)
+        return hit.replace(cached=True)
 
     def submit(
         self,
         total: int,
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
+        kind: str = "time",
+        objective: Optional[Mapping[str, Any]] = None,
     ) -> "Future[PlanResult]":
         """Queue one request, returning its future.
 
@@ -159,7 +213,7 @@ class PlanServer:
                 start another (counted in ``counters.shed``).
             RuntimeError: when the server has been closed.
         """
-        request = self.engine.request(self.models, total, partitioner, options)
+        request = self._make_request(total, partitioner, options, kind, objective)
         with self._lock:
             if self._closed:
                 raise RuntimeError("plan server is closed")
@@ -183,7 +237,11 @@ class PlanServer:
     def _run(self, request: PlanRequest) -> PlanResult:
         """Worker body: serve the request, then retire it from in-flight."""
         try:
-            return self.engine.plan_request(self.models, request)
+            result = self.engine.plan_request(
+                self.models, request, energy_models=self.energy_models
+            )
+            self._count_plan(result.kind)
+            return result
         finally:
             with self._lock:
                 self._inflight.pop(request.key, None)
@@ -194,6 +252,8 @@ class PlanServer:
         partitioner: Optional[str] = None,
         options: Optional[Mapping[str, Any]] = None,
         deadline: Optional[Union[float, Deadline]] = None,
+        kind: str = "time",
+        objective: Optional[Mapping[str, Any]] = None,
     ) -> PlanResult:
         """Serve one request, blocking until the plan is ready.
 
@@ -202,6 +262,10 @@ class PlanServer:
                 :class:`~repro.degrade.watchdog.Deadline`); falls back to
                 the server's ``default_deadline``; ``None`` waits
                 forever.
+            kind: the plan kind (``"time"`` or ``"pareto"``; the latter
+                requires :meth:`attach_energy` first).
+            objective: objective parameters for non-time kinds
+                (``alpha``, ``energy_cap``, ``npoints``).
 
         Raises:
             DeadlineExceeded: the budget ran out before the plan arrived
@@ -214,7 +278,7 @@ class PlanServer:
             deadline = self.default_deadline
         if deadline is not None and not isinstance(deadline, Deadline):
             deadline = Deadline(float(deadline), stage="serve:request")
-        future = self.submit(total, partitioner, options)
+        future = self.submit(total, partitioner, options, kind, objective)
         if deadline is None:
             return future.result()
         try:
@@ -291,8 +355,10 @@ class PlanServer:
         read one stable shape (documented in ``docs/API.md``).
         """
         out = self.stats()
-        out["schema"] = "fupermod-metrics/2"
+        out["schema"] = "fupermod-metrics/3"
         out["uptime_s"] = time.monotonic() - self._started_at
+        with self._lock:
+            out["plans_by_kind"] = dict(self._plans_by_kind)
         return out
 
     def drain(self, timeout: Optional[float] = None) -> bool:

@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import PersistenceError
-from repro.serve.cache import PlanCache
+from repro.serve.cache import PlanCache, check_spec_kind
 from repro.serve.fingerprint import FINGERPRINT_VERSION
 from repro.serve.plan import PlanResult
 
@@ -134,9 +134,9 @@ class PlanWAL:
     ) -> None:
         """Durably journal one insert before it is applied.
 
-        ``spec`` is the optional ``(total, partitioner, options)`` the
-        cache stores for refit re-solving; journalled so it survives a
-        crash along with the entry it annotates.
+        ``spec`` is the optional ``(total, partitioner, options[, kind,
+        objective])`` the cache stores for refit re-solving; journalled
+        so it survives a crash along with the entry it annotates.
         """
         fields: Dict[str, Any] = {
             "key": key, "models_fp": models_fp, "result": result.to_dict()
@@ -367,7 +367,14 @@ class DurablePlanCache(PlanCache):
         models_fp: str,
         spec: Optional[Tuple[Any, ...]] = None,
     ) -> None:
-        """Journal, then insert; durable once this returns."""
+        """Journal, then insert; durable once this returns.
+
+        The cross-kind aliasing guard runs *before* the journal append:
+        a spec/result pair disagreeing on the plan kind must reach
+        neither memory nor the WAL (a journaled poisoned record would
+        fail every future recovery).
+        """
+        check_spec_kind(result, spec)
         with self._lock:
             if not self._replaying:
                 if spec is None:

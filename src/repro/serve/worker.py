@@ -91,6 +91,48 @@ def load_model_set(points_dir: Path, model: str = "piecewise") -> List[Any]:
     return models
 
 
+def load_energy_model_set(
+    points_dir: Path, power_path: Path, model: str = "piecewise"
+) -> List[Any]:
+    """Fitted per-rank *energy* models from points plus power profiles.
+
+    Each rank's measured timing points are priced in joules through its
+    :class:`~repro.platform.power.PowerProfile` (rank order in the JSON
+    file matches ``rank*.points`` order) and fitted with the energy
+    family matching the speed-model choice
+    (:func:`~repro.core.models.energy.energy_model_for`).  Used by both
+    ``fupermod serve --power`` and the fleet workers, so every shard
+    derives the identical energy fingerprint.
+    """
+    from repro.core.models.energy import energy_model_for
+    from repro.io.files import load_points
+    from repro.platform.power import energy_points_from_power, load_power_profiles
+
+    files = sorted(Path(points_dir).glob("rank*.points"))
+    if not files:
+        raise FuPerModError(f"no rank*.points files in {points_dir}")
+    profiles = load_power_profiles(power_path)
+    if len(profiles) != len(files):
+        raise FuPerModError(
+            f"{len(profiles)} power profiles in {power_path} for "
+            f"{len(files)} rank*.points files; they must pair up rank "
+            f"for rank"
+        )
+    family = energy_model_for(model)
+    energy_models = []
+    for rank, (path, profile) in enumerate(zip(files, profiles)):
+        try:
+            points, _meta = load_points(path)
+        except PersistenceError as exc:
+            raise FuPerModError(
+                f"cannot load points for rank {rank}: {exc}"
+            ) from exc
+        em = family()
+        em.update_many(energy_points_from_power(points, profile))
+        energy_models.append(em)
+    return energy_models
+
+
 class SiblingFill:
     """Peer-cache lookup hook for :class:`PlanEngine`.
 
@@ -258,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--points", required=True)
     parser.add_argument("--model", default="piecewise")
     parser.add_argument("--algorithm", default="geometric")
+    parser.add_argument("--power", default=None,
+                        help="per-rank power-profile JSON; enables "
+                             "bi-objective (pareto) plans on this shard")
     parser.add_argument("--shard-id", default="shard0", dest="shard_id")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
@@ -357,6 +402,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         models, engine=engine, max_workers=args.threads,
         max_pending=args.max_pending, default_deadline=args.deadline,
     )
+    if args.power is not None:
+        server.attach_energy(
+            load_energy_model_set(Path(args.points), Path(args.power), args.model)
+        )
 
     lineage = None
     if not args.no_feedback:
@@ -434,6 +483,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "epoch": lineage.epoch if lineage is not None else None,
         "replicas": args.replicas,
         "pending_hints": pending_hints,
+        "energy": server.energy_models is not None,
     }), flush=True)
 
     stop = threading.Event()

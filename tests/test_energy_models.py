@@ -1,0 +1,189 @@
+"""Power profiles and the energy-model family.
+
+Covers the platform layer (watts-vs-size profiles, joule pricing of
+measured timing points, GPU transfer energy through the Hockney link
+model) and the ``EnergyModel`` mixin contract: same lazy-rebuild /
+batch-evaluation surface as the speed families, but fingerprinting
+that can never collide with a speed model fitted to the same points.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    ConstantEnergyModel,
+    ConstantModel,
+    LinearEnergyModel,
+    PiecewiseEnergyModel,
+    PiecewiseModel,
+    energy_model_for,
+    is_energy_model,
+)
+from repro.core.point import MeasurementPoint
+from repro.errors import PlatformError
+from repro.platform.power import (
+    ConstantPower,
+    GpuPower,
+    LinearPower,
+    LinkModel,
+    energy_points_from_power,
+    load_power_profiles,
+    power_profile_from_dict,
+)
+
+pytestmark = pytest.mark.energy
+
+
+def timing_points(speed: float, sizes=(64, 128, 256, 512, 1024)):
+    return [MeasurementPoint(d, d / speed) for d in sizes]
+
+
+class TestPowerProfiles:
+    def test_constant_power_energy_is_watts_times_seconds(self):
+        p = ConstantPower(idle_watts=10.0, dynamic_watts=30.0)
+        assert p.watts_at(1) == 40.0
+        assert p.energy_joules(100, 2.5) == pytest.approx(100.0)
+
+    def test_zero_size_costs_zero_joules(self):
+        for p in (
+            ConstantPower(idle_watts=10.0, dynamic_watts=30.0),
+            LinearPower(idle_watts=5.0, base_watts=20.0, watts_per_unit=0.1),
+        ):
+            assert p.energy_joules(0, 1.0) == 0.0
+
+    def test_linear_power_ramps_and_saturates(self):
+        p = LinearPower(idle_watts=10.0, base_watts=50.0,
+                        watts_per_unit=0.1, peak_watts=100.0)
+        assert p.watts_at(100) == pytest.approx(70.0)
+        # 10 + min(50 + 0.1 * d, 100) caps at 110 total.
+        assert p.watts_at(10_000) == pytest.approx(110.0)
+
+    def test_gpu_power_transfer_priced_through_link(self):
+        link = LinkModel(latency=1e-6, bandwidth=1e9)
+        p = GpuPower(idle_watts=20.0, base_watts=50.0, peak_watts=200.0,
+                     ramp_units=256, transfer_watts=15.0,
+                     bytes_per_unit=8.0, link=link)
+        d = 1000
+        expected_seconds = 1e-6 + (8.0 * d) / 1e9
+        assert p.transfer_joules(d) == pytest.approx(15.0 * expected_seconds)
+        # Transfer joules are folded into the total energy price.
+        e = p.energy_joules(d, 1.0)
+        assert e > p.watts_at(d) * 1.0
+
+    def test_gpu_power_saturates_past_ramp(self):
+        p = GpuPower(idle_watts=0.0, base_watts=50.0, peak_watts=250.0,
+                     ramp_units=512, transfer_watts=0.0, bytes_per_unit=0.0)
+        # Asymptotic saturation: monotone in d, never exceeding peak.
+        samples = [p.watts_at(d) for d in (0, 256, 512, 5120, 512_000)]
+        assert samples == sorted(samples)
+        assert all(w <= 250.0 for w in samples)
+        assert p.watts_at(512_000) == pytest.approx(250.0, rel=2e-3)
+
+    def test_spec_round_trip(self):
+        profiles = [
+            ConstantPower(idle_watts=5.0, dynamic_watts=20.0),
+            LinearPower(idle_watts=10.0, base_watts=40.0,
+                        watts_per_unit=0.05, peak_watts=150.0),
+            GpuPower(idle_watts=25.0, base_watts=60.0, peak_watts=250.0,
+                     ramp_units=512, transfer_watts=10.0, bytes_per_unit=8.0),
+        ]
+        for p in profiles:
+            q = power_profile_from_dict(p.spec())
+            assert q.spec() == p.spec()
+            for d in (0, 1, 100, 5000):
+                assert q.energy_joules(d, 1.5) == pytest.approx(
+                    p.energy_joules(d, 1.5))
+
+    def test_load_power_profiles_list_and_ranks_forms(self, tmp_path):
+        specs = [ConstantPower(idle_watts=1.0, dynamic_watts=2.0).spec(),
+                 LinearPower(idle_watts=3.0, base_watts=4.0).spec()]
+        flat = tmp_path / "flat.json"
+        flat.write_text(json.dumps(specs))
+        keyed = tmp_path / "keyed.json"
+        keyed.write_text(json.dumps({"ranks": specs}))
+        for path in (flat, keyed):
+            loaded = load_power_profiles(path)
+            assert [p.spec() for p in loaded] == specs
+
+    def test_unknown_kind_is_typed_error(self):
+        with pytest.raises(PlatformError):
+            power_profile_from_dict({"kind": "fusion-reactor"})
+
+
+class TestEnergyPricing:
+    def test_energy_points_price_in_joules(self):
+        pts = timing_points(100.0)
+        profile = ConstantPower(idle_watts=10.0, dynamic_watts=40.0)
+        priced = energy_points_from_power(pts, profile)
+        assert len(priced) == len(pts)
+        for raw, joule in zip(pts, priced):
+            assert joule.d == raw.d
+            assert joule.t == pytest.approx(50.0 * raw.t)
+
+    def test_non_positive_joules_rejected(self):
+        class BrokenProfile(ConstantPower):
+            def energy_joules(self, d, seconds):
+                return 0.0
+
+        pts = timing_points(100.0)
+        with pytest.raises(PlatformError):
+            energy_points_from_power(
+                pts, BrokenProfile(idle_watts=1.0, dynamic_watts=1.0))
+
+
+class TestEnergyModelFamily:
+    def test_registry_twins(self):
+        assert energy_model_for("constant") is ConstantEnergyModel
+        assert energy_model_for("linear") is LinearEnergyModel
+        assert energy_model_for("piecewise") is PiecewiseEnergyModel
+        # Unknown speed families fall back to the piecewise energy model.
+        assert energy_model_for("akima") is PiecewiseEnergyModel
+
+    def test_is_energy_model(self):
+        assert is_energy_model(PiecewiseEnergyModel())
+        assert not is_energy_model(PiecewiseModel())
+
+    def test_energy_aliases_time(self):
+        em = PiecewiseEnergyModel()
+        pts = timing_points(100.0)
+        profile = ConstantPower(idle_watts=10.0, dynamic_watts=40.0)
+        em.update_many(energy_points_from_power(pts, profile))
+        assert em.objective == "energy"
+        d = 256
+        assert em.energy(d) == pytest.approx(em.time(d))
+        batch = em.energy_batch(np.array([64, 256, 1024]))
+        single = [em.energy(64), em.energy(256), em.energy(1024)]
+        assert np.allclose(batch, single)
+
+    def test_energy_fingerprint_never_collides_with_speed_parent(self):
+        """The aliasing hazard at the root of the cache-key design.
+
+        An energy model fitted to the *same* (d, t) pairs as a speed
+        model must fingerprint differently, or a joules plan could be
+        served for a seconds request.
+        """
+        pairs = [
+            (ConstantModel, ConstantEnergyModel),
+            (PiecewiseModel, PiecewiseEnergyModel),
+        ]
+        pts = timing_points(100.0)
+        for speed_cls, energy_cls in pairs:
+            speed, energy = speed_cls(), energy_cls()
+            speed.update_many(pts)
+            energy.update_many(pts)
+            assert speed.fingerprint_state() != energy.fingerprint_state()
+
+    def test_energy_model_predictions_match_profile(self):
+        pts = timing_points(200.0)
+        profile = LinearPower(idle_watts=10.0, base_watts=30.0,
+                              watts_per_unit=0.01)
+        em = PiecewiseEnergyModel()
+        em.update_many(energy_points_from_power(pts, profile))
+        for p in pts:
+            expected = profile.energy_joules(p.d, p.t)
+            assert em.energy(p.d) == pytest.approx(expected, rel=1e-9)
