@@ -30,7 +30,11 @@ worker, the asyncio front end behind the threaded one, or FPM routing
 losing to round-robin on a skewed fleet.  The partition-tolerance gates
 (the repo-root ``BENCH_partition_tolerance.json``, if present) hold the
 replication tax on the warm hit path to 5% and require that a SIGKILL
-on a quiesced replicated fleet loses zero acked plans.  The
+on a quiesced replicated fleet loses zero acked plans.  The disk-fault
+gates (the repo-root ``BENCH_disk_faults.json``, if present) hold the
+durability guard's tax on the cache-hit path to 5%, require a dead
+disk to surface zero request-path errors, and require every plan
+accepted while degraded to survive the heal re-sync.  The
 bi-objective gates (the repo-root ``BENCH_energy_pareto.json``, if
 present) cap a 16-point (time, energy) Pareto sweep at 8x one
 time-only solve and the objective plumbing's tax on the cached
@@ -79,6 +83,10 @@ AIO_PARITY_FLOOR = 1.0
 #: Ceiling on the replication tax (``replicas=2`` over ``replicas=1``)
 #: on the warm hit path (the ``replication_tax`` bench section).
 PARTITION_OVERHEAD_LIMIT = 0.05
+
+#: Ceiling on the durability guard's tax on the cache-hit path (the
+#: ``disk_guard_tax`` bench section's per-rank ``overhead_frac``).
+DISK_GUARD_OVERHEAD_LIMIT = 0.05
 
 #: Ceiling on a 16-point (time, energy) Pareto front sweep's cost
 #: relative to one time-only solve (the ``energy_front`` bench
@@ -375,6 +383,50 @@ def check_partition_tolerance(
     return failures
 
 
+def check_disk_faults(
+    current: Dict, limit: float = DISK_GUARD_OVERHEAD_LIMIT
+) -> List[str]:
+    """Gate the durability guard (the ``bench_disk_faults`` bench).
+
+    * ``disk_guard_tax.*.overhead_frac`` -- arming the degradation
+      ladder (``durability_budget``) must stay within *limit* of the
+      fail-fast durable cache on the hit path (hits mutate nothing, so
+      the guard's price is one ack-path check);
+    * ``degraded_throughput.errors`` -- a dead disk must surface zero
+      request-path errors (absorbed, never raised);
+    * ``heal_recovery.lost`` -- every plan accepted while degraded must
+      reach the disk in the heal re-sync and survive a SIGKILL.
+
+    A missing section is not a failure -- older result files predate
+    the storage-fault work.
+    """
+    if limit <= 0.0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    failures: List[str] = []
+    for p, row in sorted(current.get("disk_guard_tax", {}).items()):
+        frac = row.get("overhead_frac")
+        if isinstance(frac, (int, float)) and frac > limit:
+            failures.append(
+                f"disk_guard_tax.{p}: guarded hit path {100 * frac:.1f}% "
+                f"over fail-fast (limit {100 * limit:.0f}%)"
+            )
+    degraded = current.get("degraded_throughput", {})
+    errors = degraded.get("errors")
+    if isinstance(errors, (int, float)) and errors > 0:
+        failures.append(
+            f"degraded_throughput: {errors:.0f} put(s) raised against a "
+            "dead disk (the ladder must absorb every one)"
+        )
+    heal = current.get("heal_recovery", {})
+    lost = heal.get("lost")
+    if isinstance(lost, (int, float)) and lost > 0:
+        failures.append(
+            f"heal_recovery: {lost:.0f} degraded-mode plan(s) missing "
+            "after the heal re-sync (must be 0)"
+        )
+    return failures
+
+
 def check_energy_pareto(
     current: Dict,
     cost_limit: float = ENERGY_FRONT_COST_LIMIT,
@@ -536,6 +588,21 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
             for line in partition_failures:
                 print(f"  {line}")
             return 1
+    # And for the disk-fault bench (durability-guard tax + degradation).
+    disk_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_disk_faults.json"
+    )
+    if disk_path.exists():
+        try:
+            disk = _load_results(disk_path)
+        except SystemExit as exc:
+            return int(exc.code or 2)
+        disk_failures = check_disk_faults(disk)
+        if disk_failures:
+            print("disk-fault gates failed:")
+            for line in disk_failures:
+                print(f"  {line}")
+            return 1
     # And for the bi-objective bench (Pareto sweep cost + time-path tax).
     energy_path = (
         Path(__file__).resolve().parent.parent / "BENCH_energy_pareto.json"
@@ -556,8 +623,8 @@ def _check_regression_cli(argv: Sequence[str]) -> int:
     )
     print(f"no throughput regressions ({compared} metrics compared); "
           "ladder overhead, plan-cache floor, serving-hardening "
-          "overhead, fleet, closed-loop, partition-tolerance and "
-          "bi-objective gates within limits")
+          "overhead, fleet, closed-loop, partition-tolerance, "
+          "disk-fault and bi-objective gates within limits")
     return 0
 
 

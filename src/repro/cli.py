@@ -339,6 +339,9 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         port=args.port,
         worker_args=worker_args,
         replicas=args.replicas,
+        durability_budget=(
+            None if args.no_durability_degrade else args.durability_budget
+        ),
     )
     previous_handlers = {}
     if threading.current_thread() is threading.main_thread():
@@ -400,11 +403,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache_file = Path(args.cache_file) if args.cache_file else None
     durable = cache_file is not None and not args.no_wal
     if durable:
+        def _log_transition(mode: str, reason: str) -> None:
+            # One warning line per durability-mode transition -- the
+            # operator-facing trace of the degradation ladder.
+            print(f"warning: plan cache durability {mode}: {reason}",
+                  file=sys.stderr)
+
         cache: PlanCache = DurablePlanCache(
             cache_file,
             compact_every=args.compact_every,
             capacity=args.cache_size,
             ttl=args.ttl,
+            durability_budget=(
+                None if args.no_durability_degrade
+                else args.durability_budget
+            ),
+            on_transition=_log_transition,
         )
         snapshot_entries, wal_ops = cache.recover()
         if snapshot_entries or wal_ops:
@@ -855,6 +869,18 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="compact_every",
                        help="journaled operations between automatic snapshot "
                             "compactions")
+    p_srv.add_argument("--durability-budget", type=int, default=3,
+                       dest="durability_budget",
+                       help="consecutive journal-append failures tolerated "
+                            "before the durable cache degrades to memory-only "
+                            "mode (plans keep serving, acks carry "
+                            "'durable': false, a background probe re-syncs "
+                            "the disk when it heals)")
+    p_srv.add_argument("--no-durability-degrade", action="store_true",
+                       dest="no_durability_degrade",
+                       help="disable the durability degradation ladder: "
+                            "journal failures surface as request errors, the "
+                            "pre-hardening behaviour")
     p_srv.add_argument("--no-warm", action="store_true", dest="no_warm",
                        help="disable warm-started solves from nearby plans")
     p_srv.add_argument("--degrade", action="store_true",

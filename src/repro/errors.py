@@ -13,6 +13,9 @@ subsystem failed:
 * :class:`PartitionError` -- data partitioning (``repro.core.partition``);
 * :class:`PersistenceError` -- model/point file I/O (``repro.io``);
 * :class:`FaultInjectionError` -- injected faults (``repro.faults``);
+* :class:`DiskFaultError` -- an injected *storage* fault fired
+  (``repro.faults.disk``); also an :class:`OSError`, so journal code
+  treats it exactly like real disk trouble;
 * :class:`QuarantineError` -- a device exhausted its failure budget and was
   excluded from the run (``repro.core.benchmark``);
 * :class:`ConvergenceError` -- an iterative partitioner exhausted its
@@ -90,6 +93,31 @@ class FaultInjectionError(FuPerModError):
         self.rank = rank
         self.kind = kind
         self.fatal = fatal
+
+
+class DiskFaultError(FaultInjectionError, OSError):
+    """An injected storage fault fired (``repro.faults.disk``).
+
+    Doubly inherits :class:`OSError` on purpose: the journals catch
+    ``OSError`` on their write/fsync paths, so an injected ENOSPC or
+    EIO flows through exactly the handling a real disk error would --
+    the injection is invisible to the code under test.
+
+    Attributes:
+        path: the file the faulted operation targeted.
+        op: the file operation that faulted (``"write"``, ``"fsync"``,
+            ``"read"``, ``"open"``, ``"truncate"``).
+        errno: the simulated OS error number (e.g. ``errno.ENOSPC``).
+    """
+
+    def __init__(self, message: str, path: str = "", op: str = "write",
+                 errno_code: Optional[int] = None) -> None:
+        super().__init__(message, kind="disk", fatal=False)
+        self.path = path
+        self.op = op
+        if errno_code is not None:
+            self.errno = errno_code
+            self.strerror = message
 
 
 class ConvergenceWarning(RuntimeWarning):

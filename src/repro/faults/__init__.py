@@ -24,7 +24,13 @@ testing substrate for the resilient runtime:
   dropped requests, truncated and garbage responses, and asymmetric
   directed partitions, applied by wrapping the fleet's transports
   (:func:`wrap_shard_client`, :func:`wrap_worker_link`) -- the
-  netsplit suite's substrate.
+  netsplit suite's substrate;
+* :class:`DiskFaultPlan` / :class:`DiskFaults` / :func:`faulty_open`
+  (:mod:`repro.faults.disk`) -- storage faults *under* the durability
+  layer: seeded ENOSPC/EIO on write and fsync, short writes, slow
+  I/O, read-side corruption and scripted die-then-heal windows,
+  spliced into any journal via its ``opener`` seam -- the disk chaos
+  suite's substrate.
 
 The consuming resilience layers live where the healthy code lives:
 retry/quarantine in :mod:`repro.core.benchmark`
@@ -35,6 +41,14 @@ degradation in :mod:`repro.core.builder`
 :mod:`repro.io.checkpoint`.
 """
 
+from repro.faults.disk import (
+    DISK_ERRNOS,
+    NO_DISK_FAULTS,
+    DiskFaultPlan,
+    DiskFaults,
+    FaultyFile,
+    faulty_open,
+)
 from repro.faults.inject import DegradedDevice, FaultyCommunicator, FaultyKernel
 from repro.faults.net import (
     NO_NET_FAULTS,
@@ -59,13 +73,18 @@ from repro.faults.serve import (
 )
 
 __all__ = [
+    "DISK_ERRNOS",
     "DegradedDevice",
     "DeviceQuarantined",
+    "DiskFaultPlan",
+    "DiskFaults",
     "FEEDBACK_BEHAVIOURS",
     "FaultPlan",
     "FaultyCommunicator",
+    "FaultyFile",
     "FaultyKernel",
     "FeedbackStorm",
+    "NO_DISK_FAULTS",
     "NO_FAULTS",
     "NO_NET_FAULTS",
     "NetChaos",
@@ -77,6 +96,7 @@ __all__ = [
     "WAL_CORRUPTIONS",
     "chaotic_partitioner",
     "corrupt_wal",
+    "faulty_open",
     "wrap_shard_client",
     "wrap_worker_link",
 ]

@@ -1,0 +1,497 @@
+"""Deterministic, seeded storage fault injection.
+
+The durability layer's journals (:mod:`repro.serve.journal`) promise to
+*degrade instead of die* when the disk goes bad -- ENOSPC mid-flood,
+an fsync that returns EIO, a controller that silently shortens writes.
+Testing that promise needs disks that fail on schedule, bit-identically
+across replays.  This module scripts them:
+
+* :class:`DiskFaults` -- the fault spec for one path pattern: error
+  rates on write and fsync, short writes, slow I/O, read-side
+  corruption, plus a scripted *death window* (``fail_after`` /
+  ``heal_after`` operation indices) for deterministic
+  kill-the-disk-then-heal-it chaos scripts;
+* :class:`DiskFaultPlan` -- per-path targeting (fnmatch patterns) plus
+  a seed; same plan, same operation sequence, same faults -- the
+  property the chaos suite's replays rely on;
+* :class:`FaultyFile` / :func:`faulty_open` -- the shim.  Every journal
+  accepts an ``opener`` argument (see
+  :class:`~repro.serve.journal.AppendJournal`); splicing
+  ``faulty_open(plan)`` in makes all of its file traffic flow through
+  the plan without the journal knowing faults exist.
+
+Injected failures are :class:`~repro.errors.DiskFaultError` -- an
+:class:`OSError` subclass, so the code under test cannot tell them from
+real disk trouble (it must not: that is the test).
+
+Operation indices count *mutating* file operations (write, fsync,
+truncate) per matched **pattern** -- the pattern models one device, so
+every file it matches shares one counter, across re-opens -- and "the
+WAL's disk dies at op 12 and heals at op 40" means the same thing no
+matter how many times the journal reopened its handle in between.
+Sharing the counter is what lets a durability probe (which writes a
+*sibling* file on the same device) observe the heal the journal itself
+cannot reach while it has stopped appending.  Random draws stay
+per-path, so each file's fault sequence is independently reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import errno as errno_module
+import json
+import math
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import DiskFaultError, FaultInjectionError
+
+PathLike = Union[str, Path]
+
+#: Symbolic error names a spec may inject, mapped to OS error numbers.
+DISK_ERRNOS: Dict[str, int] = {
+    "EIO": errno_module.EIO,
+    "ENOSPC": errno_module.ENOSPC,
+}
+
+
+@dataclass(frozen=True)
+class DiskFaults:
+    """Fault spec for one path pattern.
+
+    Attributes:
+        write_error_rate: probability that one ``write()`` raises.
+        fsync_error_rate: probability that one ``fsync()`` raises
+            (the fsyncgate case: data already handed to the kernel,
+            durability unconfirmed).
+        short_write_rate: probability that one ``write()`` persists only
+            a prefix of its payload before raising -- a torn record the
+            next replay must detect and drop.
+        read_corrupt_rate: probability that one ``read()`` returns
+            damaged bytes (a NUL replaces one position, which no
+            well-formed JSON-lines journal can contain -- corruption is
+            always *detectable*, as on a real checksummed store).
+        slow_ms: added latency per file operation, milliseconds.
+        fail_after: mutating-operation index at which the disk dies --
+            every write/fsync/truncate from that index on fails
+            deterministically (None = never).
+        heal_after: mutating-operation index at which *all* faults stop
+            firing, scripted and random alike (None = never heals).
+        error: which OS error injected failures carry (``"EIO"`` or
+            ``"ENOSPC"``).
+    """
+
+    write_error_rate: float = 0.0
+    fsync_error_rate: float = 0.0
+    short_write_rate: float = 0.0
+    read_corrupt_rate: float = 0.0
+    slow_ms: float = 0.0
+    fail_after: Optional[int] = None
+    heal_after: Optional[int] = None
+    error: str = "EIO"
+
+    def __post_init__(self) -> None:
+        for field in ("write_error_rate", "fsync_error_rate",
+                      "short_write_rate", "read_corrupt_rate"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0 or math.isnan(value):
+                raise FaultInjectionError(
+                    f"{field} must be a probability in [0, 1], got {value}"
+                )
+        if not self.slow_ms >= 0.0 or math.isinf(self.slow_ms):
+            raise FaultInjectionError(
+                f"slow_ms must be a finite non-negative delay, "
+                f"got {self.slow_ms}"
+            )
+        for field in ("fail_after", "heal_after"):
+            value = getattr(self, field)
+            if value is not None and value < 0:
+                raise FaultInjectionError(
+                    f"{field} must be non-negative, got {value}"
+                )
+        if (self.fail_after is not None and self.heal_after is not None
+                and self.heal_after <= self.fail_after):
+            raise FaultInjectionError(
+                f"heal_after ({self.heal_after}) must come after "
+                f"fail_after ({self.fail_after})"
+            )
+        if self.error not in DISK_ERRNOS:
+            raise FaultInjectionError(
+                f"error must be one of {sorted(DISK_ERRNOS)}, "
+                f"got {self.error!r}"
+            )
+
+    @property
+    def benign(self) -> bool:
+        """True when this spec injects nothing at all."""
+        return (
+            self.write_error_rate == 0.0
+            and self.fsync_error_rate == 0.0
+            and self.short_write_rate == 0.0
+            and self.read_corrupt_rate == 0.0
+            and self.slow_ms == 0.0
+            and self.fail_after is None
+        )
+
+    @property
+    def errno_code(self) -> int:
+        """The OS error number injected failures carry."""
+        return DISK_ERRNOS[self.error]
+
+
+#: The spec of a path the plan says nothing about.
+NO_DISK_FAULTS = DiskFaults()
+
+
+class DiskFaultPlan:
+    """A seeded schedule of storage faults, targeted by path pattern.
+
+    Args:
+        patterns: mapping from fnmatch pattern to :class:`DiskFaults`.
+            A pattern matches a path when it matches either the file
+            name (``"*.wal"``) or the full POSIX path
+            (``"*/shard0.plans*"``).  Patterns are tried in insertion
+            order; the first match wins.  Unmatched paths behave
+            normally.
+        seed: base seed for every randomised fault draw.
+    """
+
+    def __init__(
+        self,
+        patterns: Optional[Mapping[str, DiskFaults]] = None,
+        seed: int = 0,
+    ) -> None:
+        specs: Dict[str, DiskFaults] = {}
+        for pattern, spec in (patterns or {}).items():
+            if not isinstance(pattern, str) or not pattern:
+                raise FaultInjectionError(
+                    f"path pattern must be a non-empty string, "
+                    f"got {pattern!r}"
+                )
+            if not isinstance(spec, DiskFaults):
+                raise FaultInjectionError(
+                    f"pattern {pattern!r}: expected a DiskFaults spec, "
+                    f"got {type(spec).__name__}"
+                )
+            specs[pattern] = spec
+        self._specs = specs
+        self.seed = int(seed)
+
+    def match(self, path: PathLike) -> tuple:
+        """``(pattern, spec)`` of ``path``; ``(None, benign)`` when unmatched.
+
+        The winning pattern identifies the simulated *device*: every
+        path it matches shares one death-window operation counter.
+        """
+        import fnmatch
+
+        p = Path(path)
+        name, full = p.name, p.as_posix()
+        for pattern, spec in self._specs.items():
+            if fnmatch.fnmatch(name, pattern) or fnmatch.fnmatch(full, pattern):
+                return pattern, spec
+        return None, NO_DISK_FAULTS
+
+    def spec_for(self, path: PathLike) -> DiskFaults:
+        """The fault spec of ``path`` (benign default when unmatched)."""
+        return self.match(path)[1]
+
+    def rng(self, path: PathLike, *stream: int) -> np.random.Generator:
+        """A fresh deterministic generator for ``path``.
+
+        The substream is derived from the file *name* (stable across
+        scratch directories), so the same journal under the same plan
+        draws the same fault sequence on every replay.
+        """
+        token = zlib.crc32(Path(path).name.encode("utf-8"))
+        return np.random.default_rng([self.seed, token, *stream])
+
+    @property
+    def faulty_patterns(self) -> list:
+        """Patterns with a non-benign spec, in insertion order."""
+        return [p for p, s in self._specs.items() if not s.benign]
+
+    def opener(self, clock: Callable[[float], None] = time.sleep) -> Callable:
+        """An ``open``-compatible callable enforcing this plan.
+
+        Sugar for :func:`faulty_open`; pass the result as the
+        ``opener`` of any :class:`~repro.serve.journal.AppendJournal`.
+        """
+        return faulty_open(self, clock=clock)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation of the plan."""
+        return {
+            "seed": self.seed,
+            "patterns": {
+                pattern: dataclasses.asdict(spec)
+                for pattern, spec in self._specs.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DiskFaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(data, Mapping):
+            raise FaultInjectionError(
+                f"disk fault plan must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(DiskFaults)}
+        specs: Dict[str, DiskFaults] = {}
+        for pattern, fields in dict(data.get("patterns", {})).items():
+            if not isinstance(fields, Mapping):
+                raise FaultInjectionError(
+                    f"pattern {pattern!r}: spec must be an object, "
+                    f"got {type(fields).__name__}"
+                )
+            unknown = set(fields) - known
+            if unknown:
+                raise FaultInjectionError(
+                    f"pattern {pattern!r}: unknown fault fields "
+                    f"{sorted(unknown)}; known: {sorted(known)}"
+                )
+            try:
+                specs[str(pattern)] = DiskFaults(**fields)
+            except TypeError as exc:
+                raise FaultInjectionError(
+                    f"pattern {pattern!r}: {exc}"
+                ) from exc
+        try:
+            seed = int(data.get("seed", 0))
+        except (TypeError, ValueError):
+            raise FaultInjectionError(
+                f"disk fault plan seed must be an integer, "
+                f"got {data.get('seed')!r}"
+            ) from None
+        return cls(specs, seed=seed)
+
+    def save(self, path: PathLike) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "DiskFaultPlan":
+        """Read a plan back from a JSON file."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise FaultInjectionError(
+                f"cannot read disk fault plan {path}: {exc}"
+            ) from exc
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultInjectionError(
+                f"{path}: not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskFaultPlan(seed={self.seed}, "
+            f"faulty_patterns={self.faulty_patterns})"
+        )
+
+
+class _DeviceState:
+    """Shared fault state of one simulated device (one matched pattern).
+
+    Every file the pattern matches shares this instance across every
+    re-open, so the death window (``fail_after`` .. ``heal_after``)
+    counts real operations against the device, not per file or per
+    handle -- a probe file written next to a frozen journal advances
+    the same clock the journal's heal is waiting on.
+    """
+
+    def __init__(self, spec: DiskFaults) -> None:
+        self.spec = spec
+        self.mutations = 0  # write/fsync/truncate ops so far, all paths
+        self.faults_fired = 0
+        self.lock = threading.Lock()
+
+
+class FaultyFile:
+    """A file object that fails on the plan's schedule.
+
+    Wraps a real handle; write/fsync/truncate consult the spec's death
+    window and error rates, reads may return detectably corrupted
+    bytes, and every operation can be slowed.  Exposes the subset of
+    the file protocol the journals use (plus context management and
+    iteration), delegating anything else to the wrapped handle.
+    """
+
+    def __init__(
+        self,
+        handle: Any,
+        device: _DeviceState,
+        rng: np.random.Generator,
+        path: str,
+        clock: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._handle = handle
+        self._device = device
+        self._rng = rng
+        self._path = path
+        self._clock = clock
+
+    # -- fault machinery ---------------------------------------------------
+
+    def _healed(self, index: int) -> bool:
+        heal = self._device.spec.heal_after
+        return heal is not None and index >= heal
+
+    def _raise(self, op: str) -> None:
+        spec = self._device.spec
+        self._device.faults_fired += 1
+        raise DiskFaultError(
+            f"injected {spec.error} on {op} of {self._path}",
+            path=self._path, op=op, errno_code=spec.errno_code,
+        )
+
+    def _mutate(self, op: str, rate: float) -> bool:
+        """Count one mutating op against the device; raise per schedule.
+
+        Returns True when the op should *short-write* (the caller
+        persists a prefix first, then calls :meth:`_raise` itself).
+        """
+        spec = self._device.spec
+        with self._device.lock:
+            index = self._device.mutations
+            self._device.mutations += 1
+            short = scripted = fault = False
+            if not self._healed(index):
+                if spec.fail_after is not None and index >= spec.fail_after:
+                    scripted = True
+                elif op == "write" and spec.short_write_rate > 0.0 \
+                        and self._rng.random() < spec.short_write_rate:
+                    short = True
+                elif rate > 0.0 and self._rng.random() < rate:
+                    fault = True
+        if spec.slow_ms > 0.0:
+            self._clock(spec.slow_ms / 1000.0)
+        if scripted or fault:
+            self._raise(op)
+        return short
+
+    # -- the file protocol -------------------------------------------------
+
+    def write(self, data: Any) -> int:
+        """Write ``data``, possibly short-writing a prefix then raising."""
+        if self._mutate("write", self._device.spec.write_error_rate):
+            # Short write: a prefix reaches the disk, then the device
+            # gives up -- the torn-record case replay must detect.
+            cut = max(1, len(data) // 2) if len(data) else 0
+            self._handle.write(data[:cut])
+            self._handle.flush()
+            self._raise("write")
+        return self._handle.write(data)
+
+    def flush(self) -> None:
+        """Flush the userspace buffer (never injected -- fsync is)."""
+        self._handle.flush()
+
+    def fsync(self) -> None:
+        """The sync seam :meth:`AppendJournal._sync` prefers when present."""
+        import os
+
+        self._mutate("fsync", self._device.spec.fsync_error_rate)
+        os.fsync(self._handle.fileno())
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        """Truncate to ``size``; counts as a mutating op on the device."""
+        self._mutate("truncate", self._device.spec.write_error_rate)
+        return self._handle.truncate(size)
+
+    def read(self, *args: Any) -> Any:
+        """Read, optionally slowed and bit-flipped per the fault spec."""
+        spec = self._device.spec
+        if spec.slow_ms > 0.0:
+            self._clock(spec.slow_ms / 1000.0)
+        data = self._handle.read(*args)
+        if (
+            len(data) > 0
+            and spec.read_corrupt_rate > 0.0
+            and not self._healed(self._device.mutations)
+            and self._rng.random() < spec.read_corrupt_rate
+        ):
+            self._device.faults_fired += 1
+            pos = int(self._rng.integers(len(data)))
+            nul = b"\x00" if isinstance(data, bytes) else "\x00"
+            data = data[:pos] + nul + data[pos + 1:]
+        return data
+
+    def seek(self, *args: Any) -> int:
+        """Pass-through seek on the wrapped handle."""
+        return self._handle.seek(*args)
+
+    def tell(self) -> int:
+        """Pass-through tell on the wrapped handle."""
+        return self._handle.tell()
+
+    def fileno(self) -> int:
+        """Real file descriptor of the wrapped handle."""
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        """Close the wrapped handle (never injected)."""
+        self._handle.close()
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Any:
+        return iter(self._handle)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._handle, name)
+
+
+def faulty_open(
+    plan: DiskFaultPlan,
+    clock: Callable[[float], None] = time.sleep,
+) -> Callable:
+    """An ``open``-compatible callable enforcing ``plan``.
+
+    Pass as the ``opener`` of any journal.  Paths the plan does not
+    match get the real file back (zero overhead); matched paths get a
+    :class:`FaultyFile` sharing one death-window operation counter per
+    matched pattern (the simulated device) and one random substream
+    per path, both stable across every re-open.
+
+    Args:
+        plan: the fault schedule.
+        clock: sleeper used for ``slow_ms`` (injectable so tests can
+            count delays instead of paying them).
+    """
+    devices: Dict[str, _DeviceState] = {}
+    rngs: Dict[str, np.random.Generator] = {}
+
+    def opener(path: PathLike, mode: str = "r", **kwargs: Any) -> Any:
+        handle = open(path, mode, **kwargs)
+        pattern, spec = plan.match(path)
+        if pattern is None or spec.benign:
+            return handle
+        device = devices.get(pattern)
+        if device is None:
+            device = devices[pattern] = _DeviceState(spec)
+        key = str(path)
+        rng = rngs.get(key)
+        if rng is None:
+            rng = rngs[key] = plan.rng(path)
+        return FaultyFile(handle, device, rng, key, clock=clock)
+
+    opener.devices = devices  # introspection for tests and stats
+    return opener

@@ -10,8 +10,13 @@ state is always a durable prefix of the work done:
 * :meth:`load` reads the committed points back, tolerating a torn final
   line (the signature of dying mid-write) by ignoring it;
 * :meth:`compact` atomically rewrites the journal (write to a temporary
-  file in the same directory, then ``os.replace``), dropping duplicates
-  from overlapping resumed runs.
+  file in the same directory, then ``os.replace``, then fsync the
+  directory), dropping duplicates from overlapping resumed runs.
+
+The journalling discipline itself -- fsynced appends, torn-tail replay,
+the fsyncgate handle rule, the injectable ``opener`` fault seam --
+lives in the shared :class:`repro.serve.journal.AppendJournal` base,
+which this class rides together with the serving layer's WALs.
 
 An interrupted sweep resumed through
 :func:`repro.core.builder.build_resilient_models` skips every committed
@@ -22,33 +27,49 @@ from __future__ import annotations
 
 import json
 import os
-from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Tuple
 
 from repro.core.point import MeasurementPoint
 from repro.errors import FuPerModError, PersistenceError
-
-PathLike = Union[str, Path]
+from repro.serve.journal import (
+    AppendJournal,
+    JournalFormatError,
+    Opener,
+    PathLike,
+    fsync_dir,
+)
 
 _MAGIC = "fupermod-journal"
 _VERSION = 1
 
 
-class SweepCheckpoint:
+class SweepCheckpoint(AppendJournal):
     """Append-only journal of committed measurement points.
 
     Args:
         path: the journal file; created (with its parent directory) on the
             first commit.
+        fsync: fsync every committed point (the durability guarantee).
+        opener: ``open``-compatible callable used for every file access
+            (the storage fault seam; see :mod:`repro.faults.disk`).
     """
 
-    def __init__(self, path: PathLike) -> None:
-        self.path = Path(path)
+    magic = _MAGIC
+    version = _VERSION
+    record_name = "journal"
+    log_name = "journal"
+    # Open-per-commit: a sweep commits rarely (once per measured point),
+    # and a held handle would dangle across compact()'s os.replace and
+    # clear()'s unlink.
+    keep_handle = False
 
-    @property
-    def exists(self) -> bool:
-        """Whether a journal file is present on disk."""
-        return self.path.exists()
+    def __init__(
+        self,
+        path: PathLike,
+        fsync: bool = True,
+        opener: Optional[Opener] = None,
+    ) -> None:
+        super().__init__(path, fsync=fsync, opener=opener)
 
     def commit(self, rank: int, point: MeasurementPoint) -> None:
         """Durably append one measurement point.
@@ -58,24 +79,35 @@ class SweepCheckpoint:
         """
         if rank < 0:
             raise PersistenceError(f"rank must be non-negative, got {rank}")
-        record = {
-            "magic": _MAGIC,
-            "v": _VERSION,
-            "rank": rank,
-            "d": point.d,
-            "t": point.t,
-            "reps": point.reps,
-            "ci": point.ci,
-        }
-        line = json.dumps(record, sort_keys=True)
+        self._write_line(self._stamp(
+            rank=rank, d=point.d, t=point.t, reps=point.reps, ci=point.ci,
+        ))
+
+    def _validate(
+        self, record: dict, lineno: int
+    ) -> Tuple[int, MeasurementPoint]:
         try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(f"cannot journal to {self.path}: {exc}") from exc
+            point = MeasurementPoint(
+                d=int(record["d"]),
+                t=float(record["t"]),
+                reps=int(record["reps"]),
+                ci=float(record["ci"]),
+            )
+            rank = int(record["rank"])
+        except (KeyError, TypeError, ValueError, FuPerModError) as exc:
+            raise PersistenceError(
+                f"{self.path}:{lineno}: {exc}"
+            ) from exc
+        return rank, point
+
+    def _tail_forgivable(self, exc: PersistenceError) -> bool:
+        """A torn tail of our own is forgivable; a foreign record is not.
+
+        A complete final line of some other file format means the path
+        points at the wrong file, not at a crashed append -- refusing it
+        is the historical (and safer) behaviour.
+        """
+        return not isinstance(exc, JournalFormatError)
 
     def load(self) -> Dict[int, Dict[int, MeasurementPoint]]:
         """Committed points, as ``{rank: {size: point}}``.
@@ -85,42 +117,9 @@ class SweepCheckpoint:
         raises :class:`~repro.errors.PersistenceError`.  Duplicate
         ``(rank, size)`` entries keep the latest commit.
         """
-        if not self.path.exists():
-            return {}
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
+        entries, _valid_bytes, _dropped = self.replay_lines()
         out: Dict[int, Dict[int, MeasurementPoint]] = {}
-        lines = text.split("\n")
-        # A well-formed journal ends with a newline, so the final split
-        # element is empty; anything else is a torn tail.
-        body, tail = lines[:-1], lines[-1]
-        for lineno, line in enumerate(body, start=1):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-                if record.get("magic") != _MAGIC:
-                    raise PersistenceError(
-                        f"{self.path}:{lineno}: not a journal record"
-                    )
-                point = MeasurementPoint(
-                    d=int(record["d"]),
-                    t=float(record["t"]),
-                    reps=int(record["reps"]),
-                    ci=float(record["ci"]),
-                )
-                rank = int(record["rank"])
-            except PersistenceError:
-                raise
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
-                    FuPerModError) as exc:
-                if lineno == len(body) and not tail:
-                    # Torn final line: the crash interrupted this commit;
-                    # everything before it is intact.
-                    break
-                raise PersistenceError(f"{self.path}:{lineno}: {exc}") from exc
+        for rank, point in entries:
             out.setdefault(rank, {})[point.d] = point
         return out
 
@@ -129,25 +128,28 @@ class SweepCheckpoint:
         committed = self.load()
         if not committed:
             return
+        self._discard_handle()
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:
-            with open(tmp, "w", encoding="utf-8") as handle:
+            with self.opener(tmp, "w", encoding="utf-8") as handle:
                 for rank in sorted(committed):
                     for d in sorted(committed[rank]):
                         point = committed[rank][d]
-                        handle.write(json.dumps({
-                            "magic": _MAGIC, "v": _VERSION, "rank": rank,
-                            "d": point.d, "t": point.t, "reps": point.reps,
-                            "ci": point.ci,
-                        }, sort_keys=True) + "\n")
+                        handle.write(json.dumps(self._stamp(
+                            rank=rank, d=point.d, t=point.t,
+                            reps=point.reps, ci=point.ci,
+                        ), sort_keys=True) + "\n")
                 handle.flush()
-                os.fsync(handle.fileno())
+                self._sync(handle)
             os.replace(tmp, self.path)
         except OSError as exc:
             raise PersistenceError(f"cannot compact {self.path}: {exc}") from exc
+        # The rename is not durable until the directory itself is flushed.
+        fsync_dir(self.path.parent)
 
     def clear(self) -> None:
         """Delete the journal (start the sweep from scratch)."""
+        self._discard_handle()
         try:
             self.path.unlink()
         except FileNotFoundError:

@@ -39,6 +39,7 @@ from typing import Union
 from repro.errors import PersistenceError
 from repro.serve.cache import PlanCache
 from repro.serve.fingerprint import FINGERPRINT_VERSION
+from repro.serve.journal import fsync_dir
 
 _FORMAT = "fupermod-plan-cache"
 _VERSION = 1
@@ -50,7 +51,9 @@ def save_plan_cache(path: PathLike, cache: PlanCache) -> int:
     """Atomically write the cache's live entries to ``path``; returns the count.
 
     The document lands via temp-file + ``os.replace`` (the
-    ``SweepCheckpoint.compact`` idiom), fsynced before the rename, so a
+    ``SweepCheckpoint.compact`` idiom), fsynced before the rename and
+    with the parent directory fsynced after it (so the rename itself
+    survives a power cut), so a
     crash mid-save leaves either the old snapshot or the new one --
     never a torn file.  The payload is captured in one locked call
     (:meth:`PlanCache.to_payload`), so saving while serving threads
@@ -71,6 +74,7 @@ def save_plan_cache(path: PathLike, cache: PlanCache) -> int:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, target)
+        fsync_dir(target.parent)
     except OSError as exc:
         raise PersistenceError(f"cannot save plan cache to {path}: {exc}") from exc
     return len(payload)

@@ -340,6 +340,11 @@ def try_fast_plan(
     if hit is None:
         return None
     out = hit.to_dict()
+    # Fast-lane acks carry the same durability honesty as the slow
+    # path: a hit served while the cache is memory-only may not
+    # survive this node's crash.
+    if server.ack_durable() is False:
+        out["durable"] = False
     if payload.get("id") is not None:
         out["id"] = payload["id"]
     return out
@@ -428,7 +433,11 @@ class AioFrontend(AsyncHTTPBase):
             if norm == "/metrics":
                 return 200, {"metrics": self.server.metrics()}, None
             if norm == "/health":
-                return 200, {"ok": True}, None
+                health: Dict[str, Any] = {"ok": True}
+                durable = self.server.ack_durable()
+                if durable is not None:
+                    health["durable"] = durable
+                return 200, health, None
             extra = self._route_extra("GET", path, None)
             if extra is not None:
                 return extra[0], extra[1], None

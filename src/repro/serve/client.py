@@ -124,6 +124,9 @@ class PlanClient:
         self.rng = rng if rng is not None else np.random.default_rng()
         self.sleep = sleep
         self.retries = 0
+        # Plans acked with "durable": false -- served correctly, but the
+        # server's journal could not persist them (degradation ladder).
+        self.non_durable_acks = 0
 
     def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
         """The sleep before retry ``attempt`` (0-based)."""
@@ -174,6 +177,12 @@ class PlanClient:
         naming the field before any bytes hit the wire, so a typo'd sweep
         script fails in microseconds instead of burning a server round
         trip per point.
+
+        Durability: the returned result's ``durable`` attribute is
+        ``False`` when the serving shard's cache is running memory-only
+        (its disk failure budget is exhausted) -- the plan is correct
+        but may not survive a crash of that shard.  Such acks are
+        tallied in :attr:`non_durable_acks`.
         """
         if alpha is not None:
             a = float(alpha)
@@ -216,7 +225,10 @@ class PlanClient:
             payload["energy_cap"] = float(energy_cap)
         if npoints is not None:
             payload["npoints"] = npoints
-        return PlanResult.from_dict(self.call(payload))
+        result = PlanResult.from_dict(self.call(payload))
+        if not result.durable:
+            self.non_durable_acks += 1
+        return result
 
     def feedback(
         self,

@@ -125,6 +125,16 @@ class PlanFleet:
         replicas: plan replica-set size including the home shard
             (passed to every worker as ``--replicas``; 1 disables
             replication -- the pre-replication fleet).
+        durability_budget: consecutive journal-append failures each
+            worker tolerates before its durable cache trips to
+            memory-only mode (forwarded as ``--durability-budget``);
+            ``None`` forwards ``--no-durability-degrade`` so disk
+            errors surface as request failures, the historical
+            behaviour.
+        disk_fault_plan: path to a serialized
+            :class:`~repro.faults.disk.DiskFaultPlan` spliced into every
+            worker's journals (forwarded as ``--disk-fault-plan``); the
+            chaos suite's storage-failure seam.
 
     Use as a context manager, or call :meth:`stop`.
     """
@@ -146,6 +156,8 @@ class PlanFleet:
         startup_timeout: float = 30.0,
         worker_args: Optional[Sequence[str]] = None,
         replicas: int = 2,
+        durability_budget: Optional[int] = 3,
+        disk_fault_plan: Optional[PathLike] = None,
     ) -> None:
         if workers <= 0:
             raise FuPerModError(f"a fleet needs at least one worker, got {workers}")
@@ -176,6 +188,14 @@ class PlanFleet:
                 f"replica set size must be positive, got {replicas}"
             )
         self.replicas = replicas
+        if durability_budget is not None and durability_budget <= 0:
+            raise FuPerModError(
+                f"durability budget must be positive, got {durability_budget}"
+            )
+        self.durability_budget = durability_budget
+        self.disk_fault_plan = (
+            Path(disk_fault_plan) if disk_fault_plan is not None else None
+        )
         self.router = PlanRouter(
             {sid: "http://127.0.0.1:0" for sid in self.shards},
             routing=routing, host=host, port=port,
@@ -200,6 +220,12 @@ class PlanFleet:
         if shard.slowdown_ms > 0.0:
             cmd += ["--slowdown", str(shard.slowdown_ms)]
         cmd += ["--replicas", str(self.replicas)]
+        if self.durability_budget is None:
+            cmd += ["--no-durability-degrade"]
+        else:
+            cmd += ["--durability-budget", str(self.durability_budget)]
+        if self.disk_fault_plan is not None:
+            cmd += ["--disk-fault-plan", str(self.disk_fault_plan)]
         cmd += self.worker_args
         return cmd
 

@@ -13,11 +13,16 @@ Both front ends speak the same tiny protocol over a
 * a **stats** request (``{"cmd": "stats"}`` on stdio, ``GET /stats`` over
   HTTP) returns the consolidated counter snapshot;
 * a **metrics** request (``{"cmd": "metrics"}``, ``GET /metrics``) returns
-  the same counters under the versioned ``fupermod-metrics/3`` schema
+  the same counters under the versioned ``fupermod-metrics/4`` schema
   (cache hits/misses, coalesced, shed, per-fingerprint breaker state,
   served plans by kind under ``plans_by_kind``, feedback counters when
-  closed-loop refinement is attached, and a ``replication`` section when
-  the worker runs with a replica set);
+  closed-loop refinement is attached, a ``replication`` section when
+  the worker runs with a replica set, and a ``durability`` section --
+  mode, trips, heals, append errors -- when the cache is durable);
+* a **plan** response answered while the durability layer is degraded
+  to memory-only mode carries ``"durable": false`` (omitted otherwise):
+  the plan is correct but may not survive the serving node's crash
+  until the disk heals and the cache re-syncs;
 * a **feedback** request (``{"cmd": "feedback"}`` on stdio,
   ``POST /feedback`` over HTTP) reports actual per-rank timings into the
   closed-loop refinement path (:mod:`repro.serve.feedback`); servers
@@ -233,6 +238,13 @@ def handle_request(server: PlanServer, payload: Dict[str, Any]) -> Dict[str, Any
                 deadline=deadline, kind=kind, objective=objective,
             )
             out = result.to_dict()
+            # The durability degradation ladder: a plan acknowledged
+            # while the durable cache is memory-only is correct but may
+            # not survive this node's crash -- the ack says so.  The
+            # flag lands on the response copy only; cached and
+            # journaled results never carry it.
+            if server.ack_durable() is False:
+                out["durable"] = False
         elif cmd == "feedback":
             if server.feedback is None:
                 raise FuPerModError(

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.core.point import MeasurementPoint
 from repro.errors import PersistenceError
 from repro.serve.fingerprint import FINGERPRINT_VERSION, fingerprint_models
+from repro.serve.journal import AppendJournal, Opener
 
 PathLike = Union[str, Path]
 
@@ -122,44 +123,24 @@ class LineageCandidate:
     points_per_rank: Tuple[Tuple[MeasurementPoint, ...], ...]
 
 
-class LineageWAL:
+class LineageWAL(AppendJournal):
     """Append-only, fsynced journal of lineage epochs.
 
-    The same journalling discipline as :class:`~repro.serve.wal.PlanWAL`:
-    one JSON line per record, fsync before the caller proceeds, torn
-    final line tolerated on replay, interior corruption refused.  Kept
-    separate because the record vocabulary differs (epochs and point
-    sets, not cache operations) and because the two journals fail
-    independently -- a corrupt plan WAL must not take the lineage down
-    with it, nor vice versa.
+    The same journalling discipline as :class:`~repro.serve.wal.PlanWAL`
+    -- both ride the shared :class:`~repro.serve.journal.AppendJournal`
+    base (append path, torn-tail replay, injectable ``opener`` fault
+    seam).  Kept a separate journal because the record vocabulary
+    differs (epochs and point sets, not cache operations) and because
+    the two journals fail independently -- a corrupt plan WAL must not
+    take the lineage down with it, nor vice versa.
     """
 
-    def __init__(self, path: PathLike, fsync: bool = True) -> None:
-        self.path = Path(path)
-        self.fsync = fsync
-        self._handle = None
-        self.records = 0
-
-    @property
-    def exists(self) -> bool:
-        """Whether a journal file is present on disk."""
-        return self.path.exists()
-
-    def _write_line(self, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True)
-        try:
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot journal to {self.path}: {exc}"
-            ) from exc
-        self.records += 1
+    magic = _MAGIC
+    version = _VERSION
+    record_name = "lineage-WAL"
+    log_name = "lineage-WAL"
+    op_name = "lineage"
+    ops = _OPS
 
     def append_epoch(
         self,
@@ -201,54 +182,12 @@ class LineageWAL:
         under a different fingerprint version are omitted (their
         fingerprints cannot be compared under the current encoding).
         """
-        if not self.path.exists():
-            return [], 0, False
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
-        ops: List[Dict[str, Any]] = []
-        valid_bytes = 0
-        dropped = False
-        lines = text.split("\n")
-        body, tail = lines[:-1], lines[-1]
-        if tail:
-            dropped = True
-        for lineno, line in enumerate(body, start=1):
-            if not line.strip():
-                valid_bytes += len(line.encode("utf-8")) + 1
-                continue
-            try:
-                record = self._parse(line, lineno)
-            except PersistenceError:
-                if lineno == len(body) and not tail:
-                    dropped = True
-                    break
-                raise
-            if record is not None:
-                ops.append(record)
-            valid_bytes += len(line.encode("utf-8")) + 1
+        entries, valid_bytes, dropped = self.replay_lines()
+        ops = [entry for entry in entries if entry is not None]
         return ops, valid_bytes, dropped
 
-    def _parse(self, line: str, lineno: int) -> Optional[Dict[str, Any]]:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise PersistenceError(f"{self.path}:{lineno}: {exc}") from None
-        if not isinstance(record, dict) or record.get("magic") != _MAGIC:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: not a lineage-WAL record"
-            )
-        if record.get("v") != _VERSION:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: unsupported lineage-WAL version "
-                f"{record.get('v')!r}"
-            )
-        op = record.get("op")
-        if op not in _OPS:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: unknown lineage operation {op!r}"
-            )
+    def _validate(self, record: Dict[str, Any], lineno: int) -> Optional[Dict[str, Any]]:
+        op = self._check_op(record, lineno)
         if op == "epoch":
             try:
                 int(record["epoch"])
@@ -263,33 +202,6 @@ class LineageWAL:
             return None
         return record
 
-    def truncate(self, valid_bytes: int) -> None:
-        """Cut the journal back to its well-formed prefix."""
-        if not self.path.exists():
-            return
-        self._close_handle()
-        try:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(valid_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot truncate {self.path}: {exc}"
-            ) from exc
-
-    def _close_handle(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    def close(self) -> None:
-        """Close the append handle (the journal file stays on disk)."""
-        self._close_handle()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"LineageWAL({str(self.path)!r}, records={self.records})"
-
 
 class ModelLineage:
     """The versioned model set a closed-loop server plans against.
@@ -301,6 +213,9 @@ class ModelLineage:
         wal_path: optional journal path; without it the lineage is
             memory-only (commits still work, crashes lose them).
         fsync: fsync every journal append.
+        opener: ``open``-compatible callable for every journal file
+            access (the storage fault seam; see
+            :mod:`repro.faults.disk`).
 
     Thread safety: :attr:`models`, :attr:`fingerprint` and :attr:`epoch`
     are swapped together under an internal lock by :meth:`commit`;
@@ -314,6 +229,7 @@ class ModelLineage:
         models: Sequence,
         wal_path: Optional[PathLike] = None,
         fsync: bool = True,
+        opener: Optional[Opener] = None,
     ) -> None:
         if not models:
             raise ValueError("a model lineage needs at least one model")
@@ -324,7 +240,8 @@ class ModelLineage:
         self.rollbacks: int = 0
         self.history: List[LineageRecord] = []
         self.wal: Optional[LineageWAL] = (
-            LineageWAL(wal_path, fsync=fsync) if wal_path is not None else None
+            LineageWAL(wal_path, fsync=fsync, opener=opener)
+            if wal_path is not None else None
         )
         self._lock = threading.Lock()
         self._replaying = False

@@ -139,6 +139,12 @@ class PlanResult:
             pareto plan, the point selected by the request's objective.
         front: the full dominance-filtered front for ``"pareto"`` plans
             (empty for ``"time"`` plans).
+        durable: False when the serving node acknowledged this plan
+            while its durability layer was degraded to memory-only mode
+            (the plan is correct but may not survive that node's crash);
+            True everywhere else, including servers with no durable
+            cache at all.  Serialisation emits the flag only when False,
+            so historical payload layouts are byte-identical.
     """
 
     key: str
@@ -152,6 +158,7 @@ class PlanResult:
     degraded: str = ""
     compute_seconds: float = 0.0
     kind: str = "time"
+    durable: bool = True
     front: Tuple[ParetoPoint, ...] = ()
 
     def pareto_front(self) -> ParetoFront:
@@ -190,6 +197,10 @@ class PlanResult:
         }
         if self.cert is not None:
             out["cert"] = self.cert.to_dict()
+        if not self.durable:
+            # Emitted only when degraded: durable acks keep the
+            # historical byte layout.
+            out["durable"] = False
         if self.kind != "time":
             # Time plans keep their historical byte layout (bit parity
             # through relays, WALs and replicas written before kinds
@@ -254,6 +265,7 @@ class PlanResult:
                 degraded=str(data.get("degraded", "")),
                 compute_seconds=float(data.get("compute_seconds", 0.0)),
                 kind=kind,
+                durable=bool(data.get("durable", True)),
                 front=front,
             )
         except (KeyError, TypeError, ValueError) as exc:

@@ -45,6 +45,7 @@ from repro.errors import FuPerModError, PersistenceError
 from repro.serve.cache import PlanCache
 from repro.serve.fingerprint import FINGERPRINT_VERSION, affinity_key, digest
 from repro.serve.hashring import HashRing
+from repro.serve.journal import AppendJournal, Opener
 from repro.serve.plan import PlanRequest, PlanResult
 from repro.serve.shard import ShardClient
 
@@ -67,13 +68,15 @@ def entry_fingerprint(key: str, result: PlanResult) -> str:
     return digest("plan-entry", key, result.to_dict())
 
 
-class HintLog:
+class HintLog(AppendJournal):
     """Durable journal of undelivered replica pushes (hinted handoff).
 
-    Same discipline as :class:`~repro.serve.wal.PlanWAL`: append-only
-    fsynced JSON lines, a torn final record (SIGKILL mid-append) is
-    dropped and truncated away, interior corruption raises
-    :class:`~repro.errors.PersistenceError`.  Two record types:
+    Same discipline as :class:`~repro.serve.wal.PlanWAL` -- both ride
+    the shared :class:`~repro.serve.journal.AppendJournal` base
+    (append-only fsynced JSON lines, a torn final record dropped and
+    truncated away, interior corruption raising
+    :class:`~repro.errors.PersistenceError`, an injectable ``opener``
+    fault seam).  Two record types:
 
     * ``hint`` -- one undelivered push: the target shard and the full
       entry payload, under a monotonically increasing sequence number;
@@ -84,29 +87,14 @@ class HintLog:
     healthy fleet's hint logs stay at zero bytes.
     """
 
-    def __init__(self, path: PathLike, fsync: bool = True) -> None:
-        self.path = Path(path)
-        self.fsync = fsync
-        self._handle = None
-        self.records = 0
+    magic = _HINT_MAGIC
+    version = _HINT_VERSION
+    record_name = "hint-log"
+    log_name = "hint-log"
+    op_name = "hint"
+    ops = ("hint", "ack")
 
     # -- appending ---------------------------------------------------------
-
-    def _write_line(self, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True)
-        try:
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot journal to {self.path}: {exc}"
-            ) from exc
-        self.records += 1
 
     def append_hint(
         self, seq: int, target: str, entry: Dict[str, Any]
@@ -143,61 +131,24 @@ class HintLog:
         (their keys cannot match current requests); interior corruption
         raises :class:`~repro.errors.PersistenceError`.
         """
-        if not self.path.exists():
-            return [], 0, False
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
+        entries, valid_bytes, dropped = self.replay_lines()
         hints: Dict[int, Dict[str, Any]] = {}
-        records = 0
-        valid_bytes = 0
-        dropped = False
-        lines = text.split("\n")
-        body, tail = lines[:-1], lines[-1]
-        if tail:
-            dropped = True
-        for lineno, line in enumerate(body, start=1):
-            if not line.strip():
-                valid_bytes += len(line.encode("utf-8")) + 1
+        # Every well-formed line counts as a record (foreign-fingerprint
+        # hints included -- they occupy journal space until a reset),
+        # but only current-fingerprint hints are eligible for delivery.
+        self.records = len(entries)
+        for record in entries:
+            if record is None:
                 continue
-            try:
-                record = self._parse(line, lineno)
-            except PersistenceError:
-                if lineno == len(body) and not tail:
-                    dropped = True
-                    break
-                raise
-            records += 1
-            if record is not None:
-                seq = int(record["seq"])
-                if record["op"] == "hint":
-                    hints[seq] = record
-                else:
-                    hints.pop(seq, None)
-            valid_bytes += len(line.encode("utf-8")) + 1
-        self.records = records
+            seq = int(record["seq"])
+            if record["op"] == "hint":
+                hints[seq] = record
+            else:
+                hints.pop(seq, None)
         return [hints[seq] for seq in sorted(hints)], valid_bytes, dropped
 
-    def _parse(self, line: str, lineno: int) -> Optional[Dict[str, Any]]:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise PersistenceError(f"{self.path}:{lineno}: {exc}") from None
-        if not isinstance(record, dict) or record.get("magic") != _HINT_MAGIC:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: not a hint-log record"
-            )
-        if record.get("v") != _HINT_VERSION:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: unsupported hint-log version "
-                f"{record.get('v')!r}"
-            )
-        op = record.get("op")
-        if op not in ("hint", "ack"):
-            raise PersistenceError(
-                f"{self.path}:{lineno}: unknown hint operation {op!r}"
-            )
+    def _validate(self, record: Dict[str, Any], lineno: int) -> Optional[Dict[str, Any]]:
+        op = self._check_op(record, lineno)
         try:
             int(record["seq"])
             if op == "hint":
@@ -212,46 +163,6 @@ class HintLog:
         if record.get("fp") != FINGERPRINT_VERSION:
             return None
         return record
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def truncate(self, valid_bytes: int) -> None:
-        """Cut the journal back to its well-formed prefix."""
-        if not self.path.exists():
-            return
-        self._close_handle()
-        try:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(valid_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot truncate {self.path}: {exc}"
-            ) from exc
-
-    def reset(self) -> None:
-        """Empty the journal (every hint delivered or abandoned)."""
-        self._close_handle()
-        try:
-            with open(self.path, "w", encoding="utf-8") as handle:
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(f"cannot reset {self.path}: {exc}") from exc
-        self.records = 0
-
-    def _close_handle(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    def close(self) -> None:
-        """Close the append handle (the journal file stays on disk)."""
-        self._close_handle()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"HintLog({str(self.path)!r}, records={self.records})"
 
 
 class PlanReplicator:
@@ -295,6 +206,7 @@ class PlanReplicator:
             Callable[[str, str, float], ShardClient]
         ] = None,
         epoch_source: Optional[Callable[[], Tuple[int, str]]] = None,
+        opener: Optional[Opener] = None,
     ) -> None:
         if replicas <= 0:
             raise FuPerModError(
@@ -311,7 +223,8 @@ class PlanReplicator:
             lambda url, sid, tmo: ShardClient(url, sid, timeout=tmo)
         )
         self.hint_log: Optional[HintLog] = (
-            HintLog(hint_path) if hint_path is not None else None
+            HintLog(hint_path, opener=opener)
+            if hint_path is not None else None
         )
         self._clients: Dict[str, ShardClient] = {}
         self._ring = HashRing()

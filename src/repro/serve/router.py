@@ -26,6 +26,16 @@ worker's response, which makes plans served through the fleet
 bit-identical to plans served by the worker directly (the parity tests
 assert this).  Shard failures mark the shard dead and reroute; the
 supervisor revives it after a restart.
+
+The router also tracks each shard's **durability mode**: the health
+probe loop polls live workers' ``GET /health`` and remembers which ones
+report ``"durable": false`` (their :class:`~repro.serve.wal.DurablePlanCache`
+tripped to memory-only after exhausting its disk failure budget).
+Memory-only shards stay fully routable -- they serve correct plans from
+memory -- but candidate ordering deprioritizes them so new cold solves
+land on shards whose disks can actually keep the result.  Fleet
+``/metrics`` (schema ``fupermod-fleet-metrics/4``) aggregates the
+per-shard ``durability`` sections plus the router's own view.
 """
 
 from __future__ import annotations
@@ -489,6 +499,10 @@ class PlanRouter(AsyncHTTPBase):
         self._worker_timeout = worker_timeout
         self._links: Dict[str, WorkerLink] = {}
         self._dead: set = set()
+        # Shards whose durability layer reported memory-only mode: still
+        # routable (they serve correctly from memory) but deprioritized,
+        # so new plans land on disks that can actually keep them.
+        self._memory_only: set = set()
         self._state_lock = threading.Lock()
         self._started_at = time.monotonic()
         self.retry_budget = RetryBudget(rate=retry_rate, burst=retry_burst)
@@ -512,6 +526,7 @@ class PlanRouter(AsyncHTTPBase):
             "deadline_rejected": 0,
             "health_probes": 0,
             "probe_revivals": 0,
+            "durability_probes": 0,
         }
 
     # -- membership (supervisor-facing, thread-safe) -----------------------
@@ -545,6 +560,27 @@ class PlanRouter(AsyncHTTPBase):
         with self._state_lock:
             return [s for s in self.ring.shards if s not in self._dead]
 
+    def note_durability(self, shard_id: str, durable: bool) -> None:
+        """Record a shard's reported durability mode.
+
+        Fed by the health-probe loop (every live shard's ``GET /health``
+        now reports ``durable``) and available to supervisors and tests
+        directly.  A memory-only shard keeps serving -- cache hits are
+        as correct as ever -- but :meth:`_candidates` deprioritizes it,
+        so plans that have yet to be computed prefer shards whose acks
+        actually mean durable.
+        """
+        with self._state_lock:
+            if durable:
+                self._memory_only.discard(shard_id)
+            else:
+                self._memory_only.add(shard_id)
+
+    def memory_only(self) -> List[str]:
+        """Shards currently known to be serving memory-only."""
+        with self._state_lock:
+            return sorted(self._memory_only)
+
     def _link(self, shard_id: str) -> WorkerLink:
         with self._state_lock:
             link = self._links.get(shard_id)
@@ -569,6 +605,16 @@ class PlanRouter(AsyncHTTPBase):
         ``force_affinity`` ignores the payload's ``affinity`` flag --
         feedback must reach the shard that owns the plan's cache entries
         and models, so it is never load-balanced.
+
+        Durability-aware ordering: shards reporting memory-only mode
+        (see :meth:`note_durability`) are deprioritized.  On the
+        affinity path only the replica group -- the first
+        ``read_replicas`` candidates, which all hold copies of a cached
+        plan -- is stably reordered durable-first, so cache hits are
+        still served by the replica set while cold solves prefer a
+        member whose disk works; the failover tail keeps ring order.
+        Balanced requests (no data affinity, any shard computes) are
+        stably reordered durable-first outright.
         """
         live = set(self.alive())
         affinity = force_affinity or bool(payload.get("affinity", True))
@@ -581,13 +627,25 @@ class PlanRouter(AsyncHTTPBase):
                 )
             except (TypeError, ValueError, FuPerModError):
                 # Malformed request: any shard will produce the 400.
-                return sorted(live), True
+                return self._durable_first(sorted(live)), True
             order = [s for s in self.ring.preference(key) if s in live]
-            return order, True
+            head = self._durable_first(order[:self.read_replicas])
+            return head + order[self.read_replicas:], True
         pick = self.balancer.next()
         if pick is None or pick not in live:
-            return sorted(live), False
-        return [pick] + sorted(live - {pick}), False
+            return self._durable_first(sorted(live)), False
+        return self._durable_first([pick] + sorted(live - {pick})), False
+
+    def _durable_first(self, order: List[str]) -> List[str]:
+        """Stable partition: durable shards first, memory-only after."""
+        with self._state_lock:
+            degraded = set(self._memory_only)
+        if not degraded:
+            return order
+        return (
+            [s for s in order if s not in degraded]
+            + [s for s in order if s in degraded]
+        )
 
     async def _route_plan(
         self,
@@ -690,10 +748,12 @@ class PlanRouter(AsyncHTTPBase):
     def _fleet_summary(self) -> Dict[str, Any]:
         with self._state_lock:
             dead = sorted(self._dead)
+            memory_only = sorted(self._memory_only)
         return {
             "routing": self.routing,
             "shards": list(self.ring.shards),
             "dead": dead,
+            "memory_only": memory_only,
             "counters": dict(self.counters),
             "balancer": self.balancer.to_dict(),
         }
@@ -737,12 +797,50 @@ class PlanRouter(AsyncHTTPBase):
             },
         }
 
+    def _durability_summary(
+        self, per_shard: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """The fleet-wide ``durability`` metrics section.
+
+        Sums the numeric fields of every reachable shard's own
+        ``durability`` section (journal append errors, trips, heals,
+        consecutive failures) and reports the degradation ladder's
+        fleet view: which shards the router currently believes are
+        serving from memory only, and a by-mode shard count.
+        """
+        totals: Dict[str, float] = {}
+        modes: Dict[str, int] = {}
+        reporting = 0
+        for info in per_shard.values():
+            section = info.get("durability") if isinstance(info, dict) else None
+            if not isinstance(section, dict):
+                continue
+            reporting += 1
+            mode = section.get("mode")
+            if isinstance(mode, str):
+                modes[mode] = modes.get(mode, 0) + 1
+            for name, value in section.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        return {
+            "shards_reporting": reporting,
+            "modes": modes,
+            "memory_only": self.memory_only(),
+            "workers": totals,
+            "router": {
+                "durability_probes": self.counters["durability_probes"],
+            },
+        }
+
     @staticmethod
     def _plans_by_kind_summary(per_shard: Mapping[str, Any]) -> Dict[str, int]:
         """Fleet-wide served-plans-by-kind tally.
 
         Sums each reachable shard's ``plans_by_kind`` counters (schema
-        ``fupermod-metrics/3``); shards that predate the section, or were
+        ``fupermod-metrics/4``); shards that predate the section, or were
         unreachable, simply contribute nothing -- the same tolerant
         summing as :meth:`_replication_summary`.
         """
@@ -770,6 +868,7 @@ class PlanRouter(AsyncHTTPBase):
         interval = self.health_probe_interval
         while True:
             await asyncio.sleep(interval)
+            await self._poll_durability()
             with self._state_lock:
                 dead = sorted(self._dead)
             now = time.monotonic()
@@ -793,6 +892,34 @@ class PlanRouter(AsyncHTTPBase):
                 else:
                     with self._state_lock:
                         self._probe_cooldown[sid] = time.monotonic()
+
+    async def _poll_durability(self) -> None:
+        """One ``GET /health`` round over live shards: learn durability.
+
+        Workers report ``durable`` in their health payload (absent on
+        shards with no durable cache).  A shard that trips to
+        memory-only mode mid-flood is deprioritized within one probe
+        interval; one that heals is restored just as fast.  Probe
+        failures change nothing here -- the request path's own error
+        handling owns marking shards dead.
+        """
+        for sid in self.alive():
+            self.counters["durability_probes"] += 1
+            try:
+                status, _headers, data = await self._link(sid).request(
+                    "GET", "/health",
+                    timeout=min(2.0, self.health_probe_interval * 2),
+                )
+                health = json.loads(data.decode("utf-8"))
+                if status != 200 or not isinstance(health, dict):
+                    continue
+            except Exception:
+                continue
+            durable = health.get("durable")
+            if isinstance(durable, bool):
+                self.note_durability(sid, durable)
+            else:
+                self.note_durability(sid, True)
 
     async def _handle_one(
         self, method: str, path: str, body: bytes,
@@ -827,7 +954,10 @@ class PlanRouter(AsyncHTTPBase):
                 out["fleet"]["plans_by_kind"] = (
                     self._plans_by_kind_summary(per_shard)
                 )
-                out["schema"] = "fupermod-fleet-metrics/3"
+                out["fleet"]["durability"] = (
+                    self._durability_summary(per_shard)
+                )
+                out["schema"] = "fupermod-fleet-metrics/4"
                 out["uptime_s"] = time.monotonic() - self._started_at
                 return 200, {"metrics": out}, None
             return 200, {"stats": out}, None

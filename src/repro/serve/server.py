@@ -327,6 +327,20 @@ class PlanServer:
         with self._lock:
             return len(self._inflight)
 
+    def ack_durable(self) -> Optional[bool]:
+        """Whether acks issued now may claim durability.
+
+        ``None`` when the cache makes no durability promise at all (a
+        plain in-memory :class:`~repro.serve.cache.PlanCache`): the
+        front ends omit the ``durable`` flag entirely.  ``False`` while
+        a durable cache is degraded (memory-only mode, or inside the
+        pre-trip failure window); ``True`` otherwise.
+        """
+        probe = getattr(self.engine.cache, "ack_durable", None)
+        if not callable(probe):
+            return None
+        return bool(probe())
+
     def stats(self) -> Dict[str, Any]:
         """Consolidated snapshot: cache + serving + breaker counters."""
         out: Dict[str, Any] = {
@@ -355,7 +369,7 @@ class PlanServer:
         read one stable shape (documented in ``docs/API.md``).
         """
         out = self.stats()
-        out["schema"] = "fupermod-metrics/3"
+        out["schema"] = "fupermod-metrics/4"
         out["uptime_s"] = time.monotonic() - self._started_at
         with self._lock:
             out["plans_by_kind"] = dict(self._plans_by_kind)

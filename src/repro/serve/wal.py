@@ -24,6 +24,20 @@ Journal records carry the fingerprint version: a log written under a
 different :data:`~repro.serve.fingerprint.FINGERPRINT_VERSION` replays
 as empty (mirroring the snapshot contract), because its keys can never
 match -- and could falsely match -- requests under the current encoding.
+
+**Durability degradation.**  A dead disk must not take the serving path
+down with it: with a ``durability_budget`` configured, journal-append
+failures are absorbed instead of raised.  Every failed append still
+lands the mutation in memory (the request succeeds, acknowledged
+``durable: false``), and once ``durability_budget`` *consecutive*
+appends have failed the cache trips to **memory-only mode** -- appends
+stop entirely, a background probe re-tests the disk every
+``probe_interval`` seconds, and on the first successful probe the cache
+re-syncs: fresh snapshot, ``os.replace``, journal reset on a brand-new
+handle.  The fsyncgate rule is load-bearing here -- a handle that saw a
+failed write or fsync is never trusted again (the base journal discards
+it at failure time), so healing always starts from a reopened file and
+a full re-sync rather than an append to a wounded log.
 """
 
 from __future__ import annotations
@@ -33,11 +47,12 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import PersistenceError
 from repro.serve.cache import PlanCache, check_spec_kind
 from repro.serve.fingerprint import FINGERPRINT_VERSION
+from repro.serve.journal import AppendJournal, Opener
 from repro.serve.plan import PlanResult
 
 PathLike = Union[str, Path]
@@ -69,14 +84,13 @@ class ReplayResult:
     dropped_tail: bool
 
 
-class PlanWAL:
+class PlanWAL(AppendJournal):
     """Append-only, fsynced journal of plan-cache operations.
 
-    Args:
-        path: the journal file; created (with its parent directory) on
-            the first append.
-        fsync: fsync every appended record (the durability guarantee;
-            disable only in benchmarks that measure the no-sync floor).
+    One :class:`~repro.serve.journal.AppendJournal` specialised to the
+    cache-operation vocabulary (``put`` / ``invalidate`` / ``clear``);
+    the append path, torn-tail replay loop and lifecycle live in the
+    base, along with the injectable ``opener`` fault seam.
 
     The journal keeps its file handle open across appends; call
     :meth:`close` (or use :class:`DurablePlanCache` as a context
@@ -85,45 +99,17 @@ class PlanWAL:
     journal order always matches apply order.
     """
 
-    def __init__(self, path: PathLike, fsync: bool = True) -> None:
-        self.path = Path(path)
-        self.fsync = fsync
-        self._handle = None
-        #: Records appended (or replayed) since the last reset; the
-        #: compaction threshold counts against this.
-        self.records = 0
-
-    @property
-    def exists(self) -> bool:
-        """Whether a journal file is present on disk."""
-        return self.path.exists()
+    magic = _MAGIC
+    version = _VERSION
+    record_name = "plan-WAL"
+    log_name = "WAL"
+    op_name = "WAL"
+    ops = _OPS
 
     # -- appending ---------------------------------------------------------
 
-    def _write_line(self, record: Dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True)
-        try:
-            if self._handle is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot journal to {self.path}: {exc}"
-            ) from exc
-        self.records += 1
-
     def _record(self, op: str, **fields: Any) -> Dict[str, Any]:
-        return {
-            "magic": _MAGIC,
-            "v": _VERSION,
-            "fp": FINGERPRINT_VERSION,
-            "op": op,
-            **fields,
-        }
+        return self._stamp(fp=FINGERPRINT_VERSION, op=op, **fields)
 
     def append_put(
         self,
@@ -163,59 +149,13 @@ class PlanWAL:
         :class:`~repro.errors.PersistenceError` -- a journal with a
         damaged interior cannot be trusted at all.
         """
-        if not self.path.exists():
-            return ReplayResult([], 0, False)
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise PersistenceError(f"cannot read {self.path}: {exc}") from exc
-        ops: List[Dict[str, Any]] = []
-        valid_bytes = 0
-        dropped = False
-        lines = text.split("\n")
-        # A well-formed journal ends with a newline, so the final split
-        # element is empty; anything else is a torn tail.
-        body, tail = lines[:-1], lines[-1]
-        if tail:
-            dropped = True
-        for lineno, line in enumerate(body, start=1):
-            if not line.strip():
-                valid_bytes += len(line.encode("utf-8")) + 1
-                continue
-            try:
-                ops_entry = self._parse(line, lineno)
-            except PersistenceError:
-                if lineno == len(body) and not tail:
-                    # Torn final line: the crash interrupted this commit;
-                    # everything before it is intact.
-                    dropped = True
-                    break
-                raise
-            if ops_entry is not None:
-                ops.append(ops_entry)
-            valid_bytes += len(line.encode("utf-8")) + 1
+        entries, valid_bytes, dropped = self.replay_lines()
+        ops = [entry for entry in entries if entry is not None]
         return ReplayResult(ops, valid_bytes, dropped)
 
-    def _parse(self, line: str, lineno: int) -> Optional[Dict[str, Any]]:
-        """Validate one journal line; None when fingerprint-mismatched."""
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise PersistenceError(f"{self.path}:{lineno}: {exc}") from None
-        if not isinstance(record, dict) or record.get("magic") != _MAGIC:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: not a plan-WAL record"
-            )
-        if record.get("v") != _VERSION:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: unsupported WAL version "
-                f"{record.get('v')!r}"
-            )
-        op = record.get("op")
-        if op not in _OPS:
-            raise PersistenceError(
-                f"{self.path}:{lineno}: unknown WAL operation {op!r}"
-            )
+    def _validate(self, record: Dict[str, Any], lineno: int) -> Optional[Dict[str, Any]]:
+        """Validate one journal record; None when fingerprint-mismatched."""
+        op = self._check_op(record, lineno)
         if op == "put":
             try:
                 # Validate eagerly: a malformed result is corruption, and
@@ -234,46 +174,6 @@ class PlanWAL:
             return None
         return record
 
-    # -- lifecycle ---------------------------------------------------------
-
-    def truncate(self, valid_bytes: int) -> None:
-        """Cut the journal back to its well-formed prefix."""
-        if not self.path.exists():
-            return
-        self._close_handle()
-        try:
-            with open(self.path, "r+b") as handle:
-                handle.truncate(valid_bytes)
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(
-                f"cannot truncate {self.path}: {exc}"
-            ) from exc
-
-    def reset(self) -> None:
-        """Empty the journal (after its contents reached a snapshot)."""
-        self._close_handle()
-        try:
-            with open(self.path, "w", encoding="utf-8") as handle:
-                handle.flush()
-                os.fsync(handle.fileno())
-        except OSError as exc:
-            raise PersistenceError(f"cannot reset {self.path}: {exc}") from exc
-        self.records = 0
-
-    def _close_handle(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    def close(self) -> None:
-        """Close the append handle (the journal file stays on disk)."""
-        self._close_handle()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"PlanWAL({str(self.path)!r}, records={self.records})"
-
 
 class DurablePlanCache(PlanCache):
     """A plan cache whose every mutation survives a SIGKILL.
@@ -284,6 +184,21 @@ class DurablePlanCache(PlanCache):
         compact_every: journaled operations between automatic
             compactions (snapshot rewrite + journal truncation).
         fsync: fsync every journal append (see :class:`PlanWAL`).
+        durability_budget: consecutive journal-append failures tolerated
+            before the cache trips to memory-only mode.  ``None``
+            (default) disables degradation: an append failure raises
+            :class:`~repro.errors.PersistenceError` out of the mutation,
+            the historical behaviour.
+        probe_interval: seconds between background disk re-tests while
+            in memory-only mode.
+        opener: ``open``-compatible callable for every journal file
+            access (the storage fault seam; see
+            :mod:`repro.faults.disk`).
+        on_transition: called as ``on_transition(mode, reason)`` exactly
+            once per durability-mode change (``"memory-only"`` on trip,
+            ``"durable"`` on heal) -- the serving layer's
+            one-log-line-per-transition hook.  Called under the cache
+            lock; keep it cheap and never touch the cache from it.
         **cache_kwargs: forwarded to :class:`~repro.serve.cache.PlanCache`
             (``capacity``, ``ttl``, ``max_bytes``, ``clock``).
 
@@ -294,6 +209,12 @@ class DurablePlanCache(PlanCache):
     path, so recovery reproduces LRU order and capacity evictions
     bit-for-bit; entries get a fresh TTL lease, exactly as snapshot
     loading does (monotonic clocks do not survive restarts).
+
+    With a ``durability_budget``, the contract weakens *visibly* rather
+    than failing: mutations that could not be journaled are applied in
+    memory anyway and :meth:`ack_durable` flips False until the next
+    successful heal re-sync, so callers always know which promise the
+    return of ``put`` carries.
     """
 
     def __init__(
@@ -302,6 +223,10 @@ class DurablePlanCache(PlanCache):
         wal_path: Optional[PathLike] = None,
         compact_every: int = 256,
         fsync: bool = True,
+        durability_budget: Optional[int] = None,
+        probe_interval: float = 1.0,
+        opener: Optional[Opener] = None,
+        on_transition: Optional[Callable[[str, str], None]] = None,
         **cache_kwargs: Any,
     ) -> None:
         super().__init__(**cache_kwargs)
@@ -309,15 +234,36 @@ class DurablePlanCache(PlanCache):
             raise ValueError(
                 f"compact_every must be positive, got {compact_every}"
             )
+        if durability_budget is not None and durability_budget <= 0:
+            raise ValueError(
+                f"durability_budget must be positive or None, "
+                f"got {durability_budget}"
+            )
+        if probe_interval <= 0:
+            raise ValueError(
+                f"probe_interval must be positive, got {probe_interval}"
+            )
         self.snapshot_path = Path(snapshot_path)
         self.wal = PlanWAL(
             wal_path if wal_path is not None
             else self.snapshot_path.with_name(self.snapshot_path.name + ".wal"),
             fsync=fsync,
+            opener=opener,
         )
         self.compact_every = compact_every
         self.compactions = 0
         self._replaying = False
+        # -- durability guard state --
+        self.durability_budget = durability_budget
+        self.probe_interval = probe_interval
+        self.on_transition = on_transition
+        self._mode = "durable"
+        self._append_failures = 0  # consecutive
+        self.trips = 0
+        self.heals = 0
+        self.last_disk_error = ""
+        self._probe_stop = threading.Event()
+        self._probe_thread: Optional[threading.Thread] = None
 
     # -- recovery ----------------------------------------------------------
 
@@ -358,6 +304,119 @@ class DurablePlanCache(PlanCache):
             self.wal.records = len(replayed.ops)
             return snapshot_entries, len(replayed.ops)
 
+    # -- the durability guard ----------------------------------------------
+
+    @property
+    def durability_mode(self) -> str:
+        """``"durable"`` or ``"memory-only"``."""
+        return self._mode
+
+    def ack_durable(self) -> bool:
+        """Whether an acknowledgement issued *now* may claim durability.
+
+        False while in memory-only mode **and** while the most recent
+        journal append failed (the pre-trip window): a plan whose append
+        was absorbed is in memory only, even though the cache has not
+        given up on the disk yet.
+        """
+        return self._mode == "durable" and self._append_failures == 0
+
+    def _journal(self, append: Callable[[], None]) -> bool:
+        """Run one WAL append under the guard; True when journaled.
+
+        Caller holds the lock.  With no ``durability_budget`` a failure
+        propagates (historical behaviour).  With one, the failure is
+        absorbed -- counted, and once the budget is exhausted the cache
+        trips to memory-only mode.  In memory-only mode appends are not
+        attempted at all (the disk is known dead; the probe owns it).
+        """
+        if self._mode != "durable":
+            return False
+        try:
+            append()
+        except PersistenceError as exc:
+            self.last_disk_error = str(exc)
+            if self.durability_budget is None:
+                raise
+            self._append_failures += 1
+            if self._append_failures >= self.durability_budget:
+                self._trip(str(exc))
+            return False
+        else:
+            self._append_failures = 0
+            return True
+
+    def _trip(self, reason: str) -> None:
+        """Enter memory-only mode and start probing for a heal."""
+        self._mode = "memory-only"
+        self.trips += 1
+        self._probe_stop.clear()
+        thread = threading.Thread(
+            target=self._probe_loop, name="durability-probe", daemon=True
+        )
+        self._probe_thread = thread
+        thread.start()
+        if self.on_transition is not None:
+            self.on_transition("memory-only", reason)
+
+    def _probe_loop(self) -> None:
+        while not self._probe_stop.wait(self.probe_interval):
+            if self.probe_now():
+                return
+
+    def _probe_disk(self) -> bool:
+        """One write+fsync round-trip against the journal's disk."""
+        probe_path = self.wal.path.with_name(self.wal.path.name + ".probe")
+        try:
+            handle = self.wal.opener(probe_path, "w", encoding="utf-8")
+            try:
+                handle.write("durability-probe\n")
+                handle.flush()
+                if self.wal.fsync:
+                    self.wal._sync(handle)
+            finally:
+                handle.close()
+        except OSError:
+            return False
+        finally:
+            try:
+                probe_path.unlink()
+            except OSError:
+                pass
+        return True
+
+    def probe_now(self) -> bool:
+        """Re-test the disk once; heal and re-sync if it answers.
+
+        The background probe calls this on its interval; tests (and
+        impatient operators) may call it directly.  Returns True when
+        the cache is durable again.
+        """
+        if self._mode == "durable":
+            return True
+        if not self._probe_disk():
+            return False
+        with self._lock:
+            if self._mode == "durable":
+                return True
+            try:
+                # fsyncgate: the old handle was discarded at failure
+                # time; re-sync from scratch -- fresh snapshot,
+                # os.replace, journal reset on a brand-new handle.
+                written = self.compact()
+            except PersistenceError as exc:
+                self.last_disk_error = str(exc)
+                return False
+            self._mode = "durable"
+            self._append_failures = 0
+            self.heals += 1
+            self._probe_stop.set()
+            if self.on_transition is not None:
+                self.on_transition(
+                    "durable", f"disk healed; re-synced {written} entries"
+                )
+            return True
+
     # -- journaled mutations ----------------------------------------------
 
     def put(
@@ -380,9 +439,13 @@ class DurablePlanCache(PlanCache):
                 if spec is None:
                     # Positional call keeps pre-lineage PlanWAL
                     # subclasses (three-argument signature) working.
-                    self.wal.append_put(key, models_fp, result)
+                    self._journal(
+                        lambda: self.wal.append_put(key, models_fp, result)
+                    )
                 else:
-                    self.wal.append_put(key, models_fp, result, spec=spec)
+                    self._journal(lambda: self.wal.append_put(
+                        key, models_fp, result, spec=spec
+                    ))
             super().put(key, result, models_fp, spec=spec)
             if not self._replaying:
                 self._maybe_compact()
@@ -391,14 +454,14 @@ class DurablePlanCache(PlanCache):
         """Journal, then drop one entry; True if it existed."""
         with self._lock:
             if not self._replaying and key in self._entries:
-                self.wal.append_invalidate(key)
+                self._journal(lambda: self.wal.append_invalidate(key))
             return super().invalidate(key)
 
     def clear(self) -> None:
         """Journal, then drop every entry."""
         with self._lock:
             if not self._replaying:
-                self.wal.append_clear()
+                self._journal(self.wal.append_clear)
             super().clear()
             if not self._replaying:
                 self._maybe_compact()
@@ -406,7 +469,9 @@ class DurablePlanCache(PlanCache):
     # -- compaction --------------------------------------------------------
 
     def _maybe_compact(self) -> None:
-        if self.wal.records >= self.compact_every:
+        # Never compact while degraded: the snapshot rewrite would fail
+        # on the same dead disk, and the heal re-sync owns that work.
+        if self._mode == "durable" and self.wal.records >= self.compact_every:
             self.compact()
 
     def compact(self) -> int:
@@ -428,9 +493,27 @@ class DurablePlanCache(PlanCache):
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Graceful shutdown: compact, then release the journal handle."""
+        """Graceful shutdown: compact, then release the journal handle.
+
+        In memory-only mode there is nothing durable to say goodbye to:
+        the probe is stopped and the handle released, but no compaction
+        is attempted against the dead disk.
+        """
+        self._probe_stop.set()
+        thread = self._probe_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=5.0)
         with self._lock:
-            self.compact()
+            if self._mode == "durable":
+                try:
+                    self.compact()
+                except PersistenceError as exc:
+                    # A disk dying *during* shutdown must not crash the
+                    # shutdown path when degradation is on; the journal
+                    # already holds everything that could be saved.
+                    if self.durability_budget is None:
+                        raise
+                    self.last_disk_error = str(exc)
             self.wal.close()
 
     def durability_stats(self) -> Dict[str, Any]:
@@ -441,6 +524,13 @@ class DurablePlanCache(PlanCache):
                 "compactions": self.compactions,
                 "compact_every": self.compact_every,
                 "snapshot": str(self.snapshot_path),
+                "mode": self._mode,
+                "budget": self.durability_budget,
+                "append_errors": self.wal.append_errors,
+                "consecutive_failures": self._append_failures,
+                "trips": self.trips,
+                "heals": self.heals,
+                "last_disk_error": self.last_disk_error,
             }
 
     def __enter__(self) -> "DurablePlanCache":

@@ -23,8 +23,18 @@ surface:
   *outbound* links (sibling probes and replica pushes); the netsplit
   suite's seam for asymmetric partitions.
 * a **READY line** on stdout once the port is bound:
-  ``{"ready": true, "shard_id": ..., "port": ...}`` -- how the
-  supervisor learns ephemeral ports without a race.
+  ``{"ready": true, "shard_id": ..., "port": ..., "durability": ...}``
+  -- how the supervisor learns ephemeral ports (and the shard's
+  durability mode) without a race.
+
+Storage resilience: ``--durability-budget N`` (default 3) lets the
+shard absorb journal-append failures and degrade to memory-only mode
+instead of failing requests (``--no-durability-degrade`` restores the
+fail-fast behaviour); ``--disk-fault-plan FILE`` splices a seeded
+:class:`~repro.faults.disk.DiskFaultPlan` under the shard's journals --
+the disk chaos suite's seam.  Durability-mode transitions log exactly
+one stderr line each; ``GET /health`` and the READY line expose the
+current mode.
 
 ``--slowdown MS`` injects a blocking per-request service time into the
 event loop.  This is the fleet's simulated heterogeneity: the sleep
@@ -312,6 +322,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ttl", type=float, default=None)
     parser.add_argument("--compact-every", type=int, default=256,
                         dest="compact_every")
+    parser.add_argument("--durability-budget", type=int, default=3,
+                        dest="durability_budget",
+                        help="consecutive journal-append failures before "
+                             "the cache degrades to memory-only mode")
+    parser.add_argument("--no-durability-degrade", action="store_true",
+                        dest="no_durability_degrade",
+                        help="fail plan requests on journal errors instead "
+                             "of degrading to memory-only mode")
+    parser.add_argument("--probe-interval", type=float, default=1.0,
+                        dest="probe_interval",
+                        help="seconds between disk re-tests while degraded")
+    parser.add_argument("--disk-fault-plan", default=None,
+                        dest="disk_fault_plan", metavar="JSON",
+                        help="seeded DiskFaultPlan file spliced under this "
+                             "shard's journals (the disk chaos seam)")
     parser.add_argument("--threads", type=int, default=4,
                         help="solver threads for this shard")
     parser.add_argument("--max-pending", type=int, default=None,
@@ -357,11 +382,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     models = load_model_set(Path(args.points), args.model)
 
+    opener = None
+    if args.disk_fault_plan is not None:
+        from repro.faults.disk import DiskFaultPlan, faulty_open
+
+        opener = faulty_open(DiskFaultPlan.load(args.disk_fault_plan))
+
     durable = args.cache_file is not None
     if durable:
+        def log_transition(mode: str, reason: str) -> None:
+            # Exactly one line per durability-mode change (trip or
+            # heal) -- never one per failed append.
+            print(
+                f"shard {args.shard_id}: durability {mode}: {reason}",
+                file=sys.stderr, flush=True,
+            )
+
         cache: PlanCache = DurablePlanCache(
             args.cache_file, compact_every=args.compact_every,
             capacity=args.cache_size, ttl=args.ttl,
+            durability_budget=(
+                None if args.no_durability_degrade
+                else args.durability_budget
+            ),
+            probe_interval=args.probe_interval,
+            opener=opener,
+            on_transition=log_transition,
         )
         snapshot_entries, wal_ops = cache.recover()
         recovered = snapshot_entries + wal_ops
@@ -417,7 +463,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lineage_path = (
             str(args.cache_file) + ".lineage" if durable else None
         )
-        lineage = ModelLineage(models, wal_path=lineage_path)
+        lineage = ModelLineage(models, wal_path=lineage_path, opener=opener)
         lineage.recover()
         # Replay may have advanced past the snapshot's epoch: serve the
         # recovered models, not the freshly loaded ones.
@@ -453,6 +499,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.shard_id, cache, replicas=args.replicas,
         hint_path=(str(args.cache_file) + ".hints" if durable else None),
         client_factory=chaotic_client, epoch_source=epoch_source,
+        opener=opener,
     )
     pending_hints = replicator.recover()
     engine.on_commit = replicator.plan_committed
@@ -484,6 +531,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "replicas": args.replicas,
         "pending_hints": pending_hints,
         "energy": server.energy_models is not None,
+        "durability": (
+            cache.durability_mode if durable else None  # type: ignore[union-attr]
+        ),
     }), flush=True)
 
     stop = threading.Event()

@@ -1,0 +1,238 @@
+"""The durability degradation ladder: degrade instead of die.
+
+:class:`~repro.serve.wal.DurablePlanCache` with a ``durability_budget``
+must keep serving through a dead disk:
+
+* journal-append failures are absorbed (the mutation lands in memory,
+  the request succeeds) and honesty flips immediately --
+  :meth:`ack_durable` is False from the *first* absorbed failure;
+* after ``budget`` consecutive failures the cache trips to memory-only
+  mode: appends stop, a background probe re-tests the disk;
+* on heal the cache re-syncs from a fresh snapshot (the fsyncgate rule:
+  never append to a journal a wounded handle touched) and every plan
+  accepted while degraded survives the next crash;
+* the ``on_transition`` hook fires exactly once per mode change --
+  the serving layer's one-log-line-per-transition contract.
+
+Faults come from seeded :class:`~repro.faults.disk.DiskFaultPlan`
+schedules, so every scenario replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.faults import DiskFaultPlan, DiskFaults, faulty_open
+from repro.serve import DurablePlanCache, PlanResult, PlanServer
+from repro.serve.frontend import handle_request
+
+from tests.test_serve_server import make_models
+
+pytestmark = [pytest.mark.serve, pytest.mark.faults, pytest.mark.disk]
+
+
+def plan_result(i, durable=True):
+    return PlanResult(
+        key=f"key-{i}", total=100 + i, sizes=(60 + i, 40),
+        times=(0.6, 0.4), algorithm="geometric", durable=durable,
+    )
+
+
+def dying_cache(tmp_path, fail_after, heal_after=None, budget=2, **kwargs):
+    """A durable cache whose WAL device dies on schedule.
+
+    The pattern covers the WAL *and* its ``.probe`` sibling, so probe
+    writes advance the same device clock the heal waits on.
+    """
+    plan = DiskFaultPlan({
+        "plans.wal*": DiskFaults(fail_after=fail_after,
+                                 heal_after=heal_after, error="ENOSPC"),
+    })
+    transitions = []
+    cache = DurablePlanCache(
+        tmp_path / "plans",
+        durability_budget=budget,
+        probe_interval=kwargs.pop("probe_interval", 30.0),
+        opener=faulty_open(plan),
+        on_transition=lambda mode, reason: transitions.append((mode, reason)),
+        **kwargs,
+    )
+    return cache, transitions
+
+
+class TestHistoricalBehaviour:
+    def test_no_budget_raises_on_append_failure(self, tmp_path):
+        plan = DiskFaultPlan({"plans.wal": DiskFaults(write_error_rate=1.0)})
+        cache = DurablePlanCache(tmp_path / "plans", opener=faulty_open(plan))
+        with pytest.raises(PersistenceError):
+            cache.put("k", plan_result(0), "fp")
+
+    def test_bad_guard_parameters_refused(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurablePlanCache(tmp_path / "plans", durability_budget=0)
+        with pytest.raises(ValueError):
+            DurablePlanCache(tmp_path / "plans", probe_interval=0.0)
+
+
+class TestDegradationLadder:
+    def test_first_absorbed_failure_flips_acks(self, tmp_path):
+        # Each put costs two device ops (write + fsync): puts 0 and 1
+        # journal fine, put 2's write is op 4 -- the first casualty.
+        cache, _ = dying_cache(tmp_path, fail_after=4)
+        with cache:
+            for i in range(2):
+                cache.put(f"k{i}", plan_result(i), "fp")
+            assert cache.ack_durable() is True
+            cache.put("k2", plan_result(2), "fp")  # absorbed, not raised
+            assert cache.get("k2") is not None
+            assert cache.ack_durable() is False, (
+                "an ack issued after an absorbed append failure must not "
+                "claim durability, even before the trip"
+            )
+            assert cache.durability_mode == "durable"  # pre-trip window
+
+    def test_trips_after_budget_and_stops_touching_the_disk(self, tmp_path):
+        cache, transitions = dying_cache(tmp_path, fail_after=0, budget=2)
+        with cache:
+            for i in range(6):
+                cache.put(f"k{i}", plan_result(i), "fp")
+            assert cache.durability_mode == "memory-only"
+            assert cache.trips == 1
+            assert [m for m, _ in transitions] == ["memory-only"]
+            device = cache.wal.opener.devices["plans.wal*"]
+            mutations_at_trip = device.mutations
+            for i in range(6, 10):
+                cache.put(f"k{i}", plan_result(i), "fp")
+            assert device.mutations == mutations_at_trip, (
+                "memory-only mode must not attempt journal appends"
+            )
+            assert len(cache) == 10
+            assert cache.ack_durable() is False
+
+    def test_heal_resyncs_and_survives_the_next_crash(self, tmp_path):
+        cache, transitions = dying_cache(
+            tmp_path, fail_after=2, heal_after=9, budget=2,
+        )
+        for i in range(6):
+            cache.put(f"k{i}", plan_result(i), "fp")
+        assert cache.durability_mode == "memory-only"
+        healed = False
+        for _ in range(10):  # each probe advances the device clock
+            if cache.probe_now():
+                healed = True
+                break
+        assert healed
+        assert cache.durability_mode == "durable"
+        assert cache.heals == 1
+        assert cache.ack_durable() is True
+        assert [m for m, _ in transitions] == ["memory-only", "durable"]
+        assert "re-synced" in transitions[1][1]
+        # Post-heal mutations journal normally again.
+        cache.put("post-heal", plan_result(99), "fp")
+        # SIGKILL simulation: abandon the object (no close()) and
+        # recover a pristine cache from the same files.
+        fresh = DurablePlanCache(tmp_path / "plans")
+        fresh.recover()
+        try:
+            survivors = list(cache._entries)
+            assert set(fresh._entries) == set(survivors)
+            for key in survivors:
+                assert fresh.peek(key).to_dict() == cache.peek(key).to_dict()
+        finally:
+            fresh.close()
+        cache.close()
+
+    def test_background_probe_heals_without_help(self, tmp_path):
+        cache, transitions = dying_cache(
+            tmp_path, fail_after=0, heal_after=6, budget=1,
+            probe_interval=0.02,
+        )
+        with cache:
+            cache.put("k", plan_result(0), "fp")
+            assert cache.durability_mode == "memory-only"
+            deadline = time.monotonic() + 5.0
+            while (cache.durability_mode != "durable"
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert cache.durability_mode == "durable", (
+                "the probe thread never healed the cache"
+            )
+            assert [m for m, _ in transitions] == ["memory-only", "durable"]
+
+    def test_invalidate_and_clear_are_absorbed_too(self, tmp_path):
+        cache, _ = dying_cache(tmp_path, fail_after=0, budget=10)
+        with cache:
+            cache.put("k", plan_result(0), "fp")
+            assert cache.invalidate("k") is True
+            cache.put("k2", plan_result(1), "fp")
+            cache.clear()
+            assert len(cache) == 0
+
+    def test_close_while_degraded_skips_the_dead_disk(self, tmp_path):
+        cache, _ = dying_cache(tmp_path, fail_after=0, budget=1)
+        cache.put("k", plan_result(0), "fp")
+        assert cache.durability_mode == "memory-only"
+        cache.close()  # must not raise, must not try to compact
+        assert cache.compactions == 0
+
+    def test_degraded_mode_defers_compaction(self, tmp_path):
+        cache, _ = dying_cache(tmp_path, fail_after=0, budget=1,
+                               compact_every=2)
+        with cache:
+            for i in range(8):
+                cache.put(f"k{i}", plan_result(i), "fp")
+            assert cache.compactions == 0, (
+                "compaction against a dead disk must wait for the heal"
+            )
+
+    def test_durability_stats_tell_the_story(self, tmp_path):
+        cache, _ = dying_cache(tmp_path, fail_after=0, budget=2)
+        with cache:
+            for i in range(3):
+                cache.put(f"k{i}", plan_result(i), "fp")
+            stats = cache.durability_stats()
+            assert stats["mode"] == "memory-only"
+            assert stats["budget"] == 2
+            assert stats["trips"] == 1
+            assert stats["heals"] == 0
+            assert stats["append_errors"] >= 2
+            assert "ENOSPC" in stats["last_disk_error"]
+
+
+class TestDurableAckFlag:
+    def test_result_serialisation_keeps_historical_layout(self):
+        durable = plan_result(1)
+        assert "durable" not in durable.to_dict()
+        degraded = plan_result(1, durable=False)
+        assert degraded.to_dict()["durable"] is False
+        assert PlanResult.from_dict(durable.to_dict()).durable is True
+        assert PlanResult.from_dict(degraded.to_dict()).durable is False
+
+    def test_frontend_flags_acks_from_a_degraded_server(self, tmp_path):
+        cache, _ = dying_cache(tmp_path, fail_after=0, budget=1)
+        with PlanServer(make_models(), cache=cache) as server:
+            assert server.ack_durable() is True
+            first = handle_request(server, {"cmd": "plan", "total": 1000})
+            assert first.get("durable") is False, (
+                "the very first absorbed append must already flip the ack"
+            )
+            assert server.ack_durable() is False
+            # The flag lands on the response copy only: the cached
+            # entry itself stays layout-clean for a later healed ack.
+            entry = cache.get(first["key"])
+            assert "durable" not in entry.to_dict()
+            hit = handle_request(server, {"cmd": "plan", "total": 1000})
+            assert hit["cached"] is True and hit.get("durable") is False
+            stats = server.stats()
+            assert stats["durability"]["mode"] == "memory-only"
+
+    def test_plain_cache_servers_omit_the_flag(self):
+        with PlanServer(make_models()) as server:
+            assert server.ack_durable() is None
+            out = handle_request(server, {"cmd": "plan", "total": 1000})
+            assert "durable" not in out
+            assert json.dumps(out)  # stays JSON-serialisable

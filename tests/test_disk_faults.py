@@ -1,0 +1,285 @@
+"""Storage fault injection: seeded, serialisable, OSError-faithful.
+
+The disk fault plan is the chaos suite's storage seam, so its own
+contract must be airtight:
+
+* deterministic -- same plan, same operation sequence, same faults,
+  across scratch directories (substreams key on file *names*);
+* targeted -- fnmatch patterns against name or full path, insertion
+  order, first match wins, unmatched paths get the real file back;
+* faithful -- injected failures are :class:`OSError` with the scripted
+  errno, indistinguishable from real disk trouble;
+* device-modelled -- the death window (``fail_after``/``heal_after``)
+  counts mutating operations per matched *pattern*, shared by every
+  path the pattern matches, across re-opens.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro.errors import DiskFaultError, FaultInjectionError
+from repro.faults import (
+    DISK_ERRNOS,
+    DiskFaultPlan,
+    DiskFaults,
+    NO_DISK_FAULTS,
+    faulty_open,
+)
+
+pytestmark = [pytest.mark.faults, pytest.mark.disk]
+
+
+def wal_plan(**fault_fields):
+    """A plan faulting every ``*.wal`` path with the given spec."""
+    seed = fault_fields.pop("seed", 7)
+    return DiskFaultPlan({"*.wal": DiskFaults(**fault_fields)}, seed=seed)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field", [
+        "write_error_rate", "fsync_error_rate",
+        "short_write_rate", "read_corrupt_rate",
+    ])
+    @pytest.mark.parametrize("value", [-0.1, 1.5, float("nan")])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(FaultInjectionError):
+            DiskFaults(**{field: value})
+
+    def test_slow_ms_must_be_finite_non_negative(self):
+        with pytest.raises(FaultInjectionError):
+            DiskFaults(slow_ms=-1.0)
+        with pytest.raises(FaultInjectionError):
+            DiskFaults(slow_ms=float("inf"))
+
+    def test_death_window_must_be_ordered(self):
+        with pytest.raises(FaultInjectionError):
+            DiskFaults(fail_after=-1)
+        with pytest.raises(FaultInjectionError):
+            DiskFaults(fail_after=5, heal_after=5)
+        DiskFaults(fail_after=5, heal_after=6)  # the minimal window
+
+    def test_error_name_must_be_known(self):
+        with pytest.raises(FaultInjectionError):
+            DiskFaults(error="EMFILE")
+        assert DiskFaults(error="ENOSPC").errno_code == errno.ENOSPC
+        assert DISK_ERRNOS["EIO"] == errno.EIO
+
+    def test_benign_detection(self):
+        assert NO_DISK_FAULTS.benign
+        assert not DiskFaults(write_error_rate=0.1).benign
+        assert not DiskFaults(fail_after=3).benign
+
+    def test_plan_rejects_bad_patterns_and_specs(self):
+        with pytest.raises(FaultInjectionError):
+            DiskFaultPlan({"": DiskFaults()})
+        with pytest.raises(FaultInjectionError):
+            DiskFaultPlan({"*.wal": {"write_error_rate": 0.5}})
+
+
+class TestTargeting:
+    def test_name_and_full_path_match(self):
+        plan = DiskFaultPlan({
+            "plans.wal": DiskFaults(write_error_rate=1.0),
+            "*/shard1/*": DiskFaults(fsync_error_rate=1.0),
+        })
+        assert plan.spec_for("/a/b/plans.wal").write_error_rate == 1.0
+        assert plan.spec_for("/x/shard1/hints.log").fsync_error_rate == 1.0
+        assert plan.spec_for("/x/shard2/hints.log") is NO_DISK_FAULTS
+
+    def test_first_match_wins_in_insertion_order(self):
+        plan = DiskFaultPlan({
+            "plans.*": DiskFaults(write_error_rate=1.0),
+            "*.wal": DiskFaults(fsync_error_rate=1.0),
+        })
+        pattern, spec = plan.match("/d/plans.wal")
+        assert pattern == "plans.*"
+        assert spec.write_error_rate == 1.0
+
+    def test_unmatched_paths_get_the_real_file(self, tmp_path):
+        opener = faulty_open(wal_plan(write_error_rate=1.0))
+        clean = tmp_path / "notes.txt"
+        with opener(clean, "w", encoding="utf-8") as handle:
+            assert not hasattr(type(handle), "_mutate")
+            handle.write("untouched\n")
+        assert clean.read_text() == "untouched\n"
+
+    def test_faulty_patterns_listing(self):
+        plan = DiskFaultPlan({
+            "*.wal": DiskFaults(write_error_rate=0.5),
+            "*.txt": DiskFaults(),
+        })
+        assert plan.faulty_patterns == ["*.wal"]
+
+
+class TestDeterminism:
+    def outcomes(self, tmp_path, seed, runs=40):
+        plan = wal_plan(write_error_rate=0.3, seed=seed)
+        opener = faulty_open(plan)
+        handle = opener(tmp_path / "x.wal", "a", encoding="utf-8")
+        trace = []
+        for _ in range(runs):
+            try:
+                handle.write("r\n")
+                trace.append("ok")
+            except DiskFaultError:
+                trace.append("fault")
+        handle.close()
+        return trace
+
+    def test_same_seed_same_fault_sequence(self, tmp_path_factory):
+        a = self.outcomes(tmp_path_factory.mktemp("a"), seed=11)
+        b = self.outcomes(tmp_path_factory.mktemp("b"), seed=11)
+        assert a == b, "fault sequence must survive a scratch-dir change"
+        assert "fault" in a and "ok" in a
+
+    def test_different_seed_differs(self, tmp_path_factory):
+        a = self.outcomes(tmp_path_factory.mktemp("a"), seed=11)
+        b = self.outcomes(tmp_path_factory.mktemp("b"), seed=12)
+        assert a != b
+
+    def test_substream_is_per_file_name(self, tmp_path):
+        plan = wal_plan(write_error_rate=0.5, seed=3)
+        assert (plan.rng("/a/x.wal").random()
+                == plan.rng("/other/place/x.wal").random())
+        assert (plan.rng("/a/x.wal").random()
+                != plan.rng("/a/y.wal").random())
+
+
+class TestFaultSemantics:
+    def test_injected_error_is_a_real_oserror(self, tmp_path):
+        opener = faulty_open(wal_plan(write_error_rate=1.0, error="ENOSPC"))
+        handle = opener(tmp_path / "x.wal", "a", encoding="utf-8")
+        with pytest.raises(OSError) as excinfo:
+            handle.write("doomed\n")
+        handle.close()
+        err = excinfo.value
+        assert isinstance(err, DiskFaultError)
+        assert err.errno == errno.ENOSPC
+        assert err.op == "write"
+        assert err.path.endswith("x.wal")
+
+    def test_short_write_persists_a_torn_prefix(self, tmp_path):
+        opener = faulty_open(wal_plan(short_write_rate=1.0))
+        path = tmp_path / "x.wal"
+        handle = opener(path, "a", encoding="utf-8")
+        payload = "0123456789abcdef\n"
+        with pytest.raises(DiskFaultError):
+            handle.write(payload)
+        handle.close()
+        torn = path.read_text()
+        assert 0 < len(torn) < len(payload)
+        assert payload.startswith(torn)
+
+    def test_fsync_fault_fires_without_touching_data(self, tmp_path):
+        opener = faulty_open(wal_plan(fsync_error_rate=1.0))
+        path = tmp_path / "x.wal"
+        handle = opener(path, "a", encoding="utf-8")
+        handle.write("landed\n")
+        handle.flush()
+        with pytest.raises(DiskFaultError) as excinfo:
+            handle.fsync()
+        handle.close()
+        assert excinfo.value.op == "fsync"
+        assert path.read_text() == "landed\n"
+
+    def test_read_corruption_is_a_detectable_nul(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_text(json.dumps({"k": "v"}) + "\n")
+        opener = faulty_open(wal_plan(read_corrupt_rate=1.0))
+        with opener(path, "r", encoding="utf-8") as handle:
+            data = handle.read()
+        assert "\x00" in data
+        with pytest.raises(ValueError):
+            json.loads(data)  # strict mode refuses control characters
+
+    def test_slow_io_uses_the_injected_clock(self, tmp_path):
+        delays = []
+        opener = faulty_open(wal_plan(slow_ms=5.0), clock=delays.append)
+        handle = opener(tmp_path / "x.wal", "a", encoding="utf-8")
+        handle.write("one\n")
+        handle.fsync()
+        handle.close()
+        assert delays == [0.005, 0.005]  # one write + one fsync
+
+
+class TestDeathWindow:
+    def test_scripted_death_and_heal(self, tmp_path):
+        opener = faulty_open(wal_plan(fail_after=2, heal_after=5))
+        handle = opener(tmp_path / "x.wal", "a", encoding="utf-8")
+        trace = []
+        for _ in range(8):  # pure writes: one mutating op each
+            try:
+                handle.write("r\n")
+                trace.append("ok")
+            except DiskFaultError:
+                trace.append("dead")
+        handle.close()
+        assert trace == ["ok", "ok", "dead", "dead", "dead",
+                         "ok", "ok", "ok"]
+
+    def test_device_counter_is_shared_across_paths_and_reopens(self, tmp_path):
+        plan = DiskFaultPlan({"*.wal": DiskFaults(fail_after=1, heal_after=3)})
+        opener = faulty_open(plan)
+        a = opener(tmp_path / "a.wal", "a", encoding="utf-8")
+        a.write("op0\n")       # device op 0: fine
+        with pytest.raises(DiskFaultError):
+            a.write("op1\n")   # op 1: dead
+        a.close()
+        b = opener(tmp_path / "b.wal", "a", encoding="utf-8")
+        with pytest.raises(DiskFaultError):
+            b.write("op2\n")   # op 2, same device: still dead
+        b.write("op3\n")       # op 3: healed, for every matched path
+        b.close()
+        device = opener.devices["*.wal"]
+        assert device.mutations == 4
+        assert device.faults_fired == 2
+
+    def test_heal_stops_random_faults_too(self, tmp_path):
+        opener = faulty_open(wal_plan(write_error_rate=1.0, heal_after=0))
+        handle = opener(tmp_path / "x.wal", "a", encoding="utf-8")
+        handle.write("never faulted\n")  # healed from op 0
+        handle.close()
+
+
+class TestSerialisation:
+    def test_roundtrip(self, tmp_path):
+        plan = DiskFaultPlan({
+            "*.wal": DiskFaults(write_error_rate=0.25, fail_after=3,
+                                heal_after=9, error="ENOSPC"),
+            "hints.*": DiskFaults(slow_ms=2.0),
+        }, seed=42)
+        path = tmp_path / "faults.json"
+        plan.save(path)
+        back = DiskFaultPlan.load(path)
+        assert back.to_dict() == plan.to_dict()
+        assert back.seed == 42
+        assert back.spec_for("x.wal").error == "ENOSPC"
+
+    def test_unknown_fields_refused(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault fields"):
+            DiskFaultPlan.from_dict(
+                {"patterns": {"*.wal": {"write_error_rat": 0.5}}}
+            )
+
+    def test_malformed_documents_refused(self, tmp_path):
+        with pytest.raises(FaultInjectionError):
+            DiskFaultPlan.from_dict([])
+        with pytest.raises(FaultInjectionError):
+            DiskFaultPlan.from_dict({"seed": "not-a-number"})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ torn")
+        with pytest.raises(FaultInjectionError):
+            DiskFaultPlan.load(bad)
+        with pytest.raises(FaultInjectionError):
+            DiskFaultPlan.load(tmp_path / "missing.json")
+
+    def test_opener_sugar_matches_faulty_open(self, tmp_path):
+        plan = wal_plan(write_error_rate=1.0)
+        handle = plan.opener()(tmp_path / "x.wal", "a", encoding="utf-8")
+        with pytest.raises(DiskFaultError):
+            handle.write("doomed\n")
+        handle.close()

@@ -123,7 +123,7 @@ class TestProtocolParity:
             status, body = get_json(f"{base}/metrics")
             assert status == 200
             metrics = body["metrics"]
-            assert metrics["schema"] == "fupermod-metrics/3"
+            assert metrics["schema"] == "fupermod-metrics/4"
             assert metrics["uptime_s"] >= 0.0
             assert metrics["serve"]["computations"] == 1
             assert "cache" in metrics

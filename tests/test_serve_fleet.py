@@ -125,7 +125,7 @@ class TestFleetObservability:
             metrics = client.metrics()
         finally:
             client.close()
-        assert metrics["schema"] == "fupermod-fleet-metrics/3"
+        assert metrics["schema"] == "fupermod-fleet-metrics/4"
         assert metrics["uptime_s"] >= 0.0
         summary = metrics["fleet"]
         assert summary["routing"] == "fpm"
@@ -133,7 +133,7 @@ class TestFleetObservability:
         assert summary["counters"]["affinity_routed"] >= 1
         assert sorted(metrics["shards"]) == sorted(fleet.shards)
         for sid, shard_metrics in metrics["shards"].items():
-            assert shard_metrics["schema"] == "fupermod-metrics/3", sid
+            assert shard_metrics["schema"] == "fupermod-metrics/4", sid
 
     def test_stats_and_health(self, fleet):
         client = ShardClient(fleet.url)

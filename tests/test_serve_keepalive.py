@@ -112,7 +112,7 @@ class TestShardClientReuse:
         try:
             for _ in range(10):
                 assert "sizes" in client.plan({"cmd": "plan", "total": 640})
-            assert client.metrics()["schema"] == "fupermod-metrics/3"
+            assert client.metrics()["schema"] == "fupermod-metrics/4"
             assert client.health() is True
             assert client.connections_opened == 1
         finally:

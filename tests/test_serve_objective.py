@@ -223,7 +223,7 @@ class TestServingRoundTrip:
         handle_request(server, {"cmd": "plan", "total": 1000,
                                 "objective": "pareto"})
         met = handle_request(server, {"cmd": "metrics"})["metrics"]
-        assert met["schema"] == "fupermod-metrics/3"
+        assert met["schema"] == "fupermod-metrics/4"
         assert met["plans_by_kind"]["time"] == 1
         assert met["plans_by_kind"]["pareto"] == 2
 
